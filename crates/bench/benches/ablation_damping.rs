@@ -1,0 +1,61 @@
+//! Ablation (§4.3): steal damping on vs off.
+//!
+//! Damping protects the 24-bit asteals counter from overflowing under
+//! sustained fruitless stealing by probing empty-mode targets read-only.
+//! The paper's claim: "enabling steal dampening did not incur any
+//! significant performance penalty over non-damped runs". This harness
+//! compares makespans and claiming-fetch-add counts with damping on and
+//! off, on the search-heavy end of UTS.
+
+use sws_bench::{banner, ms, pe_sweep, runs_per_config};
+use sws_core::QueueConfig;
+use sws_sched::{run_workload, QueueKind, RunConfig, SchedConfig};
+use sws_shmem::OpKind;
+use sws_workloads::uts::{UtsParams, UtsWorkload};
+
+fn main() {
+    let params = UtsParams::geo_small(11);
+    let oracle = params.sequential_count();
+    banner(
+        "Ablation §4.3",
+        &format!("steal damping on/off — UTS {} nodes", oracle.nodes),
+    );
+    let runs = runs_per_config().max(1);
+    println!(
+        "{:>6} {:>9} {:>14} {:>16} {:>16} {:>14}",
+        "PEs", "damping", "makespan(ms)", "claim fadds", "probe fetches", "empty steals"
+    );
+    for &p in &pe_sweep() {
+        for damping in [true, false] {
+            let mut mk = 0.0;
+            let (mut fadds, mut fetches, mut empties) = (0u64, 0u64, 0u64);
+            for r in 0..runs {
+                let sched = SchedConfig::new(QueueKind::Sws, QueueConfig::new(16384, 48))
+                    .with_damping(damping)
+                    .with_seed(0xDA3B + r as u64 * 7919);
+                let report = run_workload(&RunConfig::new(p, sched), &UtsWorkload::new(params));
+                assert_eq!(report.total_tasks(), oracle.nodes);
+                mk += ms(report.makespan_ns) / runs as f64;
+                fadds += report.total_comm().count(OpKind::AtomicFetchAdd);
+                fetches += report.total_comm().count(OpKind::AtomicFetch);
+                empties += report
+                    .workers
+                    .iter()
+                    .map(|w| w.queue.steals_empty)
+                    .sum::<u64>();
+            }
+            println!(
+                "{:>6} {:>9} {:>14.3} {:>16} {:>16} {:>14}",
+                p,
+                if damping { "on" } else { "off" },
+                mk,
+                fadds / runs as u64,
+                fetches / runs as u64,
+                empties / runs as u64
+            );
+        }
+    }
+    println!();
+    println!("expected: damping ≈ no makespan cost (§4.3) while converting");
+    println!("fruitless claiming fetch-adds into read-only probes.");
+}

@@ -1,0 +1,61 @@
+//! Ablation (§4.2): completion epochs (Fig. 4 layout) vs the initial
+//! single-epoch design (Fig. 3 `ValidBit` layout).
+//!
+//! With one epoch, an acquire/release must wait for every in-flight
+//! steal to finish before reusing the completion array; with two
+//! epochs the owner re-advertises immediately. The paper's claim: "the
+//! use of two completion epochs was sufficient to avoid polling".
+//! This harness reports owner poll counts and makespans for both
+//! layouts on the steal-heavy UTS workload.
+
+use sws_bench::{banner, ms, pe_sweep, runs_per_config};
+use sws_core::stealval::Layout;
+use sws_core::QueueConfig;
+use sws_sched::{run_workload, QueueKind, RunConfig, SchedConfig};
+use sws_workloads::uts::{UtsParams, UtsWorkload};
+
+fn main() {
+    let params = UtsParams::geo_small(11);
+    let oracle = params.sequential_count();
+    banner(
+        "Ablation §4.2",
+        &format!(
+            "completion epochs vs single-epoch (Fig.3) — UTS {} nodes",
+            oracle.nodes
+        ),
+    );
+    let runs = runs_per_config().max(1);
+    println!(
+        "{:>6} {:>10} {:>14} {:>14} {:>14} {:>14}",
+        "PEs", "layout", "makespan(ms)", "owner polls", "acquires", "releases"
+    );
+    for &p in &pe_sweep() {
+        for (label, layout) in [("epochs", Layout::Epochs), ("validbit", Layout::ValidBit)] {
+            let mut mk = 0.0;
+            let (mut polls, mut acqs, mut rels) = (0u64, 0u64, 0u64);
+            for r in 0..runs {
+                let queue = QueueConfig::new(16384, 48).with_layout(layout);
+                let sched =
+                    SchedConfig::new(QueueKind::Sws, queue).with_seed(0xE0C4 + r as u64 * 7919);
+                let report = run_workload(&RunConfig::new(p, sched), &UtsWorkload::new(params));
+                assert_eq!(report.total_tasks(), oracle.nodes);
+                mk += ms(report.makespan_ns) / runs as f64;
+                polls += report.workers.iter().map(|w| w.queue.owner_polls).sum::<u64>();
+                acqs += report.workers.iter().map(|w| w.queue.acquires).sum::<u64>();
+                rels += report.workers.iter().map(|w| w.queue.releases).sum::<u64>();
+            }
+            println!(
+                "{:>6} {:>10} {:>14.3} {:>14} {:>14} {:>14}",
+                p,
+                label,
+                mk,
+                polls / runs as u64,
+                acqs / runs as u64,
+                rels / runs as u64
+            );
+        }
+    }
+    println!();
+    println!("expected: the single-epoch layout polls during split-point updates");
+    println!("(owner polls > 0) where the two-epoch layout avoids it (§4.2).");
+}

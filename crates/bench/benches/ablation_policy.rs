@@ -1,0 +1,56 @@
+//! Ablation (§2 / [17]): steal-volume policy — steal-half vs steal-one
+//! vs steal-quarter.
+//!
+//! The paper adopts steal-half, citing Hendler & Shavit's result that
+//! taking half the available work best balances steal-attempt count
+//! against work dispersion. SWS's single-fetch-add protocol supports any
+//! volume schedule that is a pure function of `(itasks, asteals)`; this
+//! harness quantifies the choice on the fine-grained UTS workload.
+
+use sws_bench::{banner, ms, pe_sweep, runs_per_config};
+use sws_core::steal_half::StealPolicy;
+use sws_core::QueueConfig;
+use sws_sched::{run_workload, QueueKind, RunConfig, SchedConfig};
+use sws_workloads::uts::{UtsParams, UtsWorkload};
+
+fn main() {
+    let params = UtsParams::geo_small(11);
+    let oracle = params.sequential_count();
+    banner(
+        "Ablation steal policy",
+        &format!("half vs one vs quarter — UTS {} nodes", oracle.nodes),
+    );
+    let runs = runs_per_config().max(1);
+    println!(
+        "{:>6} {:>9} {:>14} {:>10} {:>14} {:>14}",
+        "PEs", "policy", "makespan(ms)", "steals", "steal(ms)", "search(ms)"
+    );
+    for &p in &pe_sweep() {
+        for (label, policy) in [
+            ("half", StealPolicy::Half),
+            ("quarter", StealPolicy::Quarter),
+            ("one", StealPolicy::One),
+        ] {
+            let mut mk = 0.0;
+            let (mut steals, mut steal_ms, mut search_ms) = (0u64, 0.0, 0.0);
+            for r in 0..runs {
+                let queue = QueueConfig::new(16384, 48).with_policy(policy);
+                let sched =
+                    SchedConfig::new(QueueKind::Sws, queue).with_seed(0x11CE + r as u64 * 7919);
+                let report = run_workload(&RunConfig::new(p, sched), &UtsWorkload::new(params));
+                assert_eq!(report.total_tasks(), oracle.nodes);
+                mk += ms(report.makespan_ns) / runs as f64;
+                steals += report.total_steals() / runs as u64;
+                steal_ms += ms(report.total_steal_ns()) / runs as f64;
+                search_ms += ms(report.total_search_ns()) / runs as f64;
+            }
+            println!(
+                "{:>6} {:>9} {:>14.3} {:>10} {:>14.3} {:>14.3}",
+                p, label, mk, steals, steal_ms, search_ms
+            );
+        }
+    }
+    println!();
+    println!("expected: steal-one needs far more steals (and search) to disperse");
+    println!("work; steal-half wins — the Hendler-Shavit tradeoff the paper cites.");
+}

@@ -1,0 +1,91 @@
+//! Figure 6: steal operation times for SDC and SWS vs. steal volume,
+//! with 24-byte and 192-byte tasks.
+//!
+//! A two-PE world: PE 0 advertises `2·V` tasks so the thief's steal-half
+//! claims exactly `V`; PE 1 performs one steal and we read its cost off
+//! the virtual clock. Deterministic — no averaging needed — with the
+//! EDR-InfiniBand-like network model.
+//!
+//! Expected shape (paper §5.1): at small volumes SWS ≈ half of SDC
+//! (2 blocking round trips vs 5); as the volume grows the task-copy
+//! bytes dominate both and the curves converge.
+
+use sws_bench::banner;
+use sws_core::{QueueConfig, SdcQueue, StealOutcome, StealQueue, SwsQueue};
+use sws_sched::QueueKind;
+use sws_shmem::{run_world, ShmemCtx, WorldConfig};
+use sws_workloads::synth::sized_task;
+
+/// One steal of volume `vol`: returns the thief's virtual steal cost in ns.
+fn steal_cost_ns(kind: QueueKind, task_bytes: usize, vol: usize) -> u64 {
+    let capacity = (4 * vol + 4).next_power_of_two().max(64);
+    let cfg = QueueConfig::new(capacity, task_bytes);
+    let heap = cfg.buffer_words() + cfg.capacity + 8192;
+    let out = run_world(WorldConfig::virtual_time(2, heap), |ctx| {
+        let mut q: Box<dyn StealQueue + '_> = match kind {
+            QueueKind::Sdc => Box::new(SdcQueue::new(ctx, cfg)),
+            QueueKind::Sws => Box::new(SwsQueue::new(ctx, cfg)),
+        };
+        run_one(ctx, q.as_mut(), task_bytes, vol)
+    })
+    .expect("fig6 world");
+    out.results[1]
+}
+
+fn run_one(ctx: &ShmemCtx, q: &mut dyn StealQueue, task_bytes: usize, vol: usize) -> u64 {
+    if ctx.my_pe() == 0 {
+        // Release exposes half the local portion, and the first steal
+        // takes half of that: enqueue 4·vol ⇒ advertise 2·vol ⇒ steal vol.
+        for i in 0..(4 * vol) as u64 {
+            assert!(q.enqueue(&sized_task(i, task_bytes)));
+        }
+        assert!(q.release(), "advertise 2·vol so the first steal takes vol");
+    }
+    ctx.barrier_all();
+    let mut cost = 0;
+    if ctx.my_pe() == 1 {
+        let t0 = ctx.now_ns();
+        match q.steal_from(0) {
+            StealOutcome::Got { tasks } => {
+                assert_eq!(tasks as usize, vol, "steal-half of 2·vol");
+            }
+            other => panic!("expected a successful steal, got {other:?}"),
+        }
+        cost = ctx.now_ns() - t0;
+    }
+    ctx.barrier_all();
+    cost
+}
+
+fn main() {
+    banner(
+        "Figure 6",
+        "steal operation time vs steal volume (24 B and 192 B tasks)",
+    );
+    let volumes: Vec<usize> = (0..15).map(|i| 1usize << i).collect(); // 1..16384
+    println!(
+        "{:>8} {:>12} {:>12} {:>7} {:>12} {:>12} {:>7}",
+        "volume", "SDC24(µs)", "SWS24(µs)", "ratio", "SDC192(µs)", "SWS192(µs)", "ratio"
+    );
+    for &v in &volumes {
+        let mut row = Vec::new();
+        for bytes in [24, 192] {
+            let sdc = steal_cost_ns(QueueKind::Sdc, bytes, v);
+            let sws = steal_cost_ns(QueueKind::Sws, bytes, v);
+            row.push((sdc, sws));
+        }
+        println!(
+            "{:>8} {:>12.2} {:>12.2} {:>7.2} {:>12.2} {:>12.2} {:>7.2}",
+            v,
+            row[0].0 as f64 / 1e3,
+            row[0].1 as f64 / 1e3,
+            row[0].0 as f64 / row[0].1 as f64,
+            row[1].0 as f64 / 1e3,
+            row[1].1 as f64 / 1e3,
+            row[1].0 as f64 / row[1].1 as f64,
+        );
+    }
+    println!();
+    println!("expected shape: ratio ≈ 2.5 at volume 1 (5 vs 2 blocking RTTs),");
+    println!("converging toward 1 as task-copy bytes dominate (paper §5.1).");
+}

@@ -1,0 +1,35 @@
+//! Figure 7 (a–f): the Bouncing Producer-Consumer benchmark across PE
+//! counts, SDC vs SWS.
+//!
+//! The paper runs 8,192 consumers per producer at depth 500 with 5 ms
+//! tasks on up to 2,112 cores; this harness keeps the workload *shape*
+//! (coarse consumers ≫ steal latency, producers bouncing along the steal
+//! side) at in-process scale: `128·scale` consumers per producer, depth
+//! 48, 500 µs consumers (see DESIGN.md §2). Override the sweep with
+//! `SWS_PES`, the run count with `SWS_RUNS`, the size with `SWS_SCALE`.
+//!
+//! Expected shapes (paper §5.3.1): SDC ≈ SWS in raw runtime at small PE
+//! counts (computation dominates), SWS pulling slightly ahead as the
+//! sweep widens (7a/7b); both efficient (7c); tiny run-to-run variation
+//! (7d); SWS steal time flat vs SDC's growth (7e); SWS search time lower
+//! (7f).
+
+use sws_bench::{scale, six_panels};
+use sws_core::QueueConfig;
+use sws_workloads::bpc::{BpcParams, BpcWorkload};
+
+fn main() {
+    let consumers = ((128.0 * scale()) as u32).max(8);
+    let depth = 48;
+    let params = BpcParams::scaled(consumers, depth);
+    six_panels(
+        "Fig7",
+        &format!(
+            "BPC: {depth} producers × {consumers} consumers, {} total tasks, avg task {:.2} ms",
+            params.total_tasks(),
+            params.avg_task_ns() / 1e6
+        ),
+        QueueConfig::new(8192, 32),
+        move |_run| BpcWorkload::new(params),
+    );
+}

@@ -1,0 +1,38 @@
+//! Figure 8 (a–f): the Unbalanced Tree Search benchmark across PE
+//! counts, SDC vs SWS.
+//!
+//! The paper searches a 270-billion-node tree (T1WL) on up to 2,112
+//! cores. This harness searches a tree of the same geometric family
+//! scaled to in-process size (~10⁵ nodes at the default depth limit 12;
+//! `SWS_SCALE=4` raises it to ~4·10⁵). UTS tasks are sub-µs, making
+//! this the steal-latency-sensitive workload.
+//!
+//! Expected shapes (paper §5.3.2): SWS ahead in throughput (8a) by
+//! roughly 5–10 % in runtime (8b); both efficient at scale with SWS
+//! keeping a small edge (8c); tiny variation (8d); steal times 3–4×
+//! lower for SWS (8e); SWS search time low and flat vs SDC's growth (8f).
+
+use sws_bench::{scale, six_panels};
+use sws_core::QueueConfig;
+use sws_workloads::uts::{UtsParams, UtsWorkload};
+
+fn main() {
+    let depth = match scale() {
+        s if s >= 4.0 => 14,
+        s if s >= 2.0 => 13,
+        s if s <= 0.3 => 10,
+        s if s <= 0.6 => 11,
+        _ => 12,
+    };
+    let params = UtsParams::geo_small(depth);
+    let oracle = params.sequential_count();
+    six_panels(
+        "Fig8",
+        &format!(
+            "UTS geometric(linear) depth {depth}: {} nodes, max depth {}, {} leaves",
+            oracle.nodes, oracle.max_depth, oracle.leaves
+        ),
+        QueueConfig::new(16384, 48),
+        move |_run| UtsWorkload::new(params),
+    );
+}

@@ -1,0 +1,52 @@
+//! Table 2: benchmarking workload characteristics — total tasks,
+//! average task time, and task size — for the paper's configurations
+//! and for the scaled configurations this reproduction runs.
+
+use sws_bench::banner;
+use sws_workloads::bpc::BpcParams;
+use sws_workloads::uts::UtsParams;
+
+fn main() {
+    banner("Table 2", "benchmarking workload characteristics");
+    println!(
+        "{:<28} {:>18} {:>16} {:>10}",
+        "benchmark", "total tasks", "avg task time", "task size"
+    );
+
+    // The paper's configurations (reported, not executed here — the
+    // BPC figure is closed-form, the UTS T1WL count is the paper's).
+    let bpc = BpcParams::paper();
+    println!(
+        "{:<28} {:>18} {:>13.2} ms {:>8} B   (paper §5.2.1)",
+        "BPC (paper)",
+        bpc.total_tasks(),
+        bpc.avg_task_ns() / 1e6,
+        32
+    );
+    println!(
+        "{:<28} {:>18} {:>13.5} ms {:>8} B   (paper Table 2, T1WL)",
+        "UTS (paper, T1WL)", 270_751_679_750u64, 0.00011, 48
+    );
+
+    // The scaled configurations the figures in this repo actually run.
+    let bpc_s = BpcParams::scaled(128, 48);
+    println!(
+        "{:<28} {:>18} {:>13.2} ms {:>8} B   (this repo, Fig 7)",
+        "BPC (scaled)",
+        bpc_s.total_tasks(),
+        bpc_s.avg_task_ns() / 1e6,
+        32
+    );
+    for depth in [10, 12, 14] {
+        let p = UtsParams::geo_small(depth);
+        let s = p.sequential_count();
+        println!(
+            "{:<28} {:>18} {:>13.5} ms {:>8} B   (this repo, depth {})",
+            format!("UTS (scaled, d={depth})"),
+            s.nodes,
+            p.node_ns as f64 / 1e6,
+            48,
+            depth
+        );
+    }
+}

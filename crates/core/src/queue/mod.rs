@@ -1,0 +1,214 @@
+//! Queue abstractions shared by the SDC baseline and SWS.
+
+pub(crate) mod buffer;
+pub mod sdc;
+pub mod sws;
+
+use serde::{Deserialize, Serialize};
+use sws_task::TaskDescriptor;
+
+use crate::steal_half::StealPolicy;
+use crate::stealval::Layout;
+
+/// Configuration common to both queue implementations.
+#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+pub struct QueueConfig {
+    /// Ring capacity in tasks. Must fit the stealval tail field
+    /// (≤ 2¹⁹ for the epoch layout).
+    pub capacity: usize,
+    /// Fixed task record size in 64-bit words (e.g. 3 for the paper's
+    /// 24-byte tasks, 24 for 192-byte tasks).
+    pub task_words: usize,
+    /// stealval layout: `Epochs` (Fig. 4, the paper's final design) or
+    /// `ValidBit` (Fig. 3, the §4.1 initial design used as an ablation).
+    pub layout: Layout,
+    /// Steal-volume schedule (the paper's steal-half by default).
+    pub policy: StealPolicy,
+    /// Virtual ns charged per release/acquire for the owner's local
+    /// bookkeeping (split update, completion-array reset).
+    pub split_update_ns: u64,
+}
+
+impl QueueConfig {
+    /// A queue of `capacity` tasks of `task_bytes` bytes each, using
+    /// completion epochs.
+    pub fn new(capacity: usize, task_bytes: usize) -> QueueConfig {
+        QueueConfig {
+            capacity,
+            task_words: TaskDescriptor::words_for(task_bytes),
+            layout: Layout::Epochs,
+            policy: StealPolicy::Half,
+            split_update_ns: 150,
+        }
+    }
+
+    /// Switch to the Fig. 3 single-epoch layout.
+    #[must_use]
+    pub fn with_layout(mut self, layout: Layout) -> QueueConfig {
+        self.layout = layout;
+        self
+    }
+
+    /// Select the steal-volume schedule.
+    #[must_use]
+    pub fn with_policy(mut self, policy: StealPolicy) -> QueueConfig {
+        self.policy = policy;
+        self
+    }
+
+    /// Words of symmetric heap the task buffer needs.
+    pub fn buffer_words(&self) -> usize {
+        self.capacity * self.task_words
+    }
+
+    /// Validate against the stealval field widths.
+    pub fn validate(&self) {
+        assert!(self.capacity > 0, "queue capacity must be nonzero");
+        assert!(self.task_words > 0, "task records must be at least a word");
+        assert!(
+            self.capacity <= self.layout.max_tail() as usize + 1,
+            "capacity {} exceeds the {}-bit tail field",
+            self.capacity,
+            self.layout.tail_bits()
+        );
+        assert!(
+            self.capacity <= self.layout.max_itasks() as usize,
+            "capacity {} exceeds the itasks field",
+            self.capacity
+        );
+    }
+}
+
+/// Result of one steal attempt against a target queue.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum StealOutcome {
+    /// Claimed and copied `tasks` tasks into the local queue.
+    Got {
+        /// Number of tasks stolen.
+        tasks: u64,
+    },
+    /// The target advertised no (remaining) work.
+    Empty,
+    /// The target's gate was closed (owner updating the split point);
+    /// worth retrying soon.
+    Closed,
+}
+
+/// Owner-side event counters for one queue (local bookkeeping, not
+/// communication — communication is counted by `sws-shmem`).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct QueueStats {
+    /// Tasks enqueued locally (spawns + stolen arrivals).
+    pub enqueued: u64,
+    /// Tasks popped locally.
+    pub popped: u64,
+    /// Release operations performed.
+    pub releases: u64,
+    /// Acquire operations that moved shared work back to the local
+    /// portion.
+    pub acquires: u64,
+    /// Acquire attempts that found no unclaimed shared work.
+    pub acquire_misses: u64,
+    /// Steal attempts this PE made against remote queues.
+    pub steal_attempts: u64,
+    /// Steal attempts that claimed and copied work.
+    pub steals_won: u64,
+    /// Tasks obtained by stealing.
+    pub tasks_stolen: u64,
+    /// Steal attempts aborted because the target was empty.
+    pub steals_empty: u64,
+    /// Steal attempts aborted because the target's gate was closed
+    /// (SWS) or its lock stayed contended until the abort check (SDC).
+    pub steals_closed: u64,
+    /// Times the owner had to poll for epoch completion (SWS) or for
+    /// in-flight steals to drain (Fig. 3 layout / SDC lock waits).
+    pub owner_polls: u64,
+    /// Tasks whose ring space has been reclaimed after steal completion.
+    pub reclaimed: u64,
+}
+
+/// The owner/thief interface both queue implementations provide.
+///
+/// One instance lives on each PE; symmetric addressing means any instance
+/// can steal from any peer's queue of the same shape.
+pub trait StealQueue {
+    /// Enqueue a locally spawned task. Returns `false` when the ring is
+    /// full even after reclaiming completed steals (caller should execute
+    /// the task inline — the standard Scioto fallback).
+    fn enqueue(&mut self, task: &TaskDescriptor) -> bool;
+
+    /// Pop the newest local task (LIFO — depth-first execution order).
+    /// Returns `None` when the local portion is empty; the caller should
+    /// then try [`StealQueue::acquire`] and, failing that, steal.
+    fn pop_local(&mut self) -> Option<TaskDescriptor>;
+
+    /// Tasks currently in the local portion.
+    fn local_count(&self) -> u64;
+
+    /// Owner's estimate of unclaimed tasks in the shared portion.
+    fn shared_estimate(&mut self) -> u64;
+
+    /// Move half the local tasks into the shared portion (paper: called
+    /// when the shared portion is empty but local work remains). Returns
+    /// `true` if tasks were exposed.
+    fn release(&mut self) -> bool;
+
+    /// Move unclaimed shared tasks back into the local portion (called
+    /// when the local portion is empty). Returns `true` if tasks were
+    /// recovered.
+    fn acquire(&mut self) -> bool;
+
+    /// Reclaim ring space for completed steals (the paper's periodic
+    /// "progress" operation).
+    fn progress(&mut self);
+
+    /// Attempt to steal from `target`'s queue, enqueueing stolen tasks
+    /// locally.
+    fn steal_from(&mut self, target: usize) -> StealOutcome;
+
+    /// Read-only check whether `target` appears to have stealable work —
+    /// the damped probe of §4.3 (one atomic fetch, no claim).
+    fn probe(&self, target: usize) -> bool;
+
+    /// Owner-side event counters.
+    fn stats(&self) -> &QueueStats;
+
+    /// Flush any passive completion notifications (quiet).
+    fn flush_completions(&mut self);
+}
+
+impl StealQueue for Box<dyn StealQueue + '_> {
+    fn enqueue(&mut self, task: &TaskDescriptor) -> bool {
+        (**self).enqueue(task)
+    }
+    fn pop_local(&mut self) -> Option<TaskDescriptor> {
+        (**self).pop_local()
+    }
+    fn local_count(&self) -> u64 {
+        (**self).local_count()
+    }
+    fn shared_estimate(&mut self) -> u64 {
+        (**self).shared_estimate()
+    }
+    fn release(&mut self) -> bool {
+        (**self).release()
+    }
+    fn acquire(&mut self) -> bool {
+        (**self).acquire()
+    }
+    fn progress(&mut self) {
+        (**self).progress()
+    }
+    fn steal_from(&mut self, target: usize) -> StealOutcome {
+        (**self).steal_from(target)
+    }
+    fn probe(&self, target: usize) -> bool {
+        (**self).probe(target)
+    }
+    fn stats(&self) -> &QueueStats {
+        (**self).stats()
+    }
+    fn flush_completions(&mut self) {
+        (**self).flush_completions()
+    }
+}

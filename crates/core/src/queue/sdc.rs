@@ -1,0 +1,316 @@
+//! The baseline SDC queue (paper §3): Scioto's "Split queue, Deferred
+//! copy, Aborting steals", ported to one-sided operations.
+//!
+//! Heap layout per PE: a spinlock word, the published `tail` and `split`
+//! indices (absolute u64 counters — SDC has no bit-packing constraints),
+//! a completion ring (one word per task slot, keyed by a stolen block's
+//! starting slot), and the task buffer.
+//!
+//! A steal performs the six communications of Fig. 2:
+//!
+//! 1. acquire the remote spinlock (atomic compare-swap; while contended,
+//!    the thief polls the metadata and *aborts* if the queue drained —
+//!    the "aborting steals" optimization);
+//! 2. fetch `tail` and `split` (one 16-byte get);
+//! 3. publish the new `tail` (put);
+//! 4. release the lock (atomic);
+//! 5. copy the stolen records (get, gathered across the ring wrap);
+//! 6. signal completion (passive atomic put — the "deferred copy"),
+//!    letting the owner reclaim ring space lazily in `progress`.
+//!
+//! Five of the six block the thief; only the completion signal is
+//! passive. Owner-side `release` needs no lock (it only grows `split`
+//! while the shared portion is empty); `acquire` must take the lock
+//! because thieves race on `tail`/`split` consistency.
+
+use sws_shmem::{ShmemCtx, SymAddr};
+use sws_task::TaskDescriptor;
+
+use crate::queue::buffer::TaskBuffer;
+use crate::queue::{QueueConfig, QueueStats, StealOutcome, StealQueue};
+
+/// Word offsets of the SDC metadata block.
+const LOCK: usize = 0;
+const TAIL: usize = 1;
+const SPLIT: usize = 2;
+const META_WORDS: usize = 3;
+
+
+/// One PE's SDC task queue.
+pub struct SdcQueue<'a> {
+    ctx: &'a ShmemCtx,
+    cfg: QueueConfig,
+    meta: SymAddr,
+    comp: SymAddr,
+    buf: TaskBuffer,
+    /// Next enqueue slot (absolute).
+    head: u64,
+    /// First local task (absolute, owner's mirror of the published split).
+    split: u64,
+    /// Everything below this (absolute) has been reclaimed.
+    reclaimed: u64,
+    stats: QueueStats,
+    scratch: Vec<u64>,
+}
+
+impl<'a> SdcQueue<'a> {
+    /// Collectively construct one queue per PE (identical `cfg` everywhere).
+    pub fn new(ctx: &'a ShmemCtx, cfg: QueueConfig) -> SdcQueue<'a> {
+        cfg.validate();
+        let meta = ctx.alloc_words(META_WORDS);
+        let comp = ctx.alloc_words(cfg.capacity);
+        let buf_addr = ctx.alloc_words(cfg.buffer_words());
+        // lock = 0, tail = 0, split = 0 — the heap is zeroed, but publish
+        // explicitly for clarity.
+        ctx.local_write_words(meta, &[0, 0, 0]);
+        ctx.barrier_all();
+        SdcQueue {
+            ctx,
+            cfg,
+            meta,
+            comp,
+            buf: TaskBuffer::new(buf_addr, cfg.capacity, cfg.task_words),
+            head: 0,
+            split: 0,
+            reclaimed: 0,
+            stats: QueueStats::default(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The queue's configuration.
+    pub fn config(&self) -> &QueueConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn live_span(&self) -> u64 {
+        self.head - self.reclaimed
+    }
+
+    #[inline]
+    fn lock_addr(&self) -> SymAddr {
+        self.meta.offset(LOCK)
+    }
+
+    #[inline]
+    fn tail_addr(&self) -> SymAddr {
+        self.meta.offset(TAIL)
+    }
+
+    #[inline]
+    fn split_addr(&self) -> SymAddr {
+        self.meta.offset(SPLIT)
+    }
+
+    /// Completion-ring slot for a stolen block starting at absolute
+    /// index `tail`.
+    #[inline]
+    fn comp_slot(&self, tail: u64) -> SymAddr {
+        self.comp.offset(self.buf.ring().slot(tail))
+    }
+
+    /// Owner: read the published tail (thieves advance it remotely).
+    fn read_tail(&self) -> u64 {
+        self.ctx.atomic_fetch(self.ctx.my_pe(), self.tail_addr())
+    }
+
+    /// Owner: spin on our own queue lock (needed by `acquire`; thieves
+    /// hold it during their metadata update).
+    fn lock_own(&mut self) {
+        let me = self.ctx.my_pe();
+        loop {
+            if self.ctx.atomic_compare_swap(me, self.lock_addr(), 0, 1) == 0 {
+                return;
+            }
+            self.stats.owner_polls += 1;
+        }
+    }
+
+    fn unlock_own(&self) {
+        self.ctx.atomic_set(self.ctx.my_pe(), self.lock_addr(), 0);
+    }
+}
+
+impl StealQueue for SdcQueue<'_> {
+    fn enqueue(&mut self, task: &TaskDescriptor) -> bool {
+        if self.live_span() >= self.cfg.capacity as u64 {
+            self.progress();
+            if self.live_span() >= self.cfg.capacity as u64 {
+                return false;
+            }
+        }
+        self.buf.write_local(self.ctx, self.head, task);
+        self.head += 1;
+        self.stats.enqueued += 1;
+        true
+    }
+
+    fn pop_local(&mut self) -> Option<TaskDescriptor> {
+        if self.split == self.head {
+            return None;
+        }
+        self.head -= 1;
+        self.stats.popped += 1;
+        Some(self.buf.read_local(self.ctx, self.head))
+    }
+
+    fn local_count(&self) -> u64 {
+        self.head - self.split
+    }
+
+    fn shared_estimate(&mut self) -> u64 {
+        self.split - self.read_tail()
+    }
+
+    fn release(&mut self) -> bool {
+        let nlocal = self.local_count();
+        if nlocal == 0 {
+            return false;
+        }
+        // Lock-free release is only safe when the shared portion is
+        // empty: a concurrent thief sees either the empty queue (aborts)
+        // or the grown split (steals from it) — both consistent.
+        if self.read_tail() < self.split {
+            return false;
+        }
+        let k = nlocal - nlocal / 2;
+        self.split += k;
+        self.ctx
+            .atomic_set(self.ctx.my_pe(), self.split_addr(), self.split);
+        self.ctx.compute(self.cfg.split_update_ns);
+        self.stats.releases += 1;
+        true
+    }
+
+    fn acquire(&mut self) -> bool {
+        debug_assert_eq!(
+            self.split, self.head,
+            "acquire requires an empty local portion"
+        );
+        // Thieves mutate tail under the lock, so the owner must take it
+        // to move the split point down consistently (§3.1).
+        self.lock_own();
+        let tail = self.read_tail();
+        let avail = self.split - tail;
+        if avail == 0 {
+            self.unlock_own();
+            self.stats.acquire_misses += 1;
+            return false;
+        }
+        let take = avail - avail / 2;
+        self.split -= take;
+        self.ctx
+            .atomic_set(self.ctx.my_pe(), self.split_addr(), self.split);
+        self.unlock_own();
+        self.ctx.compute(self.cfg.split_update_ns);
+        self.stats.acquires += 1;
+        true
+    }
+
+    fn progress(&mut self) {
+        // Deferred-copy reclaim: follow the chain of completion records
+        // starting at the reclaim watermark; each finished block wrote its
+        // volume into the slot named by its starting index.
+        let me = self.ctx.my_pe();
+        loop {
+            if self.reclaimed == self.head {
+                return;
+            }
+            // Stop at the shared/local boundary: slots at and above the
+            // published tail are live.
+            let slot = self.comp_slot(self.reclaimed);
+            let v = self.ctx.atomic_fetch(me, slot);
+            if v == 0 {
+                return;
+            }
+            self.ctx.atomic_set(me, slot, 0);
+            self.reclaimed += v;
+            self.stats.reclaimed += v;
+            debug_assert!(self.reclaimed <= self.head, "reclaim ran past head");
+        }
+    }
+
+    fn steal_from(&mut self, target: usize) -> StealOutcome {
+        debug_assert_ne!(target, self.ctx.my_pe(), "stealing from self");
+        self.stats.steal_attempts += 1;
+
+        // 1. Lock, with abort checking while contended.
+        loop {
+            let prev = self
+                .ctx
+                .atomic_compare_swap(target, self.lock_addr(), 0, 1);
+            if prev == 0 {
+                break;
+            }
+            {
+                // Aborting steals: peek at the metadata without the lock;
+                // if the queue drained, give up instead of queueing on
+                // the lock (§3.1).
+                let mut meta = [0u64; 2];
+                self.ctx.get_words(target, self.tail_addr(), &mut meta);
+                let (tail, split) = (meta[0], meta[1]);
+                if tail >= split {
+                    self.stats.steals_closed += 1;
+                    return StealOutcome::Closed;
+                }
+            }
+        }
+
+        // 2. Fetch tail and split (contiguous: one 16-byte get).
+        let mut meta = [0u64; 2];
+        self.ctx.get_words(target, self.tail_addr(), &mut meta);
+        let (tail, split) = (meta[0], meta[1]);
+        let avail = split - tail;
+        if avail == 0 {
+            self.ctx.atomic_set(target, self.lock_addr(), 0);
+            self.stats.steals_empty += 1;
+            return StealOutcome::Empty;
+        }
+        let vol = self.cfg.policy.volume(avail, 0).max(1);
+
+        // 3. Publish the new tail; 4. unlock.
+        self.ctx.put_words(target, self.tail_addr(), &[tail + vol]);
+        self.ctx.atomic_set(target, self.lock_addr(), 0);
+
+        // Make room locally before landing the block.
+        while self.live_span() + vol > self.cfg.capacity as u64 {
+            self.stats.owner_polls += 1;
+            self.progress();
+            self.ctx.compute(100);
+        }
+
+        // 5. Copy the stolen records.
+        let start = self.buf.ring().slot(tail);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.buf
+            .steal_copy(self.ctx, target, start, vol as usize, &mut scratch);
+
+        // 6. Deferred completion signal (passive).
+        self.ctx.atomic_set_nbi(target, self.comp_slot(tail), vol);
+
+        self.buf
+            .write_local_block(self.ctx, self.head, vol as usize, &scratch);
+        self.head += vol;
+        self.scratch = scratch;
+
+        self.stats.steals_won += 1;
+        self.stats.tasks_stolen += vol;
+        self.stats.enqueued += vol;
+        StealOutcome::Got { tasks: vol }
+    }
+
+    fn probe(&self, target: usize) -> bool {
+        let mut meta = [0u64; 2];
+        self.ctx.get_words(target, self.tail_addr(), &mut meta);
+        meta[0] < meta[1]
+    }
+
+    fn stats(&self) -> &QueueStats {
+        &self.stats
+    }
+
+    fn flush_completions(&mut self) {
+        self.ctx.quiet();
+    }
+}

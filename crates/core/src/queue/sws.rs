@@ -1,0 +1,468 @@
+//! The SWS queue (paper §4): structured-atomic work stealing.
+//!
+//! All metadata a thief needs lives in one 64-bit [`stealval`](crate::stealval)
+//! in the symmetric heap. A steal is:
+//!
+//! 1. remote **atomic fetch-add** of [`ASTEAL_UNIT`] — discovers *and*
+//!    claims the next block (volume and offset follow from the
+//!    steal-half arithmetic alone);
+//! 2. one blocking **get** of the claimed records (gathering across the
+//!    ring wrap if needed);
+//! 3. one **passive atomic put** of the block volume into the target's
+//!    completion array — the owner reconciles asynchronously.
+//!
+//! Three communications, two blocking — half of SDC's six (Fig. 2).
+//!
+//! The owner keeps absolute indices `reclaimed ≤ … ≤ split ≤ head`:
+//! `[split, head)` is the private local portion, everything below `split`
+//! down to `reclaimed` is shared-side state (unclaimed, claimed-in-flight,
+//! or finished-but-not-yet-reclaimed blocks). Each release/acquire closes
+//! the current *completion epoch* and advertises a fresh one; per-epoch
+//! completion arrays let the owner move the split point while steals are
+//! still in flight (§4.2, Fig. 5). With the Fig. 3 `ValidBit` layout there
+//! is a single epoch, so the owner polls until in-flight steals drain —
+//! the §4.1 behaviour, kept as an ablation.
+
+use std::collections::VecDeque;
+
+use sws_shmem::{ShmemCtx, SymAddr};
+use sws_task::TaskDescriptor;
+
+use crate::queue::buffer::TaskBuffer;
+use crate::queue::{QueueConfig, QueueStats, StealOutcome, StealQueue};
+use crate::steal_half::StealPolicy;
+use crate::stealval::{Gate, StealVal, ASTEAL_UNIT};
+
+/// Owner bookkeeping for one advertisement (one use of a completion-array
+/// slot set). Records retire strictly front-to-back so `reclaimed` only
+/// ever advances over a contiguous finished prefix of the ring.
+#[derive(Debug)]
+struct EpochRec {
+    /// Which completion-array slot set this advertisement uses.
+    slot: usize,
+    /// Absolute index of the advertisement's first task.
+    tail: u64,
+    /// Tasks advertised.
+    itasks: u64,
+    /// Steals claimed against it (live for the open record, fixed at
+    /// close time otherwise).
+    claimed_steals: u64,
+    /// Leading steals confirmed finished via the completion array.
+    finished_prefix: u64,
+    /// Still the live advertisement?
+    open: bool,
+}
+
+/// One PE's SWS task queue. Constructed collectively; symmetric
+/// addressing lets any instance steal from any peer afterwards.
+pub struct SwsQueue<'a> {
+    ctx: &'a ShmemCtx,
+    cfg: QueueConfig,
+    policy: StealPolicy,
+    /// Completion-array slots per epoch (policy-dependent).
+    slots_per_epoch: usize,
+    sv_addr: SymAddr,
+    comp_addr: SymAddr,
+    buf: TaskBuffer,
+    /// Next enqueue slot (absolute).
+    head: u64,
+    /// First local task (absolute); `[split, head)` is the local portion.
+    split: u64,
+    /// Everything below this (absolute) has been reclaimed.
+    reclaimed: u64,
+    /// Advertisement history, oldest first; the back entry is open iff an
+    /// advertisement is live.
+    epochs: VecDeque<EpochRec>,
+    /// Slot sets referenced by records still in `epochs` (must not be
+    /// handed to a new advertisement that posts completions).
+    slot_busy: Vec<bool>,
+    stats: QueueStats,
+    scratch: Vec<u64>,
+}
+
+impl<'a> SwsQueue<'a> {
+    /// Collectively construct one queue per PE (all PEs must call this
+    /// with identical `cfg`).
+    pub fn new(ctx: &'a ShmemCtx, cfg: QueueConfig) -> SwsQueue<'a> {
+        cfg.validate();
+        let n_slots = cfg.layout.n_epochs();
+        let slots_per_epoch = cfg.policy.slot_budget();
+        let sv_addr = ctx.alloc_words(1);
+        let comp_addr = ctx.alloc_words(n_slots * slots_per_epoch);
+        let buf_addr = ctx.alloc_words(cfg.buffer_words());
+        // Advertise an open, empty epoch 0.
+        ctx.atomic_set(ctx.my_pe(), sv_addr, cfg.layout.encode(StealVal::empty()));
+        ctx.barrier_all();
+
+        let mut slot_busy = vec![false; n_slots];
+        slot_busy[0] = true;
+        let mut epochs = VecDeque::new();
+        epochs.push_back(EpochRec {
+            slot: 0,
+            tail: 0,
+            itasks: 0,
+            claimed_steals: 0,
+            finished_prefix: 0,
+            open: true,
+        });
+        SwsQueue {
+            ctx,
+            cfg,
+            policy: cfg.policy,
+            slots_per_epoch,
+            sv_addr,
+            comp_addr,
+            buf: TaskBuffer::new(buf_addr, cfg.capacity, cfg.task_words),
+            head: 0,
+            split: 0,
+            reclaimed: 0,
+            epochs,
+            slot_busy,
+            stats: QueueStats::default(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The queue's configuration.
+    pub fn config(&self) -> &QueueConfig {
+        &self.cfg
+    }
+
+    /// Address of completion slot `steal` of completion-array set `slot`
+    /// (valid on every PE — symmetric).
+    #[inline]
+    fn comp_slot(&self, slot: usize, steal: u64) -> SymAddr {
+        debug_assert!((steal as usize) < self.slots_per_epoch);
+        self.comp_addr
+            .offset(slot * self.slots_per_epoch + steal as usize)
+    }
+
+    /// Ring slots currently in use (live tasks + claimed blocks whose
+    /// space has not been reclaimed yet).
+    #[inline]
+    fn live_span(&self) -> u64 {
+        self.head - self.reclaimed
+    }
+
+    /// Whether an open advertisement currently exists.
+    fn has_open(&self) -> bool {
+        self.epochs.back().is_some_and(|e| e.open)
+    }
+
+    /// Read the live stealval — a charged local atomic; the owner pays the
+    /// NIC-loopback access just as on real hardware.
+    fn read_sv(&self) -> StealVal {
+        let raw = self.ctx.atomic_fetch(self.ctx.my_pe(), self.sv_addr);
+        self.cfg.layout.decode(raw)
+    }
+
+    /// Clamp a raw asteals counter to the number of meaningful claims.
+    fn clamp_claims(&self, itasks: u64, sv: &StealVal) -> u64 {
+        (sv.asteals as u64).min(self.policy.max_steals(itasks))
+    }
+
+    /// Retire finished advertisements (front-to-back) and advance
+    /// `reclaimed` over the longest fully-finished prefix of steal blocks
+    /// (§4.2: "all completion arrays are traversed to account for the
+    /// longest sequence of fully completed steals").
+    fn reclaim(&mut self) {
+        loop {
+            let (n_claimed, itasks, open) = match self.epochs.front() {
+                None => return,
+                Some(front) if front.open => {
+                    let sv = self.read_sv();
+                    (self.clamp_claims(front.itasks, &sv), front.itasks, true)
+                }
+                Some(front) => (front.claimed_steals, front.itasks, false),
+            };
+            let slot = self.epochs.front().expect("checked").slot;
+            while self.epochs.front().expect("checked").finished_prefix < n_claimed {
+                let s = self.epochs.front().expect("checked").finished_prefix;
+                let v = self.ctx.atomic_fetch(self.ctx.my_pe(), self.comp_slot(slot, s));
+                if v == 0 {
+                    break; // steal `s` still in flight
+                }
+                debug_assert_eq!(
+                    v,
+                    self.policy.volume(itasks, s),
+                    "completion volume mismatch"
+                );
+                self.epochs.front_mut().expect("checked").finished_prefix += 1;
+                self.reclaimed += v;
+                self.stats.reclaimed += v;
+            }
+            let front = self.epochs.front().expect("checked");
+            if !open && front.finished_prefix == front.claimed_steals {
+                self.slot_busy[slot] = false;
+                self.epochs.pop_front();
+                continue;
+            }
+            return;
+        }
+    }
+
+    /// Close the open advertisement given an authoritative stealval;
+    /// returns its number of unclaimed tasks. The record stays queued
+    /// (its slot stays busy) until `reclaim` retires it in order.
+    fn close_open(&mut self, sv: &StealVal) -> u64 {
+        let policy = self.policy;
+        let rec = self.epochs.back_mut().expect("an open advertisement");
+        debug_assert!(rec.open);
+        let claimed = (sv.asteals as u64).min(policy.max_steals(rec.itasks));
+        rec.claimed_steals = claimed;
+        rec.open = false;
+        let unclaimed = rec.itasks - policy.claimed_before(rec.itasks, claimed);
+        self.reclaim();
+        unclaimed
+    }
+
+    /// Pick a completion-array slot set for a new advertisement, polling
+    /// until one frees up. With a single epoch (the Fig. 3 layout) this
+    /// is exactly §4.1's wait-for-in-flight-steals-to-drain.
+    fn wait_for_free_slot(&mut self) -> usize {
+        loop {
+            if let Some(s) = (0..self.slot_busy.len()).find(|&s| !self.slot_busy[s]) {
+                return s;
+            }
+            self.stats.owner_polls += 1;
+            self.reclaim();
+            // reclaim() issues charged local atomics, so virtual time
+            // advances and in-flight thieves can complete; the extra
+            // compute charge guards against a zero-cost no-op poll.
+            self.ctx.compute(100);
+        }
+    }
+
+    /// Publish a new advertisement of `itasks` tasks starting at absolute
+    /// index `tail`, under completion-slot set `slot`.
+    fn advertise(&mut self, slot: usize, tail: u64, itasks: u64) {
+        // Zero the slots this advertisement can receive completions in,
+        // *before* thieves can see it.
+        for s in 0..self.policy.max_steals(itasks) {
+            self.ctx
+                .atomic_set(self.ctx.my_pe(), self.comp_slot(slot, s), 0);
+        }
+        let sv = StealVal {
+            asteals: 0,
+            gate: Gate::Open { epoch: slot as u8 },
+            itasks: itasks as u32,
+            tail: self.buf.ring().slot(tail) as u32,
+        };
+        self.ctx
+            .atomic_set(self.ctx.my_pe(), self.sv_addr, self.cfg.layout.encode(sv));
+        self.slot_busy[slot] = true;
+        self.epochs.push_back(EpochRec {
+            slot,
+            tail,
+            itasks,
+            claimed_steals: 0,
+            finished_prefix: 0,
+            open: true,
+        });
+    }
+}
+
+impl StealQueue for SwsQueue<'_> {
+    fn enqueue(&mut self, task: &TaskDescriptor) -> bool {
+        if self.live_span() >= self.cfg.capacity as u64 {
+            self.progress();
+            if self.live_span() >= self.cfg.capacity as u64 {
+                return false;
+            }
+        }
+        self.buf.write_local(self.ctx, self.head, task);
+        self.head += 1;
+        self.stats.enqueued += 1;
+        true
+    }
+
+    fn pop_local(&mut self) -> Option<TaskDescriptor> {
+        if self.split == self.head {
+            return None;
+        }
+        self.head -= 1;
+        self.stats.popped += 1;
+        Some(self.buf.read_local(self.ctx, self.head))
+    }
+
+    fn local_count(&self) -> u64 {
+        self.head - self.split
+    }
+
+    fn shared_estimate(&mut self) -> u64 {
+        if !self.has_open() {
+            return 0;
+        }
+        let sv = self.read_sv();
+        let rec = self.epochs.back().expect("open advertisement");
+        let claimed = (sv.asteals as u64).min(self.policy.max_steals(rec.itasks));
+        rec.itasks - self.policy.claimed_before(rec.itasks, claimed)
+    }
+
+    fn release(&mut self) -> bool {
+        let nlocal = self.local_count();
+        if nlocal == 0 {
+            return false;
+        }
+        // Release only when the shared portion is fully claimed — that
+        // precondition is what makes the lock-free stealval reset safe
+        // (a racing thief of the stale advertisement gets volume 0).
+        if self.has_open() {
+            let sv = self.read_sv();
+            let rec = self.epochs.back().expect("open advertisement");
+            let claimed = (sv.asteals as u64).min(self.policy.max_steals(rec.itasks));
+            if self.policy.claimed_before(rec.itasks, claimed) < rec.itasks {
+                return false; // unclaimed shared work remains
+            }
+            self.close_open(&sv);
+        }
+        // Expose the older half of the local portion, capped so the
+        // advertisement's steal count fits its completion-slot set.
+        let k = (nlocal - nlocal / 2)
+            .min(self.policy.max_advert(self.cfg.layout.max_itasks() as u64));
+        let slot = self.wait_for_free_slot();
+        let tail = self.split;
+        self.split += k;
+        self.advertise(slot, tail, k);
+        self.ctx.compute(self.cfg.split_update_ns);
+        self.stats.releases += 1;
+        true
+    }
+
+    fn acquire(&mut self) -> bool {
+        debug_assert_eq!(
+            self.split, self.head,
+            "acquire requires an empty local portion"
+        );
+        if !self.has_open() {
+            self.stats.acquire_misses += 1;
+            return false;
+        }
+        // Disable steals: swap in a closed gate; the returned word is the
+        // authoritative claim count ("upon starting an acquire operation,
+        // stealing is temporarily disabled", §4.1).
+        let closed = self.cfg.layout.encode(StealVal {
+            asteals: 0,
+            gate: Gate::Closed,
+            itasks: 0,
+            tail: 0,
+        });
+        let raw = self.ctx.atomic_swap(self.ctx.my_pe(), self.sv_addr, closed);
+        let sv = self.cfg.layout.decode(raw);
+        debug_assert!(
+            matches!(sv.gate, Gate::Open { .. }),
+            "only the owner closes the gate"
+        );
+
+        let (rec_tail, rec_itasks, rec_slot) = {
+            let rec = self.epochs.back().expect("open advertisement");
+            (rec.tail, rec.itasks, rec.slot)
+        };
+        let unclaimed = self.close_open(&sv);
+        let claimed_vol = rec_itasks - unclaimed;
+
+        if unclaimed == 0 {
+            // Nothing to recover; reopen an empty advertisement so thieves
+            // see "empty" rather than "locked". An empty advertisement
+            // never receives completions, so reusing the same slot set is
+            // safe even while its previous use is still draining.
+            self.advertise(rec_slot, self.split, 0);
+            self.stats.acquire_misses += 1;
+            return false;
+        }
+
+        // Take the newer half of the unclaimed region back into the local
+        // portion; re-advertise the rest under a fresh epoch (Fig. 5),
+        // capped to the policy's advertisement limit.
+        let cap = self.policy.max_advert(self.cfg.layout.max_itasks() as u64);
+        let keep = (unclaimed / 2).min(cap);
+        let take = unclaimed - keep;
+        self.split -= take;
+        let new_tail = rec_tail + claimed_vol;
+        let slot = if keep == 0 {
+            rec_slot // empty advertisement: slot reuse is safe (above)
+        } else {
+            self.wait_for_free_slot()
+        };
+        self.advertise(slot, new_tail, keep);
+        self.ctx.compute(self.cfg.split_update_ns);
+        self.stats.acquires += 1;
+        true
+    }
+
+    fn progress(&mut self) {
+        self.reclaim();
+    }
+
+    fn steal_from(&mut self, target: usize) -> StealOutcome {
+        debug_assert_ne!(target, self.ctx.my_pe(), "stealing from self");
+        self.stats.steal_attempts += 1;
+
+        // 1. One atomic fetch-add: discover AND claim.
+        let raw = self.ctx.atomic_fetch_add(target, self.sv_addr, ASTEAL_UNIT);
+        let sv = self.cfg.layout.decode(raw);
+        let epoch = match sv.gate {
+            Gate::Closed => {
+                self.stats.steals_closed += 1;
+                return StealOutcome::Closed;
+            }
+            Gate::Open { epoch } => epoch,
+        };
+        let itasks = sv.itasks as u64;
+        let a = sv.asteals as u64;
+        if a >= self.policy.max_steals(itasks) {
+            self.stats.steals_empty += 1;
+            return StealOutcome::Empty;
+        }
+        let vol = self.policy.volume(itasks, a);
+        let offset = self.policy.claimed_before(itasks, a);
+
+        // Make room locally before landing the block (our own previous
+        // advertisements may still hold unreclaimed ring space).
+        while self.live_span() + vol > self.cfg.capacity as u64 {
+            self.stats.owner_polls += 1;
+            self.reclaim();
+            self.ctx.compute(100);
+        }
+
+        // 2. One get (gathered across the ring wrap if needed).
+        let start = self.buf.ring().slot(sv.tail as u64 + offset);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.buf
+            .steal_copy(self.ctx, target, start, vol as usize, &mut scratch);
+
+        // 3. Passive completion notification; the owner reconciles later.
+        self.ctx
+            .atomic_set_nbi(target, self.comp_slot(epoch as usize, a), vol);
+
+        // Land the block in our local portion.
+        self.buf
+            .write_local_block(self.ctx, self.head, vol as usize, &scratch);
+        self.head += vol;
+        self.scratch = scratch;
+
+        self.stats.steals_won += 1;
+        self.stats.tasks_stolen += vol;
+        self.stats.enqueued += vol;
+        StealOutcome::Got { tasks: vol }
+    }
+
+    fn probe(&self, target: usize) -> bool {
+        let raw = self.ctx.atomic_fetch(target, self.sv_addr);
+        let sv = self.cfg.layout.decode(raw);
+        match sv.gate {
+            Gate::Closed => true, // owner mid-update: work may appear
+            Gate::Open { .. } => {
+                (sv.asteals as u64) < self.policy.max_steals(sv.itasks as u64)
+            }
+        }
+    }
+
+    fn stats(&self) -> &QueueStats {
+        &self.stats
+    }
+
+    fn flush_completions(&mut self) {
+        self.ctx.quiet();
+    }
+}

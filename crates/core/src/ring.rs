@@ -1,0 +1,170 @@
+//! Circular-buffer index arithmetic.
+//!
+//! Both queues store task records in a fixed circular buffer in the
+//! symmetric heap. Owners track *absolute* (monotonically increasing)
+//! indices — head, split, reclaimed — and map them to ring slots on
+//! access; thieves receive a ring index in the metadata and handle
+//! wrap-around locally ("since task queues are of symmetric size, wrapping
+//! steals can be determined locally, without communication", §4).
+
+/// Index arithmetic for a ring of `capacity` task slots.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Ring {
+    capacity: usize,
+}
+
+/// A block of `len` slots starting at ring index `start`, split into at
+/// most two contiguous runs by the wrap point.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RingRange {
+    /// First run: (start slot, length).
+    pub first: (usize, usize),
+    /// Second run after the wrap, if the block wraps: (0, length).
+    pub second: Option<(usize, usize)>,
+}
+
+impl Ring {
+    /// Ring over `capacity` slots.
+    pub fn new(capacity: usize) -> Ring {
+        assert!(capacity > 0, "ring capacity must be nonzero");
+        Ring { capacity }
+    }
+
+    /// Number of slots.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Ring slot of absolute index `abs`.
+    #[inline]
+    pub fn slot(&self, abs: u64) -> usize {
+        (abs % self.capacity as u64) as usize
+    }
+
+    /// The (at most two) contiguous runs covering `len` slots starting at
+    /// ring slot `start`.
+    ///
+    /// # Panics
+    /// Panics if `len > capacity` (a block can never exceed the ring) or
+    /// `start` is out of range.
+    pub fn range(&self, start: usize, len: usize) -> RingRange {
+        assert!(start < self.capacity, "start {start} out of range");
+        assert!(
+            len <= self.capacity,
+            "block of {len} exceeds ring capacity {}",
+            self.capacity
+        );
+        if start + len <= self.capacity {
+            RingRange {
+                first: (start, len),
+                second: None,
+            }
+        } else {
+            let first_len = self.capacity - start;
+            RingRange {
+                first: (start, first_len),
+                second: Some((0, len - first_len)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn unwrapped_block() {
+        let r = Ring::new(16);
+        assert_eq!(
+            r.range(3, 5),
+            RingRange {
+                first: (3, 5),
+                second: None
+            }
+        );
+    }
+
+    #[test]
+    fn exactly_to_the_edge_does_not_wrap() {
+        let r = Ring::new(16);
+        assert_eq!(
+            r.range(12, 4),
+            RingRange {
+                first: (12, 4),
+                second: None
+            }
+        );
+    }
+
+    #[test]
+    fn wrapped_block() {
+        let r = Ring::new(16);
+        assert_eq!(
+            r.range(14, 5),
+            RingRange {
+                first: (14, 2),
+                second: Some((0, 3))
+            }
+        );
+    }
+
+    #[test]
+    fn full_ring_block() {
+        let r = Ring::new(8);
+        assert_eq!(
+            r.range(0, 8),
+            RingRange {
+                first: (0, 8),
+                second: None
+            }
+        );
+        assert_eq!(
+            r.range(5, 8),
+            RingRange {
+                first: (5, 3),
+                second: Some((0, 5))
+            }
+        );
+    }
+
+    #[test]
+    fn slot_wraps_absolute_indices() {
+        let r = Ring::new(10);
+        assert_eq!(r.slot(0), 0);
+        assert_eq!(r.slot(9), 9);
+        assert_eq!(r.slot(10), 0);
+        assert_eq!(r.slot(25), 5);
+        assert_eq!(r.slot(u64::MAX), (u64::MAX % 10) as usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds ring capacity")]
+    fn oversized_block_rejected() {
+        Ring::new(4).range(0, 5);
+    }
+
+    proptest! {
+        #[test]
+        fn runs_cover_exactly_the_block(cap in 1usize..200, start in 0usize..200, len in 0usize..200) {
+            let start = start % cap;
+            let len = len % (cap + 1);
+            let r = Ring::new(cap);
+            let rr = r.range(start, len);
+            // Lengths sum to len.
+            let total = rr.first.1 + rr.second.map_or(0, |s| s.1);
+            prop_assert_eq!(total, len);
+            // Runs enumerate the same slots as abs-index iteration.
+            let mut slots = Vec::new();
+            slots.extend(rr.first.0..rr.first.0 + rr.first.1);
+            if let Some((s, l)) = rr.second {
+                prop_assert_eq!(s, 0);
+                slots.extend(s..s + l);
+            }
+            let expect: Vec<usize> = (0..len).map(|i| r.slot((start + i) as u64)).collect();
+            prop_assert_eq!(slots, expect);
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! Steal-half arithmetic.
+//!
+//! Work-stealing performs best taking half the available work per steal
+//! (Hendler & Shavit; paper §2). In SWS the *attempted-steals counter
+//! alone* determines both the volume and the position of the block a thief
+//! claims: with `T` tasks initially shared, steal `a` (0-based) takes
+//! `max(1, remaining/2)` where `remaining = T - claimed_before(T, a)`.
+//!
+//! The paper's worked example (§4): `T = 150` yields the steal sequence
+//! `{75, 37, 19, 9, 5, 2, 1, 1, 1}` — nine steals exhausting the queue.
+//!
+//! These are pure functions of `(T, a)`, so the thief computes its block
+//! locally from the single fetched word — the heart of the one-round-trip
+//! steal.
+
+/// Number of tasks claimed by steal number `asteal` (0-based) against an
+/// advertisement of `initial` tasks. Zero when nothing remains.
+pub fn volume(initial: u64, asteal: u64) -> u64 {
+    let mut rem = initial;
+    let mut i = 0;
+    while rem > 0 {
+        let take = (rem / 2).max(1);
+        if i == asteal {
+            return take;
+        }
+        rem -= take;
+        i += 1;
+    }
+    0
+}
+
+/// Total tasks claimed by steals `0..asteal` against `initial` tasks
+/// (i.e. the offset of steal `asteal`'s block from the advertised tail).
+pub fn claimed_before(initial: u64, asteal: u64) -> u64 {
+    let mut rem = initial;
+    let mut claimed = 0;
+    let mut i = 0;
+    while rem > 0 && i < asteal {
+        let take = (rem / 2).max(1);
+        claimed += take;
+        rem -= take;
+        i += 1;
+    }
+    claimed
+}
+
+/// Number of steals needed to exhaust `initial` tasks — the point past
+/// which an attempted steal finds nothing ("if the number of attempted
+/// steals is greater than log₂ of the initial tasks, no work remains").
+pub fn max_steals(initial: u64) -> u64 {
+    let mut rem = initial;
+    let mut i = 0;
+    while rem > 0 {
+        rem -= (rem / 2).max(1);
+        i += 1;
+    }
+    i
+}
+
+/// Upper bound on `max_steals` for any `initial` a queue can advertise
+/// (19-bit itasks field ⇒ ≤ 2¹⁹−1 tasks ⇒ ≤ 20 steals). Used to size
+/// completion arrays; one extra slot of headroom.
+pub const MAX_STEAL_SLOTS: usize = 21;
+
+/// How much of the remaining advertised work one steal claims.
+///
+/// SWS's single-fetch-add protocol works for *any* volume schedule that
+/// is a pure function of `(itasks, asteal)` — the thief derives its
+/// block locally from the fetched word. Steal-half is what the paper
+/// (and Hendler & Shavit) show to be the sweet spot; the alternatives
+/// exist for the `ablation_policy` experiment.
+///
+/// Because each advertisement owns a fixed completion-array slot set,
+/// policies with more steals per advertisement must cap the
+/// advertisement size ([`StealPolicy::max_advert`]) to fit
+/// [`StealPolicy::slot_budget`] slots.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub enum StealPolicy {
+    /// Take `max(1, remaining/2)` — the paper's policy.
+    Half,
+    /// Take a single task per steal (Cilk-style granularity).
+    One,
+    /// Take `max(1, remaining/4)` — a gentler split.
+    Quarter,
+}
+
+impl StealPolicy {
+    /// Tasks claimed by steal `asteal` (0-based) of an advertisement of
+    /// `initial` tasks; 0 when nothing remains.
+    pub fn volume(self, initial: u64, asteal: u64) -> u64 {
+        match self {
+            StealPolicy::Half => volume(initial, asteal),
+            StealPolicy::One => u64::from(asteal < initial),
+            StealPolicy::Quarter => {
+                let mut rem = initial;
+                let mut i = 0;
+                while rem > 0 {
+                    let take = (rem / 4).max(1);
+                    if i == asteal {
+                        return take;
+                    }
+                    rem -= take;
+                    i += 1;
+                }
+                0
+            }
+        }
+    }
+
+    /// Sum of volumes of steals `0..asteal`.
+    pub fn claimed_before(self, initial: u64, asteal: u64) -> u64 {
+        match self {
+            StealPolicy::Half => claimed_before(initial, asteal),
+            StealPolicy::One => asteal.min(initial),
+            StealPolicy::Quarter => {
+                let mut rem = initial;
+                let mut claimed = 0;
+                let mut i = 0;
+                while rem > 0 && i < asteal {
+                    let take = (rem / 4).max(1);
+                    claimed += take;
+                    rem -= take;
+                    i += 1;
+                }
+                claimed
+            }
+        }
+    }
+
+    /// Steals needed to exhaust `initial` tasks.
+    pub fn max_steals(self, initial: u64) -> u64 {
+        match self {
+            StealPolicy::Half => max_steals(initial),
+            StealPolicy::One => initial,
+            StealPolicy::Quarter => {
+                let mut rem = initial;
+                let mut i = 0;
+                while rem > 0 {
+                    rem -= (rem / 4).max(1);
+                    i += 1;
+                }
+                i
+            }
+        }
+    }
+
+    /// Completion-array slots reserved per advertisement.
+    pub fn slot_budget(self) -> usize {
+        match self {
+            StealPolicy::Half => MAX_STEAL_SLOTS,
+            StealPolicy::One => 64,
+            StealPolicy::Quarter => 64,
+        }
+    }
+
+    /// Largest advertisement whose steal count fits the slot budget.
+    pub fn max_advert(self, field_limit: u64) -> u64 {
+        match self {
+            StealPolicy::Half => field_limit, // ≤ 20 steals for 2^19 tasks
+            StealPolicy::One => (self.slot_budget() as u64).min(field_limit),
+            StealPolicy::Quarter => {
+                // slot_budget steals of ≥ remaining/4 each exhaust any
+                // advertisement up to this bound; find it by doubling.
+                let budget = self.slot_budget() as u64;
+                let mut hi = 1u64;
+                while hi < field_limit && self.max_steals(hi * 2) <= budget {
+                    hi *= 2;
+                }
+                hi.min(field_limit)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_example_sequence() {
+        let expect = [75u64, 37, 19, 9, 5, 2, 1, 1, 1];
+        for (a, &want) in expect.iter().enumerate() {
+            assert_eq!(volume(150, a as u64), want, "steal {a}");
+        }
+        assert_eq!(max_steals(150), 9);
+        assert_eq!(volume(150, 9), 0);
+        assert_eq!(volume(150, 1_000_000), 0);
+    }
+
+    #[test]
+    fn paper_example_offsets() {
+        // Third steal (a = 2) starts at tail + 75 + 37 = tail + 112 and
+        // takes 19 tasks (§4's worked example with tail = 500 → index 612).
+        assert_eq!(claimed_before(150, 2), 112);
+        assert_eq!(500 + claimed_before(150, 2), 612);
+        assert_eq!(volume(150, 2), 19);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(max_steals(0), 0);
+        assert_eq!(volume(0, 0), 0);
+        assert_eq!(claimed_before(0, 5), 0);
+
+        assert_eq!(volume(1, 0), 1);
+        assert_eq!(max_steals(1), 1);
+
+        assert_eq!(volume(2, 0), 1);
+        assert_eq!(volume(2, 1), 1);
+        assert_eq!(max_steals(2), 2);
+
+        assert_eq!(volume(3, 0), 1);
+        assert_eq!(volume(3, 1), 1);
+        assert_eq!(volume(3, 2), 1);
+        assert_eq!(max_steals(3), 3);
+    }
+
+    #[test]
+    fn slots_bound_covers_max_itasks() {
+        let max_itasks = (1u64 << 19) - 1;
+        assert!(max_steals(max_itasks) as usize <= MAX_STEAL_SLOTS);
+        // And the bound is tight-ish, not wildly oversized.
+        assert!(max_steals(max_itasks) as usize >= MAX_STEAL_SLOTS - 2);
+    }
+
+    proptest! {
+        #[test]
+        fn volumes_partition_the_initial_tasks(initial in 0u64..=(1 << 19) - 1) {
+            let n = max_steals(initial);
+            let total: u64 = (0..n).map(|a| volume(initial, a)).sum();
+            prop_assert_eq!(total, initial);
+            prop_assert_eq!(claimed_before(initial, n), initial);
+            prop_assert_eq!(volume(initial, n), 0);
+        }
+
+        #[test]
+        fn volumes_are_nonincreasing(initial in 1u64..=(1 << 19) - 1) {
+            let n = max_steals(initial);
+            for a in 1..n {
+                prop_assert!(volume(initial, a) <= volume(initial, a - 1));
+            }
+            prop_assert!(volume(initial, 0) >= 1);
+        }
+
+        #[test]
+        fn claimed_is_prefix_sum(initial in 0u64..=(1 << 19) - 1, a in 0u64..25) {
+            let by_sum: u64 = (0..a).map(|i| volume(initial, i)).sum();
+            prop_assert_eq!(claimed_before(initial, a), by_sum);
+        }
+
+        #[test]
+        fn first_steal_takes_half(initial in 2u64..=(1 << 19) - 1) {
+            prop_assert_eq!(volume(initial, 0), initial / 2);
+        }
+
+        #[test]
+        fn max_steals_is_logarithmic(initial in 1u64..=(1 << 19) - 1) {
+            let n = max_steals(initial);
+            // ~log2(T) + small tail; certainly within the slot bound.
+            prop_assert!(n <= 64 - initial.leading_zeros() as u64 + 2);
+            prop_assert!(n as usize <= MAX_STEAL_SLOTS);
+        }
+    }
+}
+
+#[cfg(test)]
+mod policy_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const POLICIES: [StealPolicy; 3] =
+        [StealPolicy::Half, StealPolicy::One, StealPolicy::Quarter];
+
+    #[test]
+    fn half_policy_matches_free_functions() {
+        for t in [0u64, 1, 2, 150, 1000] {
+            for a in 0..12 {
+                assert_eq!(StealPolicy::Half.volume(t, a), volume(t, a));
+                assert_eq!(
+                    StealPolicy::Half.claimed_before(t, a),
+                    claimed_before(t, a)
+                );
+            }
+            assert_eq!(StealPolicy::Half.max_steals(t), max_steals(t));
+        }
+    }
+
+    #[test]
+    fn one_policy_takes_single_tasks() {
+        let p = StealPolicy::One;
+        assert_eq!(p.volume(5, 0), 1);
+        assert_eq!(p.volume(5, 4), 1);
+        assert_eq!(p.volume(5, 5), 0);
+        assert_eq!(p.claimed_before(5, 3), 3);
+        assert_eq!(p.max_steals(5), 5);
+    }
+
+    #[test]
+    fn advert_caps_fit_slot_budgets() {
+        for p in POLICIES {
+            let cap = p.max_advert((1 << 19) - 1);
+            assert!(cap >= 1);
+            assert!(
+                p.max_steals(cap) <= p.slot_budget() as u64,
+                "{p:?}: {} steals for advert {cap} exceeds {} slots",
+                p.max_steals(cap),
+                p.slot_budget()
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn policies_partition_the_advertisement(
+            initial in 0u64..=4096,
+            policy_idx in 0usize..3,
+        ) {
+            let p = POLICIES[policy_idx];
+            let n = p.max_steals(initial);
+            let total: u64 = (0..n).map(|a| p.volume(initial, a)).sum();
+            prop_assert_eq!(total, initial);
+            prop_assert_eq!(p.claimed_before(initial, n), initial);
+            prop_assert_eq!(p.volume(initial, n), 0);
+        }
+
+        #[test]
+        fn policy_claimed_is_prefix_sum(
+            initial in 0u64..=4096,
+            a in 0u64..64,
+            policy_idx in 0usize..3,
+        ) {
+            let p = POLICIES[policy_idx];
+            let by_sum: u64 = (0..a).map(|i| p.volume(initial, i)).sum();
+            prop_assert_eq!(p.claimed_before(initial, a), by_sum);
+        }
+    }
+}

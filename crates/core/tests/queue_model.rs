@@ -1,0 +1,228 @@
+//! Model-based property tests: random owner-operation sequences against
+//! a reference multiset model (single PE — no thieves), and randomized
+//! two-PE steal scripts. The invariant under test is conservation: every
+//! enqueued task is popped or stolen exactly once, never duplicated,
+//! never lost, across any interleaving of release/acquire/progress.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+use sws_core::{QueueConfig, SdcQueue, StealOutcome, StealQueue, SwsQueue};
+use sws_shmem::{run_world, ShmemCtx, WorldConfig};
+use sws_task::TaskDescriptor;
+
+#[derive(Copy, Clone, Debug)]
+enum Op {
+    Enqueue,
+    Pop,
+    Release,
+    Acquire,
+    Progress,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => Just(Op::Enqueue),
+        3 => Just(Op::Pop),
+        1 => Just(Op::Release),
+        1 => Just(Op::Acquire),
+        1 => Just(Op::Progress),
+    ]
+}
+
+fn task(tag: u64) -> TaskDescriptor {
+    TaskDescriptor::new(1, &tag.to_le_bytes())
+}
+
+fn tag_of(t: &TaskDescriptor) -> u64 {
+    u64::from_le_bytes(t.payload().try_into().unwrap())
+}
+
+/// Drive one queue through `ops` on a single PE and check conservation.
+fn drive_single_pe(ops: &[Op], use_sws: bool) {
+    let world = WorldConfig::virtual_time(1, 1 << 14);
+    let ops = ops.to_vec();
+    run_world(world, move |ctx| {
+        let cfg = QueueConfig::new(64, 24);
+        let mut q: Box<dyn StealQueue + '_> = if use_sws {
+            Box::new(SwsQueue::new(ctx, cfg))
+        } else {
+            Box::new(SdcQueue::new(ctx, cfg))
+        };
+        let mut next_tag = 0u64;
+        // tag -> times seen popped (model: every tag exactly once).
+        let mut outstanding: BTreeMap<u64, ()> = BTreeMap::new();
+        let mut popped: Vec<u64> = Vec::new();
+
+        for &op in &ops {
+            match op {
+                Op::Enqueue => {
+                    if q.enqueue(&task(next_tag)) {
+                        outstanding.insert(next_tag, ());
+                    }
+                    next_tag += 1;
+                }
+                Op::Pop => {
+                    if let Some(t) = q.pop_local() {
+                        let tag = tag_of(&t);
+                        assert!(
+                            outstanding.remove(&tag).is_some(),
+                            "popped unknown or duplicate tag {tag}"
+                        );
+                        popped.push(tag);
+                    }
+                }
+                Op::Release => {
+                    let _ = q.release();
+                }
+                Op::Acquire => {
+                    if q.local_count() == 0 {
+                        let _ = q.acquire();
+                    }
+                }
+                Op::Progress => q.progress(),
+            }
+            // Structural invariant: the queue's view of live tasks equals
+            // the model's outstanding count.
+            let live = q.local_count() + q.shared_estimate();
+            assert_eq!(
+                live as usize,
+                outstanding.len(),
+                "queue live count diverged from model"
+            );
+        }
+        // Drain: everything outstanding must come back exactly once.
+        loop {
+            while let Some(t) = q.pop_local() {
+                let tag = tag_of(&t);
+                assert!(outstanding.remove(&tag).is_some(), "duplicate {tag}");
+            }
+            if q.local_count() == 0 && !q.acquire() {
+                break;
+            }
+        }
+        assert!(
+            outstanding.is_empty(),
+            "lost tasks: {:?}",
+            outstanding.keys().collect::<Vec<_>>()
+        );
+    })
+    .unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sws_owner_ops_conserve_tasks(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        drive_single_pe(&ops, true);
+    }
+
+    #[test]
+    fn sdc_owner_ops_conserve_tasks(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        drive_single_pe(&ops, false);
+    }
+
+    #[test]
+    fn two_pe_random_steal_scripts_conserve_tasks(
+        batches in prop::collection::vec(1u64..30, 1..8),
+        steal_rounds in 1u32..12,
+        use_sws in any::<bool>(),
+    ) {
+        let total: u64 = batches.iter().sum();
+        let batches2 = batches.clone();
+        let out = run_world(WorldConfig::virtual_time(2, 1 << 15), move |ctx| {
+            let cfg = QueueConfig::new(128, 24);
+            let mut q: Box<dyn StealQueue + '_> = if use_sws {
+                Box::new(SwsQueue::new(ctx, cfg))
+            } else {
+                Box::new(SdcQueue::new(ctx, cfg))
+            };
+            let mut got: Vec<u64> = Vec::new();
+            let mut next_tag = 0u64;
+            for (round, &batch) in batches2.iter().enumerate() {
+                if ctx.my_pe() == 0 {
+                    for _ in 0..batch {
+                        assert!(q.enqueue(&task(next_tag)));
+                        next_tag += 1;
+                    }
+                    let _ = q.release();
+                } else {
+                    next_tag += batch;
+                }
+                ctx.barrier_all();
+                if ctx.my_pe() == 1 {
+                    for _ in 0..steal_rounds {
+                        match q.steal_from(0) {
+                            StealOutcome::Got { .. } => {
+                                while let Some(t) = q.pop_local() {
+                                    got.push(tag_of(&t));
+                                }
+                            }
+                            _ => break,
+                        }
+                    }
+                    q.flush_completions();
+                }
+                ctx.barrier_all();
+                if ctx.my_pe() == 0 {
+                    // Owner drains what remains of this round.
+                    loop {
+                        while let Some(t) = q.pop_local() {
+                            got.push(tag_of(&t));
+                        }
+                        if q.local_count() == 0 && !q.acquire() {
+                            break;
+                        }
+                    }
+                    let _ = round;
+                }
+                ctx.barrier_all();
+            }
+            got
+        })
+        .unwrap();
+        let mut all: Vec<u64> = out.results.into_iter().flatten().collect();
+        all.sort_unstable();
+        let expect: Vec<u64> = (0..total).collect();
+        prop_assert_eq!(all, expect);
+    }
+}
+
+/// Deterministic regression companion to the proptests: a fixed nasty
+/// sequence that exercises release-into-acquire churn on a tiny ring.
+#[test]
+fn churn_on_tiny_ring() {
+    use Op::*;
+    let ops = [
+        Enqueue, Enqueue, Enqueue, Enqueue, Release, Enqueue, Pop, Pop, Pop, Acquire, Pop,
+        Release, Enqueue, Enqueue, Acquire, Pop, Pop, Progress, Release, Acquire, Pop, Pop,
+    ];
+    drive_single_pe(&ops, true);
+    drive_single_pe(&ops, false);
+}
+
+/// Helper used by drive_single_pe must exist for both modes; smoke-check
+/// the threaded path too (conservation under real concurrency is covered
+/// by the protocol tests).
+#[test]
+fn threaded_single_pe_smoke() {
+    run_world(WorldConfig::threaded(1, 1 << 14), |ctx: &ShmemCtx| {
+        let mut q = SwsQueue::new(ctx, QueueConfig::new(32, 24));
+        for i in 0..10 {
+            assert!(q.enqueue(&task(i)));
+        }
+        q.release();
+        let mut n = 0;
+        loop {
+            while q.pop_local().is_some() {
+                n += 1;
+            }
+            if !q.acquire() {
+                break;
+            }
+        }
+        assert_eq!(n, 10);
+    })
+    .unwrap();
+}

@@ -1,0 +1,118 @@
+//! Steal damping (paper §4.3).
+//!
+//! Every claiming fetch-add against an exhausted queue still bumps its
+//! 24-bit asteals counter; after ~16.7 M fruitless attempts the counter
+//! would wrap and make the queue look refilled. Damping prevents that:
+//! once a target is observed empty it enters *empty-mode*, and further
+//! attempts against it start with a read-only probe — only if the probe
+//! shows fresh work does the thief return the target to *full-mode* and
+//! risk a claiming fetch-add.
+//!
+//! The paper found damping costs nothing measurable when overflow is far
+//! away; the `ablation_damping` bench reproduces that claim.
+
+/// Per-target full/empty mode tracking for one thief.
+pub struct DampingState {
+    enabled: bool,
+    /// `true` = empty-mode (probe before claiming).
+    empty_mode: Vec<bool>,
+    /// Consecutive empty observations needed to enter empty-mode.
+    threshold: u32,
+    /// Consecutive empty observations per target.
+    empty_streak: Vec<u32>,
+}
+
+impl DampingState {
+    /// Damping for `n_pes` targets; `enabled = false` makes every check a
+    /// no-op (the ablation configuration).
+    pub fn new(n_pes: usize, enabled: bool) -> DampingState {
+        DampingState {
+            enabled,
+            empty_mode: vec![false; n_pes],
+            threshold: 1,
+            empty_streak: vec![0; n_pes],
+        }
+    }
+
+    /// Require `k` consecutive empty observations before damping a target.
+    #[must_use]
+    pub fn with_threshold(mut self, k: u32) -> DampingState {
+        self.threshold = k.max(1);
+        self
+    }
+
+    /// Should a steal against `target` start with a read-only probe?
+    pub fn should_probe(&self, target: usize) -> bool {
+        self.enabled && self.empty_mode[target]
+    }
+
+    /// Record that `target` was observed with no stealable work.
+    pub fn observed_empty(&mut self, target: usize) {
+        if !self.enabled {
+            return;
+        }
+        self.empty_streak[target] = self.empty_streak[target].saturating_add(1);
+        if self.empty_streak[target] >= self.threshold {
+            self.empty_mode[target] = true;
+        }
+    }
+
+    /// Record that `target` had (or yielded) work — return to full-mode.
+    pub fn observed_work(&mut self, target: usize) {
+        if !self.enabled {
+            return;
+        }
+        self.empty_streak[target] = 0;
+        self.empty_mode[target] = false;
+    }
+
+    /// Number of targets currently in empty-mode (for reporting).
+    pub fn empty_mode_count(&self) -> usize {
+        self.empty_mode.iter().filter(|&&b| b).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enters_empty_mode_after_threshold() {
+        let mut d = DampingState::new(4, true).with_threshold(2);
+        assert!(!d.should_probe(1));
+        d.observed_empty(1);
+        assert!(!d.should_probe(1), "below threshold");
+        d.observed_empty(1);
+        assert!(d.should_probe(1), "at threshold");
+        assert_eq!(d.empty_mode_count(), 1);
+    }
+
+    #[test]
+    fn work_observation_restores_full_mode() {
+        let mut d = DampingState::new(2, true);
+        d.observed_empty(0);
+        assert!(d.should_probe(0));
+        d.observed_work(0);
+        assert!(!d.should_probe(0));
+        assert_eq!(d.empty_mode_count(), 0);
+    }
+
+    #[test]
+    fn disabled_damping_never_probes() {
+        let mut d = DampingState::new(3, false);
+        for _ in 0..10 {
+            d.observed_empty(2);
+        }
+        assert!(!d.should_probe(2));
+        assert_eq!(d.empty_mode_count(), 0);
+    }
+
+    #[test]
+    fn targets_are_independent() {
+        let mut d = DampingState::new(3, true);
+        d.observed_empty(0);
+        assert!(d.should_probe(0));
+        assert!(!d.should_probe(1));
+        assert!(!d.should_probe(2));
+    }
+}

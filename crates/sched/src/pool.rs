@@ -1,0 +1,175 @@
+//! The Scioto-style task-pool surface (paper §2.1).
+//!
+//! [`run_workload`](crate::run_workload) is the one-shot experiment
+//! entry point; [`TaskPool`] is the embeddable form for SPMD programs
+//! that interleave task-pool phases with their own one-sided
+//! communication — the shape of a real Scioto/SWS application:
+//!
+//! ```
+//! use sws_core::QueueConfig;
+//! use sws_sched::pool::TaskPool;
+//! use sws_sched::{QueueKind, SchedConfig, TaskCtx};
+//! use sws_shmem::{run_world, WorldConfig};
+//! use sws_task::{TaskDescriptor, TaskRegistry};
+//!
+//! let out = run_world(WorldConfig::virtual_time(4, 1 << 16), |ctx| {
+//!     let mut reg: TaskRegistry<TaskCtx> = TaskRegistry::new();
+//!     reg.register(1, |tctx, payload| {
+//!         let n = payload[0];
+//!         tctx.compute(1_000);
+//!         if n > 0 {
+//!             tctx.spawn(TaskDescriptor::new(1, &[n - 1]));
+//!             tctx.spawn(TaskDescriptor::new(1, &[n - 1]));
+//!         }
+//!     });
+//!     let sched = SchedConfig::new(QueueKind::Sws, QueueConfig::new(512, 24));
+//!     let mut pool = TaskPool::create(ctx, &reg, sched);
+//!     if ctx.my_pe() == 0 {
+//!         pool.add_task(TaskDescriptor::new(1, &[6]));
+//!     }
+//!     let stats = pool.process(); // runs to global termination
+//!     stats.tasks_executed
+//! })
+//! .unwrap();
+//! assert_eq!(out.results.iter().sum::<u64>(), (1 << 7) - 1);
+//! ```
+//!
+//! Pool phases are collective: every PE must create the pool (same
+//! order, same configuration) and call [`TaskPool::process`], which
+//! returns only after *global* termination. Multiple pool phases may
+//! run in one world; each allocates fresh symmetric state.
+
+use sws_core::{SdcQueue, StealQueue, SwsQueue};
+use sws_shmem::ShmemCtx;
+use sws_task::{TaskDescriptor, TaskRegistry};
+
+use crate::config::{QueueKind, SchedConfig};
+use crate::report::WorkerStats;
+use crate::taskctx::TaskCtx;
+use crate::termination::make_td;
+use crate::worker::Worker;
+
+/// An embeddable task pool: seed tasks, then process to termination.
+pub struct TaskPool<'r, 'a> {
+    worker: Worker<'r, 'a, Box<dyn StealQueue + 'a>>,
+}
+
+impl<'r, 'a> TaskPool<'r, 'a> {
+    /// Collectively create a pool (all PEs, identical `sched`).
+    pub fn create(
+        ctx: &'a ShmemCtx,
+        registry: &'r TaskRegistry<TaskCtx<'a>>,
+        sched: SchedConfig,
+    ) -> TaskPool<'r, 'a> {
+        let queue: Box<dyn StealQueue + 'a> = match sched.kind {
+            QueueKind::Sws => Box::new(SwsQueue::new(ctx, sched.queue)),
+            QueueKind::Sdc => Box::new(SdcQueue::new(ctx, sched.queue)),
+        };
+        let td = make_td(ctx, sched.td);
+        TaskPool {
+            worker: Worker::new(ctx, queue, registry, td, sched),
+        }
+    }
+
+    /// Seed one task into this PE's queue (call before `process`).
+    pub fn add_task(&mut self, task: TaskDescriptor) {
+        self.worker.seed(&[task]);
+    }
+
+    /// Seed several tasks into this PE's queue.
+    pub fn add_tasks(&mut self, tasks: &[TaskDescriptor]) {
+        self.worker.seed(tasks);
+    }
+
+    /// Process the pool to *global* termination (collective); returns
+    /// this PE's scheduler statistics.
+    pub fn process(self) -> WorkerStats {
+        self.worker.run().0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sws_core::QueueConfig;
+    use sws_shmem::{run_world, WorldConfig};
+
+    fn fib_registry<'a>() -> TaskRegistry<TaskCtx<'a>> {
+        let mut reg: TaskRegistry<TaskCtx<'a>> = TaskRegistry::new();
+        reg.register(9, |tctx, p| {
+            let n = p[0];
+            tctx.compute(300);
+            if n >= 2 {
+                tctx.spawn(TaskDescriptor::new(9, &[n - 1]));
+                tctx.spawn(TaskDescriptor::new(9, &[n - 2]));
+            }
+        });
+        reg
+    }
+
+    /// Task count of the naive Fibonacci call tree.
+    fn fib_calls(n: u64) -> u64 {
+        if n < 2 {
+            1
+        } else {
+            1 + fib_calls(n - 1) + fib_calls(n - 2)
+        }
+    }
+
+    #[test]
+    fn pool_runs_to_global_termination() {
+        let out = run_world(WorldConfig::virtual_time(4, 1 << 16), |ctx| {
+            let reg = fib_registry();
+            let sched = SchedConfig::new(QueueKind::Sws, QueueConfig::new(1024, 24));
+            let mut pool = TaskPool::create(ctx, &reg, sched);
+            if ctx.my_pe() == 0 {
+                pool.add_task(TaskDescriptor::new(9, &[10]));
+            }
+            pool.process().tasks_executed
+        })
+        .unwrap();
+        assert_eq!(out.results.iter().sum::<u64>(), fib_calls(10));
+    }
+
+    #[test]
+    fn two_pool_phases_in_one_world() {
+        let out = run_world(WorldConfig::virtual_time(3, 1 << 16), |ctx| {
+            let reg = fib_registry();
+            let mut totals = Vec::new();
+            for phase in 0..2u8 {
+                let sched =
+                    SchedConfig::new(QueueKind::Sws, QueueConfig::new(512, 24));
+                let mut pool = TaskPool::create(ctx, &reg, sched);
+                if ctx.my_pe() == phase as usize {
+                    pool.add_task(TaskDescriptor::new(9, &[8]));
+                }
+                totals.push(pool.process().tasks_executed);
+                ctx.barrier_all();
+            }
+            totals
+        })
+        .unwrap();
+        for phase in 0..2 {
+            let total: u64 = out.results.iter().map(|v| v[phase]).sum();
+            assert_eq!(total, fib_calls(8), "phase {phase}");
+        }
+    }
+
+    #[test]
+    fn sdc_pool_works_too() {
+        let out = run_world(WorldConfig::virtual_time(2, 1 << 16), |ctx| {
+            let reg = fib_registry();
+            let sched = SchedConfig::new(QueueKind::Sdc, QueueConfig::new(512, 24));
+            let mut pool = TaskPool::create(ctx, &reg, sched);
+            if ctx.my_pe() == 0 {
+                pool.add_tasks(&[
+                    TaskDescriptor::new(9, &[7]),
+                    TaskDescriptor::new(9, &[7]),
+                ]);
+            }
+            pool.process().tasks_executed
+        })
+        .unwrap();
+        assert_eq!(out.results.iter().sum::<u64>(), 2 * fib_calls(7));
+    }
+}

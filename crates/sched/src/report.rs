@@ -1,0 +1,218 @@
+//! Timing decomposition and run reports — the quantities the paper's
+//! figures plot.
+//!
+//! The paper's convention (§5.3): "we treat steal time as time spent
+//! performing successful steal operations and search time as time spent
+//! looking for work. Failed steal attempts are treated as searches and
+//! successful attempts as steals." Whole-program time is "the maximum
+//! runtime of any process" since all PEs run until global termination.
+
+use serde::{Deserialize, Serialize};
+use sws_core::QueueStats;
+use sws_shmem::{OpStats, StatsSummary};
+
+use crate::trace::Event;
+
+/// Per-PE scheduler timing and event counts.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct WorkerStats {
+    /// Tasks executed by this PE.
+    pub tasks_executed: u64,
+    /// Time spent executing task bodies, ns.
+    pub task_ns: u64,
+    /// Time spent in successful steal operations, ns.
+    pub steal_ns: u64,
+    /// Time spent searching (failed attempts, probes, termination
+    /// polling while idle), ns.
+    pub search_ns: u64,
+    /// Time spent in release/acquire/progress queue upkeep, ns.
+    pub upkeep_ns: u64,
+    /// Virtual time at which this PE first obtained work (dissemination
+    /// latency; 0 for PEs seeded directly).
+    pub first_work_ns: u64,
+    /// Final virtual clock of this PE (its runtime).
+    pub runtime_ns: u64,
+    /// Queue-level counters.
+    pub queue: QueueStats,
+    /// Event trace (empty unless `SchedConfig::trace` was set).
+    pub events: Vec<Event>,
+}
+
+/// Everything one experiment run produced.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Label of the queue implementation ("SWS"/"SDC").
+    pub system: String,
+    /// Number of PEs.
+    pub n_pes: usize,
+    /// Whole-program runtime: max over PEs of the final virtual clock, ns.
+    pub makespan_ns: u64,
+    /// Per-PE scheduler stats, rank order.
+    pub workers: Vec<WorkerStats>,
+    /// Communication statistics (per PE and aggregate).
+    pub comm: StatsSummary,
+    /// Wall-clock time the simulation itself took.
+    pub wall_ms: u64,
+}
+
+impl RunReport {
+    /// Total tasks executed across PEs.
+    pub fn total_tasks(&self) -> u64 {
+        self.workers.iter().map(|w| w.tasks_executed).sum()
+    }
+
+    /// Total task-body time across PEs (the "useful work"), ns.
+    pub fn total_task_ns(&self) -> u64 {
+        self.workers.iter().map(|w| w.task_ns).sum()
+    }
+
+    /// Task throughput in tasks per virtual second.
+    pub fn throughput_per_s(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            return 0.0;
+        }
+        self.total_tasks() as f64 / (self.makespan_ns as f64 / 1e9)
+    }
+
+    /// Parallel efficiency relative to ideal execution: ideal runtime is
+    /// `total useful work / P`; efficiency = ideal / actual (the paper's
+    /// Figs. 7c/8c).
+    pub fn parallel_efficiency(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            return 1.0;
+        }
+        let ideal = self.total_task_ns() as f64 / self.n_pes as f64;
+        ideal / self.makespan_ns as f64
+    }
+
+    /// Sum of successful-steal time across PEs, ns (Figs. 7e/8e).
+    pub fn total_steal_ns(&self) -> u64 {
+        self.workers.iter().map(|w| w.steal_ns).sum()
+    }
+
+    /// Sum of search time across PEs, ns (Figs. 7f/8f).
+    pub fn total_search_ns(&self) -> u64 {
+        self.workers.iter().map(|w| w.search_ns).sum()
+    }
+
+    /// Total steals won across PEs.
+    pub fn total_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.queue.steals_won).sum()
+    }
+
+    /// Mean time of one successful steal operation, ns.
+    pub fn mean_steal_op_ns(&self) -> f64 {
+        let n = self.total_steals();
+        if n == 0 {
+            return 0.0;
+        }
+        self.total_steal_ns() as f64 / n as f64
+    }
+
+    /// Aggregate communication counters.
+    pub fn total_comm(&self) -> &OpStats {
+        &self.comm.total
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{:>4} PEs {}: makespan {:>10.3} ms, {:>9} tasks, {:>8.0} tasks/s, eff {:>5.1}%, steals {:>6}, steal {:>8.3} ms, search {:>8.3} ms",
+            self.n_pes,
+            self.system,
+            self.makespan_ns as f64 / 1e6,
+            self.total_tasks(),
+            self.throughput_per_s(),
+            self.parallel_efficiency() * 100.0,
+            self.total_steals(),
+            self.total_steal_ns() as f64 / 1e6,
+            self.total_search_ns() as f64 / 1e6,
+        )
+    }
+}
+
+/// Mean and population standard deviation of a sample.
+pub fn mean_sd(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(workers: Vec<WorkerStats>, makespan: u64) -> RunReport {
+        let n = workers.len();
+        RunReport {
+            system: "SWS".into(),
+            n_pes: n,
+            makespan_ns: makespan,
+            workers,
+            comm: StatsSummary::default(),
+            wall_ms: 0,
+        }
+    }
+
+    #[test]
+    fn efficiency_and_throughput() {
+        let w = |tasks, task_ns| WorkerStats {
+            tasks_executed: tasks,
+            task_ns,
+            ..WorkerStats::default()
+        };
+        // 2 PEs, 1000 ns of work each, makespan 1250 ns ⇒ ideal 1000,
+        // efficiency 80 %.
+        let r = report_with(vec![w(10, 1000), w(10, 1000)], 1250);
+        assert!((r.parallel_efficiency() - 0.8).abs() < 1e-9);
+        assert_eq!(r.total_tasks(), 20);
+        let tput = r.throughput_per_s();
+        assert!((tput - 20.0 / 1.25e-6).abs() / tput < 1e-9);
+    }
+
+    #[test]
+    fn steal_aggregates() {
+        let mut a = WorkerStats {
+            steal_ns: 300,
+            ..WorkerStats::default()
+        };
+        a.queue.steals_won = 3;
+        let mut b = WorkerStats {
+            steal_ns: 100,
+            ..WorkerStats::default()
+        };
+        b.queue.steals_won = 1;
+        let r = report_with(vec![a, b], 1);
+        assert_eq!(r.total_steal_ns(), 400);
+        assert_eq!(r.total_steals(), 4);
+        assert!((r.mean_steal_op_ns() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_makespan_degenerates_gracefully() {
+        let r = report_with(vec![], 0);
+        assert_eq!(r.throughput_per_s(), 0.0);
+        assert_eq!(r.parallel_efficiency(), 1.0);
+        assert_eq!(r.mean_steal_op_ns(), 0.0);
+    }
+
+    #[test]
+    fn mean_sd_basics() {
+        let (m, s) = mean_sd(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-9);
+        assert!((s - 2.0).abs() < 1e-9);
+        assert_eq!(mean_sd(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn summary_line_contains_key_fields() {
+        let r = report_with(vec![WorkerStats::default()], 1_000_000);
+        let s = r.summary_line();
+        assert!(s.contains("SWS"));
+        assert!(s.contains("1 PEs"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Experiment runner: build a world, seed a workload, run every PE to
+//! global termination, and collect the paper's metrics.
+
+use serde::{Deserialize, Serialize};
+use sws_core::{SdcQueue, SwsQueue};
+use sws_shmem::{run_world, ExecMode, NetModel, ShmemCtx, WorldConfig};
+use sws_task::{TaskDescriptor, TaskRegistry};
+
+use crate::config::{QueueKind, SchedConfig};
+use crate::report::{RunReport, WorkerStats};
+use crate::taskctx::TaskCtx;
+use crate::termination::make_td;
+use crate::worker::Worker;
+
+/// A benchmark workload: handler registration plus initial seeding.
+pub trait Workload: Sync {
+    /// Register the workload's task handlers (called once per PE; every
+    /// PE must build the identical registry). Generic over the PE
+    /// lifetime so handlers may hold the PE's `ShmemCtx` surface.
+    fn register<'a>(&self, reg: &mut TaskRegistry<TaskCtx<'a>>);
+
+    /// Initial tasks to seed on PE `pe` of `n_pes` (commonly: everything
+    /// on PE 0, forcing the load balancer to disseminate).
+    fn seeds(&self, pe: usize, n_pes: usize) -> Vec<TaskDescriptor>;
+
+    /// Collective setup before the pool runs: allocate and initialize
+    /// any symmetric state the workload's handlers use (default: none).
+    /// Called on every PE in SPMD order, before queue construction.
+    fn setup(&self, _ctx: &sws_shmem::ShmemCtx) {}
+}
+
+/// Full experiment configuration.
+#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Number of PEs.
+    pub n_pes: usize,
+    /// Scheduler/queue configuration.
+    pub sched: SchedConfig,
+    /// Network model.
+    pub net: NetModel,
+    /// Extra symmetric-heap words beyond what the queue needs.
+    pub extra_heap_words: usize,
+}
+
+impl RunConfig {
+    /// A virtual-time run of `kind` on `n_pes` PEs with the default
+    /// EDR-InfiniBand-like network.
+    pub fn new(n_pes: usize, sched: SchedConfig) -> RunConfig {
+        RunConfig {
+            n_pes,
+            sched,
+            net: NetModel::edr_infiniband(),
+            extra_heap_words: 4096,
+        }
+    }
+
+    fn heap_words(&self) -> usize {
+        // Queue buffer + metadata + completion structures + TD + slack.
+        self.sched.queue.buffer_words() + self.sched.queue.capacity + 1024 + self.extra_heap_words
+    }
+}
+
+/// Run `workload` to global termination in a virtual-time world and
+/// report the paper's metrics.
+pub fn run_workload(cfg: &RunConfig, workload: &impl Workload) -> RunReport {
+    run_workload_mode(cfg, workload, ExecMode::Virtual)
+}
+
+/// As [`run_workload`], but selecting the execution mode (threaded mode
+/// is used by the concurrency stress tests).
+pub fn run_workload_mode(
+    cfg: &RunConfig,
+    workload: &impl Workload,
+    mode: ExecMode,
+) -> RunReport {
+    let world_cfg = WorldConfig {
+        n_pes: cfg.n_pes,
+        heap_words: cfg.heap_words(),
+        net: cfg.net,
+        mode,
+    };
+    let sched = cfg.sched;
+    let run_pe = |ctx: &ShmemCtx| -> WorkerStats {
+        let mut reg = TaskRegistry::new();
+        workload.register(&mut reg);
+        workload.setup(ctx);
+        let td = make_td(ctx, sched.td);
+        match sched.kind {
+            QueueKind::Sws => {
+                let queue = SwsQueue::new(ctx, sched.queue);
+                let mut w = Worker::new(ctx, queue, &reg, td, sched);
+                w.seed(&workload.seeds(ctx.my_pe(), ctx.n_pes()));
+                w.run().0
+            }
+            QueueKind::Sdc => {
+                let queue = SdcQueue::new(ctx, sched.queue);
+                let mut w = Worker::new(ctx, queue, &reg, td, sched);
+                w.seed(&workload.seeds(ctx.my_pe(), ctx.n_pes()));
+                w.run().0
+            }
+        }
+    };
+    let out = run_world(world_cfg, run_pe).expect("workload run failed");
+
+    let mut workers = out.results;
+    for (w, &t) in workers.iter_mut().zip(out.virtual_ns.iter()) {
+        // In virtual mode runtime_ns was sampled pre-barrier; the final
+        // clock includes the closing barrier. Report the pre-barrier
+        // value (the paper stops timers at termination detection) but
+        // fall back to the world clock in threaded mode.
+        if w.runtime_ns == 0 {
+            w.runtime_ns = t;
+        }
+    }
+    let makespan_ns = workers.iter().map(|w| w.runtime_ns).max().unwrap_or(0);
+    RunReport {
+        system: sched.kind.label().to_string(),
+        n_pes: cfg.n_pes,
+        makespan_ns,
+        workers,
+        comm: out.stats,
+        wall_ms: out.elapsed.as_millis() as u64,
+    }
+}

@@ -1,0 +1,134 @@
+//! The execution context handed to task handlers.
+//!
+//! Handlers express *what* a task does — spawning subtasks and consuming
+//! (simulated) compute time — while the worker owns the queue and the
+//! clock. Spawns are buffered here and flushed by the worker after the
+//! handler returns, which keeps handlers free of queue borrows and makes
+//! a task's spawns atomic with respect to steals (children only become
+//! stealable after the parent finished, matching LIFO task-pool
+//! semantics).
+
+use sws_shmem::ShmemCtx;
+use sws_task::TaskDescriptor;
+
+/// Per-task execution context.
+///
+/// Besides spawning and compute charging, handlers get the PE's
+/// [`ShmemCtx`] — the paper's task model explicitly allows tasks to
+/// "communicate and use data stored in the global address space"
+/// (§2.1), e.g. claiming visited flags with remote atomics. The one
+/// restriction carries over too: tasks must not *wait* on results of
+/// concurrently executing tasks (no blocking dependencies).
+pub struct TaskCtx<'a> {
+    shmem: &'a ShmemCtx,
+    spawned: Vec<TaskDescriptor>,
+    compute_ns: u64,
+}
+
+impl<'a> TaskCtx<'a> {
+    pub(crate) fn new(shmem: &'a ShmemCtx) -> TaskCtx<'a> {
+        TaskCtx {
+            shmem,
+            spawned: Vec::new(),
+            compute_ns: 0,
+        }
+    }
+
+    /// Rank of the executing PE.
+    pub fn my_pe(&self) -> usize {
+        self.shmem.my_pe()
+    }
+
+    /// World size.
+    pub fn n_pes(&self) -> usize {
+        self.shmem.n_pes()
+    }
+
+    /// One-sided access to the partitioned global address space.
+    pub fn shmem(&self) -> &'a ShmemCtx {
+        self.shmem
+    }
+
+    /// Spawn a subtask into the local queue (enqueued when the handler
+    /// returns).
+    pub fn spawn(&mut self, task: TaskDescriptor) {
+        self.spawned.push(task);
+    }
+
+    /// Charge `ns` of task compute time to the executing PE's clock.
+    pub fn compute(&mut self, ns: u64) {
+        self.compute_ns += ns;
+    }
+
+    /// Subtasks spawned so far.
+    pub fn spawn_count(&self) -> usize {
+        self.spawned.len()
+    }
+
+    /// Reset for reuse across tasks (the worker recycles one context to
+    /// avoid per-task allocation).
+    pub(crate) fn reset(&mut self) {
+        self.spawned.clear();
+        self.compute_ns = 0;
+    }
+
+    /// Move spawns into `buf` (reused across tasks — no per-task
+    /// allocation) and return the accumulated compute time.
+    pub(crate) fn drain_into(&mut self, buf: &mut Vec<TaskDescriptor>) -> u64 {
+        buf.append(&mut self.spawned);
+        let ns = self.compute_ns;
+        self.compute_ns = 0;
+        ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sws_shmem::{run_world, WorldConfig};
+
+    #[test]
+    fn buffers_spawns_compute_and_exposes_shmem() {
+        run_world(WorldConfig::virtual_time(1, 256), |ctx| {
+            let mut c = TaskCtx::new(ctx);
+            assert_eq!(c.my_pe(), 0);
+            assert_eq!(c.n_pes(), 1);
+            c.spawn(TaskDescriptor::new(1, &[1]));
+            c.spawn(TaskDescriptor::new(1, &[2]));
+            c.compute(500);
+            c.compute(250);
+            assert_eq!(c.spawn_count(), 2);
+            let mut buf = Vec::new();
+            let ns = c.drain_into(&mut buf);
+            assert_eq!(buf.len(), 2);
+            assert_eq!(ns, 750);
+            // The PGAS surface is reachable from handlers.
+            let a = c.shmem().alloc_words(1);
+            c.shmem().atomic_set(0, a, 9);
+            assert_eq!(c.shmem().atomic_fetch(0, a), 9);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn reset_and_drain_lifecycle() {
+        run_world(WorldConfig::virtual_time(1, 256), |ctx| {
+            let mut c = TaskCtx::new(ctx);
+            c.spawn(TaskDescriptor::new(0, &[]));
+            c.compute(10);
+            c.reset();
+            assert_eq!(c.spawn_count(), 0);
+            let mut buf = Vec::new();
+            assert_eq!(c.drain_into(&mut buf), 0);
+            assert!(buf.is_empty());
+
+            c.spawn(TaskDescriptor::new(0, &[7]));
+            c.compute(99);
+            let mut buf = vec![TaskDescriptor::new(9, &[])];
+            let ns = c.drain_into(&mut buf);
+            assert_eq!(buf.len(), 2, "appends after existing content");
+            assert_eq!(ns, 99);
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,272 @@
+//! Distributed termination detection (paper §2.1: "this mode of operation
+//! requires distributed termination detection to determine when all work
+//! has been consumed from the task pool").
+//!
+//! Two detectors are provided behind one interface:
+//!
+//! * [`CounterTd`] — global `spawned` / `completed` / `idle` counters on
+//!   PE 0, updated with passive atomic adds. Safe because (a) a PE
+//!   flushes its spawn delta *before* making tasks visible to thieves
+//!   (at release) and before going idle, so globally `completed ≤
+//!   spawned` whenever every PE is idle; and (b) a thief leaves the idle
+//!   set *before* executing stolen tasks, so `idle == P ∧ spawned ==
+//!   completed` is a stable state — no task exists and nobody can create
+//!   one.
+//! * [`TokenRingTd`] — Mattern-style four-counter token ring: a token
+//!   circulates accumulating every PE's cumulative (spawned, completed);
+//!   PE 0 terminates after two consecutive rounds with identical, equal
+//!   sums (strictly stronger than the proven `C_r == S_{r-1}` condition,
+//!   hence safe), then raises a global flag.
+
+use sws_shmem::{ShmemCtx, SymAddr};
+
+use crate::config::TdKind;
+
+/// The detector interface the worker drives.
+pub trait Termination {
+    /// Record `n` locally spawned (enqueued) tasks.
+    fn on_spawn(&mut self, n: u64);
+    /// Record `n` locally executed tasks.
+    fn on_complete(&mut self, n: u64);
+    /// Publish pending deltas. Must be called before tasks become
+    /// stealable (the worker calls it before every release).
+    fn flush(&mut self, ctx: &ShmemCtx);
+    /// Enter the idle set (queue fully drained). Flushes.
+    fn enter_idle(&mut self, ctx: &ShmemCtx);
+    /// Leave the idle set (work obtained). Must precede executing it.
+    fn exit_idle(&mut self, ctx: &ShmemCtx);
+    /// Poll for global termination; meaningful only while idle.
+    fn poll_terminated(&mut self, ctx: &ShmemCtx) -> bool;
+    /// Give the detector a chance to do upkeep while the PE is busy
+    /// (token forwarding). Cheap no-op for the counter detector.
+    fn busy_tick(&mut self, ctx: &ShmemCtx);
+}
+
+/// Build the configured detector (collective: all PEs, same order).
+pub fn make_td(ctx: &ShmemCtx, kind: TdKind) -> Box<dyn Termination> {
+    match kind {
+        TdKind::Counter => Box::new(CounterTd::new(ctx)),
+        TdKind::TokenRing => Box::new(TokenRingTd::new(ctx)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Counter-based detector
+// ---------------------------------------------------------------------
+
+/// Counter-based termination detection; counters live on PE 0.
+pub struct CounterTd {
+    /// Base of [spawned, completed, idle] on PE 0.
+    base: SymAddr,
+    spawn_delta: u64,
+    complete_delta: u64,
+    idle: bool,
+}
+
+const TD_SPAWNED: usize = 0;
+const TD_COMPLETED: usize = 1;
+const TD_IDLE: usize = 2;
+
+impl CounterTd {
+    /// Collectively allocate the counter block.
+    pub fn new(ctx: &ShmemCtx) -> CounterTd {
+        let base = ctx.alloc_words(3);
+        ctx.barrier_all();
+        CounterTd {
+            base,
+            spawn_delta: 0,
+            complete_delta: 0,
+            idle: false,
+        }
+    }
+}
+
+impl Termination for CounterTd {
+    fn on_spawn(&mut self, n: u64) {
+        self.spawn_delta += n;
+    }
+
+    fn on_complete(&mut self, n: u64) {
+        self.complete_delta += n;
+    }
+
+    fn flush(&mut self, ctx: &ShmemCtx) {
+        if self.spawn_delta == 0 && self.complete_delta == 0 {
+            return;
+        }
+        if self.spawn_delta > 0 {
+            ctx.atomic_add_nbi(0, self.base.offset(TD_SPAWNED), self.spawn_delta);
+            self.spawn_delta = 0;
+        }
+        if self.complete_delta > 0 {
+            ctx.atomic_add_nbi(0, self.base.offset(TD_COMPLETED), self.complete_delta);
+            self.complete_delta = 0;
+        }
+        ctx.quiet();
+    }
+
+    fn enter_idle(&mut self, ctx: &ShmemCtx) {
+        debug_assert!(!self.idle);
+        self.flush(ctx);
+        ctx.atomic_fetch_add(0, self.base.offset(TD_IDLE), 1);
+        self.idle = true;
+    }
+
+    fn exit_idle(&mut self, ctx: &ShmemCtx) {
+        debug_assert!(self.idle);
+        // Wrapping add of -1: a one-sided atomic decrement.
+        ctx.atomic_fetch_add(0, self.base.offset(TD_IDLE), u64::MAX);
+        self.idle = false;
+    }
+
+    fn poll_terminated(&mut self, ctx: &ShmemCtx) -> bool {
+        debug_assert!(self.idle, "poll only makes sense while idle");
+        let mut words = [0u64; 3];
+        ctx.get_words(0, self.base, &mut words);
+        let (spawned, completed, idle) = (words[TD_SPAWNED], words[TD_COMPLETED], words[TD_IDLE]);
+        idle == ctx.n_pes() as u64 && spawned == completed
+    }
+
+    fn busy_tick(&mut self, _ctx: &ShmemCtx) {}
+}
+
+// ---------------------------------------------------------------------
+// Token-ring detector
+// ---------------------------------------------------------------------
+
+/// Per-PE token slot layout: [spawned_acc, completed_acc, flag] — the
+/// flag is written last so per-word Release/Acquire ordering publishes
+/// the sums before the token becomes visible.
+const TOK_SPAWNED: usize = 0;
+const TOK_COMPLETED: usize = 1;
+const TOK_FLAG: usize = 2;
+const TOK_WORDS: usize = 3;
+
+/// Mattern four-counter token-ring termination detection.
+///
+/// The token accumulates every PE's *cumulative* (spawned, completed)
+/// counts as it circulates PE 0 → 1 → … → P−1 → 0. PE 0 compares the
+/// sums of the round just finished with the previous round and raises
+/// the global flag when two consecutive rounds report identical, equal
+/// sums — a condition strictly stronger than Mattern's proven
+/// `C_r == S_{r−1}`, hence free of false positives. Busy PEs forward the
+/// token from [`Termination::busy_tick`] so a long-running task cannot
+/// stall the ring.
+pub struct TokenRingTd {
+    /// Base of this PE's token slot (symmetric).
+    token: SymAddr,
+    /// Global termination flag on PE 0.
+    term_flag: SymAddr,
+    spawned_total: u64,
+    completed_total: u64,
+    /// PE 0 only: sums of the previous completed round.
+    prev_round: Option<(u64, u64)>,
+    /// PE 0 only: whether the first round has been launched.
+    launched: bool,
+    /// PE 0 only: stop circulating once the flag is raised.
+    done: bool,
+    /// Cached view of the global flag (avoids re-fetching after true).
+    seen_done: bool,
+}
+
+impl TokenRingTd {
+    /// Collectively allocate the ring state; PE 0 launches the token on
+    /// its first pump.
+    pub fn new(ctx: &ShmemCtx) -> TokenRingTd {
+        let token = ctx.alloc_words(TOK_WORDS);
+        let term_flag = ctx.alloc_words(1);
+        ctx.barrier_all();
+        TokenRingTd {
+            token,
+            term_flag,
+            spawned_total: 0,
+            completed_total: 0,
+            prev_round: None,
+            launched: false,
+            done: false,
+            seen_done: false,
+        }
+    }
+
+    /// Pass the token to our successor carrying running sums that now
+    /// include our own counts.
+    fn send_next(&self, ctx: &ShmemCtx, s: u64, c: u64) {
+        let next = (ctx.my_pe() + 1) % ctx.n_pes();
+        // Flag word written last: per-word ordering publishes the sums
+        // before the token becomes visible.
+        ctx.put_words(next, self.token, &[s, c, 1]);
+    }
+
+    /// Receive the token from our slot if present; forward or (PE 0)
+    /// evaluate the finished round.
+    fn pump_token(&mut self, ctx: &ShmemCtx) {
+        let me = ctx.my_pe();
+        if me == 0 {
+            if self.done {
+                return;
+            }
+            if !self.launched {
+                self.launched = true;
+                self.send_next(ctx, self.spawned_total, self.completed_total);
+                return;
+            }
+        }
+        let flag = ctx.atomic_fetch(me, self.token.offset(TOK_FLAG));
+        if flag == 0 {
+            return;
+        }
+        let s = ctx.atomic_fetch(me, self.token.offset(TOK_SPAWNED));
+        let c = ctx.atomic_fetch(me, self.token.offset(TOK_COMPLETED));
+        ctx.atomic_set(me, self.token.offset(TOK_FLAG), 0);
+        if me == 0 {
+            // Round finished: `s`/`c` sum all PEs (ours went in at launch
+            // / relaunch time).
+            let round = (s, c);
+            let done = self.prev_round == Some(round) && s == c;
+            self.prev_round = Some(round);
+            if done {
+                self.done = true;
+                ctx.atomic_set(0, self.term_flag, 1);
+            } else {
+                self.send_next(ctx, self.spawned_total, self.completed_total);
+            }
+        } else {
+            self.send_next(ctx, s + self.spawned_total, c + self.completed_total);
+        }
+    }
+}
+
+impl Termination for TokenRingTd {
+    fn on_spawn(&mut self, n: u64) {
+        self.spawned_total += n;
+    }
+
+    fn on_complete(&mut self, n: u64) {
+        self.completed_total += n;
+    }
+
+    fn flush(&mut self, _ctx: &ShmemCtx) {
+        // Counts are read at token-visit time; nothing to publish early.
+    }
+
+    fn enter_idle(&mut self, _ctx: &ShmemCtx) {}
+
+    fn exit_idle(&mut self, _ctx: &ShmemCtx) {}
+
+    fn poll_terminated(&mut self, ctx: &ShmemCtx) -> bool {
+        if self.seen_done {
+            return true;
+        }
+        self.pump_token(ctx);
+        if ctx.my_pe() == 0 {
+            self.seen_done = self.done;
+        } else {
+            self.seen_done = ctx.atomic_fetch(0, self.term_flag) == 1;
+        }
+        self.seen_done
+    }
+
+    fn busy_tick(&mut self, ctx: &ShmemCtx) {
+        self.pump_token(ctx);
+    }
+}

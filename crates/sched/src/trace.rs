@@ -1,0 +1,375 @@
+//! Event tracing: per-PE timestamped scheduler events and post-run
+//! analysis.
+//!
+//! With `SchedConfig::trace` enabled, every steal attempt, probe,
+//! release, acquire, and idle transition is recorded with its virtual
+//! timestamp. The analyses here answer the questions the paper's
+//! figures raise at a finer grain: how steal volumes are distributed
+//! (the steal-half cascade), how long PEs sit idle, and when the work
+//! front reached each PE. Tracing is off by default — a UTS run can
+//! produce millions of events.
+
+use serde::{Deserialize, Serialize};
+
+/// One scheduler event.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A steal claimed and copied `tasks` tasks from `victim`.
+    StealWon {
+        /// Victim PE.
+        victim: u32,
+        /// Tasks obtained.
+        tasks: u32,
+    },
+    /// A steal found `victim` empty (or was damped away).
+    StealEmpty {
+        /// Victim PE.
+        victim: u32,
+    },
+    /// `victim`'s gate was closed mid-update.
+    StealClosed {
+        /// Victim PE.
+        victim: u32,
+    },
+    /// The owner exposed `exposed` tasks to the shared portion.
+    Release {
+        /// Tasks moved to the shared portion.
+        exposed: u32,
+    },
+    /// The owner recovered `recovered` tasks from the shared portion.
+    AcquireHit {
+        /// Tasks moved back to the local portion.
+        recovered: u32,
+    },
+    /// An acquire found nothing unclaimed.
+    AcquireMiss,
+    /// The PE ran out of work and joined the idle set.
+    EnterIdle,
+    /// The PE obtained work and left the idle set.
+    ExitIdle,
+}
+
+/// A timestamped event.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Virtual time, ns.
+    pub t_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Per-PE event recorder (no-op unless enabled).
+#[derive(Debug, Default)]
+pub struct EventLog {
+    enabled: bool,
+    events: Vec<Event>,
+}
+
+impl EventLog {
+    /// A recorder; `enabled = false` makes `record` free.
+    pub fn new(enabled: bool) -> EventLog {
+        EventLog {
+            enabled,
+            events: Vec::new(),
+        }
+    }
+
+    /// Record `kind` at time `t_ns`.
+    #[inline]
+    pub fn record(&mut self, t_ns: u64, kind: EventKind) {
+        if self.enabled {
+            self.events.push(Event { t_ns, kind });
+        }
+    }
+
+    /// Hand the events out (consumes the log).
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+/// Histogram of successful steal volumes (volume → count). The
+/// steal-half cascade shows up as counts at T/2, T/4, …
+pub fn steal_volume_histogram(events: &[Event]) -> std::collections::BTreeMap<u64, u64> {
+    let mut h = std::collections::BTreeMap::new();
+    for e in events {
+        if let EventKind::StealWon { tasks, .. } = e.kind {
+            *h.entry(tasks as u64).or_insert(0) += 1;
+        }
+    }
+    h
+}
+
+/// Idle intervals `(enter, exit)`; an unmatched trailing `EnterIdle`
+/// closes at `end_ns` (the PE idled until termination).
+pub fn idle_intervals(events: &[Event], end_ns: u64) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    let mut open: Option<u64> = None;
+    for e in events {
+        match e.kind {
+            EventKind::EnterIdle => open = Some(e.t_ns),
+            EventKind::ExitIdle => {
+                if let Some(t0) = open.take() {
+                    out.push((t0, e.t_ns));
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(t0) = open {
+        out.push((t0, end_ns.max(t0)));
+    }
+    out
+}
+
+/// Total idle time, ns.
+pub fn idle_ns(events: &[Event], end_ns: u64) -> u64 {
+    idle_intervals(events, end_ns)
+        .iter()
+        .map(|(a, b)| b - a)
+        .sum()
+}
+
+/// Render per-PE activity strips: one row per PE, `width` buckets of
+/// the run; `#` = mostly busy, `.` = mostly idle, `-` = no data.
+pub fn render_timeline(per_pe: &[Vec<Event>], makespan_ns: u64, width: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let width = width.max(1);
+    let bucket = (makespan_ns / width as u64).max(1);
+    for (pe, events) in per_pe.iter().enumerate() {
+        let idles = idle_intervals(events, makespan_ns);
+        let mut row = String::with_capacity(width);
+        for b in 0..width {
+            let t0 = b as u64 * bucket;
+            let t1 = t0 + bucket;
+            let idle_overlap: u64 = idles
+                .iter()
+                .map(|&(a, z)| z.min(t1).saturating_sub(a.max(t0)))
+                .sum();
+            row.push(if events.is_empty() {
+                '-'
+            } else if idle_overlap * 2 > bucket {
+                '.'
+            } else {
+                '#'
+            });
+        }
+        let _ = writeln!(out, "PE {pe:>4} |{row}|");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, kind: EventKind) -> Event {
+        Event { t_ns: t, kind }
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = EventLog::new(false);
+        log.record(1, EventKind::EnterIdle);
+        assert!(!log.is_enabled());
+        assert!(log.into_events().is_empty());
+    }
+
+    #[test]
+    fn volume_histogram_counts_cascade() {
+        let events = vec![
+            ev(1, EventKind::StealWon { victim: 0, tasks: 8 }),
+            ev(2, EventKind::StealWon { victim: 0, tasks: 4 }),
+            ev(3, EventKind::StealWon { victim: 1, tasks: 8 }),
+            ev(4, EventKind::StealEmpty { victim: 2 }),
+        ];
+        let h = steal_volume_histogram(&events);
+        assert_eq!(h.get(&8), Some(&2));
+        assert_eq!(h.get(&4), Some(&1));
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn idle_intervals_pair_up_and_close_trailing() {
+        let events = vec![
+            ev(10, EventKind::EnterIdle),
+            ev(15, EventKind::ExitIdle),
+            ev(30, EventKind::EnterIdle),
+        ];
+        assert_eq!(idle_intervals(&events, 50), vec![(10, 15), (30, 50)]);
+        assert_eq!(idle_ns(&events, 50), 25);
+    }
+
+    #[test]
+    fn timeline_marks_idle_buckets() {
+        let events = vec![ev(0, EventKind::EnterIdle), ev(50, EventKind::ExitIdle)];
+        let s = render_timeline(&[events, vec![]], 100, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].contains("....."), "first half idle: {}", lines[0]);
+        assert!(lines[0].contains("#"), "second half busy: {}", lines[0]);
+        assert!(lines[1].contains("----------"), "no data row: {}", lines[1]);
+    }
+
+    #[test]
+    fn end_to_end_trace_through_the_scheduler() {
+        use crate::{run_workload, QueueKind, RunConfig, SchedConfig};
+        use sws_core::QueueConfig;
+        use sws_task::TaskDescriptor;
+
+        struct Bag;
+        impl crate::Workload for Bag {
+            fn register(&self, reg: &mut sws_task::TaskRegistry<crate::TaskCtx>) {
+                reg.register(1, |tctx, _| tctx.compute(20_000));
+            }
+            fn seeds(&self, pe: usize, _n: usize) -> Vec<TaskDescriptor> {
+                if pe == 0 {
+                    (0..64).map(|_| TaskDescriptor::new(1, &[])).collect()
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+        let mut sched = SchedConfig::new(QueueKind::Sws, QueueConfig::new(256, 24));
+        sched.trace = true;
+        let report = run_workload(&RunConfig::new(4, sched), &Bag);
+        // Thieves recorded wins; volumes histogram is non-empty.
+        let all: Vec<Event> = report
+            .workers
+            .iter()
+            .flat_map(|w| w.events.iter().copied())
+            .collect();
+        assert!(!all.is_empty(), "tracing captured events");
+        let h = steal_volume_histogram(&all);
+        assert!(!h.is_empty(), "some steals happened");
+        let total_stolen: u64 = h.iter().map(|(v, c)| v * c).sum();
+        assert_eq!(total_stolen, report.workers.iter().map(|w| w.queue.tasks_stolen).sum::<u64>());
+        // Idle PEs (1..3) have idle intervals.
+        let idle1 = idle_ns(&report.workers[1].events, report.makespan_ns);
+        assert!(idle1 > 0);
+        // Timeline renders one row per PE.
+        let per_pe: Vec<Vec<Event>> =
+            report.workers.iter().map(|w| w.events.clone()).collect();
+        let tl = render_timeline(&per_pe, report.makespan_ns, 40);
+        assert_eq!(tl.lines().count(), 4);
+    }
+}
+
+/// Per-victim counts of successful steals — which queues fed the system
+/// (hot victims show up immediately; with node topologies, compare
+/// same-node vs cross-node victim shares).
+pub fn steals_by_victim(events: &[Event]) -> std::collections::BTreeMap<u32, u64> {
+    let mut m = std::collections::BTreeMap::new();
+    for e in events {
+        if let EventKind::StealWon { victim, .. } = e.kind {
+            *m.entry(victim).or_insert(0) += 1;
+        }
+    }
+    m
+}
+
+/// A fixed-bucket histogram over `u64` samples with power-of-two bucket
+/// edges — compact summaries of steal volumes or idle spans.
+#[derive(Clone, Debug, Default)]
+pub struct Pow2Histogram {
+    /// `counts[i]` counts samples in `[2^(i-1), 2^i)`; `counts[0]` counts
+    /// zeros and ones.
+    pub counts: Vec<u64>,
+    /// Number of samples.
+    pub n: u64,
+    /// Sum of samples.
+    pub sum: u64,
+}
+
+impl Pow2Histogram {
+    /// Build from samples.
+    pub fn from_samples(samples: impl IntoIterator<Item = u64>) -> Pow2Histogram {
+        let mut h = Pow2Histogram::default();
+        for s in samples {
+            let bucket = if s <= 1 {
+                0
+            } else {
+                64 - (s - 1).leading_zeros() as usize
+            };
+            if h.counts.len() <= bucket {
+                h.counts.resize(bucket + 1, 0);
+            }
+            h.counts[bucket] += 1;
+            h.n += 1;
+            h.sum += s;
+        }
+        h
+    }
+
+    /// Mean sample value.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.n as f64
+        }
+    }
+
+    /// Render as `≤1: n, ≤2: n, ≤4: n, …` (skipping empty buckets).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let upper = 1u128 << i;
+            let _ = write!(out, "≤{upper}: {c}  ");
+        }
+        out.trim_end().to_string()
+    }
+}
+
+#[cfg(test)]
+mod histogram_tests {
+    use super::*;
+
+    #[test]
+    fn pow2_buckets_are_correct() {
+        let h = Pow2Histogram::from_samples([0, 1, 2, 3, 4, 5, 8, 9, 1024]);
+        // bucket 0: {0,1}; bucket 1: {2}; bucket 2: {3,4}; bucket 3: {5,8};
+        // bucket 4: {9..16}; bucket 10: {1024 → (512,1024]}.
+        assert_eq!(h.counts[0], 2);
+        assert_eq!(h.counts[1], 1);
+        assert_eq!(h.counts[2], 2);
+        assert_eq!(h.counts[3], 2);
+        assert_eq!(h.counts[4], 1);
+        assert_eq!(h.counts[10], 1);
+        assert_eq!(h.n, 9);
+        assert!(h.render().contains("≤1: 2"));
+        assert!(h.render().contains("≤1024: 1"));
+    }
+
+    #[test]
+    fn mean_and_empty() {
+        let h = Pow2Histogram::from_samples([2, 4, 6]);
+        assert!((h.mean() - 4.0).abs() < 1e-12);
+        let e = Pow2Histogram::from_samples([]);
+        assert_eq!(e.mean(), 0.0);
+        assert_eq!(e.render(), "");
+    }
+
+    #[test]
+    fn victims_tally() {
+        let evs = vec![
+            Event { t_ns: 1, kind: EventKind::StealWon { victim: 3, tasks: 2 } },
+            Event { t_ns: 2, kind: EventKind::StealWon { victim: 3, tasks: 1 } },
+            Event { t_ns: 3, kind: EventKind::StealWon { victim: 7, tasks: 9 } },
+            Event { t_ns: 4, kind: EventKind::StealEmpty { victim: 5 } },
+        ];
+        let m = steals_by_victim(&evs);
+        assert_eq!(m.get(&3), Some(&2));
+        assert_eq!(m.get(&7), Some(&1));
+        assert_eq!(m.get(&5), None);
+    }
+}

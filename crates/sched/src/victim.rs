@@ -1,0 +1,213 @@
+//! Random victim selection.
+//!
+//! Cilk-style uniform random victim choice is provably efficient for
+//! work stealing (Blumofe & Leiserson); both Scioto and SWS use it. Each
+//! PE derives a private RNG stream from the run seed so virtual-time runs
+//! are reproducible bit-for-bit while different PEs stay uncorrelated.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How victims are chosen.
+///
+/// Uniform random choice is the provably-efficient Cilk/Scioto/SWS
+/// default. The hierarchical policy models the locality-aware extensions
+/// the paper cites (SLAW, HotSLAW, Habanero hierarchical place trees):
+/// with node-aware network costs, preferring same-node victims turns
+/// most steal round trips into shared-memory latencies.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum VictimPolicy {
+    /// Uniform over all other PEs.
+    Uniform,
+    /// Prefer a victim on the same node with probability `local_pct`%
+    /// (falling back to uniform-remote otherwise). `node_size` must
+    /// match the network model's topology for the preference to pay off.
+    Hierarchical {
+        /// PEs per node.
+        node_size: usize,
+        /// Percent of attempts directed at same-node victims.
+        local_pct: u8,
+    },
+}
+
+/// Seeded victim selector excluding the local PE.
+pub struct VictimSelector {
+    rng: SmallRng,
+    me: usize,
+    n_pes: usize,
+    policy: VictimPolicy,
+}
+
+impl VictimSelector {
+    /// Uniform selector for PE `me` of `n_pes`, seeded from the run seed.
+    pub fn new(seed: u64, me: usize, n_pes: usize) -> VictimSelector {
+        Self::with_policy(seed, me, n_pes, VictimPolicy::Uniform)
+    }
+
+    /// Selector with an explicit policy.
+    pub fn with_policy(
+        seed: u64,
+        me: usize,
+        n_pes: usize,
+        policy: VictimPolicy,
+    ) -> VictimSelector {
+        assert!(n_pes >= 2, "victim selection needs at least two PEs");
+        assert!(me < n_pes);
+        // SplitMix-style per-PE stream derivation.
+        let mut s = seed ^ (me as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        s ^= s >> 30;
+        s = s.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        s ^= s >> 27;
+        VictimSelector {
+            rng: SmallRng::seed_from_u64(s),
+            me,
+            n_pes,
+            policy,
+        }
+    }
+
+    fn uniform_other(&mut self) -> usize {
+        let v = self.rng.gen_range(0..self.n_pes - 1);
+        if v >= self.me {
+            v + 1
+        } else {
+            v
+        }
+    }
+
+    /// Next victim according to the policy; never the local PE.
+    pub fn next_victim(&mut self) -> usize {
+        match self.policy {
+            VictimPolicy::Uniform => self.uniform_other(),
+            VictimPolicy::Hierarchical {
+                node_size,
+                local_pct,
+            } => {
+                let node_size = node_size.max(1);
+                let node = self.me / node_size;
+                let lo = node * node_size;
+                let hi = (lo + node_size).min(self.n_pes);
+                let node_peers = hi - lo - 1; // excluding me
+                let go_local = node_peers > 0
+                    && self.rng.gen_range(0..100u8) < local_pct;
+                if go_local {
+                    let v = lo + self.rng.gen_range(0..node_peers);
+                    if v >= self.me {
+                        v + 1
+                    } else {
+                        v
+                    }
+                } else {
+                    self.uniform_other()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_selects_self() {
+        for me in 0..5 {
+            let mut sel = VictimSelector::new(42, me, 5);
+            for _ in 0..1000 {
+                assert_ne!(sel.next_victim(), me);
+            }
+        }
+    }
+
+    #[test]
+    fn covers_all_other_pes_roughly_uniformly() {
+        let mut sel = VictimSelector::new(1, 2, 8);
+        let mut counts = [0u32; 8];
+        for _ in 0..7000 {
+            counts[sel.next_victim()] += 1;
+        }
+        assert_eq!(counts[2], 0);
+        for (pe, &c) in counts.iter().enumerate() {
+            if pe != 2 {
+                // Expected 1000 each; allow generous tolerance.
+                assert!((700..1300).contains(&c), "pe {pe}: {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_pe() {
+        let seq = |seed, me| {
+            let mut s = VictimSelector::new(seed, me, 6);
+            (0..50).map(|_| s.next_victim()).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(7, 3), seq(7, 3));
+        assert_ne!(seq(7, 3), seq(8, 3), "different seeds diverge");
+        assert_ne!(seq(7, 3), seq(7, 4), "different PEs diverge");
+    }
+
+    #[test]
+    fn two_pe_world_always_picks_the_peer() {
+        let mut sel = VictimSelector::new(0, 0, 2);
+        for _ in 0..10 {
+            assert_eq!(sel.next_victim(), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_pe_rejected() {
+        let _ = VictimSelector::new(0, 0, 1);
+    }
+
+    #[test]
+    fn hierarchical_prefers_node_local_victims() {
+        let policy = VictimPolicy::Hierarchical {
+            node_size: 4,
+            local_pct: 80,
+        };
+        let mut sel = VictimSelector::with_policy(9, 5, 16, policy);
+        let mut local = 0;
+        let n = 4000;
+        for _ in 0..n {
+            let v = sel.next_victim();
+            assert_ne!(v, 5);
+            if (4..8).contains(&v) {
+                local += 1;
+            }
+        }
+        // ~80% local plus the uniform fallback's occasional local hits.
+        assert!(local > n * 7 / 10, "{local}/{n} local");
+        assert!(local < n, "some remote traffic remains");
+    }
+
+    #[test]
+    fn hierarchical_with_singleton_node_degrades_to_uniform() {
+        let policy = VictimPolicy::Hierarchical {
+            node_size: 1,
+            local_pct: 100,
+        };
+        let mut sel = VictimSelector::with_policy(3, 0, 4, policy);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(sel.next_victim());
+        }
+        assert_eq!(seen.len(), 3, "all peers reachable");
+    }
+
+    #[test]
+    fn hierarchical_last_partial_node() {
+        // 10 PEs, nodes of 4: PE 9 lives in the partial node {8, 9}.
+        let policy = VictimPolicy::Hierarchical {
+            node_size: 4,
+            local_pct: 100,
+        };
+        let mut sel = VictimSelector::with_policy(1, 9, 10, policy);
+        for _ in 0..200 {
+            let v = sel.next_victim();
+            assert_ne!(v, 9);
+            assert!(v <= 8, "in range");
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! The work-first scheduler loop (paper §2.1 / §3).
+//!
+//! Each PE runs [`Worker::run`] to global termination:
+//!
+//! 1. execute the newest local task (LIFO — depth-first, which bounds
+//!    queue space at O(T_depth));
+//! 2. when the shared portion has drained and enough local work exists,
+//!    **release** half of it (after flushing the termination detector's
+//!    spawn counts, so visible work is always globally accounted);
+//! 3. when the local portion drains, **acquire** from the shared portion;
+//! 4. when the whole queue drains, enter the idle set and **search**:
+//!    pick uniform-random victims and attempt steal-half operations,
+//!    probing damped (empty-mode) targets read-only first, until work is
+//!    found or the termination detector fires.
+//!
+//! Timing is decomposed per the paper's convention: successful steal
+//! operations count as *steal time*, failed attempts and probes as
+//! *search time* (§5.3).
+
+use sws_core::{StealOutcome, StealQueue};
+use sws_shmem::ShmemCtx;
+use sws_task::{TaskDescriptor, TaskRegistry};
+
+use crate::config::SchedConfig;
+use crate::damping::DampingState;
+use crate::report::WorkerStats;
+use crate::taskctx::TaskCtx;
+use crate::termination::Termination;
+use crate::trace::{EventKind, EventLog};
+use crate::victim::VictimSelector;
+
+/// One PE's scheduler, generic over the queue implementation.
+/// `'a` is the PE context lifetime (task contexts hold it); `'r` is the
+/// registry borrow, which may be shorter.
+pub struct Worker<'r, 'a, Q: StealQueue> {
+    ctx: &'a ShmemCtx,
+    queue: Q,
+    registry: &'r TaskRegistry<TaskCtx<'a>>,
+    td: Box<dyn Termination>,
+    victims: Option<VictimSelector>,
+    damping: DampingState,
+    cfg: SchedConfig,
+    stats: WorkerStats,
+    /// Tasks that could not be enqueued because the ring was full; they
+    /// run before anything else (inline-execution fallback).
+    overflow: Vec<TaskDescriptor>,
+    tctx: TaskCtx<'a>,
+    spawn_buf: Vec<TaskDescriptor>,
+    tasks_since_release_check: u64,
+    tasks_since_progress: u64,
+    had_work: bool,
+    log: EventLog,
+}
+
+impl<'r, 'a, Q: StealQueue> Worker<'r, 'a, Q> {
+    /// Build a worker around an already-constructed queue and detector.
+    pub fn new(
+        ctx: &'a ShmemCtx,
+        queue: Q,
+        registry: &'r TaskRegistry<TaskCtx<'a>>,
+        td: Box<dyn Termination>,
+        cfg: SchedConfig,
+    ) -> Worker<'r, 'a, Q> {
+        let victims = if ctx.n_pes() >= 2 {
+            Some(VictimSelector::with_policy(
+                cfg.seed,
+                ctx.my_pe(),
+                ctx.n_pes(),
+                cfg.victim,
+            ))
+        } else {
+            None
+        };
+        Worker {
+            ctx,
+            queue,
+            registry,
+            td,
+            victims,
+            damping: DampingState::new(ctx.n_pes(), cfg.damping),
+            cfg,
+            stats: WorkerStats::default(),
+            overflow: Vec::new(),
+            tctx: TaskCtx::new(ctx),
+            spawn_buf: Vec::new(),
+            tasks_since_release_check: 0,
+            tasks_since_progress: 0,
+            had_work: false,
+            log: EventLog::new(cfg.trace),
+        }
+    }
+
+    /// Seed the pool with initial tasks on this PE (call before `run`;
+    /// the seeding itself is counted as spawned work).
+    pub fn seed(&mut self, tasks: &[TaskDescriptor]) {
+        for t in tasks {
+            self.enqueue_or_overflow(*t);
+        }
+        self.td.on_spawn(tasks.len() as u64);
+        if !tasks.is_empty() {
+            self.had_work = true;
+        }
+    }
+
+    fn enqueue_or_overflow(&mut self, t: TaskDescriptor) {
+        if !self.queue.enqueue(&t) {
+            self.overflow.push(t);
+        }
+    }
+
+    /// Execute one task: run the handler, charge its compute time, then
+    /// flush its spawns into the queue.
+    fn execute(&mut self, task: &TaskDescriptor) {
+        self.tctx.reset();
+        self.registry.execute(&mut self.tctx, task);
+        let mut spawn_buf = std::mem::take(&mut self.spawn_buf);
+        let compute_ns = self.tctx.drain_into(&mut spawn_buf);
+        self.ctx.compute(compute_ns + self.cfg.task_overhead_ns);
+        self.stats.task_ns += compute_ns + self.cfg.task_overhead_ns;
+        let spawned = spawn_buf.len() as u64;
+        for t in spawn_buf.drain(..) {
+            self.enqueue_or_overflow(t);
+        }
+        self.spawn_buf = spawn_buf;
+        self.td.on_spawn(spawned);
+        self.td.on_complete(1);
+        self.stats.tasks_executed += 1;
+        self.tasks_since_release_check += 1;
+        self.tasks_since_progress += 1;
+    }
+
+    /// Periodic queue upkeep between tasks: progress reclamation, release
+    /// opportunities, token forwarding.
+    fn upkeep(&mut self) {
+        if self.tasks_since_progress >= self.cfg.progress_interval {
+            self.tasks_since_progress = 0;
+            let t0 = self.ctx.now_ns();
+            self.queue.progress();
+            self.td.busy_tick(self.ctx);
+            self.stats.upkeep_ns += self.ctx.now_ns() - t0;
+        }
+        if self.tasks_since_release_check >= self.cfg.release_interval {
+            self.tasks_since_release_check = 0;
+            if self.queue.local_count() >= self.cfg.release_min_local {
+                let t0 = self.ctx.now_ns();
+                if self.queue.shared_estimate() == 0 {
+                    // Make the tasks globally accounted before they become
+                    // stealable (counter-TD safety invariant).
+                    self.td.flush(self.ctx);
+                    let before = self.queue.local_count();
+                    if self.queue.release() {
+                        let exposed = before - self.queue.local_count();
+                        self.log
+                            .record(self.ctx.now_ns(), EventKind::Release {
+                                exposed: exposed as u32,
+                            });
+                    }
+                }
+                self.stats.upkeep_ns += self.ctx.now_ns() - t0;
+            }
+        }
+    }
+
+    /// Attempt one steal against `target`, honouring damping. Returns the
+    /// outcome; timing is attributed by the caller.
+    fn attempt_steal(&mut self, target: usize) -> StealOutcome {
+        if self.damping.should_probe(target) {
+            if !self.queue.probe(target) {
+                return StealOutcome::Empty; // damped abort, one read-only op
+            }
+            self.damping.observed_work(target);
+        }
+        let out = self.queue.steal_from(target);
+        match out {
+            StealOutcome::Got { .. } => self.damping.observed_work(target),
+            StealOutcome::Empty => self.damping.observed_empty(target),
+            StealOutcome::Closed => {} // owner mid-update; no mode change
+        }
+        out
+    }
+
+    /// Run to global termination; returns this PE's stats.
+    pub fn run(mut self) -> (WorkerStats, Q) {
+        'outer: loop {
+            // Drain overflow first (tasks that bypassed the full ring).
+            if let Some(t) = self.overflow.pop() {
+                self.execute(&t);
+                continue;
+            }
+            if let Some(t) = self.queue.pop_local() {
+                self.execute(&t);
+                self.upkeep();
+                continue;
+            }
+            // Local portion empty: recover shared work if any.
+            {
+                let t0 = self.ctx.now_ns();
+                let got = self.queue.acquire();
+                self.stats.upkeep_ns += self.ctx.now_ns() - t0;
+                if got {
+                    self.log.record(self.ctx.now_ns(), EventKind::AcquireHit {
+                        recovered: self.queue.local_count() as u32,
+                    });
+                    continue;
+                }
+                self.log.record(self.ctx.now_ns(), EventKind::AcquireMiss);
+            }
+            // Whole queue empty: search. Termination is polled every few
+            // attempts rather than every attempt — polling is a remote
+            // read of PE 0 and would otherwise dominate search cost.
+            self.td.enter_idle(self.ctx);
+            self.log.record(self.ctx.now_ns(), EventKind::EnterIdle);
+            let mut search_iters = 0u32;
+            loop {
+                if search_iters.is_multiple_of(4) && self.td.poll_terminated(self.ctx) {
+                    break 'outer;
+                }
+                search_iters += 1;
+                let Some(victims) = self.victims.as_mut() else {
+                    // Single-PE world: no victims can exist; poll until
+                    // the detector confirms termination.
+                    self.ctx.compute(200);
+                    continue;
+                };
+                let target = victims.next_victim();
+                let t0 = self.ctx.now_ns();
+                match self.attempt_steal(target) {
+                    StealOutcome::Got { tasks } => {
+                        let dt = self.ctx.now_ns() - t0;
+                        self.stats.steal_ns += dt;
+                        if !self.had_work {
+                            self.had_work = true;
+                            self.stats.first_work_ns = self.ctx.now_ns();
+                        }
+                        self.log.record(self.ctx.now_ns(), EventKind::StealWon {
+                            victim: target as u32,
+                            tasks: tasks as u32,
+                        });
+                        self.td.exit_idle(self.ctx);
+                        self.log.record(self.ctx.now_ns(), EventKind::ExitIdle);
+                        continue 'outer;
+                    }
+                    out @ (StealOutcome::Empty | StealOutcome::Closed) => {
+                        self.stats.search_ns += self.ctx.now_ns() - t0;
+                        let kind = if matches!(out, StealOutcome::Empty) {
+                            EventKind::StealEmpty {
+                                victim: target as u32,
+                            }
+                        } else {
+                            EventKind::StealClosed {
+                                victim: target as u32,
+                            }
+                        };
+                        self.log.record(self.ctx.now_ns(), kind);
+                    }
+                }
+            }
+        }
+        // Global termination: flush passive completions and counters so
+        // post-run assertions see a consistent world.
+        self.queue.flush_completions();
+        self.td.flush(self.ctx);
+        self.stats.runtime_ns = self.ctx.now_ns();
+        self.stats.queue = self.queue.stats().clone();
+        self.stats.events = std::mem::take(&mut self.log).into_events();
+        self.ctx.barrier_all();
+        (self.stats, self.queue)
+    }
+}

@@ -1,0 +1,153 @@
+//! Focused tests for the two distributed termination detectors, driven
+//! directly (without the full scheduler) so their protocols are visible.
+
+use sws_sched::termination::make_td;
+use sws_sched::TdKind;
+use sws_shmem::{run_world, WorldConfig};
+
+fn world(n: usize) -> WorldConfig {
+    WorldConfig::virtual_time(n, 4096)
+}
+
+#[test]
+fn counter_td_fires_only_when_all_idle_and_balanced() {
+    let out = run_world(world(3), |ctx| {
+        let mut td = make_td(ctx, TdKind::Counter);
+        // PE 0 "spawns" 5 tasks; everyone goes idle; no one completed
+        // them yet — termination must NOT fire.
+        if ctx.my_pe() == 0 {
+            td.on_spawn(5);
+        }
+        td.enter_idle(ctx);
+        ctx.barrier_all();
+        let premature = td.poll_terminated(ctx);
+        ctx.barrier_all();
+
+        // Now PE 1 "completes" them (it must leave the idle set first,
+        // as a thief would after a successful steal).
+        if ctx.my_pe() == 1 {
+            td.exit_idle(ctx);
+            td.on_complete(5);
+            td.enter_idle(ctx);
+        }
+        ctx.barrier_all();
+        // Poll until the detector fires (bounded loop: it must fire).
+        let mut fired = false;
+        for _ in 0..100 {
+            if td.poll_terminated(ctx) {
+                fired = true;
+                break;
+            }
+        }
+        (premature, fired)
+    })
+    .unwrap();
+    for &(premature, fired) in &out.results {
+        assert!(!premature, "termination before work completed");
+        assert!(fired, "termination after quiescence");
+    }
+}
+
+#[test]
+fn token_ring_td_fires_after_quiescence() {
+    let out = run_world(world(4), |ctx| {
+        let mut td = make_td(ctx, TdKind::TokenRing);
+        // A balanced workload: every PE spawns 3 and completes 3.
+        td.on_spawn(3);
+        td.on_complete(3);
+        td.enter_idle(ctx);
+        ctx.barrier_all();
+        let mut fired = false;
+        // The token needs several circulations (two identical clean
+        // rounds); every poll pumps it one hop.
+        for _ in 0..10_000 {
+            if td.poll_terminated(ctx) {
+                fired = true;
+                break;
+            }
+        }
+        fired
+    })
+    .unwrap();
+    assert!(out.results.iter().all(|&f| f), "{:?}", out.results);
+}
+
+#[test]
+fn token_ring_td_does_not_fire_with_outstanding_work() {
+    let out = run_world(world(3), |ctx| {
+        let mut td = make_td(ctx, TdKind::TokenRing);
+        if ctx.my_pe() == 2 {
+            td.on_spawn(7); // 7 tasks never completed
+        }
+        td.enter_idle(ctx);
+        ctx.barrier_all();
+        let mut fired = false;
+        for _ in 0..500 {
+            if td.poll_terminated(ctx) {
+                fired = true;
+                break;
+            }
+        }
+        fired
+    })
+    .unwrap();
+    assert!(
+        out.results.iter().all(|&f| !f),
+        "token ring fired with work outstanding"
+    );
+}
+
+#[test]
+fn counter_td_flush_batches_deltas() {
+    // Deltas accumulate locally and publish on flush; the global view
+    // must match after a flush + barrier.
+    let out = run_world(world(2), |ctx| {
+        let mut td = make_td(ctx, TdKind::Counter);
+        td.on_spawn(10);
+        td.on_complete(4);
+        td.flush(ctx);
+        ctx.barrier_all();
+        // Both enter idle; counts are unbalanced → no termination.
+        td.enter_idle(ctx);
+        let fired = td.poll_terminated(ctx);
+        ctx.barrier_all();
+        // Balance the books and re-check.
+        td.exit_idle(ctx);
+        td.on_complete(6);
+        td.enter_idle(ctx);
+        ctx.barrier_all();
+        let mut done = false;
+        for _ in 0..100 {
+            if td.poll_terminated(ctx) {
+                done = true;
+                break;
+            }
+        }
+        (fired, done)
+    })
+    .unwrap();
+    for &(premature, done) in &out.results {
+        assert!(!premature);
+        assert!(done);
+    }
+}
+
+#[test]
+fn single_pe_token_ring_terminates() {
+    let out = run_world(world(1), |ctx| {
+        let mut td = make_td(ctx, TdKind::TokenRing);
+        td.on_spawn(2);
+        td.on_complete(2);
+        td.enter_idle(ctx);
+        let mut fired = false;
+        for _ in 0..100 {
+            if td.poll_terminated(ctx) {
+                fired = true;
+                break;
+            }
+        }
+        fired
+    })
+    .unwrap();
+    assert!(out.results[0]);
+}

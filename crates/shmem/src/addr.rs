@@ -1,0 +1,64 @@
+//! Symmetric addresses.
+//!
+//! OpenSHMEM symmetric-heap objects have the same offset on every PE, so a
+//! single address names one object per PE. We model the heap at 64-bit word
+//! granularity (RDMA atomics in the paper operate on 64-bit values, and
+//! word-granular access keeps concurrent remote copies well-defined), so a
+//! [`SymAddr`] is a word offset into every PE's region.
+
+/// A symmetric address: a word (8-byte) offset valid on every PE.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct SymAddr(usize);
+
+impl SymAddr {
+    /// The first word of the user-allocatable portion of the heap.
+    pub(crate) const fn new(word: usize) -> Self {
+        SymAddr(word)
+    }
+
+    /// Reconstruct an address from a word offset previously obtained via
+    /// [`SymAddr::word`] — for stashing symmetric addresses in plain
+    /// integers (e.g. sharing them with task handlers through a cell).
+    pub const fn from_word(word: usize) -> SymAddr {
+        SymAddr(word)
+    }
+
+    /// Word offset of this address within a PE region.
+    #[inline]
+    pub fn word(self) -> usize {
+        self.0
+    }
+
+    /// Address `words` 64-bit words past `self`.
+    #[inline]
+    #[must_use]
+    pub fn offset(self, words: usize) -> SymAddr {
+        SymAddr(self.0 + words)
+    }
+
+    /// Byte offset of this address (always 8-byte aligned by construction).
+    #[inline]
+    pub fn byte(self) -> usize {
+        self.0 * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_compose() {
+        let a = SymAddr::new(10);
+        assert_eq!(a.word(), 10);
+        assert_eq!(a.offset(5).word(), 15);
+        assert_eq!(a.offset(0), a);
+        assert_eq!(a.byte(), 80);
+    }
+
+    #[test]
+    fn ordering_follows_word_offset() {
+        assert!(SymAddr::new(1) < SymAddr::new(2));
+        assert_eq!(SymAddr::new(7), SymAddr::new(7));
+    }
+}

@@ -1,0 +1,149 @@
+//! Collective operations: barrier, broadcast, reductions, and the
+//! collective symmetric allocator.
+//!
+//! All collectives must be called by every PE of the world in the same
+//! order (standard SPMD contract). They are built from the control block
+//! at the front of every region plus the barrier, so they are globally
+//! ordered and may share scratch slots.
+
+use crate::addr::SymAddr;
+use crate::ctx::ShmemCtx;
+use crate::heap::{ctrl, SymmetricHeap};
+
+/// Sentinel broadcast by PE 0 when a collective allocation fails.
+const ALLOC_FAILED: u64 = u64::MAX;
+
+impl ShmemCtx {
+    /// Barrier across all PEs. In virtual-time mode every clock jumps to
+    /// `max(entry clocks) + barrier cost`; in threaded mode a real barrier.
+    pub fn barrier_all(&self) {
+        let cost = self.world().net.barrier_ns;
+        self.record_barrier(cost);
+        match &self.world().vclock {
+            Some(vc) => vc.barrier(self.my_pe(), cost),
+            None => self.world().thread_barrier.wait(),
+        }
+    }
+
+    /// Broadcast a 64-bit value from `root` to every PE; returns the value.
+    pub fn broadcast64(&self, root: usize, value: u64) -> u64 {
+        assert!(root < self.n_pes(), "broadcast root {root} out of range");
+        let slot = SymmetricHeap::ctrl(ctrl::BCAST);
+        if self.my_pe() == root {
+            self.atomic_set(root, slot, value);
+        }
+        self.barrier_all();
+        let v = self.atomic_fetch(root, slot);
+        self.barrier_all();
+        v
+    }
+
+    /// Global sum reduction of one u64 per PE; every PE gets the total.
+    pub fn reduce_sum_u64(&self, value: u64) -> u64 {
+        let slot = SymmetricHeap::ctrl(ctrl::REDUCE);
+        if self.my_pe() == 0 {
+            self.atomic_set(0, slot, 0);
+        }
+        self.barrier_all();
+        self.atomic_add_nbi(0, slot, value);
+        self.quiet();
+        self.barrier_all();
+        let v = self.atomic_fetch(0, slot);
+        self.barrier_all();
+        v
+    }
+
+    /// Global max reduction of one u64 per PE; every PE gets the maximum.
+    pub fn reduce_max_u64(&self, value: u64) -> u64 {
+        let slot = SymmetricHeap::ctrl(ctrl::REDUCE);
+        if self.my_pe() == 0 {
+            self.atomic_set(0, slot, 0);
+        }
+        self.barrier_all();
+        // CAS loop: repeated remote compare-swaps until our value is
+        // subsumed. (OpenSHMEM has no fetch-max; this is the idiom.)
+        let mut cur = self.atomic_fetch(0, slot);
+        while value > cur {
+            let prev = self.atomic_compare_swap(0, slot, cur, value);
+            if prev == cur {
+                break;
+            }
+            cur = prev;
+        }
+        self.barrier_all();
+        let v = self.atomic_fetch(0, slot);
+        self.barrier_all();
+        v
+    }
+
+    /// Collectively allocate `words` words of symmetric memory; every PE
+    /// receives the same address, naming a distinct object per PE.
+    ///
+    /// # Panics
+    /// Panics on every PE when the heap is exhausted (the world's result
+    /// then surfaces as [`crate::ShmemError::PePanicked`]).
+    pub fn alloc_words(&self, words: usize) -> SymAddr {
+        let slot = SymmetricHeap::ctrl(ctrl::BCAST);
+        self.barrier_all();
+        if self.my_pe() == 0 {
+            let off = match self.world().heap.bump(words) {
+                Some(off) => off as u64,
+                None => ALLOC_FAILED,
+            };
+            self.atomic_set(0, slot, off);
+        }
+        self.barrier_all();
+        let off = self.atomic_fetch(0, slot);
+        self.barrier_all();
+        if off == ALLOC_FAILED {
+            panic!(
+                "symmetric heap exhausted: requested {words} words, {} available",
+                self.world().heap.words_free()
+            );
+        }
+        SymAddr::new(off as usize)
+    }
+}
+
+impl ShmemCtx {
+    /// Global min reduction of one u64 per PE; every PE gets the minimum.
+    pub fn reduce_min_u64(&self, value: u64) -> u64 {
+        let slot = SymmetricHeap::ctrl(ctrl::REDUCE);
+        if self.my_pe() == 0 {
+            self.atomic_set(0, slot, u64::MAX);
+        }
+        self.barrier_all();
+        let mut cur = self.atomic_fetch(0, slot);
+        while value < cur {
+            let prev = self.atomic_compare_swap(0, slot, cur, value);
+            if prev == cur {
+                break;
+            }
+            cur = prev;
+        }
+        self.barrier_all();
+        let v = self.atomic_fetch(0, slot);
+        self.barrier_all();
+        v
+    }
+
+    /// All-gather one u64 per PE into a collectively allocated table;
+    /// returns every PE's contribution in rank order. The table address
+    /// is allocated on first use by the caller and passed in so repeated
+    /// gathers reuse the space.
+    pub fn all_gather64(&self, table: crate::SymAddr, value: u64) -> Vec<u64> {
+        assert!(
+            table.word() + self.n_pes() <= self.world().heap.words_per_pe(),
+            "all-gather table out of range"
+        );
+        // Everyone publishes into its slot of PE 0's table, then reads
+        // the whole table back (two barriers bracket the exchange).
+        self.atomic_set_nbi(0, table.offset(self.my_pe()), value);
+        self.quiet();
+        self.barrier_all();
+        let mut out = vec![0u64; self.n_pes()];
+        self.get_words(0, table, &mut out);
+        self.barrier_all();
+        out
+    }
+}

@@ -1,0 +1,389 @@
+//! The per-PE handle: one-sided operations with cost accounting.
+//!
+//! Every operation computes its modeled cost from the world's [`NetModel`]
+//! and records it in per-PE [`OpStats`]. In virtual-time mode the effect is
+//! gated through [`crate::vclock::VClock`] (applied in global virtual-time
+//! order, clock advanced by the cost); in threaded mode it is applied
+//! directly with real CPU atomics, optionally busy-waiting the cost out.
+//!
+//! Memory orderings (threaded mode): remote RMW atomics are `AcqRel`,
+//! atomic reads `Acquire`, atomic writes `Release`; bulk `get`/`put` use
+//! `Acquire`/`Release` per word. The queue protocols establish
+//! happens-before through the metadata word (e.g. an owner's `Release` swap
+//! of the stealval synchronizes with an initiator's `AcqRel` fetch-add), so
+//! task payload words are never read without a preceding synchronizing
+//! atomic on the same queue.
+//!
+//! Modeling note: non-blocking operations apply their memory effect at
+//! *issue* time but charge most of their latency at [`ShmemCtx::quiet`].
+//! A real NIC would deliver the effect later; applying early is a
+//! conservative simplification that affects SDC's deferred copy and SWS's
+//! completion notification identically.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+use crate::addr::SymAddr;
+use crate::net::OpKind;
+use crate::runtime::WorldShared;
+use crate::stats::OpStats;
+
+/// Per-PE handle to the world. One per PE thread; not `Sync`.
+pub struct ShmemCtx {
+    pe: usize,
+    world: std::sync::Arc<WorldShared>,
+    stats: RefCell<OpStats>,
+    /// Largest deferred-completion latency among outstanding nbi ops.
+    pending_nbi_ns: Cell<u64>,
+    /// Number of outstanding nbi ops (for quiet bookkeeping).
+    pending_nbi_count: Cell<u64>,
+    wall_start: Instant,
+}
+
+impl ShmemCtx {
+    pub(crate) fn new(pe: usize, world: std::sync::Arc<WorldShared>) -> ShmemCtx {
+        ShmemCtx {
+            pe,
+            world,
+            stats: RefCell::new(OpStats::new()),
+            pending_nbi_ns: Cell::new(0),
+            pending_nbi_count: Cell::new(0),
+            wall_start: Instant::now(),
+        }
+    }
+
+    /// This PE's rank.
+    #[inline]
+    pub fn my_pe(&self) -> usize {
+        self.pe
+    }
+
+    /// Number of PEs in the world.
+    #[inline]
+    pub fn n_pes(&self) -> usize {
+        self.world.heap.n_pes()
+    }
+
+    /// Whether the world runs under the virtual-time engine.
+    #[inline]
+    pub fn is_virtual(&self) -> bool {
+        self.world.vclock.is_some()
+    }
+
+    /// Current time in ns: virtual time under the engine, wall time
+    /// otherwise.
+    pub fn now_ns(&self) -> u64 {
+        match &self.world.vclock {
+            Some(vc) => vc.now(self.pe),
+            None => self.wall_start.elapsed().as_nanos() as u64,
+        }
+    }
+
+    /// Charge `ns` of local computation (task execution). Advances the
+    /// virtual clock, or busy-waits when latency injection is enabled in
+    /// threaded mode.
+    pub fn compute(&self, ns: u64) {
+        match &self.world.vclock {
+            Some(vc) => vc.advance(self.pe, ns),
+            None => {
+                if self.world.inject_latency {
+                    spin_ns(ns);
+                }
+            }
+        }
+    }
+
+    /// Snapshot of this PE's op counters.
+    pub fn stats(&self) -> OpStats {
+        self.stats.borrow().clone()
+    }
+
+    pub(crate) fn take_stats(&self) -> OpStats {
+        self.stats.borrow_mut().clone()
+    }
+
+    /// Apply a shared-visible effect with cost accounting and (in virtual
+    /// mode) global virtual-time ordering.
+    #[inline]
+    fn op<R>(&self, kind: OpKind, target: usize, bytes: usize, f: impl FnOnce() -> R) -> R {
+        let loc = self.world.net.locality(self.pe, target);
+        let cost = self.world.net.cost_ns(kind, bytes, loc);
+        self.stats.borrow_mut().record(kind, bytes, cost);
+        if !kind.is_blocking() {
+            let deferred = self.world.net.nbi_deferred_ns(bytes, loc);
+            self.pending_nbi_ns
+                .set(self.pending_nbi_ns.get().max(deferred));
+            self.pending_nbi_count
+                .set(self.pending_nbi_count.get() + 1);
+        }
+        match &self.world.vclock {
+            Some(vc) => vc.gated(self.pe, cost, f),
+            None => {
+                let r = f();
+                if self.world.inject_latency {
+                    spin_ns(cost);
+                }
+                r
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Bulk one-sided data movement
+    // ------------------------------------------------------------------
+
+    /// Blocking contiguous read of `dst.len()` words from (`pe`, `addr`).
+    pub fn get_words(&self, pe: usize, addr: SymAddr, dst: &mut [u64]) {
+        let heap = &self.world.heap;
+        self.op(OpKind::Get, pe, dst.len() * 8, || {
+            for (i, d) in dst.iter_mut().enumerate() {
+                *d = heap.word(pe, addr.offset(i)).load(Ordering::Acquire);
+            }
+        });
+    }
+
+    /// Blocking gather-read of two contiguous remote ranges into `dst`
+    /// (`a` first, then `b`). Counts as a single `Get` — RDMA gather/iovec
+    /// semantics — which is how a steal copies a block that wraps around a
+    /// circular task buffer in one operation.
+    pub fn get_words_gather(
+        &self,
+        pe: usize,
+        a: (SymAddr, usize),
+        b: (SymAddr, usize),
+        dst: &mut [u64],
+    ) {
+        assert_eq!(a.1 + b.1, dst.len(), "gather ranges must fill dst");
+        let heap = &self.world.heap;
+        self.op(OpKind::Get, pe, dst.len() * 8, || {
+            let (first, second) = dst.split_at_mut(a.1);
+            for (i, d) in first.iter_mut().enumerate() {
+                *d = heap.word(pe, a.0.offset(i)).load(Ordering::Acquire);
+            }
+            for (i, d) in second.iter_mut().enumerate() {
+                *d = heap.word(pe, b.0.offset(i)).load(Ordering::Acquire);
+            }
+        });
+    }
+
+    /// Blocking contiguous write of `src` to (`pe`, `addr`).
+    pub fn put_words(&self, pe: usize, addr: SymAddr, src: &[u64]) {
+        let heap = &self.world.heap;
+        self.op(OpKind::Put, pe, src.len() * 8, || {
+            for (i, &s) in src.iter().enumerate() {
+                heap.word(pe, addr.offset(i)).store(s, Ordering::Release);
+            }
+        });
+    }
+
+    /// Non-blocking contiguous write; completion deferred to [`Self::quiet`].
+    pub fn put_words_nbi(&self, pe: usize, addr: SymAddr, src: &[u64]) {
+        let heap = &self.world.heap;
+        self.op(OpKind::PutNbi, pe, src.len() * 8, || {
+            for (i, &s) in src.iter().enumerate() {
+                heap.word(pe, addr.offset(i)).store(s, Ordering::Release);
+            }
+        });
+    }
+
+    /// Wait for all outstanding non-blocking operations issued by this PE.
+    pub fn quiet(&self) {
+        if self.pending_nbi_count.get() == 0 {
+            return;
+        }
+        let deferred = self.pending_nbi_ns.get();
+        self.pending_nbi_ns.set(0);
+        self.pending_nbi_count.set(0);
+        self.stats.borrow_mut().record(OpKind::Quiet, 0, deferred);
+        match &self.world.vclock {
+            Some(vc) => vc.advance(self.pe, deferred),
+            None => {
+                if self.world.inject_latency {
+                    spin_ns(deferred);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // 64-bit remote atomics (the paper's workhorse operations)
+    // ------------------------------------------------------------------
+
+    /// Atomic fetch-add on a remote word; returns the previous value.
+    pub fn atomic_fetch_add(&self, pe: usize, addr: SymAddr, val: u64) -> u64 {
+        let heap = &self.world.heap;
+        self.op(OpKind::AtomicFetchAdd, pe, 8, || {
+            heap.word(pe, addr).fetch_add(val, Ordering::AcqRel)
+        })
+    }
+
+    /// Atomic swap on a remote word; returns the previous value.
+    pub fn atomic_swap(&self, pe: usize, addr: SymAddr, val: u64) -> u64 {
+        let heap = &self.world.heap;
+        self.op(OpKind::AtomicSwap, pe, 8, || {
+            heap.word(pe, addr).swap(val, Ordering::AcqRel)
+        })
+    }
+
+    /// Atomic compare-and-swap; returns the previous value (success iff it
+    /// equals `expected`).
+    pub fn atomic_compare_swap(&self, pe: usize, addr: SymAddr, expected: u64, new: u64) -> u64 {
+        let heap = &self.world.heap;
+        self.op(OpKind::AtomicCompareSwap, pe, 8, || {
+            match heap.word(pe, addr).compare_exchange(
+                expected,
+                new,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(prev) => prev,
+                Err(prev) => prev,
+            }
+        })
+    }
+
+    /// Atomic read of a remote word.
+    pub fn atomic_fetch(&self, pe: usize, addr: SymAddr) -> u64 {
+        let heap = &self.world.heap;
+        self.op(OpKind::AtomicFetch, pe, 8, || {
+            heap.word(pe, addr).load(Ordering::Acquire)
+        })
+    }
+
+    /// Atomic write of a remote word.
+    pub fn atomic_set(&self, pe: usize, addr: SymAddr, val: u64) {
+        let heap = &self.world.heap;
+        self.op(OpKind::AtomicSet, pe, 8, || {
+            heap.word(pe, addr).store(val, Ordering::Release)
+        });
+    }
+
+    /// Non-blocking atomic add (no fetched value); completed by `quiet`.
+    pub fn atomic_add_nbi(&self, pe: usize, addr: SymAddr, val: u64) {
+        let heap = &self.world.heap;
+        self.op(OpKind::AtomicAddNbi, pe, 8, || {
+            heap.word(pe, addr).fetch_add(val, Ordering::AcqRel);
+        });
+    }
+
+    /// Non-blocking atomic set; completed by `quiet`.
+    pub fn atomic_set_nbi(&self, pe: usize, addr: SymAddr, val: u64) {
+        let heap = &self.world.heap;
+        self.op(OpKind::AtomicSetNbi, pe, 8, || {
+            heap.word(pe, addr).store(val, Ordering::Release)
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Uncharged owner-local access
+    // ------------------------------------------------------------------
+
+    /// Read words from this PE's own region without cost, gating, or
+    /// accounting.
+    ///
+    /// Only sound for words that are not concurrently written remotely —
+    /// in the queue protocols this is guaranteed by the split invariant
+    /// (remote PEs only read the shared portion and only write completion
+    /// slots, never the owner-local region being accessed here).
+    pub fn local_read_words(&self, addr: SymAddr, dst: &mut [u64]) {
+        for (i, d) in dst.iter_mut().enumerate() {
+            *d = self
+                .world
+                .heap
+                .word(self.pe, addr.offset(i))
+                .load(Ordering::Acquire);
+        }
+    }
+
+    /// Write words into this PE's own region without cost, gating, or
+    /// accounting. See [`Self::local_read_words`] for the safety contract.
+    pub fn local_write_words(&self, addr: SymAddr, src: &[u64]) {
+        for (i, &s) in src.iter().enumerate() {
+            self.world
+                .heap
+                .word(self.pe, addr.offset(i))
+                .store(s, Ordering::Release);
+        }
+    }
+
+    /// Read one word from this PE's own region (uncharged).
+    pub fn local_read(&self, addr: SymAddr) -> u64 {
+        self.world.heap.word(self.pe, addr).load(Ordering::Acquire)
+    }
+
+    /// Write one word into this PE's own region (uncharged).
+    pub fn local_write(&self, addr: SymAddr, val: u64) {
+        self.world
+            .heap
+            .word(self.pe, addr)
+            .store(val, Ordering::Release)
+    }
+
+    // ------------------------------------------------------------------
+    // Internals shared with collectives
+    // ------------------------------------------------------------------
+
+    pub(crate) fn world(&self) -> &WorldShared {
+        &self.world
+    }
+
+    pub(crate) fn record_barrier(&self, cost: u64) {
+        self.stats.borrow_mut().record(OpKind::Barrier, 0, cost);
+    }
+}
+
+/// Busy-wait approximately `ns` nanoseconds (threaded latency injection).
+fn spin_ns(ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    let start = Instant::now();
+    while (start.elapsed().as_nanos() as u64) < ns {
+        std::hint::spin_loop();
+    }
+}
+
+impl ShmemCtx {
+    /// Blocking strided read (OpenSHMEM `iget`): `dst[i]` ←
+    /// `(pe, addr + i·stride)`. One operation — RDMA NICs expose strided
+    /// access through scatter/gather descriptors.
+    pub fn iget_words(&self, pe: usize, addr: SymAddr, stride: usize, dst: &mut [u64]) {
+        assert!(stride >= 1, "stride must be at least one word");
+        let heap = &self.world.heap;
+        self.op(OpKind::Get, pe, dst.len() * 8, || {
+            for (i, d) in dst.iter_mut().enumerate() {
+                *d = heap
+                    .word(pe, addr.offset(i * stride))
+                    .load(Ordering::Acquire);
+            }
+        });
+    }
+
+    /// Blocking strided write (OpenSHMEM `iput`): `(pe, addr + i·stride)`
+    /// ← `src[i]`.
+    pub fn iput_words(&self, pe: usize, addr: SymAddr, stride: usize, src: &[u64]) {
+        assert!(stride >= 1, "stride must be at least one word");
+        let heap = &self.world.heap;
+        self.op(OpKind::Put, pe, src.len() * 8, || {
+            for (i, &s) in src.iter().enumerate() {
+                heap.word(pe, addr.offset(i * stride))
+                    .store(s, Ordering::Release);
+            }
+        });
+    }
+
+    /// Convenience: blocking read of one remote word (a 1-word `get`,
+    /// *not* an atomic — use [`Self::atomic_fetch`] for synchronizing
+    /// reads).
+    pub fn get_word(&self, pe: usize, addr: SymAddr) -> u64 {
+        let mut v = [0u64];
+        self.get_words(pe, addr, &mut v);
+        v[0]
+    }
+
+    /// Convenience: blocking write of one remote word (a 1-word `put`).
+    pub fn put_word(&self, pe: usize, addr: SymAddr, val: u64) {
+        self.put_words(pe, addr, &[val]);
+    }
+}

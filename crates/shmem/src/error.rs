@@ -1,0 +1,72 @@
+//! Error types for world construction and execution.
+
+use std::fmt;
+
+/// Result alias for this crate.
+pub type ShmemResult<T> = Result<T, ShmemError>;
+
+/// Errors surfaced by world construction or execution.
+#[derive(Debug)]
+pub enum ShmemError {
+    /// Invalid configuration (zero PEs, zero-sized heap, ...).
+    BadConfig(String),
+    /// The symmetric heap ran out of space during a collective allocation.
+    HeapExhausted {
+        /// Words requested by the failing allocation.
+        requested: usize,
+        /// Words remaining in each PE region.
+        available: usize,
+    },
+    /// One or more PE closures panicked; the first payload message is kept.
+    PePanicked {
+        /// PE rank whose closure panicked first (by join order).
+        pe: usize,
+        /// Panic payload rendered to a string when possible.
+        message: String,
+    },
+}
+
+impl fmt::Display for ShmemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShmemError::BadConfig(msg) => write!(f, "invalid world configuration: {msg}"),
+            ShmemError::HeapExhausted {
+                requested,
+                available,
+            } => write!(
+                f,
+                "symmetric heap exhausted: requested {requested} words, {available} available"
+            ),
+            ShmemError::PePanicked { pe, message } => {
+                write!(f, "PE {pe} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShmemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ShmemError::HeapExhausted {
+            requested: 100,
+            available: 10,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100") && s.contains("10"));
+
+        let e = ShmemError::PePanicked {
+            pe: 3,
+            message: "boom".into(),
+        };
+        assert!(e.to_string().contains("PE 3"));
+        assert!(e.to_string().contains("boom"));
+
+        let e = ShmemError::BadConfig("zero PEs".into());
+        assert!(e.to_string().contains("zero PEs"));
+    }
+}

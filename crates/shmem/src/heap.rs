@@ -1,0 +1,174 @@
+//! The symmetric heap: one word-granular region per PE.
+//!
+//! All remote access in the paper's runtime goes through RDMA, which
+//! delivers 64-bit-aligned non-tearing reads/writes and 64-bit atomics. We
+//! model that by backing each PE region with `AtomicU64` words: bulk
+//! `get`/`put` are per-word loads/stores, metadata operations are real RMW
+//! atomics. This keeps racing remote copies well-defined in Rust while
+//! matching the granularity the hardware provides.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::addr::SymAddr;
+
+/// The symmetric heap shared by all PEs of a world.
+pub struct SymmetricHeap {
+    words_per_pe: usize,
+    n_pes: usize,
+    /// `n_pes * words_per_pe` words, PE-major.
+    words: Box<[AtomicU64]>,
+    /// Collective bump-allocation cursor (word index), shared by all PEs.
+    cursor: AtomicUsize,
+}
+
+/// Words at the front of every region reserved for runtime control
+/// (collective allocation broadcast, reductions, barriers). User
+/// allocations start past this block.
+pub(crate) const CTRL_WORDS: usize = 8;
+
+/// Control-block slots (word offsets within the reserved prefix).
+pub(crate) mod ctrl {
+    /// Broadcast slot used by the collective allocator and `broadcast64`.
+    pub const BCAST: usize = 0;
+    /// Accumulator used by reductions (on the root PE).
+    pub const REDUCE: usize = 1;
+}
+
+impl SymmetricHeap {
+    /// Create a heap with `words_per_pe` words for each of `n_pes` regions.
+    pub(crate) fn new(n_pes: usize, words_per_pe: usize) -> SymmetricHeap {
+        assert!(n_pes > 0, "need at least one PE");
+        assert!(
+            words_per_pe > CTRL_WORDS,
+            "heap must be larger than the control block ({CTRL_WORDS} words)"
+        );
+        let total = n_pes
+            .checked_mul(words_per_pe)
+            .expect("heap size overflows usize");
+        let mut v = Vec::with_capacity(total);
+        v.resize_with(total, || AtomicU64::new(0));
+        SymmetricHeap {
+            words_per_pe,
+            n_pes,
+            words: v.into_boxed_slice(),
+            cursor: AtomicUsize::new(CTRL_WORDS),
+        }
+    }
+
+    /// Number of PE regions.
+    #[inline]
+    pub fn n_pes(&self) -> usize {
+        self.n_pes
+    }
+
+    /// Words per PE region.
+    #[inline]
+    pub fn words_per_pe(&self) -> usize {
+        self.words_per_pe
+    }
+
+    /// Words still available to the collective allocator.
+    #[inline]
+    pub fn words_free(&self) -> usize {
+        self.words_per_pe
+            .saturating_sub(self.cursor.load(Ordering::Relaxed))
+    }
+
+    /// The backing word for (`pe`, `addr`).
+    #[inline]
+    pub(crate) fn word(&self, pe: usize, addr: SymAddr) -> &AtomicU64 {
+        debug_assert!(pe < self.n_pes, "PE {pe} out of range ({})", self.n_pes);
+        debug_assert!(
+            addr.word() < self.words_per_pe,
+            "symmetric address {} out of range ({})",
+            addr.word(),
+            self.words_per_pe
+        );
+        &self.words[pe * self.words_per_pe + addr.word()]
+    }
+
+    /// Bump the shared allocation cursor by `words`; returns the old cursor
+    /// or `None` when the region would overflow. Called by PE 0 inside the
+    /// collective allocation protocol.
+    pub(crate) fn bump(&self, words: usize) -> Option<usize> {
+        // Single writer by protocol (PE 0 between barriers), but use a CAS
+        // loop anyway so misuse cannot corrupt the cursor.
+        let mut cur = self.cursor.load(Ordering::Relaxed);
+        loop {
+            let next = cur.checked_add(words)?;
+            if next > self.words_per_pe {
+                return None;
+            }
+            match self.cursor.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(cur),
+                Err(c) => cur = c,
+            }
+        }
+    }
+
+    /// Address of a control slot (same on every PE).
+    #[inline]
+    pub(crate) fn ctrl(slot: usize) -> SymAddr {
+        debug_assert!(slot < CTRL_WORDS);
+        SymAddr::new(slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering::Relaxed;
+
+    #[test]
+    fn regions_are_independent() {
+        let h = SymmetricHeap::new(3, 64);
+        let a = SymAddr::new(CTRL_WORDS);
+        h.word(0, a).store(7, Relaxed);
+        h.word(1, a).store(8, Relaxed);
+        assert_eq!(h.word(0, a).load(Relaxed), 7);
+        assert_eq!(h.word(1, a).load(Relaxed), 8);
+        assert_eq!(h.word(2, a).load(Relaxed), 0);
+    }
+
+    #[test]
+    fn bump_allocates_disjoint_ranges() {
+        let h = SymmetricHeap::new(1, 64);
+        let a = h.bump(10).unwrap();
+        let b = h.bump(10).unwrap();
+        assert_eq!(b, a + 10);
+        assert!(h.words_free() <= 64 - 20 - CTRL_WORDS);
+    }
+
+    #[test]
+    fn bump_fails_cleanly_when_exhausted() {
+        let h = SymmetricHeap::new(1, 64);
+        assert!(h.bump(1000).is_none());
+        // A failed bump must not consume space.
+        let before = h.words_free();
+        assert!(h.bump(usize::MAX).is_none());
+        assert_eq!(h.words_free(), before);
+        assert!(h.bump(before).is_some());
+        assert!(h.bump(1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than the control block")]
+    fn tiny_heap_rejected() {
+        let _ = SymmetricHeap::new(1, 4);
+    }
+
+    #[test]
+    fn zeroed_at_start() {
+        let h = SymmetricHeap::new(2, 32);
+        for pe in 0..2 {
+            for w in 0..32 {
+                assert_eq!(h.word(pe, SymAddr::new(w)).load(Relaxed), 0);
+            }
+        }
+    }
+}

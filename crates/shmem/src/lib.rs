@@ -1,0 +1,66 @@
+//! # sws-shmem — a simulated OpenSHMEM-style PGAS substrate
+//!
+//! The SWS paper (Cartier, Dinan & Larkins, ICPP 2021) implements its work
+//! stealing runtime on OpenSHMEM over InfiniBand RDMA. This crate provides
+//! the equivalent substrate for an in-process reproduction:
+//!
+//! * a **symmetric heap**: every processing element (PE) owns a region of
+//!   64-bit words at identical symmetric addresses ([`SymAddr`]);
+//! * **one-sided operations** on remote regions: blocking `get`/`put`,
+//!   non-blocking (`_nbi`) variants completed by [`ShmemCtx::quiet`], and
+//!   64-bit remote atomics (`fetch_add`, `swap`, `compare_swap`, `fetch`,
+//!   `set`) — the operation set §4 of the paper relies on;
+//! * **collectives**: barrier, broadcast, and reductions, plus a collective
+//!   symmetric allocator;
+//! * a **network cost model** ([`NetModel`]) charging a configurable
+//!   latency + bandwidth cost per operation class, with per-PE counters
+//!   ([`OpStats`]) so experiments can report exact communication counts;
+//! * two execution modes ([`ExecMode`]):
+//!   - `Threaded`: PEs are OS threads performing real CPU atomics on the
+//!     shared heap — used for concurrency stress tests;
+//!   - `Virtual`: the same threads are additionally serialized by a
+//!     conservative **virtual-time engine** ([`vclock::VClock`]): every
+//!     remote effect applies in global virtual-time order and advances the
+//!     issuing PE's clock by the modeled cost. This yields deterministic,
+//!     seedable "runs" of up to thousands of PEs on a single core, from
+//!     which runtime / steal time / search time are read off the clocks.
+//!
+//! The public entry point is [`run_world`]:
+//!
+//! ```
+//! use sws_shmem::{run_world, WorldConfig};
+//!
+//! let cfg = WorldConfig::virtual_time(4, 1 << 12);
+//! let out = run_world(cfg, |ctx| {
+//!     let flag = ctx.alloc_words(1);
+//!     if ctx.my_pe() == 0 {
+//!         ctx.atomic_set(1, flag, 42); // one-sided write to PE 1
+//!     }
+//!     ctx.barrier_all();
+//!     ctx.atomic_fetch(ctx.my_pe(), flag)
+//! })
+//! .unwrap();
+//! assert_eq!(out.results[1], 42);
+//! ```
+
+#![warn(missing_docs)]
+
+mod addr;
+mod collectives;
+mod ctx;
+mod error;
+mod heap;
+mod net;
+mod runtime;
+mod stats;
+mod sync;
+pub mod vclock;
+
+pub use addr::SymAddr;
+pub use ctx::ShmemCtx;
+pub use error::{ShmemError, ShmemResult};
+pub use heap::SymmetricHeap;
+pub use net::{Locality, NetModel, OpKind, ALL_OP_KINDS, OP_KIND_COUNT};
+pub use runtime::{run_world, ExecMode, WorldConfig, WorldOutput};
+pub use stats::{OpStats, StatsSummary};
+pub use sync::WaitCmp;

@@ -1,0 +1,597 @@
+//! World construction and PE execution.
+//!
+//! [`run_world`] spawns one OS thread per PE, hands each a [`ShmemCtx`],
+//! runs the supplied SPMD closure, and collects per-PE results, op
+//! statistics, and final (virtual) clocks. A panic on any PE poisons the
+//! world so blocked peers fail fast instead of deadlocking, and surfaces as
+//! [`ShmemError::PePanicked`].
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::ctx::ShmemCtx;
+use crate::error::{ShmemError, ShmemResult};
+use crate::heap::SymmetricHeap;
+use crate::net::NetModel;
+use crate::stats::{OpStats, StatsSummary};
+use crate::vclock::VClock;
+
+/// How PEs execute.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Real threads, real atomics; op costs optionally injected as
+    /// busy-waits. Nondeterministic interleavings — use for stress tests.
+    Threaded {
+        /// Busy-wait each op's modeled cost (for wall-clock microbenches).
+        inject_latency: bool,
+    },
+    /// Conservative virtual-time serialization: deterministic, scalable to
+    /// thousands of PEs on few cores. Use for experiments.
+    Virtual,
+}
+
+/// World configuration.
+#[derive(Copy, Clone, Debug)]
+pub struct WorldConfig {
+    /// Number of PEs.
+    pub n_pes: usize,
+    /// Symmetric heap size per PE, in 64-bit words.
+    pub heap_words: usize,
+    /// Network cost model.
+    pub net: NetModel,
+    /// Execution mode.
+    pub mode: ExecMode,
+}
+
+impl WorldConfig {
+    /// Virtual-time world with the default (EDR InfiniBand-like) network.
+    pub fn virtual_time(n_pes: usize, heap_words: usize) -> WorldConfig {
+        WorldConfig {
+            n_pes,
+            heap_words,
+            net: NetModel::edr_infiniband(),
+            mode: ExecMode::Virtual,
+        }
+    }
+
+    /// Threaded world with zero-cost network (pure correctness testing).
+    pub fn threaded(n_pes: usize, heap_words: usize) -> WorldConfig {
+        WorldConfig {
+            n_pes,
+            heap_words,
+            net: NetModel::zero(),
+            mode: ExecMode::Threaded {
+                inject_latency: false,
+            },
+        }
+    }
+
+    /// Replace the network model.
+    #[must_use]
+    pub fn with_net(mut self, net: NetModel) -> WorldConfig {
+        self.net = net;
+        self
+    }
+}
+
+/// State shared by every PE of a world.
+pub(crate) struct WorldShared {
+    pub(crate) heap: SymmetricHeap,
+    pub(crate) net: NetModel,
+    pub(crate) vclock: Option<Arc<VClock>>,
+    pub(crate) thread_barrier: ThreadBarrier,
+    pub(crate) inject_latency: bool,
+}
+
+/// Everything a finished world produced.
+#[derive(Debug)]
+pub struct WorldOutput<R> {
+    /// Per-PE closure results, in rank order.
+    pub results: Vec<R>,
+    /// Per-PE and aggregate communication statistics.
+    pub stats: StatsSummary,
+    /// Final virtual clock per PE (ns); zeros in threaded mode.
+    pub virtual_ns: Vec<u64>,
+    /// Wall-clock duration of the whole world.
+    pub elapsed: Duration,
+}
+
+impl<R> WorldOutput<R> {
+    /// The maximum final virtual clock — the paper's "runtime of the
+    /// computation" (all PEs run until global termination).
+    pub fn makespan_ns(&self) -> u64 {
+        self.virtual_ns.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Run an SPMD closure on `cfg.n_pes` PEs and collect the results.
+///
+/// The closure runs once per PE with that PE's [`ShmemCtx`]. It must follow
+/// the SPMD collective contract (all PEs call collectives in the same
+/// order).
+pub fn run_world<R, F>(cfg: WorldConfig, f: F) -> ShmemResult<WorldOutput<R>>
+where
+    R: Send,
+    F: Fn(&ShmemCtx) -> R + Sync,
+{
+    if cfg.n_pes == 0 {
+        return Err(ShmemError::BadConfig("n_pes must be nonzero".into()));
+    }
+    if cfg.n_pes > 1 << 16 {
+        return Err(ShmemError::BadConfig(format!(
+            "n_pes = {} exceeds the 65536-PE thread budget",
+            cfg.n_pes
+        )));
+    }
+
+    let vclock = match cfg.mode {
+        ExecMode::Virtual => Some(Arc::new(VClock::new(cfg.n_pes))),
+        ExecMode::Threaded { .. } => None,
+    };
+    let inject_latency = matches!(
+        cfg.mode,
+        ExecMode::Threaded {
+            inject_latency: true
+        }
+    );
+    let world = Arc::new(WorldShared {
+        heap: SymmetricHeap::new(cfg.n_pes, cfg.heap_words),
+        net: cfg.net,
+        vclock: vclock.clone(),
+        thread_barrier: ThreadBarrier::new(cfg.n_pes),
+        inject_latency,
+    });
+
+    let start = Instant::now();
+    type PeSlot<R> = Option<Result<(R, OpStats, u64), String>>;
+    let mut slots: Vec<PeSlot<R>> = Vec::new();
+    slots.resize_with(cfg.n_pes, || None);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(cfg.n_pes);
+        for pe in 0..cfg.n_pes {
+            let world = Arc::clone(&world);
+            let vclock = vclock.clone();
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let ctx = ShmemCtx::new(pe, world);
+                let out = std::panic::catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+                match out {
+                    Ok(r) => {
+                        let stats = ctx.take_stats();
+                        let t = match &vclock {
+                            Some(vc) => {
+                                let t = vc.now(pe);
+                                vc.finish(pe);
+                                t
+                            }
+                            None => 0,
+                        };
+                        Ok((r, stats, t))
+                    }
+                    Err(payload) => {
+                        // Poison so peers blocked in gates/barriers bail.
+                        if let Some(vc) = &vclock {
+                            vc.poison();
+                        }
+                        ctx.world().thread_barrier.poison();
+                        Err(panic_message(&*payload))
+                    }
+                }
+            }));
+        }
+        for (pe, h) in handles.into_iter().enumerate() {
+            slots[pe] = Some(match h.join() {
+                Ok(r) => r,
+                Err(payload) => Err(panic_message(&*payload)),
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+
+    let mut results = Vec::with_capacity(cfg.n_pes);
+    let mut per_pe_stats = Vec::with_capacity(cfg.n_pes);
+    let mut virtual_ns = Vec::with_capacity(cfg.n_pes);
+    let mut first_err: Option<(usize, String)> = None;
+    for (pe, slot) in slots.into_iter().enumerate() {
+        match slot.expect("every PE slot filled") {
+            Ok((r, s, t)) => {
+                results.push(r);
+                per_pe_stats.push(s);
+                virtual_ns.push(t);
+            }
+            Err(msg) => {
+                if first_err.is_none() {
+                    first_err = Some((pe, msg));
+                }
+            }
+        }
+    }
+    if let Some((pe, message)) = first_err {
+        return Err(ShmemError::PePanicked { pe, message });
+    }
+    Ok(WorldOutput {
+        results,
+        stats: StatsSummary::from_per_pe(per_pe_stats),
+        virtual_ns,
+        elapsed,
+    })
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Reusable sense-reversing barrier for threaded mode, with poisoning so a
+/// panicked PE cannot leave peers blocked forever.
+pub(crate) struct ThreadBarrier {
+    inner: Mutex<BarrierInner>,
+    cv: Condvar,
+    n: usize,
+    poisoned: AtomicBool,
+}
+
+struct BarrierInner {
+    arrived: usize,
+    generation: u64,
+}
+
+impl ThreadBarrier {
+    pub(crate) fn new(n: usize) -> ThreadBarrier {
+        ThreadBarrier {
+            inner: Mutex::new(BarrierInner {
+                arrived: 0,
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+            n,
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    pub(crate) fn wait(&self) {
+        if self.poisoned.load(Ordering::Relaxed) {
+            panic!("threaded world poisoned: a peer PE panicked");
+        }
+        let mut g = self.inner.lock();
+        g.arrived += 1;
+        if g.arrived == self.n {
+            g.arrived = 0;
+            g.generation += 1;
+            self.cv.notify_all();
+        } else {
+            let gen = g.generation;
+            while g.generation == gen {
+                self.cv.wait(&mut g);
+                if self.poisoned.load(Ordering::Relaxed) {
+                    panic!("threaded world poisoned: a peer PE panicked");
+                }
+            }
+        }
+    }
+
+    pub(crate) fn poison(&self) {
+        self.poisoned.store(true, Ordering::Relaxed);
+        let _g = self.inner.lock();
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::OpKind;
+
+    #[test]
+    fn world_runs_and_collects_results() {
+        for mode in [
+            WorldConfig::threaded(4, 256),
+            WorldConfig::virtual_time(4, 256),
+        ] {
+            let out = run_world(mode, |ctx| ctx.my_pe() * 10).unwrap();
+            assert_eq!(out.results, vec![0, 10, 20, 30]);
+        }
+    }
+
+    #[test]
+    fn one_sided_put_get_roundtrip() {
+        let out = run_world(WorldConfig::virtual_time(2, 256), |ctx| {
+            let a = ctx.alloc_words(4);
+            if ctx.my_pe() == 0 {
+                ctx.put_words(1, a, &[1, 2, 3, 4]);
+            }
+            ctx.barrier_all();
+            let mut buf = [0u64; 4];
+            ctx.get_words(1, a, &mut buf);
+            buf
+        })
+        .unwrap();
+        assert_eq!(out.results[0], [1, 2, 3, 4]);
+        assert_eq!(out.results[1], [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn atomics_are_atomic_across_pes() {
+        // Every PE increments a counter on PE 0 many times; the total must
+        // be exact in both modes.
+        for cfg in [
+            WorldConfig::threaded(8, 256),
+            WorldConfig::virtual_time(8, 256),
+        ] {
+            let out = run_world(cfg, |ctx| {
+                let a = ctx.alloc_words(1);
+                for _ in 0..100 {
+                    ctx.atomic_fetch_add(0, a, 1);
+                }
+                ctx.barrier_all();
+                ctx.atomic_fetch(0, a)
+            })
+            .unwrap();
+            assert!(out.results.iter().all(|&v| v == 800));
+        }
+    }
+
+    #[test]
+    fn broadcast_and_reductions() {
+        let out = run_world(WorldConfig::virtual_time(5, 256), |ctx| {
+            let b = ctx.broadcast64(2, (ctx.my_pe() as u64 + 1) * 7);
+            let s = ctx.reduce_sum_u64(ctx.my_pe() as u64);
+            let m = ctx.reduce_max_u64(ctx.my_pe() as u64 * 3);
+            (b, s, m)
+        })
+        .unwrap();
+        for &(b, s, m) in &out.results {
+            assert_eq!(b, 21); // root 2's value
+            assert_eq!(s, 10); // 0+1+2+3+4
+            assert_eq!(m, 12);
+        }
+    }
+
+    #[test]
+    fn pe_panic_is_reported_not_deadlocked() {
+        let err = run_world(WorldConfig::virtual_time(3, 256), |ctx| {
+            if ctx.my_pe() == 1 {
+                panic!("deliberate test panic");
+            }
+            // Peers would block here forever without poisoning.
+            ctx.barrier_all();
+        })
+        .unwrap_err();
+        match err {
+            ShmemError::PePanicked { message, .. } => {
+                assert!(
+                    message.contains("deliberate") || message.contains("poisoned"),
+                    "unexpected: {message}"
+                );
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn virtual_time_charges_costs() {
+        let cfg = WorldConfig::virtual_time(2, 256);
+        let out = run_world(cfg, |ctx| {
+            if ctx.my_pe() == 0 {
+                let a = ctx.alloc_words(1);
+                for _ in 0..10 {
+                    ctx.atomic_fetch_add(1, a, 1);
+                }
+            } else {
+                let _a = ctx.alloc_words(1);
+            }
+            ctx.barrier_all();
+        })
+        .unwrap();
+        // PE 0 paid 10 remote atomics at 1.5 µs each, plus collectives.
+        assert!(out.makespan_ns() >= 15_000, "{}", out.makespan_ns());
+        assert_eq!(out.stats.total.count(OpKind::AtomicFetchAdd), 10);
+    }
+
+    #[test]
+    fn deterministic_virtual_runs() {
+        fn run_once() -> (Vec<u64>, u64) {
+            let out = run_world(WorldConfig::virtual_time(6, 512), |ctx| {
+                let a = ctx.alloc_words(1);
+                for i in 0..50u64 {
+                    let target = (ctx.my_pe() + 1 + i as usize) % ctx.n_pes();
+                    ctx.atomic_fetch_add(target, a, i);
+                }
+                ctx.barrier_all();
+                ctx.atomic_fetch(ctx.my_pe(), a)
+            })
+            .unwrap();
+            (out.results.clone(), out.makespan_ns())
+        }
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn nbi_ops_complete_at_quiet() {
+        let out = run_world(WorldConfig::virtual_time(2, 256), |ctx| {
+            let a = ctx.alloc_words(2);
+            if ctx.my_pe() == 0 {
+                ctx.put_words_nbi(1, a, &[9, 9]);
+                ctx.atomic_add_nbi(1, a, 1);
+                ctx.quiet();
+            }
+            ctx.barrier_all();
+            ctx.atomic_fetch(ctx.my_pe(), a)
+        })
+        .unwrap();
+        assert_eq!(out.results[1], 10);
+        assert_eq!(out.stats.total.count(OpKind::Quiet), 1);
+    }
+
+    #[test]
+    fn zero_pes_rejected() {
+        let cfg = WorldConfig::virtual_time(0, 256);
+        assert!(matches!(
+            run_world(cfg, |_| ()),
+            Err(ShmemError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn heap_exhaustion_panics_collectively() {
+        let err = run_world(WorldConfig::virtual_time(2, 64), |ctx| {
+            let _ = ctx.alloc_words(1_000_000);
+        })
+        .unwrap_err();
+        match err {
+            ShmemError::PePanicked { message, .. } => {
+                assert!(message.contains("exhausted"), "{message}")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod collective_tests {
+    use super::*;
+
+    #[test]
+    fn reduce_min_and_all_gather() {
+        let out = run_world(WorldConfig::virtual_time(5, 512), |ctx| {
+            let table = ctx.alloc_words(ctx.n_pes());
+            let min = ctx.reduce_min_u64(100 - ctx.my_pe() as u64);
+            let gathered = ctx.all_gather64(table, ctx.my_pe() as u64 * 11);
+            (min, gathered)
+        })
+        .unwrap();
+        for (min, gathered) in out.results {
+            assert_eq!(min, 96, "min of 100-pe over pe in 0..5");
+            assert_eq!(gathered, vec![0, 11, 22, 33, 44]);
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_interfere() {
+        let out = run_world(WorldConfig::virtual_time(3, 512), |ctx| {
+            let mut acc = Vec::new();
+            for round in 0..4u64 {
+                acc.push(ctx.reduce_sum_u64(round + ctx.my_pe() as u64));
+                acc.push(ctx.reduce_max_u64(round * 10 + ctx.my_pe() as u64));
+                acc.push(ctx.broadcast64((round % 3) as usize, round * 100));
+            }
+            acc
+        })
+        .unwrap();
+        for r in &out.results {
+            assert_eq!(r, &out.results[0], "collectives agree on every PE");
+        }
+        // Round 2 sum: (2+0)+(2+1)+(2+2) = 9.
+        assert_eq!(out.results[0][6], 9);
+        // Round 3 max: 30+2 = 32.
+        assert_eq!(out.results[0][10], 32);
+        // Round 1 broadcast from PE 1: 100.
+        assert_eq!(out.results[0][5], 100);
+    }
+}
+
+#[cfg(test)]
+mod latency_injection_tests {
+    use super::*;
+    use crate::net::NetModel;
+    use std::time::Instant;
+
+    #[test]
+    fn injected_latency_shows_up_in_wall_time() {
+        // 200 remote ops at 100 µs each must take ≥ 20 ms of wall time
+        // when injection is on, and far less when off.
+        let net = NetModel::uniform_latency(100_000);
+        let run = |inject| {
+            let cfg = WorldConfig {
+                n_pes: 1,
+                heap_words: 256,
+                net,
+                mode: ExecMode::Threaded {
+                    inject_latency: inject,
+                },
+            };
+            let t0 = Instant::now();
+            run_world(cfg, |ctx| {
+                let a = ctx.alloc_words(1);
+                for _ in 0..200 {
+                    ctx.atomic_fetch_add(0, a, 1);
+                }
+            })
+            .unwrap();
+            t0.elapsed()
+        };
+        let slow = run(true);
+        // Ops are SamePe (local latency = rtt/20 = 5 µs each → ≥ 1 ms).
+        assert!(
+            slow.as_micros() >= 1_000,
+            "injection had no effect: {slow:?}"
+        );
+        let fast = run(false);
+        assert!(fast < slow, "no-injection faster: {fast:?} vs {slow:?}");
+    }
+}
+
+#[cfg(test)]
+mod strided_tests {
+    use super::*;
+
+    #[test]
+    fn strided_put_get_roundtrip() {
+        let out = run_world(WorldConfig::virtual_time(2, 512), |ctx| {
+            let a = ctx.alloc_words(32);
+            if ctx.my_pe() == 0 {
+                // Write a column of a 4-wide matrix on PE 1.
+                ctx.iput_words(1, a.offset(2), 4, &[10, 11, 12, 13]);
+            }
+            ctx.barrier_all();
+            let mut col = [0u64; 4];
+            ctx.iget_words(1, a.offset(2), 4, &mut col);
+            let mut row = [0u64; 4];
+            ctx.get_words(1, a, &mut row);
+            (col, row)
+        })
+        .unwrap();
+        for (col, row) in out.results {
+            assert_eq!(col, [10, 11, 12, 13]);
+            // Row 0: only word 2 (the column head) was touched.
+            assert_eq!(row, [0, 0, 10, 0]);
+        }
+    }
+
+    #[test]
+    fn word_convenience_ops() {
+        let out = run_world(WorldConfig::virtual_time(2, 256), |ctx| {
+            let a = ctx.alloc_words(1);
+            if ctx.my_pe() == 0 {
+                ctx.put_word(1, a, 77);
+            }
+            ctx.barrier_all();
+            ctx.get_word(1, a)
+        })
+        .unwrap();
+        assert_eq!(out.results, vec![77, 77]);
+    }
+
+    #[test]
+    fn stride_one_equals_contiguous() {
+        let out = run_world(WorldConfig::virtual_time(1, 256), |ctx| {
+            let a = ctx.alloc_words(8);
+            ctx.iput_words(0, a, 1, &[1, 2, 3, 4]);
+            let mut direct = [0u64; 4];
+            ctx.get_words(0, a, &mut direct);
+            direct
+        })
+        .unwrap();
+        assert_eq!(out.results[0], [1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,210 @@
+//! Per-PE communication statistics.
+//!
+//! The paper reports exact communication counts per steal (Fig. 2) and
+//! derives steal/search times from them. Every operation issued through
+//! [`crate::ShmemCtx`] is tallied here; schedulers snapshot and diff these
+//! counters to attribute operations to steals, searches, or queue upkeep.
+
+use serde::{Deserialize, Serialize};
+
+use crate::net::{OpKind, ALL_OP_KINDS, OP_KIND_COUNT};
+
+/// Operation counters for one PE (or an aggregate of several).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct OpStats {
+    /// Operations issued, indexed by `OpKind as usize`.
+    pub counts: [u64; OP_KIND_COUNT],
+    /// Payload bytes moved, indexed by `OpKind as usize`.
+    pub bytes: [u64; OP_KIND_COUNT],
+    /// Total modeled communication time, ns (blocking cost + deferred nbi).
+    pub comm_ns: u64,
+}
+
+impl OpStats {
+    /// A zeroed counter set.
+    pub fn new() -> OpStats {
+        OpStats::default()
+    }
+
+    /// Record one operation.
+    #[inline]
+    pub fn record(&mut self, kind: OpKind, bytes: usize, cost_ns: u64) {
+        self.counts[kind as usize] += 1;
+        self.bytes[kind as usize] += bytes as u64;
+        self.comm_ns += cost_ns;
+    }
+
+    /// Count for one kind.
+    #[inline]
+    pub fn count(&self, kind: OpKind) -> u64 {
+        self.counts[kind as usize]
+    }
+
+    /// Bytes for one kind.
+    #[inline]
+    pub fn bytes_of(&self, kind: OpKind) -> u64 {
+        self.bytes[kind as usize]
+    }
+
+    /// Total operations of any kind.
+    pub fn total_ops(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total operations excluding barriers and quiets (pure data-plane).
+    pub fn data_ops(&self) -> u64 {
+        self.total_ops()
+            - self.count(OpKind::Barrier)
+            - self.count(OpKind::Quiet)
+    }
+
+    /// Total blocking operations (the paper's critical-path count).
+    pub fn blocking_ops(&self) -> u64 {
+        ALL_OP_KINDS
+            .iter()
+            .filter(|k| k.is_blocking() && !matches!(k, OpKind::Barrier | OpKind::Quiet))
+            .map(|&k| self.count(k))
+            .sum()
+    }
+
+    /// Total payload bytes of any kind.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// `self - earlier`, element-wise; panics if `earlier` is not a prefix
+    /// (i.e. counters went backwards, which would be a bookkeeping bug).
+    pub fn since(&self, earlier: &OpStats) -> OpStats {
+        let mut out = OpStats::new();
+        for i in 0..OP_KIND_COUNT {
+            out.counts[i] = self.counts[i]
+                .checked_sub(earlier.counts[i])
+                .expect("op counters went backwards");
+            out.bytes[i] = self.bytes[i]
+                .checked_sub(earlier.bytes[i])
+                .expect("byte counters went backwards");
+        }
+        out.comm_ns = self
+            .comm_ns
+            .checked_sub(earlier.comm_ns)
+            .expect("comm time went backwards");
+        out
+    }
+
+    /// Accumulate another counter set into this one.
+    pub fn merge(&mut self, other: &OpStats) {
+        for i in 0..OP_KIND_COUNT {
+            self.counts[i] += other.counts[i];
+            self.bytes[i] += other.bytes[i];
+        }
+        self.comm_ns += other.comm_ns;
+    }
+}
+
+/// Aggregate view over all PEs of a finished world.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct StatsSummary {
+    /// Sum of all per-PE counters.
+    pub total: OpStats,
+    /// Per-PE counters in rank order.
+    pub per_pe: Vec<OpStats>,
+}
+
+impl StatsSummary {
+    /// Build a summary from per-PE counters.
+    pub fn from_per_pe(per_pe: Vec<OpStats>) -> StatsSummary {
+        let mut total = OpStats::new();
+        for s in &per_pe {
+            total.merge(s);
+        }
+        StatsSummary { total, per_pe }
+    }
+
+    /// Render a compact per-kind table (counts and bytes), for reports.
+    pub fn table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<12} {:>12} {:>14}", "op", "count", "bytes");
+        for k in ALL_OP_KINDS {
+            let c = self.total.count(k);
+            if c == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:<12} {:>12} {:>14}",
+                k.label(),
+                c,
+                self.total.bytes_of(k)
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_diff() {
+        let mut a = OpStats::new();
+        a.record(OpKind::Get, 192, 1_500);
+        a.record(OpKind::AtomicFetchAdd, 8, 1_500);
+        let snap = a.clone();
+        a.record(OpKind::Get, 24, 1_500);
+
+        let d = a.since(&snap);
+        assert_eq!(d.count(OpKind::Get), 1);
+        assert_eq!(d.bytes_of(OpKind::Get), 24);
+        assert_eq!(d.count(OpKind::AtomicFetchAdd), 0);
+        assert_eq!(d.comm_ns, 1_500);
+    }
+
+    #[test]
+    #[should_panic(expected = "op counters went backwards")]
+    fn since_rejects_regression() {
+        let a = OpStats::new();
+        let mut b = OpStats::new();
+        b.record(OpKind::Put, 8, 10);
+        let _ = a.since(&b);
+    }
+
+    #[test]
+    fn blocking_count_matches_paper_protocols() {
+        // Emulate the op mix of one SWS steal: fadd + get + set_nbi.
+        let mut sws = OpStats::new();
+        sws.record(OpKind::AtomicFetchAdd, 8, 1_500);
+        sws.record(OpKind::Get, 192, 1_516);
+        sws.record(OpKind::AtomicSetNbi, 8, 120);
+        assert_eq!(sws.data_ops(), 3);
+        assert_eq!(sws.blocking_ops(), 2);
+
+        // One SDC steal: cswap + get + put + swap + get + add_nbi.
+        let mut sdc = OpStats::new();
+        sdc.record(OpKind::AtomicCompareSwap, 8, 1_500);
+        sdc.record(OpKind::Get, 16, 1_501);
+        sdc.record(OpKind::Put, 8, 1_500);
+        sdc.record(OpKind::AtomicSwap, 8, 1_500);
+        sdc.record(OpKind::Get, 192, 1_516);
+        sdc.record(OpKind::AtomicAddNbi, 8, 120);
+        assert_eq!(sdc.data_ops(), 6);
+        assert_eq!(sdc.blocking_ops(), 5);
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let mut a = OpStats::new();
+        a.record(OpKind::Get, 10, 5);
+        let mut b = OpStats::new();
+        b.record(OpKind::Get, 20, 7);
+        b.record(OpKind::Barrier, 0, 100);
+        let s = StatsSummary::from_per_pe(vec![a, b]);
+        assert_eq!(s.total.count(OpKind::Get), 2);
+        assert_eq!(s.total.bytes_of(OpKind::Get), 30);
+        assert_eq!(s.total.comm_ns, 112);
+        assert!(s.table().contains("get"));
+        assert!(s.table().contains("barrier"));
+        assert!(!s.table().contains("amo_swap"));
+    }
+}

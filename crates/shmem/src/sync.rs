@@ -1,0 +1,186 @@
+//! Point-to-point synchronization and distributed locks — the
+//! OpenSHMEM `shmem_wait_until` / `shmem_set_lock` surface.
+//!
+//! The queue protocols themselves avoid these (that's the paper's
+//! point), but a complete substrate needs them: applications built on
+//! the task pool use flags and locks for phases and shared structures,
+//! and the SDC baseline's spinlock is the degenerate inline form of the
+//! same pattern.
+//!
+//! In virtual-time mode every probe is a charged, gated operation, so a
+//! waiting PE's clock advances and the PE it waits on can always make
+//! progress — the same liveness argument as the scheduler's poll loops.
+
+use crate::addr::SymAddr;
+use crate::ctx::ShmemCtx;
+
+/// Comparison operators for [`ShmemCtx::wait_until`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum WaitCmp {
+    /// Wait until the word equals the operand.
+    Eq,
+    /// Wait until the word differs from the operand.
+    Ne,
+    /// Wait until the word is greater than the operand.
+    Gt,
+    /// Wait until the word is at least the operand.
+    Ge,
+    /// Wait until the word is less than the operand.
+    Lt,
+    /// Wait until the word is at most the operand.
+    Le,
+}
+
+impl WaitCmp {
+    fn holds(self, value: u64, operand: u64) -> bool {
+        match self {
+            WaitCmp::Eq => value == operand,
+            WaitCmp::Ne => value != operand,
+            WaitCmp::Gt => value > operand,
+            WaitCmp::Ge => value >= operand,
+            WaitCmp::Lt => value < operand,
+            WaitCmp::Le => value <= operand,
+        }
+    }
+}
+
+impl ShmemCtx {
+    /// Poll (`pe`, `addr`) until `cmp` holds against `operand`; returns
+    /// the satisfying value. Each probe is one charged atomic fetch.
+    pub fn wait_until(&self, pe: usize, addr: SymAddr, cmp: WaitCmp, operand: u64) -> u64 {
+        loop {
+            let v = self.atomic_fetch(pe, addr);
+            if cmp.holds(v, operand) {
+                return v;
+            }
+        }
+    }
+
+    /// Acquire a distributed lock word (0 = free): spin with remote
+    /// compare-swaps, OpenSHMEM `shmem_set_lock` style. The winning value
+    /// written is `my_pe + 1` so a debugger can see the holder.
+    pub fn set_lock(&self, pe: usize, addr: SymAddr) {
+        let me = self.my_pe() as u64 + 1;
+        loop {
+            if self.atomic_compare_swap(pe, addr, 0, me) == 0 {
+                return;
+            }
+        }
+    }
+
+    /// Try to acquire the lock once; `true` on success.
+    pub fn test_lock(&self, pe: usize, addr: SymAddr) -> bool {
+        let me = self.my_pe() as u64 + 1;
+        self.atomic_compare_swap(pe, addr, 0, me) == 0
+    }
+
+    /// Release a lock previously acquired with [`Self::set_lock`].
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if this PE does not hold the lock —
+    /// releasing someone else's lock is always a bug.
+    pub fn clear_lock(&self, pe: usize, addr: SymAddr) {
+        let me = self.my_pe() as u64 + 1;
+        let prev = self.atomic_swap(pe, addr, 0);
+        debug_assert_eq!(prev, me, "released a lock held by PE {}", prev as i64 - 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{run_world, WorldConfig};
+
+    #[test]
+    fn wait_until_sees_a_remote_flag() {
+        for cfg in [
+            WorldConfig::threaded(2, 256),
+            WorldConfig::virtual_time(2, 256),
+        ] {
+            let out = run_world(cfg, |ctx| {
+                let flag = ctx.alloc_words(1);
+                if ctx.my_pe() == 0 {
+                    ctx.compute(5_000);
+                    ctx.atomic_set(1, flag, 7);
+                    0
+                } else {
+                    ctx.wait_until(ctx.my_pe(), flag, WaitCmp::Ge, 7)
+                }
+            })
+            .unwrap();
+            assert_eq!(out.results[1], 7);
+        }
+    }
+
+    #[test]
+    fn wait_cmp_operators() {
+        assert!(WaitCmp::Eq.holds(3, 3));
+        assert!(!WaitCmp::Eq.holds(3, 4));
+        assert!(WaitCmp::Ne.holds(3, 4));
+        assert!(WaitCmp::Gt.holds(4, 3));
+        assert!(WaitCmp::Ge.holds(3, 3));
+        assert!(WaitCmp::Lt.holds(2, 3));
+        assert!(WaitCmp::Le.holds(3, 3));
+        assert!(!WaitCmp::Le.holds(4, 3));
+    }
+
+    #[test]
+    fn lock_provides_mutual_exclusion() {
+        // 6 PEs increment a non-atomic counter pair under the lock; the
+        // pair must never tear (both words always equal).
+        for cfg in [
+            WorldConfig::threaded(6, 256),
+            WorldConfig::virtual_time(6, 256),
+        ] {
+            let out = run_world(cfg, |ctx| {
+                let lock = ctx.alloc_words(1);
+                let data = ctx.alloc_words(2);
+                for _ in 0..20 {
+                    ctx.set_lock(0, lock);
+                    // Non-atomic read-modify-write of two words on PE 0:
+                    // only safe under the lock.
+                    let mut pair = [0u64; 2];
+                    ctx.get_words(0, data, &mut pair);
+                    assert_eq!(pair[0], pair[1], "torn update observed");
+                    ctx.put_words(0, data, &[pair[0] + 1, pair[1] + 1]);
+                    ctx.clear_lock(0, lock);
+                }
+                ctx.barrier_all();
+                let mut pair = [0u64; 2];
+                ctx.get_words(0, data, &mut pair);
+                pair
+            })
+            .unwrap();
+            for pair in out.results {
+                assert_eq!(pair, [120, 120], "6 PEs × 20 increments");
+            }
+        }
+    }
+
+    #[test]
+    fn test_lock_fails_when_held() {
+        let out = run_world(WorldConfig::virtual_time(2, 256), |ctx| {
+            let lock = ctx.alloc_words(1);
+            let mut observed_busy = false;
+            if ctx.my_pe() == 0 {
+                ctx.set_lock(0, lock);
+            }
+            ctx.barrier_all();
+            if ctx.my_pe() == 1 {
+                observed_busy = !ctx.test_lock(0, lock);
+            }
+            ctx.barrier_all();
+            if ctx.my_pe() == 0 {
+                ctx.clear_lock(0, lock);
+            }
+            ctx.barrier_all();
+            if ctx.my_pe() == 1 {
+                assert!(ctx.test_lock(0, lock), "free after clear");
+                ctx.clear_lock(0, lock);
+            }
+            observed_busy
+        })
+        .unwrap();
+        assert!(out.results[1]);
+    }
+}

@@ -1,0 +1,458 @@
+//! Conservative virtual-time engine.
+//!
+//! The paper evaluates on up to 2,112 cores. To reproduce its scaling
+//! figures on commodity hardware, worlds can run in *virtual-time* mode:
+//! every PE owns a virtual clock (ns); local work advances only its own
+//! clock, but every **shared-visible effect** (a one-sided operation on the
+//! symmetric heap) is *gated* — it may only be applied when the issuing PE
+//! holds the globally minimal clock (ties broken by PE rank). Effects are
+//! therefore applied in non-decreasing virtual-time order, which makes the
+//! execution serializable and — together with seeded per-PE RNGs —
+//! completely deterministic.
+//!
+//! This is the classic conservative (null-message-free, centralized)
+//! parallel-discrete-event-simulation rule: the minimum-timestamp entity
+//! runs next. PEs are real OS threads running straight-line scheduler code;
+//! the engine simply blocks a thread until its clock is minimal.
+//!
+//! Liveness requires every loop that waits on remote state to advance its
+//! clock between probes; [`crate::ShmemCtx`] enforces a ≥1 ns cost on every
+//! gated operation.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum PeState {
+    /// Executing; its clock participates in the global minimum.
+    Running,
+    /// Blocked in `gate` waiting to become the minimum.
+    Gating,
+    /// Blocked in a barrier; excluded from the minimum (it will apply no
+    /// effect until every PE has entered, at which point clocks resync).
+    InBarrier,
+    /// Finished; excluded from the minimum forever.
+    Done,
+}
+
+struct Inner {
+    clocks: Vec<u64>,
+    state: Vec<PeState>,
+    /// Lazy min-heap of (clock, pe); stale entries are skipped on pop.
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Barrier bookkeeping.
+    bar_arrived: usize,
+    bar_generation: u64,
+    bar_max_clock: u64,
+}
+
+impl Inner {
+    /// Current minimum among eligible PEs, if any. Pops stale heap entries.
+    fn min_eligible(&mut self) -> Option<(u64, usize)> {
+        while let Some(&Reverse((t, pe))) = self.heap.peek() {
+            let eligible = matches!(self.state[pe], PeState::Running | PeState::Gating);
+            if eligible && self.clocks[pe] == t {
+                return Some((t, pe));
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    fn push(&mut self, pe: usize) {
+        self.heap.push(Reverse((self.clocks[pe], pe)));
+    }
+}
+
+/// The virtual-time engine shared by all PEs of a world.
+pub struct VClock {
+    inner: Mutex<Inner>,
+    /// One condvar per PE for gate wakeups (all used with `inner`).
+    gate_cv: Vec<Condvar>,
+    /// Condvar for barrier generation changes.
+    bar_cv: Condvar,
+    /// Mirrors of the clocks for lock-free `now` reads.
+    mirror: Vec<AtomicU64>,
+    /// Set when any PE panics, so blocked peers can bail out.
+    poisoned: AtomicBool,
+    n_pes: usize,
+}
+
+impl VClock {
+    /// Engine for `n_pes` PEs, all clocks at 0.
+    pub fn new(n_pes: usize) -> VClock {
+        assert!(n_pes > 0);
+        let mut heap = BinaryHeap::with_capacity(n_pes * 2);
+        for pe in 0..n_pes {
+            heap.push(Reverse((0, pe)));
+        }
+        VClock {
+            inner: Mutex::new(Inner {
+                clocks: vec![0; n_pes],
+                state: vec![PeState::Running; n_pes],
+                heap,
+                bar_arrived: 0,
+                bar_generation: 0,
+                bar_max_clock: 0,
+            }),
+            gate_cv: (0..n_pes).map(|_| Condvar::new()).collect(),
+            bar_cv: Condvar::new(),
+            mirror: (0..n_pes).map(|_| AtomicU64::new(0)).collect(),
+            poisoned: AtomicBool::new(false),
+            n_pes,
+        }
+    }
+
+    /// Number of PEs driven by this engine.
+    pub fn n_pes(&self) -> usize {
+        self.n_pes
+    }
+
+    /// Current virtual time of `pe`, in ns (lock-free).
+    #[inline]
+    pub fn now(&self, pe: usize) -> u64 {
+        self.mirror[pe].load(Ordering::Relaxed)
+    }
+
+    fn check_poison(&self) {
+        if self.poisoned.load(Ordering::Relaxed) {
+            panic!("virtual-time world poisoned: a peer PE panicked");
+        }
+    }
+
+    /// Mark the world poisoned (a PE panicked) and wake everyone.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Relaxed);
+        let _guard = self.inner.lock();
+        for cv in &self.gate_cv {
+            cv.notify_all();
+        }
+        self.bar_cv.notify_all();
+    }
+
+    /// Whether the world has been poisoned by a peer panic.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Relaxed)
+    }
+
+    fn wake_min(&self, inner: &mut Inner) {
+        if let Some((_, pe)) = inner.min_eligible() {
+            if inner.state[pe] == PeState::Gating {
+                self.gate_cv[pe].notify_one();
+            }
+        }
+    }
+
+    /// Advance `pe`'s clock by `dt` ns without gating (local work: task
+    /// execution, queue bookkeeping). Publishes the new clock so gating
+    /// peers can make progress.
+    pub fn advance(&self, pe: usize, dt: u64) {
+        if dt == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        debug_assert_eq!(inner.state[pe], PeState::Running);
+        inner.clocks[pe] = inner.clocks[pe].saturating_add(dt);
+        self.mirror[pe].store(inner.clocks[pe], Ordering::Relaxed);
+        inner.push(pe);
+        self.wake_min(&mut inner);
+    }
+
+    /// Block until `pe` holds the minimal (clock, rank) among eligible PEs.
+    /// On return the caller may apply one shared-visible effect, and must
+    /// then call [`VClock::advance`] with the effect's nonzero cost.
+    pub fn gate(&self, pe: usize) {
+        let mut inner = self.inner.lock();
+        loop {
+            self.check_poison();
+            match inner.min_eligible() {
+                Some((_, min_pe)) if min_pe == pe => {
+                    inner.state[pe] = PeState::Running;
+                    return;
+                }
+                Some(_) => {
+                    inner.state[pe] = PeState::Gating;
+                    self.gate_cv[pe].wait(&mut inner);
+                }
+                None => {
+                    // All peers are Done or in a barrier while we gate:
+                    // we must be eligible ourselves (we're live) — our own
+                    // entry may have gone stale; repush and retry.
+                    inner.state[pe] = PeState::Running;
+                    inner.push(pe);
+                }
+            }
+        }
+    }
+
+    /// Gate, apply `f`, advance by `cost` (clamped ≥ 1 ns), return `f`'s
+    /// result. This is the one-stop shop used for remote operations.
+    pub fn gated<R>(&self, pe: usize, cost: u64, f: impl FnOnce() -> R) -> R {
+        self.gate(pe);
+        let r = f();
+        self.advance(pe, cost.max(1));
+        r
+    }
+
+    /// Synchronize all live PEs: every clock jumps to
+    /// `max(entry clocks) + cost`. PEs inside the barrier are excluded from
+    /// the gate minimum (they apply no effects until release).
+    pub fn barrier(&self, pe: usize, cost: u64) {
+        let mut inner = self.inner.lock();
+        self.check_poison();
+        assert_eq!(
+            inner.state[pe],
+            PeState::Running,
+            "barrier entered from a non-running state"
+        );
+        inner.state[pe] = PeState::InBarrier;
+        inner.bar_arrived += 1;
+        let my_clock = inner.clocks[pe];
+        inner.bar_max_clock = inner.bar_max_clock.max(my_clock);
+
+        if !self.maybe_release_barrier(&mut inner, cost) {
+            // This PE just left the eligible set — if it was the minimum,
+            // a gating peer may now be runnable and must be woken.
+            self.wake_min(&mut inner);
+            let gen = inner.bar_generation;
+            while inner.bar_generation == gen {
+                self.bar_cv.wait(&mut inner);
+                self.check_poison();
+            }
+        }
+    }
+
+    /// Release an in-progress barrier if every live PE has arrived.
+    /// Returns `true` when the barrier was released by this call.
+    fn maybe_release_barrier(&self, inner: &mut Inner, cost: u64) -> bool {
+        let live = inner
+            .state
+            .iter()
+            .filter(|s| !matches!(s, PeState::Done))
+            .count();
+        if inner.bar_arrived == 0 || inner.bar_arrived != live {
+            return false;
+        }
+        // Last arrival: release everyone at the synchronized clock.
+        let new_t = inner.bar_max_clock.saturating_add(cost);
+        for q in 0..self.n_pes {
+            if inner.state[q] == PeState::InBarrier {
+                inner.clocks[q] = new_t;
+                self.mirror[q].store(new_t, Ordering::Relaxed);
+                inner.state[q] = PeState::Running;
+                inner.push(q);
+            }
+        }
+        inner.bar_arrived = 0;
+        inner.bar_max_clock = 0;
+        inner.bar_generation += 1;
+        self.bar_cv.notify_all();
+        self.wake_min(inner);
+        true
+    }
+
+    /// Mark `pe` finished: its clock freezes and it no longer blocks the
+    /// gate or barriers. If `pe` was the last PE a pending barrier was
+    /// waiting on, the barrier releases (finished PEs cannot participate).
+    pub fn finish(&self, pe: usize) {
+        let mut inner = self.inner.lock();
+        inner.state[pe] = PeState::Done;
+        // Keep the final clock readable via `now`; the Done state (not a
+        // sentinel clock value) excludes the PE from gating.
+        self.wake_min(&mut inner);
+        self.maybe_release_barrier(&mut inner, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn single_pe_never_blocks() {
+        let vc = VClock::new(1);
+        vc.gate(0);
+        vc.advance(0, 10);
+        assert_eq!(vc.now(0), 10);
+        let r = vc.gated(0, 5, || 42);
+        assert_eq!(r, 42);
+        assert_eq!(vc.now(0), 15);
+        vc.finish(0);
+    }
+
+    #[test]
+    fn effects_apply_in_virtual_time_order() {
+        // Three PEs each record (virtual time, pe) into a shared log at
+        // gated points; the log must come out sorted by (time, pe).
+        let vc = Arc::new(VClock::new(3));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for pe in 0..3usize {
+            let vc = Arc::clone(&vc);
+            let log = Arc::clone(&log);
+            handles.push(thread::spawn(move || {
+                // Different per-PE step sizes make interleavings nontrivial.
+                let step = [7u64, 5, 11][pe];
+                for _ in 0..50 {
+                    let t = vc.now(pe);
+                    vc.gated(pe, step, || log.lock().push((t, pe)));
+                }
+                vc.finish(pe);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let log = log.lock();
+        assert_eq!(log.len(), 150);
+        for w in log.windows(2) {
+            assert!(w[0] <= w[1], "out of order: {:?} then {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        let vc = Arc::new(VClock::new(4));
+        let mut handles = Vec::new();
+        for pe in 0..4usize {
+            let vc = Arc::clone(&vc);
+            handles.push(thread::spawn(move || {
+                vc.advance(pe, (pe as u64 + 1) * 100);
+                vc.barrier(pe, 50);
+                let t = vc.now(pe);
+                vc.finish(pe);
+                t
+            }));
+        }
+        let times: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // max entry clock = 400, +50 barrier cost.
+        assert!(times.iter().all(|&t| t == 450), "{times:?}");
+    }
+
+    #[test]
+    fn finished_pes_do_not_block_gate() {
+        let vc = Arc::new(VClock::new(2));
+        let vc2 = Arc::clone(&vc);
+        let h = thread::spawn(move || {
+            vc2.advance(0, 1);
+            vc2.finish(0);
+        });
+        h.join().unwrap();
+        // PE 1 at clock 0 gates; PE 0 is done at clock 1 — must not block.
+        vc.gated(1, 10, || ());
+        assert_eq!(vc.now(1), 10);
+        vc.finish(1);
+    }
+
+    #[test]
+    fn deterministic_interleaving() {
+        // Two identical runs must produce identical logs.
+        fn run() -> Vec<(u64, usize)> {
+            let vc = Arc::new(VClock::new(4));
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let mut handles = Vec::new();
+            for pe in 0..4usize {
+                let vc = Arc::clone(&vc);
+                let log = Arc::clone(&log);
+                handles.push(thread::spawn(move || {
+                    let step = [3u64, 4, 5, 6][pe];
+                    for i in 0..40u64 {
+                        vc.gated(pe, step + (i % 3), || {
+                            let t = vc.now(pe);
+                            log.lock().push((t, pe));
+                        });
+                    }
+                    vc.finish(pe);
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            let v = log.lock().clone();
+            v
+        }
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn poison_wakes_blocked_peers() {
+        let vc = Arc::new(VClock::new(2));
+        let vc2 = Arc::clone(&vc);
+        // PE 1 will block in gate behind PE 0's clock 0; poisoning must
+        // wake it with a panic rather than deadlocking.
+        let h = thread::spawn(move || {
+            vc2.advance(1, 100);
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                vc2.gate(1);
+            }));
+            r.is_err()
+        });
+        // Give the peer a moment to block, then poison.
+        thread::sleep(std::time::Duration::from_millis(20));
+        vc.poison();
+        assert!(h.join().unwrap(), "gate should panic on poison");
+    }
+
+    #[test]
+    fn zero_advance_is_noop() {
+        let vc = VClock::new(1);
+        vc.advance(0, 0);
+        assert_eq!(vc.now(0), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// For any per-PE cost schedule, gated effects must apply in
+        /// nondecreasing (time, pe) order and the final clocks must equal
+        /// the sum of each PE's costs.
+        #[test]
+        fn gated_effects_are_ordered_for_any_schedule(
+            schedules in prop::collection::vec(
+                prop::collection::vec(1u64..500, 1..30),
+                2..5,
+            ),
+        ) {
+            let n = schedules.len();
+            let vc = Arc::new(VClock::new(n));
+            let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            std::thread::scope(|scope| {
+                for (pe, costs) in schedules.iter().enumerate() {
+                    let vc = Arc::clone(&vc);
+                    let log = Arc::clone(&log);
+                    let costs = costs.clone();
+                    scope.spawn(move || {
+                        for &c in &costs {
+                            let t = vc.now(pe);
+                            vc.gated(pe, c, || log.lock().push((t, pe)));
+                        }
+                        vc.finish(pe);
+                    });
+                }
+            });
+            let log = log.lock();
+            prop_assert_eq!(
+                log.len(),
+                schedules.iter().map(|s| s.len()).sum::<usize>()
+            );
+            for w in log.windows(2) {
+                prop_assert!(w[0] <= w[1], "order violated: {:?} -> {:?}", w[0], w[1]);
+            }
+            for (pe, costs) in schedules.iter().enumerate() {
+                prop_assert_eq!(vc.now(pe), costs.iter().sum::<u64>());
+            }
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Fixed-size, position-independent task records.
+
+/// Maximum bytes a task record may occupy in a queue (header + payload).
+/// The paper's workloads use 24–192-byte tasks (Table 2, Fig. 6); 256
+/// leaves headroom while keeping descriptors `Copy`.
+pub const MAX_TASK_BYTES: usize = 256;
+
+/// Header bytes: function id (2) + payload length (2) + reserved (4).
+const HEADER_BYTES: usize = 8;
+
+/// Maximum payload bytes in one task.
+pub const MAX_PAYLOAD: usize = MAX_TASK_BYTES - HEADER_BYTES;
+
+/// One task: a function id plus an opaque payload.
+///
+/// A descriptor encodes to `record_words` 64-bit heap words (the queue's
+/// fixed task size) and back. Word 0 holds `fn_id | len << 16`; payload
+/// bytes follow little-endian. Records are self-contained: any PE holding
+/// the registry can execute a stolen record.
+#[derive(Clone, Copy)]
+pub struct TaskDescriptor {
+    fn_id: u16,
+    len: u16,
+    payload: [u8; MAX_PAYLOAD],
+}
+
+impl TaskDescriptor {
+    /// Build a task for handler `fn_id` with `payload` bytes.
+    ///
+    /// # Panics
+    /// Panics if `payload` exceeds [`MAX_PAYLOAD`] bytes.
+    pub fn new(fn_id: u16, payload: &[u8]) -> TaskDescriptor {
+        assert!(
+            payload.len() <= MAX_PAYLOAD,
+            "task payload of {} bytes exceeds the {MAX_PAYLOAD}-byte limit",
+            payload.len()
+        );
+        let mut buf = [0u8; MAX_PAYLOAD];
+        buf[..payload.len()].copy_from_slice(payload);
+        TaskDescriptor {
+            fn_id,
+            len: payload.len() as u16,
+            payload: buf,
+        }
+    }
+
+    /// The handler id this task names.
+    #[inline]
+    pub fn fn_id(&self) -> u16 {
+        self.fn_id
+    }
+
+    /// The payload bytes.
+    #[inline]
+    pub fn payload(&self) -> &[u8] {
+        &self.payload[..self.len as usize]
+    }
+
+    /// Number of heap words needed for a record of `task_bytes` bytes.
+    #[inline]
+    pub fn words_for(task_bytes: usize) -> usize {
+        task_bytes.div_ceil(8)
+    }
+
+    /// Smallest record size (bytes) able to carry this task.
+    #[inline]
+    pub fn bytes_needed(&self) -> usize {
+        HEADER_BYTES + self.len as usize
+    }
+
+    /// Encode into a fixed-size record of `words.len()` heap words.
+    ///
+    /// # Panics
+    /// Panics if the record is too small for this task's payload.
+    pub fn encode(&self, words: &mut [u64]) {
+        let need = Self::words_for(self.bytes_needed());
+        assert!(
+            words.len() >= need,
+            "task needs {need} words, record holds {}",
+            words.len()
+        );
+        words[0] = (self.fn_id as u64) | ((self.len as u64) << 16);
+        let payload = &self.payload[..self.len as usize];
+        for (w, chunk) in words[1..].iter_mut().zip(payload.chunks(8)) {
+            let mut b = [0u8; 8];
+            b[..chunk.len()].copy_from_slice(chunk);
+            *w = u64::from_le_bytes(b);
+        }
+    }
+
+    /// Decode from a record previously produced by [`Self::encode`].
+    ///
+    /// # Panics
+    /// Panics if the record's stated length exceeds the record or the
+    /// payload limit (a corrupt record — surfacing early beats silently
+    /// executing garbage).
+    pub fn decode(words: &[u64]) -> TaskDescriptor {
+        assert!(!words.is_empty(), "empty task record");
+        let header = words[0];
+        let fn_id = (header & 0xFFFF) as u16;
+        let len = ((header >> 16) & 0xFFFF) as usize;
+        assert!(
+            len <= MAX_PAYLOAD && Self::words_for(HEADER_BYTES + len) <= words.len(),
+            "corrupt task record: payload length {len} exceeds record"
+        );
+        let mut payload = [0u8; MAX_PAYLOAD];
+        let mut off = 0;
+        for &w in &words[1..] {
+            if off >= len {
+                break;
+            }
+            let b = w.to_le_bytes();
+            let take = (len - off).min(8);
+            payload[off..off + take].copy_from_slice(&b[..take]);
+            off += take;
+        }
+        TaskDescriptor {
+            fn_id,
+            len: len as u16,
+            payload,
+        }
+    }
+}
+
+impl std::fmt::Debug for TaskDescriptor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskDescriptor")
+            .field("fn_id", &self.fn_id)
+            .field("len", &self.len)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PartialEq for TaskDescriptor {
+    fn eq(&self, other: &Self) -> bool {
+        self.fn_id == other.fn_id && self.payload() == other.payload()
+    }
+}
+impl Eq for TaskDescriptor {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various_sizes() {
+        for len in [0usize, 1, 7, 8, 9, 16, 24, 40, 184, MAX_PAYLOAD] {
+            let payload: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            let t = TaskDescriptor::new(42, &payload);
+            let words = TaskDescriptor::words_for(t.bytes_needed());
+            let mut rec = vec![0u64; words];
+            t.encode(&mut rec);
+            let back = TaskDescriptor::decode(&rec);
+            assert_eq!(back, t, "len {len}");
+            assert_eq!(back.fn_id(), 42);
+            assert_eq!(back.payload(), &payload[..]);
+        }
+    }
+
+    #[test]
+    fn encode_into_larger_record_is_fine() {
+        let t = TaskDescriptor::new(7, &[1, 2, 3]);
+        let mut rec = vec![0u64; 24]; // a 192-byte record
+        t.encode(&mut rec);
+        assert_eq!(TaskDescriptor::decode(&rec), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_payload_rejected() {
+        let _ = TaskDescriptor::new(0, &[0u8; MAX_PAYLOAD + 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "record holds")]
+    fn encode_into_too_small_record_panics() {
+        let t = TaskDescriptor::new(0, &[0u8; 32]);
+        let mut rec = vec![0u64; 2];
+        t.encode(&mut rec);
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt task record")]
+    fn corrupt_length_detected() {
+        // Header claims 100-byte payload in a 2-word record.
+        let rec = [(100u64) << 16, 0];
+        let _ = TaskDescriptor::decode(&rec);
+    }
+
+    #[test]
+    fn words_for_matches_paper_sizes() {
+        assert_eq!(TaskDescriptor::words_for(24), 3);
+        assert_eq!(TaskDescriptor::words_for(32), 4);
+        assert_eq!(TaskDescriptor::words_for(48), 6);
+        assert_eq!(TaskDescriptor::words_for(192), 24);
+    }
+
+    #[test]
+    fn equality_ignores_slack_bytes() {
+        let a = TaskDescriptor::new(1, &[9, 9]);
+        let mut rec = vec![0u64; 4];
+        a.encode(&mut rec);
+        rec[3] = 0xDEAD_BEEF; // slack beyond the payload
+        let b = TaskDescriptor::decode(&rec);
+        assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn any_payload_roundtrips(
+            fn_id in any::<u16>(),
+            payload in prop::collection::vec(any::<u8>(), 0..=MAX_PAYLOAD),
+        ) {
+            let t = TaskDescriptor::new(fn_id, &payload);
+            let words = TaskDescriptor::words_for(t.bytes_needed());
+            let mut rec = vec![0u64; words];
+            t.encode(&mut rec);
+            let back = TaskDescriptor::decode(&rec);
+            prop_assert_eq!(back.fn_id(), fn_id);
+            prop_assert_eq!(back.payload(), &payload[..]);
+        }
+
+        #[test]
+        fn encode_is_stable_across_record_sizes(
+            payload in prop::collection::vec(any::<u8>(), 0..64),
+            extra in 0usize..8,
+        ) {
+            let t = TaskDescriptor::new(1, &payload);
+            let min_words = TaskDescriptor::words_for(t.bytes_needed());
+            let mut rec = vec![0u64; min_words + extra];
+            t.encode(&mut rec);
+            prop_assert_eq!(TaskDescriptor::decode(&rec), t);
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! The Bouncing Producer-Consumer benchmark (paper §5.2.1).
+//!
+//! BPC stresses a load balancer's ability to *locate and disperse* work.
+//! A producer task spawns one successor producer plus `n` consumer
+//! tasks, down to a set depth. The producer is enqueued *first*, so it
+//! sits closest to the queue tail — exactly where steals take from —
+//! while the owner, popping LIFO, chews through the consumers. The
+//! producer therefore tends to be stolen ("bounce") repeatedly before it
+//! executes, dragging the work front across the machine.
+//!
+//! The paper's configuration: `n = 8192` consumers per producer, depth
+//! 500, 5 ms consumers, 1 ms producers, 32-byte tasks (Tables 2, §5.2.1)
+//! — 4.1 M tasks and ~3.4 virtual hours of work, beyond this in-process
+//! reproduction's budget. [`BpcParams::scaled`] keeps the shape (coarse
+//! tasks ≫ steal latency, producers bouncing) at tractable size.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use sws_sched::{TaskCtx, Workload};
+use sws_task::{PayloadReader, PayloadWriter, TaskDescriptor, TaskRegistry};
+
+/// Task function id for producer tasks.
+pub const PRODUCER_FN: u16 = 20;
+/// Task function id for consumer tasks.
+pub const CONSUMER_FN: u16 = 21;
+
+/// BPC parameters.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BpcParams {
+    /// Consumers spawned per producer.
+    pub n_consumers: u32,
+    /// Producer chain length.
+    pub depth: u32,
+    /// Consumer task duration (virtual ns; paper: 5 ms).
+    pub consumer_ns: u64,
+    /// Producer task duration (virtual ns; paper: 1 ms).
+    pub producer_ns: u64,
+}
+
+impl BpcParams {
+    /// The paper's configuration (§5.2.1): 8192 consumers, depth 500,
+    /// 5 ms / 1 ms tasks.
+    pub fn paper() -> BpcParams {
+        BpcParams {
+            n_consumers: 8192,
+            depth: 500,
+            consumer_ns: 5_000_000,
+            producer_ns: 1_000_000,
+        }
+    }
+
+    /// A scaled configuration preserving the paper's shape: coarse
+    /// consumers (500 µs ≫ µs-scale steal latency), bouncing producers.
+    pub fn scaled(n_consumers: u32, depth: u32) -> BpcParams {
+        BpcParams {
+            n_consumers,
+            depth,
+            consumer_ns: 500_000,
+            producer_ns: 100_000,
+        }
+    }
+
+    /// Total tasks a run executes: `depth` producers each spawning
+    /// `n_consumers`, plus the seed producer's consumers… i.e. the seed
+    /// producer + depth generations: `(depth + 1)` producers would
+    /// over-count — the chain stops at depth, so exactly `depth`
+    /// producers run, of which the last spawns no successor.
+    pub fn total_tasks(&self) -> u64 {
+        // Producers executed: depth (the seed is generation 1; the
+        // generation-depth producer spawns consumers but no successor).
+        // Each producer spawns n consumers.
+        self.depth as u64 * (1 + self.n_consumers as u64)
+    }
+
+    /// Average task duration, ns (Table 2 reports 5 ms for BPC because
+    /// consumers dominate).
+    pub fn avg_task_ns(&self) -> f64 {
+        let p = self.depth as u64;
+        let c = self.depth as u64 * self.n_consumers as u64;
+        (p * self.producer_ns + c * self.consumer_ns) as f64 / (p + c) as f64
+    }
+
+    /// Producer task at `generation` (1-based; spawns a successor while
+    /// `generation < depth`).
+    pub fn producer_task(generation: u32) -> TaskDescriptor {
+        let mut w = PayloadWriter::new();
+        w.u32(generation);
+        // Pad to 24 payload bytes → 32-byte records (Table 2).
+        w.bytes(&[0u8; 20]);
+        TaskDescriptor::new(PRODUCER_FN, w.as_slice())
+    }
+
+    /// A consumer task (payload padded to the same 32-byte record).
+    pub fn consumer_task() -> TaskDescriptor {
+        let w = {
+            let mut w = PayloadWriter::new();
+            w.u32(0);
+            w.bytes(&[0u8; 20]);
+            w
+        };
+        TaskDescriptor::new(CONSUMER_FN, w.as_slice())
+    }
+}
+
+/// BPC as a schedulable [`Workload`], seeded with one producer on PE 0.
+pub struct BpcWorkload {
+    /// Benchmark parameters.
+    pub params: BpcParams,
+    executed: Arc<AtomicU64>,
+}
+
+impl BpcWorkload {
+    /// Workload over `params`.
+    pub fn new(params: BpcParams) -> BpcWorkload {
+        BpcWorkload {
+            params,
+            executed: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Tasks executed across all PEs (instrumentation).
+    pub fn executed(&self) -> u64 {
+        self.executed.load(Ordering::Relaxed)
+    }
+}
+
+impl Workload for BpcWorkload {
+    fn register<'a>(&self, reg: &mut TaskRegistry<TaskCtx<'a>>) {
+        let p = self.params;
+        let counter = Arc::clone(&self.executed);
+        reg.register(PRODUCER_FN, move |tctx, payload| {
+            let mut r = PayloadReader::new(payload);
+            let generation = r.u32();
+            counter.fetch_add(1, Ordering::Relaxed);
+            tctx.compute(p.producer_ns);
+            // Spawn the successor FIRST so it lands nearest the tail —
+            // first to be stolen, hence "bouncing" producers.
+            if generation < p.depth {
+                tctx.spawn(BpcParams::producer_task(generation + 1));
+            }
+            for _ in 0..p.n_consumers {
+                tctx.spawn(BpcParams::consumer_task());
+            }
+        });
+        let counter = Arc::clone(&self.executed);
+        reg.register(CONSUMER_FN, move |tctx, _payload| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            tctx.compute(p.consumer_ns);
+        });
+    }
+
+    fn seeds(&self, pe: usize, _n_pes: usize) -> Vec<TaskDescriptor> {
+        if pe == 0 {
+            vec![BpcParams::producer_task(1)]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_counts_add_up() {
+        let p = BpcParams::scaled(4, 3);
+        // 3 producers × (1 + 4) tasks.
+        assert_eq!(p.total_tasks(), 15);
+        let paper = BpcParams::paper();
+        assert_eq!(paper.total_tasks(), 500 * 8193);
+    }
+
+    #[test]
+    fn average_task_time_is_consumer_dominated() {
+        let p = BpcParams::paper();
+        let avg = p.avg_task_ns();
+        assert!(
+            (4_990_000.0..5_000_000.0).contains(&avg),
+            "avg {avg} ns ≈ 5 ms (Table 2)"
+        );
+    }
+
+    #[test]
+    fn record_sizes_match_table2() {
+        assert_eq!(BpcParams::producer_task(1).bytes_needed(), 32);
+        assert_eq!(BpcParams::consumer_task().bytes_needed(), 32);
+    }
+
+    #[test]
+    fn producer_generation_roundtrip() {
+        let t = BpcParams::producer_task(17);
+        let mut r = PayloadReader::new(t.payload());
+        assert_eq!(r.u32(), 17);
+    }
+}

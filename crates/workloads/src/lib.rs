@@ -1,0 +1,27 @@
+//! # sws-workloads — the paper's benchmark applications
+//!
+//! * [`sha1`] — a from-scratch FIPS-180 SHA-1 implementation. UTS uses
+//!   SHA-1 as its splittable deterministic random stream (each tree node
+//!   is a 20-byte digest; children are digests of the parent plus a child
+//!   index), so the whole benchmark is reproducible bit-for-bit on any
+//!   machine.
+//! * [`uts`] — the Unbalanced Tree Search benchmark (Olivier et al.;
+//!   paper §5.2.2): exhaustive traversal of a deterministic but highly
+//!   unbalanced tree. Geometric and binomial tree shapes, the standard
+//!   named presets, and a sequential oracle for verification.
+//! * [`bpc`] — the Bouncing Producer-Consumer benchmark (paper §5.2.1):
+//!   producer tasks that sit at the steal side of the queue and bounce
+//!   between PEs, each spawning `n` coarse consumer tasks.
+//! * [`synth`] — synthetic fixed-size/fixed-duration tasks for the
+//!   steal-operation microbenchmark (Fig. 6) and scheduler tests.
+//! * [`graph`] — sparse-graph traversal over a hash-defined synthetic
+//!   digraph, with visited flags claimed by remote atomics in the PGAS —
+//!   the irregular-application class the paper's abstract motivates.
+
+#![warn(missing_docs)]
+
+pub mod bpc;
+pub mod graph;
+pub mod sha1;
+pub mod synth;
+pub mod uts;

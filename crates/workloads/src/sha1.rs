@@ -1,0 +1,174 @@
+//! FIPS-180 SHA-1, implemented from scratch.
+//!
+//! UTS derives its splittable deterministic random stream from SHA-1
+//! ("the tree is constructed using a random stream generated using the
+//! SHA-1 secure hash algorithm", paper §5.2.2). SHA-1 is long broken for
+//! security, but UTS only needs a well-mixed deterministic function —
+//! and using the same primitive keeps our trees statistically faithful
+//! to the original benchmark. Implemented here rather than pulled in as
+//! a dependency (see DESIGN.md's dependency policy); verified against
+//! the FIPS-180 / RFC 3174 test vectors below.
+
+/// Digest size in bytes.
+pub const DIGEST_BYTES: usize = 20;
+
+/// Compute the SHA-1 digest of `data`.
+pub fn sha1(data: &[u8]) -> [u8; DIGEST_BYTES] {
+    let mut h: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+
+    // Message padding: 0x80, zeros, 64-bit big-endian bit length.
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    let mut msg = Vec::with_capacity(data.len() + 72);
+    msg.extend_from_slice(data);
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_be_bytes());
+
+    let mut w = [0u32; 80];
+    for block in msg.chunks_exact(64) {
+        for (i, word) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(word.try_into().unwrap());
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+
+        let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A827999),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+    }
+
+    let mut out = [0u8; DIGEST_BYTES];
+    for (i, word) in h.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// UTS child derivation: digest of `parent || child_index` (index as
+/// 4-byte big-endian), matching the original benchmark's brg_sha1 rng
+/// spawn operation.
+pub fn spawn_child(parent: &[u8; DIGEST_BYTES], child_index: u32) -> [u8; DIGEST_BYTES] {
+    let mut buf = [0u8; DIGEST_BYTES + 4];
+    buf[..DIGEST_BYTES].copy_from_slice(parent);
+    buf[DIGEST_BYTES..].copy_from_slice(&child_index.to_be_bytes());
+    sha1(&buf)
+}
+
+/// UTS root derivation from a scalar seed.
+pub fn root_state(seed: u32) -> [u8; DIGEST_BYTES] {
+    sha1(&seed.to_be_bytes())
+}
+
+/// Map a digest to a uniform value in [0, 1): the leading 31 bits as a
+/// positive integer over 2³¹, matching UTS's `rng_toProb(rng_rand(state))`.
+pub fn to_prob(state: &[u8; DIGEST_BYTES]) -> f64 {
+    let v = u32::from_be_bytes(state[0..4].try_into().unwrap()) & 0x7FFF_FFFF;
+    v as f64 / (1u64 << 31) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn fips_vector_abc() {
+        assert_eq!(
+            hex(&sha1(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+    }
+
+    #[test]
+    fn fips_vector_two_blocks() {
+        assert_eq!(
+            hex(&sha1(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn empty_message() {
+        assert_eq!(
+            hex(&sha1(b"")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex(&sha1(&data)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn padding_boundaries() {
+        // Lengths straddling the 55/56/64-byte padding edges must all
+        // produce distinct, stable digests.
+        let mut digests = std::collections::HashSet::new();
+        for len in 54..=66 {
+            let data = vec![0x5Au8; len];
+            assert!(digests.insert(sha1(&data)), "collision at len {len}");
+        }
+    }
+
+    #[test]
+    fn child_spawning_is_deterministic_and_splittable() {
+        let root = root_state(19);
+        let c0 = spawn_child(&root, 0);
+        let c1 = spawn_child(&root, 1);
+        assert_ne!(c0, c1, "children differ");
+        assert_eq!(c0, spawn_child(&root, 0), "deterministic");
+        // Grandchildren from different parents differ.
+        assert_ne!(spawn_child(&c0, 0), spawn_child(&c1, 0));
+    }
+
+    #[test]
+    fn to_prob_in_unit_interval_and_spread() {
+        let mut lo = f64::MAX;
+        let mut hi: f64 = 0.0;
+        let mut s = root_state(7);
+        for i in 0..1000 {
+            let p = to_prob(&s);
+            assert!((0.0..1.0).contains(&p));
+            lo = lo.min(p);
+            hi = hi.max(p);
+            s = spawn_child(&s, i);
+        }
+        // A healthy mix should span most of the interval.
+        assert!(lo < 0.05 && hi > 0.95, "lo {lo}, hi {hi}");
+    }
+}

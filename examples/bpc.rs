@@ -1,0 +1,57 @@
+//! Bouncing Producer-Consumer, SWS vs SDC side by side.
+//!
+//! ```text
+//! cargo run --release --example bpc -- [consumers] [depth] [pes]
+//! ```
+//!
+//! Defaults: 64 consumers per producer, 32 producer generations, 8 PEs —
+//! the paper's §5.2.1 workload scaled to in-process size while keeping
+//! its shape (coarse consumer tasks, producers bouncing between PEs via
+//! the steal side of the queue).
+
+use sws::prelude::*;
+use sws::workloads::bpc::{BpcParams, BpcWorkload};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let consumers: u32 = args
+        .next()
+        .map(|s| s.parse().expect("consumers must be an integer"))
+        .unwrap_or(64);
+    let depth: u32 = args
+        .next()
+        .map(|s| s.parse().expect("depth must be an integer"))
+        .unwrap_or(32);
+    let pes: usize = args
+        .next()
+        .map(|s| s.parse().expect("pes must be an integer"))
+        .unwrap_or(8);
+
+    let params = BpcParams::scaled(consumers, depth);
+    println!(
+        "BPC: {} producers × {} consumers = {} tasks, avg task {:.2} ms",
+        depth,
+        consumers,
+        params.total_tasks(),
+        params.avg_task_ns() / 1e6
+    );
+    println!("running on {pes} PEs (virtual time, EDR-IB network model)\n");
+
+    for kind in [QueueKind::Sdc, QueueKind::Sws] {
+        let sched = SchedConfig::new(kind, QueueConfig::new(4096, 32));
+        let cfg = RunConfig::new(pes, sched);
+        let w = BpcWorkload::new(params);
+        let report = run_workload(&cfg, &w);
+        assert_eq!(report.total_tasks(), params.total_tasks());
+        println!("{}", report.summary_line());
+
+        // How far did the work front travel? Count PEs that executed a
+        // producer-sized share of tasks.
+        let active = report
+            .workers
+            .iter()
+            .filter(|w| w.tasks_executed > 0)
+            .count();
+        println!("   {active}/{pes} PEs executed work");
+    }
+}

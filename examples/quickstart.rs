@@ -1,0 +1,39 @@
+//! Quickstart: run an unbalanced tree search on 8 simulated PEs with
+//! the SWS queue and print the run report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sws::prelude::*;
+use sws::workloads::uts::{UtsParams, UtsWorkload};
+
+fn main() {
+    // A ~25k-node unbalanced tree (the paper's T1 geometric family,
+    // scaled down; see DESIGN.md for the scaling rationale).
+    let params = UtsParams::geo_small(10);
+    let oracle = params.sequential_count();
+    println!(
+        "tree: {} nodes, depth {}, {} leaves",
+        oracle.nodes, oracle.max_depth, oracle.leaves
+    );
+
+    // 8 PEs, SWS queues (completion epochs + steal damping), virtual
+    // time over an EDR-InfiniBand-like network model.
+    let sched = SchedConfig::new(QueueKind::Sws, QueueConfig::new(2048, 48));
+    let cfg = RunConfig::new(8, sched);
+
+    let workload = UtsWorkload::new(params);
+    let report = run_workload(&cfg, &workload);
+
+    assert_eq!(report.total_tasks(), oracle.nodes, "every node visited once");
+    println!("{}", report.summary_line());
+    println!();
+    println!("communication profile:");
+    print!("{}", report.comm.table());
+    println!(
+        "mean steal operation: {:.2} µs over {} steals",
+        report.mean_steal_op_ns() / 1e3,
+        report.total_steals()
+    );
+}

@@ -1,0 +1,73 @@
+//! Trace the exact one-sided communications of a steal (paper Fig. 2).
+//!
+//! ```text
+//! cargo run --release --example steal_trace
+//! ```
+//!
+//! Sets up a two-PE world, lets PE 1 steal once from PE 0 under each
+//! protocol, and prints the thief's per-operation deltas: SDC needs six
+//! communications (five blocking), SWS three (two blocking).
+
+use sws::prelude::*;
+use sws::shmem::OpKind;
+
+fn trace(name: &str, kind: QueueKind, cfg: QueueConfig) {
+    let out = run_world(WorldConfig::virtual_time(2, 1 << 16), |ctx| {
+        let mut q: Box<dyn StealQueue + '_> = match kind {
+            QueueKind::Sdc => Box::new(SdcQueue::new(ctx, cfg)),
+            QueueKind::Sws => Box::new(SwsQueue::new(ctx, cfg)),
+        };
+        if ctx.my_pe() == 0 {
+            for i in 0..64u64 {
+                q.enqueue(&TaskDescriptor::new(1, &i.to_le_bytes()));
+            }
+            q.release();
+        }
+        ctx.barrier_all();
+        let before = ctx.stats();
+        if ctx.my_pe() == 1 {
+            let got = q.steal_from(0);
+            assert!(matches!(got, StealOutcome::Got { .. }));
+        }
+        let delta = ctx.stats().since(&before);
+        ctx.barrier_all();
+        delta
+    })
+    .unwrap();
+
+    let thief = &out.results[1];
+    println!("{name} steal (thief-side operations):");
+    for kind in [
+        OpKind::AtomicCompareSwap,
+        OpKind::AtomicFetchAdd,
+        OpKind::Get,
+        OpKind::Put,
+        OpKind::AtomicSwap,
+        OpKind::AtomicSet,
+        OpKind::AtomicSetNbi,
+        OpKind::AtomicAddNbi,
+        OpKind::PutNbi,
+    ] {
+        let c = thief.count(kind);
+        if c > 0 {
+            println!(
+                "   {:<12} ×{c}  ({} bytes{})",
+                kind.label(),
+                thief.bytes_of(kind),
+                if kind.is_blocking() { ", blocking" } else { ", passive" }
+            );
+        }
+    }
+    println!(
+        "   total: {} communications, {} blocking\n",
+        thief.data_ops(),
+        thief.blocking_ops()
+    );
+}
+
+fn main() {
+    let cfg = QueueConfig::new(256, 24);
+    trace("SDC", QueueKind::Sdc, cfg);
+    trace("SWS", QueueKind::Sws, cfg);
+    println!("(cf. paper Fig. 2: SDC = 6 communications / 5 blocking; SWS = 3 / 2)");
+}

@@ -1,0 +1,53 @@
+//! Unbalanced Tree Search, SWS vs SDC side by side.
+//!
+//! ```text
+//! cargo run --release --example uts -- [depth] [pes]
+//! ```
+//!
+//! `depth` (default 10) selects the scaled T1-family tree; `pes`
+//! (default 8) the number of simulated PEs. Prints the paper's key
+//! metrics for both queue implementations on the identical tree.
+
+use sws::prelude::*;
+use sws::workloads::uts::{UtsParams, UtsWorkload};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let depth: u32 = args
+        .next()
+        .map(|s| s.parse().expect("depth must be an integer"))
+        .unwrap_or(10);
+    let pes: usize = args
+        .next()
+        .map(|s| s.parse().expect("pes must be an integer"))
+        .unwrap_or(8);
+
+    let params = UtsParams::geo_small(depth);
+    let oracle = params.sequential_count();
+    println!(
+        "UTS geometric(linear) b0=4 depth={depth} seed={}: {} nodes, depth {}, {} leaves",
+        params.seed, oracle.nodes, oracle.max_depth, oracle.leaves
+    );
+    println!("running on {pes} PEs (virtual time, EDR-IB network model)\n");
+
+    let mut results = Vec::new();
+    for kind in [QueueKind::Sdc, QueueKind::Sws] {
+        let sched = SchedConfig::new(kind, QueueConfig::new(4096, 48));
+        let cfg = RunConfig::new(pes, sched);
+        let w = UtsWorkload::new(params);
+        let report = run_workload(&cfg, &w);
+        assert_eq!(report.total_tasks(), oracle.nodes);
+        println!("{}", report.summary_line());
+        results.push(report);
+    }
+
+    let (sdc, sws) = (&results[0], &results[1]);
+    println!();
+    println!(
+        "SWS vs SDC: runtime {:+.1}%, steal-op latency {:.2}× lower, steal time {:.2}× lower, search time {:.2}× lower",
+        (sdc.makespan_ns as f64 / sws.makespan_ns as f64 - 1.0) * 100.0,
+        sdc.mean_steal_op_ns() / sws.mean_steal_op_ns(),
+        sdc.total_steal_ns() as f64 / sws.total_steal_ns().max(1) as f64,
+        sdc.total_search_ns() as f64 / sws.total_search_ns().max(1) as f64,
+    );
+}

@@ -1,0 +1,210 @@
+//! `sws-run` — run SWS/SDC experiments from the command line.
+//!
+//! ```text
+//! sws-run <workload> [options]
+//!
+//! workloads:
+//!   uts        unbalanced tree search (geometric, scaled T1 family)
+//!   bpc        bouncing producer-consumer
+//!   flat       flat bag of independent tasks
+//!
+//! options:
+//!   --pes N          number of PEs                     (default 8)
+//!   --system S       sws | sdc | both                  (default both)
+//!   --seed N         run seed                          (default 0xBA5E)
+//!   --depth N        uts: tree depth | bpc: producers  (default 10 | 32)
+//!   --consumers N    bpc: consumers per producer       (default 64)
+//!   --tasks N        flat: task count                  (default 4096)
+//!   --task-ns N      flat: task duration, ns           (default 50000)
+//!   --nodes N        PEs per node for the topology     (default 1=flat)
+//!   --timeline       print per-PE activity strips (enables tracing)
+//!   --histogram      print steal-volume and victim histograms (tracing)
+//!   --json           machine-readable report to stdout
+//! ```
+
+use sws::prelude::*;
+use sws::sched::trace::{
+    render_timeline, steal_volume_histogram, steals_by_victim, Pow2Histogram,
+};
+use sws::workloads::bpc::{BpcParams, BpcWorkload};
+use sws::workloads::synth::FlatBag;
+use sws::workloads::uts::{UtsParams, UtsWorkload};
+
+#[derive(Debug)]
+struct Args {
+    workload: String,
+    pes: usize,
+    system: String,
+    seed: u64,
+    depth: u32,
+    consumers: u32,
+    tasks: u64,
+    task_ns: u64,
+    nodes: usize,
+    timeline: bool,
+    histogram: bool,
+    json: bool,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: sws-run <uts|bpc|flat> [--pes N] [--system sws|sdc|both] [--seed N]");
+    eprintln!("               [--depth N] [--consumers N] [--tasks N] [--task-ns N]");
+    eprintln!("               [--nodes N] [--timeline] [--json]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workload: String::new(),
+        pes: 8,
+        system: "both".into(),
+        seed: 0xBA5E,
+        depth: 0,
+        consumers: 64,
+        tasks: 4096,
+        task_ns: 50_000,
+        nodes: 1,
+        timeline: false,
+        histogram: false,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    let Some(w) = it.next() else { usage() };
+    args.workload = w;
+    args.depth = match args.workload.as_str() {
+        "uts" => 10,
+        "bpc" => 32,
+        "flat" => 0,
+        _ => usage(),
+    };
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--pes" => args.pes = val("--pes").parse().unwrap_or_else(|_| usage()),
+            "--system" => args.system = val("--system"),
+            "--seed" => args.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--depth" => args.depth = val("--depth").parse().unwrap_or_else(|_| usage()),
+            "--consumers" => {
+                args.consumers = val("--consumers").parse().unwrap_or_else(|_| usage())
+            }
+            "--tasks" => args.tasks = val("--tasks").parse().unwrap_or_else(|_| usage()),
+            "--task-ns" => args.task_ns = val("--task-ns").parse().unwrap_or_else(|_| usage()),
+            "--nodes" => args.nodes = val("--nodes").parse().unwrap_or_else(|_| usage()),
+            "--timeline" => args.timeline = true,
+            "--histogram" => args.histogram = true,
+            "--json" => args.json = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn run_one(args: &Args, kind: QueueKind) -> RunReport {
+    let task_bytes = match args.workload.as_str() {
+        "uts" => 48,
+        "bpc" => 32,
+        _ => 24,
+    };
+    let mut sched = SchedConfig::new(kind, QueueConfig::new(16384, task_bytes))
+        .with_seed(args.seed);
+    sched.trace = args.timeline || args.histogram;
+    let mut cfg = RunConfig::new(args.pes, sched);
+    if args.nodes > 1 {
+        cfg.net = NetModel::edr_infiniband_nodes(args.nodes);
+    }
+    match args.workload.as_str() {
+        "uts" => run_workload(&cfg, &UtsWorkload::new(UtsParams::geo_small(args.depth))),
+        "bpc" => run_workload(
+            &cfg,
+            &BpcWorkload::new(BpcParams::scaled(args.consumers, args.depth)),
+        ),
+        "flat" => run_workload(&cfg, &FlatBag::new(args.tasks, args.task_ns, 24)),
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let kinds: Vec<QueueKind> = match args.system.as_str() {
+        "sws" => vec![QueueKind::Sws],
+        "sdc" => vec![QueueKind::Sdc],
+        "both" => vec![QueueKind::Sdc, QueueKind::Sws],
+        _ => usage(),
+    };
+    let mut reports = Vec::new();
+    for kind in kinds {
+        let report = run_one(&args, kind);
+        if args.json {
+            println!(
+                "{}",
+                serde_json_line(&report).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
+            );
+        } else {
+            println!("{}", report.summary_line());
+            if args.timeline {
+                let per_pe: Vec<_> =
+                    report.workers.iter().map(|w| w.events.clone()).collect();
+                print!("{}", render_timeline(&per_pe, report.makespan_ns, 64));
+            }
+            if args.histogram {
+                let all: Vec<_> = report
+                    .workers
+                    .iter()
+                    .flat_map(|w| w.events.iter().copied())
+                    .collect();
+                let volumes = steal_volume_histogram(&all);
+                let h = Pow2Histogram::from_samples(
+                    volumes.iter().flat_map(|(&v, &c)| std::iter::repeat_n(v, c as usize)),
+                );
+                println!("   steal volumes (pow2 buckets): {}", h.render());
+                println!("   mean steal volume: {:.1} tasks", h.mean());
+                let victims = steals_by_victim(&all);
+                let hottest = victims.iter().max_by_key(|(_, &c)| c);
+                if let Some((pe, c)) = hottest {
+                    println!(
+                        "   hottest victim: PE {pe} fed {c} of {} steals",
+                        victims.values().sum::<u64>()
+                    );
+                }
+            }
+        }
+        reports.push(report);
+    }
+    if !args.json && reports.len() == 2 {
+        let (sdc, sws) = (&reports[0], &reports[1]);
+        println!(
+            "SWS vs SDC: runtime {:+.1}%, steal time {:.2}x lower, search {:.2}x lower",
+            (sdc.makespan_ns as f64 / sws.makespan_ns as f64 - 1.0) * 100.0,
+            sdc.total_steal_ns() as f64 / sws.total_steal_ns().max(1) as f64,
+            sdc.total_search_ns() as f64 / sws.total_search_ns().max(1) as f64,
+        );
+    }
+}
+
+/// Minimal single-line JSON via serde_json-free formatting: reports are
+/// `serde`-serializable, but we avoid a new dependency by emitting the
+/// headline fields only.
+fn serde_json_line(r: &RunReport) -> Result<String, String> {
+    Ok(format!(
+        "{{\"system\":\"{}\",\"pes\":{},\"makespan_ns\":{},\"tasks\":{},\"throughput_per_s\":{:.1},\"efficiency\":{:.4},\"steals\":{},\"steal_ns\":{},\"search_ns\":{},\"comm_ops\":{},\"comm_bytes\":{}}}",
+        r.system,
+        r.n_pes,
+        r.makespan_ns,
+        r.total_tasks(),
+        r.throughput_per_s(),
+        r.parallel_efficiency(),
+        r.total_steals(),
+        r.total_steal_ns(),
+        r.total_search_ns(),
+        r.total_comm().data_ops(),
+        r.total_comm().total_bytes(),
+    ))
+}

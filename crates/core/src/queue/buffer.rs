@@ -99,4 +99,40 @@ impl TaskBuffer {
         }
     }
 
+    /// Fallible form of [`TaskBuffer::steal_copy`] for fault-injected
+    /// worlds: the single get (or gather) can be dropped or time out.
+    pub(crate) fn try_steal_copy(
+        &self,
+        ctx: &ShmemCtx,
+        target: usize,
+        start: usize,
+        n: usize,
+        out: &mut Vec<u64>,
+    ) -> sws_shmem::OpResult<()> {
+        out.clear();
+        out.resize(n * self.task_words, 0);
+        let rr = self.ring.range(start, n);
+        match rr.second {
+            None => ctx.try_get_words(target, self.slot_addr(rr.first.0), out),
+            Some((s, l)) => {
+                let a = (self.slot_addr(rr.first.0), rr.first.1 * self.task_words);
+                let b = (self.slot_addr(s), l * self.task_words);
+                ctx.try_get_words_gather(target, a, b, out)
+            }
+        }
+    }
+
+    /// Owner: read `n` records starting at absolute index `abs` from the
+    /// local ring into `out` (free local reads, wrap-aware). Used to
+    /// re-enqueue a block whose steal was poisoned or reclaimed.
+    pub(crate) fn read_block_local(&self, ctx: &ShmemCtx, abs: u64, n: usize, out: &mut Vec<u64>) {
+        out.clear();
+        out.resize(n * self.task_words, 0);
+        let rr = self.ring.range(self.ring.slot(abs), n);
+        let first_words = rr.first.1 * self.task_words;
+        ctx.local_read_words(self.slot_addr(rr.first.0), &mut out[..first_words]);
+        if let Some((s, _)) = rr.second {
+            ctx.local_read_words(self.slot_addr(s), &mut out[first_words..]);
+        }
+    }
 }

@@ -4,14 +4,42 @@ pub(crate) mod buffer;
 pub mod sdc;
 pub mod sws;
 
-use serde::{Deserialize, Serialize};
+use sws_shmem::RetryPolicy;
 use sws_task::TaskDescriptor;
 
 use crate::steal_half::StealPolicy;
 use crate::stealval::Layout;
 
+/// Completion-slot sentinel: a thief that claimed a block but could not
+/// copy it poisons the slot, telling the owner to re-enqueue the block
+/// immediately instead of waiting out the reclaim grace period. Volumes
+/// are bounded by the 19-bit itasks field, so the top bits are free.
+pub const COMP_POISON: u64 = 1 << 63;
+
+/// Completion-slot sentinel: the owner reclaimed an abandoned claim after
+/// the grace period. A thief that later tries to complete the steal sees
+/// this value and discards its copy — the block already ran at the owner.
+pub const COMP_RECLAIMED: u64 = 1 << 62;
+
+/// Completion-slot sentinel (SDC only): a thief has claimed the block and
+/// is copying it. Carries the block volume in the low bits so the owner
+/// can reclaim the block if the thief never finishes.
+pub const COMP_CLAIMED: u64 = 1 << 61;
+
+/// Mask extracting the block volume from a flagged completion word.
+pub const COMP_VOL_MASK: u64 = COMP_CLAIMED - 1;
+
+/// Panic with protocol context on a broken queue invariant. Centralising
+/// the message beats scattered `expect("checked")` calls: every violation
+/// names the protocol step that observed it.
+#[cold]
+#[inline(never)]
+pub(crate) fn invariant_violation(msg: &str) -> ! {
+    panic!("queue protocol invariant violated: {msg}");
+}
+
 /// Configuration common to both queue implementations.
-#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug)]
 pub struct QueueConfig {
     /// Ring capacity in tasks. Must fit the stealval tail field
     /// (≤ 2¹⁹ for the epoch layout).
@@ -27,6 +55,12 @@ pub struct QueueConfig {
     /// Virtual ns charged per release/acquire for the owner's local
     /// bookkeeping (split update, completion-array reset).
     pub split_update_ns: u64,
+    /// Retry policy for fallible thief-side operations when fault
+    /// injection is active. Ignored in fault-free worlds.
+    pub retry: RetryPolicy,
+    /// How long the owner lets a claimed block sit without a completion
+    /// before reclaiming it (fault mode only).
+    pub reclaim_grace_ns: u64,
 }
 
 impl QueueConfig {
@@ -39,6 +73,8 @@ impl QueueConfig {
             layout: Layout::Epochs,
             policy: StealPolicy::Half,
             split_update_ns: 150,
+            retry: RetryPolicy::default_thief(),
+            reclaim_grace_ns: 200_000,
         }
     }
 
@@ -53,6 +89,20 @@ impl QueueConfig {
     #[must_use]
     pub fn with_policy(mut self, policy: StealPolicy) -> QueueConfig {
         self.policy = policy;
+        self
+    }
+
+    /// Override the thief retry policy used under fault injection.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> QueueConfig {
+        self.retry = retry;
+        self
+    }
+
+    /// Override the owner's claim-reclaim grace period (fault mode).
+    #[must_use]
+    pub fn with_reclaim_grace_ns(mut self, ns: u64) -> QueueConfig {
+        self.reclaim_grace_ns = ns;
         self
     }
 
@@ -76,6 +126,11 @@ impl QueueConfig {
             "capacity {} exceeds the itasks field",
             self.capacity
         );
+        assert!(
+            (self.capacity as u64) <= COMP_VOL_MASK,
+            "capacity {} exceeds the completion-word volume field",
+            self.capacity
+        );
     }
 }
 
@@ -92,11 +147,26 @@ pub enum StealOutcome {
     /// The target's gate was closed (owner updating the split point);
     /// worth retrying soon.
     Closed,
+    /// Fault mode: the steal failed before any block was claimed — the
+    /// claim op kept getting dropped, timed out past the retry budget, or
+    /// the target is down. Safe to retry against another victim.
+    Failed {
+        /// The target is marked down; the caller should quarantine it.
+        target_down: bool,
+    },
+    /// Fault mode: a block *was* claimed but the steal could not finish
+    /// (the copy failed, or the owner reclaimed the claim first). The
+    /// block's tasks stay with — or return to — the owner, so the thief
+    /// must not execute anything from it.
+    Aborted {
+        /// The target is marked down; the caller should quarantine it.
+        target_down: bool,
+    },
 }
 
 /// Owner-side event counters for one queue (local bookkeeping, not
 /// communication — communication is counted by `sws-shmem`).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct QueueStats {
     /// Tasks enqueued locally (spawns + stolen arrivals).
     pub enqueued: u64,
@@ -125,6 +195,19 @@ pub struct QueueStats {
     pub owner_polls: u64,
     /// Tasks whose ring space has been reclaimed after steal completion.
     pub reclaimed: u64,
+    /// Fault mode: individual op retries performed inside steals.
+    pub steals_retried: u64,
+    /// Fault mode: steals that gave up before claiming a block.
+    pub steals_failed: u64,
+    /// Fault mode: steals abandoned *after* claiming a block (the block
+    /// returned to the owner via poison or grace-period reclaim).
+    pub steals_aborted: u64,
+    /// Fault mode, owner side: completion slots found poisoned by an
+    /// aborting thief; their blocks were re-enqueued locally.
+    pub completions_poisoned: u64,
+    /// Fault mode, owner side: claims reclaimed after the grace period
+    /// with no completion; their blocks were re-enqueued locally.
+    pub claims_reclaimed: u64,
 }
 
 /// The owner/thief interface both queue implementations provide.
@@ -175,6 +258,14 @@ pub trait StealQueue {
 
     /// Flush any passive completion notifications (quiet).
     fn flush_completions(&mut self);
+
+    /// Permanently stop advertising work and drain every in-flight steal:
+    /// thieves either complete, poison their claim, or are reclaimed after
+    /// the grace period. On return, all tasks still owned by this queue
+    /// sit in the local portion (pop them before shutting down). Called by
+    /// a crash-stopping worker *before* it marks itself down, so no claim
+    /// is lost in flight.
+    fn retire(&mut self);
 }
 
 impl StealQueue for Box<dyn StealQueue + '_> {
@@ -210,5 +301,8 @@ impl StealQueue for Box<dyn StealQueue + '_> {
     }
     fn flush_completions(&mut self) {
         (**self).flush_completions()
+    }
+    fn retire(&mut self) {
+        (**self).retire()
     }
 }

@@ -22,12 +22,42 @@
 //! passive. Owner-side `release` needs no lock (it only grows `split`
 //! while the shared portion is empty); `acquire` must take the lock
 //! because thieves race on `tail`/`split` consistency.
+//!
+//! # Fault mode
+//!
+//! Faults interact with SDC's lock in a way SWS never has to deal with: a
+//! thief that claimed a block (published `tail`) and then vanishes leaves
+//! no trace in the baseline protocol — the owner would wait on the
+//! completion slot forever. Under an active fault plan the thief therefore
+//! writes a [`COMP_CLAIMED`]-tagged marker into the completion slot
+//! *before* publishing the new tail, converting every claim into owner-
+//! visible state:
+//!
+//! * copy failed → the thief flips the marker to [`COMP_POISON`]`|vol`;
+//!   the owner re-enqueues the block;
+//! * thief stalls or dies mid-copy → the marker outlives the grace period
+//!   and the owner compare-swaps it to zero, reclaiming the block; the
+//!   thief's eventual finalize CAS fails and it discards its copy;
+//! * normal completion → finalize CAS replaces the marker with the plain
+//!   volume, exactly the baseline's deferred signal.
+//!
+//! Operations *inside* the critical section follow a different rule: once
+//! the lock is held, cleanup ops (unlock, marker rollback) are retried
+//! until they succeed or the target is down — a thief can always afford
+//! the retries, and abandoning a held lock would wedge the whole victim.
+//! This is sound under the repo's fault model: crash-stop is cooperative
+//! (polled between scheduler iterations), so a thief never dies while
+//! holding a remote lock.
 
-use sws_shmem::{ShmemCtx, SymAddr};
+use sws_shmem::fault::retry_op;
+use sws_shmem::rng::SplitMix64;
+use sws_shmem::{OpError, OpResult, ShmemCtx, SymAddr};
 use sws_task::TaskDescriptor;
 
 use crate::queue::buffer::TaskBuffer;
-use crate::queue::{QueueConfig, QueueStats, StealOutcome, StealQueue};
+use crate::queue::{
+    QueueConfig, QueueStats, StealOutcome, StealQueue, COMP_CLAIMED, COMP_POISON, COMP_VOL_MASK,
+};
 
 /// Word offsets of the SDC metadata block.
 const LOCK: usize = 0;
@@ -35,6 +65,26 @@ const TAIL: usize = 1;
 const SPLIT: usize = 2;
 const META_WORDS: usize = 3;
 
+fn is_down(e: &OpError) -> bool {
+    matches!(e, OpError::TargetDown { .. })
+}
+
+/// Virtual ns charged per retry of a must-complete cleanup op.
+const INSIST_BACKOFF_NS: u64 = 2_000;
+
+/// Retry a cleanup op until it succeeds or the target goes down. Used
+/// only for ops that release resources (unlock, marker rollback): they
+/// must not be abandoned on a transient fault, and if the target is down
+/// the resource died with it.
+fn insist(ctx: &ShmemCtx, mut op: impl FnMut() -> OpResult<()>) {
+    loop {
+        match op() {
+            Ok(()) => return,
+            Err(e) if is_down(&e) => return,
+            Err(_) => ctx.compute(INSIST_BACKOFF_NS),
+        }
+    }
+}
 
 /// One PE's SDC task queue.
 pub struct SdcQueue<'a> {
@@ -49,6 +99,13 @@ pub struct SdcQueue<'a> {
     split: u64,
     /// Everything below this (absolute) has been reclaimed.
     reclaimed: u64,
+    /// Fault mode: grace tracking for the claim at the reclaim frontier —
+    /// `(frontier_abs, first_seen_ns)`.
+    stuck: Option<(u64, u64)>,
+    /// Queue permanently closed by [`StealQueue::retire`].
+    retired: bool,
+    /// Jitter source for retry backoff (fault mode).
+    rng: SplitMix64,
     stats: QueueStats,
     scratch: Vec<u64>,
 }
@@ -73,6 +130,9 @@ impl<'a> SdcQueue<'a> {
             head: 0,
             split: 0,
             reclaimed: 0,
+            stuck: None,
+            retired: false,
+            rng: SplitMix64::stream(0x5DC0_F417, ctx.my_pe() as u64),
             stats: QueueStats::default(),
             scratch: Vec::new(),
         }
@@ -130,6 +190,294 @@ impl<'a> SdcQueue<'a> {
     fn unlock_own(&self) {
         self.ctx.atomic_set(self.ctx.my_pe(), self.lock_addr(), 0);
     }
+
+    /// Re-enqueue the block `[abs, abs + vol)` from this PE's own ring
+    /// into the local portion — its claim was poisoned or reclaimed.
+    /// Called with `abs == self.reclaimed`, so the copy-out reads the
+    /// slots before any head-write can overwrite them.
+    fn requeue_block(&mut self, abs: u64, vol: u64) {
+        debug_assert_eq!(abs, self.reclaimed, "requeue off the reclaim frontier");
+        let mut words = Vec::new();
+        self.buf
+            .read_block_local(self.ctx, abs, vol as usize, &mut words);
+        self.buf
+            .write_local_block(self.ctx, self.head, vol as usize, &words);
+        self.head += vol;
+        self.stats.enqueued += vol;
+    }
+
+    /// Fault-mode reclaim walk: like the baseline chain-follow, but
+    /// flagged completion words carry recovery state. Stops at the
+    /// published tail — everything at or above it is unclaimed.
+    fn progress_faulty(&mut self) {
+        let me = self.ctx.my_pe();
+        let grace = self.cfg.reclaim_grace_ns;
+        loop {
+            if self.reclaimed == self.head || self.reclaimed >= self.read_tail() {
+                return;
+            }
+            let abs = self.reclaimed;
+            let slot = self.comp_slot(abs);
+            let v = self.ctx.atomic_fetch(me, slot);
+            if v == 0 {
+                // Claimed (tail moved past it) but the marker is not
+                // visible yet — the thief is still inside its critical
+                // section. Check again next call.
+                return;
+            }
+            let vol = v & COMP_VOL_MASK;
+            if v & COMP_POISON != 0 {
+                // The thief could not copy the block; take it back.
+                if self.ctx.atomic_compare_swap(me, slot, v, 0) == v {
+                    self.requeue_block(abs, vol);
+                    self.stats.completions_poisoned += 1;
+                    self.reclaimed += vol;
+                    self.stats.reclaimed += vol;
+                    self.stuck = None;
+                }
+                continue;
+            }
+            if v & COMP_CLAIMED != 0 {
+                // In-flight claim: give the thief the grace period, then
+                // reclaim. The thief's finalize CAS expects the marker,
+                // so exactly one side wins the transition.
+                let now = self.ctx.now_ns();
+                match self.stuck {
+                    Some((f, t0)) if f == abs => {
+                        if now.saturating_sub(t0) < grace {
+                            return;
+                        }
+                        if self.ctx.atomic_compare_swap(me, slot, v, 0) == v {
+                            self.requeue_block(abs, vol);
+                            self.stats.claims_reclaimed += 1;
+                            self.reclaimed += vol;
+                            self.stats.reclaimed += vol;
+                            self.stuck = None;
+                        }
+                        continue;
+                    }
+                    _ => {
+                        self.stuck = Some((abs, now));
+                        return;
+                    }
+                }
+            }
+            // Plain volume: the baseline completion signal.
+            self.ctx.atomic_set(me, slot, 0);
+            self.reclaimed += vol;
+            self.stats.reclaimed += vol;
+            self.stuck = None;
+            debug_assert!(self.reclaimed <= self.head, "reclaim ran past head");
+        }
+    }
+
+    /// Fault-mode steal: the Fig. 2 sequence with fallible ops, a claim
+    /// marker so the owner can see in-flight steals, and insist-retried
+    /// cleanup inside the critical section (module docs).
+    fn steal_from_faulty(&mut self, target: usize) -> StealOutcome {
+        self.stats.steal_attempts += 1;
+        let ctx = self.ctx;
+        let policy = self.cfg.retry;
+        let lock = self.lock_addr();
+        let tail_a = self.tail_addr();
+
+        // 1. Lock, with abort checking while contended. Injected failures
+        // burn the retry budget; plain contention gets a larger abort-
+        // check budget before the thief walks away.
+        let mut failures = 0u32;
+        let mut contended = 0u32;
+        loop {
+            match ctx.try_atomic_compare_swap(target, lock, 0, 1) {
+                Ok(0) => break,
+                Ok(_) => {
+                    contended += 1;
+                    let mut meta = [0u64; 2];
+                    match ctx.try_get_words(target, tail_a, &mut meta) {
+                        Ok(()) => {
+                            if meta[0] >= meta[1] {
+                                self.stats.steals_closed += 1;
+                                return StealOutcome::Closed;
+                            }
+                        }
+                        Err(e) if is_down(&e) => {
+                            self.stats.steals_failed += 1;
+                            return StealOutcome::Failed { target_down: true };
+                        }
+                        Err(_) => {}
+                    }
+                    if contended > policy.max_attempts.saturating_mul(4) {
+                        // The lock stayed hot the whole budget; treat it
+                        // like an abort and come back later.
+                        self.stats.steals_closed += 1;
+                        return StealOutcome::Closed;
+                    }
+                }
+                Err(e) => {
+                    if is_down(&e) {
+                        self.stats.steals_failed += 1;
+                        return StealOutcome::Failed { target_down: true };
+                    }
+                    failures += 1;
+                    if failures >= policy.max_attempts {
+                        self.stats.steals_failed += 1;
+                        return StealOutcome::Failed { target_down: false };
+                    }
+                    self.stats.steals_retried += 1;
+                    ctx.compute(policy.backoff_ns(failures, &mut self.rng));
+                }
+            }
+        }
+
+        // Holding the lock from here: every early return must release it.
+
+        // 2. Fetch tail and split.
+        let mut meta = [0u64; 2];
+        let got = retry_op(
+            &policy,
+            &mut self.rng,
+            |ns| ctx.compute(ns),
+            || self.stats.steals_retried += 1,
+            || ctx.try_get_words(target, tail_a, &mut meta),
+        );
+        if let Err(e) = got {
+            insist(ctx, || ctx.try_atomic_set(target, lock, 0));
+            self.stats.steals_failed += 1;
+            return StealOutcome::Failed {
+                target_down: is_down(&e),
+            };
+        }
+        let (tail, split) = (meta[0], meta[1]);
+        let avail = split - tail;
+        if avail == 0 {
+            insist(ctx, || ctx.try_atomic_set(target, lock, 0));
+            self.stats.steals_empty += 1;
+            return StealOutcome::Empty;
+        }
+        let vol = self.cfg.policy.volume(avail, 0).max(1);
+        let comp = self.comp_slot(tail);
+        let marker = COMP_CLAIMED | vol;
+
+        // 2b. Write the claim marker *before* publishing the new tail, so
+        // the owner can recover the claim if we die past this point. The
+        // slot is zero here: its previous use was reclaimed before the
+        // ring wrapped.
+        let put = retry_op(
+            &policy,
+            &mut self.rng,
+            |ns| ctx.compute(ns),
+            || self.stats.steals_retried += 1,
+            || ctx.try_atomic_set(target, comp, marker),
+        );
+        if let Err(e) = put {
+            insist(ctx, || ctx.try_atomic_set(target, lock, 0));
+            self.stats.steals_failed += 1;
+            return StealOutcome::Failed {
+                target_down: is_down(&e),
+            };
+        }
+
+        // 3. Publish the new tail.
+        let put = retry_op(
+            &policy,
+            &mut self.rng,
+            |ns| ctx.compute(ns),
+            || self.stats.steals_retried += 1,
+            || ctx.try_put_word(target, tail_a, tail + vol),
+        );
+        if let Err(e) = put {
+            // Roll the marker back — no claim was published.
+            insist(ctx, || {
+                ctx.try_atomic_compare_swap(target, comp, marker, 0)
+                    .map(|_| ())
+            });
+            insist(ctx, || ctx.try_atomic_set(target, lock, 0));
+            self.stats.steals_failed += 1;
+            return StealOutcome::Failed {
+                target_down: is_down(&e),
+            };
+        }
+
+        // 4. Unlock. If the target dies here the lock dies with it; the
+        // claim is published, so proceed — recovery goes through the
+        // marker protocol either way.
+        insist(ctx, || ctx.try_atomic_set(target, lock, 0));
+
+        // Make room locally before landing the block.
+        while self.live_span() + vol > self.cfg.capacity as u64 {
+            self.stats.owner_polls += 1;
+            self.progress();
+            self.ctx.compute(100);
+        }
+
+        // 5. Copy the stolen records.
+        let start = self.buf.ring().slot(tail);
+        let buf = self.buf;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let got = retry_op(
+            &policy,
+            &mut self.rng,
+            |ns| ctx.compute(ns),
+            || self.stats.steals_retried += 1,
+            || buf.try_steal_copy(ctx, target, start, vol as usize, &mut scratch),
+        );
+        if let Err(e) = got {
+            // Claimed but uncopyable: poison so the owner re-enqueues
+            // promptly. If the poison is lost too, the grace-period
+            // reclaim recovers the block.
+            let _ = retry_op(
+                &policy,
+                &mut self.rng,
+                |ns| ctx.compute(ns),
+                || self.stats.steals_retried += 1,
+                || {
+                    ctx.try_atomic_compare_swap(target, comp, marker, COMP_POISON | vol)
+                        .map(|_| ())
+                },
+            );
+            self.scratch = scratch;
+            self.stats.steals_aborted += 1;
+            return StealOutcome::Aborted {
+                target_down: is_down(&e),
+            };
+        }
+
+        // 6. Finalize: replace the marker with the plain volume — the
+        // baseline's deferred completion signal, made conditional so a
+        // reclaimed claim is detected instead of double-counted.
+        let fin = retry_op(
+            &policy,
+            &mut self.rng,
+            |ns| ctx.compute(ns),
+            || self.stats.steals_retried += 1,
+            || ctx.try_atomic_compare_swap(target, comp, marker, vol),
+        );
+        match fin {
+            Ok(prev) if prev == marker => {
+                self.buf
+                    .write_local_block(ctx, self.head, vol as usize, &scratch);
+                self.head += vol;
+                self.scratch = scratch;
+                self.stats.steals_won += 1;
+                self.stats.tasks_stolen += vol;
+                self.stats.enqueued += vol;
+                StealOutcome::Got { tasks: vol }
+            }
+            Ok(_) => {
+                // The owner reclaimed the claim during the copy; the
+                // block already returned to its ring. Discard our copy.
+                self.scratch = scratch;
+                self.stats.steals_aborted += 1;
+                StealOutcome::Aborted { target_down: false }
+            }
+            Err(e) => {
+                self.scratch = scratch;
+                self.stats.steals_aborted += 1;
+                StealOutcome::Aborted {
+                    target_down: is_down(&e),
+                }
+            }
+        }
+    }
 }
 
 impl StealQueue for SdcQueue<'_> {
@@ -164,6 +512,9 @@ impl StealQueue for SdcQueue<'_> {
     }
 
     fn release(&mut self) -> bool {
+        if self.retired {
+            return false;
+        }
         let nlocal = self.local_count();
         if nlocal == 0 {
             return false;
@@ -188,6 +539,12 @@ impl StealQueue for SdcQueue<'_> {
             self.split, self.head,
             "acquire requires an empty local portion"
         );
+        // A retired queue holds its own lock forever and has already
+        // pulled the whole shared region local — nothing to acquire.
+        if self.retired {
+            self.stats.acquire_misses += 1;
+            return false;
+        }
         // Thieves mutate tail under the lock, so the owner must take it
         // to move the split point down consistently (§3.1).
         self.lock_own();
@@ -209,6 +566,10 @@ impl StealQueue for SdcQueue<'_> {
     }
 
     fn progress(&mut self) {
+        if self.ctx.faults_active() {
+            self.progress_faulty();
+            return;
+        }
         // Deferred-copy reclaim: follow the chain of completion records
         // starting at the reclaim watermark; each finished block wrote its
         // volume into the slot named by its starting index.
@@ -233,6 +594,9 @@ impl StealQueue for SdcQueue<'_> {
 
     fn steal_from(&mut self, target: usize) -> StealOutcome {
         debug_assert_ne!(target, self.ctx.my_pe(), "stealing from self");
+        if self.ctx.faults_active() {
+            return self.steal_from_faulty(target);
+        }
         self.stats.steal_attempts += 1;
 
         // 1. Lock, with abort checking while contended.
@@ -302,7 +666,17 @@ impl StealQueue for SdcQueue<'_> {
 
     fn probe(&self, target: usize) -> bool {
         let mut meta = [0u64; 2];
-        self.ctx.get_words(target, self.tail_addr(), &mut meta);
+        if self.ctx.faults_active() {
+            if self
+                .ctx
+                .try_get_words(target, self.tail_addr(), &mut meta)
+                .is_err()
+            {
+                return false; // unreachable target: nothing to steal here
+            }
+        } else {
+            self.ctx.get_words(target, self.tail_addr(), &mut meta);
+        }
         meta[0] < meta[1]
     }
 
@@ -312,5 +686,33 @@ impl StealQueue for SdcQueue<'_> {
 
     fn flush_completions(&mut self) {
         self.ctx.quiet();
+    }
+
+    fn retire(&mut self) {
+        if self.retired {
+            return;
+        }
+        self.retired = true;
+        // Take our own lock and never release it: thieves contending on
+        // it abort once they see tail >= split below.
+        self.lock_own();
+        let tail = self.read_tail();
+        if tail < self.split {
+            // Pull the unclaimed shared region back into the local
+            // portion before closing.
+            self.split = tail;
+            self.ctx
+                .atomic_set(self.ctx.my_pe(), self.split_addr(), self.split);
+        }
+        // Drain every published claim below the final tail: thieves
+        // finalize, poison, or get reclaimed after the grace period.
+        while self.reclaimed < tail {
+            self.progress();
+            if self.reclaimed >= tail {
+                break;
+            }
+            self.stats.owner_polls += 1;
+            self.ctx.compute(200);
+        }
     }
 }

@@ -22,14 +22,39 @@
 //! still in flight (§4.2, Fig. 5). With the Fig. 3 `ValidBit` layout there
 //! is a single epoch, so the owner polls until in-flight steals drain —
 //! the §4.1 behaviour, kept as an ablation.
+//!
+//! # Fault mode
+//!
+//! When the world carries an active fault plan, the steal path switches
+//! to fallible operations with bounded retry, and the passive completion
+//! put becomes a compare-swap so the thief *learns* whether its claim is
+//! still valid:
+//!
+//! * claim fetch-add dropped → retried; past the budget the steal returns
+//!   [`StealOutcome::Failed`] (no claim was made — nothing to recover);
+//! * block copy failed after a claim → the thief poisons the completion
+//!   slot ([`COMP_POISON`]) and returns [`StealOutcome::Aborted`]; the
+//!   owner re-enqueues the block from its own ring;
+//! * completion CAS lost or never confirmed → the slot stays zero and the
+//!   owner reclaims the claim ([`COMP_RECLAIMED`]) after a grace period;
+//!   a thief arriving later sees the sentinel and discards its copy.
+//!
+//! Every recovery keeps exactly-once execution: a block either lands at
+//! exactly one thief (CAS wrote its volume) or returns to the owner (slot
+//! poisoned or reclaimed) — never both.
 
 use std::collections::VecDeque;
 
-use sws_shmem::{ShmemCtx, SymAddr};
+use sws_shmem::fault::retry_op;
+use sws_shmem::rng::SplitMix64;
+use sws_shmem::{OpError, OpResult, RetryPolicy, ShmemCtx, SymAddr};
 use sws_task::TaskDescriptor;
 
 use crate::queue::buffer::TaskBuffer;
-use crate::queue::{QueueConfig, QueueStats, StealOutcome, StealQueue};
+use crate::queue::{
+    invariant_violation, QueueConfig, QueueStats, StealOutcome, StealQueue, COMP_POISON,
+    COMP_RECLAIMED,
+};
 use crate::steal_half::StealPolicy;
 use crate::stealval::{Gate, StealVal, ASTEAL_UNIT};
 
@@ -51,6 +76,32 @@ struct EpochRec {
     finished_prefix: u64,
     /// Still the live advertisement?
     open: bool,
+    /// Fault mode: when the owner first saw the head-of-line steal's
+    /// completion slot still zero; starts the reclaim grace period.
+    stuck_since: Option<u64>,
+}
+
+/// Run a fallible op under the queue's retry policy, charging backoff as
+/// compute time and counting each retry. A free function so callers can
+/// split-borrow queue fields around it.
+fn retry_comm<T>(
+    policy: &RetryPolicy,
+    rng: &mut SplitMix64,
+    stats: &mut QueueStats,
+    ctx: &ShmemCtx,
+    op: impl FnMut() -> OpResult<T>,
+) -> OpResult<T> {
+    retry_op(
+        policy,
+        rng,
+        |ns| ctx.compute(ns),
+        || stats.steals_retried += 1,
+        op,
+    )
+}
+
+fn is_down(e: &OpError) -> bool {
+    matches!(e, OpError::TargetDown { .. })
 }
 
 /// One PE's SWS task queue. Constructed collectively; symmetric
@@ -76,6 +127,10 @@ pub struct SwsQueue<'a> {
     /// Slot sets referenced by records still in `epochs` (must not be
     /// handed to a new advertisement that posts completions).
     slot_busy: Vec<bool>,
+    /// Gate permanently closed by [`StealQueue::retire`].
+    retired: bool,
+    /// Jitter source for retry backoff (fault mode).
+    rng: SplitMix64,
     stats: QueueStats,
     scratch: Vec<u64>,
 }
@@ -104,6 +159,7 @@ impl<'a> SwsQueue<'a> {
             claimed_steals: 0,
             finished_prefix: 0,
             open: true,
+            stuck_since: None,
         });
         SwsQueue {
             ctx,
@@ -118,6 +174,8 @@ impl<'a> SwsQueue<'a> {
             reclaimed: 0,
             epochs,
             slot_busy,
+            retired: false,
+            rng: SplitMix64::stream(0x57EA_F417, ctx.my_pe() as u64),
             stats: QueueStats::default(),
             scratch: Vec::new(),
         }
@@ -144,11 +202,6 @@ impl<'a> SwsQueue<'a> {
         self.head - self.reclaimed
     }
 
-    /// Whether an open advertisement currently exists.
-    fn has_open(&self) -> bool {
-        self.epochs.back().is_some_and(|e| e.open)
-    }
-
     /// Read the live stealval — a charged local atomic; the owner pays the
     /// NIC-loopback access just as on real hardware.
     fn read_sv(&self) -> StealVal {
@@ -161,38 +214,120 @@ impl<'a> SwsQueue<'a> {
         (sv.asteals as u64).min(self.policy.max_steals(itasks))
     }
 
+    /// Re-enqueue steal `s` of an advertisement (`tail`, `itasks`) from
+    /// this PE's own ring into the local portion — the block's claim was
+    /// poisoned or reclaimed, so its tasks run here instead.
+    ///
+    /// Must be called while `reclaimed` still sits at the block's start
+    /// (records retire front-to-back, so that is always the case): the
+    /// copy-out happens before any head-write can overwrite the slots.
+    fn requeue_block(&mut self, tail: u64, itasks: u64, s: u64) {
+        let vol = self.policy.volume(itasks, s);
+        let offset = self.policy.claimed_before(itasks, s);
+        let abs = tail + offset;
+        debug_assert_eq!(abs, self.reclaimed, "requeue off the reclaim frontier");
+        let mut words = Vec::new();
+        self.buf
+            .read_block_local(self.ctx, abs, vol as usize, &mut words);
+        self.buf
+            .write_local_block(self.ctx, self.head, vol as usize, &words);
+        self.head += vol;
+        self.stats.enqueued += vol;
+    }
+
     /// Retire finished advertisements (front-to-back) and advance
     /// `reclaimed` over the longest fully-finished prefix of steal blocks
     /// (§4.2: "all completion arrays are traversed to account for the
-    /// longest sequence of fully completed steals").
+    /// longest sequence of fully completed steals"). In fault mode this is
+    /// also where abandoned claims are recovered: a poisoned slot is
+    /// re-enqueued immediately, a slot stuck at zero past the grace period
+    /// is compare-swapped to [`COMP_RECLAIMED`] and re-enqueued.
     fn reclaim(&mut self) {
+        let me = self.ctx.my_pe();
+        let faults = self.ctx.faults_active();
+        let grace = self.cfg.reclaim_grace_ns;
         loop {
-            let (n_claimed, itasks, open) = match self.epochs.front() {
-                None => return,
-                Some(front) if front.open => {
-                    let sv = self.read_sv();
-                    (self.clamp_claims(front.itasks, &sv), front.itasks, true)
-                }
-                Some(front) => (front.claimed_steals, front.itasks, false),
+            let Some((open, slot, tail, itasks, mut finished, claimed_fixed, mut stuck)) = self
+                .epochs
+                .front()
+                .map(|f| {
+                    (
+                        f.open,
+                        f.slot,
+                        f.tail,
+                        f.itasks,
+                        f.finished_prefix,
+                        f.claimed_steals,
+                        f.stuck_since,
+                    )
+                })
+            else {
+                return;
             };
-            let slot = self.epochs.front().expect("checked").slot;
-            while self.epochs.front().expect("checked").finished_prefix < n_claimed {
-                let s = self.epochs.front().expect("checked").finished_prefix;
-                let v = self.ctx.atomic_fetch(self.ctx.my_pe(), self.comp_slot(slot, s));
-                if v == 0 {
-                    break; // steal `s` still in flight
+            let n_claimed = if open {
+                let sv = self.read_sv();
+                self.clamp_claims(itasks, &sv)
+            } else {
+                claimed_fixed
+            };
+
+            while finished < n_claimed {
+                let comp = self.comp_slot(slot, finished);
+                let vol = self.policy.volume(itasks, finished);
+                let mut v = self.ctx.atomic_fetch(me, comp);
+                if v == 0 && faults {
+                    // Head-of-line claim has no completion yet: start (or
+                    // check) the grace clock, then reclaim it.
+                    let now = self.ctx.now_ns();
+                    match stuck {
+                        None => {
+                            stuck = Some(now);
+                            break;
+                        }
+                        Some(t0) if now.saturating_sub(t0) < grace => break,
+                        Some(_) => {
+                            let prev = self.ctx.atomic_compare_swap(me, comp, 0, COMP_RECLAIMED);
+                            if prev == 0 {
+                                // We won the race against the thief: the
+                                // block is ours again.
+                                self.requeue_block(tail, itasks, finished);
+                                self.stats.claims_reclaimed += 1;
+                                finished += 1;
+                                self.reclaimed += vol;
+                                self.stats.reclaimed += vol;
+                                stuck = None;
+                                continue;
+                            }
+                            // The thief completed (or poisoned) just in
+                            // time; handle the value it wrote.
+                            v = prev;
+                        }
+                    }
                 }
-                debug_assert_eq!(
-                    v,
-                    self.policy.volume(itasks, s),
-                    "completion volume mismatch"
-                );
-                self.epochs.front_mut().expect("checked").finished_prefix += 1;
-                self.reclaimed += v;
-                self.stats.reclaimed += v;
+                if v == 0 {
+                    break; // steal `finished` still in flight
+                }
+                if faults && v == COMP_POISON {
+                    self.requeue_block(tail, itasks, finished);
+                    self.stats.completions_poisoned += 1;
+                } else {
+                    debug_assert_eq!(v, vol, "completion volume mismatch");
+                }
+                finished += 1;
+                self.reclaimed += vol;
+                self.stats.reclaimed += vol;
+                stuck = None;
             }
-            let front = self.epochs.front().expect("checked");
-            if !open && front.finished_prefix == front.claimed_steals {
+
+            let done = !open && finished == n_claimed;
+            match self.epochs.front_mut() {
+                Some(f) => {
+                    f.finished_prefix = finished;
+                    f.stuck_since = stuck;
+                }
+                None => invariant_violation("reclaim lost the front advertisement record"),
+            }
+            if done {
                 self.slot_busy[slot] = false;
                 self.epochs.pop_front();
                 continue;
@@ -206,8 +341,9 @@ impl<'a> SwsQueue<'a> {
     /// (its slot stays busy) until `reclaim` retires it in order.
     fn close_open(&mut self, sv: &StealVal) -> u64 {
         let policy = self.policy;
-        let rec = self.epochs.back_mut().expect("an open advertisement");
-        debug_assert!(rec.open);
+        let Some(rec) = self.epochs.back_mut().filter(|r| r.open) else {
+            invariant_violation("close_open called without an open advertisement");
+        };
         let claimed = (sv.asteals as u64).min(policy.max_steals(rec.itasks));
         rec.claimed_steals = claimed;
         rec.open = false;
@@ -258,7 +394,115 @@ impl<'a> SwsQueue<'a> {
             claimed_steals: 0,
             finished_prefix: 0,
             open: true,
+            stuck_since: None,
         });
+    }
+
+    /// Fault-mode steal: fallible ops with bounded retry, poison on a
+    /// failed copy, CAS-confirmed completion. See the module docs for the
+    /// recovery protocol.
+    fn steal_from_faulty(&mut self, target: usize) -> StealOutcome {
+        self.stats.steal_attempts += 1;
+        let ctx = self.ctx;
+        let policy = self.cfg.retry;
+        let sv_addr = self.sv_addr;
+
+        // 1. Claim. A dropped fetch-add has no memory effect, so retrying
+        // it cannot double-claim.
+        let claim = retry_comm(&policy, &mut self.rng, &mut self.stats, ctx, || {
+            ctx.try_atomic_fetch_add(target, sv_addr, ASTEAL_UNIT)
+        });
+        let raw = match claim {
+            Ok(raw) => raw,
+            Err(e) => {
+                self.stats.steals_failed += 1;
+                return StealOutcome::Failed {
+                    target_down: is_down(&e),
+                };
+            }
+        };
+        let sv = self.cfg.layout.decode(raw);
+        let epoch = match sv.gate {
+            Gate::Closed => {
+                self.stats.steals_closed += 1;
+                return StealOutcome::Closed;
+            }
+            Gate::Open { epoch } => epoch,
+        };
+        let itasks = sv.itasks as u64;
+        let a = sv.asteals as u64;
+        if a >= self.policy.max_steals(itasks) {
+            self.stats.steals_empty += 1;
+            return StealOutcome::Empty;
+        }
+        let vol = self.policy.volume(itasks, a);
+        let offset = self.policy.claimed_before(itasks, a);
+        let comp = self.comp_slot(epoch as usize, a);
+
+        // Make room locally before landing the block.
+        while self.live_span() + vol > self.cfg.capacity as u64 {
+            self.stats.owner_polls += 1;
+            self.reclaim();
+            self.ctx.compute(100);
+        }
+
+        // 2. Copy the claimed block.
+        let start = self.buf.ring().slot(sv.tail as u64 + offset);
+        let buf = self.buf;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let got = retry_comm(&policy, &mut self.rng, &mut self.stats, ctx, || {
+            buf.try_steal_copy(ctx, target, start, vol as usize, &mut scratch)
+        });
+        if let Err(e) = got {
+            // We hold a claim we cannot fill: poison the completion slot
+            // so the owner re-enqueues the block promptly. If even the
+            // poison is lost, the owner's grace-period reclaim recovers
+            // the block — either way it runs exactly once, at the owner.
+            let _ = retry_comm(&policy, &mut self.rng, &mut self.stats, ctx, || {
+                ctx.try_atomic_compare_swap(target, comp, 0, COMP_POISON)
+            });
+            self.scratch = scratch;
+            self.stats.steals_aborted += 1;
+            return StealOutcome::Aborted {
+                target_down: is_down(&e),
+            };
+        }
+
+        // 3. Completion — a CAS instead of the passive put, *before* the
+        // block lands locally: only a confirmed claim may execute.
+        let fin = retry_comm(&policy, &mut self.rng, &mut self.stats, ctx, || {
+            ctx.try_atomic_compare_swap(target, comp, 0, vol)
+        });
+        match fin {
+            Ok(0) => {
+                self.buf
+                    .write_local_block(ctx, self.head, vol as usize, &scratch);
+                self.head += vol;
+                self.scratch = scratch;
+                self.stats.steals_won += 1;
+                self.stats.tasks_stolen += vol;
+                self.stats.enqueued += vol;
+                StealOutcome::Got { tasks: vol }
+            }
+            Ok(prev) => {
+                // The owner reclaimed the claim during the copy; the block
+                // already returned to its ring. Discard our copy.
+                debug_assert_eq!(prev, COMP_RECLAIMED, "unexpected completion-slot value");
+                self.scratch = scratch;
+                self.stats.steals_aborted += 1;
+                StealOutcome::Aborted { target_down: false }
+            }
+            Err(e) => {
+                // Could not confirm: leave the slot for the owner's grace
+                // reclaim and discard the copy — never run unconfirmed
+                // tasks.
+                self.scratch = scratch;
+                self.stats.steals_aborted += 1;
+                StealOutcome::Aborted {
+                    target_down: is_down(&e),
+                }
+            }
+        }
     }
 }
 
@@ -290,16 +534,19 @@ impl StealQueue for SwsQueue<'_> {
     }
 
     fn shared_estimate(&mut self) -> u64 {
-        if !self.has_open() {
+        let Some(rec) = self.epochs.back().filter(|e| e.open) else {
             return 0;
-        }
+        };
+        let itasks = rec.itasks;
         let sv = self.read_sv();
-        let rec = self.epochs.back().expect("open advertisement");
-        let claimed = (sv.asteals as u64).min(self.policy.max_steals(rec.itasks));
-        rec.itasks - self.policy.claimed_before(rec.itasks, claimed)
+        let claimed = (sv.asteals as u64).min(self.policy.max_steals(itasks));
+        itasks - self.policy.claimed_before(itasks, claimed)
     }
 
     fn release(&mut self) -> bool {
+        if self.retired {
+            return false;
+        }
         let nlocal = self.local_count();
         if nlocal == 0 {
             return false;
@@ -307,11 +554,10 @@ impl StealQueue for SwsQueue<'_> {
         // Release only when the shared portion is fully claimed — that
         // precondition is what makes the lock-free stealval reset safe
         // (a racing thief of the stale advertisement gets volume 0).
-        if self.has_open() {
+        if let Some(itasks) = self.epochs.back().filter(|e| e.open).map(|r| r.itasks) {
             let sv = self.read_sv();
-            let rec = self.epochs.back().expect("open advertisement");
-            let claimed = (sv.asteals as u64).min(self.policy.max_steals(rec.itasks));
-            if self.policy.claimed_before(rec.itasks, claimed) < rec.itasks {
+            let claimed = self.clamp_claims(itasks, &sv);
+            if self.policy.claimed_before(itasks, claimed) < itasks {
                 return false; // unclaimed shared work remains
             }
             self.close_open(&sv);
@@ -334,10 +580,15 @@ impl StealQueue for SwsQueue<'_> {
             self.split, self.head,
             "acquire requires an empty local portion"
         );
-        if !self.has_open() {
+        let Some((rec_tail, rec_itasks, rec_slot)) = self
+            .epochs
+            .back()
+            .filter(|e| e.open)
+            .map(|r| (r.tail, r.itasks, r.slot))
+        else {
             self.stats.acquire_misses += 1;
             return false;
-        }
+        };
         // Disable steals: swap in a closed gate; the returned word is the
         // authoritative claim count ("upon starting an acquire operation,
         // stealing is temporarily disabled", §4.1).
@@ -354,10 +605,6 @@ impl StealQueue for SwsQueue<'_> {
             "only the owner closes the gate"
         );
 
-        let (rec_tail, rec_itasks, rec_slot) = {
-            let rec = self.epochs.back().expect("open advertisement");
-            (rec.tail, rec.itasks, rec.slot)
-        };
         let unclaimed = self.close_open(&sv);
         let claimed_vol = rec_itasks - unclaimed;
 
@@ -396,6 +643,9 @@ impl StealQueue for SwsQueue<'_> {
 
     fn steal_from(&mut self, target: usize) -> StealOutcome {
         debug_assert_ne!(target, self.ctx.my_pe(), "stealing from self");
+        if self.ctx.faults_active() {
+            return self.steal_from_faulty(target);
+        }
         self.stats.steal_attempts += 1;
 
         // 1. One atomic fetch-add: discover AND claim.
@@ -448,7 +698,14 @@ impl StealQueue for SwsQueue<'_> {
     }
 
     fn probe(&self, target: usize) -> bool {
-        let raw = self.ctx.atomic_fetch(target, self.sv_addr);
+        let raw = if self.ctx.faults_active() {
+            match self.ctx.try_atomic_fetch(target, self.sv_addr) {
+                Ok(raw) => raw,
+                Err(_) => return false, // unreachable target: nothing to steal here
+            }
+        } else {
+            self.ctx.atomic_fetch(target, self.sv_addr)
+        };
         let sv = self.cfg.layout.decode(raw);
         match sv.gate {
             Gate::Closed => true, // owner mid-update: work may appear
@@ -464,5 +721,39 @@ impl StealQueue for SwsQueue<'_> {
 
     fn flush_completions(&mut self) {
         self.ctx.quiet();
+    }
+
+    fn retire(&mut self) {
+        if self.retired {
+            return;
+        }
+        self.retired = true;
+        // Close the gate for good. Thieves racing the swap either claimed
+        // before it (drained below) or see Closed / TargetDown.
+        let closed = self.cfg.layout.encode(StealVal {
+            asteals: 0,
+            gate: Gate::Closed,
+            itasks: 0,
+            tail: 0,
+        });
+        let raw = self.ctx.atomic_swap(self.ctx.my_pe(), self.sv_addr, closed);
+        let sv = self.cfg.layout.decode(raw);
+        if matches!(sv.gate, Gate::Open { .. }) && self.epochs.back().is_some_and(|e| e.open) {
+            // Recover the unclaimed tail of the open advertisement into
+            // the local portion; its claimed prefix drains below.
+            let unclaimed = self.close_open(&sv);
+            self.split -= unclaimed;
+        }
+        // Drain every outstanding claim: thieves complete, poison, or are
+        // reclaimed after the grace period — the loop's compute charges
+        // keep virtual time moving so all three can happen.
+        while !self.epochs.is_empty() {
+            self.reclaim();
+            if self.epochs.is_empty() {
+                break;
+            }
+            self.stats.owner_polls += 1;
+            self.ctx.compute(200);
+        }
     }
 }

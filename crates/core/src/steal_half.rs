@@ -74,7 +74,7 @@ pub const MAX_STEAL_SLOTS: usize = 21;
 /// policies with more steals per advertisement must cap the
 /// advertisement size ([`StealPolicy::max_advert`]) to fit
 /// [`StealPolicy::slot_budget`] slots.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum StealPolicy {
     /// Take `max(1, remaining/2)` — the paper's policy.
     Half,
@@ -175,7 +175,7 @@ impl StealPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sws_shmem::rng::SplitMix64;
 
     #[test]
     fn paper_example_sequence() {
@@ -224,42 +224,61 @@ mod tests {
         assert!(max_steals(max_itasks) as usize >= MAX_STEAL_SLOTS - 2);
     }
 
-    proptest! {
-        #[test]
-        fn volumes_partition_the_initial_tasks(initial in 0u64..=(1 << 19) - 1) {
+    #[test]
+    fn volumes_partition_the_initial_tasks() {
+        let mut rng = SplitMix64::new(0x5EA1_0001);
+        for _ in 0..512 {
+            let initial = rng.below(1 << 19);
             let n = max_steals(initial);
             let total: u64 = (0..n).map(|a| volume(initial, a)).sum();
-            prop_assert_eq!(total, initial);
-            prop_assert_eq!(claimed_before(initial, n), initial);
-            prop_assert_eq!(volume(initial, n), 0);
+            assert_eq!(total, initial);
+            assert_eq!(claimed_before(initial, n), initial);
+            assert_eq!(volume(initial, n), 0);
         }
+    }
 
-        #[test]
-        fn volumes_are_nonincreasing(initial in 1u64..=(1 << 19) - 1) {
+    #[test]
+    fn volumes_are_nonincreasing() {
+        let mut rng = SplitMix64::new(0x5EA1_0002);
+        for _ in 0..512 {
+            let initial = 1 + rng.below((1 << 19) - 1);
             let n = max_steals(initial);
             for a in 1..n {
-                prop_assert!(volume(initial, a) <= volume(initial, a - 1));
+                assert!(volume(initial, a) <= volume(initial, a - 1));
             }
-            prop_assert!(volume(initial, 0) >= 1);
+            assert!(volume(initial, 0) >= 1);
         }
+    }
 
-        #[test]
-        fn claimed_is_prefix_sum(initial in 0u64..=(1 << 19) - 1, a in 0u64..25) {
+    #[test]
+    fn claimed_is_prefix_sum() {
+        let mut rng = SplitMix64::new(0x5EA1_0003);
+        for _ in 0..512 {
+            let initial = rng.below(1 << 19);
+            let a = rng.below(25);
             let by_sum: u64 = (0..a).map(|i| volume(initial, i)).sum();
-            prop_assert_eq!(claimed_before(initial, a), by_sum);
+            assert_eq!(claimed_before(initial, a), by_sum);
         }
+    }
 
-        #[test]
-        fn first_steal_takes_half(initial in 2u64..=(1 << 19) - 1) {
-            prop_assert_eq!(volume(initial, 0), initial / 2);
+    #[test]
+    fn first_steal_takes_half() {
+        let mut rng = SplitMix64::new(0x5EA1_0004);
+        for _ in 0..512 {
+            let initial = 2 + rng.below((1 << 19) - 2);
+            assert_eq!(volume(initial, 0), initial / 2);
         }
+    }
 
-        #[test]
-        fn max_steals_is_logarithmic(initial in 1u64..=(1 << 19) - 1) {
+    #[test]
+    fn max_steals_is_logarithmic() {
+        let mut rng = SplitMix64::new(0x5EA1_0005);
+        for _ in 0..512 {
+            let initial = 1 + rng.below((1 << 19) - 1);
             let n = max_steals(initial);
             // ~log2(T) + small tail; certainly within the slot bound.
-            prop_assert!(n <= 64 - initial.leading_zeros() as u64 + 2);
-            prop_assert!(n as usize <= MAX_STEAL_SLOTS);
+            assert!(n <= 64 - initial.leading_zeros() as u64 + 2);
+            assert!(n as usize <= MAX_STEAL_SLOTS);
         }
     }
 }
@@ -267,7 +286,7 @@ mod tests {
 #[cfg(test)]
 mod policy_tests {
     use super::*;
-    use proptest::prelude::*;
+    use sws_shmem::rng::SplitMix64;
 
     const POLICIES: [StealPolicy; 3] =
         [StealPolicy::Half, StealPolicy::One, StealPolicy::Quarter];
@@ -310,29 +329,29 @@ mod policy_tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn policies_partition_the_advertisement(
-            initial in 0u64..=4096,
-            policy_idx in 0usize..3,
-        ) {
-            let p = POLICIES[policy_idx];
+    #[test]
+    fn policies_partition_the_advertisement() {
+        let mut rng = SplitMix64::new(0x5EA1_0006);
+        for _ in 0..768 {
+            let p = POLICIES[rng.below(3) as usize];
+            let initial = rng.below(4097);
             let n = p.max_steals(initial);
             let total: u64 = (0..n).map(|a| p.volume(initial, a)).sum();
-            prop_assert_eq!(total, initial);
-            prop_assert_eq!(p.claimed_before(initial, n), initial);
-            prop_assert_eq!(p.volume(initial, n), 0);
+            assert_eq!(total, initial);
+            assert_eq!(p.claimed_before(initial, n), initial);
+            assert_eq!(p.volume(initial, n), 0);
         }
+    }
 
-        #[test]
-        fn policy_claimed_is_prefix_sum(
-            initial in 0u64..=4096,
-            a in 0u64..64,
-            policy_idx in 0usize..3,
-        ) {
-            let p = POLICIES[policy_idx];
+    #[test]
+    fn policy_claimed_is_prefix_sum() {
+        let mut rng = SplitMix64::new(0x5EA1_0007);
+        for _ in 0..768 {
+            let p = POLICIES[rng.below(3) as usize];
+            let initial = rng.below(4097);
+            let a = rng.below(64);
             let by_sum: u64 = (0..a).map(|i| p.volume(initial, i)).sum();
-            prop_assert_eq!(p.claimed_before(initial, a), by_sum);
+            assert_eq!(p.claimed_before(initial, a), by_sum);
         }
     }
 }

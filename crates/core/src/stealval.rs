@@ -19,8 +19,6 @@
 //!   tail:19` — completion epochs; an epoch value above
 //!   [`MAX_EPOCHS`]`-1` means the queue is locked by the owner.
 
-use serde::{Deserialize, Serialize};
-
 /// Bits in the attempted-steals counter.
 pub const ASTEALS_BITS: u32 = 24;
 /// Bit position of the attempted-steals field (it occupies the top bits).
@@ -38,7 +36,7 @@ pub const ITASKS_BITS: u32 = 19;
 pub const MAX_EPOCHS: usize = 2;
 
 /// Which stealval layout a queue uses.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum Layout {
     /// Fig. 3: single valid bit, 20-bit tail, one completion array.
     ValidBit,
@@ -339,12 +337,16 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
     use super::*;
-    use proptest::prelude::*;
+    use sws_shmem::rng::SplitMix64;
 
-    fn arb_layout() -> impl Strategy<Value = Layout> {
-        prop_oneof![Just(Layout::ValidBit), Just(Layout::Epochs)]
+    fn layout_from(bit: u64) -> Layout {
+        if bit & 1 == 0 {
+            Layout::ValidBit
+        } else {
+            Layout::Epochs
+        }
     }
 
     /// Gate from a small index, valid for the layout.
@@ -359,29 +361,33 @@ mod proptests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn roundtrip_any_field_combination(
-            layout in arb_layout(),
-            asteals in 0u32..=0xFF_FFFF,
-            itasks in 0u32..(1 << ITASKS_BITS),
-            tail_seed in any::<u32>(),
-            gate_idx in any::<u8>(),
-        ) {
-            let tail = tail_seed % (layout.max_tail() + 1);
-            let gate = gate_for(layout, gate_idx);
-            let sv = StealVal { asteals, gate, itasks, tail };
-            prop_assert_eq!(layout.decode(layout.encode(sv)), sv);
+    #[test]
+    fn roundtrip_any_field_combination() {
+        let mut rng = SplitMix64::new(0x57E4_0001);
+        for _ in 0..2048 {
+            let layout = layout_from(rng.next_u64());
+            let asteals = rng.below(1 << ASTEALS_BITS) as u32;
+            let itasks = rng.below(1 << ITASKS_BITS) as u32;
+            let tail = rng.below(layout.max_tail() as u64 + 1) as u32;
+            let gate = gate_for(layout, rng.next_u64() as u8);
+            let sv = StealVal {
+                asteals,
+                gate,
+                itasks,
+                tail,
+            };
+            assert_eq!(layout.decode(layout.encode(sv)), sv, "{layout:?}");
         }
+    }
 
-        #[test]
-        fn any_number_of_fetch_adds_preserves_owner_fields(
-            layout in arb_layout(),
-            itasks in 0u32..(1 << ITASKS_BITS),
-            tail_seed in any::<u32>(),
-            adds in 0u64..100_000,
-        ) {
-            let tail = tail_seed % (layout.max_tail() + 1);
+    #[test]
+    fn any_number_of_fetch_adds_preserves_owner_fields() {
+        let mut rng = SplitMix64::new(0x57E4_0002);
+        for _ in 0..2048 {
+            let layout = layout_from(rng.next_u64());
+            let itasks = rng.below(1 << ITASKS_BITS) as u32;
+            let tail = rng.below(layout.max_tail() as u64 + 1) as u32;
+            let adds = rng.below(100_000);
             let sv = StealVal {
                 asteals: 0,
                 gate: Gate::Open { epoch: 0 },
@@ -392,10 +398,10 @@ mod proptests {
                 .encode(sv)
                 .wrapping_add(ASTEAL_UNIT.wrapping_mul(adds));
             let d = layout.decode(raw);
-            prop_assert_eq!(d.itasks, itasks);
-            prop_assert_eq!(d.tail, tail);
-            prop_assert_eq!(d.gate, Gate::Open { epoch: 0 });
-            prop_assert_eq!(d.asteals as u64, adds & 0xFF_FFFF);
+            assert_eq!(d.itasks, itasks);
+            assert_eq!(d.tail, tail);
+            assert_eq!(d.gate, Gate::Open { epoch: 0 });
+            assert_eq!(d.asteals as u64, adds & 0xFF_FFFF);
         }
     }
 }

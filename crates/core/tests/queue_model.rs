@@ -1,13 +1,16 @@
-//! Model-based property tests: random owner-operation sequences against
+//! Model-based randomized tests: random owner-operation sequences against
 //! a reference multiset model (single PE — no thieves), and randomized
 //! two-PE steal scripts. The invariant under test is conservation: every
 //! enqueued task is popped or stolen exactly once, never duplicated,
 //! never lost, across any interleaving of release/acquire/progress.
+//!
+//! Sequences are generated from seeded `SplitMix64` streams, so every
+//! case is reproducible from the seed printed in a failure message.
 
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 use sws_core::{QueueConfig, SdcQueue, StealOutcome, StealQueue, SwsQueue};
+use sws_shmem::rng::SplitMix64;
 use sws_shmem::{run_world, ShmemCtx, WorldConfig};
 use sws_task::TaskDescriptor;
 
@@ -20,14 +23,16 @@ enum Op {
     Progress,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => Just(Op::Enqueue),
-        3 => Just(Op::Pop),
-        1 => Just(Op::Release),
-        1 => Just(Op::Acquire),
-        1 => Just(Op::Progress),
-    ]
+/// Weighted op draw matching the old proptest strategy: enqueue/pop 3×
+/// the weight of release/acquire/progress.
+fn draw_op(rng: &mut SplitMix64) -> Op {
+    match rng.below(9) {
+        0..=2 => Op::Enqueue,
+        3..=5 => Op::Pop,
+        6 => Op::Release,
+        7 => Op::Acquire,
+        _ => Op::Progress,
+    }
 }
 
 fn task(tag: u64) -> TaskDescriptor {
@@ -110,25 +115,34 @@ fn drive_single_pe(ops: &[Op], use_sws: bool) {
     .unwrap();
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn sws_owner_ops_conserve_tasks(ops in prop::collection::vec(op_strategy(), 1..120)) {
-        drive_single_pe(&ops, true);
+fn owner_ops_conserve_tasks(use_sws: bool, seed: u64) {
+    for case in 0..48u64 {
+        let mut rng = SplitMix64::stream(seed, case);
+        let len = 1 + rng.below(119) as usize;
+        let ops: Vec<Op> = (0..len).map(|_| draw_op(&mut rng)).collect();
+        drive_single_pe(&ops, use_sws);
     }
+}
 
-    #[test]
-    fn sdc_owner_ops_conserve_tasks(ops in prop::collection::vec(op_strategy(), 1..120)) {
-        drive_single_pe(&ops, false);
-    }
+#[test]
+fn sws_owner_ops_conserve_tasks() {
+    owner_ops_conserve_tasks(true, 0x40DE_1001);
+}
 
-    #[test]
-    fn two_pe_random_steal_scripts_conserve_tasks(
-        batches in prop::collection::vec(1u64..30, 1..8),
-        steal_rounds in 1u32..12,
-        use_sws in any::<bool>(),
-    ) {
+#[test]
+fn sdc_owner_ops_conserve_tasks() {
+    owner_ops_conserve_tasks(false, 0x40DE_1002);
+}
+
+#[test]
+fn two_pe_random_steal_scripts_conserve_tasks() {
+    for case in 0..24u64 {
+        let mut rng = SplitMix64::stream(0x40DE_1003, case);
+        let n_batches = 1 + rng.below(7) as usize;
+        let batches: Vec<u64> = (0..n_batches).map(|_| 1 + rng.below(29)).collect();
+        let steal_rounds = 1 + rng.below(11) as u32;
+        let use_sws = rng.chance(0.5);
+
         let total: u64 = batches.iter().sum();
         let batches2 = batches.clone();
         let out = run_world(WorldConfig::virtual_time(2, 1 << 15), move |ctx| {
@@ -140,7 +154,7 @@ proptest! {
             };
             let mut got: Vec<u64> = Vec::new();
             let mut next_tag = 0u64;
-            for (round, &batch) in batches2.iter().enumerate() {
+            for &batch in &batches2 {
                 if ctx.my_pe() == 0 {
                     for _ in 0..batch {
                         assert!(q.enqueue(&task(next_tag)));
@@ -175,7 +189,6 @@ proptest! {
                             break;
                         }
                     }
-                    let _ = round;
                 }
                 ctx.barrier_all();
             }
@@ -185,12 +198,13 @@ proptest! {
         let mut all: Vec<u64> = out.results.into_iter().flatten().collect();
         all.sort_unstable();
         let expect: Vec<u64> = (0..total).collect();
-        prop_assert_eq!(all, expect);
+        assert_eq!(all, expect, "case {case}");
     }
 }
 
-/// Deterministic regression companion to the proptests: a fixed nasty
-/// sequence that exercises release-into-acquire churn on a tiny ring.
+/// Deterministic regression companion to the randomized runs: a fixed
+/// nasty sequence that exercises release-into-acquire churn on a tiny
+/// ring.
 #[test]
 fn churn_on_tiny_ring() {
     use Op::*;

@@ -224,6 +224,7 @@ fn sws_steal_sequence_follows_steal_half() {
                     StealOutcome::Got { tasks } => volumes.push(tasks),
                     StealOutcome::Empty => break,
                     StealOutcome::Closed => {}
+                    other => unreachable!("fault-free world: {other:?}"),
                 }
             }
         }
@@ -263,6 +264,7 @@ fn concurrent_thieves_claim_disjoint_blocks() {
                         }
                         StealOutcome::Empty => break,
                         StealOutcome::Closed => {}
+                        other => unreachable!("fault-free world: {other:?}"),
                     }
                 }
             }
@@ -302,6 +304,7 @@ fn sdc_concurrent_thieves_claim_disjoint_blocks() {
                             }
                         }
                         StealOutcome::Empty | StealOutcome::Closed => break,
+                        other => unreachable!("fault-free world: {other:?}"),
                     }
                 }
             }
@@ -377,6 +380,7 @@ fn validbit_layout_still_correct() {
                     StealOutcome::Got { tasks } => got += tasks,
                     StealOutcome::Empty => break,
                     StealOutcome::Closed => {}
+                    other => unreachable!("fault-free world: {other:?}"),
                 }
             }
         }
@@ -427,6 +431,7 @@ fn ring_wrap_steals_preserve_payloads() {
                         }
                         StealOutcome::Empty => break,
                         StealOutcome::Closed => {}
+                        other => unreachable!("fault-free world: {other:?}"),
                     }
                 }
                 q.flush_completions();
@@ -517,6 +522,7 @@ fn deterministic_virtual_execution() {
                         StealOutcome::Got { tasks } => got += tasks,
                         StealOutcome::Empty => break,
                         StealOutcome::Closed => {}
+                        other => unreachable!("fault-free world: {other:?}"),
                     }
                 }
             }
@@ -592,6 +598,7 @@ fn steal_one_policy_drains_one_at_a_time() {
                     }
                     StealOutcome::Empty => break,
                     StealOutcome::Closed => {}
+                    other => unreachable!("fault-free world: {other:?}"),
                 }
             }
         }
@@ -625,6 +632,7 @@ fn quarter_policy_partitions_correctly_under_concurrency() {
                     StealOutcome::Got { tasks } => got += tasks,
                     StealOutcome::Empty => break,
                     StealOutcome::Closed => {}
+                    other => unreachable!("fault-free world: {other:?}"),
                 }
             }
         }
@@ -716,6 +724,7 @@ fn sws_closed_gate_rejects_thieves_without_corruption() {
                     StealOutcome::Got { tasks } => got += tasks,
                     StealOutcome::Closed => closed_seen += 1,
                     StealOutcome::Empty => {}
+                    other => unreachable!("fault-free world: {other:?}"),
                 }
             }
             q.flush_completions();

@@ -1,12 +1,12 @@
 //! Scheduler configuration.
 
-use serde::{Deserialize, Serialize};
 use sws_core::QueueConfig;
+use sws_shmem::RetryPolicy;
 
 use crate::victim::VictimPolicy;
 
 /// Which queue implementation a run uses.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum QueueKind {
     /// The paper's structured-atomic queue.
     Sws,
@@ -25,7 +25,7 @@ impl QueueKind {
 }
 
 /// Which termination detector a run uses.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum TdKind {
     /// Global spawned/completed/idle counters on PE 0.
     Counter,
@@ -33,8 +33,32 @@ pub enum TdKind {
     TokenRing,
 }
 
+/// Fault-tolerance knobs applied when a run carries an active
+/// [`sws_shmem::FaultPlan`]. All of them are inert in fault-free worlds.
+#[derive(Copy, Clone, Debug)]
+pub struct FaultToleranceConfig {
+    /// Retry/backoff policy for fallible thief-side queue operations.
+    pub retry: RetryPolicy,
+    /// How long the owner lets a claimed block sit without a completion
+    /// before reclaiming it, virtual ns.
+    pub reclaim_grace_ns: u64,
+    /// Quarantine a victim after this many *consecutive* failed or
+    /// aborted steals against it (0 = only quarantine down targets).
+    pub quarantine_after: u32,
+}
+
+impl Default for FaultToleranceConfig {
+    fn default() -> FaultToleranceConfig {
+        FaultToleranceConfig {
+            retry: RetryPolicy::default_thief(),
+            reclaim_grace_ns: 200_000,
+            quarantine_after: 8,
+        }
+    }
+}
+
 /// Scheduler parameters.
-#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug)]
 pub struct SchedConfig {
     /// Queue shape (capacity, task size, stealval layout).
     pub queue: QueueConfig,
@@ -62,6 +86,8 @@ pub struct SchedConfig {
     /// Fixed per-task scheduler overhead charged to the virtual clock, ns
     /// (dequeue + dispatch; measured Scioto overheads are sub-µs).
     pub task_overhead_ns: u64,
+    /// Fault-tolerance knobs (retry budget, reclaim grace, quarantine).
+    pub ft: FaultToleranceConfig,
 }
 
 impl SchedConfig {
@@ -82,6 +108,7 @@ impl SchedConfig {
             progress_interval: 64,
             release_min_local: 2,
             task_overhead_ns: 120,
+            ft: FaultToleranceConfig::default(),
         }
     }
 
@@ -110,6 +137,13 @@ impl SchedConfig {
     #[must_use]
     pub fn with_victim(mut self, victim: VictimPolicy) -> SchedConfig {
         self.victim = victim;
+        self
+    }
+
+    /// Override the fault-tolerance knobs.
+    #[must_use]
+    pub fn with_ft(mut self, ft: FaultToleranceConfig) -> SchedConfig {
+        self.ft = ft;
         self
     }
 }

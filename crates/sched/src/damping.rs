@@ -10,6 +10,14 @@
 //!
 //! The paper found damping costs nothing measurable when overflow is far
 //! away; the `ablation_damping` bench reproduces that claim.
+//!
+//! Under fault injection this module also owns *quarantine*: a target
+//! whose steals keep failing (past the retry budget) accumulates a
+//! failure streak, and once the streak crosses the configured threshold
+//! the thief stops attempting it altogether — the graceful-degradation
+//! half of the fault model. A target reported down is quarantined
+//! immediately. Quarantine is sticky for the run: a PE that failed that
+//! persistently is treated as lost.
 
 /// Per-target full/empty mode tracking for one thief.
 pub struct DampingState {
@@ -20,6 +28,13 @@ pub struct DampingState {
     threshold: u32,
     /// Consecutive empty observations per target.
     empty_streak: Vec<u32>,
+    /// Consecutive failed/aborted steals needed to quarantine a target;
+    /// 0 disables streak-based quarantine (down targets still quarantine).
+    quarantine_after: u32,
+    /// Consecutive failed/aborted steals per target.
+    failure_streak: Vec<u32>,
+    /// Sticky per-target quarantine flags.
+    quarantined: Vec<bool>,
 }
 
 impl DampingState {
@@ -31,6 +46,9 @@ impl DampingState {
             empty_mode: vec![false; n_pes],
             threshold: 1,
             empty_streak: vec![0; n_pes],
+            quarantine_after: 0,
+            failure_streak: vec![0; n_pes],
+            quarantined: vec![false; n_pes],
         }
     }
 
@@ -38,6 +56,15 @@ impl DampingState {
     #[must_use]
     pub fn with_threshold(mut self, k: u32) -> DampingState {
         self.threshold = k.max(1);
+        self
+    }
+
+    /// Quarantine a target after `k` consecutive failed steals (0 keeps
+    /// streak-based quarantine off). Quarantine tracking is independent
+    /// of `enabled` — damping is a perf feature, quarantine a fault one.
+    #[must_use]
+    pub fn with_quarantine_after(mut self, k: u32) -> DampingState {
+        self.quarantine_after = k;
         self
     }
 
@@ -57,13 +84,46 @@ impl DampingState {
         }
     }
 
-    /// Record that `target` had (or yielded) work — return to full-mode.
+    /// Record that `target` had (or yielded) work — return to full-mode
+    /// and clear its failure streak (the PE is demonstrably alive).
     pub fn observed_work(&mut self, target: usize) {
+        self.failure_streak[target] = 0;
         if !self.enabled {
             return;
         }
         self.empty_streak[target] = 0;
         self.empty_mode[target] = false;
+    }
+
+    /// Record a failed or aborted steal against `target`. Returns `true`
+    /// when this failure pushes the target into quarantine (first time
+    /// only — callers use it to update their victim pool exactly once).
+    pub fn observed_failure(&mut self, target: usize) -> bool {
+        self.failure_streak[target] = self.failure_streak[target].saturating_add(1);
+        if self.quarantine_after > 0
+            && self.failure_streak[target] >= self.quarantine_after
+        {
+            return self.quarantine(target);
+        }
+        false
+    }
+
+    /// Quarantine `target` unconditionally (a down PE). Returns `true`
+    /// if it was not already quarantined.
+    pub fn quarantine(&mut self, target: usize) -> bool {
+        let newly = !self.quarantined[target];
+        self.quarantined[target] = true;
+        newly
+    }
+
+    /// Is `target` quarantined?
+    pub fn is_quarantined(&self, target: usize) -> bool {
+        self.quarantined[target]
+    }
+
+    /// Number of quarantined targets (for reporting).
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.iter().filter(|&&b| b).count()
     }
 
     /// Number of targets currently in empty-mode (for reporting).
@@ -114,5 +174,36 @@ mod tests {
         assert!(d.should_probe(0));
         assert!(!d.should_probe(1));
         assert!(!d.should_probe(2));
+    }
+
+    #[test]
+    fn failure_streak_quarantines_once() {
+        let mut d = DampingState::new(4, false).with_quarantine_after(3);
+        assert!(!d.observed_failure(1));
+        assert!(!d.observed_failure(1));
+        assert!(d.observed_failure(1), "third consecutive failure");
+        assert!(d.is_quarantined(1));
+        assert!(!d.observed_failure(1), "already quarantined");
+        assert_eq!(d.quarantined_count(), 1);
+    }
+
+    #[test]
+    fn success_resets_failure_streak() {
+        let mut d = DampingState::new(2, true).with_quarantine_after(2);
+        assert!(!d.observed_failure(0));
+        d.observed_work(0);
+        assert!(!d.observed_failure(0), "streak was reset");
+        assert!(d.observed_failure(0));
+    }
+
+    #[test]
+    fn down_target_quarantines_immediately() {
+        let mut d = DampingState::new(3, true);
+        assert!(d.quarantine(2));
+        assert!(!d.quarantine(2), "second call is not new");
+        assert!(d.is_quarantined(2));
+        // Streak-based quarantine stays off (quarantine_after = 0) …
+        assert!(!d.observed_failure(1));
+        assert!(!d.is_quarantined(1));
     }
 }

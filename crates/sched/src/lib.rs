@@ -32,7 +32,7 @@ pub mod trace;
 pub mod victim;
 pub mod worker;
 
-pub use config::{QueueKind, SchedConfig, TdKind};
+pub use config::{FaultToleranceConfig, QueueKind, SchedConfig, TdKind};
 pub use report::{RunReport, WorkerStats};
 pub use runner::{run_workload, RunConfig, Workload};
 pub use pool::TaskPool;

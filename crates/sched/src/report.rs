@@ -7,14 +7,13 @@
 //! successful attempts as steals." Whole-program time is "the maximum
 //! runtime of any process" since all PEs run until global termination.
 
-use serde::{Deserialize, Serialize};
 use sws_core::QueueStats;
 use sws_shmem::{OpStats, StatsSummary};
 
 use crate::trace::Event;
 
 /// Per-PE scheduler timing and event counts.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct WorkerStats {
     /// Tasks executed by this PE.
     pub tasks_executed: u64,
@@ -34,12 +33,16 @@ pub struct WorkerStats {
     pub runtime_ns: u64,
     /// Queue-level counters.
     pub queue: QueueStats,
+    /// Did this PE crash-stop at a fault-plan deadline?
+    pub crashed: bool,
+    /// Victims this PE quarantined (down or persistently failing).
+    pub pes_quarantined: u64,
     /// Event trace (empty unless `SchedConfig::trace` was set).
     pub events: Vec<Event>,
 }
 
 /// Everything one experiment run produced.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RunReport {
     /// Label of the queue implementation ("SWS"/"SDC").
     pub system: String,
@@ -112,6 +115,68 @@ impl RunReport {
     /// Aggregate communication counters.
     pub fn total_comm(&self) -> &OpStats {
         &self.comm.total
+    }
+
+    /// Thief-side steal retries across PEs (fault runs).
+    pub fn total_steal_retries(&self) -> u64 {
+        self.workers.iter().map(|w| w.queue.steals_retried).sum()
+    }
+
+    /// Steals that exhausted their retry budget, across PEs.
+    pub fn total_steals_failed(&self) -> u64 {
+        self.workers.iter().map(|w| w.queue.steals_failed).sum()
+    }
+
+    /// Steals aborted after a successful claim (block poisoned or
+    /// returned to the owner), across PEs.
+    pub fn total_steals_aborted(&self) -> u64 {
+        self.workers.iter().map(|w| w.queue.steals_aborted).sum()
+    }
+
+    /// Owner-side poisoned completions observed, across PEs.
+    pub fn total_completions_poisoned(&self) -> u64 {
+        self.workers
+            .iter()
+            .map(|w| w.queue.completions_poisoned)
+            .sum()
+    }
+
+    /// Owner-side abandoned claims reclaimed after the grace period.
+    pub fn total_claims_reclaimed(&self) -> u64 {
+        self.workers.iter().map(|w| w.queue.claims_reclaimed).sum()
+    }
+
+    /// PEs that crash-stopped during the run.
+    pub fn crashed_pes(&self) -> usize {
+        self.workers.iter().filter(|w| w.crashed).count()
+    }
+
+    /// Quarantine decisions taken across PEs (each thief counts its own).
+    pub fn total_quarantines(&self) -> u64 {
+        self.workers.iter().map(|w| w.pes_quarantined).sum()
+    }
+
+    /// One-line fault-recovery summary, or `None` for a clean run (all
+    /// counters zero) so fault-free output stays unchanged.
+    pub fn fault_summary_line(&self) -> Option<String> {
+        let (retries, failed, aborted) = (
+            self.total_steal_retries(),
+            self.total_steals_failed(),
+            self.total_steals_aborted(),
+        );
+        let (poisoned, reclaimed) = (
+            self.total_completions_poisoned(),
+            self.total_claims_reclaimed(),
+        );
+        let (crashed, quarantined) = (self.crashed_pes(), self.total_quarantines());
+        if retries + failed + aborted + poisoned + reclaimed + quarantined == 0
+            && crashed == 0
+        {
+            return None;
+        }
+        Some(format!(
+            "     faults: {retries} retries, {failed} failed, {aborted} aborted, {poisoned} poisoned, {reclaimed} reclaimed, {quarantined} quarantined, {crashed} crashed PEs",
+        ))
     }
 
     /// One-line human-readable summary.
@@ -214,5 +279,35 @@ mod tests {
         let s = r.summary_line();
         assert!(s.contains("SWS"));
         assert!(s.contains("1 PEs"));
+    }
+
+    #[test]
+    fn fault_summary_absent_for_clean_runs() {
+        let r = report_with(vec![WorkerStats::default(); 3], 1_000);
+        assert_eq!(r.fault_summary_line(), None);
+    }
+
+    #[test]
+    fn fault_summary_aggregates_counters() {
+        let mut a = WorkerStats::default();
+        a.queue.steals_retried = 5;
+        a.queue.steals_failed = 2;
+        a.pes_quarantined = 1;
+        let mut b = WorkerStats::default();
+        b.queue.steals_aborted = 3;
+        b.queue.completions_poisoned = 1;
+        b.queue.claims_reclaimed = 4;
+        b.crashed = true;
+        let r = report_with(vec![a, b], 1_000);
+        assert_eq!(r.total_steal_retries(), 5);
+        assert_eq!(r.total_steals_failed(), 2);
+        assert_eq!(r.total_steals_aborted(), 3);
+        assert_eq!(r.total_completions_poisoned(), 1);
+        assert_eq!(r.total_claims_reclaimed(), 4);
+        assert_eq!(r.crashed_pes(), 1);
+        assert_eq!(r.total_quarantines(), 1);
+        let line = r.fault_summary_line().expect("non-zero counters");
+        assert!(line.contains("5 retries"));
+        assert!(line.contains("1 crashed"));
     }
 }

@@ -1,12 +1,13 @@
 //! Experiment runner: build a world, seed a workload, run every PE to
 //! global termination, and collect the paper's metrics.
 
-use serde::{Deserialize, Serialize};
 use sws_core::{SdcQueue, SwsQueue};
-use sws_shmem::{run_world, ExecMode, NetModel, ShmemCtx, WorldConfig};
+use sws_shmem::{
+    run_world, ExecMode, FaultPlan, NetModel, ShmemCtx, WorldConfig,
+};
 use sws_task::{TaskDescriptor, TaskRegistry};
 
-use crate::config::{QueueKind, SchedConfig};
+use crate::config::{QueueKind, SchedConfig, TdKind};
 use crate::report::{RunReport, WorkerStats};
 use crate::taskctx::TaskCtx;
 use crate::termination::make_td;
@@ -30,7 +31,7 @@ pub trait Workload: Sync {
 }
 
 /// Full experiment configuration.
-#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RunConfig {
     /// Number of PEs.
     pub n_pes: usize,
@@ -40,6 +41,10 @@ pub struct RunConfig {
     pub net: NetModel,
     /// Extra symmetric-heap words beyond what the queue needs.
     pub extra_heap_words: usize,
+    /// Optional deterministic fault plan (chaos runs). Inactive plans
+    /// are dropped before the world is built, keeping clean runs
+    /// bit-identical to a `None` plan.
+    pub faults: Option<FaultPlan>,
 }
 
 impl RunConfig {
@@ -51,7 +56,15 @@ impl RunConfig {
             sched,
             net: NetModel::edr_infiniband(),
             extra_heap_words: 4096,
+            faults: None,
         }
+    }
+
+    /// Attach a fault plan to the run.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> RunConfig {
+        self.faults = Some(plan);
+        self
     }
 
     fn heap_words(&self) -> usize {
@@ -73,13 +86,38 @@ pub fn run_workload_mode(
     workload: &impl Workload,
     mode: ExecMode,
 ) -> RunReport {
-    let world_cfg = WorldConfig {
+    let mut world_cfg = WorldConfig {
         n_pes: cfg.n_pes,
         heap_words: cfg.heap_words(),
         net: cfg.net,
         mode,
+        faults: None,
     };
-    let sched = cfg.sched;
+    let mut sched = cfg.sched;
+    if let Some(plan) = &cfg.faults {
+        if plan.is_active() {
+            plan.validate(cfg.n_pes).expect("invalid fault plan");
+            // Both termination-counter invariants live on PE 0; a run
+            // that kills it (or relies on a crash-intolerant detector)
+            // cannot terminate, so reject the plan up front.
+            assert!(
+                plan.crash_at(0).is_none(),
+                "fault plan crashes PE 0, which hosts the termination counters"
+            );
+            assert!(
+                sched.td == TdKind::Counter
+                    || (0..cfg.n_pes).all(|pe| plan.crash_at(pe).is_none()),
+                "crash-stop faults require the counter termination detector"
+            );
+        }
+        world_cfg = world_cfg.with_faults(plan.clone());
+        // Thread the fault-tolerance knobs into the queue config so both
+        // queue implementations retry and reclaim consistently.
+        sched.queue = sched
+            .queue
+            .with_retry(sched.ft.retry)
+            .with_reclaim_grace_ns(sched.ft.reclaim_grace_ns);
+    }
     let run_pe = |ctx: &ShmemCtx| -> WorkerStats {
         let mut reg = TaskRegistry::new();
         workload.register(&mut reg);

@@ -17,10 +17,36 @@
 //!   PE 0 terminates after two consecutive rounds with identical, equal
 //!   sums (strictly stronger than the proven `C_r == S_{r-1}` condition,
 //!   hence safe), then raises a global flag.
+//!
+//! **Fault mode.** Detector traffic must survive injected faults:
+//! counter updates use *blocking* fetch-adds retried until they land
+//! (non-blocking adds are silently droppable, which would leave
+//! `spawned != completed` forever and wedge detection), and token sends
+//! skip PEs that are marked down. The counter detector re-arms
+//! naturally — a PE that finds work decrements the idle count, so a
+//! false alarm window never opens — and a crash-stopping PE parks
+//! itself in the idle set permanently before going down, keeping
+//! `idle == P` reachable for the survivors.
 
-use sws_shmem::{ShmemCtx, SymAddr};
+use sws_shmem::{OpResult, ShmemCtx, SymAddr};
 
 use crate::config::TdKind;
+
+/// Backoff charged between detector-op retries in fault mode, ns.
+const TD_RETRY_BACKOFF_NS: u64 = 2_000;
+
+/// Retry a fallible detector op until it succeeds, charging backoff per
+/// attempt. Returns `None` only when the target is down — detector state
+/// on a dead PE is unrecoverable and the caller degrades gracefully.
+fn insist<T>(ctx: &ShmemCtx, mut op: impl FnMut() -> OpResult<T>) -> Option<T> {
+    loop {
+        match op() {
+            Ok(v) => return Some(v),
+            Err(e) if e.is_retriable() => ctx.compute(TD_RETRY_BACKOFF_NS),
+            Err(_) => return None,
+        }
+    }
+}
 
 /// The detector interface the worker drives.
 pub trait Termination {
@@ -94,6 +120,25 @@ impl Termination for CounterTd {
         if self.spawn_delta == 0 && self.complete_delta == 0 {
             return;
         }
+        if ctx.faults_active() {
+            // Blocking adds, insisted: a dropped NBI add would silently
+            // lose counts and leave `spawned != completed` forever.
+            if self.spawn_delta > 0 {
+                let d = self.spawn_delta;
+                insist(ctx, || {
+                    ctx.try_atomic_fetch_add(0, self.base.offset(TD_SPAWNED), d)
+                });
+                self.spawn_delta = 0;
+            }
+            if self.complete_delta > 0 {
+                let d = self.complete_delta;
+                insist(ctx, || {
+                    ctx.try_atomic_fetch_add(0, self.base.offset(TD_COMPLETED), d)
+                });
+                self.complete_delta = 0;
+            }
+            return;
+        }
         if self.spawn_delta > 0 {
             ctx.atomic_add_nbi(0, self.base.offset(TD_SPAWNED), self.spawn_delta);
             self.spawn_delta = 0;
@@ -108,21 +153,41 @@ impl Termination for CounterTd {
     fn enter_idle(&mut self, ctx: &ShmemCtx) {
         debug_assert!(!self.idle);
         self.flush(ctx);
-        ctx.atomic_fetch_add(0, self.base.offset(TD_IDLE), 1);
+        if ctx.faults_active() {
+            insist(ctx, || {
+                ctx.try_atomic_fetch_add(0, self.base.offset(TD_IDLE), 1)
+            });
+        } else {
+            ctx.atomic_fetch_add(0, self.base.offset(TD_IDLE), 1);
+        }
         self.idle = true;
     }
 
     fn exit_idle(&mut self, ctx: &ShmemCtx) {
         debug_assert!(self.idle);
         // Wrapping add of -1: a one-sided atomic decrement.
-        ctx.atomic_fetch_add(0, self.base.offset(TD_IDLE), u64::MAX);
+        if ctx.faults_active() {
+            insist(ctx, || {
+                ctx.try_atomic_fetch_add(0, self.base.offset(TD_IDLE), u64::MAX)
+            });
+        } else {
+            ctx.atomic_fetch_add(0, self.base.offset(TD_IDLE), u64::MAX);
+        }
         self.idle = false;
     }
 
     fn poll_terminated(&mut self, ctx: &ShmemCtx) -> bool {
         debug_assert!(self.idle, "poll only makes sense while idle");
         let mut words = [0u64; 3];
-        ctx.get_words(0, self.base, &mut words);
+        if ctx.faults_active() {
+            if insist(ctx, || ctx.try_get_words(0, self.base, &mut words)).is_none() {
+                // The counter host is down; termination is undetectable
+                // through it (the runner forbids crashing PE 0).
+                return false;
+            }
+        } else {
+            ctx.get_words(0, self.base, &mut words);
+        }
         let (spawned, completed, idle) = (words[TD_SPAWNED], words[TD_COMPLETED], words[TD_IDLE]);
         idle == ctx.n_pes() as u64 && spawned == completed
     }
@@ -189,9 +254,24 @@ impl TokenRingTd {
     }
 
     /// Pass the token to our successor carrying running sums that now
-    /// include our own counts.
+    /// include our own counts. In fault mode, down successors are skipped
+    /// (the ring contracts around them) and the send is insisted — a lost
+    /// token would halt detection for everyone.
     fn send_next(&self, ctx: &ShmemCtx, s: u64, c: u64) {
-        let next = (ctx.my_pe() + 1) % ctx.n_pes();
+        let n = ctx.n_pes();
+        let mut next = (ctx.my_pe() + 1) % n;
+        if ctx.faults_active() {
+            let mut hops = 0;
+            while hops < n && ctx.pe_known_down(next) {
+                next = (next + 1) % n;
+                hops += 1;
+            }
+            if next == ctx.my_pe() {
+                return; // sole survivor: nothing to circulate through
+            }
+            insist(ctx, || ctx.try_put_words(next, self.token, &[s, c, 1]));
+            return;
+        }
         // Flag word written last: per-word ordering publishes the sums
         // before the token becomes visible.
         ctx.put_words(next, self.token, &[s, c, 1]);
@@ -260,6 +340,9 @@ impl Termination for TokenRingTd {
         self.pump_token(ctx);
         if ctx.my_pe() == 0 {
             self.seen_done = self.done;
+        } else if ctx.faults_active() {
+            self.seen_done = insist(ctx, || ctx.try_atomic_fetch(0, self.term_flag))
+                .is_some_and(|v| v == 1);
         } else {
             self.seen_done = ctx.atomic_fetch(0, self.term_flag) == 1;
         }

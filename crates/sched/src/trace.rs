@@ -9,10 +9,8 @@
 //! front reached each PE. Tracing is off by default — a UTS run can
 //! produce millions of events.
 
-use serde::{Deserialize, Serialize};
-
 /// One scheduler event.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum EventKind {
     /// A steal claimed and copied `tasks` tasks from `victim`.
     StealWon {
@@ -47,10 +45,29 @@ pub enum EventKind {
     EnterIdle,
     /// The PE obtained work and left the idle set.
     ExitIdle,
+    /// A steal against `victim` failed before claiming a block (fault
+    /// mode: dropped claim past the retry budget, or the victim is down).
+    StealFailed {
+        /// Victim PE.
+        victim: u32,
+    },
+    /// A claimed block could not be landed and returned to `victim`.
+    StealAborted {
+        /// Victim PE.
+        victim: u32,
+    },
+    /// `victim` was quarantined: no further steal attempts against it.
+    Quarantined {
+        /// Victim PE.
+        victim: u32,
+    },
+    /// This PE reached its crash deadline and began an orderly
+    /// crash-stop (drain, hand off counters, mark down).
+    CrashStop,
 }
 
 /// A timestamped event.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct Event {
     /// Virtual time, ns.
     pub t_ns: u64,

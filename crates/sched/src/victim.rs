@@ -4,10 +4,13 @@
 //! work stealing (Blumofe & Leiserson); both Scioto and SWS use it. Each
 //! PE derives a private RNG stream from the run seed so virtual-time runs
 //! are reproducible bit-for-bit while different PEs stay uncorrelated.
+//!
+//! Under fault injection the selector also tracks an *exclusion set*:
+//! victims the scheduler has quarantined (crash-stopped or persistently
+//! failing PEs) are skipped by [`VictimSelector::next_live_victim`], so a
+//! degraded world keeps stealing from the PEs that remain.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use sws_shmem::rng::SplitMix64;
 
 /// How victims are chosen.
 ///
@@ -16,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// the paper cites (SLAW, HotSLAW, Habanero hierarchical place trees):
 /// with node-aware network costs, preferring same-node victims turns
 /// most steal round trips into shared-memory latencies.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum VictimPolicy {
     /// Uniform over all other PEs.
     Uniform,
@@ -33,10 +36,13 @@ pub enum VictimPolicy {
 
 /// Seeded victim selector excluding the local PE.
 pub struct VictimSelector {
-    rng: SmallRng,
+    rng: SplitMix64,
     me: usize,
     n_pes: usize,
     policy: VictimPolicy,
+    /// Quarantined PEs, never returned by `next_live_victim`.
+    excluded: Vec<bool>,
+    n_excluded: usize,
 }
 
 impl VictimSelector {
@@ -54,21 +60,18 @@ impl VictimSelector {
     ) -> VictimSelector {
         assert!(n_pes >= 2, "victim selection needs at least two PEs");
         assert!(me < n_pes);
-        // SplitMix-style per-PE stream derivation.
-        let mut s = seed ^ (me as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        s ^= s >> 30;
-        s = s.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        s ^= s >> 27;
         VictimSelector {
-            rng: SmallRng::seed_from_u64(s),
+            rng: SplitMix64::stream(seed, 0x71C7_0000 ^ me as u64),
             me,
             n_pes,
             policy,
+            excluded: vec![false; n_pes],
+            n_excluded: 0,
         }
     }
 
     fn uniform_other(&mut self) -> usize {
-        let v = self.rng.gen_range(0..self.n_pes - 1);
+        let v = self.rng.below(self.n_pes as u64 - 1) as usize;
         if v >= self.me {
             v + 1
         } else {
@@ -76,7 +79,9 @@ impl VictimSelector {
         }
     }
 
-    /// Next victim according to the policy; never the local PE.
+    /// Next victim according to the policy; never the local PE. Ignores
+    /// the exclusion set — fault-aware callers want
+    /// [`Self::next_live_victim`].
     pub fn next_victim(&mut self) -> usize {
         match self.policy {
             VictimPolicy::Uniform => self.uniform_other(),
@@ -89,10 +94,10 @@ impl VictimSelector {
                 let lo = node * node_size;
                 let hi = (lo + node_size).min(self.n_pes);
                 let node_peers = hi - lo - 1; // excluding me
-                let go_local = node_peers > 0
-                    && self.rng.gen_range(0..100u8) < local_pct;
+                let go_local =
+                    node_peers > 0 && self.rng.below(100) < local_pct as u64;
                 if go_local {
-                    let v = lo + self.rng.gen_range(0..node_peers);
+                    let v = lo + self.rng.below(node_peers as u64) as usize;
                     if v >= self.me {
                         v + 1
                     } else {
@@ -103,6 +108,49 @@ impl VictimSelector {
                 }
             }
         }
+    }
+
+    /// Remove `pe` from the victim pool (idempotent). Panics on `me`.
+    pub fn exclude(&mut self, pe: usize) {
+        assert_ne!(pe, self.me, "cannot exclude the local PE");
+        if !self.excluded[pe] {
+            self.excluded[pe] = true;
+            self.n_excluded += 1;
+        }
+    }
+
+    /// Is `pe` currently excluded?
+    pub fn is_excluded(&self, pe: usize) -> bool {
+        self.excluded[pe]
+    }
+
+    /// Number of victims still in the pool.
+    pub fn live_victims(&self) -> usize {
+        self.n_pes - 1 - self.n_excluded
+    }
+
+    /// Next non-excluded victim, or `None` once every peer is
+    /// quarantined. Draws from the policy a few times (preserving its
+    /// distribution over the live set), then falls back to a scan from a
+    /// random start so a heavily-excluded world stays O(P).
+    pub fn next_live_victim(&mut self) -> Option<usize> {
+        if self.live_victims() == 0 {
+            return None;
+        }
+        for _ in 0..8 {
+            let v = self.next_victim();
+            if !self.excluded[v] {
+                return Some(v);
+            }
+        }
+        let start = self.rng.below(self.n_pes as u64) as usize;
+        for i in 0..self.n_pes {
+            let v = (start + i) % self.n_pes;
+            if v != self.me && !self.excluded[v] {
+                return Some(v);
+            }
+        }
+        None
     }
 }
 
@@ -209,5 +257,33 @@ mod tests {
             assert_ne!(v, 9);
             assert!(v <= 8, "in range");
         }
+    }
+
+    #[test]
+    fn exclusion_removes_victims_until_none_remain() {
+        let mut sel = VictimSelector::new(11, 0, 4);
+        assert_eq!(sel.live_victims(), 3);
+        for _ in 0..100 {
+            let v = sel.next_live_victim().unwrap();
+            assert!((1..4).contains(&v));
+        }
+        sel.exclude(2);
+        sel.exclude(2); // idempotent
+        assert_eq!(sel.live_victims(), 2);
+        assert!(sel.is_excluded(2));
+        for _ in 0..100 {
+            let v = sel.next_live_victim().unwrap();
+            assert!(v == 1 || v == 3, "excluded victim drawn");
+        }
+        sel.exclude(1);
+        sel.exclude(3);
+        assert_eq!(sel.live_victims(), 0);
+        assert_eq!(sel.next_live_victim(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exclude the local PE")]
+    fn excluding_self_rejected() {
+        VictimSelector::new(0, 1, 3).exclude(1);
     }
 }

@@ -16,6 +16,22 @@
 //! Timing is decomposed per the paper's convention: successful steal
 //! operations count as *steal time*, failed attempts and probes as
 //! *search time* (§5.3).
+//!
+//! **Fault mode.** When the world carries an active fault plan the loop
+//! grows three behaviours:
+//!
+//! * steals that come back `Failed`/`Aborted` count as search time and
+//!   feed the quarantine tracker — a victim that is down, or fails
+//!   `quarantine_after` consecutive times, is excluded from the victim
+//!   pool for the rest of the run (graceful degradation);
+//! * at its scheduled crash deadline a PE performs an orderly
+//!   [crash-stop](Worker::crash_stop): retire the queue (draining every
+//!   outstanding claim), execute everything it still owns, flush and
+//!   park in the termination detector's idle set, mark itself down, and
+//!   exit without the closing barrier — peers fail fast against it and
+//!   no task is lost or duplicated;
+//! * an idle PE whose entire victim pool is quarantined stops searching
+//!   and polls only the termination detector.
 
 use sws_core::{StealOutcome, StealQueue};
 use sws_shmem::ShmemCtx;
@@ -77,7 +93,8 @@ impl<'r, 'a, Q: StealQueue> Worker<'r, 'a, Q> {
             registry,
             td,
             victims,
-            damping: DampingState::new(ctx.n_pes(), cfg.damping),
+            damping: DampingState::new(ctx.n_pes(), cfg.damping)
+                .with_quarantine_after(cfg.ft.quarantine_after),
             cfg,
             stats: WorkerStats::default(),
             overflow: Vec::new(),
@@ -175,13 +192,80 @@ impl<'r, 'a, Q: StealQueue> Worker<'r, 'a, Q> {
             StealOutcome::Got { .. } => self.damping.observed_work(target),
             StealOutcome::Empty => self.damping.observed_empty(target),
             StealOutcome::Closed => {} // owner mid-update; no mode change
+            // Failure accounting happens in the search loop, which also
+            // owns the victim pool the quarantine decision updates.
+            StealOutcome::Failed { .. } | StealOutcome::Aborted { .. } => {}
         }
         out
     }
 
+    /// Record a failed/aborted steal against `target`; quarantine it when
+    /// it is known down or its failure streak crosses the threshold.
+    fn note_steal_failure(&mut self, target: usize, target_down: bool) {
+        let newly = if target_down {
+            self.damping.quarantine(target)
+        } else {
+            self.damping.observed_failure(target)
+        };
+        if newly {
+            if let Some(v) = self.victims.as_mut() {
+                v.exclude(target);
+            }
+            self.stats.pes_quarantined += 1;
+            self.log.record(self.ctx.now_ns(), EventKind::Quarantined {
+                victim: target as u32,
+            });
+        }
+    }
+
+    /// Orderly crash-stop at this PE's scheduled failure time. The dying
+    /// PE must not take tasks with it: retire the queue (draining every
+    /// outstanding claim back into the local portion), execute everything
+    /// still owned locally — children spawned during the drain land back
+    /// in the retired queue and are drained too — then hand the final
+    /// counts to the termination detector, park permanently in its idle
+    /// set, and mark the PE down so peers fail fast and quarantine it.
+    /// The closing barrier is skipped; `run_world` releases barriers for
+    /// PEs marked down.
+    fn crash_stop(&mut self, already_idle: bool) {
+        self.log.record(self.ctx.now_ns(), EventKind::CrashStop);
+        self.stats.crashed = true;
+        self.queue.retire();
+        loop {
+            if let Some(t) = self.overflow.pop() {
+                self.execute(&t);
+                continue;
+            }
+            if let Some(t) = self.queue.pop_local() {
+                self.execute(&t);
+                continue;
+            }
+            if self.queue.local_count() == 0 && !self.queue.acquire() {
+                break;
+            }
+        }
+        self.queue.flush_completions();
+        self.td.flush(self.ctx);
+        if !already_idle {
+            // Executing after this is safe: the detector only sees the
+            // completions at the flush above, and a crashed PE spawns
+            // nothing new once its drain loop is empty.
+            self.td.enter_idle(self.ctx);
+        }
+        self.stats.runtime_ns = self.ctx.now_ns();
+        self.stats.queue = self.queue.stats().clone();
+        self.stats.events = std::mem::take(&mut self.log).into_events();
+        self.ctx.mark_self_down();
+    }
+
     /// Run to global termination; returns this PE's stats.
     pub fn run(mut self) -> (WorkerStats, Q) {
+        let faulty = self.ctx.faults_active();
         'outer: loop {
+            if faulty && self.ctx.crash_due() {
+                self.crash_stop(false);
+                return (self.stats, self.queue);
+            }
             // Drain overflow first (tasks that bypassed the full ring).
             if let Some(t) = self.overflow.pop() {
                 self.execute(&t);
@@ -212,6 +296,10 @@ impl<'r, 'a, Q: StealQueue> Worker<'r, 'a, Q> {
             self.log.record(self.ctx.now_ns(), EventKind::EnterIdle);
             let mut search_iters = 0u32;
             loop {
+                if faulty && self.ctx.crash_due() {
+                    self.crash_stop(true);
+                    return (self.stats, self.queue);
+                }
                 if search_iters.is_multiple_of(4) && self.td.poll_terminated(self.ctx) {
                     break 'outer;
                 }
@@ -222,7 +310,12 @@ impl<'r, 'a, Q: StealQueue> Worker<'r, 'a, Q> {
                     self.ctx.compute(200);
                     continue;
                 };
-                let target = victims.next_victim();
+                let Some(target) = victims.next_live_victim() else {
+                    // Every peer quarantined: nothing left to steal from,
+                    // only termination (or our own crash) remains.
+                    self.ctx.compute(200);
+                    continue;
+                };
                 let t0 = self.ctx.now_ns();
                 match self.attempt_steal(target) {
                     StealOutcome::Got { tasks } => {
@@ -252,6 +345,27 @@ impl<'r, 'a, Q: StealQueue> Worker<'r, 'a, Q> {
                             }
                         };
                         self.log.record(self.ctx.now_ns(), kind);
+                    }
+                    out @ (StealOutcome::Failed { .. }
+                    | StealOutcome::Aborted { .. }) => {
+                        self.stats.search_ns += self.ctx.now_ns() - t0;
+                        let (kind, down) = match out {
+                            StealOutcome::Failed { target_down } => (
+                                EventKind::StealFailed {
+                                    victim: target as u32,
+                                },
+                                target_down,
+                            ),
+                            StealOutcome::Aborted { target_down } => (
+                                EventKind::StealAborted {
+                                    victim: target as u32,
+                                },
+                                target_down,
+                            ),
+                            _ => unreachable!(),
+                        };
+                        self.log.record(self.ctx.now_ns(), kind);
+                        self.note_steal_failure(target, down);
                     }
                 }
             }

@@ -1,0 +1,215 @@
+//! Scheduler-level chaos tests: full workloads run to global
+//! termination under deterministic fault injection, on both queues,
+//! with every task executed exactly once.
+//!
+//! Three seeded failure schedules are exercised (the acceptance matrix):
+//! transient drops, a stall window on the victim everyone steals from,
+//! and a crash-stop of a worker PE. A fourth test pins the recovery
+//! no-op property: an all-zero fault plan produces a run bit-identical
+//! to no plan at all.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use sws_core::QueueConfig;
+use sws_sched::{
+    run_workload, QueueKind, RunConfig, SchedConfig, TaskCtx, TdKind, Workload,
+};
+use sws_shmem::{FaultPlan, OpClass, TargetSel};
+use sws_task::{PayloadReader, PayloadWriter, TaskDescriptor, TaskRegistry};
+
+/// Binary-tree workload (as in the scheduler tests): a task at depth d
+/// spawns two children until depth 0. Total tasks = 2^(depth+1) - 1.
+struct TreeWorkload {
+    depth: u32,
+    task_ns: u64,
+    executed: Arc<AtomicU64>,
+}
+
+impl TreeWorkload {
+    fn new(depth: u32, task_ns: u64) -> TreeWorkload {
+        TreeWorkload {
+            depth,
+            task_ns,
+            executed: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    fn task(depth_left: u32) -> TaskDescriptor {
+        let mut w = PayloadWriter::new();
+        w.u32(depth_left);
+        TaskDescriptor::new(7, w.as_slice())
+    }
+
+    fn total_tasks(&self) -> u64 {
+        (1u64 << (self.depth + 1)) - 1
+    }
+
+    fn executed(&self) -> u64 {
+        self.executed.load(Ordering::Relaxed)
+    }
+}
+
+impl Workload for TreeWorkload {
+    fn register<'a>(&self, reg: &mut TaskRegistry<TaskCtx<'a>>) {
+        let task_ns = self.task_ns;
+        let counter = Arc::clone(&self.executed);
+        reg.register(7, move |tctx, payload| {
+            let mut r = PayloadReader::new(payload);
+            let depth_left = r.u32();
+            counter.fetch_add(1, Ordering::Relaxed);
+            tctx.compute(task_ns);
+            if depth_left > 0 {
+                tctx.spawn(TreeWorkload::task(depth_left - 1));
+                tctx.spawn(TreeWorkload::task(depth_left - 1));
+            }
+        });
+    }
+
+    fn seeds(&self, pe: usize, _n_pes: usize) -> Vec<TaskDescriptor> {
+        if pe == 0 {
+            vec![TreeWorkload::task(self.depth)]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+fn config(kind: QueueKind, n_pes: usize) -> RunConfig {
+    RunConfig::new(n_pes, SchedConfig::new(kind, QueueConfig::new(1024, 24)))
+}
+
+/// Run `kind` under `plan` and assert exactly-once execution.
+fn run_chaos(
+    kind: QueueKind,
+    n_pes: usize,
+    depth: u32,
+    plan: FaultPlan,
+    label: &str,
+) -> sws_sched::RunReport {
+    let w = TreeWorkload::new(depth, 1_500);
+    let cfg = config(kind, n_pes).with_faults(plan);
+    let report = run_workload(&cfg, &w);
+    assert_eq!(
+        report.total_tasks(),
+        w.total_tasks(),
+        "{label}: task count drifted (lost or duplicated work)"
+    );
+    assert_eq!(
+        w.executed(),
+        w.total_tasks(),
+        "{label}: handler executions != expected"
+    );
+    report
+}
+
+#[test]
+fn transient_drops_conserve_tasks_both_queues() {
+    for kind in [QueueKind::Sws, QueueKind::Sdc] {
+        let mut retries = 0;
+        for seed in [0x5C4A_0001u64, 0x5C4A_0002, 0x5C4A_0003] {
+            let plan = FaultPlan::seeded(seed).with_drop(
+                OpClass::All,
+                TargetSel::Any,
+                0.08,
+            );
+            let label = format!("{kind:?} transient seed {seed:#x}");
+            let r = run_chaos(kind, 4, 9, plan, &label);
+            retries += r.total_steal_retries();
+        }
+        assert!(retries > 0, "{kind:?}: drops never exercised the retry path");
+    }
+}
+
+#[test]
+fn stall_window_on_victim_conserves_tasks() {
+    // PE 0 holds all the seeds; stall it just as dissemination starts so
+    // every thief's first steals hit the timeout/backoff path.
+    for kind in [QueueKind::Sws, QueueKind::Sdc] {
+        let plan = FaultPlan::seeded(0x5C4A_0102).with_stall(0, 20_000, 80_000);
+        let label = format!("{kind:?} stall window");
+        run_chaos(kind, 3, 9, plan, &label);
+    }
+}
+
+#[test]
+fn crash_stop_worker_conserves_tasks() {
+    // PE 2 crash-stops mid-run: it retires its queue, drains what it
+    // owns, parks in the termination detector, and the survivors finish
+    // the workload and quarantine it.
+    for kind in [QueueKind::Sws, QueueKind::Sdc] {
+        let plan = FaultPlan::seeded(0x5C4A_0203).with_crash(2, 400_000);
+        let label = format!("{kind:?} crash-stop");
+        let r = run_chaos(kind, 4, 11, plan, &label);
+        assert_eq!(r.crashed_pes(), 1, "{label}: PE 2 should have crashed");
+        assert!(r.workers[2].crashed, "{label}: wrong PE flagged");
+        assert!(
+            r.fault_summary_line().is_some(),
+            "{label}: fault summary missing"
+        );
+    }
+}
+
+#[test]
+fn drops_and_crash_combined() {
+    // The full gauntlet: transient drops everywhere plus a mid-run crash.
+    for kind in [QueueKind::Sws, QueueKind::Sdc] {
+        let plan = FaultPlan::seeded(0x5C4A_0304)
+            .with_drop(OpClass::All, TargetSel::Any, 0.05)
+            .with_crash(3, 500_000);
+        let label = format!("{kind:?} drops+crash");
+        let r = run_chaos(kind, 4, 11, plan, &label);
+        assert_eq!(r.crashed_pes(), 1, "{label}");
+    }
+}
+
+#[test]
+fn inactive_plan_is_bit_identical_to_no_plan() {
+    let fingerprint = |faults: Option<FaultPlan>| {
+        let w = TreeWorkload::new(9, 1_500);
+        let mut cfg = config(QueueKind::Sws, 4);
+        if let Some(p) = faults {
+            cfg = cfg.with_faults(p);
+        }
+        let r = run_workload(&cfg, &w);
+        (
+            r.makespan_ns,
+            r.total_steals(),
+            r.workers
+                .iter()
+                .map(|w| (w.tasks_executed, w.runtime_ns, format!("{:?}", w.queue)))
+                .collect::<Vec<_>>(),
+            format!("{:?}", r.comm.per_pe),
+        )
+    };
+    let clean = fingerprint(None);
+    assert_eq!(
+        clean,
+        fingerprint(Some(FaultPlan::none())),
+        "FaultPlan::none() must be a run-level no-op"
+    );
+    assert_eq!(
+        clean,
+        fingerprint(Some(FaultPlan::seeded(99))),
+        "a seeded plan with no rules must be a run-level no-op"
+    );
+}
+
+#[test]
+#[should_panic(expected = "hosts the termination counters")]
+fn crashing_pe0_is_rejected() {
+    let w = TreeWorkload::new(4, 500);
+    let cfg = config(QueueKind::Sws, 2)
+        .with_faults(FaultPlan::seeded(1).with_crash(0, 10_000));
+    let _ = run_workload(&cfg, &w);
+}
+
+#[test]
+#[should_panic(expected = "counter termination detector")]
+fn crash_with_token_ring_is_rejected() {
+    let w = TreeWorkload::new(4, 500);
+    let mut cfg = config(QueueKind::Sws, 3)
+        .with_faults(FaultPlan::seeded(1).with_crash(1, 10_000));
+    cfg.sched = cfg.sched.with_td(TdKind::TokenRing);
+    let _ = run_workload(&cfg, &w);
+}

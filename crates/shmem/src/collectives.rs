@@ -28,52 +28,58 @@ impl ShmemCtx {
     /// Broadcast a 64-bit value from `root` to every PE; returns the value.
     pub fn broadcast64(&self, root: usize, value: u64) -> u64 {
         assert!(root < self.n_pes(), "broadcast root {root} out of range");
-        let slot = SymmetricHeap::ctrl(ctrl::BCAST);
-        if self.my_pe() == root {
-            self.atomic_set(root, slot, value);
-        }
-        self.barrier_all();
-        let v = self.atomic_fetch(root, slot);
-        self.barrier_all();
-        v
+        self.with_collective(|| {
+            let slot = SymmetricHeap::ctrl(ctrl::BCAST);
+            if self.my_pe() == root {
+                self.atomic_set(root, slot, value);
+            }
+            self.barrier_all();
+            let v = self.atomic_fetch(root, slot);
+            self.barrier_all();
+            v
+        })
     }
 
     /// Global sum reduction of one u64 per PE; every PE gets the total.
     pub fn reduce_sum_u64(&self, value: u64) -> u64 {
-        let slot = SymmetricHeap::ctrl(ctrl::REDUCE);
-        if self.my_pe() == 0 {
-            self.atomic_set(0, slot, 0);
-        }
-        self.barrier_all();
-        self.atomic_add_nbi(0, slot, value);
-        self.quiet();
-        self.barrier_all();
-        let v = self.atomic_fetch(0, slot);
-        self.barrier_all();
-        v
+        self.with_collective(|| {
+            let slot = SymmetricHeap::ctrl(ctrl::REDUCE);
+            if self.my_pe() == 0 {
+                self.atomic_set(0, slot, 0);
+            }
+            self.barrier_all();
+            self.atomic_add_nbi(0, slot, value);
+            self.quiet();
+            self.barrier_all();
+            let v = self.atomic_fetch(0, slot);
+            self.barrier_all();
+            v
+        })
     }
 
     /// Global max reduction of one u64 per PE; every PE gets the maximum.
     pub fn reduce_max_u64(&self, value: u64) -> u64 {
-        let slot = SymmetricHeap::ctrl(ctrl::REDUCE);
-        if self.my_pe() == 0 {
-            self.atomic_set(0, slot, 0);
-        }
-        self.barrier_all();
-        // CAS loop: repeated remote compare-swaps until our value is
-        // subsumed. (OpenSHMEM has no fetch-max; this is the idiom.)
-        let mut cur = self.atomic_fetch(0, slot);
-        while value > cur {
-            let prev = self.atomic_compare_swap(0, slot, cur, value);
-            if prev == cur {
-                break;
+        self.with_collective(|| {
+            let slot = SymmetricHeap::ctrl(ctrl::REDUCE);
+            if self.my_pe() == 0 {
+                self.atomic_set(0, slot, 0);
             }
-            cur = prev;
-        }
-        self.barrier_all();
-        let v = self.atomic_fetch(0, slot);
-        self.barrier_all();
-        v
+            self.barrier_all();
+            // CAS loop: repeated remote compare-swaps until our value is
+            // subsumed. (OpenSHMEM has no fetch-max; this is the idiom.)
+            let mut cur = self.atomic_fetch(0, slot);
+            while value > cur {
+                let prev = self.atomic_compare_swap(0, slot, cur, value);
+                if prev == cur {
+                    break;
+                }
+                cur = prev;
+            }
+            self.barrier_all();
+            let v = self.atomic_fetch(0, slot);
+            self.barrier_all();
+            v
+        })
     }
 
     /// Collectively allocate `words` words of symmetric memory; every PE
@@ -83,18 +89,21 @@ impl ShmemCtx {
     /// Panics on every PE when the heap is exhausted (the world's result
     /// then surfaces as [`crate::ShmemError::PePanicked`]).
     pub fn alloc_words(&self, words: usize) -> SymAddr {
-        let slot = SymmetricHeap::ctrl(ctrl::BCAST);
-        self.barrier_all();
-        if self.my_pe() == 0 {
-            let off = match self.world().heap.bump(words) {
-                Some(off) => off as u64,
-                None => ALLOC_FAILED,
-            };
-            self.atomic_set(0, slot, off);
-        }
-        self.barrier_all();
-        let off = self.atomic_fetch(0, slot);
-        self.barrier_all();
+        let off = self.with_collective(|| {
+            let slot = SymmetricHeap::ctrl(ctrl::BCAST);
+            self.barrier_all();
+            if self.my_pe() == 0 {
+                let off = match self.world().heap.bump(words) {
+                    Some(off) => off as u64,
+                    None => ALLOC_FAILED,
+                };
+                self.atomic_set(0, slot, off);
+            }
+            self.barrier_all();
+            let off = self.atomic_fetch(0, slot);
+            self.barrier_all();
+            off
+        });
         if off == ALLOC_FAILED {
             panic!(
                 "symmetric heap exhausted: requested {words} words, {} available",
@@ -108,23 +117,25 @@ impl ShmemCtx {
 impl ShmemCtx {
     /// Global min reduction of one u64 per PE; every PE gets the minimum.
     pub fn reduce_min_u64(&self, value: u64) -> u64 {
-        let slot = SymmetricHeap::ctrl(ctrl::REDUCE);
-        if self.my_pe() == 0 {
-            self.atomic_set(0, slot, u64::MAX);
-        }
-        self.barrier_all();
-        let mut cur = self.atomic_fetch(0, slot);
-        while value < cur {
-            let prev = self.atomic_compare_swap(0, slot, cur, value);
-            if prev == cur {
-                break;
+        self.with_collective(|| {
+            let slot = SymmetricHeap::ctrl(ctrl::REDUCE);
+            if self.my_pe() == 0 {
+                self.atomic_set(0, slot, u64::MAX);
             }
-            cur = prev;
-        }
-        self.barrier_all();
-        let v = self.atomic_fetch(0, slot);
-        self.barrier_all();
-        v
+            self.barrier_all();
+            let mut cur = self.atomic_fetch(0, slot);
+            while value < cur {
+                let prev = self.atomic_compare_swap(0, slot, cur, value);
+                if prev == cur {
+                    break;
+                }
+                cur = prev;
+            }
+            self.barrier_all();
+            let v = self.atomic_fetch(0, slot);
+            self.barrier_all();
+            v
+        })
     }
 
     /// All-gather one u64 per PE into a collectively allocated table;
@@ -138,12 +149,14 @@ impl ShmemCtx {
         );
         // Everyone publishes into its slot of PE 0's table, then reads
         // the whole table back (two barriers bracket the exchange).
-        self.atomic_set_nbi(0, table.offset(self.my_pe()), value);
-        self.quiet();
-        self.barrier_all();
-        let mut out = vec![0u64; self.n_pes()];
-        self.get_words(0, table, &mut out);
-        self.barrier_all();
-        out
+        self.with_collective(|| {
+            self.atomic_set_nbi(0, table.offset(self.my_pe()), value);
+            self.quiet();
+            self.barrier_all();
+            let mut out = vec![0u64; self.n_pes()];
+            self.get_words(0, table, &mut out);
+            self.barrier_all();
+            out
+        })
     }
 }

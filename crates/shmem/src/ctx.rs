@@ -25,6 +25,8 @@ use std::sync::atomic::Ordering;
 use std::time::Instant;
 
 use crate::addr::SymAddr;
+use crate::error::{OpError, OpResult};
+use crate::fault::{FaultInjector, FaultPlan, PreDecision};
 use crate::net::OpKind;
 use crate::runtime::WorldShared;
 use crate::stats::OpStats;
@@ -38,17 +40,28 @@ pub struct ShmemCtx {
     pending_nbi_ns: Cell<u64>,
     /// Number of outstanding nbi ops (for quiet bookkeeping).
     pending_nbi_count: Cell<u64>,
+    /// Fault sampler when the world carries an active fault plan.
+    injector: Option<FaultInjector>,
+    /// Nonzero while inside a collective; collective-internal one-sided
+    /// ops are control-plane and exempt from injection.
+    collective_depth: Cell<u32>,
     wall_start: Instant,
 }
 
 impl ShmemCtx {
     pub(crate) fn new(pe: usize, world: std::sync::Arc<WorldShared>) -> ShmemCtx {
+        let injector = world
+            .faults
+            .as_ref()
+            .map(|plan| FaultInjector::new(std::sync::Arc::clone(plan), pe));
         ShmemCtx {
             pe,
             world,
             stats: RefCell::new(OpStats::new()),
             pending_nbi_ns: Cell::new(0),
             pending_nbi_count: Cell::new(0),
+            injector,
+            collective_depth: Cell::new(0),
             wall_start: Instant::now(),
         }
     }
@@ -104,7 +117,7 @@ impl ShmemCtx {
     }
 
     /// Apply a shared-visible effect with cost accounting and (in virtual
-    /// mode) global virtual-time ordering.
+    /// mode) global virtual-time ordering. Fault-free fast path.
     #[inline]
     fn op<R>(&self, kind: OpKind, target: usize, bytes: usize, f: impl FnOnce() -> R) -> R {
         let loc = self.world.net.locality(self.pe, target);
@@ -129,18 +142,152 @@ impl ShmemCtx {
         }
     }
 
+    /// Is this op subject to fault injection? Same-PE traffic and
+    /// collective-internal (control-plane) ops never are.
+    #[inline]
+    fn injectable(&self, target: usize) -> Option<&FaultInjector> {
+        match &self.injector {
+            Some(inj) if target != self.pe && self.collective_depth.get() == 0 => Some(inj),
+            _ => None,
+        }
+    }
+
+    /// Fallible variant of [`Self::op`] for *blocking* kinds: consults the
+    /// fault injector, charges the detection timeout on failure, and skips
+    /// the memory effect of failed ops (a dropped packet never reaches the
+    /// target).
+    fn try_op<R>(
+        &self,
+        kind: OpKind,
+        target: usize,
+        bytes: usize,
+        f: impl FnOnce() -> R,
+    ) -> OpResult<R> {
+        debug_assert!(kind.is_blocking());
+        let Some(inj) = self.injectable(target) else {
+            return Ok(self.op(kind, target, bytes, f));
+        };
+        let loc = self.world.net.locality(self.pe, target);
+        let cost = self.world.net.cost_ns(kind, bytes, loc);
+        let plan = inj.plan();
+        let timeout_ns = plan.timeout_ns();
+        let (dropped, extra) = match inj.predecide(kind, target) {
+            PreDecision::Drop => (true, 0),
+            PreDecision::Proceed { extra_ns } => (false, extra_ns),
+        };
+
+        // The target-down and stall checks read shared/clock state, so they
+        // run at the serialization point (the gate) in virtual mode.
+        let decide = |now: u64| -> OpResult<()> {
+            if self.world.down[target].load(Ordering::Acquire) {
+                Err(OpError::TargetDown { kind, target })
+            } else if plan.target_stalled(target, now) {
+                Err(OpError::Timeout { kind, target })
+            } else if dropped {
+                Err(OpError::Retriable { kind, target })
+            } else {
+                Ok(())
+            }
+        };
+
+        let res: OpResult<R> = match &self.world.vclock {
+            Some(vc) => {
+                vc.gate(self.pe);
+                let res = decide(vc.now(self.pe)).map(|()| f());
+                let charge = match &res {
+                    Ok(_) => cost.saturating_add(extra),
+                    Err(_) => timeout_ns,
+                };
+                vc.advance(self.pe, charge.max(1));
+                self.stats.borrow_mut().record(kind, bytes, charge.max(1));
+                res
+            }
+            None => {
+                let res = decide(self.wall_start.elapsed().as_nanos() as u64).map(|()| f());
+                let charge = match &res {
+                    Ok(_) => cost.saturating_add(extra),
+                    Err(_) => timeout_ns,
+                };
+                self.stats.borrow_mut().record(kind, bytes, charge);
+                if self.world.inject_latency {
+                    spin_ns(charge);
+                }
+                res
+            }
+        };
+        if res.is_err() {
+            self.stats.borrow_mut().record_failed(kind);
+        }
+        res
+    }
+
+    /// Fault-aware path for *non-blocking* kinds: losses are silent (the
+    /// issuer cannot observe an nbi failure at issue time — exactly like a
+    /// real NIC), so the effect is skipped but `Ok` semantics are kept and
+    /// `quiet` accounting proceeds as if the op were in flight.
+    fn op_nbi(&self, kind: OpKind, target: usize, bytes: usize, f: impl FnOnce()) {
+        debug_assert!(!kind.is_blocking());
+        let Some(inj) = self.injectable(target) else {
+            self.op(kind, target, bytes, f);
+            return;
+        };
+        let plan = inj.plan();
+        let dropped = matches!(inj.predecide(kind, target), PreDecision::Drop);
+        let apply = |now: u64| -> bool {
+            !(dropped
+                || self.world.down[target].load(Ordering::Acquire)
+                || plan.target_stalled(target, now))
+        };
+        let loc = self.world.net.locality(self.pe, target);
+        let cost = self.world.net.cost_ns(kind, bytes, loc);
+        self.stats.borrow_mut().record(kind, bytes, cost);
+        let deferred = self.world.net.nbi_deferred_ns(bytes, loc);
+        self.pending_nbi_ns
+            .set(self.pending_nbi_ns.get().max(deferred));
+        self.pending_nbi_count
+            .set(self.pending_nbi_count.get() + 1);
+        let applied = match &self.world.vclock {
+            Some(vc) => vc.gated(self.pe, cost, || {
+                let ok = apply(vc.now(self.pe));
+                if ok {
+                    f();
+                }
+                ok
+            }),
+            None => {
+                let ok = apply(self.wall_start.elapsed().as_nanos() as u64);
+                if ok {
+                    f();
+                }
+                if self.world.inject_latency {
+                    spin_ns(cost);
+                }
+                ok
+            }
+        };
+        if !applied {
+            self.stats.borrow_mut().record_failed(kind);
+        }
+    }
+
     // ------------------------------------------------------------------
     // Bulk one-sided data movement
     // ------------------------------------------------------------------
 
     /// Blocking contiguous read of `dst.len()` words from (`pe`, `addr`).
     pub fn get_words(&self, pe: usize, addr: SymAddr, dst: &mut [u64]) {
+        self.try_get_words(pe, addr, dst).unwrap_or_else(op_panic);
+    }
+
+    /// Fallible [`Self::get_words`]: surfaces injected faults instead of
+    /// panicking.
+    pub fn try_get_words(&self, pe: usize, addr: SymAddr, dst: &mut [u64]) -> OpResult<()> {
         let heap = &self.world.heap;
-        self.op(OpKind::Get, pe, dst.len() * 8, || {
+        self.try_op(OpKind::Get, pe, dst.len() * 8, || {
             for (i, d) in dst.iter_mut().enumerate() {
                 *d = heap.word(pe, addr.offset(i)).load(Ordering::Acquire);
             }
-        });
+        })
     }
 
     /// Blocking gather-read of two contiguous remote ranges into `dst`
@@ -154,9 +301,21 @@ impl ShmemCtx {
         b: (SymAddr, usize),
         dst: &mut [u64],
     ) {
+        self.try_get_words_gather(pe, a, b, dst)
+            .unwrap_or_else(op_panic);
+    }
+
+    /// Fallible [`Self::get_words_gather`].
+    pub fn try_get_words_gather(
+        &self,
+        pe: usize,
+        a: (SymAddr, usize),
+        b: (SymAddr, usize),
+        dst: &mut [u64],
+    ) -> OpResult<()> {
         assert_eq!(a.1 + b.1, dst.len(), "gather ranges must fill dst");
         let heap = &self.world.heap;
-        self.op(OpKind::Get, pe, dst.len() * 8, || {
+        self.try_op(OpKind::Get, pe, dst.len() * 8, || {
             let (first, second) = dst.split_at_mut(a.1);
             for (i, d) in first.iter_mut().enumerate() {
                 *d = heap.word(pe, a.0.offset(i)).load(Ordering::Acquire);
@@ -164,23 +323,32 @@ impl ShmemCtx {
             for (i, d) in second.iter_mut().enumerate() {
                 *d = heap.word(pe, b.0.offset(i)).load(Ordering::Acquire);
             }
-        });
+        })
     }
 
     /// Blocking contiguous write of `src` to (`pe`, `addr`).
     pub fn put_words(&self, pe: usize, addr: SymAddr, src: &[u64]) {
+        self.try_put_words(pe, addr, src).unwrap_or_else(op_panic);
+    }
+
+    /// Fallible [`Self::put_words`].
+    pub fn try_put_words(&self, pe: usize, addr: SymAddr, src: &[u64]) -> OpResult<()> {
         let heap = &self.world.heap;
-        self.op(OpKind::Put, pe, src.len() * 8, || {
+        self.try_op(OpKind::Put, pe, src.len() * 8, || {
             for (i, &s) in src.iter().enumerate() {
                 heap.word(pe, addr.offset(i)).store(s, Ordering::Release);
             }
-        });
+        })
     }
 
     /// Non-blocking contiguous write; completion deferred to [`Self::quiet`].
+    ///
+    /// Under fault injection, losses of non-blocking ops are *silent*: the
+    /// effect is skipped but the call still succeeds, exactly as a real NIC
+    /// behaves at issue time.
     pub fn put_words_nbi(&self, pe: usize, addr: SymAddr, src: &[u64]) {
         let heap = &self.world.heap;
-        self.op(OpKind::PutNbi, pe, src.len() * 8, || {
+        self.op_nbi(OpKind::PutNbi, pe, src.len() * 8, || {
             for (i, &s) in src.iter().enumerate() {
                 heap.word(pe, addr.offset(i)).store(s, Ordering::Release);
             }
@@ -212,16 +380,27 @@ impl ShmemCtx {
 
     /// Atomic fetch-add on a remote word; returns the previous value.
     pub fn atomic_fetch_add(&self, pe: usize, addr: SymAddr, val: u64) -> u64 {
+        self.try_atomic_fetch_add(pe, addr, val)
+            .unwrap_or_else(op_panic)
+    }
+
+    /// Fallible [`Self::atomic_fetch_add`].
+    pub fn try_atomic_fetch_add(&self, pe: usize, addr: SymAddr, val: u64) -> OpResult<u64> {
         let heap = &self.world.heap;
-        self.op(OpKind::AtomicFetchAdd, pe, 8, || {
+        self.try_op(OpKind::AtomicFetchAdd, pe, 8, || {
             heap.word(pe, addr).fetch_add(val, Ordering::AcqRel)
         })
     }
 
     /// Atomic swap on a remote word; returns the previous value.
     pub fn atomic_swap(&self, pe: usize, addr: SymAddr, val: u64) -> u64 {
+        self.try_atomic_swap(pe, addr, val).unwrap_or_else(op_panic)
+    }
+
+    /// Fallible [`Self::atomic_swap`].
+    pub fn try_atomic_swap(&self, pe: usize, addr: SymAddr, val: u64) -> OpResult<u64> {
         let heap = &self.world.heap;
-        self.op(OpKind::AtomicSwap, pe, 8, || {
+        self.try_op(OpKind::AtomicSwap, pe, 8, || {
             heap.word(pe, addr).swap(val, Ordering::AcqRel)
         })
     }
@@ -229,8 +408,20 @@ impl ShmemCtx {
     /// Atomic compare-and-swap; returns the previous value (success iff it
     /// equals `expected`).
     pub fn atomic_compare_swap(&self, pe: usize, addr: SymAddr, expected: u64, new: u64) -> u64 {
+        self.try_atomic_compare_swap(pe, addr, expected, new)
+            .unwrap_or_else(op_panic)
+    }
+
+    /// Fallible [`Self::atomic_compare_swap`].
+    pub fn try_atomic_compare_swap(
+        &self,
+        pe: usize,
+        addr: SymAddr,
+        expected: u64,
+        new: u64,
+    ) -> OpResult<u64> {
         let heap = &self.world.heap;
-        self.op(OpKind::AtomicCompareSwap, pe, 8, || {
+        self.try_op(OpKind::AtomicCompareSwap, pe, 8, || {
             match heap.word(pe, addr).compare_exchange(
                 expected,
                 new,
@@ -245,32 +436,44 @@ impl ShmemCtx {
 
     /// Atomic read of a remote word.
     pub fn atomic_fetch(&self, pe: usize, addr: SymAddr) -> u64 {
+        self.try_atomic_fetch(pe, addr).unwrap_or_else(op_panic)
+    }
+
+    /// Fallible [`Self::atomic_fetch`].
+    pub fn try_atomic_fetch(&self, pe: usize, addr: SymAddr) -> OpResult<u64> {
         let heap = &self.world.heap;
-        self.op(OpKind::AtomicFetch, pe, 8, || {
+        self.try_op(OpKind::AtomicFetch, pe, 8, || {
             heap.word(pe, addr).load(Ordering::Acquire)
         })
     }
 
     /// Atomic write of a remote word.
     pub fn atomic_set(&self, pe: usize, addr: SymAddr, val: u64) {
+        self.try_atomic_set(pe, addr, val).unwrap_or_else(op_panic)
+    }
+
+    /// Fallible [`Self::atomic_set`].
+    pub fn try_atomic_set(&self, pe: usize, addr: SymAddr, val: u64) -> OpResult<()> {
         let heap = &self.world.heap;
-        self.op(OpKind::AtomicSet, pe, 8, || {
+        self.try_op(OpKind::AtomicSet, pe, 8, || {
             heap.word(pe, addr).store(val, Ordering::Release)
-        });
+        })
     }
 
     /// Non-blocking atomic add (no fetched value); completed by `quiet`.
+    /// Losses under fault injection are silent (see [`Self::put_words_nbi`]).
     pub fn atomic_add_nbi(&self, pe: usize, addr: SymAddr, val: u64) {
         let heap = &self.world.heap;
-        self.op(OpKind::AtomicAddNbi, pe, 8, || {
+        self.op_nbi(OpKind::AtomicAddNbi, pe, 8, || {
             heap.word(pe, addr).fetch_add(val, Ordering::AcqRel);
         });
     }
 
-    /// Non-blocking atomic set; completed by `quiet`.
+    /// Non-blocking atomic set; completed by `quiet`. Losses under fault
+    /// injection are silent (see [`Self::put_words_nbi`]).
     pub fn atomic_set_nbi(&self, pe: usize, addr: SymAddr, val: u64) {
         let heap = &self.world.heap;
-        self.op(OpKind::AtomicSetNbi, pe, 8, || {
+        self.op_nbi(OpKind::AtomicSetNbi, pe, 8, || {
             heap.word(pe, addr).store(val, Ordering::Release)
         });
     }
@@ -331,6 +534,81 @@ impl ShmemCtx {
     pub(crate) fn record_barrier(&self, cost: u64) {
         self.stats.borrow_mut().record(OpKind::Barrier, 0, cost);
     }
+
+    /// Run `f` as collective-internal: one-sided ops inside it are
+    /// control-plane and exempt from fault injection.
+    pub(crate) fn with_collective<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.collective_depth.set(self.collective_depth.get() + 1);
+        let r = f();
+        self.collective_depth.set(self.collective_depth.get() - 1);
+        r
+    }
+
+    // ------------------------------------------------------------------
+    // Fault-model surface
+    // ------------------------------------------------------------------
+
+    /// Whether this world carries an active fault plan. Protocols switch
+    /// to their recovery-capable variants only when this is true, keeping
+    /// fault-free runs bit-identical to worlds without an injector.
+    #[inline]
+    pub fn faults_active(&self) -> bool {
+        self.injector.is_some()
+    }
+
+    /// The world's fault plan, if an active one is attached.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.injector.as_ref().map(|i| i.plan())
+    }
+
+    /// Has this PE's scheduled crash point passed? The scheduler polls
+    /// this at idle points and initiates the crash-stop protocol (drain,
+    /// [`Self::mark_self_down`], exit) when it fires.
+    pub fn crash_due(&self) -> bool {
+        match &self.injector {
+            Some(inj) => inj
+                .plan()
+                .crash_at(self.pe)
+                .is_some_and(|at| self.now_ns() >= at),
+            None => false,
+        }
+    }
+
+    /// Declare this PE down. After this, every op targeting it fails with
+    /// [`OpError::TargetDown`]. The caller must already have drained its
+    /// steal-protocol state (no in-flight claims against its queue).
+    pub fn mark_self_down(&self) {
+        match &self.world.vclock {
+            // Serialized like any shared-visible effect so the transition
+            // is deterministic in virtual time.
+            Some(vc) => vc.gated(self.pe, 1, || {
+                self.world.down[self.pe].store(true, Ordering::Release)
+            }),
+            None => self.world.down[self.pe].store(true, Ordering::Release),
+        }
+    }
+
+    /// Whether `pe` is known to be down (its crash-stop completed). This
+    /// models the fabric's connection-state knowledge: cheap, local, and
+    /// only eventually consistent with the target's actual state.
+    pub fn pe_known_down(&self, pe: usize) -> bool {
+        self.world.down[pe].load(Ordering::Acquire)
+    }
+
+    /// Whether a peer PE panicked and poisoned the world (threaded mode).
+    /// Poll loops that spin on remote state must check this to propagate
+    /// failure instead of spinning forever.
+    pub fn world_poisoned(&self) -> bool {
+        match &self.world.vclock {
+            Some(vc) => vc.is_poisoned(),
+            None => self.world.thread_barrier.is_poisoned(),
+        }
+    }
+}
+
+/// Panic handler for infallible wrappers reached by an injected fault.
+fn op_panic<R>(e: OpError) -> R {
+    panic!("unhandled injected fault on infallible op surface: {e} (use the try_* variant)")
 }
 
 /// Busy-wait approximately `ns` nanoseconds (threaded latency injection).
@@ -351,13 +629,14 @@ impl ShmemCtx {
     pub fn iget_words(&self, pe: usize, addr: SymAddr, stride: usize, dst: &mut [u64]) {
         assert!(stride >= 1, "stride must be at least one word");
         let heap = &self.world.heap;
-        self.op(OpKind::Get, pe, dst.len() * 8, || {
+        self.try_op(OpKind::Get, pe, dst.len() * 8, || {
             for (i, d) in dst.iter_mut().enumerate() {
                 *d = heap
                     .word(pe, addr.offset(i * stride))
                     .load(Ordering::Acquire);
             }
-        });
+        })
+        .unwrap_or_else(op_panic)
     }
 
     /// Blocking strided write (OpenSHMEM `iput`): `(pe, addr + i·stride)`
@@ -365,12 +644,13 @@ impl ShmemCtx {
     pub fn iput_words(&self, pe: usize, addr: SymAddr, stride: usize, src: &[u64]) {
         assert!(stride >= 1, "stride must be at least one word");
         let heap = &self.world.heap;
-        self.op(OpKind::Put, pe, src.len() * 8, || {
+        self.try_op(OpKind::Put, pe, src.len() * 8, || {
             for (i, &s) in src.iter().enumerate() {
                 heap.word(pe, addr.offset(i * stride))
                     .store(s, Ordering::Release);
             }
-        });
+        })
+        .unwrap_or_else(op_panic)
     }
 
     /// Convenience: blocking read of one remote word (a 1-word `get`,
@@ -385,5 +665,17 @@ impl ShmemCtx {
     /// Convenience: blocking write of one remote word (a 1-word `put`).
     pub fn put_word(&self, pe: usize, addr: SymAddr, val: u64) {
         self.put_words(pe, addr, &[val]);
+    }
+
+    /// Fallible [`Self::get_word`].
+    pub fn try_get_word(&self, pe: usize, addr: SymAddr) -> OpResult<u64> {
+        let mut v = [0u64];
+        self.try_get_words(pe, addr, &mut v)?;
+        Ok(v[0])
+    }
+
+    /// Fallible [`Self::put_word`].
+    pub fn try_put_word(&self, pe: usize, addr: SymAddr, val: u64) -> OpResult<()> {
+        self.try_put_words(pe, addr, &[val])
     }
 }

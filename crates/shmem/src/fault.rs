@@ -1,0 +1,661 @@
+//! Deterministic fault injection for the simulated fabric.
+//!
+//! A [`FaultPlan`] is a seeded description of everything that will go
+//! wrong during a run: transient *drops* (an op fails with
+//! [`OpError::Retriable`](crate::OpError)), added *delays*, target-side
+//! *stall windows* (ops against the target time out while its virtual
+//! clock is inside the window), and *crash-stop* points (a PE stops
+//! executing at a virtual time; once it has drained in-flight protocol
+//! state and marked itself down, every later op against it fails with
+//! [`OpError::TargetDown`](crate::OpError)).
+//!
+//! The plan is attached to a [`WorldConfig`](crate::WorldConfig); each PE
+//! gets a [`FaultInjector`] whose decisions are drawn from a per-PE
+//! SplitMix64 stream of the plan seed. In virtual mode the whole schedule
+//! is therefore a pure function of `(plan, workload)` — the same seed
+//! replays the same faults at the same virtual instants, which is what the
+//! chaos suite relies on.
+//!
+//! Fault decisions charge time but never apply the memory effect of a
+//! failed op, mirroring a lost packet on a real RDMA fabric. Local
+//! (same-PE) accesses and collectives are never injected: the model is a
+//! faulty *network*, not faulty memory.
+
+use crate::error::OpResult;
+use crate::net::OpKind;
+use crate::rng::SplitMix64;
+use std::cell::RefCell;
+
+/// Which operation kinds a rule applies to.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum OpClass {
+    /// Every remote operation.
+    All,
+    /// Remote atomics (fetch-add, swap, compare-swap, fetch, set, and
+    /// their non-blocking forms).
+    Atomics,
+    /// Blocking and strided gets.
+    Gets,
+    /// Blocking, strided, and non-blocking puts.
+    Puts,
+    /// Exactly one operation kind.
+    Kind(OpKind),
+}
+
+impl OpClass {
+    /// Does this class cover `kind`?
+    pub fn matches(self, kind: OpKind) -> bool {
+        match self {
+            OpClass::All => !matches!(kind, OpKind::Barrier | OpKind::Quiet),
+            OpClass::Atomics => kind.is_atomic(),
+            OpClass::Gets => matches!(kind, OpKind::Get),
+            OpClass::Puts => matches!(kind, OpKind::Put | OpKind::PutNbi),
+            OpClass::Kind(k) => k == kind,
+        }
+    }
+}
+
+/// Which target PEs a rule applies to.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TargetSel {
+    /// Any remote target.
+    Any,
+    /// Only ops against one specific PE.
+    Pe(usize),
+}
+
+impl TargetSel {
+    fn matches(self, target: usize) -> bool {
+        match self {
+            TargetSel::Any => true,
+            TargetSel::Pe(p) => p == target,
+        }
+    }
+}
+
+/// Transiently fail matching ops with probability `prob`.
+#[derive(Copy, Clone, Debug)]
+pub struct DropRule {
+    /// Operation kinds covered.
+    pub class: OpClass,
+    /// Target PEs covered.
+    pub target: TargetSel,
+    /// Per-op failure probability in `[0, 1]`.
+    pub prob: f64,
+    /// Stop injecting after this many failures (`u64::MAX` = unlimited).
+    pub max_failures: u64,
+}
+
+/// Add `extra_ns` of latency to matching ops with probability `prob`.
+#[derive(Copy, Clone, Debug)]
+pub struct DelayRule {
+    /// Operation kinds covered.
+    pub class: OpClass,
+    /// Target PEs covered.
+    pub target: TargetSel,
+    /// Per-op delay probability in `[0, 1]`.
+    pub prob: f64,
+    /// Added latency in nanoseconds.
+    pub extra_ns: u64,
+}
+
+/// Make `pe` unresponsive for `[from_ns, from_ns + dur_ns)`: blocking ops
+/// issued against it while the issuer's clock is inside the window fail
+/// with [`OpError::Timeout`](crate::OpError).
+#[derive(Copy, Clone, Debug)]
+pub struct StallRule {
+    /// The stalled PE.
+    pub pe: usize,
+    /// Window start (virtual ns; wall ns in threaded mode).
+    pub from_ns: u64,
+    /// Window length in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Crash-stop `pe` at virtual time `at_ns`: the PE stops taking new work
+/// at its next idle point after `at_ns`, drains its steal-protocol state,
+/// marks itself down, and exits. Ops against a down PE fail with
+/// [`OpError::TargetDown`](crate::OpError).
+#[derive(Copy, Clone, Debug)]
+pub struct CrashRule {
+    /// The crashing PE.
+    pub pe: usize,
+    /// Earliest virtual time the crash takes effect.
+    pub at_ns: u64,
+}
+
+/// A complete, seeded fault schedule for one world.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Seed for all probabilistic rules (per-PE streams are derived).
+    pub seed: u64,
+    /// Time charged to an op that fails (models a detection timeout).
+    /// Zero selects a default of 20µs.
+    pub timeout_ns: u64,
+    /// Transient-failure rules.
+    pub drops: Vec<DropRule>,
+    /// Added-latency rules.
+    pub delays: Vec<DelayRule>,
+    /// Target unresponsiveness windows.
+    pub stalls: Vec<StallRule>,
+    /// Crash-stop points.
+    pub crashes: Vec<CrashRule>,
+}
+
+const DEFAULT_TIMEOUT_NS: u64 = 20_000;
+
+impl FaultPlan {
+    /// An empty plan: injects nothing, and [`FaultPlan::is_active`] is
+    /// false, so every protocol runs its fault-free fast path.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// An empty plan carrying a seed, ready for `with_*` builders.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Add an unlimited transient-failure rule.
+    pub fn with_drop(mut self, class: OpClass, target: TargetSel, prob: f64) -> FaultPlan {
+        self.drops.push(DropRule {
+            class,
+            target,
+            prob,
+            max_failures: u64::MAX,
+        });
+        self
+    }
+
+    /// Add a transient-failure rule capped at `max_failures` injections.
+    pub fn with_drop_limited(
+        mut self,
+        class: OpClass,
+        target: TargetSel,
+        prob: f64,
+        max_failures: u64,
+    ) -> FaultPlan {
+        self.drops.push(DropRule {
+            class,
+            target,
+            prob,
+            max_failures,
+        });
+        self
+    }
+
+    /// Add an added-latency rule.
+    pub fn with_delay(
+        mut self,
+        class: OpClass,
+        target: TargetSel,
+        prob: f64,
+        extra_ns: u64,
+    ) -> FaultPlan {
+        self.delays.push(DelayRule {
+            class,
+            target,
+            prob,
+            extra_ns,
+        });
+        self
+    }
+
+    /// Add a stall window for `pe`.
+    pub fn with_stall(mut self, pe: usize, from_ns: u64, dur_ns: u64) -> FaultPlan {
+        self.stalls.push(StallRule { pe, from_ns, dur_ns });
+        self
+    }
+
+    /// Add a crash-stop point for `pe`.
+    pub fn with_crash(mut self, pe: usize, at_ns: u64) -> FaultPlan {
+        self.crashes.push(CrashRule { pe, at_ns });
+        self
+    }
+
+    /// Override the failure-detection timeout charge.
+    pub fn with_timeout_ns(mut self, timeout_ns: u64) -> FaultPlan {
+        self.timeout_ns = timeout_ns;
+        self
+    }
+
+    /// Does this plan inject anything at all? Inactive plans leave every
+    /// op count and protocol decision bit-identical to a world with no
+    /// plan attached.
+    pub fn is_active(&self) -> bool {
+        !(self.drops.is_empty()
+            && self.delays.is_empty()
+            && self.stalls.is_empty()
+            && self.crashes.is_empty())
+    }
+
+    /// Time charged to failed ops.
+    pub fn timeout_ns(&self) -> u64 {
+        if self.timeout_ns == 0 {
+            DEFAULT_TIMEOUT_NS
+        } else {
+            self.timeout_ns
+        }
+    }
+
+    /// Earliest crash point scheduled for `pe`, if any.
+    pub fn crash_at(&self, pe: usize) -> Option<u64> {
+        self.crashes
+            .iter()
+            .filter(|c| c.pe == pe)
+            .map(|c| c.at_ns)
+            .min()
+    }
+
+    /// Is the issuer-side clock `now_ns` inside a stall window of
+    /// `target`?
+    pub fn target_stalled(&self, target: usize, now_ns: u64) -> bool {
+        self.stalls
+            .iter()
+            .any(|s| s.pe == target && now_ns >= s.from_ns && now_ns < s.from_ns + s.dur_ns)
+    }
+
+    /// Check rule sanity against a world of `n_pes` PEs.
+    pub fn validate(&self, n_pes: usize) -> Result<(), String> {
+        for r in &self.drops {
+            if !(0.0..=1.0).contains(&r.prob) {
+                return Err(format!("drop probability {} outside [0, 1]", r.prob));
+            }
+            if let TargetSel::Pe(p) = r.target {
+                if p >= n_pes {
+                    return Err(format!("drop rule targets PE {p} of {n_pes}"));
+                }
+            }
+        }
+        for r in &self.delays {
+            if !(0.0..=1.0).contains(&r.prob) {
+                return Err(format!("delay probability {} outside [0, 1]", r.prob));
+            }
+            if let TargetSel::Pe(p) = r.target {
+                if p >= n_pes {
+                    return Err(format!("delay rule targets PE {p} of {n_pes}"));
+                }
+            }
+        }
+        for r in &self.stalls {
+            if r.pe >= n_pes {
+                return Err(format!("stall rule names PE {} of {n_pes}", r.pe));
+            }
+        }
+        for r in &self.crashes {
+            if r.pe >= n_pes {
+                return Err(format!("crash rule names PE {} of {n_pes}", r.pe));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Retry policy for fallible one-sided ops: bounded attempts with
+/// exponential backoff and multiplicative jitter. Backoff is charged as
+/// compute time, so in virtual mode retries advance the clock and the
+/// whole schedule stays deterministic.
+#[derive(Copy, Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff_ns: u64,
+    /// Backoff cap.
+    pub max_backoff_ns: u64,
+    /// Jitter as a percentage of the backoff (0–100).
+    pub jitter_pct: u8,
+}
+
+impl RetryPolicy {
+    /// Default policy for thieves: a handful of quick retries.
+    pub fn default_thief() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ns: 2_000,
+            max_backoff_ns: 64_000,
+            jitter_pct: 50,
+        }
+    }
+
+    /// No retries at all.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff_ns: 0,
+            max_backoff_ns: 0,
+            jitter_pct: 0,
+        }
+    }
+
+    /// Backoff to charge before retry number `attempt` (1-based: the
+    /// backoff after the first failure is `backoff_ns(1, ..)`).
+    pub fn backoff_ns(&self, attempt: u32, rng: &mut SplitMix64) -> u64 {
+        let shift = attempt.saturating_sub(1).min(20);
+        let base = self
+            .base_backoff_ns
+            .saturating_mul(1u64 << shift)
+            .min(self.max_backoff_ns.max(self.base_backoff_ns));
+        if self.jitter_pct == 0 || base == 0 {
+            base
+        } else {
+            // Uniform in [base, base + jitter_pct% of base].
+            let spread = base * self.jitter_pct as u64 / 100;
+            base + if spread > 0 { rng.below(spread + 1) } else { 0 }
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::default_thief()
+    }
+}
+
+/// What the injector decided for one op, before target-state checks.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) enum PreDecision {
+    /// Apply the op, with this much added latency.
+    Proceed { extra_ns: u64 },
+    /// Drop the op: fail with `Retriable`, charge the timeout.
+    Drop,
+}
+
+/// Per-PE fault sampler. Drawn from a SplitMix64 stream of the plan seed
+/// keyed by the issuing PE, so each PE's decision sequence depends only on
+/// its own op sequence — deterministic under virtual time.
+pub struct FaultInjector {
+    plan: std::sync::Arc<FaultPlan>,
+    rng: RefCell<SplitMix64>,
+    drop_counts: RefCell<Vec<u64>>,
+}
+
+impl FaultInjector {
+    pub(crate) fn new(plan: std::sync::Arc<FaultPlan>, pe: usize) -> FaultInjector {
+        let rng = SplitMix64::stream(plan.seed, 0xFA17_0000 ^ pe as u64);
+        let n_rules = plan.drops.len();
+        FaultInjector {
+            plan,
+            rng: RefCell::new(rng),
+            drop_counts: RefCell::new(vec![0; n_rules]),
+        }
+    }
+
+    pub(crate) fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Sample drop/delay rules for one op. Target-down and stall checks
+    /// happen later, inside the serialized (gated) window, where the
+    /// issuer's clock and the target's down flag are exact.
+    pub(crate) fn predecide(&self, kind: OpKind, target: usize) -> PreDecision {
+        let mut rng = self.rng.borrow_mut();
+        let mut counts = self.drop_counts.borrow_mut();
+        for (i, r) in self.plan.drops.iter().enumerate() {
+            if r.class.matches(kind) && r.target.matches(target) && counts[i] < r.max_failures {
+                // Draw even when prob is 0/1 so rule sets with different
+                // probabilities still consume identical stream positions.
+                let hit = rng.chance(r.prob);
+                if hit {
+                    counts[i] += 1;
+                    return PreDecision::Drop;
+                }
+            }
+        }
+        let mut extra = 0u64;
+        for r in &self.plan.delays {
+            if r.class.matches(kind) && r.target.matches(target) && rng.chance(r.prob) {
+                extra = extra.max(r.extra_ns);
+            }
+        }
+        PreDecision::Proceed { extra_ns: extra }
+    }
+}
+
+/// Run `op` under `policy`, charging backoff between attempts via
+/// `charge` (typically `|ns| ctx.compute(ns)`). Returns the first success,
+/// or the last error once attempts are exhausted or a non-retriable error
+/// (`TargetDown`) is seen. `on_retry` is invoked once per retry, letting
+/// callers count retries in their stats.
+pub fn retry_op<T>(
+    policy: &RetryPolicy,
+    rng: &mut SplitMix64,
+    mut charge: impl FnMut(u64),
+    mut on_retry: impl FnMut(),
+    mut op: impl FnMut() -> OpResult<T>,
+) -> OpResult<T> {
+    let mut attempt = 1u32;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if !e.is_retriable() || attempt >= policy.max_attempts.max(1) => {
+                return Err(e);
+            }
+            Err(_) => {
+                let back = policy.backoff_ns(attempt, rng);
+                if back > 0 {
+                    charge(back);
+                }
+                on_retry();
+                attempt += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::OpError;
+    use std::sync::Arc;
+
+    #[test]
+    fn op_class_matching() {
+        assert!(OpClass::All.matches(OpKind::Get));
+        assert!(!OpClass::All.matches(OpKind::Barrier));
+        assert!(!OpClass::All.matches(OpKind::Quiet));
+        assert!(OpClass::Atomics.matches(OpKind::AtomicFetchAdd));
+        assert!(OpClass::Atomics.matches(OpKind::AtomicSetNbi));
+        assert!(!OpClass::Atomics.matches(OpKind::Get));
+        assert!(OpClass::Gets.matches(OpKind::Get));
+        assert!(OpClass::Puts.matches(OpKind::PutNbi));
+        assert!(OpClass::Kind(OpKind::Get).matches(OpKind::Get));
+        assert!(!OpClass::Kind(OpKind::Get).matches(OpKind::Put));
+    }
+
+    #[test]
+    fn empty_plan_is_inactive() {
+        assert!(!FaultPlan::none().is_active());
+        assert!(!FaultPlan::seeded(9).is_active());
+        let p = FaultPlan::seeded(9).with_drop(OpClass::All, TargetSel::Any, 0.0);
+        assert!(p.is_active(), "a rule with prob 0 still marks the plan active");
+    }
+
+    #[test]
+    fn stall_window_bounds() {
+        let p = FaultPlan::seeded(1).with_stall(2, 1_000, 500);
+        assert!(!p.target_stalled(2, 999));
+        assert!(p.target_stalled(2, 1_000));
+        assert!(p.target_stalled(2, 1_499));
+        assert!(!p.target_stalled(2, 1_500));
+        assert!(!p.target_stalled(1, 1_200));
+    }
+
+    #[test]
+    fn crash_at_takes_earliest() {
+        let p = FaultPlan::seeded(1).with_crash(3, 9_000).with_crash(3, 4_000);
+        assert_eq!(p.crash_at(3), Some(4_000));
+        assert_eq!(p.crash_at(2), None);
+    }
+
+    #[test]
+    fn validation_rejects_bad_rules() {
+        assert!(FaultPlan::seeded(1)
+            .with_drop(OpClass::All, TargetSel::Any, 1.5)
+            .validate(4)
+            .is_err());
+        assert!(FaultPlan::seeded(1)
+            .with_drop(OpClass::All, TargetSel::Pe(4), 0.1)
+            .validate(4)
+            .is_err());
+        assert!(FaultPlan::seeded(1).with_crash(7, 100).validate(4).is_err());
+        assert!(FaultPlan::seeded(1)
+            .with_drop(OpClass::All, TargetSel::Any, 0.5)
+            .with_stall(1, 0, 100)
+            .with_crash(3, 100)
+            .validate(4)
+            .is_ok());
+    }
+
+    #[test]
+    fn injector_is_deterministic_per_seed() {
+        let plan = Arc::new(FaultPlan::seeded(77).with_drop(OpClass::All, TargetSel::Any, 0.3));
+        let run = |pe: usize| {
+            let inj = FaultInjector::new(plan.clone(), pe);
+            (0..64)
+                .map(|i| inj.predecide(OpKind::Get, i % 4))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2), "streams differ across PEs");
+        let drops = run(1)
+            .iter()
+            .filter(|d| matches!(d, PreDecision::Drop))
+            .count();
+        assert!(drops > 5 && drops < 40, "drop rate plausible: {drops}");
+    }
+
+    #[test]
+    fn drop_limit_caps_injections() {
+        let plan = Arc::new(FaultPlan::seeded(5).with_drop_limited(
+            OpClass::All,
+            TargetSel::Any,
+            1.0,
+            3,
+        ));
+        let inj = FaultInjector::new(plan, 0);
+        let drops = (0..100)
+            .filter(|_| matches!(inj.predecide(OpKind::Get, 1), PreDecision::Drop))
+            .count();
+        assert_eq!(drops, 3);
+    }
+
+    #[test]
+    fn delay_rule_adds_latency() {
+        let plan = Arc::new(FaultPlan::seeded(3).with_delay(
+            OpClass::Gets,
+            TargetSel::Any,
+            1.0,
+            7_500,
+        ));
+        let inj = FaultInjector::new(plan, 0);
+        assert_eq!(
+            inj.predecide(OpKind::Get, 1),
+            PreDecision::Proceed { extra_ns: 7_500 }
+        );
+        assert_eq!(
+            inj.predecide(OpKind::AtomicFetchAdd, 1),
+            PreDecision::Proceed { extra_ns: 0 }
+        );
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let pol = RetryPolicy {
+            max_attempts: 10,
+            base_backoff_ns: 1_000,
+            max_backoff_ns: 8_000,
+            jitter_pct: 0,
+        };
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(pol.backoff_ns(1, &mut rng), 1_000);
+        assert_eq!(pol.backoff_ns(2, &mut rng), 2_000);
+        assert_eq!(pol.backoff_ns(4, &mut rng), 8_000);
+        assert_eq!(pol.backoff_ns(9, &mut rng), 8_000, "capped");
+        let jit = RetryPolicy {
+            jitter_pct: 50,
+            ..pol
+        };
+        for a in 1..6 {
+            let b = jit.backoff_ns(a, &mut rng);
+            let base = (1_000u64 << (a - 1)).min(8_000);
+            assert!(b >= base && b <= base + base / 2, "jitter in range: {b}");
+        }
+    }
+
+    #[test]
+    fn retry_op_retries_then_succeeds() {
+        let pol = RetryPolicy::default_thief();
+        let mut rng = SplitMix64::new(2);
+        let mut charged = 0u64;
+        let mut retries = 0u32;
+        let mut failures_left = 2;
+        let r = retry_op(
+            &pol,
+            &mut rng,
+            |ns| charged += ns,
+            || retries += 1,
+            || {
+                if failures_left > 0 {
+                    failures_left -= 1;
+                    Err(OpError::Retriable {
+                        kind: OpKind::Get,
+                        target: 1,
+                    })
+                } else {
+                    Ok(42)
+                }
+            },
+        );
+        assert_eq!(r, Ok(42));
+        assert_eq!(retries, 2);
+        assert!(charged >= 2 * pol.base_backoff_ns);
+    }
+
+    #[test]
+    fn retry_op_gives_up_and_respects_fatal() {
+        let pol = RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ns: 10,
+            max_backoff_ns: 100,
+            jitter_pct: 0,
+        };
+        let mut rng = SplitMix64::new(2);
+        let mut calls = 0;
+        let r: OpResult<u64> = retry_op(
+            &pol,
+            &mut rng,
+            |_| {},
+            || {},
+            || {
+                calls += 1;
+                Err(OpError::Retriable {
+                    kind: OpKind::Get,
+                    target: 1,
+                })
+            },
+        );
+        assert!(r.is_err());
+        assert_eq!(calls, 3);
+
+        calls = 0;
+        let r: OpResult<u64> = retry_op(
+            &pol,
+            &mut rng,
+            |_| {},
+            || {},
+            || {
+                calls += 1;
+                Err(OpError::TargetDown {
+                    kind: OpKind::Get,
+                    target: 1,
+                })
+            },
+        );
+        assert!(matches!(r, Err(OpError::TargetDown { .. })));
+        assert_eq!(calls, 1, "TargetDown is not retried");
+    }
+}

@@ -49,8 +49,11 @@ mod addr;
 mod collectives;
 mod ctx;
 mod error;
+pub mod fault;
 mod heap;
+mod lock;
 mod net;
+pub mod rng;
 mod runtime;
 mod stats;
 mod sync;
@@ -58,7 +61,8 @@ pub mod vclock;
 
 pub use addr::SymAddr;
 pub use ctx::ShmemCtx;
-pub use error::{ShmemError, ShmemResult};
+pub use error::{OpError, OpResult, ShmemError, ShmemResult};
+pub use fault::{FaultPlan, OpClass, RetryPolicy, TargetSel};
 pub use heap::SymmetricHeap;
 pub use net::{Locality, NetModel, OpKind, ALL_OP_KINDS, OP_KIND_COUNT};
 pub use runtime::{run_world, ExecMode, WorldConfig, WorldOutput};

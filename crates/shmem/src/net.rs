@@ -12,10 +12,8 @@
 //! steals issue 3 operations (2 blocking) where SDC issues 6 (5 blocking) —
 //! so any uniform small-op latency reproduces the shapes of Figs. 6–8.
 
-use serde::{Deserialize, Serialize};
-
 /// Classes of one-sided operations, used for accounting and costing.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Hash)]
 #[repr(usize)]
 pub enum OpKind {
     /// Blocking contiguous read of remote words.
@@ -118,7 +116,7 @@ pub enum Locality {
 }
 
 /// Latency/bandwidth model for one-sided operations.
-#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug)]
 pub struct NetModel {
     /// Round-trip latency of a small remote operation, in ns.
     pub remote_latency_ns: u64,

@@ -11,11 +11,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
-
 use crate::ctx::ShmemCtx;
 use crate::error::{ShmemError, ShmemResult};
+use crate::fault::FaultPlan;
 use crate::heap::SymmetricHeap;
+use crate::lock::{Condvar, Mutex};
 use crate::net::NetModel;
 use crate::stats::{OpStats, StatsSummary};
 use crate::vclock::VClock;
@@ -35,7 +35,7 @@ pub enum ExecMode {
 }
 
 /// World configuration.
-#[derive(Copy, Clone, Debug)]
+#[derive(Clone, Debug)]
 pub struct WorldConfig {
     /// Number of PEs.
     pub n_pes: usize,
@@ -45,6 +45,9 @@ pub struct WorldConfig {
     pub net: NetModel,
     /// Execution mode.
     pub mode: ExecMode,
+    /// Fault schedule; `None` (or an inactive plan) injects nothing and
+    /// leaves every op count bit-identical to a fault-free world.
+    pub faults: Option<FaultPlan>,
 }
 
 impl WorldConfig {
@@ -55,6 +58,7 @@ impl WorldConfig {
             heap_words,
             net: NetModel::edr_infiniband(),
             mode: ExecMode::Virtual,
+            faults: None,
         }
     }
 
@@ -67,6 +71,7 @@ impl WorldConfig {
             mode: ExecMode::Threaded {
                 inject_latency: false,
             },
+            faults: None,
         }
     }
 
@@ -74,6 +79,13 @@ impl WorldConfig {
     #[must_use]
     pub fn with_net(mut self, net: NetModel) -> WorldConfig {
         self.net = net;
+        self
+    }
+
+    /// Attach a fault schedule.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> WorldConfig {
+        self.faults = Some(plan);
         self
     }
 }
@@ -85,6 +97,11 @@ pub(crate) struct WorldShared {
     pub(crate) vclock: Option<Arc<VClock>>,
     pub(crate) thread_barrier: ThreadBarrier,
     pub(crate) inject_latency: bool,
+    /// Active fault plan, if any (inactive plans are dropped at build).
+    pub(crate) faults: Option<Arc<FaultPlan>>,
+    /// Per-PE down flags: set by a PE after it crash-stops and drains its
+    /// protocol state; ops targeting a down PE fail with `TargetDown`.
+    pub(crate) down: Vec<AtomicBool>,
 }
 
 /// Everything a finished world produced.
@@ -128,6 +145,14 @@ where
         )));
     }
 
+    let faults = match &cfg.faults {
+        Some(plan) if plan.is_active() => {
+            plan.validate(cfg.n_pes).map_err(ShmemError::BadConfig)?;
+            Some(Arc::new(plan.clone()))
+        }
+        _ => None,
+    };
+
     let vclock = match cfg.mode {
         ExecMode::Virtual => Some(Arc::new(VClock::new(cfg.n_pes))),
         ExecMode::Threaded { .. } => None,
@@ -144,6 +169,8 @@ where
         vclock: vclock.clone(),
         thread_barrier: ThreadBarrier::new(cfg.n_pes),
         inject_latency,
+        faults,
+        down: (0..cfg.n_pes).map(|_| AtomicBool::new(false)).collect(),
     });
 
     let start = Instant::now();
@@ -169,7 +196,13 @@ where
                                 vc.finish(pe);
                                 t
                             }
-                            None => 0,
+                            None => {
+                                // A crash-stopped PE exits with fewer
+                                // barrier entries than its peers; retiring
+                                // lets their barriers release without it.
+                                ctx.world().thread_barrier.retire();
+                                0
+                            }
                         };
                         Ok((r, stats, t))
                     }
@@ -233,17 +266,19 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// Reusable sense-reversing barrier for threaded mode, with poisoning so a
-/// panicked PE cannot leave peers blocked forever.
+/// panicked PE cannot leave peers blocked forever, and retirement so a
+/// crash-stopped PE that exits early cannot either.
 pub(crate) struct ThreadBarrier {
     inner: Mutex<BarrierInner>,
     cv: Condvar,
-    n: usize,
     poisoned: AtomicBool,
 }
 
 struct BarrierInner {
     arrived: usize,
     generation: u64,
+    /// PEs still participating; barriers release at `arrived == live`.
+    live: usize,
 }
 
 impl ThreadBarrier {
@@ -252,9 +287,9 @@ impl ThreadBarrier {
             inner: Mutex::new(BarrierInner {
                 arrived: 0,
                 generation: 0,
+                live: n,
             }),
             cv: Condvar::new(),
-            n,
             poisoned: AtomicBool::new(false),
         }
     }
@@ -265,7 +300,7 @@ impl ThreadBarrier {
         }
         let mut g = self.inner.lock();
         g.arrived += 1;
-        if g.arrived == self.n {
+        if g.arrived == g.live {
             g.arrived = 0;
             g.generation += 1;
             self.cv.notify_all();
@@ -278,6 +313,23 @@ impl ThreadBarrier {
                 }
             }
         }
+    }
+
+    /// Permanently remove one participant (a PE exiting early). If the
+    /// departure makes an in-progress barrier complete, release it.
+    pub(crate) fn retire(&self) {
+        let mut g = self.inner.lock();
+        g.live = g.live.saturating_sub(1);
+        if g.live > 0 && g.arrived == g.live {
+            g.arrived = 0;
+            g.generation += 1;
+            self.cv.notify_all();
+        }
+    }
+
+    /// Whether a peer PE has panicked and poisoned the world.
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Relaxed)
     }
 
     pub(crate) fn poison(&self) {
@@ -458,6 +510,123 @@ mod tests {
 }
 
 #[cfg(test)]
+mod threaded_poison_tests {
+    use super::*;
+
+    #[test]
+    fn threaded_pe_panic_is_reported_not_deadlocked() {
+        let err = run_world(WorldConfig::threaded(3, 256), |ctx| {
+            if ctx.my_pe() == 1 {
+                panic!("deliberate test panic");
+            }
+            // Real threads really would block here forever without the
+            // barrier poison.
+            ctx.barrier_all();
+        })
+        .unwrap_err();
+        match err {
+            ShmemError::PePanicked { message, .. } => {
+                assert!(
+                    message.contains("deliberate") || message.contains("poisoned"),
+                    "unexpected: {message}"
+                );
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn threaded_panic_mid_barrier_sequence_releases_all() {
+        // Peers are spread across different barrier generations when the
+        // panic lands; every one of them must still unblock.
+        let err = run_world(WorldConfig::threaded(4, 256), |ctx| {
+            ctx.barrier_all();
+            if ctx.my_pe() == 0 {
+                panic!("boom after round one");
+            }
+            ctx.barrier_all();
+            ctx.barrier_all();
+        })
+        .unwrap_err();
+        match err {
+            ShmemError::PePanicked { message, .. } => {
+                assert!(
+                    message.contains("boom") || message.contains("poisoned"),
+                    "unexpected: {message}"
+                );
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn threaded_early_exit_retires_from_barriers() {
+        // A PE that returns early (the crash-stop exit path) is retired
+        // from the barrier so survivors' collectives still complete.
+        let out = run_world(WorldConfig::threaded(3, 256), |ctx| {
+            if ctx.my_pe() == 2 {
+                return 0u64;
+            }
+            ctx.barrier_all();
+            ctx.barrier_all();
+            1
+        })
+        .unwrap();
+        assert_eq!(out.results, vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn threaded_panic_releases_peer_blocked_in_wait() {
+        // `quiet` never blocks on peers (it only settles this PE's own
+        // NBI clock); the primitive that parks a PE on remote state is
+        // `wait_until`. A peer panicking must release it via poison.
+        use crate::sync::WaitCmp;
+        let err = run_world(WorldConfig::threaded(2, 256), |ctx| {
+            let a = ctx.alloc_words(1);
+            ctx.put_words_nbi(0, a, &[0]);
+            ctx.quiet();
+            if ctx.my_pe() == 1 {
+                panic!("deliberate test panic");
+            }
+            // The flag is never set; only the poison can end this wait.
+            ctx.wait_until(0, a, WaitCmp::Eq, 1);
+        })
+        .unwrap_err();
+        match err {
+            ShmemError::PePanicked { message, .. } => {
+                assert!(
+                    message.contains("deliberate") || message.contains("poisoned"),
+                    "unexpected: {message}"
+                );
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn world_poisoned_flag_visible_to_survivors() {
+        // A survivor polling `world_poisoned` (as recovery loops do) can
+        // bail out gracefully instead of panicking in a collective.
+        let err = run_world(WorldConfig::threaded(2, 256), |ctx| {
+            if ctx.my_pe() == 0 {
+                panic!("deliberate test panic");
+            }
+            while !ctx.world_poisoned() {
+                std::thread::yield_now();
+            }
+        })
+        .unwrap_err();
+        match err {
+            ShmemError::PePanicked { pe, message } => {
+                assert_eq!(pe, 0, "the panicking PE is the one reported");
+                assert!(message.contains("deliberate"), "{message}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
 mod collective_tests {
     use super::*;
 
@@ -519,6 +688,7 @@ mod latency_injection_tests {
                 mode: ExecMode::Threaded {
                     inject_latency: inject,
                 },
+                faults: None,
             };
             let t0 = Instant::now();
             run_world(cfg, |ctx| {

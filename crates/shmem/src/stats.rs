@@ -5,17 +5,18 @@
 //! [`crate::ShmemCtx`] is tallied here; schedulers snapshot and diff these
 //! counters to attribute operations to steals, searches, or queue upkeep.
 
-use serde::{Deserialize, Serialize};
-
 use crate::net::{OpKind, ALL_OP_KINDS, OP_KIND_COUNT};
 
 /// Operation counters for one PE (or an aggregate of several).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct OpStats {
     /// Operations issued, indexed by `OpKind as usize`.
     pub counts: [u64; OP_KIND_COUNT],
     /// Payload bytes moved, indexed by `OpKind as usize`.
     pub bytes: [u64; OP_KIND_COUNT],
+    /// Operations that failed under fault injection (subset of `counts`),
+    /// indexed by `OpKind as usize`. Silently lost nbi ops count here too.
+    pub failed: [u64; OP_KIND_COUNT],
     /// Total modeled communication time, ns (blocking cost + deferred nbi).
     pub comm_ns: u64,
 }
@@ -34,10 +35,28 @@ impl OpStats {
         self.comm_ns += cost_ns;
     }
 
+    /// Record a failed operation (already counted in `counts` by
+    /// [`OpStats::record`]; this marks it as having failed).
+    #[inline]
+    pub fn record_failed(&mut self, kind: OpKind) {
+        self.failed[kind as usize] += 1;
+    }
+
     /// Count for one kind.
     #[inline]
     pub fn count(&self, kind: OpKind) -> u64 {
         self.counts[kind as usize]
+    }
+
+    /// Failed-op count for one kind.
+    #[inline]
+    pub fn failed_of(&self, kind: OpKind) -> u64 {
+        self.failed[kind as usize]
+    }
+
+    /// Total failed operations of any kind.
+    pub fn total_failed(&self) -> u64 {
+        self.failed.iter().sum()
     }
 
     /// Bytes for one kind.
@@ -83,6 +102,9 @@ impl OpStats {
             out.bytes[i] = self.bytes[i]
                 .checked_sub(earlier.bytes[i])
                 .expect("byte counters went backwards");
+            out.failed[i] = self.failed[i]
+                .checked_sub(earlier.failed[i])
+                .expect("failure counters went backwards");
         }
         out.comm_ns = self
             .comm_ns
@@ -96,13 +118,14 @@ impl OpStats {
         for i in 0..OP_KIND_COUNT {
             self.counts[i] += other.counts[i];
             self.bytes[i] += other.bytes[i];
+            self.failed[i] += other.failed[i];
         }
         self.comm_ns += other.comm_ns;
     }
 }
 
 /// Aggregate view over all PEs of a finished world.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct StatsSummary {
     /// Sum of all per-PE counters.
     pub total: OpStats,

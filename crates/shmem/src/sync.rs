@@ -47,8 +47,16 @@ impl WaitCmp {
 impl ShmemCtx {
     /// Poll (`pe`, `addr`) until `cmp` holds against `operand`; returns
     /// the satisfying value. Each probe is one charged atomic fetch.
+    ///
+    /// If a peer PE panics while this PE is waiting, the poll propagates
+    /// the world poison as a panic instead of spinning forever (in virtual
+    /// mode the gate itself panics; in threaded mode the loop checks the
+    /// poison flag between probes).
     pub fn wait_until(&self, pe: usize, addr: SymAddr, cmp: WaitCmp, operand: u64) -> u64 {
         loop {
+            if self.world_poisoned() {
+                panic!("wait_until abandoned: world poisoned by a peer panic");
+            }
             let v = self.atomic_fetch(pe, addr);
             if cmp.holds(v, operand) {
                 return v;
@@ -62,6 +70,9 @@ impl ShmemCtx {
     pub fn set_lock(&self, pe: usize, addr: SymAddr) {
         let me = self.my_pe() as u64 + 1;
         loop {
+            if self.world_poisoned() {
+                panic!("set_lock abandoned: world poisoned by a peer panic");
+            }
             if self.atomic_compare_swap(pe, addr, 0, me) == 0 {
                 return;
             }

@@ -207,35 +207,39 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
     use super::*;
-    use proptest::prelude::*;
+    use sws_shmem::rng::SplitMix64;
 
-    proptest! {
-        #[test]
-        fn any_payload_roundtrips(
-            fn_id in any::<u16>(),
-            payload in prop::collection::vec(any::<u8>(), 0..=MAX_PAYLOAD),
-        ) {
+    #[test]
+    fn any_payload_roundtrips() {
+        let mut rng = SplitMix64::new(0xDE5C_0001);
+        for _ in 0..256 {
+            let fn_id = rng.next_u64() as u16;
+            let len = rng.below(MAX_PAYLOAD as u64 + 1) as usize;
+            let payload: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
             let t = TaskDescriptor::new(fn_id, &payload);
             let words = TaskDescriptor::words_for(t.bytes_needed());
             let mut rec = vec![0u64; words];
             t.encode(&mut rec);
             let back = TaskDescriptor::decode(&rec);
-            prop_assert_eq!(back.fn_id(), fn_id);
-            prop_assert_eq!(back.payload(), &payload[..]);
+            assert_eq!(back.fn_id(), fn_id);
+            assert_eq!(back.payload(), &payload[..]);
         }
+    }
 
-        #[test]
-        fn encode_is_stable_across_record_sizes(
-            payload in prop::collection::vec(any::<u8>(), 0..64),
-            extra in 0usize..8,
-        ) {
+    #[test]
+    fn encode_is_stable_across_record_sizes() {
+        let mut rng = SplitMix64::new(0xDE5C_0002);
+        for _ in 0..256 {
+            let len = rng.below(64) as usize;
+            let payload: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            let extra = rng.below(8) as usize;
             let t = TaskDescriptor::new(1, &payload);
             let min_words = TaskDescriptor::words_for(t.bytes_needed());
             let mut rec = vec![0u64; min_words + extra];
             t.encode(&mut rec);
-            prop_assert_eq!(TaskDescriptor::decode(&rec), t);
+            assert_eq!(TaskDescriptor::decode(&rec), t);
         }
     }
 }

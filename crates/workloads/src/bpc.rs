@@ -17,7 +17,6 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
 use sws_sched::{TaskCtx, Workload};
 use sws_task::{PayloadReader, PayloadWriter, TaskDescriptor, TaskRegistry};
 
@@ -27,7 +26,7 @@ pub const PRODUCER_FN: u16 = 20;
 pub const CONSUMER_FN: u16 = 21;
 
 /// BPC parameters.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct BpcParams {
     /// Consumers spawned per producer.
     pub n_consumers: u32,

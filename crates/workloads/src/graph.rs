@@ -17,7 +17,6 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
 use sws_shmem::{ShmemCtx, SymAddr};
 use sws_sched::{TaskCtx, Workload};
 use sws_task::{PayloadReader, PayloadWriter, TaskDescriptor, TaskRegistry};
@@ -26,7 +25,7 @@ use sws_task::{PayloadReader, PayloadWriter, TaskDescriptor, TaskRegistry};
 pub const VISIT_FN: u16 = 50;
 
 /// Synthetic sparse digraph parameters.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct GraphParams {
     /// Vertices in the graph.
     pub n_vertices: u64,

@@ -26,7 +26,6 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
 use sws_sched::{TaskCtx, Workload};
 use sws_task::{PayloadReader, PayloadWriter, TaskDescriptor, TaskRegistry};
 
@@ -36,7 +35,7 @@ use crate::sha1::{root_state, spawn_child, to_prob, DIGEST_BYTES};
 pub const UTS_FN: u16 = 10;
 
 /// Depth-dependent branching for geometric trees.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub enum GeomShape {
     /// Constant expected branching factor `b0` until the depth limit.
     Fixed,
@@ -51,7 +50,7 @@ pub enum GeomShape {
 }
 
 /// Tree family and parameters.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub enum TreeKind {
     /// Geometric child-count distribution with depth-dependent mean.
     Geometric {
@@ -75,7 +74,7 @@ pub enum TreeKind {
 }
 
 /// A fully-specified UTS tree.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct UtsParams {
     /// Tree family and shape parameters.
     pub kind: TreeKind,
@@ -172,7 +171,7 @@ impl UtsParams {
 }
 
 /// Results of a sequential traversal.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct TreeStats {
     /// Total tree nodes.
     pub nodes: u64,

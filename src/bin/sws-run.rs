@@ -20,6 +20,12 @@
 //!   --timeline       print per-PE activity strips (enables tracing)
 //!   --histogram      print steal-volume and victim histograms (tracing)
 //!   --json           machine-readable report to stdout
+//!
+//! fault injection (chaos runs; deterministic per seed):
+//!   --drop-prob P    drop each remote op with probability P (0.0–1.0)
+//!   --stall PE:FROM:DUR   stall PE for DUR ns starting at FROM ns
+//!   --crash PE:AT    crash-stop PE at virtual time AT ns (PE 0 hosts
+//!                    the termination counters and cannot crash)
 //! ```
 
 use sws::prelude::*;
@@ -44,13 +50,36 @@ struct Args {
     timeline: bool,
     histogram: bool,
     json: bool,
+    drop_prob: f64,
+    stall: Option<(usize, u64, u64)>,
+    crash: Option<(usize, u64)>,
 }
 
 fn usage() -> ! {
     eprintln!("usage: sws-run <uts|bpc|flat> [--pes N] [--system sws|sdc|both] [--seed N]");
     eprintln!("               [--depth N] [--consumers N] [--tasks N] [--task-ns N]");
     eprintln!("               [--nodes N] [--timeline] [--json]");
+    eprintln!("               [--drop-prob P] [--stall PE:FROM:DUR] [--crash PE:AT]");
     std::process::exit(2);
+}
+
+/// Parse `a:b[:c]` into numeric fields, dying with usage() on malformed
+/// input.
+fn split_nums(spec: &str, n: usize, flag: &str) -> Vec<u64> {
+    let parts: Vec<u64> = spec
+        .split(':')
+        .map(|p| {
+            p.parse().unwrap_or_else(|_| {
+                eprintln!("bad {flag} spec {spec:?}: expected {n} colon-separated integers");
+                usage()
+            })
+        })
+        .collect();
+    if parts.len() != n {
+        eprintln!("bad {flag} spec {spec:?}: expected {n} colon-separated integers");
+        usage()
+    }
+    parts
 }
 
 fn parse_args() -> Args {
@@ -67,6 +96,9 @@ fn parse_args() -> Args {
         timeline: false,
         histogram: false,
         json: false,
+        drop_prob: 0.0,
+        stall: None,
+        crash: None,
     };
     let mut it = std::env::args().skip(1);
     let Some(w) = it.next() else { usage() };
@@ -98,10 +130,42 @@ fn parse_args() -> Args {
             "--timeline" => args.timeline = true,
             "--histogram" => args.histogram = true,
             "--json" => args.json = true,
+            "--drop-prob" => {
+                args.drop_prob = val("--drop-prob").parse().unwrap_or_else(|_| usage());
+                if !(0.0..=1.0).contains(&args.drop_prob) {
+                    eprintln!("--drop-prob must be in 0.0–1.0");
+                    usage()
+                }
+            }
+            "--stall" => {
+                let p = split_nums(&val("--stall"), 3, "--stall");
+                args.stall = Some((p[0] as usize, p[1], p[2]));
+            }
+            "--crash" => {
+                let p = split_nums(&val("--crash"), 2, "--crash");
+                args.crash = Some((p[0] as usize, p[1]));
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 usage()
             }
+        }
+    }
+    // Surface fault-plan mistakes as CLI errors, not runner panics.
+    if let Some((pe, _)) = args.crash {
+        if pe == 0 {
+            eprintln!("--crash: PE 0 hosts the termination counters and cannot crash");
+            usage()
+        }
+        if pe >= args.pes {
+            eprintln!("--crash: PE {pe} out of range (--pes {})", args.pes);
+            usage()
+        }
+    }
+    if let Some((pe, _, _)) = args.stall {
+        if pe >= args.pes {
+            eprintln!("--stall: PE {pe} out of range (--pes {})", args.pes);
+            usage()
         }
     }
     args
@@ -119,6 +183,19 @@ fn run_one(args: &Args, kind: QueueKind) -> RunReport {
     let mut cfg = RunConfig::new(args.pes, sched);
     if args.nodes > 1 {
         cfg.net = NetModel::edr_infiniband_nodes(args.nodes);
+    }
+    if args.drop_prob > 0.0 || args.stall.is_some() || args.crash.is_some() {
+        let mut plan = FaultPlan::seeded(args.seed ^ 0xFA17);
+        if args.drop_prob > 0.0 {
+            plan = plan.with_drop(OpClass::All, TargetSel::Any, args.drop_prob);
+        }
+        if let Some((pe, from, dur)) = args.stall {
+            plan = plan.with_stall(pe, from, dur);
+        }
+        if let Some((pe, at)) = args.crash {
+            plan = plan.with_crash(pe, at);
+        }
+        cfg = cfg.with_faults(plan);
     }
     match args.workload.as_str() {
         "uts" => run_workload(&cfg, &UtsWorkload::new(UtsParams::geo_small(args.depth))),
@@ -149,6 +226,9 @@ fn main() {
             );
         } else {
             println!("{}", report.summary_line());
+            if let Some(faults) = report.fault_summary_line() {
+                println!("{faults}");
+            }
             if args.timeline {
                 let per_pe: Vec<_> =
                     report.workers.iter().map(|w| w.events.clone()).collect();
@@ -189,9 +269,8 @@ fn main() {
     }
 }
 
-/// Minimal single-line JSON via serde_json-free formatting: reports are
-/// `serde`-serializable, but we avoid a new dependency by emitting the
-/// headline fields only.
+/// Minimal single-line JSON by hand: the workspace carries no JSON
+/// dependency, so emit the headline fields only.
 fn serde_json_line(r: &RunReport) -> Result<String, String> {
     Ok(format!(
         "{{\"system\":\"{}\",\"pes\":{},\"makespan_ns\":{},\"tasks\":{},\"throughput_per_s\":{:.1},\"efficiency\":{:.4},\"steals\":{},\"steal_ns\":{},\"search_ns\":{},\"comm_ops\":{},\"comm_bytes\":{}}}",

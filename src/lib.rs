@@ -46,8 +46,12 @@ pub use sws_workloads as workloads;
 pub mod prelude {
     pub use sws_core::{QueueConfig, SdcQueue, StealOutcome, StealQueue, SwsQueue};
     pub use sws_sched::{
-        run_workload, QueueKind, RunConfig, RunReport, SchedConfig, TaskCtx, TdKind, Workload,
+        run_workload, FaultToleranceConfig, QueueKind, RunConfig, RunReport,
+        SchedConfig, TaskCtx, TdKind, Workload,
     };
-    pub use sws_shmem::{run_world, ExecMode, NetModel, ShmemCtx, WorldConfig};
+    pub use sws_shmem::{
+        run_world, ExecMode, FaultPlan, NetModel, OpClass, RetryPolicy,
+        ShmemCtx, TargetSel, WorldConfig,
+    };
     pub use sws_task::{PayloadReader, PayloadWriter, TaskDescriptor, TaskRegistry};
 }

@@ -82,7 +82,11 @@ fn threaded_steal_storm_no_task_lost_or_duplicated() {
                             }
                         }
                         StealOutcome::Empty => break,
-                        StealOutcome::Closed => std::hint::spin_loop(),
+                        // Failed/Aborted cannot occur without a fault
+                        // plan; retrying keeps the stress loop total.
+                        StealOutcome::Closed
+                        | StealOutcome::Failed { .. }
+                        | StealOutcome::Aborted { .. } => std::hint::spin_loop(),
                     }
                 }
             }

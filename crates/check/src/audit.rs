@@ -1,0 +1,225 @@
+//! The memory-ordering audit: which orderings are load-bearing?
+//!
+//! For every [`AtomicSite`] the audit re-runs the (smaller, per-site)
+//! scenario set with that one site's ordering weakened — to `Relaxed`
+//! always, and additionally to each single half (`Acquire`, `Release`)
+//! for the `AcqRel` RMW sites. A site is **load-bearing** if any
+//! weakening produces a violation; the violation kind and the scenario
+//! that exposed it are recorded. The table is rendered into
+//! `ORDERINGS.md` at the repo root between generated-block markers and
+//! kept honest by a golden test (`SWS_CHECK_BLESS=1` regenerates).
+//!
+//! A "no" verdict does *not* mean the production ordering is pointless on
+//! real hardware — it means the fault-free bounded scenarios cannot
+//! distinguish it, usually because a neighbouring site's ordering already
+//! carries the synchronization (the table's notes say which). The
+//! production code keeps the conservative ordering either way; the table
+//! tells reviewers which edges the protocol's correctness actually rests
+//! on.
+
+use sws_core::{AtomicSite, MemOrder};
+
+use crate::explore::{explore, Config, Failure};
+use crate::mem::OrdTable;
+use crate::{all_scenarios, World};
+
+/// Result of exploring the audit scenarios under one weakened table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every scenario passed: the weakening is indistinguishable here.
+    Pass,
+    /// A scenario failed.
+    Fail {
+        /// Violation kind tag (see [`crate::Violation::kind`]).
+        kind: &'static str,
+        /// Scenario that exposed it.
+        scenario: &'static str,
+    },
+}
+
+impl RunOutcome {
+    fn cell(&self) -> String {
+        match self {
+            RunOutcome::Pass => "ok".into(),
+            RunOutcome::Fail { kind, scenario } => format!("**{kind}** ({scenario})"),
+        }
+    }
+}
+
+/// One audit-table row.
+#[derive(Clone, Debug)]
+pub struct AuditRow {
+    /// The site under audit.
+    pub site: AtomicSite,
+    /// Outcome with the site fully relaxed.
+    pub relaxed: RunOutcome,
+    /// Outcome weakened to `Acquire` (RMW sites only).
+    pub acquire: Option<RunOutcome>,
+    /// Outcome weakened to `Release` (RMW sites only).
+    pub release: Option<RunOutcome>,
+}
+
+impl AuditRow {
+    /// Is any weakening observable — i.e. is the production ordering
+    /// load-bearing in the modeled scenarios?
+    pub fn load_bearing(&self) -> bool {
+        let fails = |o: &RunOutcome| matches!(o, RunOutcome::Fail { .. });
+        fails(&self.relaxed)
+            || self.acquire.as_ref().is_some_and(fails)
+            || self.release.as_ref().is_some_and(fails)
+    }
+}
+
+fn run_table(ords: &OrdTable, protocol: &str, cfg: &Config) -> Result<RunOutcome, Failure> {
+    for w in all_scenarios(ords, true) {
+        if !w.name().starts_with(protocol) {
+            continue;
+        }
+        match explore(&w, cfg) {
+            Ok(_) => {}
+            Err(f) => {
+                let kind = f.violation.kind();
+                // Search-budget failures are checker bugs, not verdicts.
+                if kind == "state-space" || kind == "no-end-state" {
+                    return Err(f);
+                }
+                return Ok(RunOutcome::Fail {
+                    kind,
+                    scenario: f.scenario,
+                });
+            }
+        }
+    }
+    Ok(RunOutcome::Pass)
+}
+
+/// Run the full audit. Errs if the *production* table itself fails (a
+/// checker or protocol bug — the weakenings are only meaningful against
+/// a clean baseline) or if a run exhausts its search budget.
+pub fn run_audit(cfg: &Config) -> Result<Vec<AuditRow>, Failure> {
+    let prod = OrdTable::production();
+    for proto in ["sws", "sdc"] {
+        if let RunOutcome::Fail { kind, scenario } = run_table(&prod, proto, cfg)? {
+            return Err(Failure {
+                scenario,
+                violation: crate::Violation::Protocol {
+                    rule: kind,
+                    what: "production orderings failed the audit scenarios".into(),
+                },
+                trace: Vec::new(),
+            });
+        }
+    }
+    let mut rows = Vec::new();
+    for site in AtomicSite::ALL {
+        let proto = if site.protocol() == "SWS" { "sws" } else { "sdc" };
+        let weakened = |ord: MemOrder, cfg: &Config| -> Result<RunOutcome, Failure> {
+            let mut t = OrdTable::production();
+            t.set(site, ord);
+            run_table(&t, proto, cfg)
+        };
+        let relaxed = weakened(MemOrder::Relaxed, cfg)?;
+        let (acquire, release) = if site.production() == MemOrder::AcqRel {
+            (
+                Some(weakened(MemOrder::Acquire, cfg)?),
+                Some(weakened(MemOrder::Release, cfg)?),
+            )
+        } else {
+            (None, None)
+        };
+        rows.push(AuditRow {
+            site,
+            relaxed,
+            acquire,
+            release,
+        });
+    }
+    Ok(rows)
+}
+
+/// Marker opening the generated block in `ORDERINGS.md`.
+pub const BEGIN_MARK: &str = "<!-- BEGIN GENERATED by sws-check -->";
+/// Marker closing the generated block.
+pub const END_MARK: &str = "<!-- END GENERATED -->";
+
+/// Render the complete `ORDERINGS.md` contents for the audit rows.
+pub fn render(rows: &[AuditRow]) -> String {
+    let mut s = String::new();
+    s.push_str(
+        "# Memory-ordering audit\n\
+         \n\
+         Per-site verdicts from the `sws-check` bounded model checker: each\n\
+         [`AtomicSite`](crates/core/src/ordering.rs) is weakened one at a time\n\
+         (to `Relaxed`, and to each half for the `AcqRel` RMW sites) and the\n\
+         audit scenarios re-explored exhaustively. A **bold** cell is the\n\
+         violation the weakening produces — that ordering is load-bearing. An\n\
+         `ok` cell means the fault-free bounded scenarios cannot distinguish\n\
+         the weakening, usually because an adjacent site already carries the\n\
+         synchronizes-with edge; production keeps the conservative ordering\n\
+         regardless. See `DESIGN.md` §7 for the invariant catalog behind the\n\
+         verdicts and `crates/check` for the machinery.\n\
+         \n\
+         Regenerate with: `SWS_CHECK_BLESS=1 cargo test -p sws-check --test\n\
+         ordering_audit`.\n\
+         \n",
+    );
+    s.push_str(BEGIN_MARK);
+    s.push('\n');
+    s.push_str(
+        "\n| Site | Location | Production | → Relaxed | → Acquire | → Release | Load-bearing |\n\
+         |---|---|---|---|---|---|---|\n",
+    );
+    for r in rows {
+        let opt = |o: &Option<RunOutcome>| o.as_ref().map_or("—".into(), |o| o.cell());
+        s.push_str(&format!(
+            "| `{}` | `{}` | {} | {} | {} | {} | {} |\n",
+            r.site.name(),
+            r.site.location(),
+            r.site.production().name(),
+            r.relaxed.cell(),
+            opt(&r.acquire),
+            opt(&r.release),
+            if r.load_bearing() { "**yes**" } else { "no" },
+        ));
+    }
+    let bearing = rows.iter().filter(|r| r.load_bearing()).count();
+    s.push_str(&format!(
+        "\n{bearing} of {} sites are load-bearing in the modeled scenarios.\n",
+        rows.len()
+    ));
+    s.push_str(END_MARK);
+    s.push('\n');
+    s.push_str(
+        "\nReading the table:\n\
+         \n\
+         * The publication chain `SwsOwnerAdvertise` (release) →\n\
+           `SwsThiefClaim` (acquire) is what makes a thief's block copy safe:\n\
+           weakening either side lets the copy legally observe pre-publication\n\
+           ring contents (a stale read). The per-word payload orderings\n\
+           themselves are *not* load-bearing — the advertise/claim edge\n\
+           already orders them, which is exactly why the paper's single\n\
+           fetch-add discovery-and-claim is sound.\n\
+         * The completion chain `SwsThiefComplete` (release) →\n\
+           `SwsOwnerReclaimRead` (acquire) is what makes ring-slot reuse\n\
+           safe: weakening either side lets the owner overwrite a slot a\n\
+           thief may still be copying (a race, exposed by the capacity-2\n\
+           reuse scenario).\n\
+         * In SDC the lock pair `SdcLockCas`/`SdcUnlock` and the split/tail\n\
+           publication carry everything; the tail put and the owner's\n\
+           under-lock reads are covered by the lock's edges.\n\
+         * Owner-side stealval reads (`SwsOwnerSvRead`) tolerate staleness by\n\
+           construction: the attempted-steals counter is monotonic per\n\
+           advertisement, so a stale read only under-reports and the\n\
+           release/reclaim logic retries — the paper's design makes the\n\
+           ordering on that read structurally unnecessary.\n",
+    );
+    s
+}
+
+/// Path of the checked-in `ORDERINGS.md` (repo root, relative to this
+/// crate's manifest).
+pub fn orderings_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("ORDERINGS.md")
+}

@@ -1,0 +1,31 @@
+//! Workspace protocol lint. Exits nonzero on any finding; see
+//! `sws_check::lint` for the rules and `crates/check/lint.allow` for the
+//! ratcheted allowlist.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = sws_check::lint::workspace_root();
+    match sws_check::lint::run(&root) {
+        Ok(report) => {
+            if report.findings.is_empty() {
+                println!("sws-lint: {} files clean", report.files);
+                ExitCode::SUCCESS
+            } else {
+                for f in &report.findings {
+                    println!("{f}");
+                }
+                println!(
+                    "sws-lint: {} finding(s) across {} files",
+                    report.findings.len(),
+                    report.files
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("sws-lint: io error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! # sws-check — bounded model checker and protocol linter for the
+//! steal-protocol state machines
+//!
+//! Two engines, both `std`-only like the rest of the workspace:
+//!
+//! 1. **A loom-style bounded model checker.** [`mem::Memory`] gives the
+//!    one-sided op surface an operational release/acquire semantics
+//!    (per-word modification orders, vector clocks, legal-stale-read
+//!    branching); [`sws`] and [`sdc`] re-state the two steal protocols as
+//!    explicit per-atomic-op state machines over it, reusing the
+//!    production `Layout`/`StealPolicy`/`Ring` arithmetic from
+//!    `sws-core`; [`explore`] enumerates every schedule of small
+//!    scenarios under a preemption bound with state-hash pruning. Runtime
+//!    monitors and end-state checks assert the protocol invariant
+//!    catalog (task conservation, field disjointness/decode exactness,
+//!    epoch-lock semantics, asteals monotonicity and overflow freedom,
+//!    completion reconciliation — see `DESIGN.md` §7).
+//!
+//!    [`audit`] then re-runs the scenarios with each
+//!    [`sws_core::AtomicSite`]'s ordering weakened one site at a time and
+//!    renders the load-bearing verdicts into the checked-in
+//!    `ORDERINGS.md`.
+//!
+//! 2. **A source-level protocol linter** ([`lint`], shipped as the
+//!    `sws-lint` binary), enforcing the structural rules that keep the
+//!    checker's model honest: no raw stealval bit-surgery outside
+//!    `stealval.rs`, no `Relaxed`/`SeqCst` orderings outside the
+//!    ratcheted allowlist, no `unwrap` on fallible `try_*` op results in
+//!    protocol crates, no wall-clock time outside the virtual-time
+//!    layer, and `// ordering:` site comments on every protocol RMW.
+
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod explore;
+pub mod lint;
+pub mod mem;
+pub mod sdc;
+pub mod sws;
+
+pub use explore::{explore, Chooser, Config, Failure, Stats, World};
+pub use mem::{Memory, OrdTable, Violation};
+
+/// One scripted owner operation in a scenario. The owner thread executes
+/// the script in order, decomposed into single-atomic-op steps; thieves
+/// run concurrently against it.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Hash)]
+pub enum OwnerOp {
+    /// Produce a task into the local (high) end of the ring; executes it
+    /// inline if the ring is full.
+    Enqueue,
+    /// Expose the older half of the local portion to thieves.
+    Release,
+    /// Take back half of the unclaimed shared portion (local deque must
+    /// be empty).
+    Acquire,
+    /// Run one reclaim pass over the completion arrays.
+    Progress,
+    /// Close the gate and drain every outstanding steal.
+    Retire,
+    /// Pop and execute the whole local portion.
+    PopAll,
+}
+
+/// A scenario of either protocol, so audit loops can run mixed lists.
+#[derive(Clone)]
+pub enum AnyWorld {
+    /// An SWS scenario.
+    Sws(sws::SwsWorld),
+    /// An SDC scenario.
+    Sdc(sdc::SdcWorld),
+}
+
+impl std::hash::Hash for AnyWorld {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            AnyWorld::Sws(w) => {
+                0u8.hash(state);
+                w.hash(state)
+            }
+            AnyWorld::Sdc(w) => {
+                1u8.hash(state);
+                w.hash(state)
+            }
+        }
+    }
+}
+
+impl World for AnyWorld {
+    fn name(&self) -> &'static str {
+        match self {
+            AnyWorld::Sws(w) => w.name(),
+            AnyWorld::Sdc(w) => w.name(),
+        }
+    }
+    fn n_threads(&self) -> usize {
+        match self {
+            AnyWorld::Sws(w) => w.n_threads(),
+            AnyWorld::Sdc(w) => w.n_threads(),
+        }
+    }
+    fn done(&self, t: usize) -> bool {
+        match self {
+            AnyWorld::Sws(w) => w.done(t),
+            AnyWorld::Sdc(w) => w.done(t),
+        }
+    }
+    fn step(&mut self, t: usize, ch: &mut Chooser) -> Result<(), Violation> {
+        match self {
+            AnyWorld::Sws(w) => w.step(t, ch),
+            AnyWorld::Sdc(w) => w.step(t, ch),
+        }
+    }
+    fn describe(&self, t: usize) -> String {
+        match self {
+            AnyWorld::Sws(w) => w.describe(t),
+            AnyWorld::Sdc(w) => w.describe(t),
+        }
+    }
+    fn check_end(&self) -> Result<(), Violation> {
+        match self {
+            AnyWorld::Sws(w) => w.check_end(),
+            AnyWorld::Sdc(w) => w.check_end(),
+        }
+    }
+}
+
+/// Every scenario of both protocols under the given ordering table.
+/// `audit_only` selects the smaller per-site audit subset.
+pub fn all_scenarios(ords: &OrdTable, audit_only: bool) -> Vec<AnyWorld> {
+    let mut v: Vec<AnyWorld> = sws::scenarios(ords, audit_only)
+        .into_iter()
+        .map(AnyWorld::Sws)
+        .collect();
+    v.extend(sdc::scenarios(ords, audit_only).into_iter().map(AnyWorld::Sdc));
+    v
+}

@@ -1,0 +1,561 @@
+//! `sws-lint` — source-level protocol lint over the workspace.
+//!
+//! Seven token-scan rules keep the code honest about the properties the
+//! model checker assumes. Scanning is deliberately lexical (comments and
+//! string/char literals are stripped first, with nested block comments
+//! handled) — no syn, no build dependency, same `std`-only discipline as
+//! the rest of the workspace. Counted rules ratchet against
+//! `crates/check/lint.allow`: a file may carry at most its allowed count,
+//! and an allowance that no longer matches reality (stale entry, or the
+//! count dropped) is itself a finding, so the allowlist can only shrink.
+//!
+//! Rules:
+//!
+//! 1. `stealval-bit-ops` — raw stealval field surgery (shifts by the
+//!    packed-field offsets, mask constants) outside `stealval.rs`, in the
+//!    protocol crates. All packing goes through the checked
+//!    encode/decode.
+//! 2. `relaxed-ordering` — `Ordering::Relaxed` outside the allowlist; in
+//!    particular none in `crates/core` or the one-sided op layer, where
+//!    every ordering must correspond to an [`sws_core::AtomicSite`].
+//! 3. `seqcst` — `SeqCst` anywhere: the protocol is specified in
+//!    release/acquire terms and a `SeqCst` "fix" would mask a missing
+//!    edge the audit should have found.
+//! 4. `fallible-unwrap` — `.unwrap()`/`.expect(` on a fallible `try_*`
+//!    one-sided op in the protocol crates: failure-aware paths must
+//!    handle `OpResult`, not panic (the fault-injection tests depend on
+//!    it).
+//! 5. `wall-clock-time` — `std::time`/`Instant::now`/`SystemTime`/
+//!    `thread::sleep` outside the virtual-time layer; the model and the
+//!    deterministic tests require logical time.
+//! 6. `ordering-comment` — every protocol RMW call site in
+//!    `crates/core/src/queue/` must carry an `// ordering:` comment
+//!    naming its [`sws_core::AtomicSite`], on the same or one of the
+//!    three preceding lines, tying source to the audit table.
+//! 7. `unsafe-code` — `unsafe` outside the allowlist (the shmem
+//!    spinlock's one cell of interior mutability).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One lint finding.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Rule name.
+    pub rule: &'static str,
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line of the (first) occurrence, 0 for file-level findings.
+    pub line: usize,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.path, self.rule, self.msg)
+        } else {
+            write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.msg)
+        }
+    }
+}
+
+/// Result of a lint run.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by path then line.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files: usize,
+}
+
+/// The workspace root, resolved relative to this crate's manifest.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+// ---------------------------------------------------------------------------
+// Source stripping
+// ---------------------------------------------------------------------------
+
+/// Replace comments and string/char-literal contents with spaces,
+/// preserving newlines (so line numbers survive). Handles nested block
+/// comments, raw strings with `#` fences, escapes, and the char-literal
+/// vs. lifetime ambiguity.
+pub fn strip_source(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+    while i < b.len() {
+        let c = b[i];
+        let next = b.get(i + 1).copied();
+        if c == '/' && next == Some('/') {
+            while i < b.len() && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+        } else if c == '/' && next == Some('*') {
+            let mut depth = 1usize;
+            out.push(' ');
+            out.push(' ');
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+        } else if c == 'r' && (next == Some('"') || next == Some('#'))
+            && !i.checked_sub(1).is_some_and(|p| b[p].is_alphanumeric() || b[p] == '_')
+        {
+            // Possible raw string r"..." / r#"..."#.
+            let mut j = i + 1;
+            let mut hashes = 0usize;
+            while b.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if b.get(j) == Some(&'"') {
+                out.push(' ');
+                for _ in 0..hashes + 1 {
+                    out.push(' ');
+                }
+                i = j + 1;
+                'raw: while i < b.len() {
+                    if b[i] == '"' {
+                        let mut k = i + 1;
+                        let mut h = 0usize;
+                        while h < hashes && b.get(k) == Some(&'#') {
+                            h += 1;
+                            k += 1;
+                        }
+                        if h == hashes {
+                            for _ in 0..hashes + 1 {
+                                out.push(' ');
+                            }
+                            i = k;
+                            break 'raw;
+                        }
+                    }
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            } else {
+                out.push(c);
+                i += 1;
+            }
+        } else if c == '"' {
+            out.push(' ');
+            i += 1;
+            while i < b.len() {
+                if b[i] == '\\' {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if b[i] == '"' {
+                    out.push(' ');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+        } else if c == '\'' {
+            // Char literal vs. lifetime: a literal closes within a few
+            // chars ('x' or '\n', '\u{..}'); a lifetime never closes.
+            let lit_end = if next == Some('\\') {
+                let mut j = i + 3;
+                while j < b.len() && j < i + 12 && b[j] != '\'' {
+                    j += 1;
+                }
+                (b.get(j) == Some(&'\'')).then_some(j)
+            } else if b.get(i + 2) == Some(&'\'') {
+                Some(i + 2)
+            } else {
+                None
+            };
+            if let Some(end) = lit_end {
+                for &ch in &b[i..=end] {
+                    out.push(blank(ch));
+                }
+                i = end + 1;
+            } else {
+                out.push(c);
+                i += 1;
+            }
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+/// A counted token rule: occurrences of any token, within scope, net of
+/// exemptions, ratcheted against the allowlist.
+struct TokenRule {
+    name: &'static str,
+    tokens: &'static [&'static str],
+    /// Does the rule apply to this workspace-relative path?
+    in_scope: fn(&str) -> bool,
+}
+
+fn protocol_crates(p: &str) -> bool {
+    p.starts_with("crates/core/src/")
+        || p.starts_with("crates/sched/src/")
+        || p.starts_with("crates/shmem/src/")
+        || p.starts_with("crates/check/src/")
+}
+
+fn all_sources(_p: &str) -> bool {
+    true
+}
+
+const TOKEN_RULES: &[TokenRule] = &[
+    TokenRule {
+        name: "stealval-bit-ops",
+        tokens: &[
+            "<< ASTEALS_SHIFT",
+            ">> ASTEALS_SHIFT",
+            "<< EPOCH_SHIFT",
+            ">> EPOCH_SHIFT",
+            "<< VALID_SHIFT",
+            ">> VALID_SHIFT",
+            "<< ITASKS_SHIFT",
+            ">> ITASKS_SHIFT",
+            "ASTEALS_MASK",
+            "ITASKS_MASK",
+            "TAIL_MASK",
+            "<< 38",
+            ">> 38",
+            "<< 39",
+            ">> 39",
+            "<< 40",
+            ">> 40",
+            "<< 41",
+            ">> 41",
+        ],
+        in_scope: |p| {
+            (p.starts_with("crates/core/src/") || p.starts_with("crates/sched/src/"))
+                && p != "crates/core/src/stealval.rs"
+        },
+    },
+    TokenRule {
+        name: "relaxed-ordering",
+        tokens: &["Ordering::Relaxed"],
+        in_scope: all_sources,
+    },
+    TokenRule {
+        name: "seqcst",
+        tokens: &["SeqCst"],
+        in_scope: all_sources,
+    },
+    TokenRule {
+        name: "wall-clock-time",
+        tokens: &["std::time", "Instant::now", "SystemTime", "thread::sleep"],
+        in_scope: all_sources,
+    },
+    TokenRule {
+        name: "unsafe-code",
+        tokens: &["unsafe "],
+        in_scope: all_sources,
+    },
+];
+
+/// RMW call tokens for the `ordering-comment` rule. (`atomic_swap(`
+/// also matches inside `atomic_compare_swap(`; the rule is a per-line
+/// boolean, so double matches are harmless.)
+const RMW_TOKENS: &[&str] = &["atomic_fetch_add(", "atomic_swap(", "atomic_compare_swap("];
+
+fn count_tokens(line: &str, tokens: &[&str]) -> usize {
+    let mut n = 0;
+    for t in tokens {
+        let mut at = 0;
+        while let Some(p) = line[at..].find(t) {
+            n += 1;
+            at += p + t.len();
+        }
+    }
+    n
+}
+
+// ---------------------------------------------------------------------------
+// Allowlist
+// ---------------------------------------------------------------------------
+
+/// Parsed `lint.allow`: `(rule, path) -> allowed occurrence count`.
+type Allow = BTreeMap<(String, String), usize>;
+
+fn parse_allow(text: &str) -> Result<Allow, String> {
+    let mut allow = Allow::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (rule, path, count) = match (it.next(), it.next(), it.next(), it.next()) {
+            (Some(r), Some(p), Some(c), None) => (r, p, c),
+            _ => return Err(format!("lint.allow:{}: expected `rule path count`", i + 1)),
+        };
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("lint.allow:{}: bad count {count:?}", i + 1))?;
+        if count == 0 {
+            return Err(format!("lint.allow:{}: zero allowance is just a stale line", i + 1));
+        }
+        if allow.insert((rule.into(), path.into()), count).is_some() {
+            return Err(format!("lint.allow:{}: duplicate entry", i + 1));
+        }
+    }
+    Ok(allow)
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scan roots: every crate's `src/` tree plus the workspace binary crate.
+fn source_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    collect_rs(&root.join("src"), &mut files)?;
+    for entry in fs::read_dir(root.join("crates"))? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn rel(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root)
+        .unwrap_or(p)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Run every rule over the workspace rooted at `root`.
+pub fn run(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+    let allow_path = root.join("crates/check/lint.allow");
+    let allow = match fs::read_to_string(&allow_path) {
+        Ok(t) => match parse_allow(&t) {
+            Ok(a) => a,
+            Err(msg) => {
+                report.findings.push(Finding {
+                    rule: "allowlist",
+                    path: "crates/check/lint.allow".into(),
+                    line: 0,
+                    msg,
+                });
+                Allow::new()
+            }
+        },
+        Err(_) => Allow::new(),
+    };
+
+    // (rule, path) -> (count, first line)
+    let mut counts: BTreeMap<(&'static str, String), (usize, usize)> = BTreeMap::new();
+
+    for path in source_files(root)? {
+        let relp = rel(root, &path);
+        let raw = fs::read_to_string(&path)?;
+        let stripped = strip_source(&raw);
+        report.files += 1;
+
+        let raw_lines: Vec<&str> = raw.lines().collect();
+        for (ln0, line) in stripped.lines().enumerate() {
+            for rule in TOKEN_RULES {
+                if !(rule.in_scope)(&relp) {
+                    continue;
+                }
+                let n = count_tokens(line, rule.tokens);
+                if n > 0 {
+                    let e = counts.entry((rule.name, relp.clone())).or_insert((0, ln0 + 1));
+                    e.0 += n;
+                }
+            }
+
+            // Rule: fallible-unwrap (per occurrence, no allowlist).
+            let fallible_op = ["try_atomic", "try_get(", "try_put(", "try_quiet", "try_barrier"]
+                .iter()
+                .any(|t| line.contains(t));
+            if protocol_crates(&relp)
+                && fallible_op
+                && (line.contains(".unwrap()") || line.contains(".expect("))
+            {
+                report.findings.push(Finding {
+                    rule: "fallible-unwrap",
+                    path: relp.clone(),
+                    line: ln0 + 1,
+                    msg: "panicking on a fallible try_* op result; handle the OpResult".into(),
+                });
+            }
+
+            // Rule: ordering-comment (per occurrence, no allowlist).
+            if relp.starts_with("crates/core/src/queue/") && count_tokens(line, RMW_TOKENS) > 0 {
+                let lo = ln0.saturating_sub(3);
+                let documented = raw_lines[lo..=ln0.min(raw_lines.len() - 1)]
+                    .iter()
+                    .any(|l| l.contains("ordering:"));
+                if !documented {
+                    report.findings.push(Finding {
+                        rule: "ordering-comment",
+                        path: relp.clone(),
+                        line: ln0 + 1,
+                        msg: "protocol RMW without an `// ordering: <AtomicSite>` comment".into(),
+                    });
+                }
+            }
+        }
+    }
+
+    // Ratchet counted rules against the allowlist.
+    for ((rule, path), (n, first)) in &counts {
+        match allow.get(&(rule.to_string(), path.clone())) {
+            Some(&allowed) if *n == allowed => {}
+            Some(&allowed) if *n < allowed => {
+                report.findings.push(Finding {
+                    rule,
+                    path: path.clone(),
+                    line: 0,
+                    msg: format!(
+                        "allowance is stale: {n} occurrence(s) left but {allowed} allowed — \
+                         ratchet lint.allow down to {n}"
+                    ),
+                });
+            }
+            Some(&allowed) => {
+                report.findings.push(Finding {
+                    rule,
+                    path: path.clone(),
+                    line: *first,
+                    msg: format!("{n} occurrence(s), only {allowed} allowed"),
+                });
+            }
+            None => {
+                report.findings.push(Finding {
+                    rule,
+                    path: path.clone(),
+                    line: *first,
+                    msg: format!("{n} occurrence(s), none allowed"),
+                });
+            }
+        }
+    }
+    // Entirely stale allowlist entries (file clean or gone).
+    for ((rule, path), allowed) in &allow {
+        let known_rule = TOKEN_RULES.iter().any(|r| r.name == rule);
+        let counted = TOKEN_RULES
+            .iter()
+            .filter(|r| r.name == rule)
+            .any(|r| counts.contains_key(&(r.name, path.clone())));
+        if !known_rule {
+            report.findings.push(Finding {
+                rule: "allowlist",
+                path: "crates/check/lint.allow".into(),
+                line: 0,
+                msg: format!("unknown rule {rule:?} in allowlist"),
+            });
+        } else if !counted {
+            report.findings.push(Finding {
+                rule: "allowlist",
+                path: "crates/check/lint.allow".into(),
+                line: 0,
+                msg: format!(
+                    "stale entry: {rule} {path} {allowed} — no occurrences remain; delete it"
+                ),
+            });
+        }
+    }
+
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_removes_comments_and_strings() {
+        let src = "let x = \"SeqCst\"; // SeqCst here\n/* SeqCst\n * nested /* SeqCst */ SeqCst */\nlet y = 'a';";
+        let s = strip_source(src);
+        assert!(!s.contains("SeqCst"));
+        assert_eq!(s.lines().count(), src.lines().count());
+        assert!(s.contains("let x ="));
+        assert!(s.contains("let y ="));
+    }
+
+    #[test]
+    fn strip_handles_raw_strings_and_lifetimes() {
+        let src = "fn f<'a>(s: &'a str) { let r = r#\"Ordering::Relaxed \"# ; let q = '\"'; }";
+        let s = strip_source(src);
+        assert!(!s.contains("Ordering::Relaxed"));
+        assert!(s.contains("fn f<'a>(s: &'a str)"));
+        // The '"' char literal must not open a string that swallows the rest.
+        assert!(s.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn token_counting_counts_all_occurrences() {
+        assert_eq!(count_tokens("SeqCst SeqCst", &["SeqCst"]), 2);
+        assert_eq!(count_tokens("a << 40 | b >> 40", &["<< 40", ">> 40"]), 2);
+    }
+
+    #[test]
+    fn allowlist_parses_and_rejects_garbage() {
+        let a = parse_allow("# comment\nrelaxed-ordering crates/x/src/a.rs 3\n").unwrap();
+        assert_eq!(a.len(), 1);
+        assert!(parse_allow("one two\n").is_err());
+        assert!(parse_allow("r p 0\n").is_err());
+        assert!(parse_allow("r p 1\nr p 1\n").is_err());
+    }
+
+    /// The real workspace must lint clean — same assertion CI makes, kept
+    /// here so `cargo test -p sws-check` catches regressions locally.
+    #[test]
+    fn workspace_is_clean() {
+        let report = run(&workspace_root()).expect("lint walks the workspace");
+        assert!(report.files > 20, "walker found too few files");
+        let msgs: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
+        assert!(msgs.is_empty(), "lint findings:\n{}", msgs.join("\n"));
+    }
+}

@@ -1,0 +1,557 @@
+//! The model-checked memory: a release/acquire operational semantics over
+//! 64-bit words, driven by vector clocks.
+//!
+//! This is the `sws-check` replacement for real CPU atomics. Each word
+//! keeps its full **modification order** (the list of stores ever made to
+//! it); loads may legally read *any* store not superseded by one that
+//! happens-before the reader — the explorer branches over every legal
+//! choice, which is how stale RDMA/NIC reads are enumerated. Synchronizes-
+//! with edges are modeled with vector clocks: a releasing store captures
+//! the author's clock as the store's *message*, an acquiring load joins
+//! the message into the reader's clock. RMWs always read the latest store
+//! in modification order (atomicity) and continue the C++20 release
+//! sequence: their store carries the message of the store they read,
+//! joined with their own clock if they release.
+//!
+//! Two extra facilities catch protocol bugs an interleaving-only model
+//! would miss:
+//!
+//! * [`Memory::read_fresh`] — for payload reads that the protocol claims
+//!   are safe to treat as up-to-date (a thief copying its claimed block).
+//!   If any *differing* stale value is legally readable, that is a
+//!   [`Violation::StaleRead`] rather than a branch: the protocol's
+//!   publication chain was too weak.
+//! * **Read marks** — `read_fresh` records a (reader, timestamp) mark on
+//!   the word; a later [`Memory::store_payload`] by another thread that
+//!   does not happen-after the mark is a [`Violation::Race`] (the owner
+//!   overwrote a ring slot a thief might still be copying).
+
+use sws_core::{AtomicSite, MemOrder};
+
+/// A vector clock over the model's threads.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct VClock(Vec<u32>);
+
+impl VClock {
+    /// The zero clock for `n` threads.
+    pub fn new(n: usize) -> VClock {
+        VClock(vec![0; n])
+    }
+
+    /// Pointwise maximum.
+    pub fn join(&mut self, other: &VClock) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Does this clock cover event `seq` of thread `author`?
+    /// The initial state (author [`INIT`]) is covered by every clock.
+    pub fn covers(&self, author: usize, seq: u32) -> bool {
+        author == INIT || self.0[author] >= seq
+    }
+}
+
+/// Pseudo-thread id of the initial state: happens-before everything.
+pub const INIT: usize = usize::MAX;
+
+/// One store in a word's modification order.
+#[derive(Clone, Debug, Hash)]
+struct Store {
+    val: u64,
+    author: usize,
+    seq: u32,
+    /// Release-sequence message: the clock an acquiring reader joins.
+    /// `None` for relaxed stores (which also *end* any prior sequence).
+    msg: Option<VClock>,
+}
+
+/// A fresh-read mark left on a payload word (see module docs).
+#[derive(Clone, Debug, Hash)]
+struct Mark {
+    reader: usize,
+    seq: u32,
+}
+
+#[derive(Clone, Debug, Hash)]
+struct Word {
+    stores: Vec<Store>,
+    marks: Vec<Mark>,
+}
+
+/// A property violation found by the checker. `Protocol` carries the
+/// invariant-family rule name used in the audit table.
+#[derive(Clone, Debug)]
+pub enum Violation {
+    /// A read the protocol relies on being fresh could legally observe a
+    /// stale, differing value.
+    StaleRead {
+        /// Word index.
+        word: usize,
+        /// Site issuing the read.
+        site: AtomicSite,
+        /// The stale value that was legally readable.
+        stale: u64,
+        /// The up-to-date value.
+        latest: u64,
+    },
+    /// A store raced with a fresh-read of the same word: the writer does
+    /// not happen-after the reader's access.
+    Race {
+        /// Word index.
+        word: usize,
+        /// Site issuing the store.
+        site: AtomicSite,
+        /// Thread that read the word.
+        reader: usize,
+        /// Thread that overwrote it.
+        writer: usize,
+    },
+    /// A protocol invariant failed (monitor or end-state check).
+    Protocol {
+        /// Invariant family: "conservation", "decode", "reconciliation",
+        /// "overflow", "uninit-steal", "lock", "local-read".
+        rule: &'static str,
+        /// Human-readable detail.
+        what: String,
+    },
+    /// Exploration finished without reaching a single end state.
+    NoEndState,
+    /// The state space exceeded the configured bound.
+    StateSpaceExceeded {
+        /// States visited when the bound tripped.
+        states: u64,
+    },
+}
+
+impl Violation {
+    /// Short kind tag used in the `ORDERINGS.md` audit table.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::StaleRead { .. } => "stale-read",
+            Violation::Race { .. } => "race",
+            Violation::Protocol { rule, .. } => rule,
+            Violation::NoEndState => "no-end-state",
+            Violation::StateSpaceExceeded { .. } => "state-space",
+        }
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::StaleRead {
+                word,
+                site,
+                stale,
+                latest,
+            } => write!(
+                f,
+                "stale read at {} (word {word}): could read {stale} where latest is {latest}",
+                site.name()
+            ),
+            Violation::Race {
+                word,
+                site,
+                reader,
+                writer,
+            } => write!(
+                f,
+                "race at {} (word {word}): thread {writer} overwrites a slot thread {reader} \
+                 may still be reading",
+                site.name()
+            ),
+            Violation::Protocol { rule, what } => write!(f, "{rule} violation: {what}"),
+            Violation::NoEndState => write!(f, "no interleaving reached an end state"),
+            Violation::StateSpaceExceeded { states } => {
+                write!(f, "state space exceeded bound after {states} states")
+            }
+        }
+    }
+}
+
+/// The per-site ordering assignment a run explores under. The audit
+/// weakens one site at a time from [`OrdTable::production`].
+#[derive(Clone)]
+pub struct OrdTable {
+    ords: [MemOrder; AtomicSite::ALL.len()],
+}
+
+impl OrdTable {
+    /// The orderings the production substrate uses.
+    pub fn production() -> OrdTable {
+        let mut ords = [MemOrder::Relaxed; AtomicSite::ALL.len()];
+        for s in AtomicSite::ALL {
+            ords[s as usize] = s.production();
+        }
+        OrdTable { ords }
+    }
+
+    /// Ordering at `site`.
+    pub fn get(&self, site: AtomicSite) -> MemOrder {
+        self.ords[site as usize]
+    }
+
+    /// Override the ordering at `site`.
+    pub fn set(&mut self, site: AtomicSite, ord: MemOrder) {
+        self.ords[site as usize] = ord;
+    }
+}
+
+/// Word-granular model-checked memory. See the module docs.
+#[derive(Clone, Debug, Hash)]
+pub struct Memory {
+    words: Vec<Word>,
+    clocks: Vec<VClock>,
+    seqs: Vec<u32>,
+    /// Per-thread, per-word coherence floor: index of the earliest store
+    /// this thread may still legally read (reads may not go backwards).
+    floors: Vec<Vec<u32>>,
+}
+
+impl Memory {
+    /// Memory of `n_words` zeroed words shared by `n_threads` threads.
+    /// The initial value of every word happens-before everything.
+    pub fn new(n_threads: usize, n_words: usize) -> Memory {
+        Memory {
+            words: (0..n_words)
+                .map(|_| Word {
+                    stores: vec![Store {
+                        val: 0,
+                        author: INIT,
+                        seq: 0,
+                        msg: None,
+                    }],
+                    marks: Vec::new(),
+                })
+                .collect(),
+            clocks: vec![VClock::new(n_threads); n_threads],
+            seqs: vec![0; n_threads],
+            floors: vec![vec![0; n_words]; n_threads],
+        }
+    }
+
+    /// Overwrite a word's initial value (setup phase, before any thread
+    /// runs; the value happens-before everything, like `new`'s zeros).
+    pub fn set_init(&mut self, w: usize, val: u64) {
+        let word = &mut self.words[w];
+        assert_eq!(word.stores.len(), 1, "set_init after execution started");
+        word.stores[0].val = val;
+    }
+
+    fn tick(&mut self, t: usize) -> u32 {
+        self.seqs[t] += 1;
+        let s = self.seqs[t];
+        self.clocks[t].0[t] = s;
+        s
+    }
+
+    /// Index of the latest store that happens-before thread `t` — the
+    /// coherence floor below which reads are no longer legal.
+    fn hb_floor(&self, t: usize, w: usize) -> usize {
+        let stores = &self.words[w].stores;
+        let mut floor = 0;
+        for (i, s) in stores.iter().enumerate().rev() {
+            if self.clocks[t].covers(s.author, s.seq) {
+                floor = i;
+                break;
+            }
+        }
+        floor.max(self.floors[t][w] as usize)
+    }
+
+    /// Plain (metadata) store.
+    pub fn store(&mut self, t: usize, w: usize, val: u64, ord: MemOrder) {
+        let seq = self.tick(t);
+        let msg = ord.releases().then(|| self.clocks[t].clone());
+        self.words[w].stores.push(Store {
+            val,
+            author: t,
+            seq,
+            msg,
+        });
+    }
+
+    /// Payload store: additionally checks the word's fresh-read marks —
+    /// overwriting a slot some thread may still be reading is a race.
+    pub fn store_payload(
+        &mut self,
+        t: usize,
+        w: usize,
+        val: u64,
+        site: AtomicSite,
+        ord: MemOrder,
+    ) -> Result<(), Violation> {
+        for m in &self.words[w].marks {
+            if m.reader != t && !self.clocks[t].covers(m.reader, m.seq) {
+                return Err(Violation::Race {
+                    word: w,
+                    site,
+                    reader: m.reader,
+                    writer: t,
+                });
+            }
+        }
+        self.store(t, w, val, ord);
+        Ok(())
+    }
+
+    /// Atomic load. Branches (via `choose`) over every store the thread
+    /// may legally read; an acquiring load joins the chosen store's
+    /// release-sequence message.
+    pub fn load(
+        &mut self,
+        t: usize,
+        w: usize,
+        ord: MemOrder,
+        mut choose: impl FnMut(usize) -> usize,
+    ) -> u64 {
+        let lo = self.hb_floor(t, w);
+        let n = self.words[w].stores.len() - lo;
+        let idx = lo + choose(n);
+        self.floors[t][w] = idx as u32;
+        let (val, msg) = {
+            let s = &self.words[w].stores[idx];
+            (s.val, s.msg.clone())
+        };
+        if ord.acquires() {
+            if let Some(m) = &msg {
+                self.clocks[t].join(m);
+            }
+        }
+        val
+    }
+
+    /// A read the protocol requires to be fresh (payload copy). If a
+    /// differing stale value is legally readable this is a violation, not
+    /// a branch. Leaves a read mark for the race check.
+    pub fn read_fresh(
+        &mut self,
+        t: usize,
+        w: usize,
+        site: AtomicSite,
+        ord: MemOrder,
+    ) -> Result<u64, Violation> {
+        let lo = self.hb_floor(t, w);
+        let latest = self.words[w].stores.len() - 1;
+        let latest_val = self.words[w].stores[latest].val;
+        for s in &self.words[w].stores[lo..latest] {
+            if s.val != latest_val {
+                return Err(Violation::StaleRead {
+                    word: w,
+                    site,
+                    stale: s.val,
+                    latest: latest_val,
+                });
+            }
+        }
+        let seq = self.tick(t);
+        self.words[w].marks.push(Mark { reader: t, seq });
+        self.floors[t][w] = latest as u32;
+        if ord.acquires() {
+            if let Some(m) = self.words[w].stores[latest].msg.clone() {
+                self.clocks[t].join(&m);
+            }
+        }
+        Ok(latest_val)
+    }
+
+    /// A local read of a word the calling thread believes it exclusively
+    /// owns (owner popping its local portion). The latest store must
+    /// happen-before the reader — anything else is a protocol bug, not a
+    /// legal weak-memory outcome.
+    pub fn read_local(&mut self, t: usize, w: usize) -> Result<u64, Violation> {
+        let latest = self.words[w].stores.len() - 1;
+        let s = &self.words[w].stores[latest];
+        if !self.clocks[t].covers(s.author, s.seq) {
+            return Err(Violation::Protocol {
+                rule: "local-read",
+                what: format!(
+                    "thread {t} pops word {w} whose latest store (by thread {}) it cannot see",
+                    s.author
+                ),
+            });
+        }
+        self.floors[t][w] = latest as u32;
+        Ok(s.val)
+    }
+
+    fn rmw_store(&mut self, t: usize, w: usize, val: u64, ord: MemOrder, read_idx: usize) {
+        let seq = self.tick(t);
+        // C++20 release sequence: the RMW's store carries the message of
+        // the store it read, joined with its own clock if it releases.
+        let mut msg = self.words[w].stores[read_idx].msg.clone();
+        if ord.releases() {
+            match &mut msg {
+                Some(m) => m.join(&self.clocks[t]),
+                None => msg = Some(self.clocks[t].clone()),
+            }
+        }
+        self.words[w].stores.push(Store {
+            val,
+            author: t,
+            seq,
+            msg,
+        });
+    }
+
+    fn rmw_read(&mut self, t: usize, w: usize, ord: MemOrder) -> (usize, u64) {
+        let idx = self.words[w].stores.len() - 1;
+        self.floors[t][w] = idx as u32;
+        if ord.acquires() {
+            if let Some(m) = self.words[w].stores[idx].msg.clone() {
+                self.clocks[t].join(&m);
+            }
+        }
+        (idx, self.words[w].stores[idx].val)
+    }
+
+    /// Atomic fetch-add; reads the latest store (atomicity), returns the
+    /// previous value.
+    pub fn fetch_add(&mut self, t: usize, w: usize, delta: u64, ord: MemOrder) -> u64 {
+        let (idx, old) = self.rmw_read(t, w, ord);
+        self.rmw_store(t, w, old.wrapping_add(delta), ord, idx);
+        old
+    }
+
+    /// Atomic swap; returns the previous value.
+    pub fn swap(&mut self, t: usize, w: usize, val: u64, ord: MemOrder) -> u64 {
+        let (idx, old) = self.rmw_read(t, w, ord);
+        self.rmw_store(t, w, val, ord, idx);
+        old
+    }
+
+    /// Atomic compare-and-swap; returns the previous value. A failed CAS
+    /// still performs the (possibly acquiring) read.
+    pub fn cas(&mut self, t: usize, w: usize, expected: u64, new: u64, ord: MemOrder) -> u64 {
+        let (idx, old) = self.rmw_read(t, w, ord);
+        if old == expected {
+            self.rmw_store(t, w, new, ord, idx);
+        }
+        old
+    }
+
+    /// The latest value in a word's modification order (end-state checks
+    /// only — not a thread-visible read).
+    pub fn latest(&self, w: usize) -> u64 {
+        self.words[w].stores.last().expect("word has init store").val
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sws_core::AtomicSite::{SwsOwnerPayloadWrite, SwsThiefPayloadRead};
+
+    /// A chooser that always picks the given branch index (clamped).
+    fn pick(which: usize) -> impl FnMut(usize) -> usize {
+        move |n| which.min(n - 1)
+    }
+
+    #[test]
+    fn relaxed_load_may_read_stale_release_acquire_may_not() {
+        // t0: store 1 (payload), release-store 2 (flag).
+        // t1: acquire-load flag == 2 ⇒ fresh-read payload must be 1.
+        let mut m = Memory::new(2, 2);
+        m.store(0, 0, 1, MemOrder::Relaxed);
+        m.store(0, 1, 2, MemOrder::Release);
+        // Without acquiring the flag, the payload read is allowed stale.
+        let mut m2 = m.clone();
+        let v = m2.load(1, 1, MemOrder::Relaxed, pick(1));
+        assert_eq!(v, 2);
+        assert!(matches!(
+            m2.read_fresh(1, 0, SwsThiefPayloadRead, MemOrder::Acquire),
+            Err(Violation::StaleRead { .. })
+        ));
+        // Acquiring the flag's release message makes the payload fresh.
+        let v = m.load(1, 1, MemOrder::Acquire, pick(1));
+        assert_eq!(v, 2);
+        assert_eq!(
+            m.read_fresh(1, 0, SwsThiefPayloadRead, MemOrder::Acquire).unwrap(),
+            1
+        );
+    }
+
+    #[test]
+    fn loads_branch_over_all_unsuperseded_stores() {
+        let mut m = Memory::new(2, 1);
+        m.store(0, 0, 7, MemOrder::Release);
+        m.store(0, 0, 9, MemOrder::Release);
+        // Thread 1 has synchronized with nothing: 0, 7 and 9 all legal.
+        let mut seen = Vec::new();
+        for which in 0..3 {
+            let mut m2 = m.clone();
+            seen.push(m2.load(1, 0, MemOrder::Acquire, pick(which)));
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 7, 9]);
+        // The author itself must read its own latest store.
+        assert_eq!(m.load(0, 0, MemOrder::Relaxed, pick(0)), 9);
+    }
+
+    #[test]
+    fn coherence_forbids_reading_backwards() {
+        let mut m = Memory::new(2, 1);
+        m.store(0, 0, 7, MemOrder::Release);
+        m.store(0, 0, 9, MemOrder::Release);
+        // Once t1 observed 9, re-reads may not return 7 or 0.
+        assert_eq!(m.load(1, 0, MemOrder::Relaxed, pick(2)), 9);
+        assert_eq!(m.load(1, 0, MemOrder::Relaxed, pick(0)), 9);
+    }
+
+    #[test]
+    fn rmw_reads_latest_and_continues_release_sequence() {
+        let mut m = Memory::new(3, 2);
+        m.store(0, 0, 5, MemOrder::Relaxed); // payload
+        m.store(0, 1, 1, MemOrder::Release); // flag, heads the sequence
+        // t1 bumps the flag with a *relaxed* RMW: atomicity still sees 1,
+        // and the sequence headed by t0's release continues.
+        assert_eq!(m.fetch_add(1, 1, 10, MemOrder::Relaxed), 1);
+        // t2 acquire-loads the RMW's store: synchronizes with t0.
+        assert_eq!(m.load(2, 1, MemOrder::Acquire, pick(2)), 11);
+        assert_eq!(
+            m.read_fresh(2, 0, SwsThiefPayloadRead, MemOrder::Acquire).unwrap(),
+            5
+        );
+    }
+
+    #[test]
+    fn unsynchronized_overwrite_of_marked_word_is_a_race() {
+        let mut m = Memory::new(2, 2);
+        m.store(0, 0, 3, MemOrder::Relaxed); // payload
+        m.store(0, 1, 1, MemOrder::Release); // publication flag
+        // t1 acquires the flag (so the fresh-read is legal), reads the
+        // payload (leaves a mark) — but t0 never hears back.
+        assert_eq!(m.load(1, 1, MemOrder::Acquire, pick(1)), 1);
+        m.read_fresh(1, 0, SwsThiefPayloadRead, MemOrder::Acquire).unwrap();
+        let err = m
+            .store_payload(0, 0, 4, SwsOwnerPayloadWrite, MemOrder::Release)
+            .unwrap_err();
+        assert!(matches!(err, Violation::Race { reader: 1, writer: 0, .. }));
+    }
+
+    #[test]
+    fn synchronized_overwrite_after_readback_is_clean() {
+        let mut m = Memory::new(2, 3);
+        m.store(0, 0, 3, MemOrder::Relaxed); // payload
+        m.store(0, 1, 1, MemOrder::Release); // publication flag
+        assert_eq!(m.load(1, 1, MemOrder::Acquire, pick(1)), 1);
+        m.read_fresh(1, 0, SwsThiefPayloadRead, MemOrder::Acquire).unwrap();
+        // t1 release-stores a completion; t0 acquire-loads it, covering
+        // the read mark; the overwrite is now ordered.
+        m.store(1, 2, 1, MemOrder::Release);
+        assert_eq!(m.load(0, 2, MemOrder::Acquire, pick(1)), 1);
+        m.store_payload(0, 0, 4, SwsOwnerPayloadWrite, MemOrder::Release)
+            .unwrap();
+    }
+
+    #[test]
+    fn failed_cas_leaves_no_store() {
+        let mut m = Memory::new(2, 1);
+        m.store(0, 0, 1, MemOrder::Release);
+        assert_eq!(m.cas(1, 0, 0, 9, MemOrder::AcqRel), 1);
+        assert_eq!(m.latest(0), 1);
+        assert_eq!(m.cas(1, 0, 1, 9, MemOrder::AcqRel), 1);
+        assert_eq!(m.latest(0), 9);
+    }
+}

@@ -1,0 +1,12 @@
+//! The workspace must pass `sws-lint` (same check CI runs via the
+//! binary; this keeps it in the plain test suite too).
+
+use sws_check::lint::{run, workspace_root};
+
+#[test]
+fn workspace_lints_clean() {
+    let report = run(&workspace_root()).expect("lint walks the workspace");
+    assert!(report.files > 20, "walker found too few files");
+    let msgs: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
+    assert!(msgs.is_empty(), "lint findings:\n{}", msgs.join("\n"));
+}

@@ -1,0 +1,51 @@
+//! Golden test: the checked-in `ORDERINGS.md` matches what the audit
+//! computes. `SWS_CHECK_BLESS=1` regenerates the file.
+
+use sws_check::audit::{orderings_path, render, run_audit};
+use sws_check::Config;
+
+#[test]
+fn orderings_md_is_current() {
+    let rows = run_audit(&Config::default()).unwrap_or_else(|f| panic!("audit failed:\n{f}"));
+
+    // Structural sanity before comparing bytes: the two synchronization
+    // chains the protocols stand on must come out load-bearing, and the
+    // staleness-tolerant owner read must not.
+    let bearing: Vec<&str> = rows
+        .iter()
+        .filter(|r| r.load_bearing())
+        .map(|r| r.site.name())
+        .collect();
+    for must in [
+        "SwsThiefClaim",       // acquire half of the publication chain
+        "SwsOwnerAdvertise",   // release half of the publication chain
+        "SwsThiefComplete",    // release half of the completion chain
+        "SwsOwnerReclaimRead", // acquire half of the completion chain
+        "SdcLockCas",
+        "SdcUnlock",
+    ] {
+        assert!(
+            bearing.contains(&must),
+            "{must} should be load-bearing; load-bearing set: {bearing:?}"
+        );
+    }
+    assert!(
+        !bearing.contains(&"SwsOwnerSvRead"),
+        "the owner's sv read is staleness-tolerant by design; a load-bearing \
+         verdict means the model (or the protocol) regressed"
+    );
+
+    let rendered = render(&rows);
+    let path = orderings_path();
+    if std::env::var_os("SWS_CHECK_BLESS").is_some() {
+        std::fs::write(&path, &rendered).expect("write ORDERINGS.md");
+        return;
+    }
+    let on_disk = std::fs::read_to_string(&path)
+        .expect("ORDERINGS.md missing — create it with SWS_CHECK_BLESS=1");
+    assert!(
+        on_disk == rendered,
+        "ORDERINGS.md is stale; regenerate with \
+         `SWS_CHECK_BLESS=1 cargo test -p sws-check --test ordering_audit`"
+    );
+}

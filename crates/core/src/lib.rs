@@ -26,11 +26,14 @@
 
 #![warn(missing_docs)]
 
+pub mod ordering;
 pub mod queue;
 pub mod ring;
 pub mod steal_half;
 pub mod stealval;
 
+pub use ordering::{AtomicSite, MemOrder};
 pub use queue::sdc::SdcQueue;
 pub use queue::sws::SwsQueue;
 pub use queue::{QueueConfig, QueueStats, StealOutcome, StealQueue};
+pub use stealval::EncodeError;

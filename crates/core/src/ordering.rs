@@ -1,0 +1,246 @@
+//! The memory-ordering site catalog for the steal protocols.
+//!
+//! Every atomic operation the SWS and SDC protocols issue maps to one of
+//! the *sites* enumerated here. The production orderings come from
+//! `sws-shmem`'s op surface (remote RMWs are `AcqRel`, atomic reads
+//! `Acquire`, atomic writes `Release` — see `shmem::ctx`); this catalog
+//! names each site so that
+//!
+//! * the `sws-check` model checker can re-run its scenarios with one
+//!   site's ordering weakened at a time and report which orderings are
+//!   load-bearing (the `ORDERINGS.md` audit table at the repo root), and
+//! * `// ordering: <Site>` comments at the call sites in `queue/sws.rs`,
+//!   `queue/sdc.rs` and `shmem/src/ctx.rs` stay greppable and tied to a
+//!   single source of truth.
+//!
+//! The catalog is deliberately `std`-free in its ordering type: the model
+//! checker interprets [`MemOrder`] with its own operational semantics
+//! rather than handing it to real CPU atomics.
+
+/// A C11-style memory ordering, restricted to the four the protocols use.
+/// (`SeqCst` is banned workspace-wide by `sws-lint`: every site must
+/// justify its ordering pairwise, not lean on a global total order.)
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Hash)]
+pub enum MemOrder {
+    /// No synchronization; atomicity only.
+    Relaxed,
+    /// Load half of a synchronizes-with edge.
+    Acquire,
+    /// Store half of a synchronizes-with edge.
+    Release,
+    /// Both halves (RMW sites).
+    AcqRel,
+}
+
+impl MemOrder {
+    /// Does a load (or the load half of an RMW) at this ordering acquire?
+    pub fn acquires(self) -> bool {
+        matches!(self, MemOrder::Acquire | MemOrder::AcqRel)
+    }
+
+    /// Does a store (or the store half of an RMW) at this ordering release?
+    pub fn releases(self) -> bool {
+        matches!(self, MemOrder::Release | MemOrder::AcqRel)
+    }
+
+    /// Short name used in the audit table.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemOrder::Relaxed => "Relaxed",
+            MemOrder::Acquire => "Acquire",
+            MemOrder::Release => "Release",
+            MemOrder::AcqRel => "AcqRel",
+        }
+    }
+}
+
+/// One atomic site in a steal protocol. Variant order is the order rows
+/// appear in `ORDERINGS.md`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Hash)]
+#[allow(missing_docs)] // each variant is documented by `describe`
+pub enum AtomicSite {
+    // --- SWS (queue/sws.rs) ---
+    /// Thief: the claim fetch-add on the stealval word.
+    SwsThiefClaim,
+    /// Owner: publishing a fresh advertisement (atomic_set of stealval).
+    SwsOwnerAdvertise,
+    /// Owner: closing the gate at acquire/retire (atomic_swap of stealval).
+    SwsOwnerAcquireSwap,
+    /// Owner: reading its own live stealval (read_sv in release/reclaim).
+    SwsOwnerSvRead,
+    /// Owner: zeroing a completion-slot set before an advertisement.
+    SwsOwnerSlotZero,
+    /// Thief: the passive completion notification (atomic_set_nbi of vol).
+    SwsThiefComplete,
+    /// Owner: reading completion slots during reclaim.
+    SwsOwnerReclaimRead,
+    /// Owner: writing task records into the ring (local_write, Release).
+    SwsOwnerPayloadWrite,
+    /// Thief: the per-word loads of the block-copy get.
+    SwsThiefPayloadRead,
+    // --- SDC (queue/sdc.rs) ---
+    /// Thief/owner: the lock compare-swap.
+    SdcLockCas,
+    /// Thief/owner: the lock-release store.
+    SdcUnlock,
+    /// Thief: reading tail+split under the lock (one 16-byte get).
+    SdcMetaRead,
+    /// Thief: publishing the advanced tail (put under the lock).
+    SdcTailPut,
+    /// Owner: publishing a grown split in lock-free release.
+    SdcSplitPublish,
+    /// Owner: reading the published tail (release precondition/acquire).
+    SdcOwnerTailRead,
+    /// Thief: the deferred completion signal (atomic_set_nbi of vol).
+    SdcComplete,
+    /// Owner: reading completion-ring slots during progress.
+    SdcReclaimRead,
+    /// Owner: zeroing a consumed completion-ring slot during progress.
+    SdcReclaimZero,
+    /// Owner: writing task records into the ring (local_write, Release).
+    SdcPayloadWrite,
+    /// Thief: the per-word loads of the block-copy get.
+    SdcPayloadRead,
+}
+
+impl AtomicSite {
+    /// Every site, in audit-table order.
+    pub const ALL: [AtomicSite; 20] = [
+        AtomicSite::SwsThiefClaim,
+        AtomicSite::SwsOwnerAdvertise,
+        AtomicSite::SwsOwnerAcquireSwap,
+        AtomicSite::SwsOwnerSvRead,
+        AtomicSite::SwsOwnerSlotZero,
+        AtomicSite::SwsThiefComplete,
+        AtomicSite::SwsOwnerReclaimRead,
+        AtomicSite::SwsOwnerPayloadWrite,
+        AtomicSite::SwsThiefPayloadRead,
+        AtomicSite::SdcLockCas,
+        AtomicSite::SdcUnlock,
+        AtomicSite::SdcMetaRead,
+        AtomicSite::SdcTailPut,
+        AtomicSite::SdcSplitPublish,
+        AtomicSite::SdcOwnerTailRead,
+        AtomicSite::SdcComplete,
+        AtomicSite::SdcReclaimRead,
+        AtomicSite::SdcReclaimZero,
+        AtomicSite::SdcPayloadWrite,
+        AtomicSite::SdcPayloadRead,
+    ];
+
+    /// The ordering the production code uses at this site (the orderings
+    /// `shmem::ctx` hardcodes for the op kind the site issues).
+    pub fn production(self) -> MemOrder {
+        use AtomicSite::*;
+        match self {
+            // RMWs.
+            SwsThiefClaim | SwsOwnerAcquireSwap | SdcLockCas => MemOrder::AcqRel,
+            // Atomic / per-word loads.
+            SwsOwnerSvRead | SwsOwnerReclaimRead | SwsThiefPayloadRead | SdcMetaRead
+            | SdcOwnerTailRead | SdcReclaimRead | SdcPayloadRead => MemOrder::Acquire,
+            // Atomic / per-word stores.
+            SwsOwnerAdvertise | SwsOwnerSlotZero | SwsThiefComplete | SwsOwnerPayloadWrite
+            | SdcUnlock | SdcTailPut | SdcSplitPublish | SdcComplete | SdcReclaimZero
+            | SdcPayloadWrite => MemOrder::Release,
+        }
+    }
+
+    /// Source location of the site (file: expression), for the audit table.
+    pub fn location(self) -> &'static str {
+        use AtomicSite::*;
+        match self {
+            SwsThiefClaim => "queue/sws.rs: steal_from atomic_fetch_add(sv)",
+            SwsOwnerAdvertise => "queue/sws.rs: advertise atomic_set(sv)",
+            SwsOwnerAcquireSwap => "queue/sws.rs: acquire/retire atomic_swap(sv)",
+            SwsOwnerSvRead => "queue/sws.rs: read_sv atomic_fetch(sv)",
+            SwsOwnerSlotZero => "queue/sws.rs: advertise atomic_set(comp[s], 0)",
+            SwsThiefComplete => "queue/sws.rs: steal_from atomic_set_nbi(comp, vol)",
+            SwsOwnerReclaimRead => "queue/sws.rs: reclaim atomic_fetch(comp)",
+            SwsOwnerPayloadWrite => "queue/buffer.rs: write_local (SWS ring)",
+            SwsThiefPayloadRead => "queue/buffer.rs: steal_copy get (SWS ring)",
+            SdcLockCas => "queue/sdc.rs: atomic_compare_swap(lock, 0, 1)",
+            SdcUnlock => "queue/sdc.rs: atomic_set(lock, 0)",
+            SdcMetaRead => "queue/sdc.rs: get_words(tail, split)",
+            SdcTailPut => "queue/sdc.rs: put_words(tail + vol)",
+            SdcSplitPublish => "queue/sdc.rs: release atomic_set(split)",
+            SdcOwnerTailRead => "queue/sdc.rs: read_tail atomic_fetch(tail)",
+            SdcComplete => "queue/sdc.rs: atomic_set_nbi(comp, vol)",
+            SdcReclaimRead => "queue/sdc.rs: progress atomic_fetch(comp)",
+            SdcReclaimZero => "queue/sdc.rs: progress atomic_set(comp, 0)",
+            SdcPayloadWrite => "queue/buffer.rs: write_local (SDC ring)",
+            SdcPayloadRead => "queue/buffer.rs: steal_copy get (SDC ring)",
+        }
+    }
+
+    /// Which protocol the site belongs to.
+    pub fn protocol(self) -> &'static str {
+        if matches!(
+            self,
+            AtomicSite::SwsThiefClaim
+                | AtomicSite::SwsOwnerAdvertise
+                | AtomicSite::SwsOwnerAcquireSwap
+                | AtomicSite::SwsOwnerSvRead
+                | AtomicSite::SwsOwnerSlotZero
+                | AtomicSite::SwsThiefComplete
+                | AtomicSite::SwsOwnerReclaimRead
+                | AtomicSite::SwsOwnerPayloadWrite
+                | AtomicSite::SwsThiefPayloadRead
+        ) {
+            "SWS"
+        } else {
+            "SDC"
+        }
+    }
+
+    /// Stable identifier used in audit rows and `// ordering:` comments.
+    pub fn name(self) -> &'static str {
+        use AtomicSite::*;
+        match self {
+            SwsThiefClaim => "SwsThiefClaim",
+            SwsOwnerAdvertise => "SwsOwnerAdvertise",
+            SwsOwnerAcquireSwap => "SwsOwnerAcquireSwap",
+            SwsOwnerSvRead => "SwsOwnerSvRead",
+            SwsOwnerSlotZero => "SwsOwnerSlotZero",
+            SwsThiefComplete => "SwsThiefComplete",
+            SwsOwnerReclaimRead => "SwsOwnerReclaimRead",
+            SwsOwnerPayloadWrite => "SwsOwnerPayloadWrite",
+            SwsThiefPayloadRead => "SwsThiefPayloadRead",
+            SdcLockCas => "SdcLockCas",
+            SdcUnlock => "SdcUnlock",
+            SdcMetaRead => "SdcMetaRead",
+            SdcTailPut => "SdcTailPut",
+            SdcSplitPublish => "SdcSplitPublish",
+            SdcOwnerTailRead => "SdcOwnerTailRead",
+            SdcComplete => "SdcComplete",
+            SdcReclaimRead => "SdcReclaimRead",
+            SdcReclaimZero => "SdcReclaimZero",
+            SdcPayloadWrite => "SdcPayloadWrite",
+            SdcPayloadRead => "SdcPayloadRead",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_complete_and_distinct() {
+        let mut names: Vec<&str> = AtomicSite::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), AtomicSite::ALL.len(), "duplicate site names");
+    }
+
+    #[test]
+    fn rmw_sites_are_acqrel() {
+        for s in [
+            AtomicSite::SwsThiefClaim,
+            AtomicSite::SwsOwnerAcquireSwap,
+            AtomicSite::SdcLockCas,
+        ] {
+            assert_eq!(s.production(), MemOrder::AcqRel);
+            assert!(s.production().acquires() && s.production().releases());
+        }
+    }
+}

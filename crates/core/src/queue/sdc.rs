@@ -180,6 +180,7 @@ impl<'a> SdcQueue<'a> {
     fn lock_own(&mut self) {
         let me = self.ctx.my_pe();
         loop {
+            // ordering: SdcLockCas (owner self-lock)
             if self.ctx.atomic_compare_swap(me, self.lock_addr(), 0, 1) == 0 {
                 return;
             }
@@ -228,6 +229,7 @@ impl<'a> SdcQueue<'a> {
             let vol = v & COMP_VOL_MASK;
             if v & COMP_POISON != 0 {
                 // The thief could not copy the block; take it back.
+                // ordering: SdcReclaimRead (poisoned-slot CAS)
                 if self.ctx.atomic_compare_swap(me, slot, v, 0) == v {
                     self.requeue_block(abs, vol);
                     self.stats.completions_poisoned += 1;
@@ -247,6 +249,7 @@ impl<'a> SdcQueue<'a> {
                         if now.saturating_sub(t0) < grace {
                             return;
                         }
+                        // ordering: SdcReclaimRead (stuck-claim CAS)
                         if self.ctx.atomic_compare_swap(me, slot, v, 0) == v {
                             self.requeue_block(abs, vol);
                             self.stats.claims_reclaimed += 1;
@@ -287,6 +290,7 @@ impl<'a> SdcQueue<'a> {
         let mut failures = 0u32;
         let mut contended = 0u32;
         loop {
+            // ordering: SdcLockCas (thief lock)
             match ctx.try_atomic_compare_swap(target, lock, 0, 1) {
                 Ok(0) => break,
                 Ok(_) => {
@@ -387,6 +391,7 @@ impl<'a> SdcQueue<'a> {
         if let Err(e) = put {
             // Roll the marker back — no claim was published.
             insist(ctx, || {
+                // ordering: SdcComplete (marker rollback CAS)
                 ctx.try_atomic_compare_swap(target, comp, marker, 0)
                     .map(|_| ())
             });
@@ -430,6 +435,7 @@ impl<'a> SdcQueue<'a> {
                 |ns| ctx.compute(ns),
                 || self.stats.steals_retried += 1,
                 || {
+                    // ordering: SdcComplete (poison CAS)
                     ctx.try_atomic_compare_swap(target, comp, marker, COMP_POISON | vol)
                         .map(|_| ())
                 },
@@ -449,6 +455,7 @@ impl<'a> SdcQueue<'a> {
             &mut self.rng,
             |ns| ctx.compute(ns),
             || self.stats.steals_retried += 1,
+            // ordering: SdcComplete (finalize CAS)
             || ctx.try_atomic_compare_swap(target, comp, marker, vol),
         );
         match fin {
@@ -601,6 +608,7 @@ impl StealQueue for SdcQueue<'_> {
 
         // 1. Lock, with abort checking while contended.
         loop {
+            // ordering: SdcLockCas (owner steals from a peer)
             let prev = self
                 .ctx
                 .atomic_compare_swap(target, self.lock_addr(), 0, 1);

@@ -286,6 +286,7 @@ impl<'a> SwsQueue<'a> {
                         }
                         Some(t0) if now.saturating_sub(t0) < grace => break,
                         Some(_) => {
+                            // ordering: SwsOwnerReclaimRead (reclaim CAS)
                             let prev = self.ctx.atomic_compare_swap(me, comp, 0, COMP_RECLAIMED);
                             if prev == 0 {
                                 // We won the race against the thief: the
@@ -375,6 +376,7 @@ impl<'a> SwsQueue<'a> {
         // Zero the slots this advertisement can receive completions in,
         // *before* thieves can see it.
         for s in 0..self.policy.max_steals(itasks) {
+            // ordering: SwsOwnerSlotZero
             self.ctx
                 .atomic_set(self.ctx.my_pe(), self.comp_slot(slot, s), 0);
         }
@@ -384,6 +386,7 @@ impl<'a> SwsQueue<'a> {
             itasks: itasks as u32,
             tail: self.buf.ring().slot(tail) as u32,
         };
+        // ordering: SwsOwnerAdvertise
         self.ctx
             .atomic_set(self.ctx.my_pe(), self.sv_addr, self.cfg.layout.encode(sv));
         self.slot_busy[slot] = true;
@@ -410,6 +413,7 @@ impl<'a> SwsQueue<'a> {
         // 1. Claim. A dropped fetch-add has no memory effect, so retrying
         // it cannot double-claim.
         let claim = retry_comm(&policy, &mut self.rng, &mut self.stats, ctx, || {
+            // ordering: SwsThiefClaim
             ctx.try_atomic_fetch_add(target, sv_addr, ASTEAL_UNIT)
         });
         let raw = match claim {
@@ -459,6 +463,7 @@ impl<'a> SwsQueue<'a> {
             // poison is lost, the owner's grace-period reclaim recovers
             // the block — either way it runs exactly once, at the owner.
             let _ = retry_comm(&policy, &mut self.rng, &mut self.stats, ctx, || {
+                // ordering: SwsThiefComplete (poison CAS)
                 ctx.try_atomic_compare_swap(target, comp, 0, COMP_POISON)
             });
             self.scratch = scratch;
@@ -471,6 +476,7 @@ impl<'a> SwsQueue<'a> {
         // 3. Completion — a CAS instead of the passive put, *before* the
         // block lands locally: only a confirmed claim may execute.
         let fin = retry_comm(&policy, &mut self.rng, &mut self.stats, ctx, || {
+            // ordering: SwsThiefComplete (confirmed-claim CAS)
             ctx.try_atomic_compare_swap(target, comp, 0, vol)
         });
         match fin {
@@ -598,6 +604,7 @@ impl StealQueue for SwsQueue<'_> {
             itasks: 0,
             tail: 0,
         });
+        // ordering: SwsOwnerAcquireSwap (acquire closes the gate)
         let raw = self.ctx.atomic_swap(self.ctx.my_pe(), self.sv_addr, closed);
         let sv = self.cfg.layout.decode(raw);
         debug_assert!(
@@ -649,6 +656,7 @@ impl StealQueue for SwsQueue<'_> {
         self.stats.steal_attempts += 1;
 
         // 1. One atomic fetch-add: discover AND claim.
+        // ordering: SwsThiefClaim
         let raw = self.ctx.atomic_fetch_add(target, self.sv_addr, ASTEAL_UNIT);
         let sv = self.cfg.layout.decode(raw);
         let epoch = match sv.gate {
@@ -682,6 +690,7 @@ impl StealQueue for SwsQueue<'_> {
             .steal_copy(self.ctx, target, start, vol as usize, &mut scratch);
 
         // 3. Passive completion notification; the owner reconciles later.
+        // ordering: SwsThiefComplete
         self.ctx
             .atomic_set_nbi(target, self.comp_slot(epoch as usize, a), vol);
 
@@ -736,6 +745,7 @@ impl StealQueue for SwsQueue<'_> {
             itasks: 0,
             tail: 0,
         });
+        // ordering: SwsOwnerAcquireSwap (retire closes the gate)
         let raw = self.ctx.atomic_swap(self.ctx.my_pe(), self.sv_addr, closed);
         let sv = self.cfg.layout.decode(raw);
         if matches!(sv.gate, Gate::Open { .. }) && self.epochs.back().is_some_and(|e| e.open) {

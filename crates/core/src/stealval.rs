@@ -59,6 +59,65 @@ pub enum Gate {
     Closed,
 }
 
+/// Why a [`StealVal`] cannot be packed into a raw word.
+///
+/// Field packing is *checked*: a value that does not fit its bit field is
+/// an owner-side bug, and silently truncating it would corrupt a
+/// neighbouring field (e.g. an oversized `tail` bleeding into `itasks`).
+/// [`Layout::try_encode`] surfaces the overflow; [`Layout::encode`] keeps
+/// the panicking contract for call sites that have already validated
+/// their fields against [`Layout::max_itasks`]/[`Layout::max_tail`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum EncodeError {
+    /// `itasks` exceeds the 19-bit field.
+    ItasksOverflow {
+        /// The offending value.
+        itasks: u32,
+        /// Largest encodable value.
+        max: u32,
+    },
+    /// `tail` exceeds the layout's tail field.
+    TailOverflow {
+        /// The offending value.
+        tail: u32,
+        /// Largest encodable value.
+        max: u32,
+    },
+    /// `asteals` exceeds the 24-bit counter. (The *protocol* wraps the
+    /// counter via fetch-add carry-out; constructing an over-wide value
+    /// from decoded fields is a bug.)
+    AstealsOverflow {
+        /// The offending value.
+        asteals: u32,
+    },
+    /// An open gate names an epoch the layout does not have.
+    EpochOutOfRange {
+        /// The offending epoch index.
+        epoch: u8,
+        /// Number of epochs the layout supports.
+        n_epochs: usize,
+    },
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            EncodeError::ItasksOverflow { itasks, max } => {
+                write!(f, "itasks {itasks} exceeds {ITASKS_BITS}-bit field (max {max})")
+            }
+            EncodeError::TailOverflow { tail, max } => {
+                write!(f, "tail {tail} exceeds field (max {max})")
+            }
+            EncodeError::AstealsOverflow { asteals } => {
+                write!(f, "asteals {asteals} exceeds {ASTEALS_BITS}-bit field")
+            }
+            EncodeError::EpochOutOfRange { epoch, n_epochs } => {
+                write!(f, "epoch {epoch} exceeds range (< {n_epochs})")
+            }
+        }
+    }
+}
+
 /// A decoded stealval.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub struct StealVal {
@@ -111,31 +170,37 @@ impl Layout {
         }
     }
 
-    /// Encode a decoded stealval.
-    ///
-    /// # Panics
-    /// Panics if `itasks` or `tail` exceed their fields, or if an epoch
-    /// index is out of range — these are owner-side bugs, not recoverable
-    /// runtime conditions.
-    pub fn encode(self, sv: StealVal) -> u64 {
-        assert!(
-            sv.itasks <= self.max_itasks(),
-            "itasks {} exceeds {}-bit field",
-            sv.itasks,
-            ITASKS_BITS
-        );
-        assert!(
-            sv.tail <= self.max_tail(),
-            "tail {} exceeds {}-bit field",
-            sv.tail,
-            self.tail_bits()
-        );
-        let asteals = (sv.asteals as u64 & ASTEALS_MASK) << ASTEALS_SHIFT;
-        match self {
+    /// Encode a decoded stealval, surfacing field overflow as an error
+    /// instead of truncating or panicking. Checked packing: every field is
+    /// validated against its bit width before any shifting happens, so a
+    /// bad value can never bleed into a neighbouring field.
+    pub fn try_encode(self, sv: StealVal) -> Result<u64, EncodeError> {
+        if sv.itasks > self.max_itasks() {
+            return Err(EncodeError::ItasksOverflow {
+                itasks: sv.itasks,
+                max: self.max_itasks(),
+            });
+        }
+        if sv.tail > self.max_tail() {
+            return Err(EncodeError::TailOverflow {
+                tail: sv.tail,
+                max: self.max_tail(),
+            });
+        }
+        if sv.asteals as u64 > ASTEALS_MASK {
+            return Err(EncodeError::AstealsOverflow { asteals: sv.asteals });
+        }
+        let asteals = (sv.asteals as u64) << ASTEALS_SHIFT;
+        Ok(match self {
             Layout::ValidBit => {
                 let valid = match sv.gate {
                     Gate::Open { epoch } => {
-                        assert_eq!(epoch, 0, "ValidBit layout has a single epoch");
+                        if epoch != 0 {
+                            return Err(EncodeError::EpochOutOfRange {
+                                epoch,
+                                n_epochs: 1,
+                            });
+                        }
                         1u64
                     }
                     Gate::Closed => 0u64,
@@ -145,11 +210,12 @@ impl Layout {
             Layout::Epochs => {
                 let epoch = match sv.gate {
                     Gate::Open { epoch } => {
-                        assert!(
-                            (epoch as usize) < MAX_EPOCHS,
-                            "epoch {} out of range (< {MAX_EPOCHS})",
-                            epoch
-                        );
+                        if (epoch as usize) >= MAX_EPOCHS {
+                            return Err(EncodeError::EpochOutOfRange {
+                                epoch,
+                                n_epochs: MAX_EPOCHS,
+                            });
+                        }
                         epoch as u64
                     }
                     // Any value above MAX_EPOCHS-1 signals "locked"; use
@@ -158,6 +224,20 @@ impl Layout {
                 };
                 asteals | (epoch << 38) | ((sv.itasks as u64) << 19) | sv.tail as u64
             }
+        })
+    }
+
+    /// Encode a decoded stealval.
+    ///
+    /// # Panics
+    /// Panics if `itasks`, `tail`, or `asteals` exceed their fields, or if
+    /// an epoch index is out of range — these are owner-side bugs, not
+    /// recoverable runtime conditions. Use [`Layout::try_encode`] where
+    /// the fields come from untrusted arithmetic.
+    pub fn encode(self, sv: StealVal) -> u64 {
+        match self.try_encode(sv) {
+            Ok(v) => v,
+            Err(e) => panic!("stealval encode: {e}"),
         }
     }
 
@@ -323,6 +403,112 @@ mod tests {
             gate: Gate::Open { epoch: 0 },
             itasks: 0,
             tail: 1 << 19,
+        });
+    }
+
+    #[test]
+    fn try_encode_accepts_every_field_boundary() {
+        // Largest value of every field must round-trip exactly.
+        for layout in layouts() {
+            let sv = StealVal {
+                asteals: (1 << ASTEALS_BITS) - 1, // 2^24 - 1
+                gate: Gate::Open { epoch: 0 },
+                itasks: layout.max_itasks(), // 2^19 - 1
+                tail: layout.max_tail(),
+            };
+            let v = layout.try_encode(sv).expect("boundary values must fit");
+            assert_eq!(layout.decode(v), sv, "{layout:?}");
+        }
+    }
+
+    #[test]
+    fn try_encode_rejects_one_past_each_boundary() {
+        let base = StealVal::empty();
+        for layout in layouts() {
+            assert_eq!(
+                layout.try_encode(StealVal {
+                    itasks: layout.max_itasks() + 1,
+                    ..base
+                }),
+                Err(EncodeError::ItasksOverflow {
+                    itasks: layout.max_itasks() + 1,
+                    max: layout.max_itasks()
+                }),
+                "{layout:?}"
+            );
+            assert_eq!(
+                layout.try_encode(StealVal {
+                    tail: layout.max_tail() + 1,
+                    ..base
+                }),
+                Err(EncodeError::TailOverflow {
+                    tail: layout.max_tail() + 1,
+                    max: layout.max_tail()
+                }),
+                "{layout:?}"
+            );
+            assert_eq!(
+                layout.try_encode(StealVal {
+                    asteals: 1 << ASTEALS_BITS,
+                    ..base
+                }),
+                Err(EncodeError::AstealsOverflow {
+                    asteals: 1 << ASTEALS_BITS
+                }),
+                "{layout:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_encode_epoch_rollover_is_checked_not_wrapped() {
+        // Epoch MAX_EPOCHS-1 is the last valid open epoch; MAX_EPOCHS and
+        // beyond must be rejected (the encoding reserves those bit
+        // patterns for the closed gate), never wrapped back to epoch 0.
+        let last = (MAX_EPOCHS - 1) as u8;
+        let sv = StealVal {
+            gate: Gate::Open { epoch: last },
+            ..StealVal::empty()
+        };
+        let v = Layout::Epochs.try_encode(sv).unwrap();
+        assert_eq!(Layout::Epochs.decode(v).gate, Gate::Open { epoch: last });
+        for epoch in [MAX_EPOCHS as u8, MAX_EPOCHS as u8 + 1, u8::MAX] {
+            assert_eq!(
+                Layout::Epochs.try_encode(StealVal {
+                    gate: Gate::Open { epoch },
+                    ..StealVal::empty()
+                }),
+                Err(EncodeError::EpochOutOfRange {
+                    epoch,
+                    n_epochs: MAX_EPOCHS
+                })
+            );
+        }
+        // ValidBit has a single epoch: epoch 1 is out of range, not "valid".
+        assert_eq!(
+            Layout::ValidBit.try_encode(StealVal {
+                gate: Gate::Open { epoch: 1 },
+                ..StealVal::empty()
+            }),
+            Err(EncodeError::EpochOutOfRange {
+                epoch: 1,
+                n_epochs: 1
+            })
+        );
+        // Raw words whose epoch bits exceed MAX_EPOCHS-1 decode as Closed
+        // (the "locked" sentinel) — rollover cannot fabricate an open gate.
+        for raw_epoch in [0b10u64, 0b11] {
+            let v = raw_epoch << 38;
+            assert_eq!(Layout::Epochs.decode(v).gate, Gate::Closed);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_asteals_rejected_by_encode() {
+        let _ = Layout::Epochs.encode(StealVal {
+            asteals: 1 << ASTEALS_BITS,
+            ..StealVal::empty()
         });
     }
 

@@ -5,7 +5,9 @@
 //! never lost, across any interleaving of release/acquire/progress.
 //!
 //! Sequences are generated from seeded `SplitMix64` streams, so every
-//! case is reproducible from the seed printed in a failure message.
+//! case is reproducible from the seed printed in a failure message — and
+//! a failing owner-op sequence is additionally minimized with a [`ddmin`]
+//! delta-debugging shrinker before it is reported.
 
 use std::collections::BTreeMap;
 
@@ -43,11 +45,54 @@ fn tag_of(t: &TaskDescriptor) -> u64 {
     u64::from_le_bytes(t.payload().try_into().unwrap())
 }
 
-/// Drive one queue through `ops` on a single PE and check conservation.
-fn drive_single_pe(ops: &[Op], use_sws: bool) {
+// ---------------------------------------------------------------------------
+// ddmin shrinker
+// ---------------------------------------------------------------------------
+
+/// Classic ddmin delta debugging: greedily remove complement chunks at
+/// increasing granularity until no single removal keeps the sequence
+/// failing. Returns a 1-minimal (with respect to element removal)
+/// subsequence, preserving order. `fails` must hold for `input`.
+fn ddmin<T: Clone>(input: &[T], fails: impl Fn(&[T]) -> bool) -> Vec<T> {
+    debug_assert!(fails(input), "ddmin needs a failing input");
+    let mut cur = input.to_vec();
+    let mut n = 2usize;
+    while cur.len() >= 2 {
+        let chunk = cur.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < cur.len() {
+            let end = (start + chunk).min(cur.len());
+            let cand: Vec<T> = cur[..start]
+                .iter()
+                .chain(&cur[end..])
+                .cloned()
+                .collect();
+            if !cand.is_empty() && fails(&cand) {
+                cur = cand;
+                n = (n - 1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if n >= cur.len() {
+                break;
+            }
+            n = (n * 2).min(cur.len());
+        }
+    }
+    cur
+}
+
+/// Drive one queue through `ops` on a single PE and check conservation
+/// against the reference multiset model; `Err` carries the first
+/// divergence (this is the ddmin predicate, so it must not panic).
+fn try_drive_single_pe(ops: &[Op], use_sws: bool) -> Result<(), String> {
     let world = WorldConfig::virtual_time(1, 1 << 14);
     let ops = ops.to_vec();
-    run_world(world, move |ctx| {
+    let out = run_world(world, move |ctx| -> Result<(), String> {
         let cfg = QueueConfig::new(64, 24);
         let mut q: Box<dyn StealQueue + '_> = if use_sws {
             Box::new(SwsQueue::new(ctx, cfg))
@@ -57,7 +102,6 @@ fn drive_single_pe(ops: &[Op], use_sws: bool) {
         let mut next_tag = 0u64;
         // tag -> times seen popped (model: every tag exactly once).
         let mut outstanding: BTreeMap<u64, ()> = BTreeMap::new();
-        let mut popped: Vec<u64> = Vec::new();
 
         for &op in &ops {
             match op {
@@ -70,11 +114,9 @@ fn drive_single_pe(ops: &[Op], use_sws: bool) {
                 Op::Pop => {
                     if let Some(t) = q.pop_local() {
                         let tag = tag_of(&t);
-                        assert!(
-                            outstanding.remove(&tag).is_some(),
-                            "popped unknown or duplicate tag {tag}"
-                        );
-                        popped.push(tag);
+                        if outstanding.remove(&tag).is_none() {
+                            return Err(format!("popped unknown or duplicate tag {tag}"));
+                        }
                     }
                 }
                 Op::Release => {
@@ -90,29 +132,41 @@ fn drive_single_pe(ops: &[Op], use_sws: bool) {
             // Structural invariant: the queue's view of live tasks equals
             // the model's outstanding count.
             let live = q.local_count() + q.shared_estimate();
-            assert_eq!(
-                live as usize,
-                outstanding.len(),
-                "queue live count diverged from model"
-            );
+            if live as usize != outstanding.len() {
+                return Err(format!(
+                    "queue live count {live} diverged from model {}",
+                    outstanding.len()
+                ));
+            }
         }
         // Drain: everything outstanding must come back exactly once.
         loop {
             while let Some(t) = q.pop_local() {
                 let tag = tag_of(&t);
-                assert!(outstanding.remove(&tag).is_some(), "duplicate {tag}");
+                if outstanding.remove(&tag).is_none() {
+                    return Err(format!("duplicate {tag} in drain"));
+                }
             }
             if q.local_count() == 0 && !q.acquire() {
                 break;
             }
         }
-        assert!(
-            outstanding.is_empty(),
-            "lost tasks: {:?}",
-            outstanding.keys().collect::<Vec<_>>()
-        );
+        if !outstanding.is_empty() {
+            return Err(format!(
+                "lost tasks: {:?}",
+                outstanding.keys().collect::<Vec<_>>()
+            ));
+        }
+        Ok(())
     })
     .unwrap();
+    out.results.into_iter().next().unwrap()
+}
+
+fn drive_single_pe(ops: &[Op], use_sws: bool) {
+    if let Err(e) = try_drive_single_pe(ops, use_sws) {
+        panic!("{e}");
+    }
 }
 
 fn owner_ops_conserve_tasks(use_sws: bool, seed: u64) {
@@ -120,7 +174,15 @@ fn owner_ops_conserve_tasks(use_sws: bool, seed: u64) {
         let mut rng = SplitMix64::stream(seed, case);
         let len = 1 + rng.below(119) as usize;
         let ops: Vec<Op> = (0..len).map(|_| draw_op(&mut rng)).collect();
-        drive_single_pe(&ops, use_sws);
+        if let Err(e) = try_drive_single_pe(&ops, use_sws) {
+            let min = ddmin(&ops, |s| try_drive_single_pe(s, use_sws).is_err());
+            panic!(
+                "seed {seed:#x} case {case}: {e}\n\
+                 minimized to {} of {} ops: {min:?}",
+                min.len(),
+                ops.len(),
+            );
+        }
     }
 }
 
@@ -202,6 +264,90 @@ fn two_pe_random_steal_scripts_conserve_tasks() {
     }
 }
 
+/// Cross-epoch steal scripts: unlike the phase-barriered test above, the
+/// owner keeps enqueueing, releasing and — crucially — *acquiring* while
+/// the thief's steals are in flight, so SWS advertisements open and close
+/// across epochs with claims outstanding (the gate-swap / in-flight-claim
+/// reconciliation path the model checker's `sws_epoch_flip` scenario
+/// explores, here against the real queue under the virtual-time
+/// scheduler).
+#[test]
+fn cross_epoch_steals_with_concurrent_owner_churn() {
+    for case in 0..16u64 {
+        let mut rng = SplitMix64::stream(0x40DE_1004, case);
+        let rounds = 2 + rng.below(4) as usize; // 2..=5
+        let batch = 4 + rng.below(13); // 4..=16 tasks per round
+        let pops = rng.below(6); // owner pops per round
+        let steal_attempts = 4 + rng.below(17) as u32;
+        let use_sws = case % 2 == 0;
+
+        let total = rounds as u64 * batch;
+        let out = run_world(WorldConfig::virtual_time(2, 1 << 15), move |ctx| {
+            let cfg = QueueConfig::new(128, 24);
+            let mut q: Box<dyn StealQueue + '_> = if use_sws {
+                Box::new(SwsQueue::new(ctx, cfg))
+            } else {
+                Box::new(SdcQueue::new(ctx, cfg))
+            };
+            let mut got: Vec<u64> = Vec::new();
+            let mut next_tag = 0u64;
+            if ctx.my_pe() == 0 {
+                for _ in 0..rounds {
+                    for _ in 0..batch {
+                        assert!(q.enqueue(&task(next_tag)));
+                        next_tag += 1;
+                    }
+                    let _ = q.release();
+                    for _ in 0..pops {
+                        if let Some(t) = q.pop_local() {
+                            got.push(tag_of(&t));
+                        }
+                    }
+                    // Cross-epoch churn: take shared work back while
+                    // steals may be mid-claim.
+                    if q.local_count() == 0 {
+                        let _ = q.acquire();
+                    }
+                    q.progress();
+                }
+            } else {
+                for _ in 0..steal_attempts {
+                    match q.steal_from(0) {
+                        StealOutcome::Got { .. } => {
+                            while let Some(t) = q.pop_local() {
+                                got.push(tag_of(&t));
+                            }
+                        }
+                        // Closed gate / empty advert: give the owner a
+                        // slice of virtual time and try again.
+                        _ => ctx.compute(200),
+                    }
+                }
+                q.flush_completions();
+            }
+            ctx.barrier_all();
+            if ctx.my_pe() == 0 {
+                loop {
+                    while let Some(t) = q.pop_local() {
+                        got.push(tag_of(&t));
+                    }
+                    q.progress();
+                    if q.local_count() == 0 && !q.acquire() {
+                        break;
+                    }
+                }
+            }
+            ctx.barrier_all();
+            got
+        })
+        .unwrap();
+        let mut all: Vec<u64> = out.results.into_iter().flatten().collect();
+        all.sort_unstable();
+        let expect: Vec<u64> = (0..total).collect();
+        assert_eq!(all, expect, "case {case} (sws={use_sws})");
+    }
+}
+
 /// Deterministic regression companion to the randomized runs: a fixed
 /// nasty sequence that exercises release-into-acquire churn on a tiny
 /// ring.
@@ -239,4 +385,24 @@ fn threaded_single_pe_smoke() {
         assert_eq!(n, 10);
     })
     .unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Shrinker self-tests (synthetic predicates, no queue involved)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn ddmin_minimizes_to_the_failing_core() {
+    let input: Vec<u32> = (0..40).collect();
+    let min = ddmin(&input, |s| s.contains(&7) && s.contains(&23));
+    assert_eq!(min, vec![7, 23]);
+    let min = ddmin(&input, |s| s.contains(&13));
+    assert_eq!(min, vec![13]);
+}
+
+#[test]
+fn ddmin_preserves_order_for_adjacent_cores() {
+    let input: Vec<u32> = (0..16).collect();
+    let min = ddmin(&input, |s| s.windows(2).any(|w| w == [3, 4]));
+    assert_eq!(min, vec![3, 4]);
 }

@@ -53,6 +53,7 @@ pub mod fault;
 mod heap;
 mod lock;
 mod net;
+mod onesided;
 pub mod rng;
 mod runtime;
 mod stats;
@@ -65,6 +66,7 @@ pub use error::{OpError, OpResult, ShmemError, ShmemResult};
 pub use fault::{FaultPlan, OpClass, RetryPolicy, TargetSel};
 pub use heap::SymmetricHeap;
 pub use net::{Locality, NetModel, OpKind, ALL_OP_KINDS, OP_KIND_COUNT};
+pub use onesided::OneSided;
 pub use runtime::{run_world, ExecMode, WorldConfig, WorldOutput};
 pub use stats::{OpStats, StatsSummary};
 pub use sync::WaitCmp;

@@ -1,0 +1,80 @@
+//! The abstract one-sided op surface the steal protocols are written
+//! against.
+//!
+//! [`OneSided`] names exactly the operations the SWS and SDC queues issue
+//! (see `sws-core`'s queue modules): the 64-bit remote atomics, bulk
+//! `get`/`put`, and the passive (`_nbi`) completion writes. [`ShmemCtx`]
+//! is the production implementation; `sws-check` implements the same
+//! surface over its model-checked memory so that reference protocol code
+//! written against this trait runs unchanged under both — the seam the
+//! bounded model checker plugs into.
+//!
+//! The trait deliberately exposes only the *infallible* surface: fault
+//! recovery (`try_*`) is a property of the production substrate, not of
+//! the protocol's happy path that the checker exhausts.
+
+use crate::addr::SymAddr;
+use crate::ctx::ShmemCtx;
+
+/// One-sided operations on a symmetric heap, as used by the steal
+/// protocols. See the module docs for the role this trait plays.
+pub trait OneSided {
+    /// This PE's rank.
+    fn my_pe(&self) -> usize;
+    /// Number of PEs in the world.
+    fn n_pes(&self) -> usize;
+    /// Atomic fetch-add on a remote word; returns the previous value.
+    fn atomic_fetch_add(&self, pe: usize, addr: SymAddr, val: u64) -> u64;
+    /// Atomic swap on a remote word; returns the previous value.
+    fn atomic_swap(&self, pe: usize, addr: SymAddr, val: u64) -> u64;
+    /// Atomic compare-and-swap; returns the previous value.
+    fn atomic_compare_swap(&self, pe: usize, addr: SymAddr, expected: u64, new: u64) -> u64;
+    /// Atomic read of a remote word.
+    fn atomic_fetch(&self, pe: usize, addr: SymAddr) -> u64;
+    /// Atomic write of a remote word.
+    fn atomic_set(&self, pe: usize, addr: SymAddr, val: u64);
+    /// Non-blocking atomic write; completed by [`OneSided::quiet`].
+    fn atomic_set_nbi(&self, pe: usize, addr: SymAddr, val: u64);
+    /// Blocking contiguous read of `dst.len()` words.
+    fn get_words(&self, pe: usize, addr: SymAddr, dst: &mut [u64]);
+    /// Blocking contiguous write of `src`.
+    fn put_words(&self, pe: usize, addr: SymAddr, src: &[u64]);
+    /// Wait for outstanding non-blocking operations issued by this PE.
+    fn quiet(&self);
+}
+
+impl OneSided for ShmemCtx {
+    fn my_pe(&self) -> usize {
+        ShmemCtx::my_pe(self)
+    }
+    fn n_pes(&self) -> usize {
+        ShmemCtx::n_pes(self)
+    }
+    fn atomic_fetch_add(&self, pe: usize, addr: SymAddr, val: u64) -> u64 {
+        ShmemCtx::atomic_fetch_add(self, pe, addr, val)
+    }
+    fn atomic_swap(&self, pe: usize, addr: SymAddr, val: u64) -> u64 {
+        ShmemCtx::atomic_swap(self, pe, addr, val)
+    }
+    fn atomic_compare_swap(&self, pe: usize, addr: SymAddr, expected: u64, new: u64) -> u64 {
+        ShmemCtx::atomic_compare_swap(self, pe, addr, expected, new)
+    }
+    fn atomic_fetch(&self, pe: usize, addr: SymAddr) -> u64 {
+        ShmemCtx::atomic_fetch(self, pe, addr)
+    }
+    fn atomic_set(&self, pe: usize, addr: SymAddr, val: u64) {
+        ShmemCtx::atomic_set(self, pe, addr, val)
+    }
+    fn atomic_set_nbi(&self, pe: usize, addr: SymAddr, val: u64) {
+        ShmemCtx::atomic_set_nbi(self, pe, addr, val)
+    }
+    fn get_words(&self, pe: usize, addr: SymAddr, dst: &mut [u64]) {
+        ShmemCtx::get_words(self, pe, addr, dst)
+    }
+    fn put_words(&self, pe: usize, addr: SymAddr, src: &[u64]) {
+        ShmemCtx::put_words(self, pe, addr, src)
+    }
+    fn quiet(&self) {
+        ShmemCtx::quiet(self)
+    }
+}

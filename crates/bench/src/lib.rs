@@ -10,6 +10,7 @@
 
 use sws_core::QueueConfig;
 use sws_sched::{QueueKind, RunConfig, RunReport, SchedConfig, Workload};
+use sws_shmem::{EngineStats, GateMode};
 
 /// PE counts to sweep (env `SWS_PES`).
 pub fn pe_sweep() -> Vec<usize> {
@@ -45,12 +46,26 @@ pub fn run_series<W: Workload>(
     n_pes: usize,
     queue: QueueConfig,
     runs: usize,
+    workload_for: impl FnMut(u64) -> W,
+) -> Vec<RunReport> {
+    run_series_gated(kind, n_pes, queue, runs, GateMode::default(), workload_for)
+}
+
+/// As [`run_series`], but selecting the virtual-time gate — used by the
+/// differential determinism suite to prove both gates realize the same
+/// experiment artifacts.
+pub fn run_series_gated<W: Workload>(
+    kind: QueueKind,
+    n_pes: usize,
+    queue: QueueConfig,
+    runs: usize,
+    gate: GateMode,
     mut workload_for: impl FnMut(u64) -> W,
 ) -> Vec<RunReport> {
     (0..runs)
         .map(|r| {
             let sched = SchedConfig::new(kind, queue).with_seed(0xBA5E + r as u64 * 7919);
-            let cfg = RunConfig::new(n_pes, sched);
+            let cfg = RunConfig::new(n_pes, sched).with_gate(gate);
             sws_sched::run_workload(&cfg, &workload_for(r as u64))
         })
         .collect()
@@ -99,6 +114,12 @@ pub struct Cell {
     /// Mean dissemination time, ns: virtual time until the *last* PE
     /// first obtained work (the abstract's "task acquisition time").
     pub dissemination_ns: f64,
+    /// Mean simulation wall time, ms. Wall-clock (nondeterministic) —
+    /// reported in the companion `*_wall.csv`, never in the figure CSV.
+    pub wall_ms: f64,
+    /// Summed engine counters over the runs (wall-clock `gate_wait_ns`
+    /// included) — companion CSV only, like `wall_ms`.
+    pub engine: EngineStats,
 }
 
 /// Summarize a series of runs of one configuration.
@@ -129,6 +150,14 @@ pub fn summarize(reports: &[RunReport]) -> Cell {
             })
             .sum::<f64>()
             / n,
+        wall_ms: reports.iter().map(|r| r.wall_ms as f64).sum::<f64>() / n,
+        engine: {
+            let mut e = EngineStats::default();
+            for r in reports {
+                e.merge(&r.total_engine());
+            }
+            e
+        },
     }
 }
 
@@ -228,25 +257,19 @@ pub fn six_panels<W: Workload>(
     println!();
 }
 
-/// Write the sweep as a machine-readable CSV under `target/experiments/`.
-fn write_csv(fig: &str, cells: &[(usize, Cell, Cell)]) {
-    use std::io::Write as _;
-    let dir = std::path::Path::new("target/experiments");
-    if std::fs::create_dir_all(dir).is_err() {
-        return;
-    }
-    let path = dir.join(format!("{}.csv", fig.to_lowercase()));
-    let Ok(mut f) = std::fs::File::create(&path) else {
-        return;
-    };
-    let _ = writeln!(
-        f,
-        "pes,system,makespan_ns,sd_pct,range_pct,throughput,efficiency,steal_ns,search_ns,dissemination_ns"
+/// Render the deterministic figure CSV for a sweep. Every column is a
+/// pure function of virtual-time results, so two gates (or two identical
+/// reruns) must produce byte-identical output — the differential
+/// determinism suite asserts exactly that.
+pub fn csv_for(cells: &[(usize, Cell, Cell)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from(
+        "pes,system,makespan_ns,sd_pct,range_pct,throughput,efficiency,steal_ns,search_ns,dissemination_ns\n",
     );
     for (p, sdc, sws) in cells {
         for (name, c) in [("SDC", sdc), ("SWS", sws)] {
             let _ = writeln!(
-                f,
+                out,
                 "{p},{name},{},{},{},{},{},{},{},{}",
                 c.makespan_ns,
                 c.sd_pct,
@@ -259,7 +282,52 @@ fn write_csv(fig: &str, cells: &[(usize, Cell, Cell)]) {
             );
         }
     }
-    eprintln!("  wrote {}", path.display());
+    out
+}
+
+/// Render the wall-clock companion CSV: simulation wall time and engine
+/// gate counters per cell. Nondeterministic by nature (wall time), so it
+/// lives in a separate `*_wall.csv` and is excluded from byte-identity
+/// checks.
+pub fn wall_csv_for(cells: &[(usize, Cell, Cell)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from(
+        "pes,system,wall_ms,engine_fast_ops,engine_slow_ops,engine_windows,engine_gate_wait_ns\n",
+    );
+    for (p, sdc, sws) in cells {
+        for (name, c) in [("SDC", sdc), ("SWS", sws)] {
+            let _ = writeln!(
+                out,
+                "{p},{name},{},{},{},{},{}",
+                c.wall_ms,
+                c.engine.fast_ops,
+                c.engine.slow_ops,
+                c.engine.windows,
+                c.engine.gate_wait_ns
+            );
+        }
+    }
+    out
+}
+
+/// Write the sweep as machine-readable CSVs under `target/experiments/`:
+/// the deterministic figure CSV plus the wall-clock companion.
+fn write_csv(fig: &str, cells: &[(usize, Cell, Cell)]) {
+    use std::io::Write as _;
+    let dir = std::path::Path::new("target/experiments");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{}.csv", fig.to_lowercase()));
+    if let Ok(mut f) = std::fs::File::create(&path) {
+        let _ = f.write_all(csv_for(cells).as_bytes());
+        eprintln!("  wrote {}", path.display());
+    }
+    let wall_path = dir.join(format!("{}_wall.csv", fig.to_lowercase()));
+    if let Ok(mut f) = std::fs::File::create(&wall_path) {
+        let _ = f.write_all(wall_csv_for(cells).as_bytes());
+        eprintln!("  wrote {}", wall_path.display());
+    }
 }
 
 #[cfg(test)]

@@ -166,7 +166,7 @@ pub enum StealOutcome {
 
 /// Owner-side event counters for one queue (local bookkeeping, not
 /// communication — communication is counted by `sws-shmem`).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct QueueStats {
     /// Tasks enqueued locally (spawns + stolen arrivals).
     pub enqueued: u64,

@@ -8,7 +8,7 @@
 //! runtime of any process" since all PEs run until global termination.
 
 use sws_core::QueueStats;
-use sws_shmem::{OpStats, StatsSummary};
+use sws_shmem::{EngineStats, OpStats, StatsSummary};
 
 use crate::trace::Event;
 
@@ -39,6 +39,9 @@ pub struct WorkerStats {
     pub pes_quarantined: u64,
     /// Event trace (empty unless `SchedConfig::trace` was set).
     pub events: Vec<Event>,
+    /// Virtual-time engine counters for this PE (all zeros in threaded
+    /// mode). Wall-clock quantities — excluded from determinism checks.
+    pub engine: EngineStats,
 }
 
 /// Everything one experiment run produced.
@@ -77,15 +80,32 @@ impl RunReport {
         self.total_tasks() as f64 / (self.makespan_ns as f64 / 1e9)
     }
 
-    /// Parallel efficiency relative to ideal execution: ideal runtime is
-    /// `total useful work / P`; efficiency = ideal / actual (the paper's
-    /// Figs. 7c/8c).
+    /// Parallel efficiency relative to ideal execution: total useful work
+    /// divided by the PE-time actually available (the paper's Figs.
+    /// 7c/8c). A PE that ran the whole makespan contributes `makespan`;
+    /// a crash-stopped PE contributes only the time it was alive, so
+    /// fault runs measure the survivors instead of charging dead PEs for
+    /// work they could never do. On clean runs this is exactly the
+    /// classic `(work / P) / makespan`.
     pub fn parallel_efficiency(&self) -> f64 {
         if self.makespan_ns == 0 {
             return 1.0;
         }
-        let ideal = self.total_task_ns() as f64 / self.n_pes as f64;
-        ideal / self.makespan_ns as f64
+        let avail: u64 = self
+            .workers
+            .iter()
+            .map(|w| {
+                if w.crashed {
+                    w.runtime_ns.min(self.makespan_ns)
+                } else {
+                    self.makespan_ns
+                }
+            })
+            .sum();
+        if avail == 0 {
+            return 1.0;
+        }
+        self.total_task_ns() as f64 / avail as f64
     }
 
     /// Sum of successful-steal time across PEs, ns (Figs. 7e/8e).
@@ -179,6 +199,32 @@ impl RunReport {
         ))
     }
 
+    /// Aggregate virtual-time engine counters across PEs.
+    pub fn total_engine(&self) -> EngineStats {
+        let mut total = EngineStats::default();
+        for w in &self.workers {
+            total.merge(&w.engine);
+        }
+        total
+    }
+
+    /// One-line engine summary (wall time, gate traffic), or `None` when
+    /// the run recorded no engine activity (threaded mode).
+    pub fn engine_summary_line(&self) -> Option<String> {
+        let e = self.total_engine();
+        if e.gated_ops() == 0 {
+            return None;
+        }
+        Some(format!(
+            "     engine: wall {:>8.3} s, {:>9} gated ops ({:>5.1}% windowed), {:>7} windows, gate wait {:>8.3} s",
+            self.wall_ms as f64 / 1e3,
+            e.gated_ops(),
+            e.fast_fraction() * 100.0,
+            e.windows,
+            e.gate_wait_ns as f64 / 1e9,
+        ))
+    }
+
     /// One-line human-readable summary.
     pub fn summary_line(&self) -> String {
         format!(
@@ -237,6 +283,57 @@ mod tests {
         assert_eq!(r.total_tasks(), 20);
         let tput = r.throughput_per_s();
         assert!((tput - 20.0 / 1.25e-6).abs() / tput < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_accounts_for_crashed_pes() {
+        // 2 PEs, makespan 1000. PE 1 crash-stops at 200 ns having done
+        // 200 ns of work; PE 0 works the full 1000 ns. Available PE-time
+        // is 1000 + 200 = 1200, all of it useful ⇒ efficiency 1.0. The
+        // old formula divided by the full 2 × 1000 and reported 60 %.
+        let healthy = WorkerStats {
+            task_ns: 1000,
+            runtime_ns: 1000,
+            ..WorkerStats::default()
+        };
+        let crashed = WorkerStats {
+            task_ns: 200,
+            runtime_ns: 200,
+            crashed: true,
+            ..WorkerStats::default()
+        };
+        let r = report_with(vec![healthy, crashed], 1000);
+        assert!(
+            (r.parallel_efficiency() - 1.0).abs() < 1e-9,
+            "got {}",
+            r.parallel_efficiency()
+        );
+        // A crashed PE's clock is capped at the makespan even if its
+        // recorded runtime overshoots.
+        let mut over = r.clone();
+        over.workers[1].runtime_ns = 5000;
+        assert!(over.parallel_efficiency() <= 1.0);
+    }
+
+    #[test]
+    fn engine_aggregates_and_summary() {
+        let mut a = WorkerStats::default();
+        a.engine.fast_ops = 90;
+        a.engine.slow_ops = 10;
+        a.engine.windows = 7;
+        let mut b = WorkerStats::default();
+        b.engine.fast_ops = 10;
+        b.engine.gate_wait_ns = 2_000_000_000;
+        let r = report_with(vec![a, b], 1_000);
+        let e = r.total_engine();
+        assert_eq!(e.gated_ops(), 110);
+        assert_eq!(e.windows, 7);
+        assert!((e.fast_fraction() - 100.0 / 110.0).abs() < 1e-12);
+        let line = r.engine_summary_line().expect("engine ran");
+        assert!(line.contains("110 gated ops"));
+        // Threaded runs (no gate traffic) print nothing.
+        let r2 = report_with(vec![WorkerStats::default()], 1_000);
+        assert_eq!(r2.engine_summary_line(), None);
     }
 
     #[test]

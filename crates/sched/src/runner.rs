@@ -3,7 +3,7 @@
 
 use sws_core::{SdcQueue, SwsQueue};
 use sws_shmem::{
-    run_world, ExecMode, FaultPlan, NetModel, ShmemCtx, WorldConfig,
+    run_world, ExecMode, FaultPlan, GateMode, NetModel, ShmemCtx, WorldConfig,
 };
 use sws_task::{TaskDescriptor, TaskRegistry};
 
@@ -45,6 +45,9 @@ pub struct RunConfig {
     /// are dropped before the world is built, keeping clean runs
     /// bit-identical to a `None` plan.
     pub faults: Option<FaultPlan>,
+    /// Virtual-time gate implementation (safe-window by default; the
+    /// handoff-per-op gate is kept for differential testing).
+    pub gate: GateMode,
 }
 
 impl RunConfig {
@@ -57,6 +60,7 @@ impl RunConfig {
             net: NetModel::edr_infiniband(),
             extra_heap_words: 4096,
             faults: None,
+            gate: GateMode::default(),
         }
     }
 
@@ -64,6 +68,13 @@ impl RunConfig {
     #[must_use]
     pub fn with_faults(mut self, plan: FaultPlan) -> RunConfig {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Select the virtual-time gate implementation.
+    #[must_use]
+    pub fn with_gate(mut self, gate: GateMode) -> RunConfig {
+        self.gate = gate;
         self
     }
 
@@ -92,6 +103,7 @@ pub fn run_workload_mode(
         net: cfg.net,
         mode,
         faults: None,
+        gate: cfg.gate,
     };
     let mut sched = cfg.sched;
     if let Some(plan) = &cfg.faults {
@@ -128,13 +140,17 @@ pub fn run_workload_mode(
                 let queue = SwsQueue::new(ctx, sched.queue);
                 let mut w = Worker::new(ctx, queue, &reg, td, sched);
                 w.seed(&workload.seeds(ctx.my_pe(), ctx.n_pes()));
-                w.run().0
+                let mut ws = w.run().0;
+                ws.engine = ctx.engine_stats();
+                ws
             }
             QueueKind::Sdc => {
                 let queue = SdcQueue::new(ctx, sched.queue);
                 let mut w = Worker::new(ctx, queue, &reg, td, sched);
                 w.seed(&workload.seeds(ctx.my_pe(), ctx.n_pes()));
-                w.run().0
+                let mut ws = w.run().0;
+                ws.engine = ctx.engine_stats();
+                ws
             }
         }
     };

@@ -158,7 +158,10 @@ pub fn render_timeline(per_pe: &[Vec<Event>], makespan_ns: u64, width: usize) ->
     use std::fmt::Write as _;
     let mut out = String::new();
     let width = width.max(1);
-    let bucket = (makespan_ns / width as u64).max(1);
+    // Ceiling division: `width` buckets must cover the whole makespan.
+    // Floor division left the last `makespan % width` ns of the run
+    // outside every bucket, so tail idleness was never rendered.
+    let bucket = makespan_ns.div_ceil(width as u64).max(1);
     for (pe, events) in per_pe.iter().enumerate() {
         let idles = idle_intervals(events, makespan_ns);
         let mut row = String::with_capacity(width);
@@ -234,6 +237,27 @@ mod tests {
     }
 
     #[test]
+    fn timeline_covers_non_divisible_makespan() {
+        // makespan 100, width 40: floor division used bucket = 2, so the
+        // strip covered only [0, 80) and a PE idle from t = 80 on still
+        // rendered as all-busy. Ceiling division (bucket = 3) must show
+        // the trailing idle tail.
+        let events = vec![ev(80, EventKind::EnterIdle)];
+        let s = render_timeline(&[events], 100, 40);
+        let row = s.lines().next().unwrap();
+        assert!(
+            row.contains('.'),
+            "idle tail after t=80 must be rendered: {row}"
+        );
+        assert!(row.contains('#'), "busy head must be rendered: {row}");
+        // The last bucket lies within the run, not past it: an always-busy
+        // PE still renders fully busy.
+        let busy = render_timeline(&[vec![ev(99, EventKind::StealEmpty { victim: 0 })]], 100, 40);
+        let busy_row = busy.lines().next().unwrap();
+        assert!(!busy_row.contains('.'), "no phantom idle: {busy_row}");
+    }
+
+    #[test]
     fn end_to_end_trace_through_the_scheduler() {
         use crate::{run_workload, QueueKind, RunConfig, SchedConfig};
         use sws_core::QueueConfig;
@@ -294,8 +318,9 @@ pub fn steals_by_victim(events: &[Event]) -> std::collections::BTreeMap<u32, u64
 /// edges — compact summaries of steal volumes or idle spans.
 #[derive(Clone, Debug, Default)]
 pub struct Pow2Histogram {
-    /// `counts[i]` counts samples in `[2^(i-1), 2^i)`; `counts[0]` counts
-    /// zeros and ones.
+    /// `counts[i]` counts samples in `(2^(i-1), 2^i]` — matching the
+    /// `≤ 2^i` upper-bound labels [`Pow2Histogram::render`] prints;
+    /// `counts[0]` counts zeros and ones.
     pub counts: Vec<u64>,
     /// Number of samples.
     pub n: u64,

@@ -1,0 +1,106 @@
+//! Differential determinism suite: the safe-window gate must realize
+//! *exactly* the run the handoff-per-op gate realizes.
+//!
+//! The safe-window engine (see `sws_shmem::vclock`) is a pure scheduling
+//! optimization — it batches gate crossings inside a conservative
+//! lookahead window but never reorders effects in virtual time. These
+//! tests pin that claim: for identical seeds, both gates must produce
+//! identical makespans, per-PE communication counters (`OpStats`),
+//! queue counters, and worker timing decompositions. Only wall-clock
+//! fields (`wall_ms`, `EngineStats`) may differ.
+
+use sws_core::QueueConfig;
+use sws_sched::runner::run_workload_mode;
+use sws_sched::{run_workload, QueueKind, RunConfig, RunReport, SchedConfig};
+use sws_shmem::{ExecMode, GateMode};
+use sws_workloads::uts::{UtsParams, UtsWorkload};
+
+fn report_for(kind: QueueKind, gate: GateMode, seed: u64) -> RunReport {
+    let queue = QueueConfig::new(1024, 48);
+    let sched = SchedConfig::new(kind, queue).with_seed(seed);
+    let cfg = RunConfig::new(8, sched).with_gate(gate);
+    let wl = UtsWorkload::new(UtsParams::geo_small(8));
+    run_workload(&cfg, &wl)
+}
+
+/// Everything deterministic in a report, with wall-clock fields erased.
+fn assert_reports_identical(a: &RunReport, b: &RunReport) {
+    assert_eq!(a.system, b.system);
+    assert_eq!(a.n_pes, b.n_pes);
+    assert_eq!(a.makespan_ns, b.makespan_ns, "makespans diverged");
+    assert_eq!(a.comm.total, b.comm.total, "total OpStats diverged");
+    assert_eq!(a.comm.per_pe, b.comm.per_pe, "per-PE OpStats diverged");
+    assert_eq!(a.workers.len(), b.workers.len());
+    for (pe, (wa, wb)) in a.workers.iter().zip(&b.workers).enumerate() {
+        assert_eq!(wa.tasks_executed, wb.tasks_executed, "PE {pe} tasks");
+        assert_eq!(wa.task_ns, wb.task_ns, "PE {pe} task_ns");
+        assert_eq!(wa.steal_ns, wb.steal_ns, "PE {pe} steal_ns");
+        assert_eq!(wa.search_ns, wb.search_ns, "PE {pe} search_ns");
+        assert_eq!(wa.upkeep_ns, wb.upkeep_ns, "PE {pe} upkeep_ns");
+        assert_eq!(wa.first_work_ns, wb.first_work_ns, "PE {pe} first_work_ns");
+        assert_eq!(wa.runtime_ns, wb.runtime_ns, "PE {pe} runtime_ns");
+        assert_eq!(wa.queue, wb.queue, "PE {pe} queue counters");
+        assert_eq!(wa.crashed, wb.crashed, "PE {pe} crash status");
+        assert_eq!(wa.events, wb.events, "PE {pe} trace events");
+    }
+}
+
+#[test]
+fn gates_agree_on_sws_runs() {
+    for seed in [0xBA5E, 0xBA5E + 7919, 42] {
+        let old = report_for(QueueKind::Sws, GateMode::HandoffPerOp, seed);
+        let new = report_for(QueueKind::Sws, GateMode::SafeWindow, seed);
+        assert_reports_identical(&old, &new);
+        assert!(new.total_tasks() > 0, "workload must actually run");
+    }
+}
+
+#[test]
+fn gates_agree_on_sdc_runs() {
+    for seed in [0xBA5E, 1337] {
+        let old = report_for(QueueKind::Sdc, GateMode::HandoffPerOp, seed);
+        let new = report_for(QueueKind::Sdc, GateMode::SafeWindow, seed);
+        assert_reports_identical(&old, &new);
+    }
+}
+
+/// The handoff gate grants no windows; the safe-window gate reports its
+/// activity through `EngineStats` without perturbing the run.
+#[test]
+fn engine_stats_reflect_the_selected_gate() {
+    let old = report_for(QueueKind::Sws, GateMode::HandoffPerOp, 7);
+    let new = report_for(QueueKind::Sws, GateMode::SafeWindow, 7);
+    assert_eq!(old.total_engine().windows, 0);
+    assert!(old.total_engine().gated_ops() > 0);
+    assert!(new.total_engine().gated_ops() > 0);
+    assert_eq!(
+        old.total_engine().gated_ops(),
+        new.total_engine().gated_ops(),
+        "both gates must see the same op stream"
+    );
+}
+
+/// Threaded mode ignores the gate entirely: the switch must not affect
+/// real-thread execution, which has no virtual-time gate to batch.
+#[test]
+fn threaded_mode_ignores_gate_switch() {
+    for gate in [GateMode::HandoffPerOp, GateMode::SafeWindow] {
+        let queue = QueueConfig::new(1024, 48);
+        let sched = SchedConfig::new(QueueKind::Sws, queue).with_seed(3);
+        let cfg = RunConfig::new(4, sched).with_gate(gate);
+        let wl = UtsWorkload::new(UtsParams::geo_small(6));
+        let report = run_workload_mode(
+            &cfg,
+            &wl,
+            ExecMode::Threaded {
+                inject_latency: false,
+            },
+        );
+        assert!(report.total_tasks() > 0, "threaded run must complete");
+        assert_eq!(
+            report.total_engine(),
+            Default::default(),
+            "threaded mode has no virtual-time engine"
+        );
+    }
+}

@@ -112,6 +112,16 @@ impl ShmemCtx {
         self.stats.borrow().clone()
     }
 
+    /// Snapshot of this PE's virtual-time engine counters (fast/slow gate
+    /// crossings, safe windows, wall-clock gate wait). All zeros in
+    /// threaded mode, which has no gate.
+    pub fn engine_stats(&self) -> crate::vclock::EngineStats {
+        match &self.world.vclock {
+            Some(vc) => vc.engine_stats(self.pe),
+            None => crate::vclock::EngineStats::default(),
+        }
+    }
+
     pub(crate) fn take_stats(&self) -> OpStats {
         self.stats.borrow_mut().clone()
     }

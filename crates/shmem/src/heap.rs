@@ -45,12 +45,22 @@ impl SymmetricHeap {
         let total = n_pes
             .checked_mul(words_per_pe)
             .expect("heap size overflows usize");
-        let mut v = Vec::with_capacity(total);
-        v.resize_with(total, || AtomicU64::new(0));
+        // Allocate as plain zeroed u64s: `vec![0u64; N]` goes through
+        // `alloc_zeroed`, so a multi-gigabyte heap (thousands of PEs) is
+        // backed by untouched kernel zero pages and costs nothing until a
+        // word is actually used. Writing `AtomicU64::new(0)` per element
+        // instead would first-touch every page up front — seconds of
+        // fault time at paper-scale PE counts.
+        let zeroed: Box<[u64]> = vec![0u64; total].into_boxed_slice();
+        // SAFETY: `AtomicU64` is guaranteed by std to have the same size,
+        // alignment, and bit validity as `u64`; the allocation is uniquely
+        // owned, so reinterpreting the boxed slice is sound.
+        let words: Box<[AtomicU64]> =
+            unsafe { Box::from_raw(Box::into_raw(zeroed) as *mut [AtomicU64]) };
         SymmetricHeap {
             words_per_pe,
             n_pes,
-            words: v.into_boxed_slice(),
+            words,
             cursor: AtomicUsize::new(CTRL_WORDS),
         }
     }

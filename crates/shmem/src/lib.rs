@@ -69,4 +69,5 @@ pub use net::{Locality, NetModel, OpKind, ALL_OP_KINDS, OP_KIND_COUNT};
 pub use onesided::OneSided;
 pub use runtime::{run_world, ExecMode, WorldConfig, WorldOutput};
 pub use stats::{OpStats, StatsSummary};
+pub use vclock::{EngineStats, GateMode};
 pub use sync::WaitCmp;

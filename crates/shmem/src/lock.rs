@@ -46,10 +46,6 @@ impl Condvar {
         });
     }
 
-    pub(crate) fn notify_one(&self) {
-        self.0.notify_one();
-    }
-
     pub(crate) fn notify_all(&self) {
         self.0.notify_all();
     }

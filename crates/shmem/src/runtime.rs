@@ -18,7 +18,7 @@ use crate::heap::SymmetricHeap;
 use crate::lock::{Condvar, Mutex};
 use crate::net::NetModel;
 use crate::stats::{OpStats, StatsSummary};
-use crate::vclock::VClock;
+use crate::vclock::{GateMode, VClock};
 
 /// How PEs execute.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -48,6 +48,11 @@ pub struct WorldConfig {
     /// Fault schedule; `None` (or an inactive plan) injects nothing and
     /// leaves every op count bit-identical to a fault-free world.
     pub faults: Option<FaultPlan>,
+    /// Virtual-time gate implementation (ignored in threaded mode). The
+    /// safe-window default and the handoff-per-op gate realize the same
+    /// deterministic effect schedule; the switch exists for differential
+    /// testing and engine benchmarking.
+    pub gate: GateMode,
 }
 
 impl WorldConfig {
@@ -59,6 +64,7 @@ impl WorldConfig {
             net: NetModel::edr_infiniband(),
             mode: ExecMode::Virtual,
             faults: None,
+            gate: GateMode::default(),
         }
     }
 
@@ -72,6 +78,7 @@ impl WorldConfig {
                 inject_latency: false,
             },
             faults: None,
+            gate: GateMode::default(),
         }
     }
 
@@ -86,6 +93,13 @@ impl WorldConfig {
     #[must_use]
     pub fn with_faults(mut self, plan: FaultPlan) -> WorldConfig {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Select the virtual-time gate implementation.
+    #[must_use]
+    pub fn with_gate(mut self, gate: GateMode) -> WorldConfig {
+        self.gate = gate;
         self
     }
 }
@@ -154,7 +168,7 @@ where
     };
 
     let vclock = match cfg.mode {
-        ExecMode::Virtual => Some(Arc::new(VClock::new(cfg.n_pes))),
+        ExecMode::Virtual => Some(Arc::new(VClock::with_gate(cfg.n_pes, cfg.gate))),
         ExecMode::Threaded { .. } => None,
     };
     let inject_latency = matches!(
@@ -689,6 +703,7 @@ mod latency_injection_tests {
                     inject_latency: inject,
                 },
                 faults: None,
+                gate: GateMode::default(),
             };
             let t0 = Instant::now();
             run_world(cfg, |ctx| {

@@ -8,7 +8,7 @@
 use crate::net::{OpKind, ALL_OP_KINDS, OP_KIND_COUNT};
 
 /// Operation counters for one PE (or an aggregate of several).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct OpStats {
     /// Operations issued, indexed by `OpKind as usize`.
     pub counts: [u64; OP_KIND_COUNT],
@@ -125,7 +125,7 @@ impl OpStats {
 }
 
 /// Aggregate view over all PEs of a finished world.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StatsSummary {
     /// Sum of all per-PE counters.
     pub total: OpStats,

@@ -15,6 +15,32 @@
 //! runs next. PEs are real OS threads running straight-line scheduler code;
 //! the engine simply blocks a thread until its clock is minimal.
 //!
+//! # Safe-window (lookahead) execution
+//!
+//! A strict handoff-per-op gate pays a mutex acquisition and a condvar
+//! handoff for *every* gated effect, which dominates wall time at
+//! paper-scale PE counts. The default [`GateMode::SafeWindow`] gate
+//! amortizes that cost: when a PE is granted the gate it also learns a
+//! *horizon* — the second-smallest eligible `(clock, rank)` key. Until its
+//! own `(clock, rank)` reaches that horizon, every further effect it issues
+//! is still globally minimal *by construction*, so it may apply them
+//! lock-free. The slow path is re-entered only when the clock crosses the
+//! horizon, the PE blocks (barrier, gate of another window), or the world
+//! is poisoned.
+//!
+//! Safety argument (why the order is unchanged, see DESIGN.md §9):
+//!
+//! * while a PE holds a window, its *published* clock stays at the grant
+//!   value, so every other PE's gate key compares greater and no second
+//!   window can be granted concurrently;
+//! * other PEs' published clocks never decrease and PEs never (re)enter
+//!   the eligible set below the horizon (a barrier cannot release while
+//!   the window holder, which is live and not arrived, stays outside), so
+//!   the horizon is a permanent lower bound on every rival effect;
+//! * published clocks are always lower bounds of true clocks (local
+//!   advances are batched and published at the next slow-path visit), so
+//!   a granted gate under published clocks is also valid under true ones.
+//!
 //! Liveness requires every loop that waits on remote state to advance its
 //! clock between probes; [`crate::ShmemCtx`] enforces a ≥1 ns cost on every
 //! gated operation.
@@ -22,8 +48,62 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::thread::{self, Thread};
+use std::time::Instant;
 
 use crate::lock::{Condvar, Mutex};
+
+/// How the virtual-time gate hands the global minimum between PEs.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum GateMode {
+    /// Grant safe windows: a gated PE may apply every effect below the
+    /// second-smallest eligible clock lock-free (the fast engine).
+    #[default]
+    SafeWindow,
+    /// Take the global mutex and hand the gate off for every single op
+    /// (the original engine; kept for differential testing).
+    HandoffPerOp,
+}
+
+/// Per-PE engine counters: how often the gate was crossed lock-free vs.
+/// through the mutex, and how long the PE really waited for its turn.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Gated ops admitted lock-free inside a safe window.
+    pub fast_ops: u64,
+    /// Gated ops that took the mutex (includes every op in
+    /// [`GateMode::HandoffPerOp`]).
+    pub slow_ops: u64,
+    /// Safe windows granted.
+    pub windows: u64,
+    /// Wall-clock ns spent blocked waiting for the gate.
+    pub gate_wait_ns: u64,
+}
+
+impl EngineStats {
+    /// Total gated operations.
+    pub fn gated_ops(&self) -> u64 {
+        self.fast_ops + self.slow_ops
+    }
+
+    /// Fraction of gated ops admitted lock-free (0 when none ran).
+    pub fn fast_fraction(&self) -> f64 {
+        let total = self.gated_ops();
+        if total == 0 {
+            0.0
+        } else {
+            self.fast_ops as f64 / total as f64
+        }
+    }
+
+    /// Accumulate another PE's counters into this one.
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.fast_ops += other.fast_ops;
+        self.slow_ops += other.slow_ops;
+        self.windows += other.windows;
+        self.gate_wait_ns += other.gate_wait_ns;
+    }
+}
 
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 enum PeState {
@@ -38,7 +118,46 @@ enum PeState {
     Done,
 }
 
+/// Per-PE fast-path state. Only the owning PE's thread reads or writes
+/// these fields (all with `Relaxed`); they are atomics solely so `VClock`
+/// stays `Sync` without per-PE unsafe. Aligned out to its own cache line
+/// so neighbouring PEs' fast paths never false-share.
+#[repr(align(128))]
+#[derive(Default)]
+struct PeWindow {
+    /// A safe window is open (set under the mutex at grant time, cleared
+    /// at every slow-path entry).
+    active: AtomicBool,
+    /// Direct-handoff token: the PE releasing the gate performs all
+    /// bookkeeping for the next minimum (state flip, window grant) under
+    /// the mutex, then sets this flag and unparks the winner — which
+    /// returns from `park` straight into its op without touching the
+    /// lock. Release/Acquire on this flag carries the happens-before
+    /// edge between consecutive effect applications across PEs.
+    granted: AtomicBool,
+    /// Horizon clock: effects strictly below `(h_t, h_rank)` are still
+    /// globally minimal. `u64::MAX` pair = no rival (unbounded window).
+    h_t: AtomicU64,
+    /// Horizon tie-break rank.
+    h_rank: AtomicU64,
+    /// Engine counters (see [`EngineStats`]).
+    fast_ops: AtomicU64,
+    slow_ops: AtomicU64,
+    windows: AtomicU64,
+    gate_wait_ns: AtomicU64,
+}
+
+impl PeWindow {
+    /// Owner-only increment: no rmw needed, nobody else writes.
+    #[inline]
+    fn bump(counter: &AtomicU64, by: u64) {
+        counter.store(counter.load(Ordering::Relaxed) + by, Ordering::Relaxed);
+    }
+}
+
 struct Inner {
+    /// Published gating clocks — lower bounds of the true clocks in
+    /// `mirror`, refreshed at every slow-path visit.
     clocks: Vec<u64>,
     state: Vec<PeState>,
     /// Lazy min-heap of (clock, pe); stale entries are skipped on pop.
@@ -47,6 +166,9 @@ struct Inner {
     bar_arrived: usize,
     bar_generation: u64,
     bar_max_clock: u64,
+    /// Park handles, registered lazily the first time a PE blocks in the
+    /// gate; `poison` unparks every registered thread.
+    threads: Vec<Option<Thread>>,
 }
 
 impl Inner {
@@ -70,20 +192,30 @@ impl Inner {
 /// The virtual-time engine shared by all PEs of a world.
 pub struct VClock {
     inner: Mutex<Inner>,
-    /// One condvar per PE for gate wakeups (all used with `inner`).
-    gate_cv: Vec<Condvar>,
-    /// Condvar for barrier generation changes.
+    /// Condvar for barrier generation changes (gate wakeups use direct
+    /// park/unpark handoff instead — see [`PeWindow::granted`]).
     bar_cv: Condvar,
-    /// Mirrors of the clocks for lock-free `now` reads.
+    /// True clocks, written only by the owning PE (plus barrier release
+    /// under the mutex while the owner is parked); lock-free `now` reads.
     mirror: Vec<AtomicU64>,
+    /// Per-PE safe-window state (owner-accessed).
+    window: Vec<PeWindow>,
     /// Set when any PE panics, so blocked peers can bail out.
     poisoned: AtomicBool,
+    /// Safe-window lookahead enabled?
+    lookahead: bool,
     n_pes: usize,
 }
 
 impl VClock {
-    /// Engine for `n_pes` PEs, all clocks at 0.
+    /// Engine for `n_pes` PEs, all clocks at 0, with the default
+    /// safe-window gate.
     pub fn new(n_pes: usize) -> VClock {
+        VClock::with_gate(n_pes, GateMode::SafeWindow)
+    }
+
+    /// Engine with an explicit gate mode.
+    pub fn with_gate(n_pes: usize, gate: GateMode) -> VClock {
         assert!(n_pes > 0);
         let mut heap = BinaryHeap::with_capacity(n_pes * 2);
         for pe in 0..n_pes {
@@ -97,11 +229,13 @@ impl VClock {
                 bar_arrived: 0,
                 bar_generation: 0,
                 bar_max_clock: 0,
+                threads: vec![None; n_pes],
             }),
-            gate_cv: (0..n_pes).map(|_| Condvar::new()).collect(),
             bar_cv: Condvar::new(),
             mirror: (0..n_pes).map(|_| AtomicU64::new(0)).collect(),
+            window: (0..n_pes).map(|_| PeWindow::default()).collect(),
             poisoned: AtomicBool::new(false),
+            lookahead: gate == GateMode::SafeWindow,
             n_pes,
         }
     }
@@ -111,10 +245,30 @@ impl VClock {
         self.n_pes
     }
 
+    /// The gate mode this engine runs.
+    pub fn gate_mode(&self) -> GateMode {
+        if self.lookahead {
+            GateMode::SafeWindow
+        } else {
+            GateMode::HandoffPerOp
+        }
+    }
+
     /// Current virtual time of `pe`, in ns (lock-free).
     #[inline]
     pub fn now(&self, pe: usize) -> u64 {
         self.mirror[pe].load(Ordering::Relaxed)
+    }
+
+    /// Engine counters for `pe`.
+    pub fn engine_stats(&self, pe: usize) -> EngineStats {
+        let w = &self.window[pe];
+        EngineStats {
+            fast_ops: w.fast_ops.load(Ordering::Relaxed),
+            slow_ops: w.slow_ops.load(Ordering::Relaxed),
+            windows: w.windows.load(Ordering::Relaxed),
+            gate_wait_ns: w.gate_wait_ns.load(Ordering::Relaxed),
+        }
     }
 
     fn check_poison(&self) {
@@ -123,12 +277,14 @@ impl VClock {
         }
     }
 
-    /// Mark the world poisoned (a PE panicked) and wake everyone.
+    /// Mark the world poisoned (a PE panicked) and wake everyone. This
+    /// also invalidates every open safe window: the fast path checks the
+    /// poison flag before admitting each effect.
     pub fn poison(&self) {
         self.poisoned.store(true, Ordering::Relaxed);
-        let _guard = self.inner.lock();
-        for cv in &self.gate_cv {
-            cv.notify_all();
+        let guard = self.inner.lock();
+        for t in guard.threads.iter().flatten() {
+            t.unpark();
         }
         self.bar_cv.notify_all();
     }
@@ -138,44 +294,161 @@ impl VClock {
         self.poisoned.load(Ordering::Relaxed)
     }
 
-    fn wake_min(&self, inner: &mut Inner) {
-        if let Some((_, pe)) = inner.min_eligible() {
-            if inner.state[pe] == PeState::Gating {
-                self.gate_cv[pe].notify_one();
-            }
+    /// If the current global minimum is a PE parked in the gate, hand it
+    /// the gate: flip it to Running, grant its safe window, and publish
+    /// the token. Returns the winner's park handle — the caller must
+    /// unpark it **after dropping the lock**, so the woken PE (which
+    /// needs no lock itself) never collides with our critical section on
+    /// a preemptive single-core schedule.
+    #[must_use]
+    fn hand_off(&self, inner: &mut Inner) -> Option<Thread> {
+        let (_, pe) = inner.min_eligible()?;
+        if inner.state[pe] != PeState::Gating {
+            return None;
         }
+        inner.state[pe] = PeState::Running;
+        if self.lookahead {
+            self.grant_window(inner, pe);
+        }
+        self.window[pe].granted.store(true, Ordering::Release);
+        inner.threads[pe].clone()
+    }
+
+    /// Is `pe` inside a safe window that still covers its current clock?
+    #[inline]
+    fn window_ok(&self, pe: usize) -> bool {
+        if !self.lookahead {
+            return false;
+        }
+        let w = &self.window[pe];
+        if !w.active.load(Ordering::Relaxed) {
+            return false;
+        }
+        let t = self.mirror[pe].load(Ordering::Relaxed);
+        let (h_t, h_rank) = (
+            w.h_t.load(Ordering::Relaxed),
+            w.h_rank.load(Ordering::Relaxed),
+        );
+        (t, pe as u64) < (h_t, h_rank)
+    }
+
+    /// Publish `pe`'s true clock into the gating state. Returns whether
+    /// the published clock changed (the caller must then consider waking
+    /// the new minimum).
+    fn publish(&self, inner: &mut Inner, pe: usize) -> bool {
+        let t = self.mirror[pe].load(Ordering::Relaxed);
+        if inner.clocks[pe] == t {
+            return false;
+        }
+        inner.clocks[pe] = t;
+        inner.push(pe);
+        true
+    }
+
+    /// Grant a safe window to `pe`, whose fresh entry is the heap top:
+    /// the horizon is the second-smallest eligible key.
+    fn grant_window(&self, inner: &mut Inner, pe: usize) {
+        let mine = inner.heap.pop().expect("granted PE owns the heap top");
+        debug_assert_eq!(mine, Reverse((inner.clocks[pe], pe)));
+        let horizon = inner.min_eligible();
+        inner.heap.push(mine);
+        let (h_t, h_rank) = match horizon {
+            Some((t, rank)) => (t, rank as u64),
+            None => (u64::MAX, u64::MAX),
+        };
+        let w = &self.window[pe];
+        w.h_t.store(h_t, Ordering::Relaxed);
+        w.h_rank.store(h_rank, Ordering::Relaxed);
+        w.active.store(true, Ordering::Relaxed);
+        PeWindow::bump(&w.windows, 1);
     }
 
     /// Advance `pe`'s clock by `dt` ns without gating (local work: task
-    /// execution, queue bookkeeping). Publishes the new clock so gating
-    /// peers can make progress.
+    /// execution, queue bookkeeping). With the safe-window gate the new
+    /// clock is published lazily at the next slow-path visit; the
+    /// handoff-per-op gate publishes (and wakes the new minimum) at once.
     pub fn advance(&self, pe: usize, dt: u64) {
         if dt == 0 {
             return;
         }
-        let mut inner = self.inner.lock();
-        debug_assert_eq!(inner.state[pe], PeState::Running);
-        inner.clocks[pe] = inner.clocks[pe].saturating_add(dt);
-        self.mirror[pe].store(inner.clocks[pe], Ordering::Relaxed);
-        inner.push(pe);
-        self.wake_min(&mut inner);
+        let t = self.mirror[pe].load(Ordering::Relaxed).saturating_add(dt);
+        self.mirror[pe].store(t, Ordering::Relaxed);
+        if !self.lookahead {
+            let waker = {
+                let mut inner = self.inner.lock();
+                debug_assert_eq!(inner.state[pe], PeState::Running);
+                self.publish(&mut inner, pe);
+                self.hand_off(&mut inner)
+            };
+            if let Some(t) = waker {
+                t.unpark();
+            }
+        }
     }
 
     /// Block until `pe` holds the minimal (clock, rank) among eligible PEs.
     /// On return the caller may apply one shared-visible effect, and must
     /// then call [`VClock::advance`] with the effect's nonzero cost.
+    ///
+    /// Inside a still-valid safe window this is lock-free: the horizon
+    /// already proves the minimum.
+    #[inline]
     pub fn gate(&self, pe: usize) {
+        if self.window_ok(pe) {
+            self.check_poison();
+            PeWindow::bump(&self.window[pe].fast_ops, 1);
+            return;
+        }
+        self.gate_slow(pe);
+    }
+
+    #[cold]
+    fn gate_slow(&self, pe: usize) {
+        let w = &self.window[pe];
+        w.active.store(false, Ordering::Relaxed);
+        PeWindow::bump(&w.slow_ops, 1);
         let mut inner = self.inner.lock();
+        let mut pending: Option<Thread> = None;
+        if self.publish(&mut inner, pe) {
+            // Raising our published clock may promote a gating peer to
+            // the global minimum; hand it the gate (the unpark itself is
+            // deferred until we release the lock below).
+            pending = self.hand_off(&mut inner);
+        }
         loop {
             self.check_poison();
             match inner.min_eligible() {
                 Some((_, min_pe)) if min_pe == pe => {
+                    // `pending` is necessarily None here: a handed-off
+                    // peer became Running below our clock, so it — not we
+                    // — would be the minimum.
                     inner.state[pe] = PeState::Running;
+                    if self.lookahead {
+                        self.grant_window(&mut inner, pe);
+                    }
                     return;
                 }
                 Some(_) => {
                     inner.state[pe] = PeState::Gating;
-                    self.gate_cv[pe].wait(&mut inner);
+                    if inner.threads[pe].is_none() {
+                        inner.threads[pe] = Some(thread::current());
+                    }
+                    drop(inner);
+                    if let Some(t) = pending.take() {
+                        t.unpark();
+                    }
+                    // Park until a peer hands us the gate (it has already
+                    // flipped us to Running and granted our window under
+                    // the lock) or the world is poisoned. A stale unpark
+                    // token only causes a benign spin of this loop.
+                    let t0 = Instant::now();
+                    while !w.granted.load(Ordering::Acquire) {
+                        self.check_poison();
+                        thread::park();
+                    }
+                    w.granted.store(false, Ordering::Relaxed);
+                    PeWindow::bump(&w.gate_wait_ns, t0.elapsed().as_nanos() as u64);
+                    return;
                 }
                 None => {
                     // All peers are Done or in a barrier while we gate:
@@ -203,6 +476,8 @@ impl VClock {
     pub fn barrier(&self, pe: usize, cost: u64) {
         let mut inner = self.inner.lock();
         self.check_poison();
+        self.window[pe].active.store(false, Ordering::Relaxed);
+        self.publish(&mut inner, pe);
         assert_eq!(
             inner.state[pe],
             PeState::Running,
@@ -215,8 +490,11 @@ impl VClock {
 
         if !self.maybe_release_barrier(&mut inner, cost) {
             // This PE just left the eligible set — if it was the minimum,
-            // a gating peer may now be runnable and must be woken.
-            self.wake_min(&mut inner);
+            // a gating peer may now be runnable and must be handed the
+            // gate (rare path: unparking under the lock is acceptable).
+            if let Some(t) = self.hand_off(&mut inner) {
+                t.unpark();
+            }
             let gen = inner.bar_generation;
             while inner.bar_generation == gen {
                 // Check poison only while the barrier is still pending: if
@@ -253,7 +531,9 @@ impl VClock {
         inner.bar_max_clock = 0;
         inner.bar_generation += 1;
         self.bar_cv.notify_all();
-        self.wake_min(inner);
+        if let Some(t) = self.hand_off(inner) {
+            t.unpark();
+        }
         true
     }
 
@@ -262,11 +542,17 @@ impl VClock {
     /// waiting on, the barrier releases (finished PEs cannot participate).
     pub fn finish(&self, pe: usize) {
         let mut inner = self.inner.lock();
-        inner.state[pe] = PeState::Done;
+        self.window[pe].active.store(false, Ordering::Relaxed);
         // Keep the final clock readable via `now`; the Done state (not a
         // sentinel clock value) excludes the PE from gating.
-        self.wake_min(&mut inner);
+        inner.clocks[pe] = self.mirror[pe].load(Ordering::Relaxed);
+        inner.state[pe] = PeState::Done;
+        let waker = self.hand_off(&mut inner);
         self.maybe_release_barrier(&mut inner, 0);
+        drop(inner);
+        if let Some(t) = waker {
+            t.unpark();
+        }
     }
 }
 
@@ -289,10 +575,37 @@ mod tests {
     }
 
     #[test]
-    fn effects_apply_in_virtual_time_order() {
-        // Three PEs each record (virtual time, pe) into a shared log at
-        // gated points; the log must come out sorted by (time, pe).
-        let vc = Arc::new(VClock::new(3));
+    fn single_pe_window_is_unbounded() {
+        // One PE has no rival: after the first gate, every further gated
+        // op is admitted lock-free.
+        let vc = VClock::new(1);
+        for _ in 0..100 {
+            vc.gated(0, 3, || ());
+        }
+        let es = vc.engine_stats(0);
+        assert_eq!(es.gated_ops(), 100);
+        assert_eq!(es.slow_ops, 1, "only the first op takes the mutex");
+        assert_eq!(es.fast_ops, 99);
+        assert_eq!(es.windows, 1);
+        vc.finish(0);
+    }
+
+    #[test]
+    fn handoff_mode_never_grants_windows() {
+        let vc = VClock::with_gate(1, GateMode::HandoffPerOp);
+        assert_eq!(vc.gate_mode(), GateMode::HandoffPerOp);
+        for _ in 0..10 {
+            vc.gated(0, 3, || ());
+        }
+        let es = vc.engine_stats(0);
+        assert_eq!(es.fast_ops, 0);
+        assert_eq!(es.slow_ops, 10);
+        assert_eq!(es.windows, 0);
+        vc.finish(0);
+    }
+
+    fn ordered_log_run(gate: GateMode) -> Vec<(u64, usize)> {
+        let vc = Arc::new(VClock::with_gate(3, gate));
         let log = Arc::new(Mutex::new(Vec::new()));
         let mut handles = Vec::new();
         for pe in 0..3usize {
@@ -302,8 +615,10 @@ mod tests {
                 // Different per-PE step sizes make interleavings nontrivial.
                 let step = [7u64, 5, 11][pe];
                 for _ in 0..50 {
-                    let t = vc.now(pe);
-                    vc.gated(pe, step, || log.lock().push((t, pe)));
+                    vc.gated(pe, step, || {
+                        let t = vc.now(pe);
+                        log.lock().push((t, pe));
+                    });
                 }
                 vc.finish(pe);
             }));
@@ -311,30 +626,43 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        let log = log.lock();
-        assert_eq!(log.len(), 150);
-        for w in log.windows(2) {
+        let v = log.lock().clone();
+        v
+    }
+
+    #[test]
+    fn effects_apply_in_virtual_time_order() {
+        // Three PEs each record (virtual time, pe) into a shared log at
+        // gated points; the log must come out sorted by (time, pe) under
+        // both gates, and the two gates must produce the same log.
+        let fast = ordered_log_run(GateMode::SafeWindow);
+        assert_eq!(fast.len(), 150);
+        for w in fast.windows(2) {
             assert!(w[0] <= w[1], "out of order: {:?} then {:?}", w[0], w[1]);
         }
+        let slow = ordered_log_run(GateMode::HandoffPerOp);
+        assert_eq!(fast, slow, "gates disagree on the effect schedule");
     }
 
     #[test]
     fn barrier_synchronizes_clocks() {
-        let vc = Arc::new(VClock::new(4));
-        let mut handles = Vec::new();
-        for pe in 0..4usize {
-            let vc = Arc::clone(&vc);
-            handles.push(thread::spawn(move || {
-                vc.advance(pe, (pe as u64 + 1) * 100);
-                vc.barrier(pe, 50);
-                let t = vc.now(pe);
-                vc.finish(pe);
-                t
-            }));
+        for gate in [GateMode::SafeWindow, GateMode::HandoffPerOp] {
+            let vc = Arc::new(VClock::with_gate(4, gate));
+            let mut handles = Vec::new();
+            for pe in 0..4usize {
+                let vc = Arc::clone(&vc);
+                handles.push(thread::spawn(move || {
+                    vc.advance(pe, (pe as u64 + 1) * 100);
+                    vc.barrier(pe, 50);
+                    let t = vc.now(pe);
+                    vc.finish(pe);
+                    t
+                }));
+            }
+            let times: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            // max entry clock = 400, +50 barrier cost.
+            assert!(times.iter().all(|&t| t == 450), "{gate:?}: {times:?}");
         }
-        let times: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
-        // max entry clock = 400, +50 barrier cost.
-        assert!(times.iter().all(|&t| t == 450), "{times:?}");
     }
 
     #[test]
@@ -350,6 +678,33 @@ mod tests {
         vc.gated(1, 10, || ());
         assert_eq!(vc.now(1), 10);
         vc.finish(1);
+    }
+
+    #[test]
+    fn window_closes_at_the_horizon() {
+        // PE 1 parks at clock 1_000; PE 0's window must admit effects
+        // lock-free only below 1_000, then take the slow path again.
+        let vc = Arc::new(VClock::new(2));
+        let vc2 = Arc::clone(&vc);
+        let h = thread::spawn(move || {
+            vc2.advance(1, 1_000);
+            vc2.gated(1, 1, || ()); // publishes clock 1_000, then waits
+            vc2.finish(1);
+        });
+        // Let PE 1 publish and block (it cannot pass PE 0 at clock 0).
+        thread::sleep(std::time::Duration::from_millis(20));
+        for _ in 0..12 {
+            vc.gated(0, 100, || ());
+        }
+        let es = vc.engine_stats(0);
+        // Grant at t=0 with horizon (1_000, rank 1): ops at 100..=900 are
+        // below it, and the op at exactly 1_000 still wins the rank
+        // tie-break — 10 fast ops. The first op and the op at 1_100 take
+        // the mutex.
+        assert!(es.fast_ops >= 10, "window batched ops: {es:?}");
+        assert!(es.slow_ops >= 2, "horizon forced a slow re-entry: {es:?}");
+        vc.finish(0);
+        h.join().unwrap();
     }
 
     #[test]
@@ -402,6 +757,19 @@ mod tests {
     }
 
     #[test]
+    fn poison_invalidates_open_windows() {
+        // A PE holding an unbounded window must still notice the poison
+        // at its next gated op.
+        let vc = VClock::new(1);
+        vc.gated(0, 1, || ()); // grants an unbounded window
+        vc.poison();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            vc.gated(0, 1, || ());
+        }));
+        assert!(r.is_err(), "fast path must honour the poison flag");
+    }
+
+    #[test]
     fn zero_advance_is_noop() {
         let vc = VClock::new(1);
         vc.advance(0, 0);
@@ -415,9 +783,35 @@ mod randomized {
     use crate::rng::SplitMix64;
     use std::sync::Arc;
 
+    fn schedule_run(
+        gate: GateMode,
+        schedules: &[Vec<u64>],
+    ) -> (Vec<(u64, usize)>, Vec<u64>) {
+        let n = schedules.len();
+        let vc = Arc::new(VClock::with_gate(n, gate));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        std::thread::scope(|scope| {
+            for (pe, costs) in schedules.iter().enumerate() {
+                let vc = Arc::clone(&vc);
+                let log = Arc::clone(&log);
+                scope.spawn(move || {
+                    for &c in costs {
+                        let t = vc.now(pe);
+                        vc.gated(pe, c, || log.lock().push((t, pe)));
+                    }
+                    vc.finish(pe);
+                });
+            }
+        });
+        let clocks = (0..n).map(|pe| vc.now(pe)).collect();
+        let v = log.lock().clone();
+        (v, clocks)
+    }
+
     /// For randomized per-PE cost schedules, gated effects must apply in
     /// nondecreasing (time, pe) order and the final clocks must equal the
-    /// sum of each PE's costs. Seeded replacement for the former proptest.
+    /// sum of each PE's costs — under both gates, with identical logs.
+    /// Seeded replacement for the former proptest.
     #[test]
     fn gated_effects_are_ordered_for_any_schedule() {
         for case in 0..16u64 {
@@ -430,23 +824,7 @@ mod randomized {
                 })
                 .collect();
 
-            let vc = Arc::new(VClock::new(n));
-            let log = Arc::new(Mutex::new(Vec::new()));
-            std::thread::scope(|scope| {
-                for (pe, costs) in schedules.iter().enumerate() {
-                    let vc = Arc::clone(&vc);
-                    let log = Arc::clone(&log);
-                    let costs = costs.clone();
-                    scope.spawn(move || {
-                        for &c in &costs {
-                            let t = vc.now(pe);
-                            vc.gated(pe, c, || log.lock().push((t, pe)));
-                        }
-                        vc.finish(pe);
-                    });
-                }
-            });
-            let log = log.lock();
+            let (log, clocks) = schedule_run(GateMode::SafeWindow, &schedules);
             assert_eq!(
                 log.len(),
                 schedules.iter().map(|s| s.len()).sum::<usize>(),
@@ -456,8 +834,13 @@ mod randomized {
                 assert!(w[0] <= w[1], "case {case}: order violated: {:?} -> {:?}", w[0], w[1]);
             }
             for (pe, costs) in schedules.iter().enumerate() {
-                assert_eq!(vc.now(pe), costs.iter().sum::<u64>(), "case {case} pe {pe}");
+                assert_eq!(clocks[pe], costs.iter().sum::<u64>(), "case {case} pe {pe}");
             }
+
+            // Differential: the handoff gate realizes the same schedule.
+            let (log2, clocks2) = schedule_run(GateMode::HandoffPerOp, &schedules);
+            assert_eq!(log, log2, "case {case}: gates disagree on the log");
+            assert_eq!(clocks, clocks2, "case {case}: gates disagree on clocks");
         }
     }
 }

@@ -17,6 +17,8 @@
 //!   --tasks N        flat: task count                  (default 4096)
 //!   --task-ns N      flat: task duration, ns           (default 50000)
 //!   --nodes N        PEs per node for the topology     (default 1=flat)
+//!   --gate G         safe | handoff: virtual-time gate (default safe)
+//!   --engine         print engine wall-time/gate-traffic line
 //!   --timeline       print per-PE activity strips (enables tracing)
 //!   --histogram      print steal-volume and victim histograms (tracing)
 //!   --json           machine-readable report to stdout
@@ -47,6 +49,8 @@ struct Args {
     tasks: u64,
     task_ns: u64,
     nodes: usize,
+    gate: GateMode,
+    engine: bool,
     timeline: bool,
     histogram: bool,
     json: bool,
@@ -58,7 +62,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!("usage: sws-run <uts|bpc|flat> [--pes N] [--system sws|sdc|both] [--seed N]");
     eprintln!("               [--depth N] [--consumers N] [--tasks N] [--task-ns N]");
-    eprintln!("               [--nodes N] [--timeline] [--json]");
+    eprintln!("               [--nodes N] [--gate safe|handoff] [--engine] [--timeline] [--json]");
     eprintln!("               [--drop-prob P] [--stall PE:FROM:DUR] [--crash PE:AT]");
     std::process::exit(2);
 }
@@ -93,6 +97,8 @@ fn parse_args() -> Args {
         tasks: 4096,
         task_ns: 50_000,
         nodes: 1,
+        gate: GateMode::default(),
+        engine: false,
         timeline: false,
         histogram: false,
         json: false,
@@ -127,6 +133,17 @@ fn parse_args() -> Args {
             "--tasks" => args.tasks = val("--tasks").parse().unwrap_or_else(|_| usage()),
             "--task-ns" => args.task_ns = val("--task-ns").parse().unwrap_or_else(|_| usage()),
             "--nodes" => args.nodes = val("--nodes").parse().unwrap_or_else(|_| usage()),
+            "--gate" => {
+                args.gate = match val("--gate").as_str() {
+                    "safe" => GateMode::SafeWindow,
+                    "handoff" => GateMode::HandoffPerOp,
+                    other => {
+                        eprintln!("unknown gate {other} (expected safe|handoff)");
+                        usage()
+                    }
+                }
+            }
+            "--engine" => args.engine = true,
             "--timeline" => args.timeline = true,
             "--histogram" => args.histogram = true,
             "--json" => args.json = true,
@@ -180,7 +197,7 @@ fn run_one(args: &Args, kind: QueueKind) -> RunReport {
     let mut sched = SchedConfig::new(kind, QueueConfig::new(16384, task_bytes))
         .with_seed(args.seed);
     sched.trace = args.timeline || args.histogram;
-    let mut cfg = RunConfig::new(args.pes, sched);
+    let mut cfg = RunConfig::new(args.pes, sched).with_gate(args.gate);
     if args.nodes > 1 {
         cfg.net = NetModel::edr_infiniband_nodes(args.nodes);
     }
@@ -229,6 +246,11 @@ fn main() {
             if let Some(faults) = report.fault_summary_line() {
                 println!("{faults}");
             }
+            if args.engine {
+                if let Some(engine) = report.engine_summary_line() {
+                    println!("{engine}");
+                }
+            }
             if args.timeline {
                 let per_pe: Vec<_> =
                     report.workers.iter().map(|w| w.events.clone()).collect();
@@ -272,8 +294,9 @@ fn main() {
 /// Minimal single-line JSON by hand: the workspace carries no JSON
 /// dependency, so emit the headline fields only.
 fn serde_json_line(r: &RunReport) -> Result<String, String> {
+    let e = r.total_engine();
     Ok(format!(
-        "{{\"system\":\"{}\",\"pes\":{},\"makespan_ns\":{},\"tasks\":{},\"throughput_per_s\":{:.1},\"efficiency\":{:.4},\"steals\":{},\"steal_ns\":{},\"search_ns\":{},\"comm_ops\":{},\"comm_bytes\":{}}}",
+        "{{\"system\":\"{}\",\"pes\":{},\"makespan_ns\":{},\"tasks\":{},\"throughput_per_s\":{:.1},\"efficiency\":{:.4},\"steals\":{},\"steal_ns\":{},\"search_ns\":{},\"comm_ops\":{},\"comm_bytes\":{},\"wall_ms\":{},\"engine_fast_ops\":{},\"engine_slow_ops\":{},\"engine_windows\":{},\"engine_gate_wait_ns\":{}}}",
         r.system,
         r.n_pes,
         r.makespan_ns,
@@ -285,5 +308,10 @@ fn serde_json_line(r: &RunReport) -> Result<String, String> {
         r.total_search_ns(),
         r.total_comm().data_ops(),
         r.total_comm().total_bytes(),
+        r.wall_ms,
+        e.fast_ops,
+        e.slow_ops,
+        e.windows,
+        e.gate_wait_ns,
     ))
 }

@@ -50,8 +50,8 @@ pub mod prelude {
         SchedConfig, TaskCtx, TdKind, Workload,
     };
     pub use sws_shmem::{
-        run_world, ExecMode, FaultPlan, NetModel, OpClass, RetryPolicy,
-        ShmemCtx, TargetSel, WorldConfig,
+        run_world, EngineStats, ExecMode, FaultPlan, GateMode, NetModel,
+        OpClass, RetryPolicy, ShmemCtx, TargetSel, WorldConfig,
     };
     pub use sws_task::{PayloadReader, PayloadWriter, TaskDescriptor, TaskRegistry};
 }

@@ -1,0 +1,74 @@
+//! Conformance driver for the sws-check crate.
+//!
+//! `sws-check conform` runs the deterministic production matrix with
+//! protocol-op capture enabled, replays every trace through the
+//! abstract victim machines (`sws_check::conform`), and checks that all
+//! required sites were exercised. It then runs a mutation self-test: a
+//! deliberately broken claim decode must be caught and the diverging
+//! trace must shrink to a small witness. Exits nonzero on any
+//! divergence, coverage gap, or self-test failure.
+
+use std::process::ExitCode;
+
+use sws_check::conform::{self, Proto, ReplayInput};
+
+fn conform_cmd() -> ExitCode {
+    println!("sws-check conform: replaying the production matrix");
+    let report = conform::conform_all();
+    print!("{}", report.render());
+    if !report.ok() {
+        return ExitCode::FAILURE;
+    }
+
+    // Mutation self-test: flip the tail LSB in the replay's claim-side
+    // decode. The model now computes a different steal-block start, so
+    // the first successful steal's payload read must diverge.
+    let case = &conform::matrix()[0];
+    print!("  mutation self-test ({}) ... ", case.name);
+    match conform::run_case(case, Some(|raw| raw ^ 1)) {
+        Ok(_) => {
+            println!("NOT CAUGHT");
+            println!("sws-check conform: broken decode replayed clean — checker is toothless");
+            return ExitCode::FAILURE;
+        }
+        Err(d) => {
+            println!("caught [{}]", d.kind);
+            // Re-capture the same deterministic trace and shrink it.
+            let events = conform::capture_case(case);
+            let input = ReplayInput {
+                proto: Proto::Sws,
+                queue: conform::case_queue(case),
+                events: &events,
+                mutate_claim_decode: Some(|raw| raw ^ 1),
+            };
+            let witness = conform::shrink(&input, d.kind);
+            println!(
+                "  shrunk witness: {} of {} events",
+                witness.len(),
+                events.len()
+            );
+            if witness.len() >= events.len() && events.len() > 8 {
+                println!("sws-check conform: ddmin failed to reduce the witness");
+                return ExitCode::FAILURE;
+            }
+            for e in &witness {
+                println!("    {e}");
+            }
+        }
+    }
+    println!("sws-check conform: all cases conform");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("conform") => conform_cmd(),
+        _ => {
+            eprintln!("usage: sws-check conform");
+            eprintln!("  conform   replay captured production traces through the");
+            eprintln!("            abstract protocol machines (refinement check)");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -27,11 +27,22 @@
 //!    `stealval.rs`, no `Relaxed`/`SeqCst` orderings outside the
 //!    ratcheted allowlist, no `unwrap` on fallible `try_*` op results in
 //!    protocol crates, no wall-clock time outside the virtual-time
-//!    layer, and `// ordering:` site comments on every protocol RMW.
+//!    layer, `// ordering:` site comments on every protocol RMW, and a
+//!    `// SAFETY:` comment on every `unsafe` block.
+//!
+//! 3. **A trace-conformance (refinement) checker** ([`conform`], shipped
+//!    as the `sws-check` binary's `conform` subcommand): production runs
+//!    executed with `RunConfig::with_capture_proto()` emit their merged
+//!    site-annotated op trace, and [`conform::replay`] feeds it through
+//!    word-exact abstract victim machines, reporting the first
+//!    transition the protocol does not allow (with a ddmin-shrunken
+//!    witness). This closes the loop between the model checker's
+//!    abstract machines and the production queue code.
 
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod conform;
 pub mod explore;
 pub mod lint;
 pub mod mem;

@@ -1,6 +1,6 @@
 //! `sws-lint` — source-level protocol lint over the workspace.
 //!
-//! Seven token-scan rules keep the code honest about the properties the
+//! Eight token-scan rules keep the code honest about the properties the
 //! model checker assumes. Scanning is deliberately lexical (comments and
 //! string/char literals are stripped first, with nested block comments
 //! handled) — no syn, no build dependency, same `std`-only discipline as
@@ -34,6 +34,11 @@
 //!    three preceding lines, tying source to the audit table.
 //! 7. `unsafe-code` — `unsafe` outside the allowlist (the shmem
 //!    spinlock's one cell of interior mutability).
+//! 8. `safety-comment` — every `unsafe` occurrence must carry a
+//!    `// SAFETY:` comment on the same line or within the eight
+//!    preceding lines, stating the invariant that makes it sound.
+//!    Per occurrence, no allowlist: an allowed `unsafe` still needs its
+//!    justification next to the code.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -425,6 +430,25 @@ pub fn run(root: &Path) -> io::Result<Report> {
                     line: ln0 + 1,
                     msg: "panicking on a fallible try_* op result; handle the OpResult".into(),
                 });
+            }
+
+            // Rule: safety-comment (per occurrence, no allowlist). The
+            // lookback window (not a contiguous comment walk) tolerates
+            // a shared SAFETY comment covering a short setup line or two
+            // between it and the unsafe block.
+            if count_tokens(line, &["unsafe "]) > 0 {
+                let lo = ln0.saturating_sub(8);
+                let documented = raw_lines[lo..=ln0.min(raw_lines.len() - 1)]
+                    .iter()
+                    .any(|l| l.contains("SAFETY:"));
+                if !documented {
+                    report.findings.push(Finding {
+                        rule: "safety-comment",
+                        path: relp.clone(),
+                        line: ln0 + 1,
+                        msg: "`unsafe` without a `// SAFETY:` comment justifying it".into(),
+                    });
+                }
             }
 
             // Rule: ordering-comment (per occurrence, no allowlist).

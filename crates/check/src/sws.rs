@@ -133,6 +133,9 @@ struct Owner {
 
 #[derive(Clone, Hash, Debug)]
 enum TPc {
+    /// §4.3 damped mode: read-only probe of the stealval word; the thief
+    /// may only move to [`TPc::Claim`] after observing available work.
+    Probe,
     Claim,
     Copy {
         slot: u8,
@@ -156,6 +159,10 @@ struct Thief {
     pc: TPc,
     attempts: u32,
     stolen: Vec<u64>,
+    /// §4.3 steal damping: this thief must probe before every claim.
+    damped: bool,
+    /// A probe observed available work since the last claim.
+    cleared: bool,
 }
 
 /// Ground-truth mirror of the stealval word, updated at the owner's
@@ -231,6 +238,8 @@ impl SwsWorld {
                     pc: TPc::Claim,
                     attempts,
                     stolen: Vec::new(),
+                    damped: false,
+                    cleared: false,
                 })
                 .collect(),
             oracle: Oracle {
@@ -244,6 +253,18 @@ impl SwsWorld {
             },
             n_tags: 0,
         }
+    }
+
+    /// Put every thief in §4.3 damped mode: it starts at [`TPc::Probe`]
+    /// and a runtime monitor rejects any claiming fetch-add that was not
+    /// preceded by a work-observing read-only probe.
+    #[must_use]
+    pub fn with_damped_thieves(mut self) -> SwsWorld {
+        for th in &mut self.thieves {
+            th.damped = true;
+            th.pc = TPc::Probe;
+        }
+        self
     }
 
     fn comp(&self, slot: u8, s: u32) -> usize {
@@ -647,15 +668,64 @@ impl SwsWorld {
         }
     }
 
-    fn step_thief(&mut self, t: usize, _ch: &mut Chooser) -> Result<(), Violation> {
+    /// A damped thief's next program counter after settling a claim
+    /// attempt: back to the read-only probe; an undamped thief claims
+    /// directly.
+    fn thief_restart(&self, ti: usize) -> TPc {
+        if self.thieves[ti].damped {
+            TPc::Probe
+        } else {
+            TPc::Claim
+        }
+    }
+
+    fn step_thief(&mut self, t: usize, ch: &mut Chooser) -> Result<(), Violation> {
         let ti = t - 1;
         match self.thieves[ti].pc.clone() {
+            TPc::Probe => {
+                if self.thieves[ti].attempts == 0 {
+                    self.thieves[ti].pc = TPc::Done;
+                    return Ok(());
+                }
+                // Read-only probe (§4.3): a plain load, never a fetch-add
+                // — the structural half of the damping contract. The load
+                // may legally observe stale values, so its view is not
+                // held to RMW decode exactness.
+                let ord = self.ords.get(Site::SwsThiefProbe);
+                let v = self.mem.load(t, SV, ord, |n| ch.pick(n));
+                let sv = self.layout.decode(v);
+                let has_work = match sv.gate {
+                    Gate::Closed => true, // owner mid-update: work may appear
+                    Gate::Open { .. } => {
+                        (sv.asteals as u64) < self.policy.max_steals(sv.itasks as u64)
+                    }
+                };
+                if has_work {
+                    self.thieves[ti].cleared = true;
+                    self.thieves[ti].pc = TPc::Claim;
+                } else {
+                    // Empty-mode target: back off without touching the
+                    // word. Burns an attempt so exploration terminates.
+                    self.thieves[ti].attempts -= 1;
+                }
+                Ok(())
+            }
             TPc::Claim => {
                 if self.thieves[ti].attempts == 0 {
                     self.thieves[ti].pc = TPc::Done;
                     return Ok(());
                 }
+                if self.thieves[ti].damped && !self.thieves[ti].cleared {
+                    return Err(Self::proto(
+                        "damping",
+                        format!(
+                            "damped thief {t} issued a claiming fetch-add without a \
+                             work-observing probe (§4.3 contract)"
+                        ),
+                    ));
+                }
                 self.thieves[ti].attempts -= 1;
+                self.thieves[ti].cleared = false;
                 let ord = self.ords.get(Site::SwsThiefClaim);
                 let old = self.mem.fetch_add(t, SV, ASTEAL_UNIT, ord);
                 let sv = self.check_rmw_view(old)?;
@@ -675,10 +745,13 @@ impl SwsWorld {
                             a,
                             tags: Vec::new(),
                         };
+                        return Ok(());
                     }
                     // vol == 0: advertisement exhausted — next attempt.
                 }
-                // Closed gate: next attempt.
+                // Closed gate or exhausted: next attempt (damped thieves
+                // must re-probe first).
+                self.thieves[ti].pc = self.thief_restart(ti);
                 Ok(())
             }
             TPc::Copy {
@@ -720,7 +793,7 @@ impl SwsWorld {
                 self.mem.store(t, w, vol as u64, ord);
                 self.oracle.claim_vol += vol as u64;
                 self.thieves[ti].stolen.extend(tags);
-                self.thieves[ti].pc = TPc::Claim;
+                self.thieves[ti].pc = self.thief_restart(ti);
                 Ok(())
             }
             TPc::Done => unreachable!("stepping a finished thief"),
@@ -860,6 +933,19 @@ pub fn scenarios(ords: &OrdTable, audit_only: bool) -> Vec<SwsWorld> {
             &[1],
             ords.clone(),
         ),
+        // §4.3 steal damping: the thief probes read-only and only
+        // fetch-adds after observing available work. Exercises the
+        // SwsThiefProbe site and the probe-before-claim monitor.
+        SwsWorld::new(
+            "sws_damped_probe",
+            Layout::Epochs,
+            StealPolicy::Half,
+            8,
+            vec![Enqueue, Enqueue, Release, Retire, PopAll],
+            &[2],
+            ords.clone(),
+        )
+        .with_damped_thieves(),
     ];
     if !audit_only {
         v.push(

@@ -49,3 +49,38 @@ fn orderings_md_is_current() {
          `SWS_CHECK_BLESS=1 cargo test -p sws-check --test ordering_audit`"
     );
 }
+
+/// Every load-bearing site must be *observable*: it has to show up in
+/// the op traces the conformance matrix captures, or the refinement
+/// check can never exercise the ordering the audit says matters. The
+/// two `PayloadWrite` sites are owner-local ring stores — invisible to
+/// the one-sided capture layer by design — and are excluded (they are
+/// not load-bearing anyway, which this test also pins down).
+#[test]
+fn load_bearing_sites_appear_in_captured_traces() {
+    use sws_check::conform::{matrix, run_case};
+
+    let rows = run_audit(&Config::default()).unwrap_or_else(|f| panic!("audit failed:\n{f}"));
+    let mut seen = std::collections::BTreeSet::new();
+    // One SWS case and one SDC case cover both protocols' site sets.
+    for case in matrix()
+        .iter()
+        .filter(|c| c.name == "sws-epochs-safewindow" || c.name == "sdc-safewindow")
+    {
+        let r = run_case(case, None)
+            .unwrap_or_else(|d| panic!("case {} diverged during coverage run:\n{d}", case.name));
+        seen.extend(r.sites);
+    }
+    for row in rows.iter().filter(|r| r.load_bearing()) {
+        let name = row.site.name();
+        if name.contains("PayloadWrite") {
+            continue;
+        }
+        assert!(
+            seen.contains(&row.site.id()),
+            "{name} is load-bearing but never appeared in a captured trace — \
+             either its call sites lost their proto_site arming or the \
+             conformance matrix no longer reaches that path"
+        );
+    }
+}

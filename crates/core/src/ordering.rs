@@ -74,6 +74,8 @@ pub enum AtomicSite {
     SwsThiefComplete,
     /// Owner: reading completion slots during reclaim.
     SwsOwnerReclaimRead,
+    /// Thief: the damped read-only probe of a victim's stealval (§4.3).
+    SwsThiefProbe,
     /// Owner: writing task records into the ring (local_write, Release).
     SwsOwnerPayloadWrite,
     /// Thief: the per-word loads of the block-copy get.
@@ -105,7 +107,7 @@ pub enum AtomicSite {
 
 impl AtomicSite {
     /// Every site, in audit-table order.
-    pub const ALL: [AtomicSite; 20] = [
+    pub const ALL: [AtomicSite; 21] = [
         AtomicSite::SwsThiefClaim,
         AtomicSite::SwsOwnerAdvertise,
         AtomicSite::SwsOwnerAcquireSwap,
@@ -113,6 +115,7 @@ impl AtomicSite {
         AtomicSite::SwsOwnerSlotZero,
         AtomicSite::SwsThiefComplete,
         AtomicSite::SwsOwnerReclaimRead,
+        AtomicSite::SwsThiefProbe,
         AtomicSite::SwsOwnerPayloadWrite,
         AtomicSite::SwsThiefPayloadRead,
         AtomicSite::SdcLockCas,
@@ -136,8 +139,10 @@ impl AtomicSite {
             // RMWs.
             SwsThiefClaim | SwsOwnerAcquireSwap | SdcLockCas => MemOrder::AcqRel,
             // Atomic / per-word loads.
-            SwsOwnerSvRead | SwsOwnerReclaimRead | SwsThiefPayloadRead | SdcMetaRead
-            | SdcOwnerTailRead | SdcReclaimRead | SdcPayloadRead => MemOrder::Acquire,
+            SwsOwnerSvRead | SwsOwnerReclaimRead | SwsThiefProbe | SwsThiefPayloadRead
+            | SdcMetaRead | SdcOwnerTailRead | SdcReclaimRead | SdcPayloadRead => {
+                MemOrder::Acquire
+            }
             // Atomic / per-word stores.
             SwsOwnerAdvertise | SwsOwnerSlotZero | SwsThiefComplete | SwsOwnerPayloadWrite
             | SdcUnlock | SdcTailPut | SdcSplitPublish | SdcComplete | SdcReclaimZero
@@ -156,6 +161,7 @@ impl AtomicSite {
             SwsOwnerSlotZero => "queue/sws.rs: advertise atomic_set(comp[s], 0)",
             SwsThiefComplete => "queue/sws.rs: steal_from atomic_set_nbi(comp, vol)",
             SwsOwnerReclaimRead => "queue/sws.rs: reclaim atomic_fetch(comp)",
+            SwsThiefProbe => "queue/sws.rs: probe atomic_fetch(sv)",
             SwsOwnerPayloadWrite => "queue/buffer.rs: write_local (SWS ring)",
             SwsThiefPayloadRead => "queue/buffer.rs: steal_copy get (SWS ring)",
             SdcLockCas => "queue/sdc.rs: atomic_compare_swap(lock, 0, 1)",
@@ -183,6 +189,7 @@ impl AtomicSite {
                 | AtomicSite::SwsOwnerSlotZero
                 | AtomicSite::SwsThiefComplete
                 | AtomicSite::SwsOwnerReclaimRead
+                | AtomicSite::SwsThiefProbe
                 | AtomicSite::SwsOwnerPayloadWrite
                 | AtomicSite::SwsThiefPayloadRead
         ) {
@@ -190,6 +197,22 @@ impl AtomicSite {
         } else {
             "SDC"
         }
+    }
+
+    /// Dense numeric id of this site: its index in [`AtomicSite::ALL`].
+    /// The trace-capture layer in `sws-shmem` records sites as raw `u16`s
+    /// (it cannot depend on this crate); this is the round-trip anchor.
+    pub fn id(self) -> u16 {
+        AtomicSite::ALL
+            .iter()
+            .position(|&s| s == self)
+            .expect("every site is in ALL") as u16
+    }
+
+    /// Inverse of [`AtomicSite::id`]; `None` for ids outside the catalog
+    /// (e.g. the capture layer's "unannotated op" sentinel).
+    pub fn from_id(id: u16) -> Option<AtomicSite> {
+        AtomicSite::ALL.get(id as usize).copied()
     }
 
     /// Stable identifier used in audit rows and `// ordering:` comments.
@@ -203,6 +226,7 @@ impl AtomicSite {
             SwsOwnerSlotZero => "SwsOwnerSlotZero",
             SwsThiefComplete => "SwsThiefComplete",
             SwsOwnerReclaimRead => "SwsOwnerReclaimRead",
+            SwsThiefProbe => "SwsThiefProbe",
             SwsOwnerPayloadWrite => "SwsOwnerPayloadWrite",
             SwsThiefPayloadRead => "SwsThiefPayloadRead",
             SdcLockCas => "SdcLockCas",
@@ -230,6 +254,16 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), AtomicSite::ALL.len(), "duplicate site names");
+    }
+
+    #[test]
+    fn ids_round_trip() {
+        for (i, &s) in AtomicSite::ALL.iter().enumerate() {
+            assert_eq!(s.id() as usize, i);
+            assert_eq!(AtomicSite::from_id(s.id()), Some(s));
+        }
+        assert_eq!(AtomicSite::from_id(AtomicSite::ALL.len() as u16), None);
+        assert_eq!(AtomicSite::from_id(u16::MAX), None);
     }
 
     #[test]

@@ -54,6 +54,7 @@ use sws_shmem::rng::SplitMix64;
 use sws_shmem::{OpError, OpResult, ShmemCtx, SymAddr};
 use sws_task::TaskDescriptor;
 
+use crate::ordering::AtomicSite;
 use crate::queue::buffer::TaskBuffer;
 use crate::queue::{
     QueueConfig, QueueStats, StealOutcome, StealQueue, COMP_CLAIMED, COMP_POISON, COMP_VOL_MASK,
@@ -172,6 +173,8 @@ impl<'a> SdcQueue<'a> {
 
     /// Owner: read the published tail (thieves advance it remotely).
     fn read_tail(&self) -> u64 {
+        // ordering: SdcOwnerTailRead
+        self.ctx.proto_site(AtomicSite::SdcOwnerTailRead.id());
         self.ctx.atomic_fetch(self.ctx.my_pe(), self.tail_addr())
     }
 
@@ -181,6 +184,7 @@ impl<'a> SdcQueue<'a> {
         let me = self.ctx.my_pe();
         loop {
             // ordering: SdcLockCas (owner self-lock)
+            self.ctx.proto_site(AtomicSite::SdcLockCas.id());
             if self.ctx.atomic_compare_swap(me, self.lock_addr(), 0, 1) == 0 {
                 return;
             }
@@ -189,6 +193,8 @@ impl<'a> SdcQueue<'a> {
     }
 
     fn unlock_own(&self) {
+        // ordering: SdcUnlock
+        self.ctx.proto_site(AtomicSite::SdcUnlock.id());
         self.ctx.atomic_set(self.ctx.my_pe(), self.lock_addr(), 0);
     }
 
@@ -219,6 +225,8 @@ impl<'a> SdcQueue<'a> {
             }
             let abs = self.reclaimed;
             let slot = self.comp_slot(abs);
+            // ordering: SdcReclaimRead
+            self.ctx.proto_site(AtomicSite::SdcReclaimRead.id());
             let v = self.ctx.atomic_fetch(me, slot);
             if v == 0 {
                 // Claimed (tail moved past it) but the marker is not
@@ -230,6 +238,7 @@ impl<'a> SdcQueue<'a> {
             if v & COMP_POISON != 0 {
                 // The thief could not copy the block; take it back.
                 // ordering: SdcReclaimRead (poisoned-slot CAS)
+                self.ctx.proto_site(AtomicSite::SdcReclaimRead.id());
                 if self.ctx.atomic_compare_swap(me, slot, v, 0) == v {
                     self.requeue_block(abs, vol);
                     self.stats.completions_poisoned += 1;
@@ -250,6 +259,7 @@ impl<'a> SdcQueue<'a> {
                             return;
                         }
                         // ordering: SdcReclaimRead (stuck-claim CAS)
+                        self.ctx.proto_site(AtomicSite::SdcReclaimRead.id());
                         if self.ctx.atomic_compare_swap(me, slot, v, 0) == v {
                             self.requeue_block(abs, vol);
                             self.stats.claims_reclaimed += 1;
@@ -266,6 +276,8 @@ impl<'a> SdcQueue<'a> {
                 }
             }
             // Plain volume: the baseline completion signal.
+            // ordering: SdcReclaimZero
+            self.ctx.proto_site(AtomicSite::SdcReclaimZero.id());
             self.ctx.atomic_set(me, slot, 0);
             self.reclaimed += vol;
             self.stats.reclaimed += vol;
@@ -291,11 +303,14 @@ impl<'a> SdcQueue<'a> {
         let mut contended = 0u32;
         loop {
             // ordering: SdcLockCas (thief lock)
+            ctx.proto_site(AtomicSite::SdcLockCas.id());
             match ctx.try_atomic_compare_swap(target, lock, 0, 1) {
                 Ok(0) => break,
                 Ok(_) => {
                     contended += 1;
                     let mut meta = [0u64; 2];
+                    // ordering: SdcMetaRead (lock-free abort peek)
+                    ctx.proto_site(AtomicSite::SdcMetaRead.id());
                     match ctx.try_get_words(target, tail_a, &mut meta) {
                         Ok(()) => {
                             if meta[0] >= meta[1] {
@@ -341,10 +356,18 @@ impl<'a> SdcQueue<'a> {
             &mut self.rng,
             |ns| ctx.compute(ns),
             || self.stats.steals_retried += 1,
-            || ctx.try_get_words(target, tail_a, &mut meta),
+            || {
+                // ordering: SdcMetaRead
+                ctx.proto_site(AtomicSite::SdcMetaRead.id());
+                ctx.try_get_words(target, tail_a, &mut meta)
+            },
         );
         if let Err(e) = got {
-            insist(ctx, || ctx.try_atomic_set(target, lock, 0));
+            insist(ctx, || {
+                // ordering: SdcUnlock
+                ctx.proto_site(AtomicSite::SdcUnlock.id());
+                ctx.try_atomic_set(target, lock, 0)
+            });
             self.stats.steals_failed += 1;
             return StealOutcome::Failed {
                 target_down: is_down(&e),
@@ -353,7 +376,11 @@ impl<'a> SdcQueue<'a> {
         let (tail, split) = (meta[0], meta[1]);
         let avail = split - tail;
         if avail == 0 {
-            insist(ctx, || ctx.try_atomic_set(target, lock, 0));
+            insist(ctx, || {
+                // ordering: SdcUnlock
+                ctx.proto_site(AtomicSite::SdcUnlock.id());
+                ctx.try_atomic_set(target, lock, 0)
+            });
             self.stats.steals_empty += 1;
             return StealOutcome::Empty;
         }
@@ -370,10 +397,18 @@ impl<'a> SdcQueue<'a> {
             &mut self.rng,
             |ns| ctx.compute(ns),
             || self.stats.steals_retried += 1,
-            || ctx.try_atomic_set(target, comp, marker),
+            || {
+                // ordering: SdcComplete (claim marker)
+                ctx.proto_site(AtomicSite::SdcComplete.id());
+                ctx.try_atomic_set(target, comp, marker)
+            },
         );
         if let Err(e) = put {
-            insist(ctx, || ctx.try_atomic_set(target, lock, 0));
+            insist(ctx, || {
+                // ordering: SdcUnlock
+                ctx.proto_site(AtomicSite::SdcUnlock.id());
+                ctx.try_atomic_set(target, lock, 0)
+            });
             self.stats.steals_failed += 1;
             return StealOutcome::Failed {
                 target_down: is_down(&e),
@@ -386,16 +421,25 @@ impl<'a> SdcQueue<'a> {
             &mut self.rng,
             |ns| ctx.compute(ns),
             || self.stats.steals_retried += 1,
-            || ctx.try_put_word(target, tail_a, tail + vol),
+            || {
+                // ordering: SdcTailPut
+                ctx.proto_site(AtomicSite::SdcTailPut.id());
+                ctx.try_put_word(target, tail_a, tail + vol)
+            },
         );
         if let Err(e) = put {
             // Roll the marker back — no claim was published.
             insist(ctx, || {
                 // ordering: SdcComplete (marker rollback CAS)
+                ctx.proto_site(AtomicSite::SdcComplete.id());
                 ctx.try_atomic_compare_swap(target, comp, marker, 0)
                     .map(|_| ())
             });
-            insist(ctx, || ctx.try_atomic_set(target, lock, 0));
+            insist(ctx, || {
+                // ordering: SdcUnlock
+                ctx.proto_site(AtomicSite::SdcUnlock.id());
+                ctx.try_atomic_set(target, lock, 0)
+            });
             self.stats.steals_failed += 1;
             return StealOutcome::Failed {
                 target_down: is_down(&e),
@@ -405,7 +449,11 @@ impl<'a> SdcQueue<'a> {
         // 4. Unlock. If the target dies here the lock dies with it; the
         // claim is published, so proceed — recovery goes through the
         // marker protocol either way.
-        insist(ctx, || ctx.try_atomic_set(target, lock, 0));
+        insist(ctx, || {
+            // ordering: SdcUnlock
+            ctx.proto_site(AtomicSite::SdcUnlock.id());
+            ctx.try_atomic_set(target, lock, 0)
+        });
 
         // Make room locally before landing the block.
         while self.live_span() + vol > self.cfg.capacity as u64 {
@@ -423,7 +471,11 @@ impl<'a> SdcQueue<'a> {
             &mut self.rng,
             |ns| ctx.compute(ns),
             || self.stats.steals_retried += 1,
-            || buf.try_steal_copy(ctx, target, start, vol as usize, &mut scratch),
+            || {
+                // ordering: SdcPayloadRead
+                ctx.proto_site(AtomicSite::SdcPayloadRead.id());
+                buf.try_steal_copy(ctx, target, start, vol as usize, &mut scratch)
+            },
         );
         if let Err(e) = got {
             // Claimed but uncopyable: poison so the owner re-enqueues
@@ -436,6 +488,7 @@ impl<'a> SdcQueue<'a> {
                 || self.stats.steals_retried += 1,
                 || {
                     // ordering: SdcComplete (poison CAS)
+                    ctx.proto_site(AtomicSite::SdcComplete.id());
                     ctx.try_atomic_compare_swap(target, comp, marker, COMP_POISON | vol)
                         .map(|_| ())
                 },
@@ -455,8 +508,11 @@ impl<'a> SdcQueue<'a> {
             &mut self.rng,
             |ns| ctx.compute(ns),
             || self.stats.steals_retried += 1,
-            // ordering: SdcComplete (finalize CAS)
-            || ctx.try_atomic_compare_swap(target, comp, marker, vol),
+            || {
+                // ordering: SdcComplete (finalize CAS)
+                ctx.proto_site(AtomicSite::SdcComplete.id());
+                ctx.try_atomic_compare_swap(target, comp, marker, vol)
+            },
         );
         match fin {
             Ok(prev) if prev == marker => {
@@ -534,6 +590,8 @@ impl StealQueue for SdcQueue<'_> {
         }
         let k = nlocal - nlocal / 2;
         self.split += k;
+        // ordering: SdcSplitPublish
+        self.ctx.proto_site(AtomicSite::SdcSplitPublish.id());
         self.ctx
             .atomic_set(self.ctx.my_pe(), self.split_addr(), self.split);
         self.ctx.compute(self.cfg.split_update_ns);
@@ -564,6 +622,8 @@ impl StealQueue for SdcQueue<'_> {
         }
         let take = avail - avail / 2;
         self.split -= take;
+        // ordering: SdcSplitPublish
+        self.ctx.proto_site(AtomicSite::SdcSplitPublish.id());
         self.ctx
             .atomic_set(self.ctx.my_pe(), self.split_addr(), self.split);
         self.unlock_own();
@@ -588,10 +648,14 @@ impl StealQueue for SdcQueue<'_> {
             // Stop at the shared/local boundary: slots at and above the
             // published tail are live.
             let slot = self.comp_slot(self.reclaimed);
+            // ordering: SdcReclaimRead
+            self.ctx.proto_site(AtomicSite::SdcReclaimRead.id());
             let v = self.ctx.atomic_fetch(me, slot);
             if v == 0 {
                 return;
             }
+            // ordering: SdcReclaimZero
+            self.ctx.proto_site(AtomicSite::SdcReclaimZero.id());
             self.ctx.atomic_set(me, slot, 0);
             self.reclaimed += v;
             self.stats.reclaimed += v;
@@ -609,9 +673,8 @@ impl StealQueue for SdcQueue<'_> {
         // 1. Lock, with abort checking while contended.
         loop {
             // ordering: SdcLockCas (owner steals from a peer)
-            let prev = self
-                .ctx
-                .atomic_compare_swap(target, self.lock_addr(), 0, 1);
+            self.ctx.proto_site(AtomicSite::SdcLockCas.id());
+            let prev = self.ctx.atomic_compare_swap(target, self.lock_addr(), 0, 1);
             if prev == 0 {
                 break;
             }
@@ -620,6 +683,8 @@ impl StealQueue for SdcQueue<'_> {
                 // if the queue drained, give up instead of queueing on
                 // the lock (§3.1).
                 let mut meta = [0u64; 2];
+                // ordering: SdcMetaRead (lock-free abort peek)
+                self.ctx.proto_site(AtomicSite::SdcMetaRead.id());
                 self.ctx.get_words(target, self.tail_addr(), &mut meta);
                 let (tail, split) = (meta[0], meta[1]);
                 if tail >= split {
@@ -631,10 +696,14 @@ impl StealQueue for SdcQueue<'_> {
 
         // 2. Fetch tail and split (contiguous: one 16-byte get).
         let mut meta = [0u64; 2];
+        // ordering: SdcMetaRead
+        self.ctx.proto_site(AtomicSite::SdcMetaRead.id());
         self.ctx.get_words(target, self.tail_addr(), &mut meta);
         let (tail, split) = (meta[0], meta[1]);
         let avail = split - tail;
         if avail == 0 {
+            // ordering: SdcUnlock
+            self.ctx.proto_site(AtomicSite::SdcUnlock.id());
             self.ctx.atomic_set(target, self.lock_addr(), 0);
             self.stats.steals_empty += 1;
             return StealOutcome::Empty;
@@ -642,7 +711,11 @@ impl StealQueue for SdcQueue<'_> {
         let vol = self.cfg.policy.volume(avail, 0).max(1);
 
         // 3. Publish the new tail; 4. unlock.
+        // ordering: SdcTailPut
+        self.ctx.proto_site(AtomicSite::SdcTailPut.id());
         self.ctx.put_words(target, self.tail_addr(), &[tail + vol]);
+        // ordering: SdcUnlock
+        self.ctx.proto_site(AtomicSite::SdcUnlock.id());
         self.ctx.atomic_set(target, self.lock_addr(), 0);
 
         // Make room locally before landing the block.
@@ -655,10 +728,14 @@ impl StealQueue for SdcQueue<'_> {
         // 5. Copy the stolen records.
         let start = self.buf.ring().slot(tail);
         let mut scratch = std::mem::take(&mut self.scratch);
+        // ordering: SdcPayloadRead
+        self.ctx.proto_site(AtomicSite::SdcPayloadRead.id());
         self.buf
             .steal_copy(self.ctx, target, start, vol as usize, &mut scratch);
 
         // 6. Deferred completion signal (passive).
+        // ordering: SdcComplete
+        self.ctx.proto_site(AtomicSite::SdcComplete.id());
         self.ctx.atomic_set_nbi(target, self.comp_slot(tail), vol);
 
         self.buf
@@ -674,6 +751,8 @@ impl StealQueue for SdcQueue<'_> {
 
     fn probe(&self, target: usize) -> bool {
         let mut meta = [0u64; 2];
+        // ordering: SdcMetaRead (read-only probe)
+        self.ctx.proto_site(AtomicSite::SdcMetaRead.id());
         if self.ctx.faults_active() {
             if self
                 .ctx
@@ -709,6 +788,8 @@ impl StealQueue for SdcQueue<'_> {
             // Pull the unclaimed shared region back into the local
             // portion before closing.
             self.split = tail;
+            // ordering: SdcSplitPublish
+            self.ctx.proto_site(AtomicSite::SdcSplitPublish.id());
             self.ctx
                 .atomic_set(self.ctx.my_pe(), self.split_addr(), self.split);
         }

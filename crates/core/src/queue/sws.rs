@@ -50,6 +50,7 @@ use sws_shmem::rng::SplitMix64;
 use sws_shmem::{OpError, OpResult, RetryPolicy, ShmemCtx, SymAddr};
 use sws_task::TaskDescriptor;
 
+use crate::ordering::AtomicSite;
 use crate::queue::buffer::TaskBuffer;
 use crate::queue::{
     invariant_violation, QueueConfig, QueueStats, StealOutcome, StealQueue, COMP_POISON,
@@ -146,6 +147,7 @@ impl<'a> SwsQueue<'a> {
         let comp_addr = ctx.alloc_words(n_slots * slots_per_epoch);
         let buf_addr = ctx.alloc_words(cfg.buffer_words());
         // Advertise an open, empty epoch 0.
+        ctx.proto_site(AtomicSite::SwsOwnerAdvertise.id());
         ctx.atomic_set(ctx.my_pe(), sv_addr, cfg.layout.encode(StealVal::empty()));
         ctx.barrier_all();
 
@@ -205,6 +207,8 @@ impl<'a> SwsQueue<'a> {
     /// Read the live stealval — a charged local atomic; the owner pays the
     /// NIC-loopback access just as on real hardware.
     fn read_sv(&self) -> StealVal {
+        // ordering: SwsOwnerSvRead
+        self.ctx.proto_site(AtomicSite::SwsOwnerSvRead.id());
         let raw = self.ctx.atomic_fetch(self.ctx.my_pe(), self.sv_addr);
         self.cfg.layout.decode(raw)
     }
@@ -274,6 +278,8 @@ impl<'a> SwsQueue<'a> {
             while finished < n_claimed {
                 let comp = self.comp_slot(slot, finished);
                 let vol = self.policy.volume(itasks, finished);
+                // ordering: SwsOwnerReclaimRead
+                self.ctx.proto_site(AtomicSite::SwsOwnerReclaimRead.id());
                 let mut v = self.ctx.atomic_fetch(me, comp);
                 if v == 0 && faults {
                     // Head-of-line claim has no completion yet: start (or
@@ -287,6 +293,7 @@ impl<'a> SwsQueue<'a> {
                         Some(t0) if now.saturating_sub(t0) < grace => break,
                         Some(_) => {
                             // ordering: SwsOwnerReclaimRead (reclaim CAS)
+                            self.ctx.proto_site(AtomicSite::SwsOwnerReclaimRead.id());
                             let prev = self.ctx.atomic_compare_swap(me, comp, 0, COMP_RECLAIMED);
                             if prev == 0 {
                                 // We won the race against the thief: the
@@ -377,6 +384,7 @@ impl<'a> SwsQueue<'a> {
         // *before* thieves can see it.
         for s in 0..self.policy.max_steals(itasks) {
             // ordering: SwsOwnerSlotZero
+            self.ctx.proto_site(AtomicSite::SwsOwnerSlotZero.id());
             self.ctx
                 .atomic_set(self.ctx.my_pe(), self.comp_slot(slot, s), 0);
         }
@@ -387,6 +395,7 @@ impl<'a> SwsQueue<'a> {
             tail: self.buf.ring().slot(tail) as u32,
         };
         // ordering: SwsOwnerAdvertise
+        self.ctx.proto_site(AtomicSite::SwsOwnerAdvertise.id());
         self.ctx
             .atomic_set(self.ctx.my_pe(), self.sv_addr, self.cfg.layout.encode(sv));
         self.slot_busy[slot] = true;
@@ -414,6 +423,7 @@ impl<'a> SwsQueue<'a> {
         // it cannot double-claim.
         let claim = retry_comm(&policy, &mut self.rng, &mut self.stats, ctx, || {
             // ordering: SwsThiefClaim
+            ctx.proto_site(AtomicSite::SwsThiefClaim.id());
             ctx.try_atomic_fetch_add(target, sv_addr, ASTEAL_UNIT)
         });
         let raw = match claim {
@@ -455,6 +465,8 @@ impl<'a> SwsQueue<'a> {
         let buf = self.buf;
         let mut scratch = std::mem::take(&mut self.scratch);
         let got = retry_comm(&policy, &mut self.rng, &mut self.stats, ctx, || {
+            // ordering: SwsThiefPayloadRead
+            ctx.proto_site(AtomicSite::SwsThiefPayloadRead.id());
             buf.try_steal_copy(ctx, target, start, vol as usize, &mut scratch)
         });
         if let Err(e) = got {
@@ -464,6 +476,7 @@ impl<'a> SwsQueue<'a> {
             // the block — either way it runs exactly once, at the owner.
             let _ = retry_comm(&policy, &mut self.rng, &mut self.stats, ctx, || {
                 // ordering: SwsThiefComplete (poison CAS)
+                ctx.proto_site(AtomicSite::SwsThiefComplete.id());
                 ctx.try_atomic_compare_swap(target, comp, 0, COMP_POISON)
             });
             self.scratch = scratch;
@@ -477,6 +490,7 @@ impl<'a> SwsQueue<'a> {
         // block lands locally: only a confirmed claim may execute.
         let fin = retry_comm(&policy, &mut self.rng, &mut self.stats, ctx, || {
             // ordering: SwsThiefComplete (confirmed-claim CAS)
+            ctx.proto_site(AtomicSite::SwsThiefComplete.id());
             ctx.try_atomic_compare_swap(target, comp, 0, vol)
         });
         match fin {
@@ -605,6 +619,7 @@ impl StealQueue for SwsQueue<'_> {
             tail: 0,
         });
         // ordering: SwsOwnerAcquireSwap (acquire closes the gate)
+        self.ctx.proto_site(AtomicSite::SwsOwnerAcquireSwap.id());
         let raw = self.ctx.atomic_swap(self.ctx.my_pe(), self.sv_addr, closed);
         let sv = self.cfg.layout.decode(raw);
         debug_assert!(
@@ -657,6 +672,7 @@ impl StealQueue for SwsQueue<'_> {
 
         // 1. One atomic fetch-add: discover AND claim.
         // ordering: SwsThiefClaim
+        self.ctx.proto_site(AtomicSite::SwsThiefClaim.id());
         let raw = self.ctx.atomic_fetch_add(target, self.sv_addr, ASTEAL_UNIT);
         let sv = self.cfg.layout.decode(raw);
         let epoch = match sv.gate {
@@ -686,11 +702,14 @@ impl StealQueue for SwsQueue<'_> {
         // 2. One get (gathered across the ring wrap if needed).
         let start = self.buf.ring().slot(sv.tail as u64 + offset);
         let mut scratch = std::mem::take(&mut self.scratch);
+        // ordering: SwsThiefPayloadRead
+        self.ctx.proto_site(AtomicSite::SwsThiefPayloadRead.id());
         self.buf
             .steal_copy(self.ctx, target, start, vol as usize, &mut scratch);
 
         // 3. Passive completion notification; the owner reconciles later.
         // ordering: SwsThiefComplete
+        self.ctx.proto_site(AtomicSite::SwsThiefComplete.id());
         self.ctx
             .atomic_set_nbi(target, self.comp_slot(epoch as usize, a), vol);
 
@@ -707,6 +726,8 @@ impl StealQueue for SwsQueue<'_> {
     }
 
     fn probe(&self, target: usize) -> bool {
+        // ordering: SwsThiefProbe
+        self.ctx.proto_site(AtomicSite::SwsThiefProbe.id());
         let raw = if self.ctx.faults_active() {
             match self.ctx.try_atomic_fetch(target, self.sv_addr) {
                 Ok(raw) => raw,
@@ -746,6 +767,7 @@ impl StealQueue for SwsQueue<'_> {
             tail: 0,
         });
         // ordering: SwsOwnerAcquireSwap (retire closes the gate)
+        self.ctx.proto_site(AtomicSite::SwsOwnerAcquireSwap.id());
         let raw = self.ctx.atomic_swap(self.ctx.my_pe(), self.sv_addr, closed);
         let sv = self.cfg.layout.decode(raw);
         if matches!(sv.gate, Gate::Open { .. }) && self.epochs.back().is_some_and(|e| e.open) {

@@ -146,6 +146,15 @@ impl SchedConfig {
         self.ft = ft;
         self
     }
+
+    /// Override the progress (completion-reclaim) interval. Shorter
+    /// intervals exercise the reclaim paths on small workloads — the
+    /// conformance matrix uses this so reclaim sites appear in traces.
+    #[must_use]
+    pub fn with_progress_interval(mut self, tasks: u64) -> SchedConfig {
+        self.progress_interval = tasks;
+        self
+    }
 }
 
 #[cfg(test)]

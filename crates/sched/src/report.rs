@@ -8,7 +8,7 @@
 //! runtime of any process" since all PEs run until global termination.
 
 use sws_core::QueueStats;
-use sws_shmem::{EngineStats, OpStats, StatsSummary};
+use sws_shmem::{EngineStats, OpStats, ProtoEvent, StatsSummary};
 
 use crate::trace::Event;
 
@@ -42,6 +42,11 @@ pub struct WorkerStats {
     /// Virtual-time engine counters for this PE (all zeros in threaded
     /// mode). Wall-clock quantities — excluded from determinism checks.
     pub engine: EngineStats,
+    /// Site-annotated protocol op trace issued by this PE (empty unless
+    /// `RunConfig::capture_proto` was set). Merge across PEs with
+    /// [`crate::trace::merge_proto_events`] to recover the global
+    /// serialization order.
+    pub proto: Vec<ProtoEvent>,
 }
 
 /// Everything one experiment run produced.
@@ -197,6 +202,13 @@ impl RunReport {
         Some(format!(
             "     faults: {retries} retries, {failed} failed, {aborted} aborted, {poisoned} poisoned, {reclaimed} reclaimed, {quarantined} quarantined, {crashed} crashed PEs",
         ))
+    }
+
+    /// The captured protocol trace merged across PEs into global
+    /// serialization order (empty unless the run captured one).
+    pub fn proto_trace(&self) -> Vec<ProtoEvent> {
+        let per_pe: Vec<&[ProtoEvent]> = self.workers.iter().map(|w| w.proto.as_slice()).collect();
+        sws_shmem::proto::merge_events(&per_pe)
     }
 
     /// Aggregate virtual-time engine counters across PEs.

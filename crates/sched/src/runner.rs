@@ -48,6 +48,10 @@ pub struct RunConfig {
     /// Virtual-time gate implementation (safe-window by default; the
     /// handoff-per-op gate is kept for differential testing).
     pub gate: GateMode,
+    /// Capture site-annotated protocol ops into `WorkerStats::proto`
+    /// (the conformance checker's input). Off by default: hot paths see
+    /// one extra predictable branch per op at most.
+    pub capture_proto: bool,
 }
 
 impl RunConfig {
@@ -61,6 +65,7 @@ impl RunConfig {
             extra_heap_words: 4096,
             faults: None,
             gate: GateMode::default(),
+            capture_proto: false,
         }
     }
 
@@ -75,6 +80,13 @@ impl RunConfig {
     #[must_use]
     pub fn with_gate(mut self, gate: GateMode) -> RunConfig {
         self.gate = gate;
+        self
+    }
+
+    /// Capture the protocol op trace for conformance checking.
+    #[must_use]
+    pub fn with_capture_proto(mut self) -> RunConfig {
+        self.capture_proto = true;
         self
     }
 
@@ -104,6 +116,7 @@ pub fn run_workload_mode(
         mode,
         faults: None,
         gate: cfg.gate,
+        capture_proto: cfg.capture_proto,
     };
     let mut sched = cfg.sched;
     if let Some(plan) = &cfg.faults {
@@ -142,6 +155,7 @@ pub fn run_workload_mode(
                 w.seed(&workload.seeds(ctx.my_pe(), ctx.n_pes()));
                 let mut ws = w.run().0;
                 ws.engine = ctx.engine_stats();
+                ws.proto = ctx.take_proto_events();
                 ws
             }
             QueueKind::Sdc => {
@@ -150,6 +164,7 @@ pub fn run_workload_mode(
                 w.seed(&workload.seeds(ctx.my_pe(), ctx.n_pes()));
                 let mut ws = w.run().0;
                 ws.engine = ctx.engine_stats();
+                ws.proto = ctx.take_proto_events();
                 ws
             }
         }

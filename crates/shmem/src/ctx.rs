@@ -28,6 +28,7 @@ use crate::addr::SymAddr;
 use crate::error::{OpError, OpResult};
 use crate::fault::{FaultInjector, FaultPlan, PreDecision};
 use crate::net::OpKind;
+use crate::proto::{ProtoEvent, ProtoOp, NO_SITE};
 use crate::runtime::WorldShared;
 use crate::stats::OpStats;
 
@@ -45,6 +46,12 @@ pub struct ShmemCtx {
     /// Nonzero while inside a collective; collective-internal one-sided
     /// ops are control-plane and exempt from injection.
     collective_depth: Cell<u32>,
+    /// Protocol op-trace buffer (`WorldConfig::capture_proto`); `None`
+    /// keeps the op surface capture-free.
+    capture: Option<RefCell<Vec<ProtoEvent>>>,
+    /// `AtomicSite` id armed by [`ShmemCtx::proto_site`] for the next
+    /// one-sided op; consumed (reset to `NO_SITE`) by that op.
+    armed_site: Cell<u16>,
     wall_start: Instant,
 }
 
@@ -54,6 +61,7 @@ impl ShmemCtx {
             .faults
             .as_ref()
             .map(|plan| FaultInjector::new(std::sync::Arc::clone(plan), pe));
+        let capture = world.capture_proto.then(|| RefCell::new(Vec::new()));
         ShmemCtx {
             pe,
             world,
@@ -62,6 +70,8 @@ impl ShmemCtx {
             pending_nbi_count: Cell::new(0),
             injector,
             collective_depth: Cell::new(0),
+            capture,
+            armed_site: Cell::new(NO_SITE),
             wall_start: Instant::now(),
         }
     }
@@ -124,6 +134,84 @@ impl ShmemCtx {
 
     pub(crate) fn take_stats(&self) -> OpStats {
         self.stats.borrow_mut().clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Protocol op-trace capture (see `crate::proto`)
+    // ------------------------------------------------------------------
+
+    /// Arm the next one-sided op on this context with an `AtomicSite` id
+    /// for trace capture. No-op unless the world was built with
+    /// `WorldConfig::capture_proto`; the protocol code annotates its ops
+    /// unconditionally and pays one branch here when capture is off.
+    #[inline]
+    pub fn proto_site(&self, site: u16) {
+        if self.capture.is_some() {
+            self.armed_site.set(site);
+        }
+    }
+
+    /// Whether this world records protocol op traces.
+    #[inline]
+    pub fn proto_capture_active(&self) -> bool {
+        self.capture.is_some()
+    }
+
+    /// Drain the events captured so far (in issuer-local order).
+    pub fn take_proto_events(&self) -> Vec<ProtoEvent> {
+        match &self.capture {
+            Some(buf) => std::mem::take(&mut *buf.borrow_mut()),
+            None => Vec::new(),
+        }
+    }
+
+    /// Consume the armed site id. Called at the *start* of every op that
+    /// can capture, so an op whose effect never applies (injected fault)
+    /// still uses up its annotation instead of leaking it to an
+    /// unrelated later op.
+    #[inline]
+    fn armed(&self) -> u16 {
+        if self.capture.is_none() {
+            return NO_SITE;
+        }
+        self.armed_site.replace(NO_SITE)
+    }
+
+    /// Record one captured event. Must be called *inside* the op's gated
+    /// effect closure: the issuer clock read here is the pre-advance
+    /// serialization key (see `crate::proto::merge_events`).
+    #[allow(clippy::too_many_arguments)] // mirrors the ProtoEvent fields
+    fn capture_event(
+        &self,
+        site: u16,
+        op: ProtoOp,
+        target: usize,
+        addr: SymAddr,
+        len: usize,
+        arg: u64,
+        arg2: u64,
+        prev: u64,
+    ) {
+        let Some(buf) = &self.capture else { return };
+        if site == NO_SITE {
+            return;
+        }
+        let t_ns = match &self.world.vclock {
+            Some(vc) => vc.now(self.pe),
+            None => self.wall_start.elapsed().as_nanos() as u64,
+        };
+        buf.borrow_mut().push(ProtoEvent {
+            t_ns,
+            issuer: self.pe as u32,
+            target: target as u32,
+            offset: addr.word() as u32,
+            len: len as u32,
+            site,
+            op,
+            arg,
+            arg2,
+            prev,
+        });
     }
 
     /// Apply a shared-visible effect with cost accounting and (in virtual
@@ -293,9 +381,15 @@ impl ShmemCtx {
     /// panicking.
     pub fn try_get_words(&self, pe: usize, addr: SymAddr, dst: &mut [u64]) -> OpResult<()> {
         let heap = &self.world.heap;
+        let site = self.armed();
         self.try_op(OpKind::Get, pe, dst.len() * 8, || {
             for (i, d) in dst.iter_mut().enumerate() {
                 *d = heap.word(pe, addr.offset(i)).load(Ordering::Acquire);
+            }
+            if site != NO_SITE {
+                let w0 = dst.first().copied().unwrap_or(0);
+                let w1 = dst.get(1).copied().unwrap_or(0);
+                self.capture_event(site, ProtoOp::Get, pe, addr, dst.len(), 0, w1, w0);
             }
         })
     }
@@ -325,6 +419,7 @@ impl ShmemCtx {
     ) -> OpResult<()> {
         assert_eq!(a.1 + b.1, dst.len(), "gather ranges must fill dst");
         let heap = &self.world.heap;
+        let site = self.armed();
         self.try_op(OpKind::Get, pe, dst.len() * 8, || {
             let (first, second) = dst.split_at_mut(a.1);
             for (i, d) in first.iter_mut().enumerate() {
@@ -333,6 +428,9 @@ impl ShmemCtx {
             for (i, d) in second.iter_mut().enumerate() {
                 *d = heap.word(pe, b.0.offset(i)).load(Ordering::Acquire);
             }
+            // One gather = one captured event; the first range's offset
+            // and the total length identify the (wrapped) block.
+            self.capture_event(site, ProtoOp::Get, pe, a.0, a.1 + b.1, 0, 0, 0);
         })
     }
 
@@ -344,7 +442,13 @@ impl ShmemCtx {
     /// Fallible [`Self::put_words`].
     pub fn try_put_words(&self, pe: usize, addr: SymAddr, src: &[u64]) -> OpResult<()> {
         let heap = &self.world.heap;
+        let site = self.armed();
         self.try_op(OpKind::Put, pe, src.len() * 8, || {
+            if site != NO_SITE {
+                let w0 = src.first().copied().unwrap_or(0);
+                let w1 = src.get(1).copied().unwrap_or(0);
+                self.capture_event(site, ProtoOp::Put, pe, addr, src.len(), w0, w1, 0);
+            }
             for (i, &s) in src.iter().enumerate() {
                 heap.word(pe, addr.offset(i)).store(s, Ordering::Release);
             }
@@ -397,8 +501,11 @@ impl ShmemCtx {
     /// Fallible [`Self::atomic_fetch_add`].
     pub fn try_atomic_fetch_add(&self, pe: usize, addr: SymAddr, val: u64) -> OpResult<u64> {
         let heap = &self.world.heap;
+        let site = self.armed();
         self.try_op(OpKind::AtomicFetchAdd, pe, 8, || {
-            heap.word(pe, addr).fetch_add(val, Ordering::AcqRel)
+            let prev = heap.word(pe, addr).fetch_add(val, Ordering::AcqRel);
+            self.capture_event(site, ProtoOp::FetchAdd, pe, addr, 1, val, 0, prev);
+            prev
         })
     }
 
@@ -410,8 +517,11 @@ impl ShmemCtx {
     /// Fallible [`Self::atomic_swap`].
     pub fn try_atomic_swap(&self, pe: usize, addr: SymAddr, val: u64) -> OpResult<u64> {
         let heap = &self.world.heap;
+        let site = self.armed();
         self.try_op(OpKind::AtomicSwap, pe, 8, || {
-            heap.word(pe, addr).swap(val, Ordering::AcqRel)
+            let prev = heap.word(pe, addr).swap(val, Ordering::AcqRel);
+            self.capture_event(site, ProtoOp::Swap, pe, addr, 1, val, 0, prev);
+            prev
         })
     }
 
@@ -431,8 +541,9 @@ impl ShmemCtx {
         new: u64,
     ) -> OpResult<u64> {
         let heap = &self.world.heap;
+        let site = self.armed();
         self.try_op(OpKind::AtomicCompareSwap, pe, 8, || {
-            match heap.word(pe, addr).compare_exchange(
+            let prev = match heap.word(pe, addr).compare_exchange(
                 expected,
                 new,
                 Ordering::AcqRel,
@@ -440,7 +551,9 @@ impl ShmemCtx {
             ) {
                 Ok(prev) => prev,
                 Err(prev) => prev,
-            }
+            };
+            self.capture_event(site, ProtoOp::CompareSwap, pe, addr, 1, new, expected, prev);
+            prev
         })
     }
 
@@ -452,8 +565,11 @@ impl ShmemCtx {
     /// Fallible [`Self::atomic_fetch`].
     pub fn try_atomic_fetch(&self, pe: usize, addr: SymAddr) -> OpResult<u64> {
         let heap = &self.world.heap;
+        let site = self.armed();
         self.try_op(OpKind::AtomicFetch, pe, 8, || {
-            heap.word(pe, addr).load(Ordering::Acquire)
+            let v = heap.word(pe, addr).load(Ordering::Acquire);
+            self.capture_event(site, ProtoOp::Fetch, pe, addr, 1, 0, 0, v);
+            v
         })
     }
 
@@ -465,7 +581,14 @@ impl ShmemCtx {
     /// Fallible [`Self::atomic_set`].
     pub fn try_atomic_set(&self, pe: usize, addr: SymAddr, val: u64) -> OpResult<()> {
         let heap = &self.world.heap;
+        let site = self.armed();
         self.try_op(OpKind::AtomicSet, pe, 8, || {
+            if site != NO_SITE {
+                // The overwritten value is only observable while capturing;
+                // the extra load happens solely on that path.
+                let prev = heap.word(pe, addr).load(Ordering::Acquire);
+                self.capture_event(site, ProtoOp::Set, pe, addr, 1, val, 0, prev);
+            }
             heap.word(pe, addr).store(val, Ordering::Release)
         })
     }
@@ -474,8 +597,10 @@ impl ShmemCtx {
     /// Losses under fault injection are silent (see [`Self::put_words_nbi`]).
     pub fn atomic_add_nbi(&self, pe: usize, addr: SymAddr, val: u64) {
         let heap = &self.world.heap;
+        let site = self.armed();
         self.op_nbi(OpKind::AtomicAddNbi, pe, 8, || {
-            heap.word(pe, addr).fetch_add(val, Ordering::AcqRel);
+            let prev = heap.word(pe, addr).fetch_add(val, Ordering::AcqRel);
+            self.capture_event(site, ProtoOp::AddNbi, pe, addr, 1, val, 0, prev);
         });
     }
 
@@ -483,7 +608,12 @@ impl ShmemCtx {
     /// injection are silent (see [`Self::put_words_nbi`]).
     pub fn atomic_set_nbi(&self, pe: usize, addr: SymAddr, val: u64) {
         let heap = &self.world.heap;
+        let site = self.armed();
         self.op_nbi(OpKind::AtomicSetNbi, pe, 8, || {
+            if site != NO_SITE {
+                let prev = heap.word(pe, addr).load(Ordering::Acquire);
+                self.capture_event(site, ProtoOp::SetNbi, pe, addr, 1, val, 0, prev);
+            }
             heap.word(pe, addr).store(val, Ordering::Release)
         });
     }

@@ -54,6 +54,7 @@ mod heap;
 mod lock;
 mod net;
 mod onesided;
+pub mod proto;
 pub mod rng;
 mod runtime;
 mod stats;
@@ -67,6 +68,7 @@ pub use fault::{FaultPlan, OpClass, RetryPolicy, TargetSel};
 pub use heap::SymmetricHeap;
 pub use net::{Locality, NetModel, OpKind, ALL_OP_KINDS, OP_KIND_COUNT};
 pub use onesided::OneSided;
+pub use proto::{ProtoEvent, ProtoOp, NO_SITE};
 pub use runtime::{run_world, ExecMode, WorldConfig, WorldOutput};
 pub use stats::{OpStats, StatsSummary};
 pub use vclock::{EngineStats, GateMode};

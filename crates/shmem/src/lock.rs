@@ -54,6 +54,12 @@ impl Condvar {
 /// Replace `*slot` via `f`, aborting the process if `f` panics (it cannot:
 /// both callers only move guards through `Condvar::wait`).
 fn take_mut<T>(slot: &mut T, f: impl FnOnce(T) -> T) {
+    // SAFETY: `ptr::read` duplicates `*slot`, leaving the slot logically
+    // uninitialized until the matching `ptr::write` below. Every exit path
+    // between the two either writes a replacement value back (the normal
+    // path) or aborts the process without unwinding (`catch_unwind` +
+    // `abort`), so no caller — including a panicking one — can ever
+    // observe or drop the duplicated value twice.
     unsafe {
         let old = std::ptr::read(slot);
         let new = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(old)))

@@ -41,6 +41,13 @@ pub trait OneSided {
     fn put_words(&self, pe: usize, addr: SymAddr, src: &[u64]);
     /// Wait for outstanding non-blocking operations issued by this PE.
     fn quiet(&self);
+    /// Arm the next op with an `AtomicSite` id for trace capture (see
+    /// `crate::proto`). Default: no-op — substrates without a capture
+    /// layer (and the model checker's memory, which has its own notion
+    /// of sites) ignore annotations.
+    fn proto_site(&self, site: u16) {
+        let _ = site;
+    }
 }
 
 impl OneSided for ShmemCtx {
@@ -76,5 +83,8 @@ impl OneSided for ShmemCtx {
     }
     fn quiet(&self) {
         ShmemCtx::quiet(self)
+    }
+    fn proto_site(&self, site: u16) {
+        ShmemCtx::proto_site(self, site)
     }
 }

@@ -1,0 +1,165 @@
+//! Protocol op-trace capture (`WorldConfig::capture_proto`).
+//!
+//! When capture is enabled, every *site-annotated* one-sided operation a
+//! PE issues is recorded as a [`ProtoEvent`] at its serialization point:
+//! inside the virtual-time gate, timestamped with the issuer's clock
+//! *before* the op's cost is charged. Because the engine applies effects
+//! in nondecreasing `(clock, rank)` order, sorting the merged per-PE
+//! streams by `(t_ns, issuer)` reconstructs the exact global order in
+//! which the memory effects were applied — which is what a refinement
+//! check needs to replay.
+//!
+//! Annotation happens in the protocol code (`sws-core`'s queues): a call
+//! to [`crate::ShmemCtx::proto_site`] arms the *next* one-sided op on the
+//! same context with an `sws_core::AtomicSite` id (this crate cannot
+//! depend on `sws-core`, so the id travels as a raw `u16`). Unannotated
+//! ops — termination-detector counters, collectives, workload setup
+//! traffic — are not captured; neither is an op whose memory effect never
+//! applied (a dropped/faulted op reaches no memory, so a trace replay
+//! must not see it). With capture off, the annotation call is a no-op and
+//! the op surface is untouched apart from one predictable branch.
+
+/// "No site" sentinel for [`ProtoEvent::site`] annotations. Ops armed
+/// with this value (or never armed) are not captured.
+pub const NO_SITE: u16 = u16::MAX;
+
+/// The shape of a captured one-sided operation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ProtoOp {
+    /// `atomic_fetch_add`: `arg` = addend, `prev` = fetched value.
+    FetchAdd,
+    /// `atomic_swap`: `arg` = new value, `prev` = replaced value.
+    Swap,
+    /// `atomic_compare_swap`: `arg` = new, `arg2` = expected, `prev` =
+    /// observed value (success iff `prev == arg2`).
+    CompareSwap,
+    /// `atomic_fetch`: `prev` = value read.
+    Fetch,
+    /// `atomic_set`: `arg` = stored value, `prev` = overwritten value
+    /// (loaded only while capturing).
+    Set,
+    /// `atomic_set_nbi`: like [`ProtoOp::Set`] (the engine applies nbi
+    /// effects at issue time).
+    SetNbi,
+    /// `atomic_add_nbi`: like [`ProtoOp::FetchAdd`].
+    AddNbi,
+    /// Bulk `get` (or gather): `len` words starting at `offset`; for
+    /// reads of ≤ 2 words, `prev`/`arg2` hold the first/second word.
+    Get,
+    /// Bulk `put`: `len` words starting at `offset`; for writes of ≤ 2
+    /// words, `arg`/`arg2` hold the first/second word.
+    Put,
+}
+
+impl ProtoOp {
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtoOp::FetchAdd => "fetch_add",
+            ProtoOp::Swap => "swap",
+            ProtoOp::CompareSwap => "compare_swap",
+            ProtoOp::Fetch => "fetch",
+            ProtoOp::Set => "set",
+            ProtoOp::SetNbi => "set_nbi",
+            ProtoOp::AddNbi => "add_nbi",
+            ProtoOp::Get => "get",
+            ProtoOp::Put => "put",
+        }
+    }
+}
+
+/// One captured protocol operation, in issuer-local order. See the
+/// module docs for the merge rule that recovers the global order.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ProtoEvent {
+    /// Issuer's virtual clock when the effect applied (pre-advance).
+    pub t_ns: u64,
+    /// PE that issued the op.
+    pub issuer: u32,
+    /// PE whose region the op touched.
+    pub target: u32,
+    /// Word offset of the (first) touched word in the target's region.
+    pub offset: u32,
+    /// Words touched (1 for atomics).
+    pub len: u32,
+    /// `AtomicSite` id (`sws_core::AtomicSite::id`); never [`NO_SITE`]
+    /// in a captured event.
+    pub site: u16,
+    /// Operation shape.
+    pub op: ProtoOp,
+    /// Operand (see the [`ProtoOp`] variant docs).
+    pub arg: u64,
+    /// Second operand (CAS expected; second word of a 2-word get/put).
+    pub arg2: u64,
+    /// Pre-op value of the touched word (first word for bulk reads).
+    pub prev: u64,
+}
+
+impl std::fmt::Display for ProtoEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "t={} pe{}->pe{} site#{} {}@{}+{} arg={:#x} arg2={:#x} prev={:#x}",
+            self.t_ns,
+            self.issuer,
+            self.target,
+            self.site,
+            self.op.name(),
+            self.offset,
+            self.len,
+            self.arg,
+            self.arg2,
+            self.prev,
+        )
+    }
+}
+
+/// Merge per-PE event streams into the global serialization order.
+///
+/// Correct because (a) each PE's own events carry strictly increasing
+/// timestamps (every gated op advances the issuer's clock by ≥ 1 ns
+/// after capture), and (b) the engine admits effects in nondecreasing
+/// `(clock, rank)` order, so `(t_ns, issuer)` is exactly the key the
+/// gate serialized on.
+pub fn merge_events<S: AsRef<[ProtoEvent]>>(per_pe: &[S]) -> Vec<ProtoEvent> {
+    let mut all: Vec<ProtoEvent> = per_pe.iter().flat_map(|s| s.as_ref()).copied().collect();
+    all.sort_by_key(|e| (e.t_ns, e.issuer));
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, issuer: u32) -> ProtoEvent {
+        ProtoEvent {
+            t_ns: t,
+            issuer,
+            target: 0,
+            offset: 9,
+            len: 1,
+            site: 3,
+            op: ProtoOp::FetchAdd,
+            arg: 1,
+            arg2: 0,
+            prev: 7,
+        }
+    }
+
+    #[test]
+    fn merge_orders_by_time_then_rank() {
+        let merged = merge_events(&[
+            vec![ev(5, 0), ev(9, 0)],
+            vec![ev(2, 1), ev(5, 1)],
+        ]);
+        let key: Vec<(u64, u32)> = merged.iter().map(|e| (e.t_ns, e.issuer)).collect();
+        assert_eq!(key, vec![(2, 1), (5, 0), (5, 1), (9, 0)]);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = ev(5, 2).to_string();
+        assert!(s.contains("pe2->pe0"), "{s}");
+        assert!(s.contains("fetch_add@9+1"), "{s}");
+    }
+}

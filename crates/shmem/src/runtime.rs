@@ -53,6 +53,10 @@ pub struct WorldConfig {
     /// deterministic effect schedule; the switch exists for differential
     /// testing and engine benchmarking.
     pub gate: GateMode,
+    /// Record site-annotated one-sided ops as [`crate::ProtoEvent`]s for
+    /// trace-conformance checking (see `crate::proto`). Off by default;
+    /// when off, the op surface carries no capture state.
+    pub capture_proto: bool,
 }
 
 impl WorldConfig {
@@ -65,6 +69,7 @@ impl WorldConfig {
             mode: ExecMode::Virtual,
             faults: None,
             gate: GateMode::default(),
+            capture_proto: false,
         }
     }
 
@@ -79,6 +84,7 @@ impl WorldConfig {
             },
             faults: None,
             gate: GateMode::default(),
+            capture_proto: false,
         }
     }
 
@@ -102,6 +108,13 @@ impl WorldConfig {
         self.gate = gate;
         self
     }
+
+    /// Enable protocol op-trace capture.
+    #[must_use]
+    pub fn with_capture_proto(mut self) -> WorldConfig {
+        self.capture_proto = true;
+        self
+    }
 }
 
 /// State shared by every PE of a world.
@@ -116,6 +129,8 @@ pub(crate) struct WorldShared {
     /// Per-PE down flags: set by a PE after it crash-stops and drains its
     /// protocol state; ops targeting a down PE fail with `TargetDown`.
     pub(crate) down: Vec<AtomicBool>,
+    /// Whether contexts record site-annotated ops as `ProtoEvent`s.
+    pub(crate) capture_proto: bool,
 }
 
 /// Everything a finished world produced.
@@ -185,6 +200,7 @@ where
         inject_latency,
         faults,
         down: (0..cfg.n_pes).map(|_| AtomicBool::new(false)).collect(),
+        capture_proto: cfg.capture_proto,
     });
 
     let start = Instant::now();
@@ -704,6 +720,7 @@ mod latency_injection_tests {
                 },
                 faults: None,
                 gate: GateMode::default(),
+                capture_proto: false,
             };
             let t0 = Instant::now();
             run_world(cfg, |ctx| {

@@ -28,7 +28,7 @@
 //! horizon, the PE blocks (barrier, gate of another window), or the world
 //! is poisoned.
 //!
-//! Safety argument (why the order is unchanged, see DESIGN.md §9):
+//! Safety argument (why the order is unchanged, see DESIGN.md §5a):
 //!
 //! * while a PE holds a window, its *published* clock stays at the grant
 //!   value, so every other PE's gate key compares greater and no second

@@ -23,6 +23,10 @@
 //!   --histogram      print steal-volume and victim histograms (tracing)
 //!   --json           machine-readable report to stdout
 //!
+//! standalone modes:
+//!   --conform        replay the deterministic conformance matrix
+//!                    through the abstract protocol machines and exit
+//!
 //! fault injection (chaos runs; deterministic per seed):
 //!   --drop-prob P    drop each remote op with probability P (0.0–1.0)
 //!   --stall PE:FROM:DUR   stall PE for DUR ns starting at FROM ns
@@ -61,6 +65,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!("usage: sws-run <uts|bpc|flat> [--pes N] [--system sws|sdc|both] [--seed N]");
+    eprintln!("       sws-run --conform");
     eprintln!("               [--depth N] [--consumers N] [--tasks N] [--task-ns N]");
     eprintln!("               [--nodes N] [--gate safe|handoff] [--engine] [--timeline] [--json]");
     eprintln!("               [--drop-prob P] [--stall PE:FROM:DUR] [--crash PE:AT]");
@@ -226,6 +231,14 @@ fn run_one(args: &Args, kind: QueueKind) -> RunReport {
 }
 
 fn main() {
+    // `--conform` is a standalone mode: replay the conformance matrix
+    // (captured production traces → abstract protocol machines) and
+    // exit with the refinement verdict.
+    if std::env::args().nth(1).as_deref() == Some("--conform") {
+        let report = sws::check::conform::conform_all();
+        print!("{}", report.render());
+        std::process::exit(if report.ok() { 0 } else { 1 });
+    }
     let args = parse_args();
     let kinds: Vec<QueueKind> = match args.system.as_str() {
         "sws" => vec![QueueKind::Sws],

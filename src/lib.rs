@@ -19,7 +19,9 @@
 //! * [`sched`] — the work-first scheduler, victim selection, steal
 //!   damping, termination detection, and the experiment runner;
 //! * [`workloads`] — UTS (over a from-scratch SHA-1), BPC, and
-//!   synthetic tasks.
+//!   synthetic tasks;
+//! * [`check`] — the bounded model checker, ordering audit, protocol
+//!   lint, and the trace-conformance (refinement) checker.
 //!
 //! ## Quickstart
 //!
@@ -36,6 +38,7 @@
 //! println!("{}", report.summary_line());
 //! ```
 
+pub use sws_check as check;
 pub use sws_core as core;
 pub use sws_sched as sched;
 pub use sws_shmem as shmem;

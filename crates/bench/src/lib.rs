@@ -71,6 +71,29 @@ pub fn run_series_gated<W: Workload>(
         .collect()
 }
 
+/// As [`run_series`], but with the full telemetry stack armed: event
+/// tracing on and per-op protocol capture enabled. Used by the
+/// armed-vs-disarmed differential suite to prove telemetry is pure
+/// observation — the figure CSVs must come out byte-identical.
+pub fn run_series_instrumented<W: Workload>(
+    kind: QueueKind,
+    n_pes: usize,
+    queue: QueueConfig,
+    runs: usize,
+    mut workload_for: impl FnMut(u64) -> W,
+) -> Vec<RunReport> {
+    (0..runs)
+        .map(|r| {
+            let mut sched = SchedConfig::new(kind, queue).with_seed(0xBA5E + r as u64 * 7919);
+            sched.trace = true;
+            let cfg = RunConfig::new(n_pes, sched)
+                .with_gate(GateMode::default())
+                .with_capture_proto();
+            sws_sched::run_workload(&cfg, &workload_for(r as u64))
+        })
+        .collect()
+}
+
 /// Standard banner for a figure harness.
 pub fn banner(fig: &str, what: &str) {
     println!("================================================================");

@@ -5,7 +5,7 @@
 //! the safe-window engine must not perturb a single digit of any
 //! figure CSV. Wall-clock companions (`*_wall.csv`) are exempt.
 
-use sws_bench::{csv_for, run_series_gated, summarize, wall_csv_for, Cell};
+use sws_bench::{csv_for, run_series_gated, run_series_instrumented, summarize, wall_csv_for, Cell};
 use sws_core::QueueConfig;
 use sws_sched::QueueKind;
 use sws_shmem::GateMode;
@@ -69,4 +69,34 @@ fn csv_rows_are_deterministic_across_reruns() {
     let a = csv_for(&sweep(GateMode::SafeWindow));
     let b = csv_for(&sweep(GateMode::SafeWindow));
     assert_eq!(a, b, "rerun with identical seeds must be byte-identical");
+}
+
+/// Arming the full telemetry stack (event tracing + per-op protocol
+/// capture) must not perturb a single digit of the figure CSV: same
+/// seeds, same cells, byte-identical artifact.
+#[test]
+fn figure_csv_is_byte_identical_with_telemetry_armed() {
+    let queue = QueueConfig::new(1024, 48);
+    let params = UtsParams::geo_small(7);
+    let instrumented: Vec<(usize, Cell, Cell)> = [2usize, 4]
+        .iter()
+        .map(|&pes| {
+            let sdc = run_series_instrumented(QueueKind::Sdc, pes, queue, 2, |_r| {
+                UtsWorkload::new(params)
+            });
+            let sws = run_series_instrumented(QueueKind::Sws, pes, queue, 2, |_r| {
+                UtsWorkload::new(params)
+            });
+            // The armed runs must actually be capturing.
+            assert!(!sdc[0].proto_trace().is_empty());
+            assert!(!sws[0].proto_trace().is_empty());
+            (pes, summarize(&sdc), summarize(&sws))
+        })
+        .collect();
+    let disarmed = csv_for(&sweep(GateMode::default()));
+    assert_eq!(
+        csv_for(&instrumented),
+        disarmed,
+        "telemetry must be pure observation"
+    );
 }

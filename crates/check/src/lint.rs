@@ -1,6 +1,6 @@
 //! `sws-lint` — source-level protocol lint over the workspace.
 //!
-//! Eight token-scan rules keep the code honest about the properties the
+//! Nine token-scan rules keep the code honest about the properties the
 //! model checker assumes. Scanning is deliberately lexical (comments and
 //! string/char literals are stripped first, with nested block comments
 //! handled) — no syn, no build dependency, same `std`-only discipline as
@@ -39,6 +39,10 @@
 //!    preceding lines, stating the invariant that makes it sound.
 //!    Per occurrence, no allowlist: an allowed `unsafe` still needs its
 //!    justification next to the code.
+//! 9. `println-in-lib` — `println!`/`eprintln!` in library crates
+//!    (core, shmem, sched, task, workloads, obs). Libraries report
+//!    through return values, the event log, or the metrics registry;
+//!    stdout belongs to the binaries under `/bin/`.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -236,6 +240,21 @@ fn all_sources(_p: &str) -> bool {
     true
 }
 
+/// Library crates must report through return values, the event log, or
+/// the metrics registry — never straight to stdio. Binaries (`/bin/`)
+/// are the presentation layer and may print.
+fn library_crates(p: &str) -> bool {
+    const LIBS: &[&str] = &[
+        "crates/core/src/",
+        "crates/shmem/src/",
+        "crates/sched/src/",
+        "crates/task/src/",
+        "crates/workloads/src/",
+        "crates/obs/src/",
+    ];
+    LIBS.iter().any(|l| p.starts_with(l)) && !p.contains("/bin/")
+}
+
 const TOKEN_RULES: &[TokenRule] = &[
     TokenRule {
         name: "stealval-bit-ops",
@@ -284,6 +303,11 @@ const TOKEN_RULES: &[TokenRule] = &[
         name: "unsafe-code",
         tokens: &["unsafe "],
         in_scope: all_sources,
+    },
+    TokenRule {
+        name: "println-in-lib",
+        tokens: &["println!", "eprintln!"],
+        in_scope: library_crates,
     },
 ];
 

@@ -1,0 +1,46 @@
+//! `sws-tracecheck` — validate a Chrome-trace JSON file.
+//!
+//! ```text
+//! sws-tracecheck FILE [FILE...]
+//! ```
+//!
+//! Checks each file against the Chrome trace event schema the exporter
+//! targets (well-formed JSON, required keys per phase, non-negative
+//! durations, monotone per-track timestamps) and prints a one-line
+//! summary. Exits non-zero on the first invalid file — CI runs this on
+//! the trace `sws-run --trace-out` emits.
+
+use sws_obs::validate_chrome_trace;
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: sws-tracecheck FILE [FILE...]");
+        std::process::exit(2);
+    }
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{file}: cannot read: {e}");
+                std::process::exit(1);
+            }
+        };
+        match validate_chrome_trace(&text) {
+            Ok(stats) => println!(
+                "{file}: OK — {} events ({} slices, {} instants, {} counter samples, \
+                 {} metadata) on {} tracks",
+                stats.events,
+                stats.complete,
+                stats.instants,
+                stats.counters,
+                stats.metadata,
+                stats.tracks,
+            ),
+            Err(e) => {
+                eprintln!("{file}: INVALID — {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # sws-obs — steal-span telemetry
+//!
+//! Observability layer for the SWS/SDC experiments, built on the proto
+//! capture in `sws-shmem` and the scheduler reports in `sws-sched`:
+//!
+//! * [`span`] — stitch captured [`ProtoEvent`](sws_shmem::ProtoEvent)
+//!   streams into per-steal spans with a phase-level virtual-time
+//!   breakdown, and check the paper's per-steal op budget (SWS: ≤ 3
+//!   ops / ≤ 2 blocking; SDC: 6 / 5) as a runtime invariant
+//!   (`sws-run --assert-comms`).
+//! * [`metrics`] — a per-PE sharded counter/gauge/histogram registry
+//!   with plain-store recording and report-time merging; text
+//!   exposition and JSON snapshot (`sws-run --metrics`).
+//! * [`perfetto`] — Chrome-trace/Perfetto JSON export of spans,
+//!   scheduler instants, and an idle-PE counter track
+//!   (`sws-run --trace-out FILE`), plus the schema validator behind
+//!   the `sws-tracecheck` binary.
+//! * [`report_json`] — the superset machine-readable run report used
+//!   by `sws-run --json`.
+//! * [`json`] — the std-only JSON writer/parser underneath it all.
+//!
+//! Everything here is post-mortem: the hot paths keep their plain
+//! per-PE stat structs, and proto capture stays a single predictable
+//! branch per site when disarmed, so telemetry never perturbs results
+//! (pinned by the armed-vs-disarmed differential suite).
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod perfetto;
+pub mod report_json;
+pub mod span;
+
+pub use metrics::{HistId, MetricId, MetricKind, Registry, Shard};
+pub use perfetto::{chrome_trace, validate_chrome_trace, TraceRun, TraceStats};
+pub use report_json::{comm_report_to_json, report_to_json};
+pub use span::{
+    check_comms, comm_budget, stitch_pe, stitch_report, CommBudget, CommReport, PhaseSlice,
+    SpanOutcome, StealSpan, System,
+};

@@ -1,0 +1,493 @@
+//! A per-PE sharded metrics registry.
+//!
+//! Metrics are declared once against the [`Registry`] (getting back a
+//! cheap copyable [`MetricId`]/[`HistId`] handle), then recorded into a
+//! per-PE [`Shard`] with plain stores — no atomics, no locks — and
+//! merged only at report time. A disarmed registry costs exactly one
+//! predictable branch per record call, mirroring how the proto-capture
+//! layer gates itself; the differential suite pins that arming the
+//! telemetry does not perturb results.
+//!
+//! [`Registry::from_report`] adapts the existing ad-hoc stat carriers —
+//! `QueueStats`, `OpStats`, `EngineStats`, `WorkerStats` — into the
+//! registry as the single export surface: `render_text()` emits a
+//! Prometheus-style text exposition, `to_json()` a machine-readable
+//! snapshot (`sws-run --metrics` prints both ways).
+
+use std::collections::BTreeMap;
+
+use sws_sched::report::RunReport;
+use sws_sched::trace::Pow2Histogram;
+use sws_shmem::ALL_OP_KINDS;
+
+use crate::json::escape;
+use crate::span::StealSpan;
+
+/// What a scalar metric means (histograms are their own type).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone sum; merged by addition.
+    Counter,
+    /// Point-in-time value; still merged by addition across PEs (a
+    /// per-PE breakdown is preserved in the JSON snapshot).
+    Gauge,
+}
+
+impl MetricKind {
+    fn label(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// Handle to a scalar metric.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct MetricId(usize);
+
+/// Handle to a histogram metric.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct HistId(usize);
+
+struct Desc {
+    name: String,
+    help: String,
+    kind: MetricKind,
+}
+
+/// One PE's metric storage: plain `u64` slots and histograms.
+#[derive(Default)]
+pub struct Shard {
+    armed: bool,
+    scalars: Vec<u64>,
+    hists: Vec<Pow2Histogram>,
+}
+
+impl Shard {
+    /// Add to a counter. One branch when the registry is disarmed.
+    #[inline]
+    pub fn add(&mut self, id: MetricId, v: u64) {
+        if !self.armed {
+            return;
+        }
+        self.scalars[id.0] += v;
+    }
+
+    /// Store a gauge value.
+    #[inline]
+    pub fn set(&mut self, id: MetricId, v: u64) {
+        if !self.armed {
+            return;
+        }
+        self.scalars[id.0] = v;
+    }
+
+    /// Record a histogram sample.
+    #[inline]
+    pub fn observe(&mut self, id: HistId, sample: u64) {
+        if !self.armed {
+            return;
+        }
+        self.hists[id.0].record(sample);
+    }
+}
+
+/// The sharded registry. Declare metrics up front, hand each PE its
+/// shard, merge at report time.
+pub struct Registry {
+    armed: bool,
+    descs: Vec<Desc>,
+    hist_descs: Vec<Desc>,
+    shards: Vec<Shard>,
+}
+
+impl Registry {
+    /// An armed registry with one shard per PE.
+    pub fn new(n_shards: usize) -> Registry {
+        Registry::with_armed(n_shards, true)
+    }
+
+    /// A disarmed registry: every record call is a single early-return
+    /// branch and the report surfaces render empty.
+    pub fn disarmed(n_shards: usize) -> Registry {
+        Registry::with_armed(n_shards, false)
+    }
+
+    fn with_armed(n_shards: usize, armed: bool) -> Registry {
+        let mut shards = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            shards.push(Shard {
+                armed,
+                scalars: Vec::new(),
+                hists: Vec::new(),
+            });
+        }
+        Registry {
+            armed,
+            descs: Vec::new(),
+            hist_descs: Vec::new(),
+            shards,
+        }
+    }
+
+    /// Is the registry recording?
+    pub fn armed(&self) -> bool {
+        self.armed
+    }
+
+    /// Number of shards (PEs).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn scalar(&mut self, name: &str, help: &str, kind: MetricKind) -> MetricId {
+        debug_assert!(
+            !self.descs.iter().any(|d| d.name == name),
+            "duplicate metric {name}"
+        );
+        let id = MetricId(self.descs.len());
+        self.descs.push(Desc {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind,
+        });
+        for s in &mut self.shards {
+            s.scalars.push(0);
+        }
+        id
+    }
+
+    /// Declare a counter.
+    pub fn counter(&mut self, name: &str, help: &str) -> MetricId {
+        self.scalar(name, help, MetricKind::Counter)
+    }
+
+    /// Declare a gauge.
+    pub fn gauge(&mut self, name: &str, help: &str) -> MetricId {
+        self.scalar(name, help, MetricKind::Gauge)
+    }
+
+    /// Declare a histogram.
+    pub fn histogram(&mut self, name: &str, help: &str) -> HistId {
+        debug_assert!(
+            !self.hist_descs.iter().any(|d| d.name == name),
+            "duplicate histogram {name}"
+        );
+        let id = HistId(self.hist_descs.len());
+        self.hist_descs.push(Desc {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind: MetricKind::Counter,
+        });
+        for s in &mut self.shards {
+            s.hists.push(Pow2Histogram::default());
+        }
+        id
+    }
+
+    /// A PE's shard, for recording.
+    pub fn shard_mut(&mut self, pe: usize) -> &mut Shard {
+        &mut self.shards[pe]
+    }
+
+    /// Merged (summed-across-shards) value of a scalar.
+    pub fn merged(&self, id: MetricId) -> u64 {
+        self.shards.iter().map(|s| s.scalars[id.0]).sum()
+    }
+
+    /// Per-shard values of a scalar.
+    pub fn per_pe(&self, id: MetricId) -> Vec<u64> {
+        self.shards.iter().map(|s| s.scalars[id.0]).collect()
+    }
+
+    /// Merged histogram across shards.
+    pub fn merged_hist(&self, id: HistId) -> Pow2Histogram {
+        let mut h = Pow2Histogram::default();
+        for s in &self.shards {
+            h.merge(&s.hists[id.0]);
+        }
+        h
+    }
+
+    /// Prometheus-style text exposition: `# HELP`/`# TYPE` preambles,
+    /// merged totals, and `_count`/`_sum`/`_p50`/`_p95`/`_p99` series
+    /// for histograms.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, d) in self.descs.iter().enumerate() {
+            let _ = writeln!(out, "# HELP {} {}", d.name, d.help);
+            let _ = writeln!(out, "# TYPE {} {}", d.name, d.kind.label());
+            let _ = writeln!(out, "{} {}", d.name, self.merged(MetricId(i)));
+        }
+        for (i, d) in self.hist_descs.iter().enumerate() {
+            let h = self.merged_hist(HistId(i));
+            let _ = writeln!(out, "# HELP {} {}", d.name, d.help);
+            let _ = writeln!(out, "# TYPE {} histogram", d.name);
+            let _ = writeln!(out, "{}_count {}", d.name, h.n);
+            let _ = writeln!(out, "{}_sum {}", d.name, h.sum);
+            let _ = writeln!(out, "{}_p50 {}", d.name, h.p50());
+            let _ = writeln!(out, "{}_p95 {}", d.name, h.p95());
+            let _ = writeln!(out, "{}_p99 {}", d.name, h.p99());
+        }
+        out
+    }
+
+    /// JSON snapshot: merged totals plus the per-PE breakdown.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"armed\":{},\"pes\":{},\"metrics\":{{",
+            self.armed,
+            self.shards.len()
+        );
+        for (i, d) in self.descs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let per: Vec<String> = self.per_pe(MetricId(i)).iter().map(u64::to_string).collect();
+            let _ = write!(
+                out,
+                "\"{}\":{{\"kind\":\"{}\",\"total\":{},\"per_pe\":[{}]}}",
+                escape(&d.name),
+                d.kind.label(),
+                self.merged(MetricId(i)),
+                per.join(",")
+            );
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, d) in self.hist_descs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let h = self.merged_hist(HistId(i));
+            let counts: Vec<String> = h.counts.iter().map(u64::to_string).collect();
+            let _ = write!(
+                out,
+                "\"{}\":{{\"n\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"counts\":[{}]}}",
+                escape(&d.name),
+                h.n,
+                h.sum,
+                h.p50(),
+                h.p95(),
+                h.p99(),
+                counts.join(",")
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Build the standard registry from a finished run: every field the
+    /// ad-hoc `WorkerStats`/`QueueStats`/`OpStats`/`EngineStats`
+    /// carriers hold, one shard per PE, plus span-level latency
+    /// histograms when stitched spans are available.
+    pub fn from_report(report: &RunReport, spans: Option<&[StealSpan]>) -> Registry {
+        let n = report.workers.len();
+        let mut reg = Registry::new(n);
+
+        // Worker-level.
+        let tasks = reg.counter("sws_tasks_executed", "tasks executed");
+        let task_ns = reg.counter("sws_task_ns", "virtual ns spent executing tasks");
+        let steal_ns = reg.counter("sws_steal_ns", "virtual ns spent inside steal ops");
+        let search_ns = reg.counter("sws_search_ns", "virtual ns spent searching for victims");
+        let upkeep_ns = reg.counter("sws_upkeep_ns", "virtual ns spent on queue upkeep");
+        let runtime_ns = reg.gauge("sws_runtime_ns", "per-PE virtual runtime");
+        let first_work_ns = reg.gauge("sws_first_work_ns", "virtual time of first task");
+        let crashed = reg.gauge("sws_crashed", "1 if the PE crash-stopped");
+        let quarantined = reg.counter("sws_pes_quarantined", "victims this PE quarantined");
+
+        // Queue-level.
+        type QueueGetter = fn(&sws_core::QueueStats) -> u64;
+        let q_named: Vec<(MetricId, QueueGetter)> = vec![
+            (reg.counter("sws_queue_enqueued", "tasks enqueued"), |q| q.enqueued),
+            (reg.counter("sws_queue_popped", "tasks popped locally"), |q| q.popped),
+            (reg.counter("sws_queue_releases", "release operations"), |q| q.releases),
+            (reg.counter("sws_queue_acquires", "acquire operations"), |q| q.acquires),
+            (reg.counter("sws_queue_acquire_misses", "acquires that found nothing"), |q| {
+                q.acquire_misses
+            }),
+            (reg.counter("sws_queue_steal_attempts", "steal attempts issued"), |q| {
+                q.steal_attempts
+            }),
+            (reg.counter("sws_queue_steals_won", "steals that landed tasks"), |q| q.steals_won),
+            (reg.counter("sws_queue_tasks_stolen", "tasks landed by steals"), |q| {
+                q.tasks_stolen
+            }),
+            (reg.counter("sws_queue_steals_empty", "steals that found nothing"), |q| {
+                q.steals_empty
+            }),
+            (reg.counter("sws_queue_steals_closed", "steals that hit a closed gate"), |q| {
+                q.steals_closed
+            }),
+            (reg.counter("sws_queue_owner_polls", "owner progress polls"), |q| q.owner_polls),
+            (reg.counter("sws_queue_reclaimed", "claims reclaimed by the owner"), |q| {
+                q.reclaimed
+            }),
+            (reg.counter("sws_queue_steals_retried", "ops retried under faults"), |q| {
+                q.steals_retried
+            }),
+            (reg.counter("sws_queue_steals_failed", "steals abandoned under faults"), |q| {
+                q.steals_failed
+            }),
+            (reg.counter("sws_queue_steals_aborted", "steals aborted after claiming"), |q| {
+                q.steals_aborted
+            }),
+            (reg.counter("sws_queue_completions_poisoned", "poisoned completions"), |q| {
+                q.completions_poisoned
+            }),
+            (reg.counter("sws_queue_claims_reclaimed", "claims lost to reclaim"), |q| {
+                q.claims_reclaimed
+            }),
+        ];
+
+        // Comm-level (per op kind), engine-level.
+        let mut comm_ops = Vec::new();
+        for k in ALL_OP_KINDS {
+            let ops = reg.counter(
+                &format!("sws_comm_ops_{}", k.label()),
+                &format!("{} operations issued", k.label()),
+            );
+            let bytes = reg.counter(
+                &format!("sws_comm_bytes_{}", k.label()),
+                &format!("bytes moved by {}", k.label()),
+            );
+            let failed = reg.counter(
+                &format!("sws_comm_failed_{}", k.label()),
+                &format!("injected failures of {}", k.label()),
+            );
+            comm_ops.push((k, ops, bytes, failed));
+        }
+        let comm_ns = reg.counter("sws_comm_ns", "virtual ns charged to communication");
+        let fast_ops = reg.counter("sws_engine_fast_ops", "gate ops on the lock-free fast path");
+        let slow_ops = reg.counter("sws_engine_slow_ops", "gate ops through the slow path");
+        let windows = reg.counter("sws_engine_windows", "safe windows granted");
+        let gate_wait_ns = reg.counter("sws_engine_gate_wait_ns", "wall ns parked at the gate");
+
+        // Span-level histograms (need stitched spans).
+        let h_latency = reg.histogram("sws_span_latency_ns", "steal-span virtual latency");
+        let h_ops = reg.histogram("sws_span_ops", "one-sided ops per steal span");
+        let h_blocking = reg.histogram("sws_span_blocking_ops", "blocking ops per steal span");
+        let h_volume = reg.histogram("sws_span_tasks", "tasks landed per completed span");
+        let mut h_phase: BTreeMap<&'static str, HistId> = BTreeMap::new();
+        if let Some(spans) = spans {
+            let mut names: Vec<&'static str> =
+                spans.iter().flat_map(|s| s.phases.iter().map(|p| p.name)).collect();
+            names.sort_unstable();
+            names.dedup();
+            for name in names {
+                let id = reg.histogram(
+                    &format!("sws_phase_ns_{name}"),
+                    &format!("virtual ns from the {name} op to the span's next op"),
+                );
+                h_phase.insert(name, id);
+            }
+        }
+
+        for (pe, w) in report.workers.iter().enumerate() {
+            let shard = reg.shard_mut(pe);
+            shard.add(tasks, w.tasks_executed);
+            shard.add(task_ns, w.task_ns);
+            shard.add(steal_ns, w.steal_ns);
+            shard.add(search_ns, w.search_ns);
+            shard.add(upkeep_ns, w.upkeep_ns);
+            shard.set(runtime_ns, w.runtime_ns);
+            shard.set(first_work_ns, w.first_work_ns);
+            shard.set(crashed, w.crashed as u64);
+            shard.add(quarantined, w.pes_quarantined);
+            for (id, get) in &q_named {
+                shard.add(*id, get(&w.queue));
+            }
+            shard.add(fast_ops, w.engine.fast_ops);
+            shard.add(slow_ops, w.engine.slow_ops);
+            shard.add(windows, w.engine.windows);
+            shard.add(gate_wait_ns, w.engine.gate_wait_ns);
+        }
+        for (pe, st) in report.comm.per_pe.iter().enumerate() {
+            let shard = reg.shard_mut(pe);
+            for &(k, ops, bytes, failed) in &comm_ops {
+                shard.add(ops, st.count(k));
+                shard.add(bytes, st.bytes_of(k));
+                shard.add(failed, st.failed_of(k));
+            }
+            shard.add(comm_ns, st.comm_ns);
+        }
+        if let Some(spans) = spans {
+            for s in spans {
+                let shard = reg.shard_mut(s.thief as usize);
+                shard.observe(h_latency, s.latency_ns());
+                shard.observe(h_ops, s.ops());
+                shard.observe(h_blocking, s.blocking_ops());
+                if s.tasks() > 0 {
+                    shard.observe(h_volume, s.tasks());
+                }
+                for p in &s.phases {
+                    if p.dur_ns > 0 {
+                        shard.observe(h_phase[p.name], p.dur_ns);
+                    }
+                }
+            }
+        }
+        reg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_merge_across_shards() {
+        let mut reg = Registry::new(3);
+        let c = reg.counter("sws_x", "x");
+        let g = reg.gauge("sws_g", "g");
+        let h = reg.histogram("sws_h", "h");
+        reg.shard_mut(0).add(c, 2);
+        reg.shard_mut(2).add(c, 5);
+        reg.shard_mut(1).set(g, 7);
+        reg.shard_mut(0).observe(h, 100);
+        reg.shard_mut(2).observe(h, 3);
+        assert_eq!(reg.merged(c), 7);
+        assert_eq!(reg.per_pe(c), vec![2, 0, 5]);
+        assert_eq!(reg.merged(g), 7);
+        let mh = reg.merged_hist(h);
+        assert_eq!(mh.n, 2);
+        assert_eq!(mh.sum, 103);
+        let text = reg.render_text();
+        assert!(text.contains("sws_x 7"), "{text}");
+        assert!(text.contains("# TYPE sws_g gauge"), "{text}");
+        assert!(text.contains("sws_h_count 2"), "{text}");
+    }
+
+    #[test]
+    fn disarmed_records_nothing_with_one_branch() {
+        let mut reg = Registry::disarmed(2);
+        let c = reg.counter("sws_x", "x");
+        let h = reg.histogram("sws_h", "h");
+        reg.shard_mut(0).add(c, 2);
+        reg.shard_mut(1).observe(h, 9);
+        assert_eq!(reg.merged(c), 0);
+        assert_eq!(reg.merged_hist(h).n, 0);
+        assert!(!reg.armed());
+    }
+
+    #[test]
+    fn json_snapshot_parses() {
+        let mut reg = Registry::new(2);
+        let c = reg.counter("sws_x", "x");
+        let h = reg.histogram("sws_h", "h");
+        reg.shard_mut(1).add(c, 4);
+        reg.shard_mut(0).observe(h, 5);
+        let j = crate::json::Json::parse(&reg.to_json()).expect("valid json");
+        assert_eq!(j.get("pes").unwrap().as_f64(), Some(2.0));
+        let m = j.get("metrics").unwrap().get("sws_x").unwrap();
+        assert_eq!(m.get("total").unwrap().as_f64(), Some(4.0));
+        assert_eq!(m.get("per_pe").unwrap().as_arr().unwrap().len(), 2);
+        let hh = j.get("histograms").unwrap().get("sws_h").unwrap();
+        assert_eq!(hh.get("n").unwrap().as_f64(), Some(1.0));
+        assert_eq!(hh.get("p50").unwrap().as_f64(), Some(8.0));
+    }
+}

@@ -1,0 +1,374 @@
+//! Chrome-trace / Perfetto JSON export.
+//!
+//! [`chrome_trace`] turns one or more finished runs into a JSON Array
+//! Format trace (`{"traceEvents": […]}`) that ui.perfetto.dev and
+//! `chrome://tracing` open directly:
+//!
+//! * one **process** per run (`pid` = run index + 1, named after the
+//!   system under test, e.g. "SWS" / "SDC"),
+//! * one **thread track** per PE (`tid` = PE rank),
+//! * each stitched steal span as a duration (`ph:"X"`) slice with its
+//!   protocol phases as nested child slices,
+//! * scheduler lifecycle events (releases, acquires, quarantines,
+//!   crash-stops) as instants (`ph:"i"`),
+//! * the number of idle PEs as a per-process counter track (`ph:"C"`).
+//!
+//! All timestamps are the run's *virtual* nanoseconds, emitted in
+//! microseconds with three decimals (exact — no rounding loss).
+//! [`validate_chrome_trace`] re-parses an emitted trace and checks the
+//! schema invariants CI relies on: well-formed JSON, required keys per
+//! phase type, non-negative durations, and per-track monotone
+//! timestamps.
+
+use std::collections::BTreeMap;
+
+use sws_sched::report::RunReport;
+use sws_sched::trace::EventKind;
+
+use crate::json::{escape, Json};
+use crate::span::StealSpan;
+
+/// One run to export: the report plus its stitched spans.
+pub struct TraceRun<'a> {
+    /// The finished run.
+    pub report: &'a RunReport,
+    /// Spans stitched from the run's proto capture (may be empty).
+    pub spans: &'a [StealSpan],
+}
+
+/// A single trace event being assembled.
+struct Ev {
+    pid: u32,
+    tid: u32,
+    ts_ns: u64,
+    dur_ns: Option<u64>,
+    ph: char,
+    name: String,
+    cat: &'static str,
+    /// Pre-rendered JSON for the `args` object (without braces).
+    args: String,
+}
+
+fn us(ns: u64) -> String {
+    // Exact: 1 ns = 0.001 µs, three decimals.
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+impl Ev {
+    fn render(&self) -> String {
+        let mut s = format!(
+            "{{\"name\":\"{}\",\"ph\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":{}",
+            escape(&self.name),
+            self.ph,
+            self.pid,
+            self.tid,
+            us(self.ts_ns)
+        );
+        if let Some(d) = self.dur_ns {
+            s.push_str(&format!(",\"dur\":{}", us(d)));
+        }
+        if !self.cat.is_empty() {
+            s.push_str(&format!(",\"cat\":\"{}\"", self.cat));
+        }
+        if self.ph == 'i' {
+            s.push_str(",\"s\":\"t\"");
+        }
+        if !self.args.is_empty() {
+            s.push_str(&format!(",\"args\":{{{}}}", self.args));
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Export `runs` as a Chrome-trace JSON document.
+pub fn chrome_trace(runs: &[TraceRun]) -> String {
+    let mut meta: Vec<String> = Vec::new();
+    let mut events: Vec<Ev> = Vec::new();
+
+    for (idx, run) in runs.iter().enumerate() {
+        let pid = idx as u32 + 1;
+        meta.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape(&run.report.system)
+        ));
+        for pe in 0..run.report.n_pes {
+            meta.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{pe},\
+                 \"args\":{{\"name\":\"PE {pe}\"}}}}"
+            ));
+        }
+
+        for s in run.spans {
+            events.push(Ev {
+                pid,
+                tid: s.thief,
+                ts_ns: s.start_ns,
+                dur_ns: Some(s.latency_ns()),
+                ph: 'X',
+                name: s.outcome.label().to_string(),
+                cat: "steal",
+                args: format!(
+                    "\"victim\":{},\"ops\":{},\"blocking\":{},\"tasks\":{}",
+                    s.victim,
+                    s.ops(),
+                    s.blocking_ops(),
+                    s.tasks()
+                ),
+            });
+            // Nested phase slices — skip for single-op spans, where the
+            // parent slice already tells the whole story.
+            if s.phases.len() > 1 {
+                for p in &s.phases {
+                    events.push(Ev {
+                        pid,
+                        tid: s.thief,
+                        ts_ns: p.t_ns,
+                        dur_ns: Some(p.dur_ns),
+                        ph: 'X',
+                        name: p.name.to_string(),
+                        cat: "phase",
+                        args: format!(
+                            "\"site\":\"{}\",\"op\":\"{}\",\"blocking\":{}",
+                            p.site.name(),
+                            p.op.name(),
+                            p.blocking
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Scheduler lifecycle instants + the idle counter.
+        let mut idle_deltas: Vec<(u64, i64)> = Vec::new();
+        for (pe, w) in run.report.workers.iter().enumerate() {
+            for e in &w.events {
+                let (name, args) = match e.kind {
+                    EventKind::Release { exposed } => ("release", format!("\"exposed\":{exposed}")),
+                    EventKind::AcquireHit { recovered } => {
+                        ("acquire-hit", format!("\"recovered\":{recovered}"))
+                    }
+                    EventKind::AcquireMiss => ("acquire-miss", String::new()),
+                    EventKind::Quarantined { victim } => {
+                        ("quarantine", format!("\"victim\":{victim}"))
+                    }
+                    EventKind::CrashStop => ("crash-stop", String::new()),
+                    EventKind::EnterIdle => {
+                        idle_deltas.push((e.t_ns, 1));
+                        continue;
+                    }
+                    EventKind::ExitIdle => {
+                        idle_deltas.push((e.t_ns, -1));
+                        continue;
+                    }
+                    // Steal outcomes are covered by the span slices.
+                    _ => continue,
+                };
+                events.push(Ev {
+                    pid,
+                    tid: pe as u32,
+                    ts_ns: e.t_ns,
+                    dur_ns: None,
+                    ph: 'i',
+                    name: name.to_string(),
+                    cat: "sched",
+                    args,
+                });
+            }
+        }
+        idle_deltas.sort_unstable();
+        let mut idle = 0i64;
+        for (t, d) in idle_deltas {
+            idle += d;
+            events.push(Ev {
+                pid,
+                tid: 0,
+                ts_ns: t,
+                dur_ns: None,
+                ph: 'C',
+                name: "idle PEs".to_string(),
+                cat: "",
+                args: format!("\"idle\":{idle}"),
+            });
+        }
+    }
+
+    // Stable track order: within a (pid, tid) track sort by timestamp,
+    // parents before their children at equal ts (longer duration
+    // first), counters interleaved by timestamp.
+    events.sort_by(|a, b| {
+        (a.pid, a.tid, a.ts_ns)
+            .cmp(&(b.pid, b.tid, b.ts_ns))
+            .then(b.dur_ns.unwrap_or(0).cmp(&a.dur_ns.unwrap_or(0)))
+    });
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    for m in &meta {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(m);
+    }
+    for e in &events {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&e.render());
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+    out
+}
+
+/// Summary counts returned by a successful validation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// All events, including metadata.
+    pub events: usize,
+    /// Complete (`ph:"X"`) duration slices.
+    pub complete: usize,
+    /// Instant events.
+    pub instants: usize,
+    /// Counter samples.
+    pub counters: usize,
+    /// Metadata records.
+    pub metadata: usize,
+    /// Distinct `(pid, tid)` tracks carrying slices or instants.
+    pub tracks: usize,
+}
+
+/// Validate an emitted trace against the Chrome trace event schema:
+/// well-formed JSON with a `traceEvents` array; every event carries
+/// `name`/`ph`/`pid`/`tid` (plus `ts` for non-metadata and a
+/// non-negative `dur` for `"X"`); timestamps are monotone
+/// non-decreasing per `(pid, tid)` track and per `(pid, name)` counter
+/// series.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
+    let doc = Json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .ok_or("missing traceEvents array")?;
+    let mut stats = TraceStats::default();
+    let mut track_ts: BTreeMap<(u64, u64), f64> = BTreeMap::new();
+    let mut counter_ts: BTreeMap<(u64, String), f64> = BTreeMap::new();
+
+    for (i, e) in events.iter().enumerate() {
+        stats.events += 1;
+        let ctx = |what: &str| format!("event {i}: {what}");
+        let ph = e
+            .get("ph")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| ctx("missing ph"))?;
+        let name = e
+            .get("name")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| ctx("missing name"))?;
+        let pid = e
+            .get("pid")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| ctx("missing pid"))? as u64;
+        let tid = e
+            .get("tid")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| ctx("missing tid"))? as u64;
+        match ph {
+            "M" => {
+                stats.metadata += 1;
+                continue;
+            }
+            "X" | "i" | "C" | "B" | "E" => {}
+            other => return Err(ctx(&format!("unsupported ph {other:?}"))),
+        }
+        let ts = e
+            .get("ts")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| ctx("missing ts"))?;
+        match ph {
+            "X" => {
+                stats.complete += 1;
+                let dur = e
+                    .get("dur")
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| ctx("X event missing dur"))?;
+                if dur < 0.0 {
+                    return Err(ctx(&format!("negative dur {dur}")));
+                }
+            }
+            "i" => stats.instants += 1,
+            "C" => stats.counters += 1,
+            _ => {}
+        }
+        if ph == "C" {
+            let key = (pid, name.to_string());
+            if let Some(&last) = counter_ts.get(&key) {
+                if ts < last {
+                    return Err(ctx(&format!(
+                        "counter {name:?} timestamp regressed: {ts} < {last}"
+                    )));
+                }
+            }
+            counter_ts.insert(key, ts);
+        } else {
+            let key = (pid, tid);
+            if let Some(&last) = track_ts.get(&key) {
+                if ts < last {
+                    return Err(ctx(&format!(
+                        "track (pid {pid}, tid {tid}) timestamp regressed: {ts} < {last}"
+                    )));
+                }
+            }
+            track_ts.insert(key, ts);
+        }
+    }
+    stats.tracks = track_ts.len();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validator_accepts_minimal_trace() {
+        let text = r#"{"traceEvents":[
+            {"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"SWS"}},
+            {"name":"steal","ph":"X","pid":1,"tid":0,"ts":1.000,"dur":2.000},
+            {"name":"claim","ph":"X","pid":1,"tid":0,"ts":1.000,"dur":1.000},
+            {"name":"release","ph":"i","pid":1,"tid":0,"ts":5.000,"s":"t"},
+            {"name":"idle PEs","ph":"C","pid":1,"tid":0,"ts":0.500,"args":{"idle":1}}
+        ]}"#;
+        let stats = validate_chrome_trace(text).expect("valid");
+        assert_eq!(stats.complete, 2);
+        assert_eq!(stats.instants, 1);
+        assert_eq!(stats.counters, 1);
+        assert_eq!(stats.metadata, 1);
+        assert_eq!(stats.tracks, 1);
+    }
+
+    #[test]
+    fn validator_rejects_regressions_and_malformed() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace(r#"{"other":[]}"#).is_err());
+        let regress = r#"{"traceEvents":[
+            {"name":"a","ph":"X","pid":1,"tid":0,"ts":5.0,"dur":1.0},
+            {"name":"b","ph":"X","pid":1,"tid":0,"ts":4.0,"dur":1.0}
+        ]}"#;
+        let err = validate_chrome_trace(regress).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+        let nodur = r#"{"traceEvents":[{"name":"a","ph":"X","pid":1,"tid":0,"ts":5.0}]}"#;
+        assert!(validate_chrome_trace(nodur).unwrap_err().contains("dur"));
+        let nots = r#"{"traceEvents":[{"name":"a","ph":"i","pid":1,"tid":0}]}"#;
+        assert!(validate_chrome_trace(nots).unwrap_err().contains("ts"));
+    }
+
+    #[test]
+    fn microsecond_format_is_exact() {
+        assert_eq!(us(0), "0.000");
+        assert_eq!(us(1), "0.001");
+        assert_eq!(us(1234567), "1234.567");
+    }
+}

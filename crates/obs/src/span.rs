@@ -1,0 +1,923 @@
+//! Steal-span stitching: turn the flat per-PE [`ProtoEvent`] streams
+//! captured by `sws-shmem` into per-steal spans with a phase-level
+//! latency breakdown and an op/blocking-op budget — the paper's Table 1
+//! claim (SWS: 3 ops / 2 blocking; SDC: 6 / 5) as a checked runtime
+//! invariant.
+//!
+//! A span covers one steal attempt by one thief against one victim. The
+//! stitcher is a per-thief state machine keyed on the `AtomicSite`
+//! annotation each captured op carries:
+//!
+//! * **SWS** — `SwsThiefClaim` (the fetch-add) always opens a new
+//!   attempt; the fetched stealval classifies it immediately (gate
+//!   closed → `Closed`, advertisement exhausted → `Empty`, otherwise a
+//!   live claim). A live claim continues through
+//!   `SwsThiefPayloadRead` and ends at `SwsThiefComplete`
+//!   (`set_nbi` → `Completed`; the fault path's CAS distinguishes
+//!   poison/reclaim → `Aborted`). `SwsThiefProbe` is its own
+//!   single-op span.
+//! * **SDC** — `SdcLockCas` opens an attempt; failed CASes and the
+//!   lock-free abort peeks between them are *contention* ops (charged
+//!   to the span but excluded from the per-steal core budget, matching
+//!   how the paper counts the protocol ops of an uncontended steal).
+//!   The locked path runs meta fetch → (fault marker) → tail put →
+//!   unlock → payload copy → completion; an unlock with no published
+//!   tail means the thief gave up (`Failed`/`Empty`).
+//!
+//! Capture only records ops whose memory effect applied, so a dropped
+//! completion leaves a span **open** — `SpanOutcome::Open` — rather
+//! than folding its ops into a neighbouring steal: any later claim
+//! against the same victim starts a fresh span by construction.
+
+use sws_core::stealval::Gate;
+use sws_core::{AtomicSite, QueueConfig};
+use sws_core::queue::{COMP_CLAIMED, COMP_POISON, COMP_VOL_MASK};
+use sws_sched::report::RunReport;
+use sws_shmem::{ProtoEvent, ProtoOp};
+
+/// Which steal protocol a span belongs to.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum System {
+    /// Structured-atomic work stealing (single fetch-add claim).
+    Sws,
+    /// Split queue, deferred copy (spinlock baseline).
+    Sdc,
+}
+
+impl System {
+    /// Short label, matching `RunReport::system`.
+    pub fn label(self) -> &'static str {
+        match self {
+            System::Sws => "SWS",
+            System::Sdc => "SDC",
+        }
+    }
+}
+
+/// How a steal attempt ended.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SpanOutcome {
+    /// The thief landed `tasks` tasks and signalled completion.
+    Completed {
+        /// Stolen volume.
+        tasks: u64,
+    },
+    /// The advertisement/shared section had nothing left.
+    Empty,
+    /// The steal gate was closed (or the SDC tail met the split).
+    Closed,
+    /// Claimed then undone: poisoned copy or owner-reclaimed claim.
+    Aborted,
+    /// Gave up without publishing a claim (fault budget exhausted).
+    Failed,
+    /// A claim was published but no completion was ever captured —
+    /// e.g. a dropped completion op. Never counted as a steal.
+    Open,
+    /// A damped-probe read, not a steal attempt.
+    Probe,
+}
+
+impl SpanOutcome {
+    /// Short label for reports and trace slices.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanOutcome::Completed { .. } => "steal",
+            SpanOutcome::Empty => "steal-empty",
+            SpanOutcome::Closed => "steal-closed",
+            SpanOutcome::Aborted => "steal-aborted",
+            SpanOutcome::Failed => "steal-failed",
+            SpanOutcome::Open => "steal-open",
+            SpanOutcome::Probe => "probe",
+        }
+    }
+}
+
+/// One captured protocol op inside a span, with its phase name and the
+/// virtual time until the next op of the same span (0 for the last).
+#[derive(Clone, Debug)]
+pub struct PhaseSlice {
+    /// Phase name ("claim", "payload", "lock", …).
+    pub name: &'static str,
+    /// Issuer virtual time at which the op's effect applied.
+    pub t_ns: u64,
+    /// Virtual time until the span's next op (0 for the last op).
+    pub dur_ns: u64,
+    /// The annotated protocol site.
+    pub site: AtomicSite,
+    /// Op shape.
+    pub op: ProtoOp,
+    /// Whether the op blocks the issuer (see [`ProtoOp::is_blocking`]).
+    pub blocking: bool,
+    /// Lock-contention overhead (failed SDC lock CAS or abort peek),
+    /// excluded from the core per-steal op budget.
+    pub contention: bool,
+}
+
+/// One stitched steal attempt (or probe).
+#[derive(Clone, Debug)]
+pub struct StealSpan {
+    /// Protocol the span belongs to.
+    pub system: System,
+    /// The stealing PE.
+    pub thief: u32,
+    /// The PE stolen from.
+    pub victim: u32,
+    /// Virtual time of the first op.
+    pub start_ns: u64,
+    /// Virtual time of the last op.
+    pub end_ns: u64,
+    /// Terminal classification.
+    pub outcome: SpanOutcome,
+    /// Ops in issue order.
+    pub phases: Vec<PhaseSlice>,
+}
+
+impl StealSpan {
+    /// Total captured one-sided ops.
+    pub fn ops(&self) -> u64 {
+        self.phases.len() as u64
+    }
+
+    /// Captured ops that block the issuer.
+    pub fn blocking_ops(&self) -> u64 {
+        self.phases.iter().filter(|p| p.blocking).count() as u64
+    }
+
+    /// Lock-contention ops (always blocking; SDC only).
+    pub fn contention_ops(&self) -> u64 {
+        self.phases.iter().filter(|p| p.contention).count() as u64
+    }
+
+    /// Protocol ops excluding lock contention — the figure the paper's
+    /// per-steal budget counts.
+    pub fn core_ops(&self) -> u64 {
+        self.ops() - self.contention_ops()
+    }
+
+    /// Blocking protocol ops excluding lock contention.
+    pub fn core_blocking(&self) -> u64 {
+        self.blocking_ops() - self.contention_ops()
+    }
+
+    /// Virtual-time latency from first to last captured op.
+    pub fn latency_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+
+    /// Stolen volume (0 unless completed).
+    pub fn tasks(&self) -> u64 {
+        match self.outcome {
+            SpanOutcome::Completed { tasks } => tasks,
+            _ => 0,
+        }
+    }
+}
+
+/// In-flight attempt state inside the stitcher.
+struct Attempt {
+    system: System,
+    victim: u32,
+    phases: Vec<PhaseSlice>,
+    /// SWS: the claim decoded to a live (claiming) steal.
+    live_claim: bool,
+    /// SDC: the thief holds the victim's lock.
+    locked: bool,
+    /// SDC: the lock was won at some point (post-unlock ops like the
+    /// payload copy and completion still belong to this attempt, but a
+    /// fresh lock CAS or meta read no longer does).
+    ever_locked: bool,
+    /// SDC: the new tail was published (claim exists remotely).
+    claimed: bool,
+    /// SDC: locked meta fetch saw an empty shared section.
+    empty_pending: bool,
+    /// SDC fault path: the claim marker was rolled back.
+    rolled_back: bool,
+}
+
+impl Attempt {
+    fn new(system: System, victim: u32) -> Attempt {
+        Attempt {
+            system,
+            victim,
+            phases: Vec::new(),
+            live_claim: false,
+            locked: false,
+            ever_locked: false,
+            claimed: false,
+            empty_pending: false,
+            rolled_back: false,
+        }
+    }
+
+    fn push(&mut self, name: &'static str, site: AtomicSite, e: &ProtoEvent, contention: bool) {
+        self.phases.push(PhaseSlice {
+            name,
+            t_ns: e.t_ns,
+            dur_ns: 0,
+            site,
+            op: e.op,
+            blocking: e.op.is_blocking(),
+            contention,
+        });
+    }
+
+    fn into_span(mut self, thief: u32, outcome: SpanOutcome) -> StealSpan {
+        for i in 1..self.phases.len() {
+            self.phases[i - 1].dur_ns = self.phases[i].t_ns - self.phases[i - 1].t_ns;
+        }
+        let start_ns = self.phases.first().map_or(0, |p| p.t_ns);
+        let end_ns = self.phases.last().map_or(0, |p| p.t_ns);
+        StealSpan {
+            system: self.system,
+            thief,
+            victim: self.victim,
+            start_ns,
+            end_ns,
+            outcome,
+            phases: self.phases,
+        }
+    }
+
+    /// Classification when the stream moves on (next claim/probe or end
+    /// of trace) without a terminal op: a published claim is `Open` —
+    /// the mis-attribution guard the chaos suite pins — everything
+    /// else gave up before claiming.
+    fn abandoned_outcome(&self) -> SpanOutcome {
+        match self.system {
+            System::Sws => {
+                if self.live_claim {
+                    SpanOutcome::Open
+                } else {
+                    SpanOutcome::Failed
+                }
+            }
+            System::Sdc => {
+                if self.rolled_back {
+                    SpanOutcome::Failed
+                } else if self.claimed {
+                    SpanOutcome::Open
+                } else {
+                    SpanOutcome::Failed
+                }
+            }
+        }
+    }
+}
+
+/// Stitch one PE's captured stream into spans. Owner-side ops
+/// (`target == issuer`) are ignored; the remainder replays the thief
+/// state machine described in the module docs. Events must be in
+/// issuer-local order (as captured).
+pub fn stitch_pe(events: &[ProtoEvent], cfg: &QueueConfig) -> Vec<StealSpan> {
+    let mut spans = Vec::new();
+    let mut open: Option<Attempt> = None;
+    let mut thief = 0u32;
+
+    let finalize_open = |open: &mut Option<Attempt>, spans: &mut Vec<StealSpan>, thief: u32| {
+        if let Some(a) = open.take() {
+            let outcome = a.abandoned_outcome();
+            spans.push(a.into_span(thief, outcome));
+        }
+    };
+
+    for e in events {
+        if e.target == e.issuer {
+            continue;
+        }
+        thief = e.issuer;
+        let Some(site) = AtomicSite::from_id(e.site) else {
+            continue;
+        };
+        match site {
+            // ---- SWS thief ----
+            AtomicSite::SwsThiefProbe => {
+                finalize_open(&mut open, &mut spans, thief);
+                let mut a = Attempt::new(System::Sws, e.target);
+                a.push("probe", site, e, false);
+                spans.push(a.into_span(thief, SpanOutcome::Probe));
+            }
+            AtomicSite::SwsThiefClaim => {
+                finalize_open(&mut open, &mut spans, thief);
+                let mut a = Attempt::new(System::Sws, e.target);
+                a.push("claim", site, e, false);
+                // The fetch-add returned the pre-claim stealval; decode
+                // it exactly as the thief did.
+                let sv = cfg.layout.decode(e.prev);
+                if sv.gate == Gate::Closed {
+                    spans.push(a.into_span(thief, SpanOutcome::Closed));
+                } else if (sv.asteals as u64) >= cfg.policy.max_steals(sv.itasks as u64) {
+                    spans.push(a.into_span(thief, SpanOutcome::Empty));
+                } else {
+                    a.live_claim = true;
+                    open = Some(a);
+                }
+            }
+            AtomicSite::SwsThiefPayloadRead => match open.as_mut() {
+                Some(a) if a.system == System::Sws && a.victim == e.target => {
+                    a.push("payload", site, e, false);
+                }
+                _ => {
+                    finalize_open(&mut open, &mut spans, thief);
+                    let mut a = Attempt::new(System::Sws, e.target);
+                    a.push("payload", site, e, false);
+                    spans.push(a.into_span(thief, SpanOutcome::Open));
+                }
+            },
+            AtomicSite::SwsThiefComplete => match open.take() {
+                Some(mut a) if a.system == System::Sws && a.victim == e.target => {
+                    a.push("complete", site, e, false);
+                    let outcome = match e.op {
+                        ProtoOp::SetNbi => SpanOutcome::Completed { tasks: e.arg },
+                        ProtoOp::CompareSwap => {
+                            if e.arg & COMP_POISON != 0 {
+                                SpanOutcome::Aborted
+                            } else if e.prev == e.arg2 {
+                                SpanOutcome::Completed {
+                                    tasks: e.arg & COMP_VOL_MASK,
+                                }
+                            } else {
+                                SpanOutcome::Aborted
+                            }
+                        }
+                        _ => SpanOutcome::Aborted,
+                    };
+                    spans.push(a.into_span(thief, outcome));
+                }
+                other => {
+                    open = other;
+                    finalize_open(&mut open, &mut spans, thief);
+                    let mut a = Attempt::new(System::Sws, e.target);
+                    a.push("complete", site, e, false);
+                    spans.push(a.into_span(thief, SpanOutcome::Open));
+                }
+            },
+
+            // ---- SDC thief ----
+            AtomicSite::SdcLockCas => {
+                // Attach only while the open attempt is still in its
+                // lock loop; a lock CAS after a won-and-released lock
+                // is the next steal attempt.
+                let attach = matches!(
+                    open.as_ref(),
+                    Some(a) if a.system == System::Sdc && a.victim == e.target && !a.ever_locked
+                );
+                if !attach {
+                    finalize_open(&mut open, &mut spans, thief);
+                    open = Some(Attempt::new(System::Sdc, e.target));
+                }
+                let a = open.as_mut().expect("attempt just ensured");
+                if e.prev == e.arg2 {
+                    a.locked = true;
+                    a.ever_locked = true;
+                    a.push("lock", site, e, false);
+                } else {
+                    a.push("contend", site, e, true);
+                }
+            }
+            AtomicSite::SdcMetaRead => match open.as_mut() {
+                Some(a)
+                    if a.system == System::Sdc
+                        && a.victim == e.target
+                        && (a.locked || !a.ever_locked) =>
+                {
+                    if a.locked {
+                        a.push("meta", site, e, false);
+                        // prev/arg2 are the fetched tail/split words.
+                        if e.arg2 <= e.prev {
+                            a.empty_pending = true;
+                        }
+                    } else {
+                        // Lock-free abort peek between contended CASes.
+                        a.push("peek", site, e, true);
+                        if e.prev >= e.arg2 {
+                            let a = open.take().expect("peeked attempt is open");
+                            spans.push(a.into_span(thief, SpanOutcome::Closed));
+                        }
+                    }
+                }
+                _ => {
+                    // A damped probe: SDC probes with a bare meta read.
+                    finalize_open(&mut open, &mut spans, thief);
+                    let mut a = Attempt::new(System::Sdc, e.target);
+                    a.push("probe", site, e, false);
+                    spans.push(a.into_span(thief, SpanOutcome::Probe));
+                }
+            },
+            AtomicSite::SdcTailPut => {
+                if let Some(a) = open
+                    .as_mut()
+                    .filter(|a| a.system == System::Sdc && a.victim == e.target)
+                {
+                    a.claimed = true;
+                    a.push("tail", site, e, false);
+                }
+            }
+            AtomicSite::SdcUnlock => {
+                if let Some(a) = open
+                    .as_mut()
+                    .filter(|a| a.system == System::Sdc && a.victim == e.target)
+                {
+                    a.locked = false;
+                    a.push("unlock", site, e, false);
+                    if a.rolled_back {
+                        let a = open.take().expect("unlocked attempt is open");
+                        spans.push(a.into_span(thief, SpanOutcome::Failed));
+                    } else if a.empty_pending {
+                        let a = open.take().expect("unlocked attempt is open");
+                        spans.push(a.into_span(thief, SpanOutcome::Empty));
+                    } else if !a.claimed {
+                        // Unlock without a published tail: the thief
+                        // bailed out (meta fetch or marker put failed).
+                        let a = open.take().expect("unlocked attempt is open");
+                        spans.push(a.into_span(thief, SpanOutcome::Failed));
+                    }
+                }
+            }
+            AtomicSite::SdcPayloadRead => {
+                if let Some(a) = open
+                    .as_mut()
+                    .filter(|a| a.system == System::Sdc && a.victim == e.target)
+                {
+                    a.push("payload", site, e, false);
+                }
+            }
+            AtomicSite::SdcComplete => {
+                if let Some(a) = open
+                    .as_mut()
+                    .filter(|a| a.system == System::Sdc && a.victim == e.target)
+                {
+                    match e.op {
+                        ProtoOp::Set if e.arg & COMP_CLAIMED != 0 => {
+                            // Fault-path claim marker, placed pre-tail.
+                            a.push("marker", site, e, false);
+                        }
+                        ProtoOp::CompareSwap if e.arg == 0 => {
+                            // Marker rollback: the tail put never landed.
+                            a.claimed = false;
+                            a.rolled_back = true;
+                            a.push("rollback", site, e, false);
+                        }
+                        ProtoOp::CompareSwap if e.arg & COMP_POISON != 0 => {
+                            a.push("poison", site, e, false);
+                            let a = open.take().expect("poisoned attempt is open");
+                            spans.push(a.into_span(thief, SpanOutcome::Aborted));
+                        }
+                        ProtoOp::CompareSwap => {
+                            a.push("complete", site, e, false);
+                            let outcome = if e.prev == e.arg2 {
+                                SpanOutcome::Completed {
+                                    tasks: e.arg & COMP_VOL_MASK,
+                                }
+                            } else {
+                                SpanOutcome::Aborted
+                            };
+                            let a = open.take().expect("finalized attempt is open");
+                            spans.push(a.into_span(thief, outcome));
+                        }
+                        _ => {
+                            // Clean-path passive completion.
+                            a.push("complete", site, e, false);
+                            let a = open.take().expect("completed attempt is open");
+                            spans.push(a.into_span(thief, SpanOutcome::Completed { tasks: e.arg }));
+                        }
+                    }
+                }
+            }
+
+            // Owner-side sites never appear with target != issuer.
+            _ => {}
+        }
+    }
+    finalize_open(&mut open, &mut spans, thief);
+    spans
+}
+
+/// Stitch every worker's stream in a report and sort the result by
+/// `(start_ns, thief)` — the same key the virtual-time merge uses.
+pub fn stitch_report(report: &RunReport, cfg: &QueueConfig) -> Vec<StealSpan> {
+    let mut spans: Vec<StealSpan> = report
+        .workers
+        .iter()
+        .flat_map(|w| stitch_pe(&w.proto, cfg))
+        .collect();
+    spans.sort_by_key(|s| (s.start_ns, s.thief));
+    spans
+}
+
+/// The per-completed-steal op budget being asserted.
+#[derive(Copy, Clone, Debug)]
+pub struct CommBudget {
+    /// Core (non-contention) ops allowed per completed steal.
+    pub max_core_ops: u64,
+    /// Core blocking ops allowed.
+    pub max_core_blocking: u64,
+    /// Whether the budget must be met exactly (SDC's fixed op sequence)
+    /// or is an upper bound (SWS's "at most" claim).
+    pub exact: bool,
+}
+
+/// The paper's Table 1 budget for a protocol, adjusted for fault mode:
+/// the SWS fault path completes with a CAS instead of a passive set
+/// (3 ops, all blocking) and the SDC fault path adds the claim-marker
+/// write and a finalize CAS (7 ops, all blocking).
+pub fn comm_budget(system: System, faults: bool) -> CommBudget {
+    match (system, faults) {
+        (System::Sws, false) => CommBudget { max_core_ops: 3, max_core_blocking: 2, exact: false },
+        (System::Sws, true) => CommBudget { max_core_ops: 3, max_core_blocking: 3, exact: false },
+        (System::Sdc, false) => CommBudget { max_core_ops: 6, max_core_blocking: 5, exact: true },
+        (System::Sdc, true) => CommBudget { max_core_ops: 7, max_core_blocking: 7, exact: true },
+    }
+}
+
+/// Aggregate comm accounting over a run's spans, with budget checking.
+#[derive(Clone, Debug)]
+pub struct CommReport {
+    /// Protocol label ("SWS"/"SDC").
+    pub system: String,
+    /// Whether fault-mode budgets were applied.
+    pub faults: bool,
+    /// The budget checked against.
+    pub budget: CommBudget,
+    /// Completed steal spans.
+    pub completed: u64,
+    /// Tasks landed by completed spans.
+    pub tasks: u64,
+    /// Probe spans.
+    pub probes: u64,
+    /// Empty / closed / aborted / failed / open span tallies.
+    pub empty: u64,
+    /// Gate-closed spans.
+    pub closed: u64,
+    /// Aborted spans.
+    pub aborted: u64,
+    /// Gave-up spans.
+    pub failed: u64,
+    /// Open (unfinished) spans.
+    pub open: u64,
+    /// Σ core ops over completed spans.
+    pub completed_core_ops: u64,
+    /// Σ core blocking ops over completed spans.
+    pub completed_core_blocking: u64,
+    /// Σ total ops over completed spans (incl. contention).
+    pub completed_total_ops: u64,
+    /// Σ blocking ops over completed spans (incl. contention).
+    pub completed_total_blocking: u64,
+    /// Lock-contention ops across *all* spans.
+    pub contention_ops: u64,
+    /// Budget violations (capped at 8 messages).
+    pub violations: Vec<String>,
+}
+
+impl CommReport {
+    /// Did every completed span meet the budget?
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Mean core ops per completed steal.
+    pub fn mean_core_ops(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.completed_core_ops as f64 / self.completed as f64
+        }
+    }
+
+    /// Mean core blocking ops per completed steal.
+    pub fn mean_core_blocking(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.completed_core_blocking as f64 / self.completed as f64
+        }
+    }
+
+    /// The comm-accounting summary block printed by `--assert-comms`.
+    pub fn render(&self) -> String {
+        let b = &self.budget;
+        let rel = if b.exact { "=" } else { "≤" };
+        let mut out = format!(
+            "  comm accounting [{}{}]: {} completed steals ({} tasks), \
+             {:.2} ops/steal ({rel}{}), {:.2} blocking/steal ({rel}{}): {}\n",
+            self.system,
+            if self.faults { ", faults" } else { "" },
+            self.completed,
+            self.tasks,
+            self.mean_core_ops(),
+            b.max_core_ops,
+            self.mean_core_blocking(),
+            b.max_core_blocking,
+            if self.ok() { "OK" } else { "VIOLATED" },
+        );
+        out.push_str(&format!(
+            "    spans: {} probe, {} empty, {} closed, {} aborted, {} failed, {} open; \
+             {} lock-contention ops\n",
+            self.probes,
+            self.empty,
+            self.closed,
+            self.aborted,
+            self.failed,
+            self.open,
+            self.contention_ops,
+        ));
+        for v in &self.violations {
+            out.push_str(&format!("    VIOLATION: {v}\n"));
+        }
+        out
+    }
+}
+
+/// Check every completed span in `spans` against the paper's op budget
+/// and tally outcomes. `faults` selects the fault-mode budgets.
+pub fn check_comms(spans: &[StealSpan], faults: bool) -> CommReport {
+    let system = spans.first().map_or(System::Sws, |s| s.system);
+    let budget = comm_budget(system, faults);
+    let mut r = CommReport {
+        system: system.label().to_string(),
+        faults,
+        budget,
+        completed: 0,
+        tasks: 0,
+        probes: 0,
+        empty: 0,
+        closed: 0,
+        aborted: 0,
+        failed: 0,
+        open: 0,
+        completed_core_ops: 0,
+        completed_core_blocking: 0,
+        completed_total_ops: 0,
+        completed_total_blocking: 0,
+        contention_ops: 0,
+        violations: Vec::new(),
+    };
+    for s in spans {
+        r.contention_ops += s.contention_ops();
+        match s.outcome {
+            SpanOutcome::Completed { tasks } => {
+                r.completed += 1;
+                r.tasks += tasks;
+                let (core, core_b) = (s.core_ops(), s.core_blocking());
+                r.completed_core_ops += core;
+                r.completed_core_blocking += core_b;
+                r.completed_total_ops += s.ops();
+                r.completed_total_blocking += s.blocking_ops();
+                let bad = if budget.exact {
+                    core != budget.max_core_ops || core_b != budget.max_core_blocking
+                } else {
+                    core > budget.max_core_ops || core_b > budget.max_core_blocking
+                };
+                if bad && r.violations.len() < 8 {
+                    r.violations.push(format!(
+                        "pe{} stole {} from pe{} at t={} with {} ops ({} blocking), budget {}{}/{}",
+                        s.thief,
+                        tasks,
+                        s.victim,
+                        s.start_ns,
+                        core,
+                        core_b,
+                        if budget.exact { "=" } else { "≤" },
+                        budget.max_core_ops,
+                        budget.max_core_blocking,
+                    ));
+                }
+            }
+            SpanOutcome::Empty => r.empty += 1,
+            SpanOutcome::Closed => r.closed += 1,
+            SpanOutcome::Aborted => r.aborted += 1,
+            SpanOutcome::Failed => r.failed += 1,
+            SpanOutcome::Open => r.open += 1,
+            SpanOutcome::Probe => r.probes += 1,
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sws_core::stealval::StealVal;
+
+    fn cfg() -> QueueConfig {
+        QueueConfig::new(1024, 24)
+    }
+
+    fn sv_raw(asteals: u32, itasks: u32) -> u64 {
+        cfg().layout.encode(StealVal {
+            asteals,
+            gate: Gate::Open { epoch: 0 },
+            itasks,
+            tail: 0,
+        })
+    }
+
+    fn ev(t: u64, site: AtomicSite, op: ProtoOp, arg: u64, arg2: u64, prev: u64) -> ProtoEvent {
+        ProtoEvent {
+            t_ns: t,
+            issuer: 1,
+            target: 0,
+            offset: 0,
+            len: 1,
+            site: site.id(),
+            op,
+            arg,
+            arg2,
+            prev,
+        }
+    }
+
+    #[test]
+    fn sws_clean_steal_is_three_ops_two_blocking() {
+        let events = [
+            ev(10, AtomicSite::SwsThiefProbe, ProtoOp::Fetch, 0, 0, sv_raw(0, 8)),
+            ev(20, AtomicSite::SwsThiefClaim, ProtoOp::FetchAdd, 1, 0, sv_raw(0, 8)),
+            ev(30, AtomicSite::SwsThiefPayloadRead, ProtoOp::Get, 0, 0, 0),
+            ev(45, AtomicSite::SwsThiefComplete, ProtoOp::SetNbi, 4, 0, 0),
+        ];
+        let spans = stitch_pe(&events, &cfg());
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].outcome, SpanOutcome::Probe);
+        let s = &spans[1];
+        assert_eq!(s.outcome, SpanOutcome::Completed { tasks: 4 });
+        assert_eq!(s.ops(), 3);
+        assert_eq!(s.blocking_ops(), 2);
+        assert_eq!(s.latency_ns(), 25);
+        assert_eq!(s.phases[0].dur_ns, 10);
+        assert_eq!(s.phases[1].dur_ns, 15);
+        assert_eq!(s.phases[2].dur_ns, 0);
+        let report = check_comms(&spans, false);
+        assert!(report.ok(), "{:?}", report.violations);
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.probes, 1);
+    }
+
+    #[test]
+    fn sws_claim_classifies_closed_and_empty() {
+        let closed_raw = cfg().layout.encode(StealVal {
+            asteals: 0,
+            gate: Gate::Closed,
+            itasks: 0,
+            tail: 0,
+        });
+        let events = [
+            ev(10, AtomicSite::SwsThiefClaim, ProtoOp::FetchAdd, 1, 0, closed_raw),
+            // Eight initial tasks under Half policy allow 3 steals; the
+            // 9th asteal sees an exhausted advertisement.
+            ev(20, AtomicSite::SwsThiefClaim, ProtoOp::FetchAdd, 1, 0, sv_raw(9, 8)),
+        ];
+        let spans = stitch_pe(&events, &cfg());
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].outcome, SpanOutcome::Closed);
+        assert_eq!(spans[1].outcome, SpanOutcome::Empty);
+        assert_eq!(spans[0].ops(), 1);
+    }
+
+    #[test]
+    fn dropped_completion_yields_open_span_not_misattribution() {
+        // First steal's completion never applied (dropped); the second
+        // claim against the same victim must open a fresh span.
+        let events = [
+            ev(10, AtomicSite::SwsThiefClaim, ProtoOp::FetchAdd, 1, 0, sv_raw(0, 8)),
+            ev(20, AtomicSite::SwsThiefPayloadRead, ProtoOp::Get, 0, 0, 0),
+            // no completion
+            ev(50, AtomicSite::SwsThiefClaim, ProtoOp::FetchAdd, 1, 0, sv_raw(1, 8)),
+            ev(60, AtomicSite::SwsThiefPayloadRead, ProtoOp::Get, 0, 0, 0),
+            ev(70, AtomicSite::SwsThiefComplete, ProtoOp::CompareSwap, 2, 0, 0),
+        ];
+        let spans = stitch_pe(&events, &cfg());
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].outcome, SpanOutcome::Open);
+        assert_eq!(spans[0].ops(), 2);
+        assert_eq!(spans[1].outcome, SpanOutcome::Completed { tasks: 2 });
+        assert_eq!(spans[1].ops(), 3);
+        assert_eq!(spans[1].start_ns, 50);
+    }
+
+    #[test]
+    fn sws_fault_poison_is_aborted() {
+        let events = [
+            ev(10, AtomicSite::SwsThiefClaim, ProtoOp::FetchAdd, 1, 0, sv_raw(0, 8)),
+            ev(
+                20,
+                AtomicSite::SwsThiefComplete,
+                ProtoOp::CompareSwap,
+                COMP_POISON,
+                0,
+                0,
+            ),
+        ];
+        let spans = stitch_pe(&events, &cfg());
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].outcome, SpanOutcome::Aborted);
+    }
+
+    #[test]
+    fn sdc_clean_steal_is_six_ops_five_blocking() {
+        let events = [
+            // Damped probe (no open attempt).
+            ev(5, AtomicSite::SdcMetaRead, ProtoOp::Get, 0, 8, 2),
+            // Contended round: failed CAS + abort peek.
+            ev(10, AtomicSite::SdcLockCas, ProtoOp::CompareSwap, 1, 0, 1),
+            ev(12, AtomicSite::SdcMetaRead, ProtoOp::Get, 0, 8, 2),
+            // Won the lock.
+            ev(20, AtomicSite::SdcLockCas, ProtoOp::CompareSwap, 1, 0, 0),
+            ev(25, AtomicSite::SdcMetaRead, ProtoOp::Get, 0, 8, 2),
+            ev(30, AtomicSite::SdcTailPut, ProtoOp::Put, 5, 0, 0),
+            ev(35, AtomicSite::SdcUnlock, ProtoOp::Set, 0, 0, 1),
+            ev(40, AtomicSite::SdcPayloadRead, ProtoOp::Get, 0, 0, 0),
+            ev(50, AtomicSite::SdcComplete, ProtoOp::SetNbi, 3, 0, 0),
+        ];
+        let spans = stitch_pe(&events, &cfg());
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].outcome, SpanOutcome::Probe);
+        let s = &spans[1];
+        assert_eq!(s.outcome, SpanOutcome::Completed { tasks: 3 });
+        assert_eq!(s.ops(), 8);
+        assert_eq!(s.contention_ops(), 2);
+        assert_eq!(s.core_ops(), 6);
+        assert_eq!(s.core_blocking(), 5);
+        let report = check_comms(&spans, false);
+        assert!(report.ok(), "{:?}", report.violations);
+        assert_eq!(report.contention_ops, 2);
+    }
+
+    #[test]
+    fn sdc_peek_sees_closed_queue() {
+        let events = [
+            ev(10, AtomicSite::SdcLockCas, ProtoOp::CompareSwap, 1, 0, 1),
+            // tail (prev) == split (arg2): closed.
+            ev(12, AtomicSite::SdcMetaRead, ProtoOp::Get, 0, 8, 8),
+        ];
+        let spans = stitch_pe(&events, &cfg());
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].outcome, SpanOutcome::Closed);
+    }
+
+    #[test]
+    fn sdc_empty_and_fault_rollback() {
+        let events = [
+            // Empty shared section: lock, meta (tail == split), unlock.
+            ev(10, AtomicSite::SdcLockCas, ProtoOp::CompareSwap, 1, 0, 0),
+            ev(15, AtomicSite::SdcMetaRead, ProtoOp::Get, 0, 4, 4),
+            ev(20, AtomicSite::SdcUnlock, ProtoOp::Set, 0, 0, 1),
+            // Fault path: lock, meta, marker, rollback (tail put never
+            // applied), unlock → Failed.
+            ev(30, AtomicSite::SdcLockCas, ProtoOp::CompareSwap, 1, 0, 0),
+            ev(35, AtomicSite::SdcMetaRead, ProtoOp::Get, 0, 8, 2),
+            ev(40, AtomicSite::SdcComplete, ProtoOp::Set, COMP_CLAIMED | 3, 0, 0),
+            ev(45, AtomicSite::SdcComplete, ProtoOp::CompareSwap, 0, COMP_CLAIMED | 3, COMP_CLAIMED | 3),
+            ev(50, AtomicSite::SdcUnlock, ProtoOp::Set, 0, 0, 1),
+        ];
+        let spans = stitch_pe(&events, &cfg());
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].outcome, SpanOutcome::Empty);
+        assert_eq!(spans[1].outcome, SpanOutcome::Failed);
+    }
+
+    #[test]
+    fn sdc_fault_completed_is_seven_ops() {
+        let m = COMP_CLAIMED | 3;
+        let events = [
+            ev(10, AtomicSite::SdcLockCas, ProtoOp::CompareSwap, 1, 0, 0),
+            ev(15, AtomicSite::SdcMetaRead, ProtoOp::Get, 0, 8, 2),
+            ev(20, AtomicSite::SdcComplete, ProtoOp::Set, m, 0, 0),
+            ev(25, AtomicSite::SdcTailPut, ProtoOp::Put, 5, 0, 0),
+            ev(30, AtomicSite::SdcUnlock, ProtoOp::Set, 0, 0, 1),
+            ev(40, AtomicSite::SdcPayloadRead, ProtoOp::Get, 0, 0, 0),
+            ev(50, AtomicSite::SdcComplete, ProtoOp::CompareSwap, 3, m, m),
+        ];
+        let spans = stitch_pe(&events, &cfg());
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].outcome, SpanOutcome::Completed { tasks: 3 });
+        assert_eq!(spans[0].core_ops(), 7);
+        assert_eq!(spans[0].core_blocking(), 7);
+        let report = check_comms(&spans, true);
+        assert!(report.ok(), "{:?}", report.violations);
+        // Clean budget must reject the fault shape.
+        assert!(!check_comms(&spans, false).ok());
+    }
+
+    #[test]
+    fn sdc_dropped_completion_is_open() {
+        let events = [
+            ev(10, AtomicSite::SdcLockCas, ProtoOp::CompareSwap, 1, 0, 0),
+            ev(15, AtomicSite::SdcMetaRead, ProtoOp::Get, 0, 8, 2),
+            ev(20, AtomicSite::SdcTailPut, ProtoOp::Put, 5, 0, 0),
+            ev(25, AtomicSite::SdcUnlock, ProtoOp::Set, 0, 0, 1),
+            ev(30, AtomicSite::SdcPayloadRead, ProtoOp::Get, 0, 0, 0),
+            // completion dropped; next activity is a fresh probe.
+            ev(60, AtomicSite::SdcMetaRead, ProtoOp::Get, 0, 8, 5),
+        ];
+        let spans = stitch_pe(&events, &cfg());
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].outcome, SpanOutcome::Open);
+        assert_eq!(spans[1].outcome, SpanOutcome::Probe);
+    }
+
+    #[test]
+    fn owner_ops_are_ignored() {
+        let mut e = ev(10, AtomicSite::SwsOwnerAdvertise, ProtoOp::Set, 0, 0, 0);
+        e.target = e.issuer;
+        assert!(stitch_pe(&[e], &cfg()).is_empty());
+    }
+}

@@ -1,0 +1,71 @@
+//! Armed-vs-disarmed differential: telemetry must not perturb results.
+//!
+//! Proto capture is the only run-time hook the telemetry layer adds to
+//! the hot paths (one predictable branch per annotated site when
+//! disarmed). These tests pin that arming it — and arming the metrics
+//! registry — changes nothing observable: identical makespans, per-PE
+//! communication counters, queue counters, and timing decompositions.
+
+use sws_core::QueueConfig;
+use sws_obs::Registry;
+use sws_sched::{run_workload, QueueKind, RunConfig, RunReport, SchedConfig};
+use sws_workloads::uts::{UtsParams, UtsWorkload};
+
+fn report_for(kind: QueueKind, seed: u64, capture: bool) -> RunReport {
+    let queue = QueueConfig::new(1024, 48);
+    let sched = SchedConfig::new(kind, queue).with_seed(seed);
+    let mut cfg = RunConfig::new(8, sched);
+    if capture {
+        cfg = cfg.with_capture_proto();
+    }
+    run_workload(&cfg, &UtsWorkload::new(UtsParams::geo_small(8)))
+}
+
+fn assert_results_identical(a: &RunReport, b: &RunReport) {
+    assert_eq!(a.makespan_ns, b.makespan_ns, "makespans diverged");
+    assert_eq!(a.comm.total, b.comm.total, "total OpStats diverged");
+    assert_eq!(a.comm.per_pe, b.comm.per_pe, "per-PE OpStats diverged");
+    for (pe, (wa, wb)) in a.workers.iter().zip(&b.workers).enumerate() {
+        assert_eq!(wa.tasks_executed, wb.tasks_executed, "PE {pe} tasks");
+        assert_eq!(wa.task_ns, wb.task_ns, "PE {pe} task_ns");
+        assert_eq!(wa.steal_ns, wb.steal_ns, "PE {pe} steal_ns");
+        assert_eq!(wa.search_ns, wb.search_ns, "PE {pe} search_ns");
+        assert_eq!(wa.runtime_ns, wb.runtime_ns, "PE {pe} runtime_ns");
+        assert_eq!(wa.queue, wb.queue, "PE {pe} queue counters");
+    }
+}
+
+#[test]
+fn capture_does_not_perturb_sws_runs() {
+    for seed in [0xBA5E_u64, 42] {
+        let off = report_for(QueueKind::Sws, seed, false);
+        let on = report_for(QueueKind::Sws, seed, true);
+        assert!(off.proto_trace().is_empty(), "disarmed run captures nothing");
+        assert!(!on.proto_trace().is_empty(), "armed run captures the protocol");
+        assert_results_identical(&off, &on);
+    }
+}
+
+#[test]
+fn capture_does_not_perturb_sdc_runs() {
+    for seed in [0xBA5E_u64, 1337] {
+        let off = report_for(QueueKind::Sdc, seed, false);
+        let on = report_for(QueueKind::Sdc, seed, true);
+        assert_results_identical(&off, &on);
+    }
+}
+
+/// Armed and disarmed registries adapt the same report to the same
+/// totals — and the disarmed one records nothing at all.
+#[test]
+fn registry_arming_is_pure_observation() {
+    let report = report_for(QueueKind::Sws, 0xBA5E, false);
+    let armed = Registry::from_report(&report, None);
+    let tasks: u64 = report.workers.iter().map(|w| w.tasks_executed).sum();
+    assert!(armed.render_text().contains(&format!("sws_tasks_executed {tasks}")));
+
+    let mut disarmed = Registry::disarmed(4);
+    let c = disarmed.counter("sws_probe", "never recorded");
+    disarmed.shard_mut(0).add(c, 123);
+    assert_eq!(disarmed.merged(c), 0);
+}

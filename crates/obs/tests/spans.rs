@@ -1,0 +1,113 @@
+//! End-to-end span stitching on clean runs: real workloads, proto
+//! capture armed, spans reconciled against the queue counters, and the
+//! paper's per-steal op budget checked on every completed steal — the
+//! Table-1 claim (SWS: 3 ops / 2 blocking; SDC: 6 / 5) as an executable
+//! assertion.
+
+use sws_core::QueueConfig;
+use sws_obs::{check_comms, chrome_trace, stitch_report, validate_chrome_trace};
+use sws_obs::{Registry, SpanOutcome, TraceRun};
+use sws_sched::{run_workload, QueueKind, RunConfig, RunReport, SchedConfig};
+use sws_workloads::uts::{UtsParams, UtsWorkload};
+
+fn queue() -> QueueConfig {
+    QueueConfig::new(1024, 48)
+}
+
+fn captured_run(kind: QueueKind, seed: u64) -> RunReport {
+    let mut sched = SchedConfig::new(kind, queue()).with_seed(seed);
+    sched.trace = true;
+    let cfg = RunConfig::new(8, sched).with_capture_proto();
+    run_workload(&cfg, &UtsWorkload::new(UtsParams::geo_small(8)))
+}
+
+fn reconcile(report: &RunReport) {
+    let spans = stitch_report(report, &queue());
+    assert!(!spans.is_empty(), "captured run must produce spans");
+    let comm = check_comms(&spans, false);
+    assert!(comm.ok(), "budget violations: {:#?}", comm.violations);
+
+    // Span-level accounting must agree exactly with the queue counters.
+    let steals_won: u64 = report.workers.iter().map(|w| w.queue.steals_won).sum();
+    let tasks_stolen: u64 = report.workers.iter().map(|w| w.queue.tasks_stolen).sum();
+    assert_eq!(comm.completed, steals_won, "completed spans vs steals_won");
+    assert_eq!(comm.tasks, tasks_stolen, "span volumes vs tasks_stolen");
+    assert!(steals_won > 0, "workload must actually steal");
+    // Clean runs leave nothing open, aborted, or failed.
+    assert_eq!(comm.open, 0, "clean run must close every span");
+    assert_eq!(comm.aborted, 0);
+    assert_eq!(comm.failed, 0);
+}
+
+#[test]
+fn sws_spans_meet_the_three_two_budget() {
+    let report = captured_run(QueueKind::Sws, 0xBA5E);
+    let spans = stitch_report(&report, &queue());
+    for s in spans.iter().filter(|s| matches!(s.outcome, SpanOutcome::Completed { .. })) {
+        assert_eq!(s.ops(), 3, "SWS steal is claim + payload + complete");
+        assert_eq!(s.blocking_ops(), 2, "the completion set is passive");
+        assert_eq!(s.contention_ops(), 0, "SWS has no lock to contend");
+        assert_eq!(s.phases[0].name, "claim");
+        assert_eq!(s.phases[1].name, "payload");
+        assert_eq!(s.phases[2].name, "complete");
+    }
+    reconcile(&report);
+}
+
+#[test]
+fn sdc_spans_meet_the_six_five_budget() {
+    let report = captured_run(QueueKind::Sdc, 0xBA5E);
+    let spans = stitch_report(&report, &queue());
+    for s in spans.iter().filter(|s| matches!(s.outcome, SpanOutcome::Completed { .. })) {
+        assert_eq!(s.core_ops(), 6, "SDC steal is lock/meta/tail/unlock/payload/complete");
+        assert_eq!(s.core_blocking(), 5, "only the completion set is passive");
+    }
+    reconcile(&report);
+}
+
+#[test]
+fn spans_reconcile_across_seeds() {
+    for seed in [7u64, 1337, 0xD00D] {
+        reconcile(&captured_run(QueueKind::Sws, seed));
+        reconcile(&captured_run(QueueKind::Sdc, seed));
+    }
+}
+
+#[test]
+fn exported_trace_passes_the_schema_validator() {
+    let sws = captured_run(QueueKind::Sws, 0xBA5E);
+    let sdc = captured_run(QueueKind::Sdc, 0xBA5E);
+    let sws_spans = stitch_report(&sws, &queue());
+    let sdc_spans = stitch_report(&sdc, &queue());
+    let text = chrome_trace(&[
+        TraceRun { report: &sdc, spans: &sdc_spans },
+        TraceRun { report: &sws, spans: &sws_spans },
+    ]);
+    let stats = validate_chrome_trace(&text).expect("emitted trace must validate");
+    assert!(stats.complete > 0, "expected duration slices");
+    assert!(stats.counters > 0, "expected the idle-PE counter track");
+    assert!(stats.metadata >= 2 + 16, "process + thread names for both runs");
+    assert!(stats.tracks >= 2, "at least one track per run");
+}
+
+#[test]
+fn metrics_registry_reflects_the_run() {
+    let report = captured_run(QueueKind::Sws, 0xBA5E);
+    let spans = stitch_report(&report, &queue());
+    let reg = Registry::from_report(&report, Some(&spans));
+    let text = reg.render_text();
+    let total_tasks: u64 = report.workers.iter().map(|w| w.tasks_executed).sum();
+    assert!(
+        text.contains(&format!("sws_tasks_executed {total_tasks}")),
+        "exposition must carry the merged task count:\n{text}"
+    );
+    assert!(text.contains("sws_span_latency_ns_p95"), "{text}");
+    let json = sws_obs::json::Json::parse(&reg.to_json()).expect("snapshot parses");
+    let got = json
+        .get("metrics")
+        .and_then(|m| m.get("sws_tasks_executed"))
+        .and_then(|m| m.get("total"))
+        .and_then(|v| v.as_f64())
+        .expect("metric present");
+    assert_eq!(got as u64, total_tasks);
+}

@@ -341,19 +341,81 @@ impl Pow2Histogram {
     pub fn from_samples(samples: impl IntoIterator<Item = u64>) -> Pow2Histogram {
         let mut h = Pow2Histogram::default();
         for s in samples {
-            let bucket = if s <= 1 {
-                0
-            } else {
-                64 - (s - 1).leading_zeros() as usize
-            };
-            if h.counts.len() <= bucket {
-                h.counts.resize(bucket + 1, 0);
-            }
-            h.counts[bucket] += 1;
-            h.n += 1;
-            h.sum += s;
+            h.record(s);
         }
         h
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, s: u64) {
+        let bucket = if s <= 1 {
+            0
+        } else {
+            64 - (s - 1).leading_zeros() as usize
+        };
+        if self.counts.len() <= bucket {
+            self.counts.resize(bucket + 1, 0);
+        }
+        self.counts[bucket] += 1;
+        self.n += 1;
+        self.sum = self.sum.saturating_add(s);
+    }
+
+    /// Fold another histogram into this one. Equivalent to having
+    /// recorded both sample sets into a single histogram (`sum`
+    /// saturates like [`Pow2Histogram::record`] does).
+    pub fn merge(&mut self, other: &Pow2Histogram) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            self.counts[i] += c;
+        }
+        self.n += other.n;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Upper bound of bucket `i` — the largest sample it can hold.
+    fn bucket_upper(i: usize) -> u64 {
+        if i >= 64 {
+            u64::MAX
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) from the bucket
+    /// bounds: the upper bound of the first bucket whose cumulative
+    /// count reaches `⌈q·n⌉`. An over-estimate by at most the bucket
+    /// width (2×); 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.n == 0 {
+            return 0;
+        }
+        let rank = ((q * self.n as f64).ceil() as u64).clamp(1, self.n);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Self::bucket_upper(i);
+            }
+        }
+        Self::bucket_upper(self.counts.len().saturating_sub(1))
+    }
+
+    /// Median estimate (see [`Pow2Histogram::percentile`]).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.percentile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
     }
 
     /// Mean sample value.
@@ -398,6 +460,69 @@ mod histogram_tests {
         assert_eq!(h.n, 9);
         assert!(h.render().contains("≤1: 2"));
         assert!(h.render().contains("≤1024: 1"));
+    }
+
+    #[test]
+    fn percentiles_of_empty_histogram_are_zero() {
+        let e = Pow2Histogram::from_samples([]);
+        assert_eq!(e.p50(), 0);
+        assert_eq!(e.p95(), 0);
+        assert_eq!(e.p99(), 0);
+        assert_eq!(e.percentile(0.0), 0);
+        assert_eq!(e.percentile(1.0), 0);
+    }
+
+    #[test]
+    fn percentiles_of_single_bucket() {
+        // All samples land in (4, 8]; every percentile reports the
+        // bucket's upper bound.
+        let h = Pow2Histogram::from_samples([5, 5, 5, 5, 5]);
+        assert_eq!(h.p50(), 8);
+        assert_eq!(h.p95(), 8);
+        assert_eq!(h.p99(), 8);
+        assert_eq!(h.percentile(1.0), 8);
+    }
+
+    #[test]
+    fn percentiles_straddle_buckets() {
+        // 90 ones (bucket 0, ≤1) + 10 large samples (≤1024).
+        let mut samples = vec![1u64; 90];
+        samples.extend(std::iter::repeat_n(1000, 10));
+        let h = Pow2Histogram::from_samples(samples);
+        assert_eq!(h.p50(), 1);
+        assert_eq!(h.p95(), 1024);
+        assert_eq!(h.p99(), 1024);
+    }
+
+    #[test]
+    fn saturated_samples_do_not_overflow() {
+        let h = Pow2Histogram::from_samples([u64::MAX, u64::MAX, 1]);
+        // u64::MAX lands in the top bucket (index 64, upper u64::MAX).
+        assert_eq!(h.counts.len(), 65);
+        assert_eq!(h.counts[64], 2);
+        assert_eq!(h.sum, u64::MAX, "sum saturates");
+        assert_eq!(h.p99(), u64::MAX);
+        assert_eq!(h.p50(), u64::MAX);
+        assert_eq!(h.percentile(0.3), 1);
+    }
+
+    #[test]
+    fn merge_equals_concatenated_samples() {
+        let a_samples = [0u64, 3, 17, 900, 2];
+        let b_samples = [1u64, 1, 64, 1_000_000];
+        let mut a = Pow2Histogram::from_samples(a_samples);
+        let b = Pow2Histogram::from_samples(b_samples);
+        a.merge(&b);
+        let both = Pow2Histogram::from_samples(a_samples.iter().chain(&b_samples).copied());
+        assert_eq!(a.counts, both.counts);
+        assert_eq!(a.n, both.n);
+        assert_eq!(a.sum, both.sum);
+        assert_eq!(a.p95(), both.p95());
+        // Merging an empty histogram is a no-op.
+        let mut c = both.clone();
+        c.merge(&Pow2Histogram::default());
+        assert_eq!(c.counts, both.counts);
+        assert_eq!(c.n, both.n);
     }
 
     #[test]

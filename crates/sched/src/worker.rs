@@ -166,7 +166,9 @@ impl<'r, 'a, Q: StealQueue> Worker<'r, 'a, Q> {
                     self.td.flush(self.ctx);
                     let before = self.queue.local_count();
                     if self.queue.release() {
-                        let exposed = before - self.queue.local_count();
+                        // Release can reclaim aborted claims back into the
+                        // local section, so the count may have *grown*.
+                        let exposed = before.saturating_sub(self.queue.local_count());
                         self.log
                             .record(self.ctx.now_ns(), EventKind::Release {
                                 exposed: exposed as u32,

@@ -52,6 +52,15 @@ pub enum ProtoOp {
 }
 
 impl ProtoOp {
+    /// Does the op block the issuer until the remote effect is visible?
+    /// Mirrors `OpKind::is_blocking`: only the nbi shapes are passive —
+    /// they complete at the next `quiet`. This is the classification the
+    /// paper's Fig. 2 op budget counts (3 ops / 2 blocking for SWS, 6 / 5
+    /// for SDC), so the telemetry layer charges spans with it.
+    pub fn is_blocking(self) -> bool {
+        !matches!(self, ProtoOp::SetNbi | ProtoOp::AddNbi)
+    }
+
     /// Short name for reports.
     pub fn name(self) -> &'static str {
         match self {

@@ -23,6 +23,16 @@
 //!   --histogram      print steal-volume and victim histograms (tracing)
 //!   --json           machine-readable report to stdout
 //!
+//! telemetry (arms protocol capture; observation only):
+//!   --assert-comms   stitch steal spans and assert the paper's
+//!                    per-steal budget (SWS 3 ops / 2 blocking,
+//!                    SDC 6 / 5); exit 1 on any violation
+//!   --metrics        print the merged metrics registry (text
+//!                    exposition, or a JSON snapshot with --json)
+//!   --trace-out F    write a Chrome-trace / Perfetto JSON file with
+//!                    one process per system, one track per PE, steal
+//!                    spans as slices, and an idle-PE counter track
+//!
 //! standalone modes:
 //!   --conform        replay the deterministic conformance matrix
 //!                    through the abstract protocol machines and exit
@@ -34,6 +44,9 @@
 //!                    the termination counters and cannot crash)
 //! ```
 
+use sws::obs::{
+    check_comms, chrome_trace, report_to_json, stitch_report, Registry, StealSpan, TraceRun,
+};
 use sws::prelude::*;
 use sws::sched::trace::{
     render_timeline, steal_volume_histogram, steals_by_victim, Pow2Histogram,
@@ -58,9 +71,23 @@ struct Args {
     timeline: bool,
     histogram: bool,
     json: bool,
+    assert_comms: bool,
+    metrics: bool,
+    trace_out: Option<String>,
     drop_prob: f64,
     stall: Option<(usize, u64, u64)>,
     crash: Option<(usize, u64)>,
+}
+
+impl Args {
+    /// Any telemetry consumer needs the per-op protocol capture armed.
+    fn capture(&self) -> bool {
+        self.assert_comms || self.metrics || self.trace_out.is_some()
+    }
+
+    fn faults_active(&self) -> bool {
+        self.drop_prob > 0.0 || self.stall.is_some() || self.crash.is_some()
+    }
 }
 
 fn usage() -> ! {
@@ -68,6 +95,7 @@ fn usage() -> ! {
     eprintln!("       sws-run --conform");
     eprintln!("               [--depth N] [--consumers N] [--tasks N] [--task-ns N]");
     eprintln!("               [--nodes N] [--gate safe|handoff] [--engine] [--timeline] [--json]");
+    eprintln!("               [--assert-comms] [--metrics] [--trace-out FILE]");
     eprintln!("               [--drop-prob P] [--stall PE:FROM:DUR] [--crash PE:AT]");
     std::process::exit(2);
 }
@@ -107,6 +135,9 @@ fn parse_args() -> Args {
         timeline: false,
         histogram: false,
         json: false,
+        assert_comms: false,
+        metrics: false,
+        trace_out: None,
         drop_prob: 0.0,
         stall: None,
         crash: None,
@@ -152,6 +183,9 @@ fn parse_args() -> Args {
             "--timeline" => args.timeline = true,
             "--histogram" => args.histogram = true,
             "--json" => args.json = true,
+            "--assert-comms" => args.assert_comms = true,
+            "--metrics" => args.metrics = true,
+            "--trace-out" => args.trace_out = Some(val("--trace-out")),
             "--drop-prob" => {
                 args.drop_prob = val("--drop-prob").parse().unwrap_or_else(|_| usage());
                 if !(0.0..=1.0).contains(&args.drop_prob) {
@@ -193,16 +227,26 @@ fn parse_args() -> Args {
     args
 }
 
-fn run_one(args: &Args, kind: QueueKind) -> RunReport {
+/// One queue geometry per workload, shared between the runner and the
+/// span stitcher (the stitcher decodes raw stealvals with this layout).
+fn queue_config(args: &Args) -> QueueConfig {
     let task_bytes = match args.workload.as_str() {
         "uts" => 48,
         "bpc" => 32,
         _ => 24,
     };
-    let mut sched = SchedConfig::new(kind, QueueConfig::new(16384, task_bytes))
-        .with_seed(args.seed);
-    sched.trace = args.timeline || args.histogram;
+    QueueConfig::new(16384, task_bytes)
+}
+
+fn run_one(args: &Args, kind: QueueKind) -> RunReport {
+    let mut sched = SchedConfig::new(kind, queue_config(args)).with_seed(args.seed);
+    // The trace exporter draws scheduler instants and the idle counter
+    // from the event log, so --trace-out arms tracing too.
+    sched.trace = args.timeline || args.histogram || args.trace_out.is_some();
     let mut cfg = RunConfig::new(args.pes, sched).with_gate(args.gate);
+    if args.capture() {
+        cfg = cfg.with_capture_proto();
+    }
     if args.nodes > 1 {
         cfg.net = NetModel::edr_infiniband_nodes(args.nodes);
     }
@@ -247,13 +291,28 @@ fn main() {
         _ => usage(),
     };
     let mut reports = Vec::new();
+    let mut spans: Vec<Vec<StealSpan>> = Vec::new();
+    let mut comms_ok = true;
     for kind in kinds {
         let report = run_one(&args, kind);
+        let report_spans = if args.capture() {
+            stitch_report(&report, &queue_config(&args))
+        } else {
+            Vec::new()
+        };
         if args.json {
-            println!(
-                "{}",
-                serde_json_line(&report).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
-            );
+            println!("{}", report_to_json(&report));
+            if args.assert_comms {
+                let comm = check_comms(&report_spans, args.faults_active());
+                comms_ok &= comm.ok();
+                println!("{}", sws::obs::comm_report_to_json(&comm));
+            }
+            if args.metrics {
+                println!(
+                    "{}",
+                    Registry::from_report(&report, Some(&report_spans)).to_json()
+                );
+            }
         } else {
             println!("{}", report.summary_line());
             if let Some(faults) = report.fault_summary_line() {
@@ -290,8 +349,20 @@ fn main() {
                     );
                 }
             }
+            if args.assert_comms {
+                let comm = check_comms(&report_spans, args.faults_active());
+                comms_ok &= comm.ok();
+                print!("{}", comm.render());
+            }
+            if args.metrics {
+                print!(
+                    "{}",
+                    Registry::from_report(&report, Some(&report_spans)).render_text()
+                );
+            }
         }
         reports.push(report);
+        spans.push(report_spans);
     }
     if !args.json && reports.len() == 2 {
         let (sdc, sws) = (&reports[0], &reports[1]);
@@ -302,29 +373,26 @@ fn main() {
             sdc.total_search_ns() as f64 / sws.total_search_ns().max(1) as f64,
         );
     }
-}
-
-/// Minimal single-line JSON by hand: the workspace carries no JSON
-/// dependency, so emit the headline fields only.
-fn serde_json_line(r: &RunReport) -> Result<String, String> {
-    let e = r.total_engine();
-    Ok(format!(
-        "{{\"system\":\"{}\",\"pes\":{},\"makespan_ns\":{},\"tasks\":{},\"throughput_per_s\":{:.1},\"efficiency\":{:.4},\"steals\":{},\"steal_ns\":{},\"search_ns\":{},\"comm_ops\":{},\"comm_bytes\":{},\"wall_ms\":{},\"engine_fast_ops\":{},\"engine_slow_ops\":{},\"engine_windows\":{},\"engine_gate_wait_ns\":{}}}",
-        r.system,
-        r.n_pes,
-        r.makespan_ns,
-        r.total_tasks(),
-        r.throughput_per_s(),
-        r.parallel_efficiency(),
-        r.total_steals(),
-        r.total_steal_ns(),
-        r.total_search_ns(),
-        r.total_comm().data_ops(),
-        r.total_comm().total_bytes(),
-        r.wall_ms,
-        e.fast_ops,
-        e.slow_ops,
-        e.windows,
-        e.gate_wait_ns,
-    ))
+    if let Some(path) = &args.trace_out {
+        let runs: Vec<TraceRun> = reports
+            .iter()
+            .zip(&spans)
+            .map(|(report, spans)| TraceRun { report, spans })
+            .collect();
+        let text = chrome_trace(&runs);
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("--trace-out: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        if !args.json {
+            println!(
+                "trace: wrote {path} ({} bytes; open at ui.perfetto.dev)",
+                text.len()
+            );
+        }
+    }
+    if !comms_ok {
+        eprintln!("--assert-comms: per-steal budget violated (see report above)");
+        std::process::exit(1);
+    }
 }

@@ -21,7 +21,11 @@
 //! * [`workloads`] — UTS (over a from-scratch SHA-1), BPC, and
 //!   synthetic tasks;
 //! * [`check`] — the bounded model checker, ordering audit, protocol
-//!   lint, and the trace-conformance (refinement) checker.
+//!   lint, and the trace-conformance (refinement) checker;
+//! * [`obs`] — observability: steal spans stitched from captured
+//!   protocol events, per-steal communication accounting against the
+//!   paper's op budgets, a sharded metrics registry, and a
+//!   Chrome-trace / Perfetto exporter.
 //!
 //! ## Quickstart
 //!
@@ -40,6 +44,7 @@
 
 pub use sws_check as check;
 pub use sws_core as core;
+pub use sws_obs as obs;
 pub use sws_sched as sched;
 pub use sws_shmem as shmem;
 pub use sws_task as task;

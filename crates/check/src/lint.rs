@@ -1,6 +1,6 @@
 //! `sws-lint` — source-level protocol lint over the workspace.
 //!
-//! Nine token-scan rules keep the code honest about the properties the
+//! Ten token-scan rules keep the code honest about the properties the
 //! model checker assumes. Scanning is deliberately lexical (comments and
 //! string/char literals are stripped first, with nested block comments
 //! handled) — no syn, no build dependency, same `std`-only discipline as
@@ -43,6 +43,11 @@
 //!    (core, shmem, sched, task, workloads, obs). Libraries report
 //!    through return values, the event log, or the metrics registry;
 //!    stdout belongs to the binaries under `/bin/`.
+//! 10. `result-unwrap` — `.unwrap()`/`.expect(` in library-crate
+//!     non-test code (everything before the file's first `#[cfg(test)]`
+//!     line). Library code propagates or handles errors; panicking
+//!     belongs to tests and the binaries. Ratcheted via `lint.allow`
+//!     so the existing debt can only shrink.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -227,6 +232,9 @@ struct TokenRule {
     tokens: &'static [&'static str],
     /// Does the rule apply to this workspace-relative path?
     in_scope: fn(&str) -> bool,
+    /// Stop counting at the file's first `#[cfg(test)]` line: the rule
+    /// governs production code only and test modules are exempt.
+    until_cfg_test: bool,
 }
 
 fn protocol_crates(p: &str) -> bool {
@@ -283,31 +291,43 @@ const TOKEN_RULES: &[TokenRule] = &[
             (p.starts_with("crates/core/src/") || p.starts_with("crates/sched/src/"))
                 && p != "crates/core/src/stealval.rs"
         },
+        until_cfg_test: false,
     },
     TokenRule {
         name: "relaxed-ordering",
         tokens: &["Ordering::Relaxed"],
         in_scope: all_sources,
+        until_cfg_test: false,
     },
     TokenRule {
         name: "seqcst",
         tokens: &["SeqCst"],
         in_scope: all_sources,
+        until_cfg_test: false,
     },
     TokenRule {
         name: "wall-clock-time",
         tokens: &["std::time", "Instant::now", "SystemTime", "thread::sleep"],
         in_scope: all_sources,
+        until_cfg_test: false,
     },
     TokenRule {
         name: "unsafe-code",
         tokens: &["unsafe "],
         in_scope: all_sources,
+        until_cfg_test: false,
     },
     TokenRule {
         name: "println-in-lib",
         tokens: &["println!", "eprintln!"],
         in_scope: library_crates,
+        until_cfg_test: false,
+    },
+    TokenRule {
+        name: "result-unwrap",
+        tokens: &[".unwrap()", ".expect("],
+        in_scope: library_crates,
+        until_cfg_test: true,
     },
 ];
 
@@ -315,6 +335,17 @@ const TOKEN_RULES: &[TokenRule] = &[
 /// also matches inside `atomic_compare_swap(`; the rule is a per-line
 /// boolean, so double matches are harmless.)
 const RMW_TOKENS: &[&str] = &["atomic_fetch_add(", "atomic_swap(", "atomic_compare_swap("];
+
+/// Line index (0-based) of the file's first `#[cfg(test)]` attribute,
+/// or `usize::MAX` if there is none. Rules with `until_cfg_test` stop
+/// counting there: everything at or below the attribute is the test
+/// module (the workspace convention keeps test modules at the bottom).
+fn cfg_test_cutoff(stripped: &str) -> usize {
+    stripped
+        .lines()
+        .position(|l| l.contains("#[cfg(test)]"))
+        .unwrap_or(usize::MAX)
+}
 
 fn count_tokens(line: &str, tokens: &[&str]) -> usize {
     let mut n = 0;
@@ -428,9 +459,13 @@ pub fn run(root: &Path) -> io::Result<Report> {
         report.files += 1;
 
         let raw_lines: Vec<&str> = raw.lines().collect();
+        let cutoff = cfg_test_cutoff(&stripped);
         for (ln0, line) in stripped.lines().enumerate() {
             for rule in TOKEN_RULES {
                 if !(rule.in_scope)(&relp) {
+                    continue;
+                }
+                if rule.until_cfg_test && ln0 >= cutoff {
                     continue;
                 }
                 let n = count_tokens(line, rule.tokens);
@@ -586,6 +621,20 @@ mod tests {
     fn token_counting_counts_all_occurrences() {
         assert_eq!(count_tokens("SeqCst SeqCst", &["SeqCst"]), 2);
         assert_eq!(count_tokens("a << 40 | b >> 40", &["<< 40", ">> 40"]), 2);
+    }
+
+    #[test]
+    fn cfg_test_cutoff_splits_production_from_tests() {
+        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn g() { y.unwrap(); } }\n";
+        let cut = cfg_test_cutoff(src);
+        assert_eq!(cut, 1);
+        let before: usize = src
+            .lines()
+            .take(cut)
+            .map(|l| count_tokens(l, &[".unwrap()", ".expect("]))
+            .sum();
+        assert_eq!(before, 1, "only the production-code unwrap counts");
+        assert_eq!(cfg_test_cutoff("fn f() {}\n"), usize::MAX);
     }
 
     #[test]

@@ -266,6 +266,27 @@ pub trait StealQueue {
     /// a crash-stopping worker *before* it marks itself down, so no claim
     /// is lost in flight.
     fn retire(&mut self);
+
+    /// *Reversibly* stop advertising work: close the gate / hold the
+    /// lock, drain every in-flight steal exactly as [`StealQueue::retire`]
+    /// does, and leave the queue locked against thieves until
+    /// [`StealQueue::unpark`]. Elastic PEs use this to leave the pool
+    /// mid-run through the protocol's own locked-stealval path. The
+    /// default implementation falls back to the one-way `retire`.
+    fn park(&mut self) {
+        self.retire();
+    }
+
+    /// Re-open a parked queue for stealing. Queues that only support the
+    /// one-way `retire` ignore this (the default).
+    fn unpark(&mut self) {}
+
+    /// Total tasks currently resident in the ring — local *and* shared
+    /// (claimed-but-unreclaimed space included). Admission control
+    /// compares this against the ring capacity's high-water mark.
+    fn occupancy(&self) -> u64 {
+        self.local_count()
+    }
 }
 
 impl StealQueue for Box<dyn StealQueue + '_> {
@@ -304,5 +325,14 @@ impl StealQueue for Box<dyn StealQueue + '_> {
     }
     fn retire(&mut self) {
         (**self).retire()
+    }
+    fn park(&mut self) {
+        (**self).park()
+    }
+    fn unpark(&mut self) {
+        (**self).unpark()
+    }
+    fn occupancy(&self) -> u64 {
+        (**self).occupancy()
     }
 }

@@ -105,6 +105,9 @@ pub struct SdcQueue<'a> {
     stuck: Option<(u64, u64)>,
     /// Queue permanently closed by [`StealQueue::retire`].
     retired: bool,
+    /// Queue reversibly closed by [`StealQueue::park`] — the owner holds
+    /// its own lock until [`StealQueue::unpark`] releases it.
+    parked: bool,
     /// Jitter source for retry backoff (fault mode).
     rng: SplitMix64,
     stats: QueueStats,
@@ -133,6 +136,7 @@ impl<'a> SdcQueue<'a> {
             reclaimed: 0,
             stuck: None,
             retired: false,
+            parked: false,
             rng: SplitMix64::stream(0x5DC0_F417, ctx.my_pe() as u64),
             stats: QueueStats::default(),
             scratch: Vec::new(),
@@ -196,6 +200,33 @@ impl<'a> SdcQueue<'a> {
         // ordering: SdcUnlock
         self.ctx.proto_site(AtomicSite::SdcUnlock.id());
         self.ctx.atomic_set(self.ctx.my_pe(), self.lock_addr(), 0);
+    }
+
+    /// Take our own lock (and keep it), pull the unclaimed shared region
+    /// back into the local portion, and drain every published claim — the
+    /// shared body of [`StealQueue::retire`] and [`StealQueue::park`].
+    /// Thieves contending on the held lock abort once they see
+    /// `tail >= split`.
+    fn lock_and_drain(&mut self) {
+        self.lock_own();
+        let tail = self.read_tail();
+        if tail < self.split {
+            self.split = tail;
+            // ordering: SdcSplitPublish
+            self.ctx.proto_site(AtomicSite::SdcSplitPublish.id());
+            self.ctx
+                .atomic_set(self.ctx.my_pe(), self.split_addr(), self.split);
+        }
+        // Drain every published claim below the final tail: thieves
+        // finalize, poison, or get reclaimed after the grace period.
+        while self.reclaimed < tail {
+            self.progress();
+            if self.reclaimed >= tail {
+                break;
+            }
+            self.stats.owner_polls += 1;
+            self.ctx.compute(200);
+        }
     }
 
     /// Re-enqueue the block `[abs, abs + vol)` from this PE's own ring
@@ -575,7 +606,7 @@ impl StealQueue for SdcQueue<'_> {
     }
 
     fn release(&mut self) -> bool {
-        if self.retired {
+        if self.retired || self.parked {
             return false;
         }
         let nlocal = self.local_count();
@@ -604,9 +635,10 @@ impl StealQueue for SdcQueue<'_> {
             self.split, self.head,
             "acquire requires an empty local portion"
         );
-        // A retired queue holds its own lock forever and has already
-        // pulled the whole shared region local — nothing to acquire.
-        if self.retired {
+        // A retired (or parked) queue holds its own lock and has already
+        // pulled the whole shared region local — nothing to acquire, and
+        // re-locking would self-deadlock.
+        if self.retired || self.parked {
             self.stats.acquire_misses += 1;
             return false;
         }
@@ -780,28 +812,32 @@ impl StealQueue for SdcQueue<'_> {
             return;
         }
         self.retired = true;
-        // Take our own lock and never release it: thieves contending on
-        // it abort once they see tail >= split below.
-        self.lock_own();
-        let tail = self.read_tail();
-        if tail < self.split {
-            // Pull the unclaimed shared region back into the local
-            // portion before closing.
-            self.split = tail;
-            // ordering: SdcSplitPublish
-            self.ctx.proto_site(AtomicSite::SdcSplitPublish.id());
-            self.ctx
-                .atomic_set(self.ctx.my_pe(), self.split_addr(), self.split);
+        if self.parked {
+            return; // lock already held, shared region already drained
         }
-        // Drain every published claim below the final tail: thieves
-        // finalize, poison, or get reclaimed after the grace period.
-        while self.reclaimed < tail {
-            self.progress();
-            if self.reclaimed >= tail {
-                break;
-            }
-            self.stats.owner_polls += 1;
-            self.ctx.compute(200);
+        self.lock_and_drain();
+    }
+
+    fn park(&mut self) {
+        if self.parked || self.retired {
+            return;
         }
+        self.parked = true;
+        self.lock_and_drain();
+    }
+
+    fn unpark(&mut self) {
+        if !self.parked || self.retired {
+            return;
+        }
+        self.parked = false;
+        // Shared region drained at park time (split == tail), so thieves
+        // re-admitted by the unlock still abort on tail >= split until
+        // the owner releases fresh work.
+        self.unlock_own();
+    }
+
+    fn occupancy(&self) -> u64 {
+        self.live_span()
     }
 }

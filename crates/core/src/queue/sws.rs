@@ -130,6 +130,9 @@ pub struct SwsQueue<'a> {
     slot_busy: Vec<bool>,
     /// Gate permanently closed by [`StealQueue::retire`].
     retired: bool,
+    /// Gate reversibly closed by [`StealQueue::park`] — the elastic-PE
+    /// "queue locked" state; [`StealQueue::unpark`] re-opens it.
+    parked: bool,
     /// Jitter source for retry backoff (fault mode).
     rng: SplitMix64,
     stats: QueueStats,
@@ -177,6 +180,7 @@ impl<'a> SwsQueue<'a> {
             epochs,
             slot_busy,
             retired: false,
+            parked: false,
             rng: SplitMix64::stream(0x57EA_F417, ctx.my_pe() as u64),
             stats: QueueStats::default(),
             scratch: Vec::new(),
@@ -410,6 +414,42 @@ impl<'a> SwsQueue<'a> {
         });
     }
 
+    /// Close the gate (locked stealval) and drain every in-flight steal —
+    /// the shared body of [`StealQueue::retire`] and [`StealQueue::park`].
+    /// On return all tasks still owned sit in the local portion and no
+    /// epoch record remains.
+    fn close_gate_and_drain(&mut self) {
+        // Close the gate. Thieves racing the swap either claimed before it
+        // (drained below) or see Closed / TargetDown.
+        let closed = self.cfg.layout.encode(StealVal {
+            asteals: 0,
+            gate: Gate::Closed,
+            itasks: 0,
+            tail: 0,
+        });
+        // ordering: SwsOwnerAcquireSwap (retire/park closes the gate)
+        self.ctx.proto_site(AtomicSite::SwsOwnerAcquireSwap.id());
+        let raw = self.ctx.atomic_swap(self.ctx.my_pe(), self.sv_addr, closed);
+        let sv = self.cfg.layout.decode(raw);
+        if matches!(sv.gate, Gate::Open { .. }) && self.epochs.back().is_some_and(|e| e.open) {
+            // Recover the unclaimed tail of the open advertisement into
+            // the local portion; its claimed prefix drains below.
+            let unclaimed = self.close_open(&sv);
+            self.split -= unclaimed;
+        }
+        // Drain every outstanding claim: thieves complete, poison, or are
+        // reclaimed after the grace period — the loop's compute charges
+        // keep virtual time moving so all three can happen.
+        while !self.epochs.is_empty() {
+            self.reclaim();
+            if self.epochs.is_empty() {
+                break;
+            }
+            self.stats.owner_polls += 1;
+            self.ctx.compute(200);
+        }
+    }
+
     /// Fault-mode steal: fallible ops with bounded retry, poison on a
     /// failed copy, CAS-confirmed completion. See the module docs for the
     /// recovery protocol.
@@ -564,7 +604,7 @@ impl StealQueue for SwsQueue<'_> {
     }
 
     fn release(&mut self) -> bool {
-        if self.retired {
+        if self.retired || self.parked {
             return false;
         }
         let nlocal = self.local_count();
@@ -758,34 +798,34 @@ impl StealQueue for SwsQueue<'_> {
             return;
         }
         self.retired = true;
-        // Close the gate for good. Thieves racing the swap either claimed
-        // before it (drained below) or see Closed / TargetDown.
-        let closed = self.cfg.layout.encode(StealVal {
-            asteals: 0,
-            gate: Gate::Closed,
-            itasks: 0,
-            tail: 0,
-        });
-        // ordering: SwsOwnerAcquireSwap (retire closes the gate)
-        self.ctx.proto_site(AtomicSite::SwsOwnerAcquireSwap.id());
-        let raw = self.ctx.atomic_swap(self.ctx.my_pe(), self.sv_addr, closed);
-        let sv = self.cfg.layout.decode(raw);
-        if matches!(sv.gate, Gate::Open { .. }) && self.epochs.back().is_some_and(|e| e.open) {
-            // Recover the unclaimed tail of the open advertisement into
-            // the local portion; its claimed prefix drains below.
-            let unclaimed = self.close_open(&sv);
-            self.split -= unclaimed;
+        if self.parked {
+            return; // gate already closed and every claim drained
         }
-        // Drain every outstanding claim: thieves complete, poison, or are
-        // reclaimed after the grace period — the loop's compute charges
-        // keep virtual time moving so all three can happen.
-        while !self.epochs.is_empty() {
-            self.reclaim();
-            if self.epochs.is_empty() {
-                break;
-            }
-            self.stats.owner_polls += 1;
-            self.ctx.compute(200);
+        self.close_gate_and_drain();
+    }
+
+    fn park(&mut self) {
+        if self.parked || self.retired {
+            return;
         }
+        self.parked = true;
+        self.close_gate_and_drain();
+    }
+
+    fn unpark(&mut self) {
+        if !self.parked || self.retired {
+            return;
+        }
+        self.parked = false;
+        // Every epoch drained at park time, so a slot set is free; publish
+        // an open, empty advertisement so thieves see "empty" again
+        // instead of "locked".
+        debug_assert!(self.epochs.is_empty(), "parked queue retained epochs");
+        let slot = self.wait_for_free_slot();
+        self.advertise(slot, self.split, 0);
+    }
+
+    fn occupancy(&self) -> u64 {
+        self.live_span()
     }
 }

@@ -97,6 +97,42 @@ pub fn report_to_json(r: &RunReport) -> String {
         r.total_quarantines(),
         r.crashed_pes(),
     ));
+    let lat = r.service_latency();
+    let (deferred, blocked, wait_ns, parks, rejoins, readmitted) =
+        r.workers.iter().fold((0u64, 0u64, 0u64, 0u64, 0u64, 0u64), |a, w| {
+            let s = &w.service;
+            (
+                a.0 + s.deferred,
+                a.1 + s.blocked,
+                a.2 + s.admission_wait_ns,
+                a.3 + s.parks,
+                a.4 + s.rejoins,
+                a.5 + s.readmitted,
+            )
+        });
+    out.push_str(&format!(
+        ",\"service\":{{\"offered\":{},\"admitted\":{},\"shed\":{},\
+         \"shed_rate\":{:.4},\"deferred\":{},\"blocked\":{},\
+         \"admission_wait_ns\":{},\"completed\":{},\"in_flight\":{},\
+         \"conserved\":{},\"parks\":{},\"rejoins\":{},\"readmitted\":{},\
+         \"latency_p50_ns\":{},\"latency_p95_ns\":{},\"latency_p99_ns\":{}}}",
+        r.total_offered(),
+        r.total_admitted(),
+        r.total_shed(),
+        r.shed_rate(),
+        deferred,
+        blocked,
+        wait_ns,
+        r.completed_arrivals(),
+        r.arrivals_in_flight(),
+        r.arrival_conservation_ok(),
+        parks,
+        rejoins,
+        readmitted,
+        lat.p50(),
+        lat.p95(),
+        lat.p99(),
+    ));
     out.push('}');
     out
 }

@@ -46,6 +46,7 @@ const TOP_KEYS: &[&str] = &[
     "engine",
     "comm",
     "faults",
+    "service",
 ];
 
 const ENGINE_KEYS: &[&str] = &[
@@ -79,6 +80,25 @@ const FAULT_KEYS: &[&str] = &[
     "crashed_pes",
 ];
 
+const SERVICE_KEYS: &[&str] = &[
+    "offered",
+    "admitted",
+    "shed",
+    "shed_rate",
+    "deferred",
+    "blocked",
+    "admission_wait_ns",
+    "completed",
+    "in_flight",
+    "conserved",
+    "parks",
+    "rejoins",
+    "readmitted",
+    "latency_p50_ns",
+    "latency_p95_ns",
+    "latency_p99_ns",
+];
+
 #[test]
 fn report_json_schema_is_golden() {
     for kind in [QueueKind::Sws, QueueKind::Sdc] {
@@ -88,7 +108,37 @@ fn report_json_schema_is_golden() {
         assert_eq!(doc.get("engine").unwrap().keys(), ENGINE_KEYS.to_vec());
         assert_eq!(doc.get("comm").unwrap().keys(), COMM_KEYS.to_vec());
         assert_eq!(doc.get("faults").unwrap().keys(), FAULT_KEYS.to_vec());
+        assert_eq!(doc.get("service").unwrap().keys(), SERVICE_KEYS.to_vec());
     }
+}
+
+/// A service run's JSON carries the admission/latency figures and the
+/// conservation verdict; a batch run reports a trivially-conserved
+/// all-zero service object (the schema is unconditional).
+#[test]
+fn service_json_carries_admission_and_latency_figures() {
+    use sws_sched::{run_service, ServiceConfig};
+    use sws_workloads::arrivals::{ArrivalPlan, FlatServe};
+
+    let w = FlatServe::new(ArrivalPlan::poisson(0x0B5_0001, 5_000, 300_000), 3_000, 1);
+    let sched = SchedConfig::new(QueueKind::Sws, QueueConfig::new(1024, 24));
+    let report = run_service(&RunConfig::new(4, sched), &ServiceConfig::default(), &w);
+    let doc = Json::parse(&report_to_json(&report)).expect("service JSON parses");
+    let svc = doc.get("service").unwrap();
+    let num = |k: &str| svc.get(k).unwrap().as_f64().unwrap() as u64;
+    assert_eq!(num("offered"), report.total_offered());
+    assert_eq!(num("admitted"), report.total_admitted());
+    assert_eq!(num("completed"), report.completed_arrivals());
+    assert_eq!(num("in_flight"), 0);
+    assert_eq!(num("latency_p99_ns"), report.service_latency().p99());
+    assert_eq!(svc.get("conserved").unwrap(), &Json::Bool(true));
+
+    // Batch runs keep the same schema with zeroed counters.
+    let batch = run(QueueKind::Sws, false);
+    let doc = Json::parse(&report_to_json(&batch)).expect("batch JSON parses");
+    let svc = doc.get("service").unwrap();
+    assert_eq!(svc.get("offered").unwrap().as_f64(), Some(0.0));
+    assert_eq!(svc.get("conserved").unwrap(), &Json::Bool(true));
 }
 
 /// The values behind the text report's headline figures must round-trip

@@ -16,8 +16,10 @@
 //! failure streak, and once the streak crosses the configured threshold
 //! the thief stops attempting it altogether — the graceful-degradation
 //! half of the fault model. A target reported down is quarantined
-//! immediately. Quarantine is sticky for the run: a PE that failed that
-//! persistently is treated as lost.
+//! immediately. Quarantine is sticky for a batch run — a PE that failed
+//! that persistently is treated as lost — but elastic membership
+//! (service mode) calls [`DampingState::readmit`] when a parked PE
+//! rejoins, so deliberate departures don't poison the victim pool.
 
 /// Per-target full/empty mode tracking for one thief.
 pub struct DampingState {
@@ -116,6 +118,20 @@ impl DampingState {
         newly
     }
 
+    /// Readmit `target` with a clean slate: quarantine flag, failure
+    /// streak, and empty-mode state all cleared. Elastic membership uses
+    /// this when a parked PE's away window ends — stale quarantine from
+    /// its locked-queue period must not outlive the rejoin. Returns
+    /// `true` if the target had been quarantined.
+    pub fn readmit(&mut self, target: usize) -> bool {
+        let was = self.quarantined[target];
+        self.quarantined[target] = false;
+        self.failure_streak[target] = 0;
+        self.empty_streak[target] = 0;
+        self.empty_mode[target] = false;
+        was
+    }
+
     /// Is `target` quarantined?
     pub fn is_quarantined(&self, target: usize) -> bool {
         self.quarantined[target]
@@ -194,6 +210,22 @@ mod tests {
         d.observed_work(0);
         assert!(!d.observed_failure(0), "streak was reset");
         assert!(d.observed_failure(0));
+    }
+
+    #[test]
+    fn readmit_clears_quarantine_and_streaks() {
+        let mut d = DampingState::new(3, true).with_quarantine_after(2);
+        d.observed_empty(1);
+        assert!(!d.observed_failure(1));
+        assert!(d.observed_failure(1));
+        assert!(d.is_quarantined(1) && d.should_probe(1));
+        assert!(d.readmit(1), "was quarantined");
+        assert!(!d.is_quarantined(1));
+        assert!(!d.should_probe(1), "empty-mode cleared");
+        // Streak restarts from zero: two fresh failures to re-quarantine.
+        assert!(!d.observed_failure(1));
+        assert!(d.observed_failure(1));
+        assert!(!d.readmit(2), "never quarantined");
     }
 
     #[test]

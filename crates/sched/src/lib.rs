@@ -26,6 +26,7 @@ pub mod damping;
 pub mod pool;
 pub mod report;
 pub mod runner;
+pub mod service;
 pub mod taskctx;
 pub mod termination;
 pub mod trace;
@@ -35,6 +36,10 @@ pub mod worker;
 pub use config::{FaultToleranceConfig, QueueKind, SchedConfig, TdKind};
 pub use report::{RunReport, WorkerStats};
 pub use runner::{run_workload, RunConfig, Workload};
+pub use service::{
+    run_service, AdmissionPolicy, ArrivalSource, AwayWindow, MembershipPlan,
+    ServiceConfig, ServiceWorkload,
+};
 pub use pool::TaskPool;
 pub use taskctx::TaskCtx;
 pub use victim::VictimPolicy;

@@ -10,7 +10,53 @@
 use sws_core::QueueStats;
 use sws_shmem::{EngineStats, OpStats, ProtoEvent, StatsSummary};
 
-use crate::trace::Event;
+use crate::trace::{Event, Pow2Histogram};
+
+/// Per-PE service-mode counters (all zero / empty for batch runs).
+///
+/// Arrival conservation is the load-bearing identity: globally,
+/// `completed + shed + in-flight == offered`, where `completed` is the
+/// number of latency samples recorded (each admitted arrival records
+/// exactly one at execution) and in-flight must be zero once the pool
+/// quiesced and shut down.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceStats {
+    /// Arrivals this ingress PE's plan presented (admitted + shed).
+    pub offered: u64,
+    /// Arrivals injected into the pool (immediately or after defer/block).
+    pub admitted: u64,
+    /// Arrivals dropped by the `Shed` admission policy.
+    pub shed: u64,
+    /// Arrivals that waited in the defer buffer at least once.
+    pub deferred: u64,
+    /// Arrivals that waited head-of-line under the `Block` policy.
+    pub blocked: u64,
+    /// Total virtual ns arrivals spent waiting for admission (defer and
+    /// block wait alike: injection time minus due time).
+    pub admission_wait_ns: u64,
+    /// Times this PE parked its queue for an elastic away window.
+    pub parks: u64,
+    /// Times this PE unparked and rejoined the pool.
+    pub rejoins: u64,
+    /// Peers this PE readmitted to its victim pool (quarantine cleared
+    /// when their away window ended).
+    pub readmitted: u64,
+    /// Quiescent windows this PE observed (entered parked-idle).
+    pub quiescent_windows: u64,
+    /// Enqueue→completion latency of arrival tasks *executed on this PE*
+    /// (arrivals travel by stealing, so samples land where tasks run).
+    pub latency: Pow2Histogram,
+}
+
+impl ServiceStats {
+    /// True when this run never exercised service mode.
+    pub fn is_empty(&self) -> bool {
+        self.offered == 0
+            && self.admitted == 0
+            && self.parks == 0
+            && self.latency.n == 0
+    }
+}
 
 /// Per-PE scheduler timing and event counts.
 #[derive(Clone, Debug, Default)]
@@ -47,6 +93,8 @@ pub struct WorkerStats {
     /// [`crate::trace::merge_proto_events`] to recover the global
     /// serialization order.
     pub proto: Vec<ProtoEvent>,
+    /// Service-mode counters (all zero for batch runs).
+    pub service: ServiceStats,
 }
 
 /// Everything one experiment run produced.
@@ -201,6 +249,83 @@ impl RunReport {
         }
         Some(format!(
             "     faults: {retries} retries, {failed} failed, {aborted} aborted, {poisoned} poisoned, {reclaimed} reclaimed, {quarantined} quarantined, {crashed} crashed PEs",
+        ))
+    }
+
+    /// Arrivals presented across ingress PEs (service mode).
+    pub fn total_offered(&self) -> u64 {
+        self.workers.iter().map(|w| w.service.offered).sum()
+    }
+
+    /// Arrivals admitted into the pool across ingress PEs.
+    pub fn total_admitted(&self) -> u64 {
+        self.workers.iter().map(|w| w.service.admitted).sum()
+    }
+
+    /// Arrivals shed across ingress PEs.
+    pub fn total_shed(&self) -> u64 {
+        self.workers.iter().map(|w| w.service.shed).sum()
+    }
+
+    /// Arrival tasks completed across PEs (latency samples recorded).
+    pub fn completed_arrivals(&self) -> u64 {
+        self.workers.iter().map(|w| w.service.latency.n).sum()
+    }
+
+    /// Admitted arrivals not yet completed — must be zero once the pool
+    /// quiesced and shut down.
+    pub fn arrivals_in_flight(&self) -> u64 {
+        self.total_admitted().saturating_sub(self.completed_arrivals())
+    }
+
+    /// Fraction of offered arrivals shed (the overload figure).
+    pub fn shed_rate(&self) -> f64 {
+        let offered = self.total_offered();
+        if offered == 0 {
+            return 0.0;
+        }
+        self.total_shed() as f64 / offered as f64
+    }
+
+    /// Arrival conservation: every offered arrival was either admitted or
+    /// shed, and every admitted arrival completed (`completed + shed +
+    /// in-flight == offered` with in-flight zero at shutdown).
+    pub fn arrival_conservation_ok(&self) -> bool {
+        self.total_offered() == self.total_admitted() + self.total_shed()
+            && self.completed_arrivals() == self.total_admitted()
+    }
+
+    /// Merged enqueue→completion latency histogram across PEs.
+    pub fn service_latency(&self) -> Pow2Histogram {
+        let mut h = Pow2Histogram::default();
+        for w in &self.workers {
+            h.merge(&w.service.latency);
+        }
+        h
+    }
+
+    /// One-line service summary, or `None` for batch runs (no service
+    /// activity) so batch output stays unchanged.
+    pub fn service_summary_line(&self) -> Option<String> {
+        if self.workers.iter().all(|w| w.service.is_empty()) {
+            return None;
+        }
+        let lat = self.service_latency();
+        let parks: u64 = self.workers.iter().map(|w| w.service.parks).sum();
+        let blocked: u64 = self.workers.iter().map(|w| w.service.blocked).sum();
+        let deferred: u64 = self.workers.iter().map(|w| w.service.deferred).sum();
+        Some(format!(
+            "    service: {} offered, {} admitted, {} shed ({:.1}%), {} deferred, {} blocked, {} in flight, lat p50 {:.1} µs p99 {:.1} µs, {} parks",
+            self.total_offered(),
+            self.total_admitted(),
+            self.total_shed(),
+            self.shed_rate() * 100.0,
+            deferred,
+            blocked,
+            self.arrivals_in_flight(),
+            lat.p50() as f64 / 1e3,
+            lat.p99() as f64 / 1e3,
+            parks,
         ))
     }
 
@@ -394,6 +519,44 @@ mod tests {
     fn fault_summary_absent_for_clean_runs() {
         let r = report_with(vec![WorkerStats::default(); 3], 1_000);
         assert_eq!(r.fault_summary_line(), None);
+    }
+
+    #[test]
+    fn service_summary_absent_for_batch_runs() {
+        let r = report_with(vec![WorkerStats::default(); 4], 1_000);
+        assert_eq!(r.service_summary_line(), None);
+        assert!(r.arrival_conservation_ok(), "0 == 0 + 0 trivially");
+        assert_eq!(r.shed_rate(), 0.0);
+    }
+
+    #[test]
+    fn service_aggregates_and_conservation() {
+        let mut ingress = WorkerStats::default();
+        ingress.service.offered = 100;
+        ingress.service.admitted = 90;
+        ingress.service.shed = 10;
+        for _ in 0..50 {
+            ingress.service.latency.record(1_000);
+        }
+        let mut thief = WorkerStats::default();
+        for _ in 0..40 {
+            thief.service.latency.record(8_000);
+        }
+        let r = report_with(vec![ingress, thief], 1_000);
+        assert_eq!(r.total_offered(), 100);
+        assert_eq!(r.total_admitted(), 90);
+        assert_eq!(r.total_shed(), 10);
+        assert_eq!(r.completed_arrivals(), 90);
+        assert_eq!(r.arrivals_in_flight(), 0);
+        assert!((r.shed_rate() - 0.1).abs() < 1e-12);
+        assert!(r.arrival_conservation_ok());
+        let line = r.service_summary_line().expect("service ran");
+        assert!(line.contains("100 offered"));
+        assert!(line.contains("10 shed"));
+        // A lost arrival breaks conservation.
+        let mut lossy = r.clone();
+        lossy.workers[1].service.latency.n -= 1;
+        assert!(!lossy.arrival_conservation_ok());
     }
 
     #[test]

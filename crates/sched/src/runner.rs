@@ -90,7 +90,7 @@ impl RunConfig {
         self
     }
 
-    fn heap_words(&self) -> usize {
+    pub(crate) fn heap_words(&self) -> usize {
         // Queue buffer + metadata + completion structures + TD + slack.
         self.sched.queue.buffer_words() + self.sched.queue.capacity + 1024 + self.extra_heap_words
     }

@@ -1,0 +1,821 @@
+//! Service mode: a persistent steal pool with open-world arrivals.
+//!
+//! The batch runner ([`crate::runner`]) seeds a closed workload and runs
+//! to global termination. Service mode instead drives the same pool as a
+//! long-running system:
+//!
+//! * **arrivals** — designated *ingress* PEs (ranks `0..n_ingress`) pull
+//!   tasks from an [`ArrivalSource`] (a seeded plan deterministic in
+//!   virtual time) and inject them into their own queues, where the
+//!   ordinary release/steal machinery disseminates them;
+//! * **admission control** — each ingress PE enforces a high-water mark
+//!   on its ring occupancy; arrivals past the mark are handled per the
+//!   configured [`AdmissionPolicy`]: shed (dropped, counted), deferred
+//!   (side-buffered, admitted FIFO when capacity returns), or blocked
+//!   (head-of-line waits, later arrivals queue behind it);
+//! * **elastic membership** — a [`MembershipPlan`] schedules PEs to
+//!   *park* mid-run: the queue epoch-locks (SWS closes its gate, SDC
+//!   holds its own lock), in-flight claims drain, owned work executes,
+//!   and the PE sits in the idle set until its window ends and it
+//!   rejoins — peers readmit it into victim selection with a clean
+//!   quarantine slate;
+//! * **quiescence, not termination** — between arrival waves the pool
+//!   parks on [`crate::termination::Termination::poll_quiescent`]
+//!   windows and re-arms with
+//!   [`crate::termination::Termination::on_reactivate`] when new work
+//!   lands. Final shutdown
+//!   is driven by a small control block on PE 0: every ingress PE
+//!   reports its plan exhausted, then PE 0 re-arms the detector once and
+//!   waits for a *fresh* quiescence before raising the shutdown flag —
+//!   so a stale latched token-ring round can never end the run early;
+//! * **conservation** — every arrival is accounted exactly once:
+//!   `offered == admitted + shed`, and each admitted task records one
+//!   arrival-to-completion latency sample, so
+//!   `completed_arrivals == admitted` at shutdown
+//!   ([`RunReport::arrival_conservation_ok`]).
+//!
+//! The worker's batch loop ([`crate::worker::Worker::run`]) is pinned by
+//! differential suites and stays untouched; service mode drives the same
+//! `Worker` building blocks (execute, upkeep, steal, crash-stop) from
+//! its own loop.
+
+use std::collections::VecDeque;
+
+use sws_core::{SdcQueue, StealOutcome, StealQueue, SwsQueue};
+use sws_shmem::{run_world, ExecMode, ShmemCtx, SymAddr, WorldConfig};
+use sws_task::{TaskDescriptor, TaskRegistry};
+
+use crate::config::{QueueKind, TdKind};
+use crate::report::{RunReport, WorkerStats};
+use crate::runner::{RunConfig, Workload};
+use crate::termination::{insist, make_td};
+use crate::trace::EventKind;
+use crate::worker::Worker;
+
+/// Service control block layout (allocated on every PE, used on PE 0):
+/// count of ingress PEs whose arrival plan is exhausted and drained.
+const SVC_DONE_INGRESS: usize = 0;
+/// Global shutdown flag, raised by PE 0 after a fresh post-plan
+/// quiescence.
+const SVC_SHUTDOWN: usize = 1;
+const SVC_WORDS: usize = 2;
+
+/// A stream of timed task arrivals for one ingress PE.
+///
+/// Implementations must be deterministic functions of their construction
+/// parameters (seed, plan) — virtual-time service runs are replayed
+/// bit-for-bit. Due times must be non-decreasing.
+pub trait ArrivalSource {
+    /// Virtual time of the next arrival, or `None` once the plan is
+    /// exhausted. Peeking; [`ArrivalSource::pop`] consumes it.
+    fn next_due_ns(&mut self) -> Option<u64>;
+
+    /// Materialize the task for the arrival due at `inject_ns`. The
+    /// workload's handler is expected to call
+    /// [`crate::TaskCtx::mark_arrival`] with this timestamp so the run records
+    /// exactly one latency sample per admitted arrival.
+    fn pop(&mut self, inject_ns: u64) -> TaskDescriptor;
+}
+
+/// A workload that can be driven by open-world arrivals.
+pub trait ServiceWorkload: Workload {
+    /// Number of ingress PEs (ranks `0..n`). Must be at least 1.
+    fn n_ingress(&self, n_pes: usize) -> usize;
+
+    /// The arrival source for `pe`, `Some` exactly when
+    /// `pe < self.n_ingress(n_pes)`.
+    fn arrival_source(&self, pe: usize, n_pes: usize) -> Option<Box<dyn ArrivalSource>>;
+}
+
+/// What an ingress PE does with an arrival when its ring occupancy is at
+/// or above the high-water mark.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum AdmissionPolicy {
+    /// Hold the arrival at the head of the line until capacity returns;
+    /// later arrivals queue (in time order) behind it.
+    Block,
+    /// Side-buffer the arrival and admit it FIFO when capacity returns.
+    Defer,
+    /// Drop the arrival and count it. Load shedding: the pool stays
+    /// responsive at the cost of lost work.
+    Shed,
+}
+
+/// One planned absence: PE `pe` parks at `from_ns` and rejoins at
+/// `from_ns + dur_ns` (virtual time).
+#[derive(Copy, Clone, Debug)]
+pub struct AwayWindow {
+    /// The departing PE. Never PE 0 (termination counters + control
+    /// block) and never an ingress PE.
+    pub pe: usize,
+    /// Virtual time the PE parks.
+    pub from_ns: u64,
+    /// Length of the absence, ns (> 0).
+    pub dur_ns: u64,
+}
+
+/// A seeded-or-explicit schedule of PE absences.
+#[derive(Clone, Debug, Default)]
+pub struct MembershipPlan {
+    /// The planned absences, in any order (validated + sorted per PE).
+    pub windows: Vec<AwayWindow>,
+}
+
+impl MembershipPlan {
+    /// Plan with no absences (static membership).
+    pub fn fixed() -> MembershipPlan {
+        MembershipPlan::default()
+    }
+
+    /// Add one away window.
+    #[must_use]
+    pub fn away(mut self, pe: usize, from_ns: u64, dur_ns: u64) -> MembershipPlan {
+        self.windows.push(AwayWindow { pe, from_ns, dur_ns });
+        self
+    }
+
+    /// Does the plan schedule any absences?
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Check the plan against a world: windows must name departable PEs
+    /// (not PE 0, not ingress, in range), have nonzero length, and not
+    /// overlap per PE.
+    pub fn validate(&self, n_pes: usize, n_ingress: usize) -> Result<(), String> {
+        let mut per_pe: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n_pes];
+        for w in &self.windows {
+            if w.pe >= n_pes {
+                return Err(format!("away window names PE {} of {}", w.pe, n_pes));
+            }
+            if w.pe == 0 {
+                return Err(
+                    "PE 0 hosts the termination counters and service control \
+                     block; it cannot go away"
+                        .to_string(),
+                );
+            }
+            if w.pe < n_ingress {
+                return Err(format!(
+                    "PE {} is an ingress PE; ingress PEs cannot go away",
+                    w.pe
+                ));
+            }
+            if w.dur_ns == 0 {
+                return Err(format!("zero-length away window for PE {}", w.pe));
+            }
+            per_pe[w.pe].push((w.from_ns, w.dur_ns));
+        }
+        for (pe, list) in per_pe.iter_mut().enumerate() {
+            list.sort_unstable();
+            for pair in list.windows(2) {
+                if pair[0].0.saturating_add(pair[0].1) > pair[1].0 {
+                    return Err(format!("overlapping away windows for PE {pe}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Service-mode configuration, composed with the batch [`RunConfig`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// What ingress does with arrivals past the high-water mark.
+    pub admission: AdmissionPolicy,
+    /// High-water mark as a percentage of ring capacity (1..=100); an
+    /// ingress queue at or above `capacity * hwm_pct / 100` occupied
+    /// slots refuses fresh admissions.
+    pub hwm_pct: u32,
+    /// Planned PE absences.
+    pub membership: MembershipPlan,
+    /// Virtual ns charged per idle poll while quiescent or parked.
+    pub idle_tick_ns: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            admission: AdmissionPolicy::Block,
+            hwm_pct: 100,
+            membership: MembershipPlan::fixed(),
+            idle_tick_ns: 2_000,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Select the admission policy.
+    #[must_use]
+    pub fn with_admission(mut self, p: AdmissionPolicy) -> ServiceConfig {
+        self.admission = p;
+        self
+    }
+
+    /// Set the admission high-water mark (percent of ring capacity).
+    #[must_use]
+    pub fn with_hwm_pct(mut self, pct: u32) -> ServiceConfig {
+        self.hwm_pct = pct;
+        self
+    }
+
+    /// Attach a membership plan.
+    #[must_use]
+    pub fn with_membership(mut self, plan: MembershipPlan) -> ServiceConfig {
+        self.membership = plan;
+        self
+    }
+}
+
+/// How an away window ended.
+enum AwayEnd {
+    /// The window elapsed; the PE unparked and rejoined.
+    Rejoined,
+    /// The global shutdown flag went up while parked.
+    Shutdown,
+    /// The PE's own crash deadline hit while parked.
+    Crashed,
+}
+
+/// Per-PE service driver wrapping the batch [`Worker`].
+struct ServiceLoop<'r, 'a, Q: StealQueue> {
+    w: Worker<'r, 'a, Q>,
+    src: Option<Box<dyn ArrivalSource>>,
+    admission: AdmissionPolicy,
+    hwm_tasks: u64,
+    idle_tick_ns: u64,
+    /// Deferred arrivals awaiting capacity, FIFO of (due_ns, task).
+    defer: VecDeque<(u64, TaskDescriptor)>,
+    /// Head-of-line blocked arrival under [`AdmissionPolicy::Block`].
+    blocked: Option<(u64, TaskDescriptor)>,
+    /// This PE's own away windows, (from_ns, dur_ns) sorted ascending.
+    my_away: VecDeque<(u64, u64)>,
+    /// Peer rejoin events, (rejoin_ns, pe) sorted ascending.
+    peer_rejoins: VecDeque<(u64, usize)>,
+    /// PEs that appear in the membership plan: steal failures against
+    /// them never quarantine (a parked queue looks exactly like a faulty
+    /// one to a thief; down PEs still quarantine via `target_down`).
+    elastic: Vec<bool>,
+    /// Service control block on PE 0.
+    ctrl: SymAddr,
+    n_ingress: usize,
+    done_reported: bool,
+    /// PE 0 only: the one fresh detector re-arm after all ingress
+    /// reported done (guards against a stale latched quiescence).
+    final_rearm_done: bool,
+    /// Currently sitting in a quiescent window.
+    quiesced: bool,
+}
+
+impl<'r, 'a, Q: StealQueue> ServiceLoop<'r, 'a, Q> {
+    fn new(
+        w: Worker<'r, 'a, Q>,
+        src: Option<Box<dyn ArrivalSource>>,
+        svc: &ServiceConfig,
+        ctrl: SymAddr,
+        n_ingress: usize,
+    ) -> ServiceLoop<'r, 'a, Q> {
+        let me = w.ctx.my_pe();
+        let n = w.ctx.n_pes();
+        let mut my_away: Vec<(u64, u64)> = svc
+            .membership
+            .windows
+            .iter()
+            .filter(|aw| aw.pe == me)
+            .map(|aw| (aw.from_ns, aw.dur_ns))
+            .collect();
+        my_away.sort_unstable();
+        let mut peer_rejoins: Vec<(u64, usize)> = svc
+            .membership
+            .windows
+            .iter()
+            .filter(|aw| aw.pe != me)
+            .map(|aw| (aw.from_ns.saturating_add(aw.dur_ns), aw.pe))
+            .collect();
+        peer_rejoins.sort_unstable();
+        let mut elastic = vec![false; n];
+        for aw in &svc.membership.windows {
+            elastic[aw.pe] = true;
+        }
+        let hwm_tasks =
+            ((w.cfg.queue.capacity as u64) * svc.hwm_pct as u64 / 100).max(1);
+        ServiceLoop {
+            w,
+            src,
+            admission: svc.admission,
+            hwm_tasks,
+            idle_tick_ns: svc.idle_tick_ns.max(1),
+            defer: VecDeque::new(),
+            blocked: None,
+            my_away: my_away.into(),
+            peer_rejoins: peer_rejoins.into(),
+            elastic,
+            ctrl,
+            n_ingress,
+            done_reported: false,
+            final_rearm_done: false,
+            quiesced: false,
+        }
+    }
+
+    /// Is there admission headroom below the high-water mark?
+    fn has_room(&self) -> bool {
+        self.w.queue.occupancy() < self.hwm_tasks
+    }
+
+    /// Inject one admitted arrival into the local queue, counted for
+    /// termination before it can become stealable (the worker flushes
+    /// spawn deltas before every release).
+    fn admit(&mut self, t: TaskDescriptor) {
+        self.w.enqueue_or_overflow(t);
+        self.w.td.on_spawn(1);
+        self.w.stats.service.admitted += 1;
+        if !self.w.had_work {
+            self.w.had_work = true;
+            self.w.stats.first_work_ns = self.w.ctx.now_ns();
+        }
+    }
+
+    /// Move due arrivals into the pool, honouring admission control.
+    /// Only called while this PE is *not* in the idle set (the search
+    /// loop exits idle before injecting), so counter-TD discipline holds.
+    fn pump_arrivals(&mut self) {
+        if self.src.is_none() {
+            return;
+        }
+        let now = self.w.ctx.now_ns();
+        // Head-of-line blocked arrival first: nothing may pass it.
+        if let Some((due, t)) = self.blocked.take() {
+            if !self.has_room() {
+                self.blocked = Some((due, t));
+                return;
+            }
+            self.w.stats.service.admission_wait_ns += now.saturating_sub(due);
+            self.admit(t);
+        }
+        // Deferred backlog next, FIFO.
+        while self.has_room() {
+            match self.defer.pop_front() {
+                Some((due, t)) => {
+                    self.w.stats.service.admission_wait_ns +=
+                        now.saturating_sub(due);
+                    self.admit(t);
+                }
+                None => break,
+            }
+        }
+        // Fresh due arrivals.
+        while let Some(due) = self.src.as_mut().and_then(|s| s.next_due_ns()) {
+            if due > now {
+                break;
+            }
+            let Some(src) = self.src.as_mut() else { break };
+            let t = src.pop(due);
+            self.w.stats.service.offered += 1;
+            if self.has_room() && self.defer.is_empty() {
+                self.admit(t);
+                continue;
+            }
+            match self.admission {
+                AdmissionPolicy::Shed => self.w.stats.service.shed += 1,
+                AdmissionPolicy::Defer => {
+                    self.w.stats.service.deferred += 1;
+                    self.defer.push_back((due, t));
+                }
+                AdmissionPolicy::Block => {
+                    self.w.stats.service.blocked += 1;
+                    self.blocked = Some((due, t));
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Once this ingress PE's plan is exhausted *and* its admission
+    /// buffers are drained, bump the done-ingress counter on PE 0
+    /// (exactly once).
+    fn maybe_report_ingress_done(&mut self) {
+        if self.done_reported {
+            return;
+        }
+        let Some(src) = self.src.as_mut() else { return };
+        if src.next_due_ns().is_some()
+            || !self.defer.is_empty()
+            || self.blocked.is_some()
+        {
+            return;
+        }
+        self.done_reported = true;
+        let ctx = self.w.ctx;
+        let addr = self.ctrl.offset(SVC_DONE_INGRESS);
+        if ctx.faults_active() {
+            insist(ctx, || ctx.try_atomic_fetch_add(0, addr, 1));
+        } else {
+            ctx.atomic_fetch_add(0, addr, 1);
+        }
+    }
+
+    /// Should an idle ingress PE leave the idle set to inject?
+    fn ingress_wake_due(&mut self) -> bool {
+        if self.blocked.is_some() || !self.defer.is_empty() {
+            // An idle PE's queue is empty, so there is always room.
+            return self.has_room();
+        }
+        let now = self.w.ctx.now_ns();
+        match self.src.as_mut().and_then(|s| s.next_due_ns()) {
+            Some(due) => due <= now,
+            None => false,
+        }
+    }
+
+    /// Poll (and on PE 0, drive) global shutdown. PE 0 requires every
+    /// ingress plan exhausted, then performs one detector re-arm and
+    /// waits for a *fresh* quiescence — a latched token-ring round from
+    /// an earlier wave can never satisfy it.
+    fn poll_shutdown(&mut self) -> bool {
+        let ctx = self.w.ctx;
+        if ctx.my_pe() == 0 {
+            if ctx.atomic_fetch(0, self.ctrl.offset(SVC_SHUTDOWN)) == 1 {
+                return true;
+            }
+            let done = ctx.atomic_fetch(0, self.ctrl.offset(SVC_DONE_INGRESS));
+            if done >= self.n_ingress as u64 {
+                if !self.final_rearm_done {
+                    self.final_rearm_done = true;
+                    self.w.td.on_reactivate(ctx);
+                } else if self.w.td.poll_quiescent(ctx) {
+                    ctx.atomic_set(0, self.ctrl.offset(SVC_SHUTDOWN), 1);
+                    return true;
+                }
+            }
+            return false;
+        }
+        if ctx.faults_active() {
+            insist(ctx, || ctx.try_atomic_fetch(0, self.ctrl.offset(SVC_SHUTDOWN)))
+                .is_some_and(|v| v == 1)
+        } else {
+            ctx.atomic_fetch(0, self.ctrl.offset(SVC_SHUTDOWN)) == 1
+        }
+    }
+
+    /// Clear quarantine state for peers whose away windows have ended.
+    fn readmit_due_peers(&mut self) {
+        let now = self.w.ctx.now_ns();
+        while let Some(&(at, pe)) = self.peer_rejoins.front() {
+            if at > now {
+                break;
+            }
+            self.peer_rejoins.pop_front();
+            if self.w.ctx.faults_active() && self.w.ctx.pe_known_down(pe) {
+                continue; // crashed while parked: stays quarantined
+            }
+            let was_quarantined = self.w.damping.readmit(pe);
+            if let Some(v) = self.w.victims.as_mut() {
+                v.include(pe);
+            }
+            if was_quarantined {
+                self.w.stats.service.readmitted += 1;
+            }
+        }
+    }
+
+    /// Park for an away window ending at `rejoin_at`: epoch-lock the
+    /// queue, drain in-flight claims and owned work, sit in the idle set
+    /// (pumping the detector so a token ring keeps circulating), then
+    /// unpark and rejoin.
+    fn go_away(&mut self, rejoin_at: u64, already_idle: bool) -> AwayEnd {
+        let ctx = self.w.ctx;
+        let faulty = ctx.faults_active();
+        self.w.stats.service.parks += 1;
+        self.w.queue.park();
+        // Execute everything this PE still owns; children spawned during
+        // the drain land in the parked queue (never released) and are
+        // drained too, so no work leaves with us.
+        loop {
+            if let Some(t) = self.w.overflow.pop() {
+                self.w.execute(&t);
+                continue;
+            }
+            if let Some(t) = self.w.queue.pop_local() {
+                self.w.execute(&t);
+                continue;
+            }
+            break;
+        }
+        self.w.queue.flush_completions();
+        self.w.td.flush(ctx);
+        if !already_idle {
+            self.w.td.enter_idle(ctx);
+            self.w.log.record(ctx.now_ns(), EventKind::EnterIdle);
+        }
+        while ctx.now_ns() < rejoin_at {
+            if faulty && ctx.crash_due() {
+                self.w.crash_stop(true);
+                return AwayEnd::Crashed;
+            }
+            // Keep the detector serviced (a token ring must keep moving
+            // through parked PEs).
+            let _ = self.w.td.poll_quiescent(ctx);
+            if self.poll_shutdown() {
+                return AwayEnd::Shutdown;
+            }
+            ctx.compute(self.idle_tick_ns);
+        }
+        self.w.queue.unpark();
+        self.w.stats.service.rejoins += 1;
+        self.w.td.exit_idle(ctx);
+        self.w.log.record(ctx.now_ns(), EventKind::ExitIdle);
+        AwayEnd::Rejoined
+    }
+
+    /// If this PE's next away window is due, take it. Returns `None` to
+    /// continue the outer loop normally, or the way the run ends.
+    fn take_due_away_window(&mut self, already_idle: bool) -> Option<AwayEnd> {
+        let now = self.w.ctx.now_ns();
+        let &(from, dur) = self.my_away.front()?;
+        if now < from {
+            return None;
+        }
+        self.my_away.pop_front();
+        let rejoin_at = from.saturating_add(dur);
+        if now >= rejoin_at {
+            return None; // window already elapsed (we were busy); skip it
+        }
+        Some(self.go_away(rejoin_at, already_idle))
+    }
+
+    /// Drive this PE until global shutdown (or its crash deadline).
+    fn run(mut self) -> WorkerStats {
+        let ctx = self.w.ctx;
+        let faulty = ctx.faults_active();
+        'outer: loop {
+            if faulty && ctx.crash_due() {
+                self.w.crash_stop(false);
+                return self.w.stats;
+            }
+            self.readmit_due_peers();
+            match self.take_due_away_window(false) {
+                Some(AwayEnd::Rejoined) | None => {}
+                Some(AwayEnd::Shutdown) => break 'outer,
+                Some(AwayEnd::Crashed) => return self.w.stats,
+            }
+            self.pump_arrivals();
+            self.maybe_report_ingress_done();
+            if let Some(t) = self.w.overflow.pop() {
+                self.w.execute(&t);
+                continue;
+            }
+            if let Some(t) = self.w.queue.pop_local() {
+                self.w.execute(&t);
+                self.w.upkeep();
+                continue;
+            }
+            {
+                let t0 = ctx.now_ns();
+                let got = self.w.queue.acquire();
+                self.w.stats.upkeep_ns += ctx.now_ns() - t0;
+                if got {
+                    self.w.log.record(ctx.now_ns(), EventKind::AcquireHit {
+                        recovered: self.w.queue.local_count() as u32,
+                    });
+                    continue;
+                }
+                self.w.log.record(ctx.now_ns(), EventKind::AcquireMiss);
+            }
+            // Queue drained: idle. Unlike the batch loop this is not the
+            // beginning of the end — an ingress wake or a successful
+            // steal resumes the outer loop.
+            self.w.td.enter_idle(ctx);
+            self.w.log.record(ctx.now_ns(), EventKind::EnterIdle);
+            self.quiesced = false;
+            let mut search_iters = 0u32;
+            loop {
+                if faulty && ctx.crash_due() {
+                    self.w.crash_stop(true);
+                    return self.w.stats;
+                }
+                match self.take_due_away_window(true) {
+                    None => {}
+                    Some(AwayEnd::Rejoined) => continue 'outer,
+                    Some(AwayEnd::Shutdown) => break 'outer,
+                    Some(AwayEnd::Crashed) => return self.w.stats,
+                }
+                self.readmit_due_peers();
+                if self.ingress_wake_due() {
+                    if self.quiesced {
+                        self.w.td.on_reactivate(ctx);
+                    }
+                    self.w.td.exit_idle(ctx);
+                    self.w.log.record(ctx.now_ns(), EventKind::ExitIdle);
+                    continue 'outer;
+                }
+                if search_iters.is_multiple_of(4) {
+                    if self.poll_shutdown() {
+                        break 'outer;
+                    }
+                    if !self.quiesced && self.w.td.poll_quiescent(ctx) {
+                        self.quiesced = true;
+                        self.w.stats.service.quiescent_windows += 1;
+                    }
+                }
+                search_iters += 1;
+                if self.quiesced {
+                    ctx.compute(self.idle_tick_ns);
+                    if !self.w.td.poll_quiescent(ctx) {
+                        // New wave observed through the detector.
+                        self.quiesced = false;
+                        self.w.td.on_reactivate(ctx);
+                        continue;
+                    }
+                    // A token ring latches until PE 0 re-arms it, so a
+                    // quiescent verdict can be stale; probe for a new
+                    // wave with an occasional steal attempt instead of
+                    // trusting it forever.
+                    if !search_iters.is_multiple_of(8) {
+                        continue;
+                    }
+                }
+                let Some(victims) = self.w.victims.as_mut() else {
+                    ctx.compute(200);
+                    continue;
+                };
+                let Some(target) = victims.next_live_victim() else {
+                    ctx.compute(200);
+                    continue;
+                };
+                let t0 = ctx.now_ns();
+                match self.w.attempt_steal(target) {
+                    StealOutcome::Got { tasks } => {
+                        self.w.stats.steal_ns += ctx.now_ns() - t0;
+                        if !self.w.had_work {
+                            self.w.had_work = true;
+                            self.w.stats.first_work_ns = ctx.now_ns();
+                        }
+                        self.w.log.record(ctx.now_ns(), EventKind::StealWon {
+                            victim: target as u32,
+                            tasks: tasks as u32,
+                        });
+                        if self.quiesced {
+                            self.w.td.on_reactivate(ctx);
+                        }
+                        self.w.td.exit_idle(ctx);
+                        self.w.log.record(ctx.now_ns(), EventKind::ExitIdle);
+                        continue 'outer;
+                    }
+                    out @ (StealOutcome::Empty | StealOutcome::Closed) => {
+                        self.w.stats.search_ns += ctx.now_ns() - t0;
+                        let kind = if matches!(out, StealOutcome::Empty) {
+                            EventKind::StealEmpty {
+                                victim: target as u32,
+                            }
+                        } else {
+                            EventKind::StealClosed {
+                                victim: target as u32,
+                            }
+                        };
+                        self.w.log.record(ctx.now_ns(), kind);
+                    }
+                    out @ (StealOutcome::Failed { .. }
+                    | StealOutcome::Aborted { .. }) => {
+                        self.w.stats.search_ns += ctx.now_ns() - t0;
+                        let (kind, down) = match out {
+                            StealOutcome::Failed { target_down } => (
+                                EventKind::StealFailed {
+                                    victim: target as u32,
+                                },
+                                target_down,
+                            ),
+                            StealOutcome::Aborted { target_down } => (
+                                EventKind::StealAborted {
+                                    victim: target as u32,
+                                },
+                                target_down,
+                            ),
+                            _ => unreachable!(),
+                        };
+                        self.w.log.record(ctx.now_ns(), kind);
+                        // A parked elastic queue is indistinguishable
+                        // from a faulty one to a thief; only down PEs
+                        // (and non-elastic streaks) quarantine.
+                        if down || !self.elastic[target] {
+                            self.w.note_steal_failure(target, down);
+                        }
+                    }
+                }
+            }
+        }
+        // Global shutdown: mirror the batch epilogue.
+        self.w.queue.flush_completions();
+        self.w.td.flush(ctx);
+        self.w.stats.runtime_ns = ctx.now_ns();
+        self.w.stats.queue = self.w.queue.stats().clone();
+        self.w.stats.events = std::mem::take(&mut self.w.log).into_events();
+        ctx.barrier_all();
+        self.w.stats
+    }
+}
+
+/// Run `workload` as a persistent service in a virtual-time world and
+/// report the paper's metrics plus the service aggregates
+/// (admission counters, arrival latency percentiles, conservation).
+pub fn run_service<W: ServiceWorkload>(
+    cfg: &RunConfig,
+    svc: &ServiceConfig,
+    workload: &W,
+) -> RunReport {
+    let n_ingress = workload.n_ingress(cfg.n_pes);
+    assert!(
+        (1..=cfg.n_pes).contains(&n_ingress),
+        "service mode needs 1..=n_pes ingress PEs (got {n_ingress})"
+    );
+    assert!(
+        (1..=100).contains(&svc.hwm_pct),
+        "admission high-water mark must be 1..=100 percent"
+    );
+    svc.membership
+        .validate(cfg.n_pes, n_ingress)
+        .expect("invalid membership plan");
+    let mut world_cfg = WorldConfig {
+        n_pes: cfg.n_pes,
+        heap_words: cfg.heap_words(),
+        net: cfg.net,
+        mode: ExecMode::Virtual,
+        faults: None,
+        gate: cfg.gate,
+        capture_proto: cfg.capture_proto,
+    };
+    let mut sched = cfg.sched;
+    if let Some(plan) = &cfg.faults {
+        if plan.is_active() {
+            plan.validate(cfg.n_pes).expect("invalid fault plan");
+            for pe in 0..n_ingress.max(1) {
+                assert!(
+                    plan.crash_at(pe).is_none(),
+                    "fault plan crashes PE {pe}, which is an ingress PE \
+                     (or PE 0, which hosts the termination counters and \
+                     service control block)"
+                );
+            }
+            assert!(
+                sched.td == TdKind::Counter
+                    || (0..cfg.n_pes).all(|pe| plan.crash_at(pe).is_none()),
+                "crash-stop faults require the counter termination detector"
+            );
+        }
+        world_cfg = world_cfg.with_faults(plan.clone());
+        sched.queue = sched
+            .queue
+            .with_retry(sched.ft.retry)
+            .with_reclaim_grace_ns(sched.ft.reclaim_grace_ns);
+    }
+    let run_pe = |ctx: &ShmemCtx| -> WorkerStats {
+        let mut reg = TaskRegistry::new();
+        workload.register(&mut reg);
+        workload.setup(ctx);
+        let td = make_td(ctx, sched.td);
+        // Service control block (collective symmetric allocation; the
+        // live words are PE 0's copy).
+        let ctrl = ctx.alloc_words(SVC_WORDS);
+        ctx.barrier_all();
+        let src = workload.arrival_source(ctx.my_pe(), ctx.n_pes());
+        debug_assert_eq!(
+            src.is_some(),
+            ctx.my_pe() < n_ingress,
+            "arrival_source() disagrees with n_ingress()"
+        );
+        let mut ws = match sched.kind {
+            QueueKind::Sws => {
+                let queue = SwsQueue::new(ctx, sched.queue);
+                let mut w = Worker::new(ctx, queue, &reg, td, sched);
+                w.seed(&workload.seeds(ctx.my_pe(), ctx.n_pes()));
+                ServiceLoop::new(w, src, svc, ctrl, n_ingress).run()
+            }
+            QueueKind::Sdc => {
+                let queue = SdcQueue::new(ctx, sched.queue);
+                let mut w = Worker::new(ctx, queue, &reg, td, sched);
+                w.seed(&workload.seeds(ctx.my_pe(), ctx.n_pes()));
+                ServiceLoop::new(w, src, svc, ctrl, n_ingress).run()
+            }
+        };
+        ws.engine = ctx.engine_stats();
+        ws.proto = ctx.take_proto_events();
+        ws
+    };
+    let out = run_world(world_cfg, run_pe).expect("service run failed");
+
+    let mut workers = out.results;
+    for (w, &t) in workers.iter_mut().zip(out.virtual_ns.iter()) {
+        if w.runtime_ns == 0 {
+            w.runtime_ns = t;
+        }
+    }
+    let makespan_ns = workers.iter().map(|w| w.runtime_ns).max().unwrap_or(0);
+    RunReport {
+        system: sched.kind.label().to_string(),
+        n_pes: cfg.n_pes,
+        makespan_ns,
+        workers,
+        comm: out.stats,
+        wall_ms: out.elapsed.as_millis() as u64,
+    }
+}

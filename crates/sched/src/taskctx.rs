@@ -23,6 +23,7 @@ pub struct TaskCtx<'a> {
     shmem: &'a ShmemCtx,
     spawned: Vec<TaskDescriptor>,
     compute_ns: u64,
+    arrival_mark: Option<u64>,
 }
 
 impl<'a> TaskCtx<'a> {
@@ -31,6 +32,7 @@ impl<'a> TaskCtx<'a> {
             shmem,
             spawned: Vec::new(),
             compute_ns: 0,
+            arrival_mark: None,
         }
     }
 
@@ -65,11 +67,26 @@ impl<'a> TaskCtx<'a> {
         self.spawned.len()
     }
 
+    /// Mark the running task as a service-mode arrival injected at
+    /// virtual time `inject_ns`. The worker records the enqueue→completion
+    /// latency — including this task's compute charge — into the PE's
+    /// service histogram when the handler finishes. Exactly one sample
+    /// per call, so arrival conservation can count completions by sample.
+    pub fn mark_arrival(&mut self, inject_ns: u64) {
+        self.arrival_mark = Some(inject_ns);
+    }
+
+    /// Take (and clear) the arrival mark set by the handler.
+    pub(crate) fn take_arrival_mark(&mut self) -> Option<u64> {
+        self.arrival_mark.take()
+    }
+
     /// Reset for reuse across tasks (the worker recycles one context to
     /// avoid per-task allocation).
     pub(crate) fn reset(&mut self) {
         self.spawned.clear();
         self.compute_ns = 0;
+        self.arrival_mark = None;
     }
 
     /// Move spawns into `buf` (reused across tasks — no per-task

@@ -38,7 +38,7 @@ const TD_RETRY_BACKOFF_NS: u64 = 2_000;
 /// Retry a fallible detector op until it succeeds, charging backoff per
 /// attempt. Returns `None` only when the target is down — detector state
 /// on a dead PE is unrecoverable and the caller degrades gracefully.
-fn insist<T>(ctx: &ShmemCtx, mut op: impl FnMut() -> OpResult<T>) -> Option<T> {
+pub(crate) fn insist<T>(ctx: &ShmemCtx, mut op: impl FnMut() -> OpResult<T>) -> Option<T> {
     loop {
         match op() {
             Ok(v) => return Some(v),
@@ -66,6 +66,19 @@ pub trait Termination {
     /// Give the detector a chance to do upkeep while the PE is busy
     /// (token forwarding). Cheap no-op for the counter detector.
     fn busy_tick(&mut self, ctx: &ShmemCtx);
+    /// Poll for global *quiescence* — the same stable condition as
+    /// termination, but **non-latching**: service mode re-arms the
+    /// detector with [`Termination::on_reactivate`] when a new arrival
+    /// wave lands, so "quiescent" must be re-observable. The counter
+    /// detector is naturally non-latching; the token ring overrides both
+    /// hooks.
+    fn poll_quiescent(&mut self, ctx: &ShmemCtx) -> bool {
+        self.poll_terminated(ctx)
+    }
+    /// Re-arm the detector after a quiescent window ends (service mode:
+    /// new tasks were injected). Called on every PE before it resumes
+    /// work; a no-op for detectors whose quiescence check is stateless.
+    fn on_reactivate(&mut self, _ctx: &ShmemCtx) {}
 }
 
 /// Build the configured detector (collective: all PEs, same order).
@@ -104,6 +117,23 @@ impl CounterTd {
             complete_delta: 0,
             idle: false,
         }
+    }
+
+    /// One remote read of the counter block; true iff every PE is idle
+    /// and every spawned task has completed.
+    fn read_globally_idle(&self, ctx: &ShmemCtx) -> bool {
+        let mut words = [0u64; 3];
+        if ctx.faults_active() {
+            if insist(ctx, || ctx.try_get_words(0, self.base, &mut words)).is_none() {
+                // The counter host is down; termination is undetectable
+                // through it (the runner forbids crashing PE 0).
+                return false;
+            }
+        } else {
+            ctx.get_words(0, self.base, &mut words);
+        }
+        let (spawned, completed, idle) = (words[TD_SPAWNED], words[TD_COMPLETED], words[TD_IDLE]);
+        idle == ctx.n_pes() as u64 && spawned == completed
     }
 }
 
@@ -178,21 +208,17 @@ impl Termination for CounterTd {
 
     fn poll_terminated(&mut self, ctx: &ShmemCtx) -> bool {
         debug_assert!(self.idle, "poll only makes sense while idle");
-        let mut words = [0u64; 3];
-        if ctx.faults_active() {
-            if insist(ctx, || ctx.try_get_words(0, self.base, &mut words)).is_none() {
-                // The counter host is down; termination is undetectable
-                // through it (the runner forbids crashing PE 0).
-                return false;
-            }
-        } else {
-            ctx.get_words(0, self.base, &mut words);
-        }
-        let (spawned, completed, idle) = (words[TD_SPAWNED], words[TD_COMPLETED], words[TD_IDLE]);
-        idle == ctx.n_pes() as u64 && spawned == completed
+        self.read_globally_idle(ctx)
     }
 
     fn busy_tick(&mut self, _ctx: &ShmemCtx) {}
+
+    fn poll_quiescent(&mut self, ctx: &ShmemCtx) -> bool {
+        // Counters are non-latching, so quiescence *is* the termination
+        // condition — but service-mode pollers may be outside the idle
+        // set (an ingress PE between waves), so skip the idle assertion.
+        self.read_globally_idle(ctx)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -351,5 +377,35 @@ impl Termination for TokenRingTd {
 
     fn busy_tick(&mut self, ctx: &ShmemCtx) {
         self.pump_token(ctx);
+    }
+
+    fn poll_quiescent(&mut self, ctx: &ShmemCtx) -> bool {
+        // Unlike `poll_terminated`, never cache the flag: a quiescent
+        // window ends when the ingress PE re-arms the ring, and a PE that
+        // stopped pumping on a cached `true` would stall the next round.
+        self.pump_token(ctx);
+        if ctx.my_pe() == 0 {
+            return self.done;
+        }
+        if ctx.faults_active() {
+            insist(ctx, || ctx.try_atomic_fetch(0, self.term_flag)).is_some_and(|v| v == 1)
+        } else {
+            ctx.atomic_fetch(0, self.term_flag) == 1
+        }
+    }
+
+    fn on_reactivate(&mut self, ctx: &ShmemCtx) {
+        self.seen_done = false;
+        if ctx.my_pe() == 0 && self.done {
+            // Lower the flag before relaunching so peers cannot observe
+            // the *old* quiescent round as the new wave's completion —
+            // stale `true` reads before this point are harmless because
+            // service shutdown is driven by the service control block,
+            // not the ring flag.
+            self.done = false;
+            self.prev_round = None;
+            ctx.atomic_set(0, self.term_flag, 0);
+            self.send_next(ctx, self.spawned_total, self.completed_total);
+        }
     }
 }

@@ -119,6 +119,16 @@ impl VictimSelector {
         }
     }
 
+    /// Return `pe` to the victim pool (idempotent) — an elastic PE that
+    /// parked (and was quarantined by frustrated thieves) rejoins with a
+    /// clean slate.
+    pub fn include(&mut self, pe: usize) {
+        if self.excluded[pe] {
+            self.excluded[pe] = false;
+            self.n_excluded -= 1;
+        }
+    }
+
     /// Is `pe` currently excluded?
     pub fn is_excluded(&self, pe: usize) -> bool {
         self.excluded[pe]
@@ -279,6 +289,24 @@ mod tests {
         sel.exclude(3);
         assert_eq!(sel.live_victims(), 0);
         assert_eq!(sel.next_live_victim(), None);
+    }
+
+    #[test]
+    fn include_reverses_exclusion() {
+        let mut sel = VictimSelector::new(13, 0, 4);
+        sel.exclude(1);
+        sel.exclude(2);
+        sel.exclude(3);
+        assert_eq!(sel.next_live_victim(), None);
+        sel.include(2);
+        sel.include(2); // idempotent
+        assert_eq!(sel.live_victims(), 1);
+        assert!(!sel.is_excluded(2));
+        for _ in 0..50 {
+            assert_eq!(sel.next_live_victim(), Some(2));
+        }
+        sel.include(0); // never-excluded self: no-op, no underflow
+        assert_eq!(sel.live_victims(), 1);
     }
 
     #[test]

@@ -49,23 +49,23 @@ use crate::victim::VictimSelector;
 /// `'a` is the PE context lifetime (task contexts hold it); `'r` is the
 /// registry borrow, which may be shorter.
 pub struct Worker<'r, 'a, Q: StealQueue> {
-    ctx: &'a ShmemCtx,
-    queue: Q,
+    pub(crate) ctx: &'a ShmemCtx,
+    pub(crate) queue: Q,
     registry: &'r TaskRegistry<TaskCtx<'a>>,
-    td: Box<dyn Termination>,
-    victims: Option<VictimSelector>,
-    damping: DampingState,
-    cfg: SchedConfig,
-    stats: WorkerStats,
+    pub(crate) td: Box<dyn Termination>,
+    pub(crate) victims: Option<VictimSelector>,
+    pub(crate) damping: DampingState,
+    pub(crate) cfg: SchedConfig,
+    pub(crate) stats: WorkerStats,
     /// Tasks that could not be enqueued because the ring was full; they
     /// run before anything else (inline-execution fallback).
-    overflow: Vec<TaskDescriptor>,
+    pub(crate) overflow: Vec<TaskDescriptor>,
     tctx: TaskCtx<'a>,
     spawn_buf: Vec<TaskDescriptor>,
     tasks_since_release_check: u64,
     tasks_since_progress: u64,
-    had_work: bool,
-    log: EventLog,
+    pub(crate) had_work: bool,
+    pub(crate) log: EventLog,
 }
 
 impl<'r, 'a, Q: StealQueue> Worker<'r, 'a, Q> {
@@ -119,7 +119,7 @@ impl<'r, 'a, Q: StealQueue> Worker<'r, 'a, Q> {
         }
     }
 
-    fn enqueue_or_overflow(&mut self, t: TaskDescriptor) {
+    pub(crate) fn enqueue_or_overflow(&mut self, t: TaskDescriptor) {
         if !self.queue.enqueue(&t) {
             self.overflow.push(t);
         }
@@ -127,13 +127,20 @@ impl<'r, 'a, Q: StealQueue> Worker<'r, 'a, Q> {
 
     /// Execute one task: run the handler, charge its compute time, then
     /// flush its spawns into the queue.
-    fn execute(&mut self, task: &TaskDescriptor) {
+    pub(crate) fn execute(&mut self, task: &TaskDescriptor) {
         self.tctx.reset();
         self.registry.execute(&mut self.tctx, task);
         let mut spawn_buf = std::mem::take(&mut self.spawn_buf);
         let compute_ns = self.tctx.drain_into(&mut spawn_buf);
         self.ctx.compute(compute_ns + self.cfg.task_overhead_ns);
         self.stats.task_ns += compute_ns + self.cfg.task_overhead_ns;
+        if let Some(inject_ns) = self.tctx.take_arrival_mark() {
+            // Service-mode arrival: record enqueue→completion latency
+            // after the compute charge, so the sample covers the task's
+            // own execution time.
+            let lat = self.ctx.now_ns().saturating_sub(inject_ns);
+            self.stats.service.latency.record(lat);
+        }
         let spawned = spawn_buf.len() as u64;
         for t in spawn_buf.drain(..) {
             self.enqueue_or_overflow(t);
@@ -148,7 +155,7 @@ impl<'r, 'a, Q: StealQueue> Worker<'r, 'a, Q> {
 
     /// Periodic queue upkeep between tasks: progress reclamation, release
     /// opportunities, token forwarding.
-    fn upkeep(&mut self) {
+    pub(crate) fn upkeep(&mut self) {
         if self.tasks_since_progress >= self.cfg.progress_interval {
             self.tasks_since_progress = 0;
             let t0 = self.ctx.now_ns();
@@ -182,7 +189,7 @@ impl<'r, 'a, Q: StealQueue> Worker<'r, 'a, Q> {
 
     /// Attempt one steal against `target`, honouring damping. Returns the
     /// outcome; timing is attributed by the caller.
-    fn attempt_steal(&mut self, target: usize) -> StealOutcome {
+    pub(crate) fn attempt_steal(&mut self, target: usize) -> StealOutcome {
         if self.damping.should_probe(target) {
             if !self.queue.probe(target) {
                 return StealOutcome::Empty; // damped abort, one read-only op
@@ -203,7 +210,7 @@ impl<'r, 'a, Q: StealQueue> Worker<'r, 'a, Q> {
 
     /// Record a failed/aborted steal against `target`; quarantine it when
     /// it is known down or its failure streak crosses the threshold.
-    fn note_steal_failure(&mut self, target: usize, target_down: bool) {
+    pub(crate) fn note_steal_failure(&mut self, target: usize, target_down: bool) {
         let newly = if target_down {
             self.damping.quarantine(target)
         } else {
@@ -229,7 +236,7 @@ impl<'r, 'a, Q: StealQueue> Worker<'r, 'a, Q> {
     /// set, and mark the PE down so peers fail fast and quarantine it.
     /// The closing barrier is skipped; `run_world` releases barriers for
     /// PEs marked down.
-    fn crash_stop(&mut self, already_idle: bool) {
+    pub(crate) fn crash_stop(&mut self, already_idle: bool) {
         self.log.record(self.ctx.now_ns(), EventKind::CrashStop);
         self.stats.crashed = true;
         self.queue.retire();

@@ -213,3 +213,54 @@ fn crash_with_token_ring_is_rejected() {
     cfg.sched = cfg.sched.with_td(TdKind::TokenRing);
     let _ = run_workload(&cfg, &w);
 }
+
+// ---------------------------------------------------------------------
+// Elastic membership × quarantine regression
+// ---------------------------------------------------------------------
+
+/// Regression: an elastic PE whose parked queue (and dropped ops) feed
+/// thieves a failure streak must NOT be streak-quarantined — parking is
+/// planned absence, not a fault. Before the fix, `Damping` counted the
+/// steady failures against the away PE, crossed `quarantine_after`, and
+/// excluded it from victim selection permanently; after the window the
+/// rejoined PE starved because nobody would steal from it again.
+#[test]
+fn parked_elastic_pe_is_never_streak_quarantined() {
+    use sws_sched::{run_service, MembershipPlan, ServiceConfig};
+    use sws_workloads::arrivals::{ArrivalPlan, FlatServe};
+
+    for kind in [QueueKind::Sws, QueueKind::Sdc] {
+        // Sustained single-ingress traffic keeps three thieves probing
+        // PE 2's parked queue for a window far longer than the default
+        // quarantine streak; targeted drops sharpen the failure signal.
+        let w = FlatServe::new(
+            ArrivalPlan::poisson(0x5C4A_0405, 3_000, 600_000),
+            2_500,
+            1,
+        );
+        let svc = ServiceConfig::default().with_membership(
+            MembershipPlan::fixed().away(2, 80_000, 250_000),
+        );
+        let plan = FaultPlan::seeded(0x5C4A_0405).with_drop(
+            OpClass::All,
+            TargetSel::Pe(2),
+            0.25,
+        );
+        let label = format!("{kind:?} elastic-quarantine regression");
+        let r = run_service(&config(kind, 4).with_faults(plan), &svc, &w);
+        assert!(
+            r.arrival_conservation_ok() && r.arrivals_in_flight() == 0,
+            "{label}: conservation violated"
+        );
+        assert_eq!(
+            r.total_quarantines(),
+            0,
+            "{label}: planned absence must not trigger quarantine"
+        );
+        assert_eq!(r.workers[2].service.rejoins, 1, "{label}: no rejoin");
+        assert!(
+            r.workers[2].tasks_executed > 0,
+            "{label}: rejoined PE never re-entered the pool's victim set"
+        );
+    }
+}

@@ -332,20 +332,33 @@ impl RetryPolicy {
     }
 
     /// Backoff to charge before retry number `attempt` (1-based: the
-    /// backoff after the first failure is `backoff_ns(1, ..)`).
+    /// backoff after the first failure is `backoff_ns(1, ..)`). The
+    /// exponential shift saturates and the *jittered* total is clamped to
+    /// the ceiling `max(max_backoff_ns, base_backoff_ns)`, so no attempt
+    /// count or parameter choice can overflow or produce an unbounded
+    /// delay.
     pub fn backoff_ns(&self, attempt: u32, rng: &mut SplitMix64) -> u64 {
+        let ceiling = self.max_backoff_ns.max(self.base_backoff_ns);
         let shift = attempt.saturating_sub(1).min(20);
         let base = self
             .base_backoff_ns
             .saturating_mul(1u64 << shift)
-            .min(self.max_backoff_ns.max(self.base_backoff_ns));
+            .min(ceiling);
         if self.jitter_pct == 0 || base == 0 {
-            base
-        } else {
-            // Uniform in [base, base + jitter_pct% of base].
-            let spread = base * self.jitter_pct as u64 / 100;
-            base + if spread > 0 { rng.below(spread + 1) } else { 0 }
+            return base;
         }
+        // Uniform in [base, base + jitter_pct% of base], capped at the
+        // ceiling. Saturating throughout: `base * pct` overflows u64 for
+        // extreme policies (base near u64::MAX), and the draw must still
+        // consume exactly one stream position whenever spread > 0 so
+        // in-range policies keep their decision sequences.
+        let spread = base.saturating_mul(self.jitter_pct as u64) / 100;
+        let jittered = base.saturating_add(if spread > 0 {
+            rng.below(spread.saturating_add(1))
+        } else {
+            0
+        });
+        jittered.min(ceiling)
     }
 }
 
@@ -583,6 +596,61 @@ mod tests {
             let b = jit.backoff_ns(a, &mut rng);
             let base = (1_000u64 << (a - 1)).min(8_000);
             assert!(b >= base && b <= base + base / 2, "jitter in range: {b}");
+        }
+    }
+
+    #[test]
+    fn backoff_saturates_at_high_attempt_counts() {
+        // Service-mode soaks can push attempt counts far past the shift
+        // range; the backoff must stay pinned at the ceiling, never wrap.
+        let pol = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_backoff_ns: 2_000,
+            max_backoff_ns: 64_000,
+            jitter_pct: 50,
+        };
+        let mut rng = SplitMix64::new(3);
+        for attempt in [21, 64, 1_000, 1_000_000, u32::MAX] {
+            let b = pol.backoff_ns(attempt, &mut rng);
+            assert!(
+                b == pol.max_backoff_ns,
+                "attempt {attempt}: backoff {b} escaped the ceiling"
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_extreme_policies_never_overflow() {
+        // Degenerate policies (huge bases, huge ceilings, full jitter)
+        // must clamp via saturating arithmetic instead of panicking in
+        // debug builds or wrapping in release builds.
+        let mut rng = SplitMix64::new(4);
+        let extreme = [
+            RetryPolicy {
+                max_attempts: 8,
+                base_backoff_ns: u64::MAX,
+                max_backoff_ns: u64::MAX,
+                jitter_pct: 100,
+            },
+            RetryPolicy {
+                max_attempts: 8,
+                base_backoff_ns: u64::MAX / 2 + 1,
+                max_backoff_ns: 0, // ceiling falls back to the base
+                jitter_pct: 99,
+            },
+            RetryPolicy {
+                max_attempts: 8,
+                base_backoff_ns: 1,
+                max_backoff_ns: u64::MAX,
+                jitter_pct: 100,
+            },
+        ];
+        for pol in extreme {
+            let ceiling = pol.max_backoff_ns.max(pol.base_backoff_ns);
+            for attempt in [1, 2, 20, 63, 64, 65, u32::MAX] {
+                let b = pol.backoff_ns(attempt, &mut rng);
+                assert!(b <= ceiling, "backoff {b} above ceiling {ceiling}");
+            }
         }
     }
 

@@ -17,9 +17,13 @@
 //! * [`graph`] — sparse-graph traversal over a hash-defined synthetic
 //!   digraph, with visited flags claimed by remote atomics in the PGAS —
 //!   the irregular-application class the paper's abstract motivates.
+//! * [`arrivals`] — open-world arrival plans (Poisson, bursty, diurnal,
+//!   trace) and the service workloads built on them ([`arrivals::FlatServe`],
+//!   [`arrivals::UtsServe`]) for service-mode runs.
 
 #![warn(missing_docs)]
 
+pub mod arrivals;
 pub mod bpc;
 pub mod graph;
 pub mod sha1;

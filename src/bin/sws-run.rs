@@ -17,6 +17,7 @@
 //!   --tasks N        flat: task count                  (default 4096)
 //!   --task-ns N      flat: task duration, ns           (default 50000)
 //!   --nodes N        PEs per node for the topology     (default 1=flat)
+//!   --capacity N     task-queue ring capacity, tasks   (default 16384)
 //!   --gate G         safe | handoff: virtual-time gate (default safe)
 //!   --engine         print engine wall-time/gate-traffic line
 //!   --timeline       print per-PE activity strips (enables tracing)
@@ -37,6 +38,26 @@
 //!   --conform        replay the deterministic conformance matrix
 //!                    through the abstract protocol machines and exit
 //!
+//! service mode (flat and uts workloads; open-world arrivals):
+//!   --serve          run as a persistent service: work arrives over
+//!                    time on ingress PEs, the pool quiesces between
+//!                    waves, and the report adds admission counters,
+//!                    arrival-latency percentiles, and conservation
+//!   --arrivals P     poisson | bursty | diurnal       (default poisson)
+//!   --mean-gap N     mean (or intra-burst) arrival gap, ns (default 10000)
+//!   --burst N        bursty: arrivals per burst        (default 64)
+//!   --period N       bursty/diurnal: cycle period, ns  (default 200000)
+//!   --amplitude P    diurnal: swing around base, pct   (default 50)
+//!   --horizon N      arrival cutoff, virtual ns        (default 500000)
+//!   --ingress N      ingress PE count (ranks 0..N)     (default 1)
+//!   --admission A    block | defer | shed              (default block)
+//!   --hwm P          admission high-water mark, pct of
+//!                    ring capacity                     (default 100)
+//!   --slo-p99 NS     fail (exit 1) if arrival-latency p99 exceeds NS
+//!   --away PE:FROM:DUR   elastic membership: PE parks its queue at
+//!                    FROM ns and rejoins after DUR ns (repeatable;
+//!                    ingress PEs and PE 0 must stay)
+//!
 //! fault injection (chaos runs; deterministic per seed):
 //!   --drop-prob P    drop each remote op with probability P (0.0–1.0)
 //!   --stall PE:FROM:DUR   stall PE for DUR ns starting at FROM ns
@@ -51,6 +72,7 @@ use sws::prelude::*;
 use sws::sched::trace::{
     render_timeline, steal_volume_histogram, steals_by_victim, Pow2Histogram,
 };
+use sws::workloads::arrivals::{ArrivalPattern, ArrivalPlan, FlatServe, UtsServe};
 use sws::workloads::bpc::{BpcParams, BpcWorkload};
 use sws::workloads::synth::FlatBag;
 use sws::workloads::uts::{UtsParams, UtsWorkload};
@@ -66,6 +88,7 @@ struct Args {
     tasks: u64,
     task_ns: u64,
     nodes: usize,
+    capacity: usize,
     gate: GateMode,
     engine: bool,
     timeline: bool,
@@ -77,6 +100,18 @@ struct Args {
     drop_prob: f64,
     stall: Option<(usize, u64, u64)>,
     crash: Option<(usize, u64)>,
+    serve: bool,
+    arrivals: String,
+    mean_gap: u64,
+    burst: u32,
+    period: u64,
+    amplitude: u32,
+    horizon: u64,
+    ingress: usize,
+    admission: String,
+    hwm: u32,
+    slo_p99: Option<u64>,
+    away: Vec<(usize, u64, u64)>,
 }
 
 impl Args {
@@ -88,6 +123,12 @@ impl Args {
     fn faults_active(&self) -> bool {
         self.drop_prob > 0.0 || self.stall.is_some() || self.crash.is_some()
     }
+
+    /// Flags meaningless outside `--serve` (only the unambiguous ones:
+    /// the numeric knobs share defaults with batch mode).
+    fn serve_flags_used(&self) -> bool {
+        self.slo_p99.is_some() || !self.away.is_empty()
+    }
 }
 
 fn usage() -> ! {
@@ -97,6 +138,10 @@ fn usage() -> ! {
     eprintln!("               [--nodes N] [--gate safe|handoff] [--engine] [--timeline] [--json]");
     eprintln!("               [--assert-comms] [--metrics] [--trace-out FILE]");
     eprintln!("               [--drop-prob P] [--stall PE:FROM:DUR] [--crash PE:AT]");
+    eprintln!("               [--serve] [--arrivals poisson|bursty|diurnal] [--mean-gap N]");
+    eprintln!("               [--burst N] [--period N] [--amplitude P] [--horizon N]");
+    eprintln!("               [--ingress N] [--admission block|defer|shed] [--hwm P]");
+    eprintln!("               [--slo-p99 NS] [--away PE:FROM:DUR]");
     std::process::exit(2);
 }
 
@@ -130,6 +175,7 @@ fn parse_args() -> Args {
         tasks: 4096,
         task_ns: 50_000,
         nodes: 1,
+        capacity: 16384,
         gate: GateMode::default(),
         engine: false,
         timeline: false,
@@ -141,6 +187,18 @@ fn parse_args() -> Args {
         drop_prob: 0.0,
         stall: None,
         crash: None,
+        serve: false,
+        arrivals: "poisson".into(),
+        mean_gap: 10_000,
+        burst: 64,
+        period: 200_000,
+        amplitude: 50,
+        horizon: 500_000,
+        ingress: 1,
+        admission: "block".into(),
+        hwm: 100,
+        slo_p99: None,
+        away: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     let Some(w) = it.next() else { usage() };
@@ -169,6 +227,9 @@ fn parse_args() -> Args {
             "--tasks" => args.tasks = val("--tasks").parse().unwrap_or_else(|_| usage()),
             "--task-ns" => args.task_ns = val("--task-ns").parse().unwrap_or_else(|_| usage()),
             "--nodes" => args.nodes = val("--nodes").parse().unwrap_or_else(|_| usage()),
+            "--capacity" => {
+                args.capacity = val("--capacity").parse().unwrap_or_else(|_| usage())
+            }
             "--gate" => {
                 args.gate = match val("--gate").as_str() {
                     "safe" => GateMode::SafeWindow,
@@ -201,6 +262,32 @@ fn parse_args() -> Args {
                 let p = split_nums(&val("--crash"), 2, "--crash");
                 args.crash = Some((p[0] as usize, p[1]));
             }
+            "--serve" => args.serve = true,
+            "--arrivals" => args.arrivals = val("--arrivals"),
+            "--mean-gap" => {
+                args.mean_gap = val("--mean-gap").parse().unwrap_or_else(|_| usage())
+            }
+            "--burst" => args.burst = val("--burst").parse().unwrap_or_else(|_| usage()),
+            "--period" => args.period = val("--period").parse().unwrap_or_else(|_| usage()),
+            "--amplitude" => {
+                args.amplitude = val("--amplitude").parse().unwrap_or_else(|_| usage())
+            }
+            "--horizon" => {
+                args.horizon = val("--horizon").parse().unwrap_or_else(|_| usage())
+            }
+            "--ingress" => {
+                args.ingress = val("--ingress").parse().unwrap_or_else(|_| usage())
+            }
+            "--admission" => args.admission = val("--admission"),
+            "--hwm" => args.hwm = val("--hwm").parse().unwrap_or_else(|_| usage()),
+            "--slo-p99" => {
+                args.slo_p99 =
+                    Some(val("--slo-p99").parse().unwrap_or_else(|_| usage()))
+            }
+            "--away" => {
+                let p = split_nums(&val("--away"), 3, "--away");
+                args.away.push((p[0] as usize, p[1], p[2]));
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 usage()
@@ -224,7 +311,43 @@ fn parse_args() -> Args {
             usage()
         }
     }
+    if args.serve {
+        if !matches!(args.workload.as_str(), "flat" | "uts") {
+            eprintln!("--serve supports the flat and uts workloads");
+            usage()
+        }
+        if !(1..=args.pes).contains(&args.ingress) {
+            eprintln!("--ingress must be 1..=pes (got {})", args.ingress);
+            usage()
+        }
+        if !(1..=100).contains(&args.hwm) {
+            eprintln!("--hwm must be 1..=100 percent (got {})", args.hwm);
+            usage()
+        }
+        if let Err(e) = membership_plan(&args).validate(args.pes, args.ingress) {
+            eprintln!("--away: {e}");
+            usage()
+        }
+        if let Some((pe, _)) = args.crash {
+            if pe < args.ingress {
+                eprintln!("--crash: PE {pe} is an ingress PE; its arrival plan would be lost");
+                usage()
+            }
+        }
+    } else if args.serve_flags_used() {
+        eprintln!("service flags require --serve");
+        usage()
+    }
     args
+}
+
+/// The elastic membership plan from the repeatable `--away` flags.
+fn membership_plan(args: &Args) -> MembershipPlan {
+    let mut plan = MembershipPlan::fixed();
+    for &(pe, from, dur) in &args.away {
+        plan = plan.away(pe, from, dur);
+    }
+    plan
 }
 
 /// One queue geometry per workload, shared between the runner and the
@@ -235,7 +358,7 @@ fn queue_config(args: &Args) -> QueueConfig {
         "bpc" => 32,
         _ => 24,
     };
-    QueueConfig::new(16384, task_bytes)
+    QueueConfig::new(args.capacity, task_bytes)
 }
 
 fn run_one(args: &Args, kind: QueueKind) -> RunReport {
@@ -263,6 +386,30 @@ fn run_one(args: &Args, kind: QueueKind) -> RunReport {
         }
         cfg = cfg.with_faults(plan);
     }
+    if args.serve {
+        let svc = service_config(args);
+        let plan = arrival_plan(args);
+        return match args.workload.as_str() {
+            "flat" => run_service(
+                &cfg,
+                &svc,
+                &FlatServe::new(plan, args.task_ns, args.ingress),
+            ),
+            "uts" => run_service(
+                &cfg,
+                &svc,
+                &UtsServe::new(
+                    UtsParams::geo_small(args.depth),
+                    plan,
+                    // Injected subtree roots claim a mid-tree depth so
+                    // each arrival's fan-out stays bounded but irregular.
+                    args.depth.saturating_sub(4).max(1),
+                    args.ingress,
+                ),
+            ),
+            _ => usage(),
+        };
+    }
     match args.workload.as_str() {
         "uts" => run_workload(&cfg, &UtsWorkload::new(UtsParams::geo_small(args.depth))),
         "bpc" => run_workload(
@@ -272,6 +419,51 @@ fn run_one(args: &Args, kind: QueueKind) -> RunReport {
         "flat" => run_workload(&cfg, &FlatBag::new(args.tasks, args.task_ns, 24)),
         _ => usage(),
     }
+}
+
+/// The seeded arrival plan from the `--arrivals` family of flags.
+fn arrival_plan(args: &Args) -> ArrivalPlan {
+    let pattern = match args.arrivals.as_str() {
+        "poisson" => ArrivalPattern::Poisson {
+            mean_gap_ns: args.mean_gap,
+        },
+        "bursty" => ArrivalPattern::Bursty {
+            burst: args.burst,
+            gap_ns: args.mean_gap,
+            period_ns: args.period,
+        },
+        "diurnal" => ArrivalPattern::Diurnal {
+            base_gap_ns: args.mean_gap,
+            period_ns: args.period,
+            amplitude_pct: args.amplitude,
+        },
+        other => {
+            eprintln!("unknown arrival pattern {other} (expected poisson|bursty|diurnal)");
+            usage()
+        }
+    };
+    ArrivalPlan {
+        pattern,
+        seed: args.seed ^ 0xA881,
+        start_ns: 0,
+        horizon_ns: args.horizon,
+    }
+}
+
+fn service_config(args: &Args) -> ServiceConfig {
+    let admission = match args.admission.as_str() {
+        "block" => AdmissionPolicy::Block,
+        "defer" => AdmissionPolicy::Defer,
+        "shed" => AdmissionPolicy::Shed,
+        other => {
+            eprintln!("unknown admission policy {other} (expected block|defer|shed)");
+            usage()
+        }
+    };
+    ServiceConfig::default()
+        .with_admission(admission)
+        .with_hwm_pct(args.hwm)
+        .with_membership(membership_plan(args))
 }
 
 fn main() {
@@ -293,8 +485,35 @@ fn main() {
     let mut reports = Vec::new();
     let mut spans: Vec<Vec<StealSpan>> = Vec::new();
     let mut comms_ok = true;
+    let mut slo_ok = true;
     for kind in kinds {
         let report = run_one(&args, kind);
+        if args.serve {
+            // A service run that loses or duplicates arrivals is wrong
+            // no matter what it prints; fail loudly.
+            if !report.arrival_conservation_ok() || report.arrivals_in_flight() != 0 {
+                eprintln!(
+                    "{}: arrival conservation violated: {} offered, {} admitted, {} shed, {} completed, {} in flight",
+                    report.system,
+                    report.total_offered(),
+                    report.total_admitted(),
+                    report.total_shed(),
+                    report.completed_arrivals(),
+                    report.arrivals_in_flight(),
+                );
+                std::process::exit(1);
+            }
+            if let Some(slo) = args.slo_p99 {
+                let p99 = report.service_latency().p99();
+                if p99 > slo {
+                    eprintln!(
+                        "{}: SLO violated: arrival-latency p99 {p99} ns > {slo} ns",
+                        report.system
+                    );
+                    slo_ok = false;
+                }
+            }
+        }
         let report_spans = if args.capture() {
             stitch_report(&report, &queue_config(&args))
         } else {
@@ -317,6 +536,9 @@ fn main() {
             println!("{}", report.summary_line());
             if let Some(faults) = report.fault_summary_line() {
                 println!("{faults}");
+            }
+            if let Some(service) = report.service_summary_line() {
+                println!("{service}");
             }
             if args.engine {
                 if let Some(engine) = report.engine_summary_line() {
@@ -393,6 +615,10 @@ fn main() {
     }
     if !comms_ok {
         eprintln!("--assert-comms: per-steal budget violated (see report above)");
+        std::process::exit(1);
+    }
+    if !slo_ok {
+        eprintln!("--slo-p99: latency objective violated (see report above)");
         std::process::exit(1);
     }
 }

@@ -159,6 +159,14 @@ pub fn render(rows: &[AuditRow]) -> String {
          regardless. See `DESIGN.md` §7 for the invariant catalog behind the\n\
          verdicts and `crates/check` for the machinery.\n\
          \n\
+         The **Class** column is the site's dependence class\n\
+         ([`DepClass`](crates/core/src/ordering.rs)): the family of protocol\n\
+         words the site touches. The exploration scheduler\n\
+         (`sws-check explore`) only branches schedules at pairs of gated ops\n\
+         whose sites share a class and whose word spans overlap with a\n\
+         writer — sites in different classes live at disjoint symmetric\n\
+         addresses and commute.\n\
+         \n\
          Regenerate with: `SWS_CHECK_BLESS=1 cargo test -p sws-check --test\n\
          ordering_audit`.\n\
          \n",
@@ -166,15 +174,16 @@ pub fn render(rows: &[AuditRow]) -> String {
     s.push_str(BEGIN_MARK);
     s.push('\n');
     s.push_str(
-        "\n| Site | Location | Production | → Relaxed | → Acquire | → Release | Load-bearing |\n\
-         |---|---|---|---|---|---|---|\n",
+        "\n| Site | Location | Class | Production | → Relaxed | → Acquire | → Release | Load-bearing |\n\
+         |---|---|---|---|---|---|---|---|\n",
     );
     for r in rows {
         let opt = |o: &Option<RunOutcome>| o.as_ref().map_or("—".into(), |o| o.cell());
         s.push_str(&format!(
-            "| `{}` | `{}` | {} | {} | {} | {} | {} |\n",
+            "| `{}` | `{}` | {} | {} | {} | {} | {} | {} |\n",
             r.site.name(),
             r.site.location(),
+            r.site.dep_class().name(),
             r.site.production().name(),
             r.relaxed.cell(),
             opt(&r.acquire),

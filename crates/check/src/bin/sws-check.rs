@@ -1,4 +1,4 @@
-//! Conformance driver for the sws-check crate.
+//! Conformance and exploration driver for the sws-check crate.
 //!
 //! `sws-check conform` runs the deterministic production matrix with
 //! protocol-op capture enabled, replays every trace through the
@@ -7,10 +7,20 @@
 //! deliberately broken claim decode must be caught and the diverging
 //! trace must shrink to a small witness. Exits nonzero on any
 //! divergence, coverage gap, or self-test failure.
+//!
+//! `sws-check explore` drives the real queues through systematic
+//! interleavings (`sws_check::live`): every corpus scenario is explored
+//! under the preemption-bounded scheduler and must come up clean, then a
+//! seeded protocol mutation must be found, shrunk, and deterministically
+//! replayed. `--deep` raises the budget (nightly sweep); `--replay FILE`
+//! re-executes a saved counterexample schedule.
 
 use std::process::ExitCode;
 
 use sws_check::conform::{self, Proto, ReplayInput};
+use sws_check::live::{
+    corpus, explore_scenario, mutant_scenario, replay_schedule, write_schedule, ExplorerConfig,
+};
 
 fn conform_cmd() -> ExitCode {
     println!("sws-check conform: replaying the production matrix");
@@ -60,14 +70,129 @@ fn conform_cmd() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn explore_cmd(cfg: &ExplorerConfig) -> ExitCode {
+    println!(
+        "sws-check explore: corpus sweep (preemptions {}, {} schedules/scenario)",
+        cfg.preemptions, cfg.max_schedules
+    );
+    let mut failed = false;
+    for sc in corpus() {
+        print!("  {:<28} ", sc.name);
+        let (stats, ce) = explore_scenario(&sc, cfg);
+        match ce {
+            None => println!(
+                "clean  ({} schedules, {} branches, {} pruned independent, depth {})",
+                stats.schedules, stats.branches, stats.pruned_independent, stats.max_depth
+            ),
+            Some(ce) => {
+                println!("FAILED after {} schedules: {}", stats.schedules, ce.failure);
+                println!("--- schedule (save and replay with --replay) ---");
+                print!("{}", write_schedule(&ce));
+                println!("---");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        println!("sws-check explore: counterexample(s) in the corpus");
+        return ExitCode::FAILURE;
+    }
+
+    // Mutation self-test: the explorer must catch a queue with the
+    // completion reordered before the payload copy, shrink the schedule,
+    // and replay it to the same failure.
+    let sc = mutant_scenario();
+    print!("  mutation self-test ({}) ... ", sc.name);
+    let (stats, ce) = explore_scenario(&sc, cfg);
+    let Some(ce) = ce else {
+        println!("NOT CAUGHT after {} schedules", stats.schedules);
+        println!("sws-check explore: seeded mutation survived — explorer is toothless");
+        return ExitCode::FAILURE;
+    };
+    println!(
+        "caught after {} schedules [{}]",
+        stats.schedules, ce.failure
+    );
+    println!("  shrunk schedule: {} forced choices", ce.schedule.len());
+    let replay = match replay_schedule(&write_schedule(&ce), cfg.max_steps) {
+        Ok(r) => r,
+        Err(e) => {
+            println!("sws-check explore: replay failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if replay.failure.as_deref() != Some(ce.failure.as_str()) {
+        println!(
+            "sws-check explore: replay diverged (got {:?}, want {:?})",
+            replay.failure, ce.failure
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("  replay reproduces the violation deterministically");
+    println!("sws-check explore: corpus clean, self-test caught");
+    ExitCode::SUCCESS
+}
+
+fn replay_cmd(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("sws-check explore --replay: cannot read `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match replay_schedule(&text, ExplorerConfig::deep().max_steps) {
+        Ok(res) => {
+            println!(
+                "replayed {} decisions (truncated: {})",
+                res.trace.decisions.len(),
+                res.trace.truncated
+            );
+            match res.failure {
+                Some(f) => {
+                    println!("violation reproduced: {f}");
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    println!("schedule ran clean — violation did NOT reproduce");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("sws-check explore --replay: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("conform") => conform_cmd(),
+        Some("explore") => match args.get(1).map(String::as_str) {
+            None => explore_cmd(&ExplorerConfig::default()),
+            Some("--deep") => explore_cmd(&ExplorerConfig::deep()),
+            Some("--replay") => match args.get(2) {
+                Some(path) => replay_cmd(path),
+                None => {
+                    eprintln!("usage: sws-check explore --replay FILE");
+                    ExitCode::FAILURE
+                }
+            },
+            Some(other) => {
+                eprintln!("sws-check explore: unknown flag `{other}`");
+                ExitCode::FAILURE
+            }
+        },
         _ => {
-            eprintln!("usage: sws-check conform");
+            eprintln!("usage: sws-check <conform | explore [--deep | --replay FILE]>");
             eprintln!("  conform   replay captured production traces through the");
             eprintln!("            abstract protocol machines (refinement check)");
+            eprintln!("  explore   systematic interleaving exploration of the live");
+            eprintln!("            queues (preemption-bounded, DPOR-pruned), plus a");
+            eprintln!("            seeded-mutation self-test; --deep raises the");
+            eprintln!("            budget, --replay re-runs a saved schedule");
             ExitCode::FAILURE
         }
     }

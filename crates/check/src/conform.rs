@@ -956,36 +956,7 @@ fn sdc_resolve(
     Ok(())
 }
 
-/// Classic ddmin over the event list: find a (1-minimal-ish) subset that
-/// still fails `fails`. Used to shrink divergence witnesses.
-fn ddmin<T: Clone>(input: &[T], fails: impl Fn(&[T]) -> bool) -> Vec<T> {
-    debug_assert!(fails(input), "ddmin needs a failing input");
-    let mut cur = input.to_vec();
-    let mut n = 2usize;
-    while cur.len() >= 2 {
-        let chunk = cur.len().div_ceil(n);
-        let mut reduced = false;
-        let mut start = 0;
-        while start < cur.len() {
-            let end = (start + chunk).min(cur.len());
-            let cand: Vec<T> = cur[..start].iter().chain(&cur[end..]).cloned().collect();
-            if !cand.is_empty() && fails(&cand) {
-                cur = cand;
-                n = (n - 1).max(2);
-                reduced = true;
-                break;
-            }
-            start = end;
-        }
-        if !reduced {
-            if n >= cur.len() {
-                break;
-            }
-            n = (n * 2).min(cur.len());
-        }
-    }
-    cur
-}
+use crate::shrink::ddmin;
 
 /// Shrink a diverging trace to a minimal sub-trace that still produces
 /// a divergence of the same `kind`. Returns the full trace unchanged if

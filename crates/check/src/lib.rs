@@ -1,7 +1,7 @@
 //! # sws-check — bounded model checker and protocol linter for the
 //! steal-protocol state machines
 //!
-//! Two engines, both `std`-only like the rest of the workspace:
+//! Four engines, all `std`-only like the rest of the workspace:
 //!
 //! 1. **A loom-style bounded model checker.** [`mem::Memory`] gives the
 //!    one-sided op surface an operational release/acquire semantics
@@ -27,8 +27,9 @@
 //!    `stealval.rs`, no `Relaxed`/`SeqCst` orderings outside the
 //!    ratcheted allowlist, no `unwrap` on fallible `try_*` op results in
 //!    protocol crates, no wall-clock time outside the virtual-time
-//!    layer, `// ordering:` site comments on every protocol RMW, and a
-//!    `// SAFETY:` comment on every `unsafe` block.
+//!    layer, `// ordering:` site comments on every protocol RMW —
+//!    checked for consistency against the `ORDERINGS.md` catalog — and
+//!    a `// SAFETY:` comment on every `unsafe` block.
 //!
 //! 3. **A trace-conformance (refinement) checker** ([`conform`], shipped
 //!    as the `sws-check` binary's `conform` subcommand): production runs
@@ -38,6 +39,18 @@
 //!    transition the protocol does not allow (with a ddmin-shrunken
 //!    witness). This closes the loop between the model checker's
 //!    abstract machines and the production queue code.
+//!
+//! 4. **A live exploration scheduler** ([`live`], shipped as the
+//!    `sws-check` binary's `explore` subcommand): the *real*
+//!    `SwsQueue`/`SdcQueue` — not a model — run under
+//!    `sws_shmem::explore::ExploreGate`, which serializes the PE threads
+//!    and turns every annotated atomic op into a scheduling choice
+//!    point. [`live::explore_scenario`] searches the interleaving space
+//!    breadth-first under an injected-preemption bound, branching only
+//!    at dependent op pairs (same [`sws_core::DepClass`], overlapping
+//!    words, at least one writer — DPOR-style pruning) and checking
+//!    per-tag task conservation plus panic-freedom on every schedule.
+//!    Counterexamples are ddmin-shrunk to a replayable schedule file.
 
 #![warn(missing_docs)]
 
@@ -45,12 +58,15 @@ pub mod audit;
 pub mod conform;
 pub mod explore;
 pub mod lint;
+pub mod live;
 pub mod mem;
 pub mod sdc;
+pub mod shrink;
 pub mod sws;
 
 pub use explore::{explore, Chooser, Config, Failure, Stats, World};
 pub use mem::{Memory, OrdTable, Violation};
+pub use shrink::ddmin;
 
 /// One scripted owner operation in a scenario. The owner thread executes
 /// the script in order, decomposed into single-atomic-op steps; thieves

@@ -1,6 +1,6 @@
 //! `sws-lint` — source-level protocol lint over the workspace.
 //!
-//! Ten token-scan rules keep the code honest about the properties the
+//! Eleven token-scan rules keep the code honest about the properties the
 //! model checker assumes. Scanning is deliberately lexical (comments and
 //! string/char literals are stripped first, with nested block comments
 //! handled) — no syn, no build dependency, same `std`-only discipline as
@@ -48,12 +48,23 @@
 //!     line). Library code propagates or handles errors; panicking
 //!     belongs to tests and the binaries. Ratcheted via `lint.allow`
 //!     so the existing debt can only shrink.
+//! 11. `ordering-consistency` — every `// ordering: <Site>` annotation
+//!     must name a site from the [`sws_core::AtomicSite`] catalog, and
+//!     the op it annotates (same line or the next four) must be at
+//!     least as strong as the site's production ordering in
+//!     `ORDERINGS.md` (an annotated `Release` site may sit on an
+//!     `AcqRel` CAS, never on a plain read). Catches annotations that
+//!     drift from the code they describe — the audit table is only as
+//!     trustworthy as these cross-references. Ratcheted via
+//!     `lint.allow`.
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+use sws_core::{AtomicSite, MemOrder};
 
 /// One lint finding.
 #[derive(Clone, Debug)]
@@ -336,6 +347,42 @@ const TOKEN_RULES: &[TokenRule] = &[
 /// boolean, so double matches are harmless.)
 const RMW_TOKENS: &[&str] = &["atomic_fetch_add(", "atomic_swap(", "atomic_compare_swap("];
 
+// Op tokens grouped by the ordering the one-sided layer hardcodes for
+// them (`shmem::ctx`), for the `ordering-consistency` rule. A token may
+// match inside a longer cousin (`atomic_fetch(` inside
+// `atomic_fetch_add(`); that only adds *weaker* evidence alongside the
+// stronger match, and the rule accepts any evidence at least as strong
+// as the catalog, so double matches cannot flag a correct site.
+const ACQREL_OPS: &[&str] = &["atomic_fetch_add(", "atomic_swap(", "atomic_compare_swap("];
+const ACQUIRE_OPS: &[&str] = &[
+    "atomic_fetch(",
+    "get_words(",
+    "get_word(",
+    "steal_copy(",
+    "read_local",
+    "read_block_local(",
+];
+const RELEASE_OPS: &[&str] = &[
+    "atomic_set(",
+    "atomic_set_nbi(",
+    "put_word",
+    "write_local",
+    "local_write",
+];
+
+/// Does op evidence `(acquire, release, acqrel)` found near an
+/// annotation satisfy the site's production ordering? Stronger is fine
+/// (a CAS where the catalog says `Acquire`); weaker or absent is a
+/// finding.
+fn evidence_satisfies(acq: bool, rel: bool, acqrel: bool, need: MemOrder) -> bool {
+    match need {
+        MemOrder::Relaxed => acq || rel || acqrel,
+        MemOrder::Acquire => acq || acqrel,
+        MemOrder::Release => rel || acqrel,
+        MemOrder::AcqRel => acqrel || (acq && rel),
+    }
+}
+
 /// Line index (0-based) of the file's first `#[cfg(test)]` attribute,
 /// or `usize::MAX` if there is none. Rules with `until_cfg_test` stop
 /// counting there: everything at or below the attribute is the test
@@ -459,8 +506,9 @@ pub fn run(root: &Path) -> io::Result<Report> {
         report.files += 1;
 
         let raw_lines: Vec<&str> = raw.lines().collect();
+        let stripped_lines: Vec<&str> = stripped.lines().collect();
         let cutoff = cfg_test_cutoff(&stripped);
-        for (ln0, line) in stripped.lines().enumerate() {
+        for (ln0, &line) in stripped_lines.iter().enumerate() {
             for rule in TOKEN_RULES {
                 if !(rule.in_scope)(&relp) {
                     continue;
@@ -525,6 +573,45 @@ pub fn run(root: &Path) -> io::Result<Report> {
                     });
                 }
             }
+
+            // Rule: ordering-consistency (counted, ratcheted). An
+            // `// ordering: <Site>` annotation (raw line — comments are
+            // stripped from the scan text) must name a catalog site and
+            // be followed within six lines by an op at least as strong
+            // as the site's production ordering (rustfmt can wrap a
+            // fault-gated call chain across five). Prose mentions are
+            // skipped: only a `Sws…`/`Sdc…` token right after the
+            // marker counts as an annotation.
+            let Some(raw_line) = raw_lines.get(ln0) else { continue };
+            let Some(pos) = raw_line.find("// ordering:") else { continue };
+            let rest = raw_line[pos + "// ordering:".len()..].trim_start();
+            let token: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric())
+                .collect();
+            if !(token.starts_with("Sws") || token.starts_with("Sdc")) {
+                continue;
+            }
+            let consistent = match AtomicSite::ALL.iter().find(|s| s.name() == token) {
+                None => false,
+                Some(site) => {
+                    let window =
+                        &stripped_lines[ln0..(ln0 + 7).min(stripped_lines.len())];
+                    let hit = |ops| window.iter().any(|l| count_tokens(l, ops) > 0);
+                    evidence_satisfies(
+                        hit(ACQUIRE_OPS),
+                        hit(RELEASE_OPS),
+                        hit(ACQREL_OPS),
+                        site.production(),
+                    )
+                }
+            };
+            if !consistent {
+                let e = counts
+                    .entry(("ordering-consistency", relp.clone()))
+                    .or_insert((0, ln0 + 1));
+                e.0 += 1;
+            }
         }
     }
 
@@ -563,11 +650,11 @@ pub fn run(root: &Path) -> io::Result<Report> {
     }
     // Entirely stale allowlist entries (file clean or gone).
     for ((rule, path), allowed) in &allow {
-        let known_rule = TOKEN_RULES.iter().any(|r| r.name == rule);
-        let counted = TOKEN_RULES
-            .iter()
-            .filter(|r| r.name == rule)
-            .any(|r| counts.contains_key(&(r.name, path.clone())));
+        let known_rule =
+            TOKEN_RULES.iter().any(|r| r.name == rule) || rule == "ordering-consistency";
+        let counted = counts
+            .keys()
+            .any(|(r, p)| *r == rule.as_str() && p == path);
         if !known_rule {
             report.findings.push(Finding {
                 rule: "allowlist",
@@ -635,6 +722,23 @@ mod tests {
             .sum();
         assert_eq!(before, 1, "only the production-code unwrap counts");
         assert_eq!(cfg_test_cutoff("fn f() {}\n"), usize::MAX);
+    }
+
+    #[test]
+    fn ordering_evidence_accepts_stronger_never_weaker() {
+        use MemOrder::*;
+        // An AcqRel CAS satisfies an Acquire or Release site.
+        assert!(evidence_satisfies(false, false, true, Acquire));
+        assert!(evidence_satisfies(false, false, true, Release));
+        assert!(evidence_satisfies(false, false, true, AcqRel));
+        // A plain acquire read never satisfies a Release or AcqRel site.
+        assert!(evidence_satisfies(true, false, false, Acquire));
+        assert!(!evidence_satisfies(true, false, false, Release));
+        assert!(!evidence_satisfies(true, false, false, AcqRel));
+        // Separate acquire + release ops together cover an RMW site.
+        assert!(evidence_satisfies(true, true, false, AcqRel));
+        // No ops near the annotation satisfies nothing.
+        assert!(!evidence_satisfies(false, false, false, Acquire));
     }
 
     #[test]

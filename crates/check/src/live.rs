@@ -1,0 +1,732 @@
+//! Live exploration: drive the **production** `SwsQueue`/`SdcQueue`
+//! through systematic thread interleavings.
+//!
+//! The abstract model checker ([`crate::explore`]) enumerates schedules
+//! of re-stated protocol machines; this module closes the remaining gap
+//! by exploring the real queue code. Each schedule execution builds a
+//! threaded `sws-shmem` world with an [`ExploreGate`] attached: every
+//! gated one-sided effect becomes a scheduling choice point, a forced
+//! choice prefix replays a specific interleaving, and past the prefix a
+//! deterministic default policy (continue the running PE) completes the
+//! schedule. The DFS explorer then branches from the recorded
+//! [`Decision`] log:
+//!
+//! * **Conflict-directed branching (DPOR-style).** At a decision where
+//!   op `A` ran, an alternative pending op `B` forces a new branch only
+//!   when `A` and `B` are *dependent*: both are annotated protocol
+//!   sites in the same [`sws_core::DepClass`] word family against the
+//!   same target PE, with at least one writer. Reordering an adjacent
+//!   independent pair commutes (they touch disjoint protocol words), so
+//!   both orders reach the same state and only one is explored.
+//!   Dependence classes over-approximate word overlap (two different
+//!   completion slots share a class), which can only add branches —
+//!   pruning stays sound. Control-plane ops (collectives, termination
+//!   counters, setup) are never branch points; the search targets the
+//!   queue protocols (see `DESIGN.md` §12 for the scope argument).
+//! * **Preemption bounding.** An injected branch that switches away
+//!   from a PE whose op was still pending is a preemption; each prefix
+//!   carries its injected-preemption count and branches beyond the
+//!   budget are pruned (Musuvathi-Qadeer iterative context bounding,
+//!   the same reduction the abstract checker uses). The default
+//!   policy's own context switches — spin rotations, spinner
+//!   interleaves, starvation aging — are its natural schedule and do
+//!   not count against the budget.
+//!
+//! Oracles: any PE panic (the queues' `invariant_violation` checks, the
+//! shmem substrate's own asserts) fails the schedule, and a completed
+//! run must conserve tasks — every seeded tag executed exactly once,
+//! checked directly against per-tag execution counters. A failing
+//! schedule is minimized with the shared [`crate::shrink::ddmin`] and
+//! re-executed to confirm; the result serializes as a
+//! `sws-explore schedule v1` file replayable by
+//! `sws-check explore --replay`.
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use sws_core::steal_half::StealPolicy;
+use sws_core::stealval::Layout;
+use sws_core::{AtomicSite, Mutation, QueueConfig};
+use sws_sched::{try_run_workload_mode, QueueKind, RunConfig, SchedConfig};
+use sws_shmem::explore::{ExploreConfig, ExploreGate, ExploreTrace, OpDesc, TRUNCATED_MSG};
+use sws_shmem::{ExecMode, FaultPlan, OpClass, ShmemError, TargetSel};
+use sws_task::{PayloadReader, TaskDescriptor, TaskRegistry};
+use sws_workloads::synth::{sized_task, SYNTH_FN};
+
+use crate::shrink::ddmin;
+
+// ---------------------------------------------------------------------------
+// Scenarios.
+// ---------------------------------------------------------------------------
+
+/// One exploration scenario: a small, fully deterministic production
+/// run whose interleavings the explorer enumerates.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Stable name (used in schedule files and reports).
+    pub name: &'static str,
+    /// Queue implementation under test.
+    pub kind: QueueKind,
+    /// World size (2–3 PEs keeps the schedule space tractable).
+    pub n_pes: usize,
+    /// Stealval layout (SWS only; ignored for SDC).
+    pub layout: Layout,
+    /// Steal-volume schedule.
+    pub policy: StealPolicy,
+    /// Steal damping (probe before claim).
+    pub damping: bool,
+    /// Inject transient drop faults (exercises the retry/reclaim paths).
+    pub faults: bool,
+    /// Seeded protocol bug (mutation self-test only).
+    pub mutation: Option<Mutation>,
+    /// Tasks seeded on PE 0.
+    pub tasks: u64,
+    /// Total distinct tags including spawned descendants: each executed
+    /// tag `t` spawns `t + tasks` while that stays below this total, so
+    /// PEs push into their rings *during* the run (0 = seeds only).
+    pub spawn_total: u64,
+    /// Ring capacity in tasks.
+    pub capacity: usize,
+    /// Scheduler RNG seed.
+    pub seed: u64,
+}
+
+/// The default exploration corpus: SWS and SDC crossed with layouts,
+/// steal policies, damping, and one faulty case each — the same axes the
+/// chaos and conformance matrices sweep, shrunk to explorable sizes.
+pub fn corpus() -> Vec<Scenario> {
+    let base = Scenario {
+        name: "",
+        kind: QueueKind::Sws,
+        n_pes: 2,
+        layout: Layout::Epochs,
+        policy: StealPolicy::Half,
+        damping: false,
+        faults: false,
+        mutation: None,
+        tasks: 6,
+        spawn_total: 0,
+        capacity: 32,
+        seed: 0xE8_70_01,
+    };
+    vec![
+        Scenario { name: "sws-epochs-half", ..base.clone() },
+        Scenario {
+            name: "sws-validbit-half",
+            layout: Layout::ValidBit,
+            seed: 0xE8_70_02,
+            ..base.clone()
+        },
+        Scenario {
+            name: "sws-epochs-one-damped",
+            policy: StealPolicy::One,
+            damping: true,
+            tasks: 4,
+            seed: 0xE8_70_03,
+            ..base.clone()
+        },
+        Scenario {
+            name: "sws-epochs-3pe",
+            n_pes: 3,
+            tasks: 5,
+            seed: 0xE8_70_04,
+            ..base.clone()
+        },
+        Scenario {
+            name: "sws-epochs-drops",
+            faults: true,
+            tasks: 4,
+            seed: 0xE8_70_05,
+            ..base.clone()
+        },
+        Scenario {
+            name: "sdc-half",
+            kind: QueueKind::Sdc,
+            seed: 0xE8_70_06,
+            ..base.clone()
+        },
+        Scenario {
+            name: "sdc-quarter-3pe",
+            kind: QueueKind::Sdc,
+            policy: StealPolicy::Quarter,
+            n_pes: 3,
+            tasks: 5,
+            seed: 0xE8_70_07,
+            ..base.clone()
+        },
+        Scenario {
+            name: "sdc-drops",
+            kind: QueueKind::Sdc,
+            faults: true,
+            tasks: 4,
+            seed: 0xE8_70_08,
+            ..base.clone()
+        },
+    ]
+}
+
+/// The mutation self-test scenario: the SWS corpus base with the
+/// [`Mutation::CompleteBeforeCopy`] bug planted. The bug is only
+/// *observable* when the owner reuses reconciled ring slots mid-copy,
+/// so this scenario spawns chains into a tiny ring: the owner's pushes
+/// wrap into the slots the early completion just freed, and the parked
+/// thief copies overwritten records.
+pub fn mutant_scenario() -> Scenario {
+    Scenario {
+        name: "sws-mutant-complete-before-copy",
+        mutation: Some(Mutation::CompleteBeforeCopy),
+        // One seed tag spawning a binary tree keeps the owner's ring
+        // under pressure (outstanding work grows while it drains), and
+        // the tiny capacity means a single reclaimed slot is enough for
+        // the owner's head to wrap back over a claimed block — the
+        // window the early completion opens.
+        tasks: 1,
+        spawn_total: 15,
+        capacity: 2,
+        seed: 0xE8_70_31,
+        ..corpus().remove(0)
+    }
+}
+
+/// Resolve a scenario by name (corpus plus the mutation self-test), for
+/// schedule replay.
+pub fn find_scenario(name: &str) -> Option<Scenario> {
+    let m = mutant_scenario();
+    if m.name == name {
+        return Some(m);
+    }
+    corpus().into_iter().find(|s| s.name == name)
+}
+
+// ---------------------------------------------------------------------------
+// One schedule execution.
+// ---------------------------------------------------------------------------
+
+/// A bag of distinctly tagged tasks seeded on PE 0, with per-tag
+/// execution counters for the end-state conservation oracle. Count-only
+/// conservation is too weak here: a thief that copies *overwritten*
+/// ring words executes fresh tags twice and stale tags never, leaving
+/// the total intact — only the per-tag multiset catches it.
+/// Spawn shapes: with several roots, tag `t` chains into `t + roots`
+/// (flat outstanding count — pops balance pushes); with a single root,
+/// tag `t` spawns the heap children `2t+1`/`2t+2`, growing the
+/// outstanding set so the ring wraps under pressure — the shape that
+/// makes freed-slot reuse (and the seeded overwrite bug) reachable.
+struct TaggedBag {
+    /// Root tags seeded on PE 0 (`0..roots`).
+    roots: u64,
+    /// Total distinct tags, spawned descendants included.
+    total: u64,
+    executed: Arc<Vec<AtomicU32>>,
+}
+
+impl TaggedBag {
+    fn new(roots: u64, total: u64) -> TaggedBag {
+        let total = total.max(roots);
+        TaggedBag {
+            roots,
+            total,
+            executed: Arc::new((0..total).map(|_| AtomicU32::new(0)).collect()),
+        }
+    }
+
+    /// `None` if every tag ran exactly once, else the violation.
+    fn conservation_violation(&self) -> Option<String> {
+        for (tag, c) in self.executed.iter().enumerate() {
+            let n = c.load(Ordering::Acquire);
+            if n != 1 {
+                return Some(format!(
+                    "conservation: tag {tag} executed {n} times (want 1)"
+                ));
+            }
+        }
+        None
+    }
+}
+
+impl sws_sched::Workload for TaggedBag {
+    fn register<'a>(&self, reg: &mut TaskRegistry<sws_sched::TaskCtx<'a>>) {
+        let executed = Arc::clone(&self.executed);
+        let (roots, total) = (self.roots, self.total);
+        reg.register(SYNTH_FN, move |tctx, payload| {
+            let tag = PayloadReader::new(payload).u64();
+            if let Some(c) = executed.get(tag as usize) {
+                c.fetch_add(1, Ordering::AcqRel);
+            }
+            if roots == 1 {
+                for child in [2 * tag + 1, 2 * tag + 2] {
+                    if child < total {
+                        tctx.spawn(sized_task(child, 24));
+                    }
+                }
+            } else if tag + roots < total {
+                tctx.spawn(sized_task(tag + roots, 24));
+            }
+            tctx.compute(200);
+        });
+    }
+
+    fn seeds(&self, pe: usize, _n_pes: usize) -> Vec<TaskDescriptor> {
+        if pe == 0 {
+            (0..self.roots).map(|i| sized_task(i, 24)).collect()
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Outcome of executing one schedule.
+pub struct RunResult {
+    /// The recorded decision log (up to the failure or budget point).
+    pub trace: ExploreTrace,
+    /// Did the schedule exhaust its step budget (not a failure)?
+    pub truncated: bool,
+    /// First invariant violation, if any.
+    pub failure: Option<String>,
+}
+
+/// Execute `scenario` once under the forced choice `prefix` (default
+/// policy past it) and check the oracles.
+pub fn run_schedule(sc: &Scenario, prefix: &[u32], max_steps: u64) -> RunResult {
+    let gate = Arc::new(ExploreGate::new(
+        sc.n_pes,
+        ExploreConfig {
+            prefix: prefix.to_vec(),
+            max_steps,
+        },
+    ));
+    let mut queue = QueueConfig::new(sc.capacity, 24)
+        .with_layout(sc.layout)
+        .with_policy(sc.policy);
+    if let Some(m) = sc.mutation {
+        queue = queue.with_mutation(m);
+    }
+    let sched = SchedConfig::new(sc.kind, queue)
+        .with_seed(sc.seed)
+        .with_damping(sc.damping)
+        .with_progress_interval(2);
+    let mut run = RunConfig::new(sc.n_pes, sched).with_explore(Arc::clone(&gate));
+    if sc.faults {
+        run = run.with_faults(
+            FaultPlan::seeded(sc.seed ^ 0xFA_017).with_drop(OpClass::All, TargetSel::Any, 0.05),
+        );
+    }
+    let bag = TaggedBag::new(sc.tasks, sc.spawn_total);
+    let res = try_run_workload_mode(
+        &run,
+        &bag,
+        ExecMode::Threaded {
+            inject_latency: false,
+        },
+    );
+    let trace = gate.take_trace();
+    let truncated = trace.truncated;
+    let failure = match res {
+        Err(ShmemError::PePanicked { pe, message }) => {
+            if truncated || message.contains(TRUNCATED_MSG) {
+                None
+            } else {
+                Some(format!("pe{pe} panicked: {message}"))
+            }
+        }
+        Err(e) => Some(format!("world error: {e}")),
+        Ok(_) => bag.conservation_violation(),
+    };
+    RunResult {
+        trace,
+        truncated,
+        failure,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The DFS explorer.
+// ---------------------------------------------------------------------------
+
+/// Exploration budgets.
+#[derive(Clone, Debug)]
+pub struct ExplorerConfig {
+    /// Maximum preemptions per schedule (branches beyond are counted,
+    /// not explored).
+    pub preemptions: u32,
+    /// Maximum schedules executed per scenario.
+    pub max_schedules: u64,
+    /// Per-schedule decision budget (spin-heavy schedules truncate).
+    pub max_steps: u64,
+}
+
+impl Default for ExplorerConfig {
+    fn default() -> ExplorerConfig {
+        ExplorerConfig {
+            preemptions: 2,
+            max_schedules: 160,
+            max_steps: 40_000,
+        }
+    }
+}
+
+impl ExplorerConfig {
+    /// The nightly deep-sweep budget: one more preemption, a much
+    /// larger schedule allowance.
+    pub fn deep() -> ExplorerConfig {
+        ExplorerConfig {
+            preemptions: 3,
+            max_schedules: 2_000,
+            max_steps: 80_000,
+        }
+    }
+}
+
+/// Per-scenario exploration counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScenarioStats {
+    /// Schedules executed.
+    pub schedules: u64,
+    /// Schedules that hit the step budget.
+    pub truncated: u64,
+    /// Alternatives skipped because the pending pair was independent
+    /// (different dependence class, different target, or no writer).
+    pub pruned_independent: u64,
+    /// Alternatives skipped by the preemption bound.
+    pub pruned_preempt: u64,
+    /// Branches enqueued (deduplicated).
+    pub branches: u64,
+    /// Deepest decision log seen.
+    pub max_depth: usize,
+}
+
+/// A minimized failing schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Counterexample {
+    /// Scenario name (resolvable via [`find_scenario`]).
+    pub scenario: String,
+    /// Minimized forced-choice prefix that still fails.
+    pub schedule: Vec<u32>,
+    /// The violation the minimized schedule reproduces.
+    pub failure: String,
+}
+
+/// Are two pending ops *dependent* — can reordering them change the
+/// outcome? Both must be annotated protocol sites over the same target
+/// PE's region in the same word family ([`sws_core::DepClass`]), with at
+/// least one writer. The class relation over-approximates exact word
+/// overlap (sound: extra branches, never missed ones); unannotated
+/// control-plane ops never force a branch.
+pub fn dependent(a: &OpDesc, b: &OpDesc) -> bool {
+    if !(a.writes || b.writes) || a.target != b.target {
+        return false;
+    }
+    match (AtomicSite::from_id(a.site), AtomicSite::from_id(b.site)) {
+        (Some(sa), Some(sb)) => sa.dep_class() == sb.dep_class(),
+        _ => false,
+    }
+}
+
+/// Explore one scenario: DFS over forced-choice prefixes with
+/// conflict-directed branching and preemption bounding. Returns the
+/// stats and the first (minimized, confirmed) counterexample, if any.
+pub fn explore_scenario(
+    sc: &Scenario,
+    cfg: &ExplorerConfig,
+) -> (ScenarioStats, Option<Counterexample>) {
+    let mut stats = ScenarioStats::default();
+    // Each entry: (forced-choice prefix, injected preemptions so far).
+    // The bound counts only *injected* divergences from the default
+    // policy that preempt a still-pending PE — the default policy's own
+    // context switches (spin rotations, spinner interleaves, aging) are
+    // its natural schedule and cost nothing, exactly as in iterative
+    // context bounding.
+    //
+    // The frontier drains FIFO (breadth-first): shallow, few-preemption
+    // schedules run before deep ones. Branch generation outpaces the
+    // schedule budget on any non-trivial scenario, so a LIFO stack would
+    // sink into the deepest subtree of the first trace and never return
+    // — most single-preemption bugs (the common kind) would sit
+    // unexplored at the bottom.
+    let mut frontier: VecDeque<(Vec<u32>, u32)> = VecDeque::new();
+    frontier.push_back((Vec::new(), 0));
+    let mut seen: HashSet<Vec<u32>> = HashSet::new();
+    seen.insert(Vec::new());
+
+    while let Some((prefix, preempts)) = frontier.pop_front() {
+        if stats.schedules >= cfg.max_schedules {
+            break;
+        }
+        let res = run_schedule(sc, &prefix, cfg.max_steps);
+        stats.schedules += 1;
+        stats.truncated += u64::from(res.truncated);
+        stats.max_depth = stats.max_depth.max(res.trace.decisions.len());
+
+        if res.failure.is_some() {
+            return (stats, Some(minimize(sc, &res, cfg)));
+        }
+
+        // Branch points past the forced prefix. Two generators:
+        //
+        // 1. *Brother branching*: at a decision, swap the chosen op with
+        //    a co-pending dependent alternative.
+        // 2. *DPOR backtracking*: for each op `B` at decision `k`, find
+        //    the latest earlier decision `i` whose op `A` (another PE)
+        //    is dependent with `B`, and schedule `B`'s PE at `i` instead
+        //    — reordering conflicts whose second half is not yet pending
+        //    when the first half runs (e.g. an owner ring write that
+        //    happens long after the thief's payload read it races with).
+        let choices: Vec<u32> = res.trace.decisions.iter().map(|d| d.chosen).collect();
+        let mut push_branch = |stats: &mut ScenarioStats,
+                               i: usize,
+                               j: usize,
+                               alt_pe: u32,
+                               prev_pending: Option<u32>| {
+            let alt_preempt = u32::from(prev_pending.is_some_and(|p| p != alt_pe));
+            if preempts + alt_preempt > cfg.preemptions {
+                stats.pruned_preempt += 1;
+                return;
+            }
+            let mut branch = choices[..i].to_vec();
+            branch.push(j as u32);
+            if seen.insert(branch.clone()) {
+                frontier.push_back((branch, preempts + alt_preempt));
+                stats.branches += 1;
+            }
+        };
+        for (i, d) in res.trace.decisions.iter().enumerate().skip(prefix.len()) {
+            let (_, chosen_op) = d.enabled[d.chosen as usize];
+            let prev_pending = d
+                .prev
+                .filter(|p| d.enabled.iter().any(|&(pe, _)| pe == *p));
+            for (j, &(alt_pe, alt_op)) in d.enabled.iter().enumerate() {
+                if j as u32 == d.chosen {
+                    continue;
+                }
+                if !dependent(&alt_op, &chosen_op) {
+                    stats.pruned_independent += 1;
+                    continue;
+                }
+                push_branch(&mut stats, i, j, alt_pe, prev_pending);
+            }
+        }
+        for (k, dk) in res.trace.decisions.iter().enumerate() {
+            let (q, op_b) = dk.enabled[dk.chosen as usize];
+            let Some(i) = (prefix.len()..k).rev().find(|&i| {
+                let di = &res.trace.decisions[i];
+                let (p, op_a) = di.enabled[di.chosen as usize];
+                p != q && dependent(&op_a, &op_b)
+            }) else {
+                continue;
+            };
+            let di = &res.trace.decisions[i];
+            let Some(j) = di.enabled.iter().position(|&(pe, _)| pe == q) else {
+                continue;
+            };
+            if j as u32 == di.chosen {
+                continue;
+            }
+            let prev_pending = di
+                .prev
+                .filter(|p| di.enabled.iter().any(|&(pe, _)| pe == *p));
+            push_branch(&mut stats, i, j, q, prev_pending);
+        }
+    }
+    (stats, None)
+}
+
+/// Shrink a failing schedule with ddmin and confirm the minimized
+/// schedule still fails (re-executed from scratch).
+fn minimize(sc: &Scenario, failing: &RunResult, cfg: &ExplorerConfig) -> Counterexample {
+    let full: Vec<u32> = failing.trace.decisions.iter().map(|d| d.chosen).collect();
+    let fails = |cand: &[u32]| run_schedule(sc, cand, cfg.max_steps).failure.is_some();
+    let schedule = if full.is_empty() || !fails(&full) {
+        // The failure is not prefix-stable (rare: default-policy suffix
+        // diverged); keep the run's own choice list unminimized.
+        full
+    } else {
+        ddmin(&full, fails)
+    };
+    let confirmed = run_schedule(sc, &schedule, cfg.max_steps);
+    Counterexample {
+        scenario: sc.name.to_string(),
+        schedule,
+        failure: confirmed
+            .failure
+            .or_else(|| failing.failure.clone())
+            .unwrap_or_else(|| "unconfirmed".to_string()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Corpus driver + report.
+// ---------------------------------------------------------------------------
+
+/// The whole-corpus exploration report.
+#[derive(Clone, Debug, Default)]
+pub struct ExploreReport {
+    /// Per-scenario stats, corpus order.
+    pub scenarios: Vec<(String, ScenarioStats)>,
+    /// First counterexample found, if any (exploration stops there).
+    pub counterexample: Option<Counterexample>,
+}
+
+impl ExploreReport {
+    /// Human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("scenario                    schedules truncated  branches  indep-pruned  preempt-pruned  max-depth\n");
+        for (name, s) in &self.scenarios {
+            out.push_str(&format!(
+                "{name:<28}{:>9}{:>10}{:>10}{:>14}{:>16}{:>11}\n",
+                s.schedules,
+                s.truncated,
+                s.branches,
+                s.pruned_independent,
+                s.pruned_preempt,
+                s.max_depth
+            ));
+        }
+        match &self.counterexample {
+            Some(ce) => out.push_str(&format!(
+                "COUNTEREXAMPLE in {}: {} (schedule of {} forced choices)\n",
+                ce.scenario,
+                ce.failure,
+                ce.schedule.len()
+            )),
+            None => out.push_str("no violations found\n"),
+        }
+        out
+    }
+}
+
+/// Explore every corpus scenario under `cfg`, stopping at the first
+/// counterexample.
+pub fn explore_all(cfg: &ExplorerConfig) -> ExploreReport {
+    let mut report = ExploreReport::default();
+    for sc in corpus() {
+        let (stats, ce) = explore_scenario(&sc, cfg);
+        report.scenarios.push((sc.name.to_string(), stats));
+        if ce.is_some() {
+            report.counterexample = ce;
+            break;
+        }
+    }
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Schedule files.
+// ---------------------------------------------------------------------------
+
+/// Magic first line of a schedule file.
+pub const SCHEDULE_MAGIC: &str = "sws-explore schedule v1";
+
+/// Serialize a counterexample as a replayable schedule file.
+pub fn write_schedule(ce: &Counterexample) -> String {
+    let choices: Vec<String> = ce.schedule.iter().map(|c| c.to_string()).collect();
+    format!(
+        "{SCHEDULE_MAGIC}\nscenario: {}\nfailure: {}\nchoices: {}\n",
+        ce.scenario,
+        ce.failure,
+        choices.join(" ")
+    )
+}
+
+/// Parse a schedule file back into (scenario name, forced choices).
+pub fn parse_schedule(text: &str) -> Result<(String, Vec<u32>), String> {
+    let mut lines = text.lines();
+    if lines.next().map(str::trim) != Some(SCHEDULE_MAGIC) {
+        return Err(format!("not a schedule file (want `{SCHEDULE_MAGIC}`)"));
+    }
+    let mut scenario = None;
+    let mut choices = None;
+    for line in lines {
+        if let Some(rest) = line.strip_prefix("scenario: ") {
+            scenario = Some(rest.trim().to_string());
+        } else if let Some(rest) = line.strip_prefix("choices: ") {
+            let parsed: Result<Vec<u32>, _> =
+                rest.split_whitespace().map(str::parse).collect();
+            choices = Some(parsed.map_err(|e| format!("bad choice: {e}"))?);
+        }
+    }
+    match (scenario, choices) {
+        (Some(s), Some(c)) => Ok((s, c)),
+        _ => Err("missing `scenario:` or `choices:` line".to_string()),
+    }
+}
+
+/// Replay a schedule file: re-execute the named scenario under the
+/// forced choices and report what happened.
+pub fn replay_schedule(text: &str, max_steps: u64) -> Result<RunResult, String> {
+    let (name, choices) = parse_schedule(text)?;
+    let sc = find_scenario(&name).ok_or_else(|| format!("unknown scenario `{name}`"))?;
+    Ok(run_schedule(&sc, &choices, max_steps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sws_shmem::NO_SITE;
+
+    fn desc(site: u16, target: u32, writes: bool) -> OpDesc {
+        OpDesc {
+            site,
+            target,
+            offset: 0,
+            len: 1,
+            writes,
+        }
+    }
+
+    #[test]
+    fn dependence_needs_sites_class_target_and_a_writer() {
+        let claim = AtomicSite::SwsThiefClaim.id();
+        let adv = AtomicSite::SwsOwnerAdvertise.id();
+        let comp = AtomicSite::SwsThiefComplete.id();
+        assert!(dependent(&desc(claim, 0, true), &desc(adv, 0, true)));
+        assert!(
+            !dependent(&desc(claim, 0, true), &desc(comp, 0, true)),
+            "stealval vs completion: different classes"
+        );
+        assert!(
+            !dependent(&desc(claim, 0, true), &desc(adv, 1, true)),
+            "different victims"
+        );
+        assert!(
+            !dependent(&desc(NO_SITE, 0, true), &desc(adv, 0, true)),
+            "control-plane op"
+        );
+        let probe = AtomicSite::SwsThiefProbe.id();
+        let sv_read = AtomicSite::SwsOwnerSvRead.id();
+        assert!(
+            !dependent(&desc(probe, 0, false), &desc(sv_read, 0, false)),
+            "two reads"
+        );
+    }
+
+    #[test]
+    fn schedule_files_round_trip() {
+        let ce = Counterexample {
+            scenario: "sws-epochs-half".to_string(),
+            schedule: vec![0, 1, 0, 2],
+            failure: "conservation: tag 3 executed 2 times (want 1)".to_string(),
+        };
+        let text = write_schedule(&ce);
+        let (name, choices) = parse_schedule(&text).expect("round trip");
+        assert_eq!(name, ce.scenario);
+        assert_eq!(choices, ce.schedule);
+        assert!(parse_schedule("bogus\n").is_err());
+        assert!(parse_schedule(SCHEDULE_MAGIC).is_err(), "headers missing");
+    }
+
+    #[test]
+    fn corpus_names_are_unique_and_resolvable() {
+        let mut names: Vec<&str> = corpus().iter().map(|s| s.name).collect();
+        names.push(mutant_scenario().name);
+        let n = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n, "duplicate scenario names");
+        for name in names {
+            assert!(find_scenario(name).is_some(), "unresolvable `{name}`");
+        }
+        assert!(find_scenario("nope").is_none());
+    }
+}

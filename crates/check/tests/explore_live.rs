@@ -1,0 +1,104 @@
+//! End-to-end tests of the live exploration scheduler: clean corpus
+//! scenarios pass, exploration is deterministic, and the seeded
+//! mutation is found, shrunk, and deterministically replayed.
+
+use sws_check::live::{
+    corpus, explore_scenario, find_scenario, mutant_scenario, parse_schedule, replay_schedule,
+    run_schedule, write_schedule, Counterexample, ExplorerConfig,
+};
+
+/// Small budgets so the tier-1 (debug) suite stays fast; the CI explore
+/// job runs the full default budget in release mode.
+fn test_cfg() -> ExplorerConfig {
+    ExplorerConfig {
+        preemptions: 2,
+        max_schedules: 24,
+        max_steps: 40_000,
+    }
+}
+
+#[test]
+fn default_schedule_of_every_corpus_scenario_is_clean() {
+    for sc in corpus() {
+        let res = run_schedule(&sc, &[], 40_000);
+        assert!(
+            res.failure.is_none(),
+            "{}: default schedule failed: {:?}",
+            sc.name,
+            res.failure
+        );
+        assert!(!res.truncated, "{}: default schedule truncated", sc.name);
+        assert!(
+            !res.trace.decisions.is_empty(),
+            "{}: no gated decisions recorded",
+            sc.name
+        );
+    }
+}
+
+#[test]
+fn exploration_of_a_clean_scenario_finds_nothing() {
+    let sc = find_scenario("sws-epochs-half").expect("corpus scenario");
+    let (stats, ce) = explore_scenario(&sc, &test_cfg());
+    assert!(ce.is_none(), "clean scenario produced {ce:?}");
+    assert!(stats.schedules >= 2, "explorer never branched: {stats:?}");
+    assert!(
+        stats.pruned_independent > 0,
+        "independent pairs should be pruned, not explored: {stats:?}"
+    );
+}
+
+#[test]
+fn exploration_is_deterministic() {
+    let sc = find_scenario("sdc-half").expect("corpus scenario");
+    let cfg = test_cfg();
+    let (a, cea) = explore_scenario(&sc, &cfg);
+    let (b, ceb) = explore_scenario(&sc, &cfg);
+    assert_eq!(a, b, "two identical explorations diverged");
+    assert_eq!(cea, ceb);
+
+    // Replay determinism at the single-schedule level: byte-identical
+    // decision logs.
+    let ra = run_schedule(&sc, &[1, 0, 1], 40_000);
+    let rb = run_schedule(&sc, &[1, 0, 1], 40_000);
+    assert_eq!(ra.trace.decisions, rb.trace.decisions);
+    assert_eq!(ra.failure, rb.failure);
+}
+
+#[test]
+fn mutation_is_found_shrunk_and_replayable() {
+    let sc = mutant_scenario();
+    let cfg = ExplorerConfig {
+        preemptions: 2,
+        max_schedules: 400,
+        max_steps: 40_000,
+    };
+    let (stats, ce) = explore_scenario(&sc, &cfg);
+    let ce: Counterexample = ce.unwrap_or_else(|| {
+        panic!("explorer missed the seeded bug after {} schedules", stats.schedules)
+    });
+    assert!(
+        ce.failure.contains("conservation") || ce.failure.contains("invariant"),
+        "unexpected failure kind: {}",
+        ce.failure
+    );
+
+    // The shrunk schedule still fails, deterministically, via the
+    // serialized replay path.
+    let text = write_schedule(&ce);
+    let (name, choices) = parse_schedule(&text).expect("well-formed schedule file");
+    assert_eq!(name, sc.name);
+    assert_eq!(choices, ce.schedule);
+    let r1 = replay_schedule(&text, cfg.max_steps).expect("replay");
+    let r2 = replay_schedule(&text, cfg.max_steps).expect("replay");
+    assert_eq!(r1.failure, r2.failure, "replay nondeterministic");
+    assert_eq!(r1.trace.decisions, r2.trace.decisions);
+    assert_eq!(r1.failure.as_deref(), Some(ce.failure.as_str()));
+
+    // ddmin really shrank: the minimized schedule is no longer than the
+    // failing run's full decision log (strictly shorter in practice).
+    assert!(
+        ce.schedule.len() <= r1.trace.decisions.len(),
+        "shrunk schedule longer than its replay"
+    );
+}

@@ -6,11 +6,12 @@
 //!
 //! Sequences are generated from seeded `SplitMix64` streams, so every
 //! case is reproducible from the seed printed in a failure message — and
-//! a failing owner-op sequence is additionally minimized with a [`ddmin`]
-//! delta-debugging shrinker before it is reported.
+//! a failing owner-op sequence is additionally minimized with the shared
+//! [`ddmin`] delta-debugging shrinker before it is reported.
 
 use std::collections::BTreeMap;
 
+use sws_check::shrink::ddmin;
 use sws_core::{QueueConfig, SdcQueue, StealOutcome, StealQueue, SwsQueue};
 use sws_shmem::rng::SplitMix64;
 use sws_shmem::{run_world, ShmemCtx, WorldConfig};
@@ -43,47 +44,6 @@ fn task(tag: u64) -> TaskDescriptor {
 
 fn tag_of(t: &TaskDescriptor) -> u64 {
     u64::from_le_bytes(t.payload().try_into().unwrap())
-}
-
-// ---------------------------------------------------------------------------
-// ddmin shrinker
-// ---------------------------------------------------------------------------
-
-/// Classic ddmin delta debugging: greedily remove complement chunks at
-/// increasing granularity until no single removal keeps the sequence
-/// failing. Returns a 1-minimal (with respect to element removal)
-/// subsequence, preserving order. `fails` must hold for `input`.
-fn ddmin<T: Clone>(input: &[T], fails: impl Fn(&[T]) -> bool) -> Vec<T> {
-    debug_assert!(fails(input), "ddmin needs a failing input");
-    let mut cur = input.to_vec();
-    let mut n = 2usize;
-    while cur.len() >= 2 {
-        let chunk = cur.len().div_ceil(n);
-        let mut reduced = false;
-        let mut start = 0;
-        while start < cur.len() {
-            let end = (start + chunk).min(cur.len());
-            let cand: Vec<T> = cur[..start]
-                .iter()
-                .chain(&cur[end..])
-                .cloned()
-                .collect();
-            if !cand.is_empty() && fails(&cand) {
-                cur = cand;
-                n = (n - 1).max(2);
-                reduced = true;
-                break;
-            }
-            start = end;
-        }
-        if !reduced {
-            if n >= cur.len() {
-                break;
-            }
-            n = (n * 2).min(cur.len());
-        }
-    }
-    cur
 }
 
 /// Drive one queue through `ops` on a single PE and check conservation
@@ -385,24 +345,4 @@ fn threaded_single_pe_smoke() {
         assert_eq!(n, 10);
     })
     .unwrap();
-}
-
-// ---------------------------------------------------------------------------
-// Shrinker self-tests (synthetic predicates, no queue involved)
-// ---------------------------------------------------------------------------
-
-#[test]
-fn ddmin_minimizes_to_the_failing_core() {
-    let input: Vec<u32> = (0..40).collect();
-    let min = ddmin(&input, |s| s.contains(&7) && s.contains(&23));
-    assert_eq!(min, vec![7, 23]);
-    let min = ddmin(&input, |s| s.contains(&13));
-    assert_eq!(min, vec![13]);
-}
-
-#[test]
-fn ddmin_preserves_order_for_adjacent_cores() {
-    let input: Vec<u32> = (0..16).collect();
-    let min = ddmin(&input, |s| s.windows(2).any(|w| w == [3, 4]));
-    assert_eq!(min, vec![3, 4]);
 }

@@ -32,8 +32,8 @@ pub mod ring;
 pub mod steal_half;
 pub mod stealval;
 
-pub use ordering::{AtomicSite, MemOrder};
+pub use ordering::{AtomicSite, DepClass, MemOrder};
 pub use queue::sdc::SdcQueue;
 pub use queue::sws::SwsQueue;
-pub use queue::{QueueConfig, QueueStats, StealOutcome, StealQueue};
+pub use queue::{Mutation, QueueConfig, QueueStats, StealOutcome, StealQueue};
 pub use stealval::EncodeError;

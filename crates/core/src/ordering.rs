@@ -215,6 +215,32 @@ impl AtomicSite {
         AtomicSite::ALL.get(id as usize).copied()
     }
 
+    /// The dependence class of this site, used by the exploration
+    /// scheduler's DPOR-style pruning: two gated ops can only be
+    /// reordered into a new branch when their sites share a class (they
+    /// touch the same protocol word family) *and* their word spans
+    /// overlap with at least one writer. Sites in different classes are
+    /// independent by construction — the SWS stealval word, completion
+    /// slots, and ring payload live at disjoint symmetric addresses, as
+    /// do the SDC lock, tail/split metadata, completion ring, and
+    /// payload (see `queue/layout.rs`). Classing by family (rather than
+    /// exact word) over-approximates conflicts — e.g. two different
+    /// completion slots share a class — which can only add branches,
+    /// never hide one, so pruning stays sound.
+    pub fn dep_class(self) -> DepClass {
+        use AtomicSite::*;
+        match self {
+            SwsThiefClaim | SwsOwnerAdvertise | SwsOwnerAcquireSwap | SwsOwnerSvRead
+            | SwsThiefProbe => DepClass::SwsStealval,
+            SwsOwnerSlotZero | SwsThiefComplete | SwsOwnerReclaimRead => DepClass::SwsCompletion,
+            SwsOwnerPayloadWrite | SwsThiefPayloadRead => DepClass::SwsPayload,
+            SdcLockCas | SdcUnlock => DepClass::SdcLock,
+            SdcMetaRead | SdcTailPut | SdcSplitPublish | SdcOwnerTailRead => DepClass::SdcMeta,
+            SdcComplete | SdcReclaimRead | SdcReclaimZero => DepClass::SdcCompletion,
+            SdcPayloadWrite | SdcPayloadRead => DepClass::SdcPayload,
+        }
+    }
+
     /// Stable identifier used in audit rows and `// ordering:` comments.
     pub fn name(self) -> &'static str {
         use AtomicSite::*;
@@ -244,6 +270,43 @@ impl AtomicSite {
     }
 }
 
+/// A family of protocol words whose sites may conflict with each other.
+/// Sites in distinct classes never race: their words occupy disjoint
+/// symmetric-heap ranges, so the exploration scheduler treats any pair
+/// of ops from different classes as commuting (no schedule branch).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Hash)]
+pub enum DepClass {
+    /// The SWS stealval word (claim, advertise, swap, reads, probes).
+    SwsStealval,
+    /// SWS completion slots (zero, thief signal, reclaim reads).
+    SwsCompletion,
+    /// SWS ring payload words (owner writes, thief block-copy reads).
+    SwsPayload,
+    /// The SDC lock word (CAS and release store).
+    SdcLock,
+    /// SDC tail + split metadata words.
+    SdcMeta,
+    /// SDC completion-ring slots.
+    SdcCompletion,
+    /// SDC ring payload words.
+    SdcPayload,
+}
+
+impl DepClass {
+    /// Short name for audit rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            DepClass::SwsStealval => "sws-stealval",
+            DepClass::SwsCompletion => "sws-completion",
+            DepClass::SwsPayload => "sws-payload",
+            DepClass::SdcLock => "sdc-lock",
+            DepClass::SdcMeta => "sdc-meta",
+            DepClass::SdcCompletion => "sdc-completion",
+            DepClass::SdcPayload => "sdc-payload",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,6 +327,19 @@ mod tests {
         }
         assert_eq!(AtomicSite::from_id(AtomicSite::ALL.len() as u16), None);
         assert_eq!(AtomicSite::from_id(u16::MAX), None);
+    }
+
+    #[test]
+    fn dep_classes_stay_within_their_protocol() {
+        for &s in AtomicSite::ALL.iter() {
+            let class = s.dep_class().name();
+            assert!(
+                class.starts_with(&s.protocol().to_ascii_lowercase()),
+                "{} is classed {class} but belongs to {}",
+                s.name(),
+                s.protocol()
+            );
+        }
     }
 
     #[test]

@@ -61,6 +61,24 @@ pub struct QueueConfig {
     /// How long the owner lets a claimed block sit without a completion
     /// before reclaiming it (fault mode only).
     pub reclaim_grace_ns: u64,
+    /// Test-only seeded protocol bug, used by the exploration
+    /// scheduler's mutation self-test to prove the explorer can find,
+    /// shrink, and replay a real ordering violation. Always `None` in
+    /// production configurations.
+    #[doc(hidden)]
+    pub mutation: Option<Mutation>,
+}
+
+/// A deliberately planted protocol bug (see [`QueueConfig::mutation`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[doc(hidden)]
+pub enum Mutation {
+    /// SWS thief: issue the passive completion notification *before*
+    /// copying the stolen payload (swap steps 2 and 3 of the fault-free
+    /// steal). A preempted thief then lets the owner reconcile the
+    /// epoch and overwrite the ring words mid-copy, so the thief lands
+    /// stale or torn task records — a conservation violation.
+    CompleteBeforeCopy,
 }
 
 impl QueueConfig {
@@ -75,6 +93,7 @@ impl QueueConfig {
             split_update_ns: 150,
             retry: RetryPolicy::default_thief(),
             reclaim_grace_ns: 200_000,
+            mutation: None,
         }
     }
 
@@ -103,6 +122,14 @@ impl QueueConfig {
     #[must_use]
     pub fn with_reclaim_grace_ns(mut self, ns: u64) -> QueueConfig {
         self.reclaim_grace_ns = ns;
+        self
+    }
+
+    /// Plant a seeded protocol bug (exploration self-test only).
+    #[doc(hidden)]
+    #[must_use]
+    pub fn with_mutation(mut self, mutation: Mutation) -> QueueConfig {
+        self.mutation = Some(mutation);
         self
     }
 

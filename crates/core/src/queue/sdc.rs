@@ -238,6 +238,8 @@ impl<'a> SdcQueue<'a> {
         let mut words = Vec::new();
         self.buf
             .read_block_local(self.ctx, abs, vol as usize, &mut words);
+        // ordering: SdcPayloadWrite (requeue)
+        self.ctx.proto_site(AtomicSite::SdcPayloadWrite.id());
         self.buf
             .write_local_block(self.ctx, self.head, vol as usize, &words);
         self.head += vol;
@@ -547,6 +549,8 @@ impl<'a> SdcQueue<'a> {
         );
         match fin {
             Ok(prev) if prev == marker => {
+                // ordering: SdcPayloadWrite (landing a stolen block)
+                ctx.proto_site(AtomicSite::SdcPayloadWrite.id());
                 self.buf
                     .write_local_block(ctx, self.head, vol as usize, &scratch);
                 self.head += vol;
@@ -582,6 +586,8 @@ impl StealQueue for SdcQueue<'_> {
                 return false;
             }
         }
+        // ordering: SdcPayloadWrite
+        self.ctx.proto_site(AtomicSite::SdcPayloadWrite.id());
         self.buf.write_local(self.ctx, self.head, task);
         self.head += 1;
         self.stats.enqueued += 1;
@@ -770,6 +776,8 @@ impl StealQueue for SdcQueue<'_> {
         self.ctx.proto_site(AtomicSite::SdcComplete.id());
         self.ctx.atomic_set_nbi(target, self.comp_slot(tail), vol);
 
+        // ordering: SdcPayloadWrite (landing a stolen block)
+        self.ctx.proto_site(AtomicSite::SdcPayloadWrite.id());
         self.buf
             .write_local_block(self.ctx, self.head, vol as usize, &scratch);
         self.head += vol;

@@ -237,6 +237,8 @@ impl<'a> SwsQueue<'a> {
         let mut words = Vec::new();
         self.buf
             .read_block_local(self.ctx, abs, vol as usize, &mut words);
+        // ordering: SwsOwnerPayloadWrite (requeue)
+        self.ctx.proto_site(AtomicSite::SwsOwnerPayloadWrite.id());
         self.buf
             .write_local_block(self.ctx, self.head, vol as usize, &words);
         self.head += vol;
@@ -535,6 +537,8 @@ impl<'a> SwsQueue<'a> {
         });
         match fin {
             Ok(0) => {
+                // ordering: SwsOwnerPayloadWrite (landing a stolen block)
+                ctx.proto_site(AtomicSite::SwsOwnerPayloadWrite.id());
                 self.buf
                     .write_local_block(ctx, self.head, vol as usize, &scratch);
                 self.head += vol;
@@ -574,6 +578,8 @@ impl StealQueue for SwsQueue<'_> {
                 return false;
             }
         }
+        // ordering: SwsOwnerPayloadWrite
+        self.ctx.proto_site(AtomicSite::SwsOwnerPayloadWrite.id());
         self.buf.write_local(self.ctx, self.head, task);
         self.head += 1;
         self.stats.enqueued += 1;
@@ -742,18 +748,35 @@ impl StealQueue for SwsQueue<'_> {
         // 2. One get (gathered across the ring wrap if needed).
         let start = self.buf.ring().slot(sv.tail as u64 + offset);
         let mut scratch = std::mem::take(&mut self.scratch);
-        // ordering: SwsThiefPayloadRead
-        self.ctx.proto_site(AtomicSite::SwsThiefPayloadRead.id());
-        self.buf
-            .steal_copy(self.ctx, target, start, vol as usize, &mut scratch);
+        if self.cfg.mutation == Some(crate::queue::Mutation::CompleteBeforeCopy) {
+            // Seeded bug (exploration self-test): signal completion
+            // before the payload copy, licensing the owner to overwrite
+            // the ring words mid-steal.
+            // ordering: SwsThiefComplete
+            self.ctx.proto_site(AtomicSite::SwsThiefComplete.id());
+            self.ctx
+                .atomic_set_nbi(target, self.comp_slot(epoch as usize, a), vol);
+            // ordering: SwsThiefPayloadRead
+            self.ctx.proto_site(AtomicSite::SwsThiefPayloadRead.id());
+            self.buf
+                .steal_copy(self.ctx, target, start, vol as usize, &mut scratch);
+        } else {
+            // ordering: SwsThiefPayloadRead
+            self.ctx.proto_site(AtomicSite::SwsThiefPayloadRead.id());
+            self.buf
+                .steal_copy(self.ctx, target, start, vol as usize, &mut scratch);
 
-        // 3. Passive completion notification; the owner reconciles later.
-        // ordering: SwsThiefComplete
-        self.ctx.proto_site(AtomicSite::SwsThiefComplete.id());
-        self.ctx
-            .atomic_set_nbi(target, self.comp_slot(epoch as usize, a), vol);
+            // 3. Passive completion notification; the owner reconciles
+            // later.
+            // ordering: SwsThiefComplete
+            self.ctx.proto_site(AtomicSite::SwsThiefComplete.id());
+            self.ctx
+                .atomic_set_nbi(target, self.comp_slot(epoch as usize, a), vol);
+        }
 
         // Land the block in our local portion.
+        // ordering: SwsOwnerPayloadWrite (landing a stolen block)
+        self.ctx.proto_site(AtomicSite::SwsOwnerPayloadWrite.id());
         self.buf
             .write_local_block(self.ctx, self.head, vol as usize, &scratch);
         self.head += vol;

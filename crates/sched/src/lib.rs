@@ -35,7 +35,9 @@ pub mod worker;
 
 pub use config::{FaultToleranceConfig, QueueKind, SchedConfig, TdKind};
 pub use report::{RunReport, WorkerStats};
-pub use runner::{run_workload, RunConfig, Workload};
+pub use runner::{
+    run_workload, run_workload_mode, try_run_workload_mode, RunConfig, Workload,
+};
 pub use service::{
     run_service, AdmissionPolicy, ArrivalSource, AwayWindow, MembershipPlan,
     ServiceConfig, ServiceWorkload,

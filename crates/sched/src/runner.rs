@@ -52,6 +52,11 @@ pub struct RunConfig {
     /// (the conformance checker's input). Off by default: hot paths see
     /// one extra predictable branch per op at most.
     pub capture_proto: bool,
+    /// Exploration gate: when set, the run is driven under the
+    /// systematic interleaving scheduler (threaded mode, one PE at a
+    /// time, a scheduling choice at every gated atomic site). Used by
+    /// `sws-check explore`; `None` for ordinary runs.
+    pub explore: Option<std::sync::Arc<sws_shmem::ExploreGate>>,
 }
 
 impl RunConfig {
@@ -66,6 +71,7 @@ impl RunConfig {
             faults: None,
             gate: GateMode::default(),
             capture_proto: false,
+            explore: None,
         }
     }
 
@@ -90,6 +96,14 @@ impl RunConfig {
         self
     }
 
+    /// Drive the run under an exploration gate (forces threaded mode;
+    /// the caller picks the schedule through the gate's choice prefix).
+    #[must_use]
+    pub fn with_explore(mut self, gate: std::sync::Arc<sws_shmem::ExploreGate>) -> RunConfig {
+        self.explore = Some(gate);
+        self
+    }
+
     pub(crate) fn heap_words(&self) -> usize {
         // Queue buffer + metadata + completion structures + TD + slack.
         self.sched.queue.buffer_words() + self.sched.queue.capacity + 1024 + self.extra_heap_words
@@ -109,6 +123,27 @@ pub fn run_workload_mode(
     workload: &impl Workload,
     mode: ExecMode,
 ) -> RunReport {
+    try_run_workload_mode(cfg, workload, mode).expect("workload run failed")
+}
+
+/// As [`run_workload_mode`], but surfacing PE panics as an error instead
+/// of aborting. The exploration scheduler uses this: an invariant
+/// violation inside the queue under an adversarial interleaving arrives
+/// here as [`sws_shmem::ShmemError::PePanicked`] and becomes a
+/// counterexample rather than a test abort.
+pub fn try_run_workload_mode(
+    cfg: &RunConfig,
+    workload: &impl Workload,
+    mode: ExecMode,
+) -> Result<RunReport, sws_shmem::ShmemError> {
+    // An exploration gate serializes the PEs itself, so it requires
+    // (and implies) threaded mode: virtual time would deadlock against
+    // the gate's own blocking.
+    let mode = if cfg.explore.is_some() {
+        ExecMode::Threaded { inject_latency: false }
+    } else {
+        mode
+    };
     let mut world_cfg = WorldConfig {
         n_pes: cfg.n_pes,
         heap_words: cfg.heap_words(),
@@ -117,6 +152,7 @@ pub fn run_workload_mode(
         faults: None,
         gate: cfg.gate,
         capture_proto: cfg.capture_proto,
+        explore: cfg.explore.clone(),
     };
     let mut sched = cfg.sched;
     if let Some(plan) = &cfg.faults {
@@ -169,7 +205,7 @@ pub fn run_workload_mode(
             }
         }
     };
-    let out = run_world(world_cfg, run_pe).expect("workload run failed");
+    let out = run_world(world_cfg, run_pe)?;
 
     let mut workers = out.results;
     for (w, &t) in workers.iter_mut().zip(out.virtual_ns.iter()) {
@@ -182,12 +218,12 @@ pub fn run_workload_mode(
         }
     }
     let makespan_ns = workers.iter().map(|w| w.runtime_ns).max().unwrap_or(0);
-    RunReport {
+    Ok(RunReport {
         system: sched.kind.label().to_string(),
         n_pes: cfg.n_pes,
         makespan_ns,
         workers,
         comm: out.stats,
         wall_ms: out.elapsed.as_millis() as u64,
-    }
+    })
 }

@@ -743,6 +743,7 @@ pub fn run_service<W: ServiceWorkload>(
         faults: None,
         gate: cfg.gate,
         capture_proto: cfg.capture_proto,
+        explore: None,
     };
     let mut sched = cfg.sched;
     if let Some(plan) = &cfg.faults {

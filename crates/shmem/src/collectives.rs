@@ -21,7 +21,10 @@ impl ShmemCtx {
         self.record_barrier(cost);
         match &self.world().vclock {
             Some(vc) => vc.barrier(self.my_pe(), cost),
-            None => self.world().thread_barrier.wait(),
+            None => match &self.world().explore {
+                Some(eg) => eg.barrier(self.my_pe(), cost),
+                None => self.world().thread_barrier.wait(),
+            },
         }
     }
 

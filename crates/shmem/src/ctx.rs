@@ -26,6 +26,7 @@ use std::time::Instant;
 
 use crate::addr::SymAddr;
 use crate::error::{OpError, OpResult};
+use crate::explore::{kind_writes, OpDesc};
 use crate::fault::{FaultInjector, FaultPlan, PreDecision};
 use crate::net::OpKind;
 use crate::proto::{ProtoEvent, ProtoOp, NO_SITE};
@@ -52,6 +53,9 @@ pub struct ShmemCtx {
     /// `AtomicSite` id armed by [`ShmemCtx::proto_site`] for the next
     /// one-sided op; consumed (reset to `NO_SITE`) by that op.
     armed_site: Cell<u16>,
+    /// Site id handed from [`ShmemCtx::armed`] to the exploration gate's
+    /// op descriptor (active only when the world carries a gate).
+    explore_site: Cell<u16>,
     wall_start: Instant,
 }
 
@@ -72,6 +76,7 @@ impl ShmemCtx {
             collective_depth: Cell::new(0),
             capture,
             armed_site: Cell::new(NO_SITE),
+            explore_site: Cell::new(NO_SITE),
             wall_start: Instant::now(),
         }
     }
@@ -94,12 +99,15 @@ impl ShmemCtx {
         self.world.vclock.is_some()
     }
 
-    /// Current time in ns: virtual time under the engine, wall time
-    /// otherwise.
+    /// Current time in ns: virtual time under the engine, the gate's
+    /// per-PE logical clock under exploration, wall time otherwise.
     pub fn now_ns(&self) -> u64 {
         match &self.world.vclock {
             Some(vc) => vc.now(self.pe),
-            None => self.wall_start.elapsed().as_nanos() as u64,
+            None => match &self.world.explore {
+                Some(eg) => eg.now(self.pe),
+                None => self.wall_start.elapsed().as_nanos() as u64,
+            },
         }
     }
 
@@ -109,11 +117,14 @@ impl ShmemCtx {
     pub fn compute(&self, ns: u64) {
         match &self.world.vclock {
             Some(vc) => vc.advance(self.pe, ns),
-            None => {
-                if self.world.inject_latency {
-                    spin_ns(ns);
+            None => match &self.world.explore {
+                Some(eg) => eg.advance(self.pe, ns),
+                None => {
+                    if self.world.inject_latency {
+                        spin_ns(ns);
+                    }
                 }
-            }
+            },
         }
     }
 
@@ -141,12 +152,13 @@ impl ShmemCtx {
     // ------------------------------------------------------------------
 
     /// Arm the next one-sided op on this context with an `AtomicSite` id
-    /// for trace capture. No-op unless the world was built with
-    /// `WorldConfig::capture_proto`; the protocol code annotates its ops
-    /// unconditionally and pays one branch here when capture is off.
+    /// for trace capture (and for the exploration gate's op descriptors).
+    /// No-op unless the world was built with `WorldConfig::capture_proto`
+    /// or carries an exploration gate; the protocol code annotates its
+    /// ops unconditionally and pays one branch here when both are off.
     #[inline]
     pub fn proto_site(&self, site: u16) {
-        if self.capture.is_some() {
+        if self.capture.is_some() || self.world.explore.is_some() {
             self.armed_site.set(site);
         }
     }
@@ -171,10 +183,16 @@ impl ShmemCtx {
     /// unrelated later op.
     #[inline]
     fn armed(&self) -> u16 {
-        if self.capture.is_none() {
+        if self.capture.is_none() && self.world.explore.is_none() {
             return NO_SITE;
         }
-        self.armed_site.replace(NO_SITE)
+        let site = self.armed_site.replace(NO_SITE);
+        if self.world.explore.is_some() {
+            // Hand the id to the op-layer explore branch, which builds
+            // the gate's OpDesc after the wrapper consumed the site.
+            self.explore_site.set(site);
+        }
+        site
     }
 
     /// Record one captured event. Must be called *inside* the op's gated
@@ -198,7 +216,10 @@ impl ShmemCtx {
         }
         let t_ns = match &self.world.vclock {
             Some(vc) => vc.now(self.pe),
-            None => self.wall_start.elapsed().as_nanos() as u64,
+            None => match &self.world.explore {
+                Some(eg) => eg.now(self.pe),
+                None => self.wall_start.elapsed().as_nanos() as u64,
+            },
         };
         buf.borrow_mut().push(ProtoEvent {
             t_ns,
@@ -214,10 +235,32 @@ impl ShmemCtx {
         });
     }
 
-    /// Apply a shared-visible effect with cost accounting and (in virtual
-    /// mode) global virtual-time ordering. Fault-free fast path.
+    /// Build the exploration gate's descriptor for the op about to gate:
+    /// the words it touches (`span` = first word offset, word count) and
+    /// the protocol site the wrapper consumed via [`Self::armed`].
     #[inline]
-    fn op<R>(&self, kind: OpKind, target: usize, bytes: usize, f: impl FnOnce() -> R) -> R {
+    fn explore_desc(&self, kind: OpKind, target: usize, span: (u32, u32)) -> OpDesc {
+        OpDesc {
+            site: self.explore_site.replace(NO_SITE),
+            target: target as u32,
+            offset: span.0,
+            len: span.1,
+            writes: kind_writes(kind),
+        }
+    }
+
+    /// Apply a shared-visible effect with cost accounting and (in virtual
+    /// mode) global virtual-time ordering. Fault-free fast path. `span`
+    /// names the touched words for the exploration gate's op descriptor.
+    #[inline]
+    fn op<R>(
+        &self,
+        kind: OpKind,
+        target: usize,
+        bytes: usize,
+        span: (u32, u32),
+        f: impl FnOnce() -> R,
+    ) -> R {
         let loc = self.world.net.locality(self.pe, target);
         let cost = self.world.net.cost_ns(kind, bytes, loc);
         self.stats.borrow_mut().record(kind, bytes, cost);
@@ -230,13 +273,21 @@ impl ShmemCtx {
         }
         match &self.world.vclock {
             Some(vc) => vc.gated(self.pe, cost, f),
-            None => {
-                let r = f();
-                if self.world.inject_latency {
-                    spin_ns(cost);
+            None => match &self.world.explore {
+                Some(eg) => {
+                    eg.gate(self.pe, self.explore_desc(kind, target, span));
+                    let r = f();
+                    eg.advance(self.pe, cost.max(1));
+                    r
                 }
-                r
-            }
+                None => {
+                    let r = f();
+                    if self.world.inject_latency {
+                        spin_ns(cost);
+                    }
+                    r
+                }
+            },
         }
     }
 
@@ -259,11 +310,12 @@ impl ShmemCtx {
         kind: OpKind,
         target: usize,
         bytes: usize,
+        span: (u32, u32),
         f: impl FnOnce() -> R,
     ) -> OpResult<R> {
         debug_assert!(kind.is_blocking());
         let Some(inj) = self.injectable(target) else {
-            return Ok(self.op(kind, target, bytes, f));
+            return Ok(self.op(kind, target, bytes, span, f));
         };
         let loc = self.world.net.locality(self.pe, target);
         let cost = self.world.net.cost_ns(kind, bytes, loc);
@@ -300,18 +352,31 @@ impl ShmemCtx {
                 self.stats.borrow_mut().record(kind, bytes, charge.max(1));
                 res
             }
-            None => {
-                let res = decide(self.wall_start.elapsed().as_nanos() as u64).map(|()| f());
-                let charge = match &res {
-                    Ok(_) => cost.saturating_add(extra),
-                    Err(_) => timeout_ns,
-                };
-                self.stats.borrow_mut().record(kind, bytes, charge);
-                if self.world.inject_latency {
-                    spin_ns(charge);
+            None => match &self.world.explore {
+                Some(eg) => {
+                    eg.gate(self.pe, self.explore_desc(kind, target, span));
+                    let res = decide(eg.now(self.pe)).map(|()| f());
+                    let charge = match &res {
+                        Ok(_) => cost.saturating_add(extra),
+                        Err(_) => timeout_ns,
+                    };
+                    eg.advance(self.pe, charge.max(1));
+                    self.stats.borrow_mut().record(kind, bytes, charge.max(1));
+                    res
                 }
-                res
-            }
+                None => {
+                    let res = decide(self.wall_start.elapsed().as_nanos() as u64).map(|()| f());
+                    let charge = match &res {
+                        Ok(_) => cost.saturating_add(extra),
+                        Err(_) => timeout_ns,
+                    };
+                    self.stats.borrow_mut().record(kind, bytes, charge);
+                    if self.world.inject_latency {
+                        spin_ns(charge);
+                    }
+                    res
+                }
+            },
         };
         if res.is_err() {
             self.stats.borrow_mut().record_failed(kind);
@@ -323,10 +388,10 @@ impl ShmemCtx {
     /// issuer cannot observe an nbi failure at issue time — exactly like a
     /// real NIC), so the effect is skipped but `Ok` semantics are kept and
     /// `quiet` accounting proceeds as if the op were in flight.
-    fn op_nbi(&self, kind: OpKind, target: usize, bytes: usize, f: impl FnOnce()) {
+    fn op_nbi(&self, kind: OpKind, target: usize, bytes: usize, span: (u32, u32), f: impl FnOnce()) {
         debug_assert!(!kind.is_blocking());
         let Some(inj) = self.injectable(target) else {
-            self.op(kind, target, bytes, f);
+            self.op(kind, target, bytes, span, f);
             return;
         };
         let plan = inj.plan();
@@ -352,16 +417,27 @@ impl ShmemCtx {
                 }
                 ok
             }),
-            None => {
-                let ok = apply(self.wall_start.elapsed().as_nanos() as u64);
-                if ok {
-                    f();
+            None => match &self.world.explore {
+                Some(eg) => {
+                    eg.gate(self.pe, self.explore_desc(kind, target, span));
+                    let ok = apply(eg.now(self.pe));
+                    if ok {
+                        f();
+                    }
+                    eg.advance(self.pe, cost.max(1));
+                    ok
                 }
-                if self.world.inject_latency {
-                    spin_ns(cost);
+                None => {
+                    let ok = apply(self.wall_start.elapsed().as_nanos() as u64);
+                    if ok {
+                        f();
+                    }
+                    if self.world.inject_latency {
+                        spin_ns(cost);
+                    }
+                    ok
                 }
-                ok
-            }
+            },
         };
         if !applied {
             self.stats.borrow_mut().record_failed(kind);
@@ -382,7 +458,7 @@ impl ShmemCtx {
     pub fn try_get_words(&self, pe: usize, addr: SymAddr, dst: &mut [u64]) -> OpResult<()> {
         let heap = &self.world.heap;
         let site = self.armed();
-        self.try_op(OpKind::Get, pe, dst.len() * 8, || {
+        self.try_op(OpKind::Get, pe, dst.len() * 8, (addr.word() as u32, dst.len() as u32), || {
             for (i, d) in dst.iter_mut().enumerate() {
                 *d = heap.word(pe, addr.offset(i)).load(Ordering::Acquire);
             }
@@ -420,7 +496,11 @@ impl ShmemCtx {
         assert_eq!(a.1 + b.1, dst.len(), "gather ranges must fill dst");
         let heap = &self.world.heap;
         let site = self.armed();
-        self.try_op(OpKind::Get, pe, dst.len() * 8, || {
+        // Exploration span: the contiguous cover of both ranges — an
+        // over-approximation that can only add dependences.
+        let lo = a.0.word().min(b.0.word());
+        let hi = (a.0.word() + a.1).max(b.0.word() + b.1);
+        self.try_op(OpKind::Get, pe, dst.len() * 8, (lo as u32, (hi - lo) as u32), || {
             let (first, second) = dst.split_at_mut(a.1);
             for (i, d) in first.iter_mut().enumerate() {
                 *d = heap.word(pe, a.0.offset(i)).load(Ordering::Acquire);
@@ -443,7 +523,7 @@ impl ShmemCtx {
     pub fn try_put_words(&self, pe: usize, addr: SymAddr, src: &[u64]) -> OpResult<()> {
         let heap = &self.world.heap;
         let site = self.armed();
-        self.try_op(OpKind::Put, pe, src.len() * 8, || {
+        self.try_op(OpKind::Put, pe, src.len() * 8, (addr.word() as u32, src.len() as u32), || {
             if site != NO_SITE {
                 let w0 = src.first().copied().unwrap_or(0);
                 let w1 = src.get(1).copied().unwrap_or(0);
@@ -462,7 +542,7 @@ impl ShmemCtx {
     /// behaves at issue time.
     pub fn put_words_nbi(&self, pe: usize, addr: SymAddr, src: &[u64]) {
         let heap = &self.world.heap;
-        self.op_nbi(OpKind::PutNbi, pe, src.len() * 8, || {
+        self.op_nbi(OpKind::PutNbi, pe, src.len() * 8, (addr.word() as u32, src.len() as u32), || {
             for (i, &s) in src.iter().enumerate() {
                 heap.word(pe, addr.offset(i)).store(s, Ordering::Release);
             }
@@ -480,11 +560,16 @@ impl ShmemCtx {
         self.stats.borrow_mut().record(OpKind::Quiet, 0, deferred);
         match &self.world.vclock {
             Some(vc) => vc.advance(self.pe, deferred),
-            None => {
-                if self.world.inject_latency {
-                    spin_ns(deferred);
+            None => match &self.world.explore {
+                // NBI effects applied at issue (each was its own gate
+                // point); quiet only settles this PE's clock.
+                Some(eg) => eg.advance(self.pe, deferred),
+                None => {
+                    if self.world.inject_latency {
+                        spin_ns(deferred);
+                    }
                 }
-            }
+            },
         }
     }
 
@@ -502,7 +587,7 @@ impl ShmemCtx {
     pub fn try_atomic_fetch_add(&self, pe: usize, addr: SymAddr, val: u64) -> OpResult<u64> {
         let heap = &self.world.heap;
         let site = self.armed();
-        self.try_op(OpKind::AtomicFetchAdd, pe, 8, || {
+        self.try_op(OpKind::AtomicFetchAdd, pe, 8, (addr.word() as u32, 1), || {
             let prev = heap.word(pe, addr).fetch_add(val, Ordering::AcqRel);
             self.capture_event(site, ProtoOp::FetchAdd, pe, addr, 1, val, 0, prev);
             prev
@@ -518,7 +603,7 @@ impl ShmemCtx {
     pub fn try_atomic_swap(&self, pe: usize, addr: SymAddr, val: u64) -> OpResult<u64> {
         let heap = &self.world.heap;
         let site = self.armed();
-        self.try_op(OpKind::AtomicSwap, pe, 8, || {
+        self.try_op(OpKind::AtomicSwap, pe, 8, (addr.word() as u32, 1), || {
             let prev = heap.word(pe, addr).swap(val, Ordering::AcqRel);
             self.capture_event(site, ProtoOp::Swap, pe, addr, 1, val, 0, prev);
             prev
@@ -542,7 +627,7 @@ impl ShmemCtx {
     ) -> OpResult<u64> {
         let heap = &self.world.heap;
         let site = self.armed();
-        self.try_op(OpKind::AtomicCompareSwap, pe, 8, || {
+        self.try_op(OpKind::AtomicCompareSwap, pe, 8, (addr.word() as u32, 1), || {
             let prev = match heap.word(pe, addr).compare_exchange(
                 expected,
                 new,
@@ -566,7 +651,7 @@ impl ShmemCtx {
     pub fn try_atomic_fetch(&self, pe: usize, addr: SymAddr) -> OpResult<u64> {
         let heap = &self.world.heap;
         let site = self.armed();
-        self.try_op(OpKind::AtomicFetch, pe, 8, || {
+        self.try_op(OpKind::AtomicFetch, pe, 8, (addr.word() as u32, 1), || {
             let v = heap.word(pe, addr).load(Ordering::Acquire);
             self.capture_event(site, ProtoOp::Fetch, pe, addr, 1, 0, 0, v);
             v
@@ -582,7 +667,7 @@ impl ShmemCtx {
     pub fn try_atomic_set(&self, pe: usize, addr: SymAddr, val: u64) -> OpResult<()> {
         let heap = &self.world.heap;
         let site = self.armed();
-        self.try_op(OpKind::AtomicSet, pe, 8, || {
+        self.try_op(OpKind::AtomicSet, pe, 8, (addr.word() as u32, 1), || {
             if site != NO_SITE {
                 // The overwritten value is only observable while capturing;
                 // the extra load happens solely on that path.
@@ -598,7 +683,7 @@ impl ShmemCtx {
     pub fn atomic_add_nbi(&self, pe: usize, addr: SymAddr, val: u64) {
         let heap = &self.world.heap;
         let site = self.armed();
-        self.op_nbi(OpKind::AtomicAddNbi, pe, 8, || {
+        self.op_nbi(OpKind::AtomicAddNbi, pe, 8, (addr.word() as u32, 1), || {
             let prev = heap.word(pe, addr).fetch_add(val, Ordering::AcqRel);
             self.capture_event(site, ProtoOp::AddNbi, pe, addr, 1, val, 0, prev);
         });
@@ -609,7 +694,7 @@ impl ShmemCtx {
     pub fn atomic_set_nbi(&self, pe: usize, addr: SymAddr, val: u64) {
         let heap = &self.world.heap;
         let site = self.armed();
-        self.op_nbi(OpKind::AtomicSetNbi, pe, 8, || {
+        self.op_nbi(OpKind::AtomicSetNbi, pe, 8, (addr.word() as u32, 1), || {
             if site != NO_SITE {
                 let prev = heap.word(pe, addr).load(Ordering::Acquire);
                 self.capture_event(site, ProtoOp::SetNbi, pe, addr, 1, val, 0, prev);
@@ -639,9 +724,25 @@ impl ShmemCtx {
         }
     }
 
-    /// Write words into this PE's own region without cost, gating, or
-    /// accounting. See [`Self::local_read_words`] for the safety contract.
+    /// Write words into this PE's own region without cost or accounting.
+    /// See [`Self::local_read_words`] for the safety contract.
+    ///
+    /// Under an exploration gate, a write annotated with a protocol site
+    /// (the queues' ring-record writes) is still a scheduling choice
+    /// point: these local stores are exactly the words a thief copies
+    /// one-sidedly, so hiding them from the gate would make the
+    /// owner-write/thief-read conflict invisible to dependence pruning.
+    /// Unannotated local writes (scratch, counters the split invariant
+    /// protects) stay gate-free.
     pub fn local_write_words(&self, addr: SymAddr, src: &[u64]) {
+        let site = self.armed();
+        if site != NO_SITE {
+            if let Some(eg) = &self.world.explore {
+                let desc =
+                    self.explore_desc(OpKind::Put, self.pe, (addr.word() as u32, src.len() as u32));
+                eg.gate(self.pe, desc);
+            }
+        }
         for (i, &s) in src.iter().enumerate() {
             self.world
                 .heap
@@ -724,7 +825,17 @@ impl ShmemCtx {
             Some(vc) => vc.gated(self.pe, 1, || {
                 self.world.down[self.pe].store(true, Ordering::Release)
             }),
-            None => self.world.down[self.pe].store(true, Ordering::Release),
+            None => match &self.world.explore {
+                Some(eg) => {
+                    // Down flags live outside the heap; give them a
+                    // sentinel word so the transition is a schedulable
+                    // (and conflict-tracked) effect like any other.
+                    eg.gate(self.pe, crate::explore::plain_desc(self.pe, u32::MAX, 1, true));
+                    self.world.down[self.pe].store(true, Ordering::Release);
+                    eg.advance(self.pe, 1);
+                }
+                None => self.world.down[self.pe].store(true, Ordering::Release),
+            },
         }
     }
 
@@ -741,7 +852,10 @@ impl ShmemCtx {
     pub fn world_poisoned(&self) -> bool {
         match &self.world.vclock {
             Some(vc) => vc.is_poisoned(),
-            None => self.world.thread_barrier.is_poisoned(),
+            None => match &self.world.explore {
+                Some(eg) => eg.is_poisoned(),
+                None => self.world.thread_barrier.is_poisoned(),
+            },
         }
     }
 }
@@ -769,7 +883,9 @@ impl ShmemCtx {
     pub fn iget_words(&self, pe: usize, addr: SymAddr, stride: usize, dst: &mut [u64]) {
         assert!(stride >= 1, "stride must be at least one word");
         let heap = &self.world.heap;
-        self.try_op(OpKind::Get, pe, dst.len() * 8, || {
+        // Exploration span: contiguous cover of the strided range.
+        let cover = dst.len().saturating_sub(1) * stride + 1;
+        self.try_op(OpKind::Get, pe, dst.len() * 8, (addr.word() as u32, cover as u32), || {
             for (i, d) in dst.iter_mut().enumerate() {
                 *d = heap
                     .word(pe, addr.offset(i * stride))
@@ -784,7 +900,8 @@ impl ShmemCtx {
     pub fn iput_words(&self, pe: usize, addr: SymAddr, stride: usize, src: &[u64]) {
         assert!(stride >= 1, "stride must be at least one word");
         let heap = &self.world.heap;
-        self.try_op(OpKind::Put, pe, src.len() * 8, || {
+        let cover = src.len().saturating_sub(1) * stride + 1;
+        self.try_op(OpKind::Put, pe, src.len() * 8, (addr.word() as u32, cover as u32), || {
             for (i, &s) in src.iter().enumerate() {
                 heap.word(pe, addr.offset(i * stride))
                     .store(s, Ordering::Release);

@@ -49,6 +49,7 @@ mod addr;
 mod collectives;
 mod ctx;
 mod error;
+pub mod explore;
 pub mod fault;
 mod heap;
 mod lock;
@@ -62,6 +63,7 @@ mod sync;
 pub mod vclock;
 
 pub use addr::SymAddr;
+pub use explore::{Decision, ExploreConfig, ExploreGate, ExploreTrace, OpDesc};
 pub use ctx::ShmemCtx;
 pub use error::{OpError, OpResult, ShmemError, ShmemResult};
 pub use fault::{FaultPlan, OpClass, RetryPolicy, TargetSel};

@@ -13,6 +13,7 @@ use std::time::{Duration, Instant};
 
 use crate::ctx::ShmemCtx;
 use crate::error::{ShmemError, ShmemResult};
+use crate::explore::ExploreGate;
 use crate::fault::FaultPlan;
 use crate::heap::SymmetricHeap;
 use crate::lock::{Condvar, Mutex};
@@ -57,6 +58,10 @@ pub struct WorldConfig {
     /// trace-conformance checking (see `crate::proto`). Off by default;
     /// when off, the op surface carries no capture state.
     pub capture_proto: bool,
+    /// Exploration gate (see [`crate::explore`]): serializes every gated
+    /// effect behind an explicit schedule. Requires threaded mode (the
+    /// gate replaces the virtual-time engine as the serialization point).
+    pub explore: Option<Arc<ExploreGate>>,
 }
 
 impl WorldConfig {
@@ -70,6 +75,7 @@ impl WorldConfig {
             faults: None,
             gate: GateMode::default(),
             capture_proto: false,
+            explore: None,
         }
     }
 
@@ -85,7 +91,16 @@ impl WorldConfig {
             faults: None,
             gate: GateMode::default(),
             capture_proto: false,
+            explore: None,
         }
+    }
+
+    /// Threaded world serialized by an exploration gate: every gated op
+    /// becomes a scheduling choice point (see [`crate::explore`]).
+    pub fn exploration(n_pes: usize, heap_words: usize, gate: Arc<ExploreGate>) -> WorldConfig {
+        let mut cfg = WorldConfig::threaded(n_pes, heap_words);
+        cfg.explore = Some(gate);
+        cfg
     }
 
     /// Replace the network model.
@@ -115,6 +130,13 @@ impl WorldConfig {
         self.capture_proto = true;
         self
     }
+
+    /// Attach an exploration gate (threaded mode only).
+    #[must_use]
+    pub fn with_explore(mut self, gate: Arc<ExploreGate>) -> WorldConfig {
+        self.explore = Some(gate);
+        self
+    }
 }
 
 /// State shared by every PE of a world.
@@ -131,6 +153,8 @@ pub(crate) struct WorldShared {
     pub(crate) down: Vec<AtomicBool>,
     /// Whether contexts record site-annotated ops as `ProtoEvent`s.
     pub(crate) capture_proto: bool,
+    /// Exploration gate serializing every gated effect, if attached.
+    pub(crate) explore: Option<Arc<ExploreGate>>,
 }
 
 /// Everything a finished world produced.
@@ -182,10 +206,18 @@ where
         _ => None,
     };
 
+    if cfg.explore.is_some() && cfg.mode == ExecMode::Virtual {
+        return Err(ShmemError::BadConfig(
+            "exploration gate requires threaded mode (it replaces the virtual-time engine)"
+                .into(),
+        ));
+    }
+
     let vclock = match cfg.mode {
         ExecMode::Virtual => Some(Arc::new(VClock::with_gate(cfg.n_pes, cfg.gate))),
         ExecMode::Threaded { .. } => None,
     };
+    let explore = cfg.explore.clone();
     let inject_latency = matches!(
         cfg.mode,
         ExecMode::Threaded {
@@ -201,6 +233,7 @@ where
         faults,
         down: (0..cfg.n_pes).map(|_| AtomicBool::new(false)).collect(),
         capture_proto: cfg.capture_proto,
+        explore: explore.clone(),
     });
 
     let start = Instant::now();
@@ -213,6 +246,7 @@ where
         for pe in 0..cfg.n_pes {
             let world = Arc::clone(&world);
             let vclock = vclock.clone();
+            let explore = explore.clone();
             let f = &f;
             handles.push(scope.spawn(move || {
                 let ctx = ShmemCtx::new(pe, world);
@@ -226,13 +260,21 @@ where
                                 vc.finish(pe);
                                 t
                             }
-                            None => {
-                                // A crash-stopped PE exits with fewer
-                                // barrier entries than its peers; retiring
-                                // lets their barriers release without it.
-                                ctx.world().thread_barrier.retire();
-                                0
-                            }
+                            None => match &explore {
+                                Some(eg) => {
+                                    let t = eg.now(pe);
+                                    eg.finish(pe);
+                                    t
+                                }
+                                None => {
+                                    // A crash-stopped PE exits with fewer
+                                    // barrier entries than its peers;
+                                    // retiring lets their barriers release
+                                    // without it.
+                                    ctx.world().thread_barrier.retire();
+                                    0
+                                }
+                            },
                         };
                         Ok((r, stats, t))
                     }
@@ -240,6 +282,9 @@ where
                         // Poison so peers blocked in gates/barriers bail.
                         if let Some(vc) = &vclock {
                             vc.poison();
+                        }
+                        if let Some(eg) = &explore {
+                            eg.poison();
                         }
                         ctx.world().thread_barrier.poison();
                         Err(panic_message(&*payload))
@@ -268,8 +313,17 @@ where
                 virtual_ns.push(t);
             }
             Err(msg) => {
-                if first_err.is_none() {
-                    first_err = Some((pe, msg));
+                // Prefer the root cause over a poison-propagation victim:
+                // the lowest-rank PE often dies of the *poison* raised by
+                // a higher-rank PE's real failure, and the explorer (and
+                // any human) wants the original message.
+                let secondary = msg.contains("poisoned");
+                match &first_err {
+                    None => first_err = Some((pe, msg)),
+                    Some((_, prev)) if prev.contains("poisoned") && !secondary => {
+                        first_err = Some((pe, msg));
+                    }
+                    _ => {}
                 }
             }
         }
@@ -721,6 +775,7 @@ mod latency_injection_tests {
                 faults: None,
                 gate: GateMode::default(),
                 capture_proto: false,
+                explore: None,
             };
             let t0 = Instant::now();
             run_world(cfg, |ctx| {

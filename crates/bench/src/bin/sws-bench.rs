@@ -1,0 +1,415 @@
+//! `sws-bench` — the pinned wall-clock trajectory harness.
+//!
+//! ```text
+//! sws-bench wall [--quick] [--out FILE] [--runs N]
+//! sws-bench validate FILE
+//! ```
+//!
+//! `wall` runs a FIXED set of UTS/BPC configurations at 8/16/32/64
+//! threads (`ExecMode::Threaded`, no latency injection) and emits a
+//! schema-stable JSON document (`sws-bench-wall/v1`) designed to be
+//! committed as `BENCH_<pr>.json` — one file per PR that claims a
+//! wall-clock win, forming a perf trajectory over the repo's history.
+//!
+//! Each configuration is measured under three knob settings so a reader
+//! can attribute the win:
+//!
+//! * `packed-spin`   — the pre-fix baseline: packed (word-granular) heap
+//!   layout, eager completion signals, no oversubscription yield.
+//! * `aligned-spin`  — the false-sharing fix alone: 128-byte-aligned
+//!   heap regions and line-isolated queue control words.
+//! * `aligned-yield-batch` — the full fix: aligned layout, the
+//!   oversubscription yield hint, and batched completion puts.
+//!
+//! Wall-clock numbers are inherently machine- and load-dependent, so the
+//! document records the machine shape (`hw_threads`) and CI treats the
+//! *numbers* as non-blocking; only the schema is validated (blocking)
+//! via the `validate` subcommand.
+//!
+//! The virtual-time figures are untouched by any of these knobs — the
+//! differential suite pins their byte-identity separately.
+
+use std::time::Instant;
+
+use sws_bench::ms;
+use sws_core::QueueConfig;
+use sws_sched::{run_workload_mode, QueueKind, RunConfig, RunReport, SchedConfig};
+use sws_shmem::{ExecMode, HeapLayout};
+use sws_workloads::bpc::{BpcParams, BpcWorkload};
+use sws_workloads::uts::{UtsParams, UtsWorkload};
+
+/// One knob setting measured per configuration.
+struct Variant {
+    name: &'static str,
+    layout: HeapLayout,
+    oversub_yield: bool,
+    comp_batch: usize,
+}
+
+const VARIANTS: [Variant; 3] = [
+    Variant {
+        name: "packed-spin",
+        layout: HeapLayout::Packed,
+        oversub_yield: false,
+        comp_batch: 0,
+    },
+    Variant {
+        name: "aligned-spin",
+        layout: HeapLayout::Aligned,
+        oversub_yield: false,
+        comp_batch: 0,
+    },
+    Variant {
+        name: "aligned-yield-batch",
+        layout: HeapLayout::Aligned,
+        oversub_yield: true,
+        comp_batch: 8,
+    },
+];
+
+/// The pinned workloads. Scales are fixed forever (that is the point of
+/// a trajectory file); `--quick` shrinks them for CI smoke only.
+enum Bench {
+    Uts { depth: u32 },
+    Bpc { consumers: u32, depth: u32 },
+}
+
+impl Bench {
+    fn label(&self) -> String {
+        match self {
+            Bench::Uts { depth } => format!("uts-geo-d{depth}"),
+            Bench::Bpc { consumers, depth } => format!("bpc-c{consumers}-d{depth}"),
+        }
+    }
+
+    fn run(&self, cfg: &RunConfig) -> RunReport {
+        let mode = ExecMode::Threaded {
+            inject_latency: false,
+        };
+        match self {
+            Bench::Uts { depth } => {
+                let wl = UtsWorkload::new(UtsParams::geo_small(*depth));
+                run_workload_mode(cfg, &wl, mode)
+            }
+            Bench::Bpc { consumers, depth } => {
+                let wl = BpcWorkload::new(BpcParams::scaled(*consumers, *depth));
+                run_workload_mode(cfg, &wl, mode)
+            }
+        }
+    }
+}
+
+fn benches(quick: bool) -> Vec<Bench> {
+    if quick {
+        vec![
+            Bench::Uts { depth: 6 },
+            Bench::Bpc {
+                consumers: 16,
+                depth: 8,
+            },
+        ]
+    } else {
+        vec![
+            Bench::Uts { depth: 7 },
+            Bench::Bpc {
+                consumers: 24,
+                depth: 16,
+            },
+        ]
+    }
+}
+
+fn pe_counts(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![8]
+    } else {
+        vec![8, 16, 32, 64]
+    }
+}
+
+struct VariantCell {
+    name: &'static str,
+    layout: HeapLayout,
+    oversub_yield: bool,
+    comp_batch: usize,
+    wall_ms: Vec<f64>,
+    tasks: u64,
+}
+
+impl VariantCell {
+    fn min_ms(&self) -> f64 {
+        self.wall_ms.iter().cloned().fold(f64::MAX, f64::min)
+    }
+}
+
+struct ConfigCell {
+    workload: String,
+    system: &'static str,
+    pes: usize,
+    runs: usize,
+    variants: Vec<VariantCell>,
+}
+
+impl ConfigCell {
+    /// Pre-fix baseline over full fix, best-of-runs (>1 ⇒ fix faster).
+    fn speedup(&self) -> f64 {
+        let base = self.variants.first().map_or(0.0, |v| v.min_ms());
+        let last = self.variants.last().map_or(0.0, |v| v.min_ms());
+        if last > 0.0 {
+            base / last
+        } else {
+            0.0
+        }
+    }
+}
+
+fn measure(bench: &Bench, system: QueueKind, pes: usize, runs: usize) -> ConfigCell {
+    let sys_label = match system {
+        QueueKind::Sws => "SWS",
+        QueueKind::Sdc => "SDC",
+    };
+    let mut variants = Vec::new();
+    for v in &VARIANTS {
+        let mut wall_ms = Vec::new();
+        let mut tasks = 0;
+        for r in 0..runs {
+            let queue = QueueConfig::new(16384, 48).with_comp_batch(v.comp_batch);
+            let sched = SchedConfig::new(system, queue).with_seed(0xBA5E + r as u64 * 7919);
+            let cfg = RunConfig::new(pes, sched)
+                .with_heap_layout(v.layout)
+                .with_oversub_yield(v.oversub_yield);
+            let t0 = Instant::now();
+            let report = bench.run(&cfg);
+            wall_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            tasks = report.total_tasks();
+        }
+        eprintln!(
+            "  {} {} pes={} {:<20} min {:.1} ms over {} runs",
+            bench.label(),
+            sys_label,
+            pes,
+            v.name,
+            wall_ms.iter().cloned().fold(f64::MAX, f64::min),
+            runs,
+        );
+        variants.push(VariantCell {
+            name: v.name,
+            layout: v.layout,
+            oversub_yield: v.oversub_yield,
+            comp_batch: v.comp_batch,
+            wall_ms,
+            tasks,
+        });
+    }
+    ConfigCell {
+        workload: bench.label(),
+        system: sys_label,
+        pes,
+        runs,
+        variants,
+    }
+}
+
+fn render_json(cells: &[ConfigCell], quick: bool) -> String {
+    use std::fmt::Write as _;
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"sws-bench-wall/v1\",");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(
+        out,
+        "  \"machine\": {{ \"hw_threads\": {hw}, \"os\": \"{}\", \"arch\": \"{}\" }},",
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    );
+    let _ = writeln!(out, "  \"mode\": \"threaded\",");
+    let _ = writeln!(out, "  \"configs\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"workload\": \"{}\",", c.workload);
+        let _ = writeln!(out, "      \"system\": \"{}\",", c.system);
+        let _ = writeln!(out, "      \"pes\": {},", c.pes);
+        let _ = writeln!(out, "      \"runs\": {},", c.runs);
+        let _ = writeln!(out, "      \"speedup\": {:.4},", c.speedup());
+        let _ = writeln!(out, "      \"variants\": [");
+        for (j, v) in c.variants.iter().enumerate() {
+            let layout = match v.layout {
+                HeapLayout::Aligned => "aligned",
+                HeapLayout::Packed => "packed",
+            };
+            let walls: Vec<String> = v.wall_ms.iter().map(|w| format!("{w:.3}")).collect();
+            let _ = write!(
+                out,
+                "        {{ \"name\": \"{}\", \"heap_layout\": \"{}\", \
+                 \"oversub_yield\": {}, \"comp_batch\": {}, \"tasks\": {}, \
+                 \"wall_ms\": [{}], \"wall_ms_min\": {:.3} }}",
+                v.name,
+                layout,
+                v.oversub_yield,
+                v.comp_batch,
+                v.tasks,
+                walls.join(", "),
+                v.min_ms(),
+            );
+            let _ = writeln!(out, "{}", if j + 1 < c.variants.len() { "," } else { "" });
+        }
+        let _ = writeln!(out, "      ]");
+        let _ = writeln!(out, "    }}{}", if i + 1 < cells.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Schema validation for a `sws-bench-wall/v1` document. Returns every
+/// problem found (empty ⇒ valid). Numbers are NOT judged here — wall
+/// clock is machine-dependent; only structure is binding.
+fn validate(text: &str) -> Vec<String> {
+    use sws_obs::json::Json;
+    let mut errs = Vec::new();
+    let doc = match Json::parse(text) {
+        Ok(d) => d,
+        Err(e) => return vec![format!("not valid JSON: {e}")],
+    };
+    if doc.get("schema").and_then(|s| s.as_str()) != Some("sws-bench-wall/v1") {
+        errs.push("schema must be \"sws-bench-wall/v1\"".into());
+    }
+    let hw = doc
+        .get("machine")
+        .and_then(|m| m.get("hw_threads"))
+        .and_then(|v| v.as_f64());
+    if !hw.is_some_and(|h| h >= 1.0) {
+        errs.push("machine.hw_threads must be a number >= 1".into());
+    }
+    let Some(configs) = doc.get("configs").and_then(|c| c.as_arr()) else {
+        errs.push("configs must be an array".into());
+        return errs;
+    };
+    if configs.is_empty() {
+        errs.push("configs must be non-empty".into());
+    }
+    for (i, c) in configs.iter().enumerate() {
+        let at = |what: &str| format!("configs[{i}]: {what}");
+        if c.get("workload").and_then(|w| w.as_str()).is_none() {
+            errs.push(at("missing workload"));
+        }
+        let sys = c.get("system").and_then(|s| s.as_str());
+        if !matches!(sys, Some("SWS") | Some("SDC")) {
+            errs.push(at("system must be SWS or SDC"));
+        }
+        let pes = c.get("pes").and_then(|p| p.as_f64());
+        if !pes.is_some_and(|p| [8.0, 16.0, 32.0, 64.0].contains(&p)) {
+            errs.push(at("pes must be one of 8/16/32/64"));
+        }
+        if c.get("speedup").and_then(|s| s.as_f64()).is_none() {
+            errs.push(at("missing speedup"));
+        }
+        let Some(variants) = c.get("variants").and_then(|v| v.as_arr()) else {
+            errs.push(at("variants must be an array"));
+            continue;
+        };
+        let names: Vec<_> = variants
+            .iter()
+            .filter_map(|v| v.get("name").and_then(|n| n.as_str()))
+            .collect();
+        for required in ["packed-spin", "aligned-yield-batch"] {
+            if !names.contains(&required) {
+                errs.push(at(&format!("missing variant {required}")));
+            }
+        }
+        for (j, v) in variants.iter().enumerate() {
+            let vat = |what: &str| format!("configs[{i}].variants[{j}]: {what}");
+            let walls = v.get("wall_ms").and_then(|w| w.as_arr());
+            match walls {
+                Some(w) if !w.is_empty() => {
+                    if !w.iter().all(|x| x.as_f64().is_some_and(|f| f > 0.0)) {
+                        errs.push(vat("wall_ms entries must be positive numbers"));
+                    }
+                }
+                _ => errs.push(vat("wall_ms must be a non-empty array")),
+            }
+            if v.get("heap_layout")
+                .and_then(|l| l.as_str())
+                .is_none_or(|l| l != "aligned" && l != "packed")
+            {
+                errs.push(vat("heap_layout must be aligned|packed"));
+            }
+        }
+    }
+    errs
+}
+
+fn usage() -> ! {
+    eprintln!("usage: sws-bench wall [--quick] [--out FILE] [--runs N]");
+    eprintln!("       sws-bench validate FILE");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("wall") => {
+            let mut quick = false;
+            let mut out_path: Option<String> = None;
+            let mut runs = 3usize;
+            let mut it = args[1..].iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--quick" => quick = true,
+                    "--out" => out_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+                    "--runs" => {
+                        runs = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage())
+                    }
+                    _ => usage(),
+                }
+            }
+            if quick {
+                runs = runs.min(1);
+            }
+            let t0 = Instant::now();
+            let mut cells = Vec::new();
+            for bench in &benches(quick) {
+                for &pes in &pe_counts(quick) {
+                    for system in [QueueKind::Sws, QueueKind::Sdc] {
+                        cells.push(measure(bench, system, pes, runs));
+                    }
+                }
+            }
+            let doc = render_json(&cells, quick);
+            let errs = validate(&doc);
+            assert!(errs.is_empty(), "self-emitted JSON failed schema: {errs:?}");
+            match &out_path {
+                Some(p) => {
+                    std::fs::write(p, &doc).unwrap_or_else(|e| {
+                        eprintln!("cannot write {p}: {e}");
+                        std::process::exit(1);
+                    });
+                    eprintln!("wrote {p} ({} bytes)", doc.len());
+                }
+                None => print!("{doc}"),
+            }
+            eprintln!("total bench wall time: {:.1} ms", ms(t0.elapsed().as_nanos() as u64));
+        }
+        Some("validate") => {
+            let Some(path) = args.get(1) else { usage() };
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            let errs = validate(&text);
+            if errs.is_empty() {
+                println!("{path}: valid sws-bench-wall/v1 document");
+            } else {
+                for e in &errs {
+                    eprintln!("{path}: {e}");
+                }
+                std::process::exit(1);
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -29,9 +29,11 @@
 //! a pre-scan recovers each victim's base offsets from unambiguous
 //! anchor events — the construction [`AtomicSite::SwsOwnerAdvertise`]
 //! `set` (SWS: `sv` at its offset, completion slots and buffer follow
-//! contiguously per `SwsQueue::new`'s three `alloc_words` calls) and any
-//! metadata op (SDC: lock/tail/split at `meta..meta+3`, then the
-//! completion ring, then the buffer). Events targeting a victim whose
+//! per `SwsQueue::new`'s three collective allocations) and any metadata
+//! op (SDC: lock/tail/split at `meta..meta+3`, then the completion
+//! ring, then the buffer). [`ReplayInput::heap_layout`] selects the
+//! block-placement arithmetic: adjacent when packed, rounded up to the
+//! next cache-line boundary when aligned. Events targeting a victim whose
 //! anchor is missing (possible only in shrunken sub-traces) diverge with
 //! kind `no-anchor`, which the same-kind ddmin predicate rejects — the
 //! shrinker never discards the anchor.
@@ -42,7 +44,9 @@ use sws_core::queue::{COMP_CLAIMED, COMP_POISON, COMP_RECLAIMED, COMP_VOL_MASK};
 use sws_core::ring::Ring;
 use sws_core::stealval::{Gate, Layout, ASTEALS_MASK, ASTEALS_SHIFT, ASTEAL_UNIT};
 use sws_core::{AtomicSite, QueueConfig};
-use sws_shmem::{FaultPlan, GateMode, OpClass, ProtoEvent, ProtoOp, TargetSel};
+use sws_shmem::{
+    FaultPlan, GateMode, HeapLayout, OpClass, ProtoEvent, ProtoOp, TargetSel, CACHE_LINE_WORDS,
+};
 
 /// Which protocol's abstract machine a trace is replayed against.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -63,6 +67,13 @@ pub struct ReplayInput<'a> {
     pub queue: QueueConfig,
     /// The merged, globally ordered event stream.
     pub events: &'a [ProtoEvent],
+    /// Symmetric-heap layout of the run that produced the trace. The
+    /// queue constructors place their control blocks with consecutive
+    /// collective allocations, so the replay machines re-derive the
+    /// completion-array and buffer bases from the anchor offset with the
+    /// same arithmetic: packed blocks are adjacent, aligned blocks each
+    /// round up to the next cache-line boundary.
+    pub heap_layout: HeapLayout,
     /// Mutation hook for self-tests: applied to the *model's* copy of
     /// the stealval word before the claim-side decode (and nowhere
     /// else), so a deliberately broken decode diverges from production.
@@ -76,7 +87,29 @@ impl<'a> ReplayInput<'a> {
             proto,
             queue,
             events,
+            heap_layout: HeapLayout::default(),
             mutate_claim_decode: None,
+        }
+    }
+
+    /// Replay against a specific heap layout (the default matches
+    /// production runs).
+    pub fn with_heap_layout(mut self, layout: HeapLayout) -> ReplayInput<'a> {
+        self.heap_layout = layout;
+        self
+    }
+}
+
+/// Base offset of the collective allocation that follows a `words`-word
+/// block at `base` — adjacent when packed, rounded up to the next
+/// cache-line boundary when aligned (mirrors `alloc_words_aligned`).
+fn next_block(base: u64, words: u64, layout: HeapLayout) -> u64 {
+    let end = base + words;
+    match layout {
+        HeapLayout::Packed => end,
+        HeapLayout::Aligned => {
+            let line = CACHE_LINE_WORDS as u64;
+            end.div_ceil(line) * line
         }
     }
 }
@@ -146,14 +179,14 @@ struct SwsVictim {
 }
 
 impl SwsVictim {
-    fn new(sv_off: u64, cfg: &QueueConfig) -> SwsVictim {
+    fn new(sv_off: u64, cfg: &QueueConfig, heap: HeapLayout) -> SwsVictim {
         let comp_words = (cfg.layout.n_epochs() * cfg.policy.slot_budget()) as u64;
-        let comp_base = sv_off + 1;
+        let comp_base = next_block(sv_off, 1, heap);
         SwsVictim {
             sv_off,
             comp_base,
             comp_words,
-            buf_base: comp_base + comp_words,
+            buf_base: next_block(comp_base, comp_words, heap),
             buf_words: (cfg.capacity * cfg.task_words) as u64,
             sv: 0,
             comp: BTreeMap::new(),
@@ -184,12 +217,12 @@ struct SdcVictim {
 }
 
 impl SdcVictim {
-    fn new(meta_off: u64, cfg: &QueueConfig) -> SdcVictim {
-        let comp_base = meta_off + 3;
+    fn new(meta_off: u64, cfg: &QueueConfig, heap: HeapLayout) -> SdcVictim {
+        let comp_base = next_block(meta_off, 3, heap);
         SdcVictim {
             meta_off,
             comp_base,
-            buf_base: comp_base + cfg.capacity as u64,
+            buf_base: next_block(comp_base, cfg.capacity as u64, heap),
             buf_words: (cfg.capacity * cfg.task_words) as u64,
             lock: 0,
             tail: 0,
@@ -277,7 +310,7 @@ pub fn replay(input: &ReplayInput) -> Result<ReplayStats, Divergence> {
             Proto::Sws => {
                 if e.site == AtomicSite::SwsOwnerAdvertise.id() {
                     sws.entry(e.target)
-                        .or_insert_with(|| SwsVictim::new(e.offset as u64, cfg));
+                        .or_insert_with(|| SwsVictim::new(e.offset as u64, cfg, input.heap_layout));
                 }
             }
             Proto::Sdc => {
@@ -292,7 +325,7 @@ pub fn replay(input: &ReplayInput) -> Result<ReplayStats, Divergence> {
                     _ => None,
                 };
                 if let Some(m) = meta {
-                    sdc.entry(e.target).or_insert_with(|| SdcVictim::new(m, cfg));
+                    sdc.entry(e.target).or_insert_with(|| SdcVictim::new(m, cfg, input.heap_layout));
                 }
             }
         }
@@ -1090,6 +1123,7 @@ pub fn run_case(
         proto,
         queue,
         events: &events,
+        heap_layout: HeapLayout::default(),
         mutate_claim_decode: mutate,
     };
     let stats = replay(&input)?;
@@ -1285,7 +1319,7 @@ mod tests {
     #[test]
     fn hand_built_sws_trace_conforms() {
         let evs = sws_trace();
-        let input = ReplayInput::new(Proto::Sws, qc(), &evs);
+        let input = ReplayInput::new(Proto::Sws, qc(), &evs).with_heap_layout(HeapLayout::Packed);
         let stats = replay(&input).expect("trace conforms");
         assert_eq!(stats.victims, 1);
         assert_eq!(stats.claims, 2);
@@ -1298,7 +1332,7 @@ mod tests {
         // Turn the second claim into a "probe" that still fetch-adds —
         // the damping contract violation.
         evs[7].site = AtomicSite::SwsThiefProbe.id();
-        let input = ReplayInput::new(Proto::Sws, qc(), &evs);
+        let input = ReplayInput::new(Proto::Sws, qc(), &evs).with_heap_layout(HeapLayout::Packed);
         let d = replay(&input).unwrap_err();
         assert_eq!(d.kind, "site-op-mismatch");
         assert_eq!(d.index, 7);
@@ -1308,7 +1342,7 @@ mod tests {
     fn stale_prev_is_a_word_mismatch() {
         let mut evs = sws_trace();
         evs[4].prev ^= 1; // claim observed a value the model never held
-        let input = ReplayInput::new(Proto::Sws, qc(), &evs);
+        let input = ReplayInput::new(Proto::Sws, qc(), &evs).with_heap_layout(HeapLayout::Packed);
         let d = replay(&input).unwrap_err();
         assert_eq!(d.kind, "word-mismatch");
         assert_eq!(d.index, 4);
@@ -1318,12 +1352,12 @@ mod tests {
     fn wrong_payload_geometry_diverges_and_shrinks() {
         let mut evs = sws_trace();
         evs[5].offset += 3; // copy started one slot late
-        let input = ReplayInput::new(Proto::Sws, qc(), &evs);
+        let input = ReplayInput::new(Proto::Sws, qc(), &evs).with_heap_layout(HeapLayout::Packed);
         let d = replay(&input).unwrap_err();
         assert_eq!(d.kind, "payload-geometry");
         let small = shrink(&input, "payload-geometry");
         assert!(small.len() < evs.len());
-        let sub = ReplayInput::new(Proto::Sws, qc(), &small);
+        let sub = ReplayInput::new(Proto::Sws, qc(), &small).with_heap_layout(HeapLayout::Packed);
         assert_eq!(replay(&sub).unwrap_err().kind, "payload-geometry");
     }
 
@@ -1331,14 +1365,14 @@ mod tests {
     fn dropped_completion_leaves_unresolved_claim() {
         let mut evs = sws_trace();
         evs.remove(6); // the completion set_nbi
-        let input = ReplayInput::new(Proto::Sws, qc(), &evs);
+        let input = ReplayInput::new(Proto::Sws, qc(), &evs).with_heap_layout(HeapLayout::Packed);
         assert_eq!(replay(&input).unwrap_err().kind, "unresolved-claim");
     }
 
     #[test]
     fn mutated_claim_decode_diverges() {
         let evs = sws_trace();
-        let mut input = ReplayInput::new(Proto::Sws, qc(), &evs);
+        let mut input = ReplayInput::new(Proto::Sws, qc(), &evs).with_heap_layout(HeapLayout::Packed);
         input.mutate_claim_decode = Some(|raw| raw ^ 1); // flip tail bit 0
         let d = replay(&input).unwrap_err();
         assert_eq!(d.kind, "payload-geometry");
@@ -1375,7 +1409,7 @@ mod tests {
     #[test]
     fn hand_built_sdc_trace_conforms() {
         let evs = sdc_trace();
-        let input = ReplayInput::new(Proto::Sdc, qc(), &evs);
+        let input = ReplayInput::new(Proto::Sdc, qc(), &evs).with_heap_layout(HeapLayout::Packed);
         let stats = replay(&input).expect("trace conforms");
         assert_eq!(stats.victims, 1);
         assert_eq!(stats.claims, 1);
@@ -1385,7 +1419,7 @@ mod tests {
     fn tail_put_requires_the_lock() {
         let mut evs = sdc_trace();
         evs.remove(1); // drop the lock acquisition
-        let input = ReplayInput::new(Proto::Sdc, qc(), &evs);
+        let input = ReplayInput::new(Proto::Sdc, qc(), &evs).with_heap_layout(HeapLayout::Packed);
         let d = replay(&input).unwrap_err();
         // The meta read's captured values still match; the put is the
         // first illegal step.
@@ -1396,7 +1430,7 @@ mod tests {
     fn tail_must_advance_by_the_policy_volume() {
         let mut evs = sdc_trace();
         evs[3].arg = 2; // steal both tasks; steal-half of 2 takes 1
-        let input = ReplayInput::new(Proto::Sdc, qc(), &evs);
+        let input = ReplayInput::new(Proto::Sdc, qc(), &evs).with_heap_layout(HeapLayout::Packed);
         assert_eq!(replay(&input).unwrap_err().kind, "tail-volume");
     }
 
@@ -1405,7 +1439,7 @@ mod tests {
         let mut evs = sdc_trace();
         evs[4].issuer = 2;
         evs[4].t_ns = 5;
-        let input = ReplayInput::new(Proto::Sdc, qc(), &evs);
+        let input = ReplayInput::new(Proto::Sdc, qc(), &evs).with_heap_layout(HeapLayout::Packed);
         assert_eq!(replay(&input).unwrap_err().kind, "unlock-not-holder");
     }
 

@@ -112,15 +112,24 @@ pub struct SdcQueue<'a> {
     rng: SplitMix64,
     stats: QueueStats,
     scratch: Vec<u64>,
+    /// Staged deferred completion signals (batched mode,
+    /// `cfg.comp_batch > 0`): `(victim, slot address, volume)` tuples not
+    /// yet issued. Always empty in eager mode.
+    pending_comps: Vec<(usize, SymAddr, u64)>,
 }
 
 impl<'a> SdcQueue<'a> {
     /// Collectively construct one queue per PE (identical `cfg` everywhere).
     pub fn new(ctx: &'a ShmemCtx, cfg: QueueConfig) -> SdcQueue<'a> {
         cfg.validate();
-        let meta = ctx.alloc_words(META_WORDS);
-        let comp = ctx.alloc_words(cfg.capacity);
-        let buf_addr = ctx.alloc_words(cfg.buffer_words());
+        // Line-isolated placement (aligned heap layouts only): the meta
+        // block (lock/tail/split — CASed by every thief) must not share
+        // a cache line with the completion ring (written by thieves,
+        // chain-followed by the owner) or the task buffer. Under
+        // `HeapLayout::Packed` these degrade to plain bumps.
+        let meta = ctx.alloc_words_aligned(META_WORDS);
+        let comp = ctx.alloc_words_aligned(cfg.capacity);
+        let buf_addr = ctx.alloc_words_aligned(cfg.buffer_words());
         // lock = 0, tail = 0, split = 0 — the heap is zeroed, but publish
         // explicitly for clarity.
         ctx.local_write_words(meta, &[0, 0, 0]);
@@ -140,6 +149,7 @@ impl<'a> SdcQueue<'a> {
             rng: SplitMix64::stream(0x5DC0_F417, ctx.my_pe() as u64),
             stats: QueueStats::default(),
             scratch: Vec::new(),
+            pending_comps: Vec::new(),
         }
     }
 
@@ -193,6 +203,7 @@ impl<'a> SdcQueue<'a> {
                 return;
             }
             self.stats.owner_polls += 1;
+            self.ctx.idle_hint();
         }
     }
 
@@ -202,12 +213,28 @@ impl<'a> SdcQueue<'a> {
         self.ctx.atomic_set(self.ctx.my_pe(), self.lock_addr(), 0);
     }
 
+    /// Issue every staged completion signal (batched mode). Victim owners
+    /// reclaim lazily off these slots, so deferral is pure backpressure —
+    /// a ring slot cannot be re-claimed until its completion lands and is
+    /// reclaimed, which bounds staleness by the victim's capacity.
+    fn flush_pending_comps(&mut self) {
+        for (target, comp, vol) in self.pending_comps.drain(..) {
+            // ordering: SdcComplete
+            self.ctx.proto_site(AtomicSite::SdcComplete.id());
+            self.ctx.atomic_set_nbi(target, comp, vol);
+        }
+    }
+
     /// Take our own lock (and keep it), pull the unclaimed shared region
     /// back into the local portion, and drain every published claim — the
     /// shared body of [`StealQueue::retire`] and [`StealQueue::park`].
     /// Thieves contending on the held lock abort once they see
     /// `tail >= split`.
     fn lock_and_drain(&mut self) {
+        if !self.pending_comps.is_empty() {
+            self.flush_pending_comps();
+            self.ctx.quiet();
+        }
         self.lock_own();
         let tail = self.read_tail();
         if tail < self.split {
@@ -226,6 +253,7 @@ impl<'a> SdcQueue<'a> {
             }
             self.stats.owner_polls += 1;
             self.ctx.compute(200);
+            self.ctx.idle_hint();
         }
     }
 
@@ -493,6 +521,7 @@ impl<'a> SdcQueue<'a> {
             self.stats.owner_polls += 1;
             self.progress();
             self.ctx.compute(100);
+            self.ctx.idle_hint();
         }
 
         // 5. Copy the stolen records.
@@ -633,6 +662,12 @@ impl StealQueue for SdcQueue<'_> {
             .atomic_set(self.ctx.my_pe(), self.split_addr(), self.split);
         self.ctx.compute(self.cfg.split_update_ns);
         self.stats.releases += 1;
+        // Rooted-tree steal bound: this exposure of `k` unclaimed tasks
+        // admits at most `max_steals(k)` successful steals before the
+        // shared region runs dry (each steal shrinks `avail` by exactly
+        // one cascade step; owner acquires only shrink it further), and
+        // releases require `tail >= split`, so budgets never overlap.
+        self.stats.steal_budget += self.cfg.policy.max_steals(k);
         true
     }
 
@@ -671,6 +706,9 @@ impl StealQueue for SdcQueue<'_> {
     }
 
     fn progress(&mut self) {
+        if !self.pending_comps.is_empty() {
+            self.flush_pending_comps();
+        }
         if self.ctx.faults_active() {
             self.progress_faulty();
             return;
@@ -761,6 +799,7 @@ impl StealQueue for SdcQueue<'_> {
             self.stats.owner_polls += 1;
             self.progress();
             self.ctx.compute(100);
+            self.ctx.idle_hint();
         }
 
         // 5. Copy the stolen records.
@@ -771,10 +810,20 @@ impl StealQueue for SdcQueue<'_> {
         self.buf
             .steal_copy(self.ctx, target, start, vol as usize, &mut scratch);
 
-        // 6. Deferred completion signal (passive).
-        // ordering: SdcComplete
-        self.ctx.proto_site(AtomicSite::SdcComplete.id());
-        self.ctx.atomic_set_nbi(target, self.comp_slot(tail), vol);
+        // 6. Deferred completion signal (passive) — staged when batching
+        // is on, so a thief on a steal streak issues one flush of
+        // non-blocking puts instead of a put per steal.
+        let comp = self.comp_slot(tail);
+        if self.cfg.comp_batch > 0 {
+            self.pending_comps.push((target, comp, vol));
+            if self.pending_comps.len() >= self.cfg.comp_batch {
+                self.flush_pending_comps();
+            }
+        } else {
+            // ordering: SdcComplete
+            self.ctx.proto_site(AtomicSite::SdcComplete.id());
+            self.ctx.atomic_set_nbi(target, comp, vol);
+        }
 
         // ordering: SdcPayloadWrite (landing a stolen block)
         self.ctx.proto_site(AtomicSite::SdcPayloadWrite.id());
@@ -812,6 +861,9 @@ impl StealQueue for SdcQueue<'_> {
     }
 
     fn flush_completions(&mut self) {
+        if !self.pending_comps.is_empty() {
+            self.flush_pending_comps();
+        }
         self.ctx.quiet();
     }
 

@@ -137,6 +137,10 @@ pub struct SwsQueue<'a> {
     rng: SplitMix64,
     stats: QueueStats,
     scratch: Vec<u64>,
+    /// Staged passive completion notifications (batched mode,
+    /// `cfg.comp_batch > 0`): `(victim, slot address, volume)` tuples not
+    /// yet issued. Always empty in eager mode.
+    pending_comps: Vec<(usize, SymAddr, u64)>,
 }
 
 impl<'a> SwsQueue<'a> {
@@ -146,9 +150,17 @@ impl<'a> SwsQueue<'a> {
         cfg.validate();
         let n_slots = cfg.layout.n_epochs();
         let slots_per_epoch = cfg.policy.slot_budget();
-        let sv_addr = ctx.alloc_words(1);
-        let comp_addr = ctx.alloc_words(n_slots * slots_per_epoch);
-        let buf_addr = ctx.alloc_words(cfg.buffer_words());
+        // Line-isolated placement (aligned heap layouts only): the
+        // stealval is the single most contended word in the system —
+        // every thief RMWs it — so it must never share a cache line with
+        // the completion arrays (written by thieves, polled by the
+        // owner) or the ring buffer (overwritten by the owner's
+        // enqueues). Aligned allocation puts each on its own 128-byte
+        // line; under `HeapLayout::Packed` these degrade to plain bumps
+        // and the historical packed geometry.
+        let sv_addr = ctx.alloc_words_aligned(1);
+        let comp_addr = ctx.alloc_words_aligned(n_slots * slots_per_epoch);
+        let buf_addr = ctx.alloc_words_aligned(cfg.buffer_words());
         // Advertise an open, empty epoch 0.
         ctx.proto_site(AtomicSite::SwsOwnerAdvertise.id());
         ctx.atomic_set(ctx.my_pe(), sv_addr, cfg.layout.encode(StealVal::empty()));
@@ -184,6 +196,7 @@ impl<'a> SwsQueue<'a> {
             rng: SplitMix64::stream(0x57EA_F417, ctx.my_pe() as u64),
             stats: QueueStats::default(),
             scratch: Vec::new(),
+            pending_comps: Vec::new(),
         }
     }
 
@@ -380,6 +393,7 @@ impl<'a> SwsQueue<'a> {
             // advances and in-flight thieves can complete; the extra
             // compute charge guards against a zero-cost no-op poll.
             self.ctx.compute(100);
+            self.ctx.idle_hint();
         }
     }
 
@@ -404,6 +418,10 @@ impl<'a> SwsQueue<'a> {
         self.ctx.proto_site(AtomicSite::SwsOwnerAdvertise.id());
         self.ctx
             .atomic_set(self.ctx.my_pe(), self.sv_addr, self.cfg.layout.encode(sv));
+        // Rooted-tree steal bound: this advertisement admits at most
+        // max_steals(itasks) successful claims; accrue the budget the
+        // steal-bound invariant checks Σ steals_won against.
+        self.stats.steal_budget += self.policy.max_steals(itasks);
         self.slot_busy[slot] = true;
         self.epochs.push_back(EpochRec {
             slot,
@@ -421,6 +439,13 @@ impl<'a> SwsQueue<'a> {
     /// On return all tasks still owned sit in the local portion and no
     /// epoch record remains.
     fn close_gate_and_drain(&mut self) {
+        // Batched mode: our own staged completions must reach their
+        // victims before we stop participating — their owners may be
+        // waiting on them to reclaim ring space.
+        if !self.pending_comps.is_empty() {
+            self.flush_pending_comps();
+            self.ctx.quiet();
+        }
         // Close the gate. Thieves racing the swap either claimed before it
         // (drained below) or see Closed / TargetDown.
         let closed = self.cfg.layout.encode(StealVal {
@@ -449,6 +474,18 @@ impl<'a> SwsQueue<'a> {
             }
             self.stats.owner_polls += 1;
             self.ctx.compute(200);
+            self.ctx.idle_hint();
+        }
+    }
+
+    /// Issue every staged passive completion notification (batched mode).
+    /// The puts stay non-blocking; callers that need them settled follow
+    /// with a quiet ([`StealQueue::flush_completions`] does both).
+    fn flush_pending_comps(&mut self) {
+        for (target, comp, vol) in self.pending_comps.drain(..) {
+            // ordering: SwsThiefComplete
+            self.ctx.proto_site(AtomicSite::SwsThiefComplete.id());
+            self.ctx.atomic_set_nbi(target, comp, vol);
         }
     }
 
@@ -500,6 +537,7 @@ impl<'a> SwsQueue<'a> {
             self.stats.owner_polls += 1;
             self.reclaim();
             self.ctx.compute(100);
+            self.ctx.idle_hint();
         }
 
         // 2. Copy the claimed block.
@@ -706,6 +744,9 @@ impl StealQueue for SwsQueue<'_> {
     }
 
     fn progress(&mut self) {
+        if !self.pending_comps.is_empty() {
+            self.flush_pending_comps();
+        }
         self.reclaim();
     }
 
@@ -743,6 +784,7 @@ impl StealQueue for SwsQueue<'_> {
             self.stats.owner_polls += 1;
             self.reclaim();
             self.ctx.compute(100);
+            self.ctx.idle_hint();
         }
 
         // 2. One get (gathered across the ring wrap if needed).
@@ -767,11 +809,20 @@ impl StealQueue for SwsQueue<'_> {
                 .steal_copy(self.ctx, target, start, vol as usize, &mut scratch);
 
             // 3. Passive completion notification; the owner reconciles
-            // later.
-            // ordering: SwsThiefComplete
-            self.ctx.proto_site(AtomicSite::SwsThiefComplete.id());
-            self.ctx
-                .atomic_set_nbi(target, self.comp_slot(epoch as usize, a), vol);
+            // later. In batched mode the put is staged so several steals'
+            // notifications coalesce into one flush — fewer bounces of
+            // the victims' completion-array lines.
+            let comp = self.comp_slot(epoch as usize, a);
+            if self.cfg.comp_batch > 0 {
+                self.pending_comps.push((target, comp, vol));
+                if self.pending_comps.len() >= self.cfg.comp_batch {
+                    self.flush_pending_comps();
+                }
+            } else {
+                // ordering: SwsThiefComplete
+                self.ctx.proto_site(AtomicSite::SwsThiefComplete.id());
+                self.ctx.atomic_set_nbi(target, comp, vol);
+            }
         }
 
         // Land the block in our local portion.
@@ -813,6 +864,9 @@ impl StealQueue for SwsQueue<'_> {
     }
 
     fn flush_completions(&mut self) {
+        if !self.pending_comps.is_empty() {
+            self.flush_pending_comps();
+        }
         self.ctx.quiet();
     }
 

@@ -1,0 +1,140 @@
+//! Rooted-tree steal-bound check.
+//!
+//! Both queues expose work in discrete chunks: an SWS advertisement of
+//! `k` tasks and an SDC release of `k` tasks each admit at most
+//! [`max_steals(k)`](sws_core::StealPolicy::max_steals) successful
+//! steals before the exposed region runs dry — every steal consumes one
+//! cascade step of the policy's volume recursion, and owner take-backs
+//! only shrink the region. The queues accrue that per-exposure budget
+//! into [`QueueStats::steal_budget`](sws_core::QueueStats), and this
+//! module checks the run-wide consequence:
+//!
+//! > Σ `steals_won` ≤ Σ `steal_budget`
+//!
+//! summed over every PE (wins land on the thief, budgets on the victim,
+//! so only the global sums are comparable). A violation means a steal
+//! landed that no advertisement/release ever paid for — a duplicated or
+//! phantom steal, exactly the class of bug the rooted-tree argument in
+//! the paper's §3 rules out. Checked by `sws-run --assert-steal-bound`.
+
+use sws_sched::report::RunReport;
+
+/// Outcome of the run-wide steal-bound check.
+#[derive(Clone, Debug)]
+pub struct StealBoundReport {
+    /// Queue system label from the report (`"SWS"` / `"SDC"`).
+    pub system: String,
+    /// Successful steals summed over every PE (thief side).
+    pub steals_won: u64,
+    /// Accrued steal budget summed over every PE (victim side).
+    pub steal_budget: u64,
+    /// Total exposure events (SWS advertisements are not counted
+    /// separately from acquire re-advertisements; SDC counts releases).
+    pub releases: u64,
+    /// Whether any PE crashed (budgets accrued by a crashed PE before
+    /// its crash-stop are still collected, so the bound holds).
+    pub faults: bool,
+}
+
+impl StealBoundReport {
+    /// Did the run respect the bound?
+    pub fn ok(&self) -> bool {
+        self.steals_won <= self.steal_budget
+    }
+
+    /// The summary block printed by `--assert-steal-bound`.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "  steal bound [{}{}]: {} steals won ≤ {} budgeted over {} exposures: {}\n",
+            self.system,
+            if self.faults { ", faults" } else { "" },
+            self.steals_won,
+            self.steal_budget,
+            self.releases,
+            if self.ok() { "OK" } else { "VIOLATED" },
+        );
+        if !self.ok() {
+            out.push_str(&format!(
+                "    VIOLATION: {} steals landed without a paying exposure\n",
+                self.steals_won - self.steal_budget,
+            ));
+        }
+        out
+    }
+}
+
+/// Sum the per-PE queue stats of `report` and check the global
+/// steal-bound inequality.
+pub fn check_steal_bound(report: &RunReport) -> StealBoundReport {
+    let mut r = StealBoundReport {
+        system: report.system.clone(),
+        steals_won: 0,
+        steal_budget: 0,
+        releases: 0,
+        faults: false,
+    };
+    for w in &report.workers {
+        r.steals_won += w.queue.steals_won;
+        r.steal_budget += w.queue.steal_budget;
+        r.releases += w.queue.releases;
+        r.faults |= w.crashed;
+    }
+    r
+}
+
+/// The steal-bound block as a JSON object string, appended to the
+/// `--json --assert-steal-bound` output.
+pub fn steal_bound_to_json(r: &StealBoundReport) -> String {
+    format!(
+        "{{\"kind\":\"steal_bound\",\"system\":\"{}\",\"faults\":{},\
+         \"steals_won\":{},\"steal_budget\":{},\"releases\":{},\"ok\":{}}}",
+        crate::json::escape(&r.system),
+        r.faults,
+        r.steals_won,
+        r.steal_budget,
+        r.releases,
+        r.ok(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sws_core::QueueConfig;
+    use sws_sched::{run_workload, QueueKind, RunConfig, SchedConfig};
+    use sws_workloads::uts::{UtsParams, UtsWorkload};
+
+    fn report_for(kind: QueueKind) -> RunReport {
+        let queue = QueueConfig::new(1024, 48);
+        let sched = SchedConfig::new(kind, queue).with_seed(0xB0DD);
+        let cfg = RunConfig::new(8, sched);
+        let wl = UtsWorkload::new(UtsParams::geo_small(8));
+        run_workload(&cfg, &wl)
+    }
+
+    #[test]
+    fn sws_run_respects_the_bound() {
+        let r = check_steal_bound(&report_for(QueueKind::Sws));
+        assert!(r.steals_won > 0, "workload too small to exercise steals");
+        assert!(r.steal_budget > 0, "advertisements never accrued budget");
+        assert!(r.ok(), "{}", r.render());
+    }
+
+    #[test]
+    fn sdc_run_respects_the_bound() {
+        let r = check_steal_bound(&report_for(QueueKind::Sdc));
+        assert!(r.steals_won > 0, "workload too small to exercise steals");
+        assert!(r.steal_budget > 0, "releases never accrued budget");
+        assert!(r.ok(), "{}", r.render());
+    }
+
+    #[test]
+    fn json_block_is_wellformed() {
+        use crate::json::Json;
+        let r = check_steal_bound(&report_for(QueueKind::Sws));
+        let j = steal_bound_to_json(&r);
+        let v = Json::parse(&j).expect("steal-bound JSON parses");
+        assert_eq!(v.get("kind").and_then(|k| k.as_str()), Some("steal_bound"));
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+    }
+}

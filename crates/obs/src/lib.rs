@@ -8,6 +8,9 @@
 //!   breakdown, and check the paper's per-steal op budget (SWS: ≤ 3
 //!   ops / ≤ 2 blocking; SDC: 6 / 5) as a runtime invariant
 //!   (`sws-run --assert-comms`).
+//! * [`bound`] — the run-wide rooted-tree steal-bound invariant
+//!   (Σ `steals_won` ≤ Σ `steal_budget`) checked from scheduler reports
+//!   (`sws-run --assert-steal-bound`).
 //! * [`metrics`] — a per-PE sharded counter/gauge/histogram registry
 //!   with plain-store recording and report-time merging; text
 //!   exposition and JSON snapshot (`sws-run --metrics`).
@@ -26,12 +29,14 @@
 
 #![warn(missing_docs)]
 
+pub mod bound;
 pub mod json;
 pub mod metrics;
 pub mod perfetto;
 pub mod report_json;
 pub mod span;
 
+pub use bound::{check_steal_bound, steal_bound_to_json, StealBoundReport};
 pub use metrics::{HistId, MetricId, MetricKind, Registry, Shard};
 pub use perfetto::{chrome_trace, validate_chrome_trace, TraceRun, TraceStats};
 pub use report_json::{comm_report_to_json, report_to_json};

@@ -57,6 +57,15 @@ pub struct RunConfig {
     /// time, a scheduling choice at every gated atomic site). Used by
     /// `sws-check explore`; `None` for ordinary runs.
     pub explore: Option<std::sync::Arc<sws_shmem::ExploreGate>>,
+    /// Symmetric-heap geometry. `Aligned` (the default) line-isolates
+    /// PE regions and collective allocations; `Packed` reproduces the
+    /// historical packed layout for differential testing. Virtual-time
+    /// reports are byte-identical across layouts.
+    pub heap_layout: sws_shmem::HeapLayout,
+    /// Yield the OS thread in oversubscribed threaded runs (default
+    /// true; see [`WorldConfig::oversub_yield`]). The wall-clock bench
+    /// turns this off to measure the pre-fix spin behavior.
+    pub oversub_yield: bool,
 }
 
 impl RunConfig {
@@ -72,6 +81,8 @@ impl RunConfig {
             gate: GateMode::default(),
             capture_proto: false,
             explore: None,
+            heap_layout: sws_shmem::HeapLayout::default(),
+            oversub_yield: true,
         }
     }
 
@@ -104,9 +115,34 @@ impl RunConfig {
         self
     }
 
+    /// Select the symmetric-heap geometry (aligned by default).
+    #[must_use]
+    pub fn with_heap_layout(mut self, layout: sws_shmem::HeapLayout) -> RunConfig {
+        self.heap_layout = layout;
+        self
+    }
+
+    /// Enable or disable the oversubscription yield hint.
+    #[must_use]
+    pub fn with_oversub_yield(mut self, on: bool) -> RunConfig {
+        self.oversub_yield = on;
+        self
+    }
+
     pub(crate) fn heap_words(&self) -> usize {
         // Queue buffer + metadata + completion structures + TD + slack.
-        self.sched.queue.buffer_words() + self.sched.queue.capacity + 1024 + self.extra_heap_words
+        // Aligned layouts round each allocation up to a line start, so
+        // budget one extra line per distinct allocation (the queues make
+        // at most a handful; 16 lines of slack is comfortably enough).
+        let align_slack = match self.heap_layout {
+            sws_shmem::HeapLayout::Aligned => 16 * sws_shmem::CACHE_LINE_WORDS,
+            sws_shmem::HeapLayout::Packed => 0,
+        };
+        self.sched.queue.buffer_words()
+            + self.sched.queue.capacity
+            + 1024
+            + align_slack
+            + self.extra_heap_words
     }
 }
 
@@ -153,6 +189,8 @@ pub fn try_run_workload_mode(
         gate: cfg.gate,
         capture_proto: cfg.capture_proto,
         explore: cfg.explore.clone(),
+        heap_layout: cfg.heap_layout,
+        oversub_yield: cfg.oversub_yield,
     };
     let mut sched = cfg.sched;
     if let Some(plan) = &cfg.faults {

@@ -744,6 +744,8 @@ pub fn run_service<W: ServiceWorkload>(
         gate: cfg.gate,
         capture_proto: cfg.capture_proto,
         explore: None,
+        heap_layout: cfg.heap_layout,
+        oversub_yield: cfg.oversub_yield,
     };
     let mut sched = cfg.sched;
     if let Some(plan) = &cfg.faults {
@@ -776,7 +778,7 @@ pub fn run_service<W: ServiceWorkload>(
         let td = make_td(ctx, sched.td);
         // Service control block (collective symmetric allocation; the
         // live words are PE 0's copy).
-        let ctrl = ctx.alloc_words(SVC_WORDS);
+        let ctrl = ctx.alloc_words_aligned(SVC_WORDS);
         ctx.barrier_all();
         let src = workload.arrival_source(ctx.my_pe(), ctx.n_pes());
         debug_assert_eq!(

@@ -109,7 +109,9 @@ const TD_IDLE: usize = 2;
 impl CounterTd {
     /// Collectively allocate the counter block.
     pub fn new(ctx: &ShmemCtx) -> CounterTd {
-        let base = ctx.alloc_words(3);
+        // Every PE hammers PE 0's counter block; keep it off the lines
+        // of whatever was allocated around it.
+        let base = ctx.alloc_words_aligned(3);
         ctx.barrier_all();
         CounterTd {
             base,
@@ -264,8 +266,10 @@ impl TokenRingTd {
     /// Collectively allocate the ring state; PE 0 launches the token on
     /// its first pump.
     pub fn new(ctx: &ShmemCtx) -> TokenRingTd {
-        let token = ctx.alloc_words(TOK_WORDS);
-        let term_flag = ctx.alloc_words(1);
+        // The circulating token and the broadcast flag are both remotely
+        // written; line-isolate them from each other and their neighbors.
+        let token = ctx.alloc_words_aligned(TOK_WORDS);
+        let term_flag = ctx.alloc_words_aligned(1);
         ctx.barrier_all();
         TokenRingTd {
             token,

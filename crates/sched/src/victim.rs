@@ -141,10 +141,18 @@ impl VictimSelector {
 
     /// Next non-excluded victim, or `None` once every peer is
     /// quarantined. Draws from the policy a few times (preserving its
-    /// distribution over the live set), then falls back to a scan from a
-    /// random start so a heavily-excluded world stays O(P).
+    /// distribution over the live set), then falls back to a uniform draw
+    /// over the live set so a heavily-excluded world stays O(P).
+    ///
+    /// The fallback must NOT scan forward from a random start: that
+    /// weights each live PE by the length of the excluded run preceding
+    /// it, so the first survivor after a quarantined block absorbs the
+    /// whole block's probability mass and gets hammered by every thief.
+    /// Instead draw a rank in `[0, live)` and take the rank-th live PE —
+    /// exactly uniform regardless of the exclusion pattern.
     pub fn next_live_victim(&mut self) -> Option<usize> {
-        if self.live_victims() == 0 {
+        let live = self.live_victims();
+        if live == 0 {
             return None;
         }
         for _ in 0..8 {
@@ -153,14 +161,17 @@ impl VictimSelector {
                 return Some(v);
             }
         }
-        let start = self.rng.below(self.n_pes as u64) as usize;
-        for i in 0..self.n_pes {
-            let v = (start + i) % self.n_pes;
-            if v != self.me && !self.excluded[v] {
+        let mut rank = self.rng.below(live as u64) as usize;
+        for (v, &out) in self.excluded.iter().enumerate() {
+            if v == self.me || out {
+                continue;
+            }
+            if rank == 0 {
                 return Some(v);
             }
+            rank -= 1;
         }
-        None
+        unreachable!("live_victims() = {live} but the live scan ran dry")
     }
 }
 
@@ -313,5 +324,73 @@ mod tests {
     #[should_panic(expected = "cannot exclude the local PE")]
     fn excluding_self_rejected() {
         VictimSelector::new(0, 1, 3).exclude(1);
+    }
+
+    /// Under heavy exclusion the policy draws almost always miss, so
+    /// nearly every return comes from the fallback path. The old
+    /// scan-from-a-random-start fallback gave each survivor probability
+    /// proportional to the excluded run preceding it — with survivors
+    /// {1, 30, 31} of 32 PEs, PE 30 sits behind a 28-PE dead zone and
+    /// absorbed ~29/32 of the mass (PE 31 got 1/32). The uniform-rank
+    /// fallback must treat all survivors equally.
+    #[test]
+    fn fallback_is_uniform_over_live_set_under_heavy_exclusion() {
+        let n = 32;
+        let survivors = [1usize, 30, 31];
+        let mut sel = VictimSelector::new(0xD157, 0, n);
+        for pe in 1..n {
+            if !survivors.contains(&pe) {
+                sel.exclude(pe);
+            }
+        }
+        assert_eq!(sel.live_victims(), survivors.len());
+        let trials = 9000;
+        let mut counts = vec![0u32; n];
+        for _ in 0..trials {
+            counts[sel.next_live_victim().unwrap()] += 1;
+        }
+        let expect = trials / survivors.len() as u32; // 3000 each
+        for &pe in &survivors {
+            let c = counts[pe];
+            assert!(
+                (expect * 7 / 10..=expect * 13 / 10).contains(&c),
+                "survivor {pe} drawn {c} times (expected ≈{expect}): {counts:?}"
+            );
+        }
+        for (pe, &c) in counts.iter().enumerate() {
+            if !survivors.contains(&pe) {
+                assert_eq!(c, 0, "excluded PE {pe} drawn");
+            }
+        }
+    }
+
+    /// Same check through the hierarchical policy: its fallback draws go
+    /// through the identical uniform-rank path.
+    #[test]
+    fn hierarchical_fallback_is_uniform_too() {
+        let policy = VictimPolicy::Hierarchical {
+            node_size: 4,
+            local_pct: 80,
+        };
+        let n = 16;
+        let survivors = [9usize, 10];
+        let mut sel = VictimSelector::with_policy(0xD158, 0, n, policy);
+        for pe in 1..n {
+            if !survivors.contains(&pe) {
+                sel.exclude(pe);
+            }
+        }
+        let trials = 6000;
+        let mut counts = vec![0u32; n];
+        for _ in 0..trials {
+            counts[sel.next_live_victim().unwrap()] += 1;
+        }
+        for &pe in &survivors {
+            let c = counts[pe];
+            assert!(
+                (2100..=3900).contains(&c),
+                "survivor {pe} drawn {c} of {trials}: {counts:?}"
+            );
+        }
     }
 }

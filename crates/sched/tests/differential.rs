@@ -12,13 +12,17 @@
 use sws_core::QueueConfig;
 use sws_sched::runner::run_workload_mode;
 use sws_sched::{run_workload, QueueKind, RunConfig, RunReport, SchedConfig};
-use sws_shmem::{ExecMode, GateMode};
+use sws_shmem::{ExecMode, GateMode, HeapLayout};
 use sws_workloads::uts::{UtsParams, UtsWorkload};
 
 fn report_for(kind: QueueKind, gate: GateMode, seed: u64) -> RunReport {
+    report_for_layout(kind, gate, seed, HeapLayout::default())
+}
+
+fn report_for_layout(kind: QueueKind, gate: GateMode, seed: u64, layout: HeapLayout) -> RunReport {
     let queue = QueueConfig::new(1024, 48);
     let sched = SchedConfig::new(kind, queue).with_seed(seed);
-    let cfg = RunConfig::new(8, sched).with_gate(gate);
+    let cfg = RunConfig::new(8, sched).with_gate(gate).with_heap_layout(layout);
     let wl = UtsWorkload::new(UtsParams::geo_small(8));
     run_workload(&cfg, &wl)
 }
@@ -78,6 +82,80 @@ fn engine_stats_reflect_the_selected_gate() {
         new.total_engine().gated_ops(),
         "both gates must see the same op stream"
     );
+}
+
+/// The aligned heap layout (the false-sharing fix) must be invisible in
+/// virtual time: op costs come from the network model keyed on op kind,
+/// byte count, and locality — never on addresses — and the aligned
+/// collective allocator issues the exact op sequence of the packed one.
+/// So a packed-layout run and an aligned-layout run of the same seed
+/// must produce identical reports, on both queue systems and under both
+/// gates. This is what lets the wall-clock fix land without touching a
+/// single golden figure.
+#[test]
+fn heap_layouts_agree_in_virtual_time() {
+    for kind in [QueueKind::Sws, QueueKind::Sdc] {
+        for gate in [GateMode::SafeWindow, GateMode::HandoffPerOp] {
+            let packed = report_for_layout(kind, gate, 0xBA5E, HeapLayout::Packed);
+            let aligned = report_for_layout(kind, gate, 0xBA5E, HeapLayout::Aligned);
+            assert_reports_identical(&packed, &aligned);
+            assert!(packed.total_tasks() > 0, "workload must actually run");
+        }
+    }
+}
+
+/// Same claim at the artifact level: the figure CSV a sweep renders must
+/// come out byte-identical across heap layouts (the wall-clock companion
+/// CSV is excluded by construction — it reports nondeterministic time).
+#[test]
+fn figure_csv_is_byte_identical_across_heap_layouts() {
+    let csv_for_layout = |layout: HeapLayout| -> String {
+        let mut rows = String::from("pes,system,makespan_ns,steals\n");
+        for kind in [QueueKind::Sdc, QueueKind::Sws] {
+            for pes in [4, 8] {
+                let queue = QueueConfig::new(1024, 48);
+                let sched = SchedConfig::new(kind, queue).with_seed(0xBA5E);
+                let cfg = RunConfig::new(pes, sched).with_heap_layout(layout);
+                let wl = UtsWorkload::new(UtsParams::geo_small(7));
+                let r = run_workload(&cfg, &wl);
+                rows.push_str(&format!(
+                    "{pes},{},{},{}\n",
+                    r.system,
+                    r.makespan_ns,
+                    r.total_steals()
+                ));
+            }
+        }
+        rows
+    };
+    assert_eq!(
+        csv_for_layout(HeapLayout::Packed),
+        csv_for_layout(HeapLayout::Aligned),
+        "heap layout leaked into a deterministic figure artifact"
+    );
+}
+
+/// Batched completion puts are a *timing* optimization, never a
+/// correctness one: turning them on must not lose or duplicate a single
+/// task, on either queue system. (Makespans may legitimately shift —
+/// the batch changes when completion ops are charged — so this pins
+/// conservation, not byte-identity.)
+#[test]
+fn completion_batching_preserves_conservation() {
+    for kind in [QueueKind::Sws, QueueKind::Sdc] {
+        let eager = report_for(kind, GateMode::SafeWindow, 0xBA5E);
+        let queue = QueueConfig::new(1024, 48).with_comp_batch(4);
+        let sched = SchedConfig::new(kind, queue).with_seed(0xBA5E);
+        let cfg = RunConfig::new(8, sched);
+        let wl = UtsWorkload::new(UtsParams::geo_small(8));
+        let batched = run_workload(&cfg, &wl);
+        assert_eq!(
+            batched.total_tasks(),
+            eager.total_tasks(),
+            "{kind:?}: batching lost or duplicated tasks"
+        );
+        assert!(batched.total_steals() > 0, "{kind:?}: no steals exercised");
+    }
 }
 
 /// Threaded mode ignores the gate entirely: the switch must not affect

@@ -115,6 +115,41 @@ impl ShmemCtx {
         }
         SymAddr::new(off as usize)
     }
+
+    /// As [`alloc_words`](Self::alloc_words), but the returned address
+    /// starts on a false-sharing isolation boundary
+    /// ([`crate::CACHE_LINE_WORDS`] words = 128 bytes) under the aligned
+    /// heap layout, so a contended word (a stealval, a lock) never shares
+    /// a line with the allocation before it. Under [`crate::HeapLayout::Packed`]
+    /// this is exactly `alloc_words` — same op sequence, same geometry.
+    pub fn alloc_words_aligned(&self, words: usize) -> SymAddr {
+        let off = self.with_collective(|| {
+            let slot = SymmetricHeap::ctrl(ctrl::BCAST);
+            self.barrier_all();
+            if self.my_pe() == 0 {
+                let off = match self
+                    .world()
+                    .heap
+                    .bump_aligned(words, crate::heap::CACHE_LINE_WORDS)
+                {
+                    Some(off) => off as u64,
+                    None => ALLOC_FAILED,
+                };
+                self.atomic_set(0, slot, off);
+            }
+            self.barrier_all();
+            let off = self.atomic_fetch(0, slot);
+            self.barrier_all();
+            off
+        });
+        if off == ALLOC_FAILED {
+            panic!(
+                "symmetric heap exhausted: requested {words} aligned words, {} available",
+                self.world().heap.words_free()
+            );
+        }
+        SymAddr::new(off as usize)
+    }
 }
 
 impl ShmemCtx {

@@ -128,6 +128,20 @@ impl ShmemCtx {
         }
     }
 
+    /// Hint that this PE is spinning without work (an empty steal search,
+    /// a capacity wait, a lock retry). In plain threaded mode on an
+    /// oversubscribed machine — more PEs than hardware threads — this
+    /// yields the timeslice so the thread actually holding the work (or
+    /// the lock) can run; everywhere else it is a no-op: virtual-time and
+    /// exploration gates own all scheduling, and an undersubscribed
+    /// machine loses nothing by spinning.
+    #[inline]
+    pub fn idle_hint(&self) {
+        if self.world.oversubscribed {
+            std::thread::yield_now();
+        }
+    }
+
     /// Snapshot of this PE's op counters.
     pub fn stats(&self) -> OpStats {
         self.stats.borrow().clone()

@@ -6,17 +6,119 @@
 //! `get`/`put` are per-word loads/stores, metadata operations are real RMW
 //! atomics. This keeps racing remote copies well-defined in Rust while
 //! matching the granularity the hardware provides.
+//!
+//! ## Cache-line layout
+//!
+//! The hot words the protocols fight over (the SWS stealval, completion
+//! arrays, the SDC meta block) are the whole point of the paper — so the
+//! heap must not manufacture *false* sharing on top of the true sharing
+//! the protocols intend. Under the default [`HeapLayout::Aligned`] the
+//! backing store is 128-byte aligned (two 64-byte lines: the common
+//! adjacent-line-prefetch granule), every PE region is padded to a
+//! 128-byte multiple so region boundaries never split a line, and
+//! [`SymmetricHeap::bump_aligned`] lets the collective allocator place
+//! contended words on private lines. [`HeapLayout::Packed`] preserves the
+//! historical word-granular packing; the differential suites run both to
+//! prove virtual-time results are byte-identical across layouts (op costs
+//! are address-independent by construction).
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use crate::addr::SymAddr;
 
+/// Placement policy for the symmetric heap backing store.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum HeapLayout {
+    /// 128-byte-aligned backing, PE regions padded to a line multiple,
+    /// and line-aligned collective allocation (`bump_aligned` honors its
+    /// alignment argument). The production default.
+    #[default]
+    Aligned,
+    /// Word-granular packing with no padding — the historical layout.
+    /// `bump_aligned` degrades to a plain bump so allocation geometry is
+    /// bit-compatible with pre-alignment builds; kept for differential
+    /// determinism testing and memory-tight configurations.
+    Packed,
+}
+
+/// Words per false-sharing isolation unit: 128 bytes = 16 words. Two
+/// 64-byte lines, because adjacent-line hardware prefetchers pull line
+/// pairs and write-invalidate both.
+pub const CACHE_LINE_WORDS: usize = 16;
+
+/// The isolation unit in bytes (backing-store alignment under
+/// [`HeapLayout::Aligned`]).
+pub const CACHE_LINE_BYTES: usize = CACHE_LINE_WORDS * 8;
+
+/// A heap backing store with explicit alignment: `len` zero-initialized
+/// `AtomicU64`s whose base address is `align`-byte aligned. `Box<[T]>`
+/// cannot carry over-alignment, so this owns the raw allocation and
+/// frees it with the matching layout.
+struct AlignedWords {
+    ptr: std::ptr::NonNull<AtomicU64>,
+    len: usize,
+    layout: std::alloc::Layout,
+}
+
+// SAFETY: the backing store is a plain slice of atomics — `&[AtomicU64]`
+// is Send + Sync, and AlignedWords adds only the owning pointer.
+unsafe impl Send for AlignedWords {}
+// SAFETY: as above — shared access goes through &[AtomicU64].
+unsafe impl Sync for AlignedWords {}
+
+impl AlignedWords {
+    /// Allocate `len` zeroed words at `align`-byte alignment. Like the
+    /// previous `vec![0u64; N]` backing, this goes through
+    /// `alloc_zeroed`, so a multi-gigabyte heap (thousands of PEs) is
+    /// backed by untouched kernel zero pages and costs nothing until a
+    /// word is actually used; writing `AtomicU64::new(0)` per element
+    /// would first-touch every page up front.
+    fn new_zeroed(len: usize, align: usize) -> AlignedWords {
+        use std::alloc::{alloc_zeroed, handle_alloc_error, Layout};
+        assert!(len > 0, "empty heap backing");
+        assert!(align.is_power_of_two() && align >= std::mem::align_of::<AtomicU64>());
+        let bytes = len
+            .checked_mul(std::mem::size_of::<AtomicU64>())
+            .expect("heap size overflows usize");
+        let layout = Layout::from_size_align(bytes, align).expect("bad heap layout");
+        // SAFETY: `layout` has nonzero size (len > 0 asserted above).
+        let raw = unsafe { alloc_zeroed(layout) };
+        if raw.is_null() {
+            handle_alloc_error(layout);
+        }
+        // SAFETY: null was handled above; the zeroed allocation is a valid
+        // bit pattern for `len` `AtomicU64`s (same layout as u64, and
+        // all-zero is a valid u64).
+        let ptr = unsafe { std::ptr::NonNull::new_unchecked(raw.cast::<AtomicU64>()) };
+        AlignedWords { ptr, len, layout }
+    }
+}
+
+impl std::ops::Deref for AlignedWords {
+    type Target = [AtomicU64];
+    #[inline]
+    fn deref(&self) -> &[AtomicU64] {
+        // SAFETY: `ptr` is valid for `len` initialized AtomicU64s for the
+        // lifetime of `self` (allocated in `new_zeroed`, freed in `drop`).
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl Drop for AlignedWords {
+    fn drop(&mut self) {
+        // SAFETY: `ptr` came from `alloc_zeroed` with exactly this layout
+        // and has not been freed elsewhere.
+        unsafe { std::alloc::dealloc(self.ptr.as_ptr().cast(), self.layout) };
+    }
+}
+
 /// The symmetric heap shared by all PEs of a world.
 pub struct SymmetricHeap {
     words_per_pe: usize,
     n_pes: usize,
+    layout: HeapLayout,
     /// `n_pes * words_per_pe` words, PE-major.
-    words: Box<[AtomicU64]>,
+    words: AlignedWords,
     /// Collective bump-allocation cursor (word index), shared by all PEs.
     cursor: AtomicUsize,
 }
@@ -36,30 +138,30 @@ pub(crate) mod ctrl {
 
 impl SymmetricHeap {
     /// Create a heap with `words_per_pe` words for each of `n_pes` regions.
-    pub(crate) fn new(n_pes: usize, words_per_pe: usize) -> SymmetricHeap {
+    /// Under [`HeapLayout::Aligned`] the per-PE size is rounded up to a
+    /// [`CACHE_LINE_WORDS`] multiple so every region starts on a 128-byte
+    /// boundary of the (128-byte-aligned) backing store.
+    pub(crate) fn new(n_pes: usize, words_per_pe: usize, layout: HeapLayout) -> SymmetricHeap {
         assert!(n_pes > 0, "need at least one PE");
         assert!(
             words_per_pe > CTRL_WORDS,
             "heap must be larger than the control block ({CTRL_WORDS} words)"
         );
+        let words_per_pe = match layout {
+            HeapLayout::Packed => words_per_pe,
+            HeapLayout::Aligned => words_per_pe
+                .div_ceil(CACHE_LINE_WORDS)
+                .checked_mul(CACHE_LINE_WORDS)
+                .expect("heap size overflows usize"),
+        };
         let total = n_pes
             .checked_mul(words_per_pe)
             .expect("heap size overflows usize");
-        // Allocate as plain zeroed u64s: `vec![0u64; N]` goes through
-        // `alloc_zeroed`, so a multi-gigabyte heap (thousands of PEs) is
-        // backed by untouched kernel zero pages and costs nothing until a
-        // word is actually used. Writing `AtomicU64::new(0)` per element
-        // instead would first-touch every page up front — seconds of
-        // fault time at paper-scale PE counts.
-        let zeroed: Box<[u64]> = vec![0u64; total].into_boxed_slice();
-        // SAFETY: `AtomicU64` is guaranteed by std to have the same size,
-        // alignment, and bit validity as `u64`; the allocation is uniquely
-        // owned, so reinterpreting the boxed slice is sound.
-        let words: Box<[AtomicU64]> =
-            unsafe { Box::from_raw(Box::into_raw(zeroed) as *mut [AtomicU64]) };
+        let words = AlignedWords::new_zeroed(total, CACHE_LINE_BYTES);
         SymmetricHeap {
             words_per_pe,
             n_pes,
+            layout,
             words,
             cursor: AtomicUsize::new(CTRL_WORDS),
         }
@@ -71,10 +173,16 @@ impl SymmetricHeap {
         self.n_pes
     }
 
-    /// Words per PE region.
+    /// Words per PE region (after any alignment rounding).
     #[inline]
     pub fn words_per_pe(&self) -> usize {
         self.words_per_pe
+    }
+
+    /// The placement policy this heap was built with.
+    #[inline]
+    pub fn layout(&self) -> HeapLayout {
+        self.layout
     }
 
     /// Words still available to the collective allocator.
@@ -121,6 +229,37 @@ impl SymmetricHeap {
         }
     }
 
+    /// As [`bump`](Self::bump), but the returned offset is a multiple of
+    /// `align_words` (a power of two ≤ [`CACHE_LINE_WORDS`]); the skipped
+    /// words are wasted. Because regions start on 128-byte boundaries
+    /// under [`HeapLayout::Aligned`], a line-multiple offset is a
+    /// line-aligned address in **every** PE's region. Under
+    /// [`HeapLayout::Packed`] this is a plain bump — allocation geometry
+    /// stays bit-compatible with pre-alignment builds.
+    pub(crate) fn bump_aligned(&self, words: usize, align_words: usize) -> Option<usize> {
+        debug_assert!(align_words.is_power_of_two() && align_words <= CACHE_LINE_WORDS);
+        if self.layout == HeapLayout::Packed {
+            return self.bump(words);
+        }
+        let mut cur = self.cursor.load(Ordering::Relaxed);
+        loop {
+            let start = cur.checked_add(align_words - 1)? & !(align_words - 1);
+            let next = start.checked_add(words)?;
+            if next > self.words_per_pe {
+                return None;
+            }
+            match self.cursor.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(start),
+                Err(c) => cur = c,
+            }
+        }
+    }
+
     /// Address of a control slot (same on every PE).
     #[inline]
     pub(crate) fn ctrl(slot: usize) -> SymAddr {
@@ -136,18 +275,20 @@ mod tests {
 
     #[test]
     fn regions_are_independent() {
-        let h = SymmetricHeap::new(3, 64);
-        let a = SymAddr::new(CTRL_WORDS);
-        h.word(0, a).store(7, Relaxed);
-        h.word(1, a).store(8, Relaxed);
-        assert_eq!(h.word(0, a).load(Relaxed), 7);
-        assert_eq!(h.word(1, a).load(Relaxed), 8);
-        assert_eq!(h.word(2, a).load(Relaxed), 0);
+        for layout in [HeapLayout::Packed, HeapLayout::Aligned] {
+            let h = SymmetricHeap::new(3, 64, layout);
+            let a = SymAddr::new(CTRL_WORDS);
+            h.word(0, a).store(7, Relaxed);
+            h.word(1, a).store(8, Relaxed);
+            assert_eq!(h.word(0, a).load(Relaxed), 7);
+            assert_eq!(h.word(1, a).load(Relaxed), 8);
+            assert_eq!(h.word(2, a).load(Relaxed), 0);
+        }
     }
 
     #[test]
     fn bump_allocates_disjoint_ranges() {
-        let h = SymmetricHeap::new(1, 64);
+        let h = SymmetricHeap::new(1, 64, HeapLayout::Packed);
         let a = h.bump(10).unwrap();
         let b = h.bump(10).unwrap();
         assert_eq!(b, a + 10);
@@ -156,7 +297,7 @@ mod tests {
 
     #[test]
     fn bump_fails_cleanly_when_exhausted() {
-        let h = SymmetricHeap::new(1, 64);
+        let h = SymmetricHeap::new(1, 64, HeapLayout::Packed);
         assert!(h.bump(1000).is_none());
         // A failed bump must not consume space.
         let before = h.words_free();
@@ -169,16 +310,71 @@ mod tests {
     #[test]
     #[should_panic(expected = "larger than the control block")]
     fn tiny_heap_rejected() {
-        let _ = SymmetricHeap::new(1, 4);
+        let _ = SymmetricHeap::new(1, 4, HeapLayout::default());
     }
 
     #[test]
     fn zeroed_at_start() {
-        let h = SymmetricHeap::new(2, 32);
+        let h = SymmetricHeap::new(2, 32, HeapLayout::Aligned);
         for pe in 0..2 {
-            for w in 0..32 {
+            for w in 0..h.words_per_pe() {
                 assert_eq!(h.word(pe, SymAddr::new(w)).load(Relaxed), 0);
             }
         }
+    }
+
+    /// The false-sharing regression test for the region boundary: every
+    /// PE region must start on a 128-byte boundary under the aligned
+    /// layout, so PE k's last line is never PE k+1's first line.
+    #[test]
+    fn aligned_regions_start_on_line_boundaries() {
+        // 100 words is deliberately not a line multiple — it must round
+        // up to 112 (7 × 16).
+        let h = SymmetricHeap::new(5, 100, HeapLayout::Aligned);
+        assert_eq!(h.words_per_pe() % CACHE_LINE_WORDS, 0);
+        assert_eq!(h.words_per_pe(), 112);
+        for pe in 0..5 {
+            let base = h.word(pe, SymAddr::new(0)) as *const AtomicU64 as usize;
+            assert_eq!(
+                base % CACHE_LINE_BYTES,
+                0,
+                "PE {pe} region not 128-byte aligned"
+            );
+        }
+    }
+
+    /// Packed mode keeps the historical geometry exactly: no rounding, no
+    /// alignment skips, `bump_aligned` ≡ `bump`.
+    #[test]
+    fn packed_layout_is_bit_compatible() {
+        let h = SymmetricHeap::new(2, 100, HeapLayout::Packed);
+        assert_eq!(h.words_per_pe(), 100);
+        assert_eq!(h.bump_aligned(3, CACHE_LINE_WORDS), Some(CTRL_WORDS));
+        assert_eq!(h.bump_aligned(1, CACHE_LINE_WORDS), Some(CTRL_WORDS + 3));
+    }
+
+    #[test]
+    fn bump_aligned_isolates_lines() {
+        let h = SymmetricHeap::new(1, 256, HeapLayout::Aligned);
+        // Cursor starts at CTRL_WORDS = 8: the first aligned alloc skips
+        // to the next line boundary.
+        let a = h.bump_aligned(1, CACHE_LINE_WORDS).unwrap();
+        assert_eq!(a, CACHE_LINE_WORDS);
+        // A second aligned alloc lands on a fresh line, not a's line.
+        let b = h.bump_aligned(5, CACHE_LINE_WORDS).unwrap();
+        assert_eq!(b, 2 * CACHE_LINE_WORDS);
+        assert!(b / CACHE_LINE_WORDS > a / CACHE_LINE_WORDS);
+        // Plain bumps continue from the cursor as before.
+        let c = h.bump(2).unwrap();
+        assert_eq!(c, b + 5);
+    }
+
+    #[test]
+    fn bump_aligned_fails_cleanly_when_exhausted() {
+        let h = SymmetricHeap::new(1, 64, HeapLayout::Aligned);
+        assert!(h.bump_aligned(1000, CACHE_LINE_WORDS).is_none());
+        let before = h.words_free();
+        assert!(h.bump_aligned(usize::MAX, CACHE_LINE_WORDS).is_none());
+        assert_eq!(h.words_free(), before);
     }
 }

@@ -67,7 +67,7 @@ pub use explore::{Decision, ExploreConfig, ExploreGate, ExploreTrace, OpDesc};
 pub use ctx::ShmemCtx;
 pub use error::{OpError, OpResult, ShmemError, ShmemResult};
 pub use fault::{FaultPlan, OpClass, RetryPolicy, TargetSel};
-pub use heap::SymmetricHeap;
+pub use heap::{HeapLayout, SymmetricHeap, CACHE_LINE_BYTES, CACHE_LINE_WORDS};
 pub use net::{Locality, NetModel, OpKind, ALL_OP_KINDS, OP_KIND_COUNT};
 pub use onesided::OneSided;
 pub use proto::{ProtoEvent, ProtoOp, NO_SITE};

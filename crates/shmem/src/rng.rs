@@ -47,14 +47,17 @@ impl SplitMix64 {
         z ^ (z >> 31)
     }
 
-    /// Uniform value in `[0, n)`. `n` must be nonzero.
+    /// Uniform value in `[0, n)`. Panics when `n == 0` — "uniform over
+    /// nothing" has no honest answer, and the old debug-only guard let
+    /// release builds silently return 0, turning caller bugs (an empty
+    /// victim set, a zero-width range) into biased draws.
     ///
     /// Uses the widening-multiply reduction (Lemire); the modulo bias is
     /// below 2⁻⁴⁰ for every `n` the runtime uses, which is irrelevant for
     /// victim selection and fault sampling.
     #[inline]
     pub fn below(&mut self, n: u64) -> u64 {
-        debug_assert!(n > 0);
+        assert!(n > 0, "SplitMix64::below(0): empty range");
         ((self.next_u64() as u128 * n as u128) >> 64) as u64
     }
 
@@ -124,6 +127,15 @@ mod tests {
             seen[v] = true;
         }
         assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn below_zero_panics_in_all_build_profiles() {
+        // The contract is hard (assert!, not debug_assert!): release
+        // builds must panic too, never silently return 0.
+        let mut r = SplitMix64::new(1);
+        let _ = r.below(0);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::ctx::ShmemCtx;
 use crate::error::{ShmemError, ShmemResult};
 use crate::explore::ExploreGate;
 use crate::fault::FaultPlan;
-use crate::heap::SymmetricHeap;
+use crate::heap::{HeapLayout, SymmetricHeap};
 use crate::lock::{Condvar, Mutex};
 use crate::net::NetModel;
 use crate::stats::{OpStats, StatsSummary};
@@ -42,6 +42,13 @@ pub struct WorldConfig {
     pub n_pes: usize,
     /// Symmetric heap size per PE, in 64-bit words.
     pub heap_words: usize,
+    /// Placement policy for the heap backing store. The aligned default
+    /// pads PE regions to 128-byte boundaries and honors line-aligned
+    /// collective allocation; `Packed` preserves the historical
+    /// word-granular geometry (differential testing, tight memory).
+    /// Virtual-time results are byte-identical across layouts because op
+    /// costs never depend on addresses.
+    pub heap_layout: HeapLayout,
     /// Network cost model.
     pub net: NetModel,
     /// Execution mode.
@@ -62,6 +69,12 @@ pub struct WorldConfig {
     /// effect behind an explicit schedule. Requires threaded mode (the
     /// gate replaces the virtual-time engine as the serialization point).
     pub explore: Option<Arc<ExploreGate>>,
+    /// Let [`ShmemCtx::idle_hint`](crate::ShmemCtx::idle_hint) yield the
+    /// OS thread when a threaded world runs more PEs than hardware
+    /// threads (on by default). Exists as a switch so the wall-clock
+    /// bench can measure the pre-fix spin behavior; virtual-time and
+    /// exploration runs never yield regardless.
+    pub oversub_yield: bool,
 }
 
 impl WorldConfig {
@@ -70,12 +83,14 @@ impl WorldConfig {
         WorldConfig {
             n_pes,
             heap_words,
+            heap_layout: HeapLayout::default(),
             net: NetModel::edr_infiniband(),
             mode: ExecMode::Virtual,
             faults: None,
             gate: GateMode::default(),
             capture_proto: false,
             explore: None,
+            oversub_yield: true,
         }
     }
 
@@ -84,6 +99,7 @@ impl WorldConfig {
         WorldConfig {
             n_pes,
             heap_words,
+            heap_layout: HeapLayout::default(),
             net: NetModel::zero(),
             mode: ExecMode::Threaded {
                 inject_latency: false,
@@ -92,6 +108,7 @@ impl WorldConfig {
             gate: GateMode::default(),
             capture_proto: false,
             explore: None,
+            oversub_yield: true,
         }
     }
 
@@ -101,6 +118,13 @@ impl WorldConfig {
         let mut cfg = WorldConfig::threaded(n_pes, heap_words);
         cfg.explore = Some(gate);
         cfg
+    }
+
+    /// Select the heap placement policy.
+    #[must_use]
+    pub fn with_heap_layout(mut self, layout: HeapLayout) -> WorldConfig {
+        self.heap_layout = layout;
+        self
     }
 
     /// Replace the network model.
@@ -137,6 +161,13 @@ impl WorldConfig {
         self.explore = Some(gate);
         self
     }
+
+    /// Enable or disable the oversubscription yield hint.
+    #[must_use]
+    pub fn with_oversub_yield(mut self, on: bool) -> WorldConfig {
+        self.oversub_yield = on;
+        self
+    }
 }
 
 /// State shared by every PE of a world.
@@ -155,6 +186,11 @@ pub(crate) struct WorldShared {
     pub(crate) capture_proto: bool,
     /// Exploration gate serializing every gated effect, if attached.
     pub(crate) explore: Option<Arc<ExploreGate>>,
+    /// Plain threaded mode with more PEs than hardware threads: spin
+    /// loops should yield the timeslice ([`ShmemCtx::idle_hint`]) instead
+    /// of burning a core another PE could use. Never set in virtual-time
+    /// or exploration mode (their gates own all scheduling).
+    pub(crate) oversubscribed: bool,
 }
 
 /// Everything a finished world produced.
@@ -224,8 +260,15 @@ where
             inject_latency: true
         }
     );
+    let hw_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let oversubscribed = cfg.oversub_yield
+        && matches!(cfg.mode, ExecMode::Threaded { .. })
+        && explore.is_none()
+        && cfg.n_pes > hw_threads;
     let world = Arc::new(WorldShared {
-        heap: SymmetricHeap::new(cfg.n_pes, cfg.heap_words),
+        heap: SymmetricHeap::new(cfg.n_pes, cfg.heap_words, cfg.heap_layout),
         net: cfg.net,
         vclock: vclock.clone(),
         thread_barrier: ThreadBarrier::new(cfg.n_pes),
@@ -234,6 +277,7 @@ where
         down: (0..cfg.n_pes).map(|_| AtomicBool::new(false)).collect(),
         capture_proto: cfg.capture_proto,
         explore: explore.clone(),
+        oversubscribed,
     });
 
     let start = Instant::now();
@@ -768,6 +812,8 @@ mod latency_injection_tests {
             let cfg = WorldConfig {
                 n_pes: 1,
                 heap_words: 256,
+                heap_layout: HeapLayout::default(),
+                oversub_yield: true,
                 net,
                 mode: ExecMode::Threaded {
                     inject_latency: inject,

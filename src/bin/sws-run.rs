@@ -28,6 +28,10 @@
 //!   --assert-comms   stitch steal spans and assert the paper's
 //!                    per-steal budget (SWS 3 ops / 2 blocking,
 //!                    SDC 6 / 5); exit 1 on any violation
+//!   --assert-steal-bound  assert the rooted-tree steal bound
+//!                    (Σ steals won ≤ Σ budget accrued by the
+//!                    advertisements/releases); exit 1 on violation.
+//!                    Needs no capture: it reads the queue counters
 //!   --metrics        print the merged metrics registry (text
 //!                    exposition, or a JSON snapshot with --json)
 //!   --trace-out F    write a Chrome-trace / Perfetto JSON file with
@@ -66,7 +70,8 @@
 //! ```
 
 use sws::obs::{
-    check_comms, chrome_trace, report_to_json, stitch_report, Registry, StealSpan, TraceRun,
+    check_comms, check_steal_bound, chrome_trace, report_to_json, steal_bound_to_json,
+    stitch_report, Registry, StealSpan, TraceRun,
 };
 use sws::prelude::*;
 use sws::sched::trace::{
@@ -95,6 +100,7 @@ struct Args {
     histogram: bool,
     json: bool,
     assert_comms: bool,
+    assert_steal_bound: bool,
     metrics: bool,
     trace_out: Option<String>,
     drop_prob: f64,
@@ -136,7 +142,7 @@ fn usage() -> ! {
     eprintln!("       sws-run --conform");
     eprintln!("               [--depth N] [--consumers N] [--tasks N] [--task-ns N]");
     eprintln!("               [--nodes N] [--gate safe|handoff] [--engine] [--timeline] [--json]");
-    eprintln!("               [--assert-comms] [--metrics] [--trace-out FILE]");
+    eprintln!("               [--assert-comms] [--assert-steal-bound] [--metrics] [--trace-out FILE]");
     eprintln!("               [--drop-prob P] [--stall PE:FROM:DUR] [--crash PE:AT]");
     eprintln!("               [--serve] [--arrivals poisson|bursty|diurnal] [--mean-gap N]");
     eprintln!("               [--burst N] [--period N] [--amplitude P] [--horizon N]");
@@ -182,6 +188,7 @@ fn parse_args() -> Args {
         histogram: false,
         json: false,
         assert_comms: false,
+        assert_steal_bound: false,
         metrics: false,
         trace_out: None,
         drop_prob: 0.0,
@@ -245,6 +252,7 @@ fn parse_args() -> Args {
             "--histogram" => args.histogram = true,
             "--json" => args.json = true,
             "--assert-comms" => args.assert_comms = true,
+            "--assert-steal-bound" => args.assert_steal_bound = true,
             "--metrics" => args.metrics = true,
             "--trace-out" => args.trace_out = Some(val("--trace-out")),
             "--drop-prob" => {
@@ -485,6 +493,7 @@ fn main() {
     let mut reports = Vec::new();
     let mut spans: Vec<Vec<StealSpan>> = Vec::new();
     let mut comms_ok = true;
+    let mut bound_ok = true;
     let mut slo_ok = true;
     for kind in kinds {
         let report = run_one(&args, kind);
@@ -525,6 +534,11 @@ fn main() {
                 let comm = check_comms(&report_spans, args.faults_active());
                 comms_ok &= comm.ok();
                 println!("{}", sws::obs::comm_report_to_json(&comm));
+            }
+            if args.assert_steal_bound {
+                let bound = check_steal_bound(&report);
+                bound_ok &= bound.ok();
+                println!("{}", steal_bound_to_json(&bound));
             }
             if args.metrics {
                 println!(
@@ -576,6 +590,11 @@ fn main() {
                 comms_ok &= comm.ok();
                 print!("{}", comm.render());
             }
+            if args.assert_steal_bound {
+                let bound = check_steal_bound(&report);
+                bound_ok &= bound.ok();
+                print!("{}", bound.render());
+            }
             if args.metrics {
                 print!(
                     "{}",
@@ -615,6 +634,10 @@ fn main() {
     }
     if !comms_ok {
         eprintln!("--assert-comms: per-steal budget violated (see report above)");
+        std::process::exit(1);
+    }
+    if !bound_ok {
+        eprintln!("--assert-steal-bound: rooted-tree steal bound violated (see report above)");
         std::process::exit(1);
     }
     if !slo_ok {

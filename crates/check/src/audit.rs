@@ -17,10 +17,11 @@
 //! tells reviewers which edges the protocol's correctness actually rests
 //! on.
 
-use sws_core::{AtomicSite, MemOrder};
+use sws_core::{AtomicSite, MemOrder, Necessity};
 
 use crate::explore::{explore, Config, Failure};
 use crate::mem::OrdTable;
+use crate::necessity::EvidenceRecord;
 use crate::{all_scenarios, World};
 
 /// Result of exploring the audit scenarios under one weakened table.
@@ -70,7 +71,11 @@ impl AuditRow {
     }
 }
 
-fn run_table(ords: &OrdTable, protocol: &str, cfg: &Config) -> Result<RunOutcome, Failure> {
+pub(crate) fn run_table(
+    ords: &OrdTable,
+    protocol: &str,
+    cfg: &Config,
+) -> Result<RunOutcome, Failure> {
     for w in all_scenarios(ords, true) {
         if !w.name().starts_with(protocol) {
             continue;
@@ -142,8 +147,31 @@ pub const BEGIN_MARK: &str = "<!-- BEGIN GENERATED by sws-check -->";
 /// Marker closing the generated block.
 pub const END_MARK: &str = "<!-- END GENERATED -->";
 
-/// Render the complete `ORDERINGS.md` contents for the audit rows.
-pub fn render(rows: &[AuditRow]) -> String {
+/// The live-necessity cell for one site: its committed evidence records
+/// (`crates/check/schedules/`), one clause per weakening.
+fn necessity_cell(site: AtomicSite, evidence: &[EvidenceRecord]) -> String {
+    let mut clauses: Vec<String> = Vec::new();
+    for rec in evidence.iter().filter(|r| r.site == site) {
+        let clause = match &rec.live {
+            Necessity::Broken { kind, .. } => {
+                format!("{}: **{kind}**", rec.weakening.label())
+            }
+            Necessity::ExhaustedAtBound { .. } => {
+                format!("{}: exhausted", rec.weakening.label())
+            }
+        };
+        clauses.push(clause);
+    }
+    if clauses.is_empty() {
+        "—".into()
+    } else {
+        clauses.join("; ")
+    }
+}
+
+/// Render the complete `ORDERINGS.md` contents for the audit rows plus
+/// the live-oracle necessity evidence.
+pub fn render(rows: &[AuditRow], evidence: &[EvidenceRecord]) -> String {
     let mut s = String::new();
     s.push_str(
         "# Memory-ordering audit\n\
@@ -159,6 +187,18 @@ pub fn render(rows: &[AuditRow]) -> String {
          regardless. See `DESIGN.md` §7 for the invariant catalog behind the\n\
          verdicts and `crates/check` for the machinery.\n\
          \n\
+         The **Live necessity** column is the second oracle: the necessity\n\
+         prover (`sws-check necessity`) replays the same weakenings against\n\
+         the *production* queues under the exploration scheduler, with a\n\
+         vector-clock happens-before tracker checking every gated access\n\
+         (`sws_shmem::overrides`). A **bold** clause names the violation a\n\
+         committed, ddmin-shrunk schedule under `crates/check/schedules/`\n\
+         deterministically reproduces; `exhausted` means the bounded live\n\
+         search found nothing and `schedules/EXHAUSTED.tsv` records the\n\
+         bounds backing the claim. Mutants the model breaks but the live\n\
+         oracle exhausts are expected — the abstract scenarios reach deeper\n\
+         reorderings than the preemption-bounded live budget.\n\
+         \n\
          The **Class** column is the site's dependence class\n\
          ([`DepClass`](crates/core/src/ordering.rs)): the family of protocol\n\
          words the site touches. The exploration scheduler\n\
@@ -168,19 +208,20 @@ pub fn render(rows: &[AuditRow]) -> String {
          addresses and commute.\n\
          \n\
          Regenerate with: `SWS_CHECK_BLESS=1 cargo test -p sws-check --test\n\
-         ordering_audit`.\n\
+         ordering_audit` (table) and `sws-check necessity --bless`\n\
+         (evidence).\n\
          \n",
     );
     s.push_str(BEGIN_MARK);
     s.push('\n');
     s.push_str(
-        "\n| Site | Location | Class | Production | → Relaxed | → Acquire | → Release | Load-bearing |\n\
-         |---|---|---|---|---|---|---|---|\n",
+        "\n| Site | Location | Class | Production | → Relaxed | → Acquire | → Release | Load-bearing | Live necessity |\n\
+         |---|---|---|---|---|---|---|---|---|\n",
     );
     for r in rows {
         let opt = |o: &Option<RunOutcome>| o.as_ref().map_or("—".into(), |o| o.cell());
         s.push_str(&format!(
-            "| `{}` | `{}` | {} | {} | {} | {} | {} | {} |\n",
+            "| `{}` | `{}` | {} | {} | {} | {} | {} | {} | {} |\n",
             r.site.name(),
             r.site.location(),
             r.site.dep_class().name(),
@@ -189,6 +230,7 @@ pub fn render(rows: &[AuditRow]) -> String {
             opt(&r.acquire),
             opt(&r.release),
             if r.load_bearing() { "**yes**" } else { "no" },
+            necessity_cell(r.site, evidence),
         ));
     }
     let bearing = rows.iter().filter(|r| r.load_bearing()).count();
@@ -220,7 +262,11 @@ pub fn render(rows: &[AuditRow]) -> String {
            construction: the attempted-steals counter is monotonic per\n\
            advertisement, so a stale read only under-reports and the\n\
            release/reclaim logic retries — the paper's design makes the\n\
-           ordering on that read structurally unnecessary.\n",
+           ordering on that read structurally unnecessary. Both oracles\n\
+           exhausted their bounds on the acquire→relaxed mutant, so\n\
+           production now issues that load `Relaxed` (the table's\n\
+           `Relaxed` production entry *is* the applied relaxation; see\n\
+           `DESIGN.md` §13).\n",
     );
     s
 }

@@ -14,6 +14,13 @@
 //! seeded protocol mutation must be found, shrunk, and deterministically
 //! replayed. `--deep` raises the budget (nightly sweep); `--replay FILE`
 //! re-executes a saved counterexample schedule.
+//!
+//! `sws-check necessity` verifies the ordering-necessity evidence
+//! committed under `crates/check/schedules/` (`sws_check::necessity`):
+//! every witness schedule must replay to its recorded violation, every
+//! exhausted-at-bound mutant is re-explored, and the model oracle runs
+//! for the whole mutant space. `--deep` uses the nightly budgets;
+//! `--bless` re-runs the campaign and rewrites the evidence directory.
 
 use std::process::ExitCode;
 
@@ -22,6 +29,7 @@ use sws_shmem::HeapLayout;
 use sws_check::live::{
     corpus, explore_scenario, mutant_scenario, replay_schedule, write_schedule, ExplorerConfig,
 };
+use sws_check::necessity;
 
 fn conform_cmd() -> ExitCode {
     println!("sws-check conform: replaying the production matrix");
@@ -168,6 +176,32 @@ fn replay_cmd(path: &str) -> ExitCode {
     }
 }
 
+fn necessity_cmd(bounds: &necessity::Bounds, bless: bool) -> ExitCode {
+    let dir = necessity::schedules_dir();
+    println!(
+        "sws-check necessity: {} evidence {} ({})",
+        if bless { "re-blessing" } else { "verifying" },
+        dir.display(),
+        bounds.label,
+    );
+    let result = if bless {
+        necessity::bless(bounds, &dir)
+    } else {
+        necessity::verify(bounds, &dir)
+    };
+    match result {
+        Ok(report) => {
+            print!("{}", necessity::render_report(&report));
+            println!("sws-check necessity: evidence complete and current");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("sws-check necessity: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -187,14 +221,38 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("necessity") => {
+            let deep = args.iter().any(|a| a == "--deep");
+            let bless = args.iter().any(|a| a == "--bless");
+            // `--quick` is the default; accepted so CI configs can be
+            // explicit about which budget they run.
+            if let Some(bad) = args[1..]
+                .iter()
+                .find(|a| *a != "--deep" && *a != "--bless" && *a != "--quick")
+            {
+                eprintln!("sws-check necessity: unknown flag `{bad}`");
+                return ExitCode::FAILURE;
+            }
+            let bounds = if deep {
+                necessity::Bounds::deep()
+            } else {
+                necessity::Bounds::quick()
+            };
+            necessity_cmd(&bounds, bless)
+        }
         _ => {
-            eprintln!("usage: sws-check <conform | explore [--deep | --replay FILE]>");
+            eprintln!("usage: sws-check <conform | explore [--deep | --replay FILE] | necessity [--deep] [--bless]>");
             eprintln!("  conform   replay captured production traces through the");
             eprintln!("            abstract protocol machines (refinement check)");
             eprintln!("  explore   systematic interleaving exploration of the live");
             eprintln!("            queues (preemption-bounded, DPOR-pruned), plus a");
             eprintln!("            seeded-mutation self-test; --deep raises the");
             eprintln!("            budget, --replay re-runs a saved schedule");
+            eprintln!("  necessity verify the committed ordering-necessity evidence");
+            eprintln!("            (replay witnesses, re-explore survivors, run the");
+            eprintln!("            model oracle); --deep uses nightly budgets,");
+            eprintln!("            --bless re-runs the campaign and rewrites");
+            eprintln!("            crates/check/schedules/");
             ExitCode::FAILURE
         }
     }

@@ -60,6 +60,7 @@ pub mod explore;
 pub mod lint;
 pub mod live;
 pub mod mem;
+pub mod necessity;
 pub mod sdc;
 pub mod shrink;
 pub mod sws;

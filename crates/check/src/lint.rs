@@ -57,6 +57,14 @@
 //!     drift from the code they describe — the audit table is only as
 //!     trustworthy as these cross-references. Ratcheted via
 //!     `lint.allow`.
+//! 12. `relaxed-needs-justification` — every `Ordering::Relaxed` in
+//!     production code (outside the file's `#[cfg(test)]` tail) must
+//!     sit within two lines of a `// ordering:` or `// relaxed:`
+//!     comment saying why no synchronization is needed there. The
+//!     necessity prover (`sws-check necessity`) is what earns new
+//!     relaxations; this rule makes sure each one carries its
+//!     justification at the call site. Pre-existing hits are ratcheted
+//!     via `lint.allow`.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -356,6 +364,10 @@ const RMW_TOKENS: &[&str] = &["atomic_fetch_add(", "atomic_swap(", "atomic_compa
 const ACQREL_OPS: &[&str] = &["atomic_fetch_add(", "atomic_swap(", "atomic_compare_swap("];
 const ACQUIRE_OPS: &[&str] = &[
     "atomic_fetch(",
+    // The acquire half is selected from the site catalog
+    // (`site.production().acquires()`), so the call witnesses exactly
+    // the production ordering — which satisfies itself by definition.
+    "atomic_fetch_ordered(",
     "get_words(",
     "get_word(",
     "steal_copy(",
@@ -373,14 +385,21 @@ const RELEASE_OPS: &[&str] = &[
 /// Does op evidence `(acquire, release, acqrel)` found near an
 /// annotation satisfy the site's production ordering? Stronger is fine
 /// (a CAS where the catalog says `Acquire`); weaker or absent is a
-/// finding.
+/// finding. The comparison itself lives on the shared
+/// [`MemOrder::satisfies`] lattice — the lint folds the ops it saw into
+/// the strongest witnessed ordering and asks the catalog's own lattice,
+/// so the two can never drift.
 fn evidence_satisfies(acq: bool, rel: bool, acqrel: bool, need: MemOrder) -> bool {
-    match need {
-        MemOrder::Relaxed => acq || rel || acqrel,
-        MemOrder::Acquire => acq || acqrel,
-        MemOrder::Release => rel || acqrel,
-        MemOrder::AcqRel => acqrel || (acq && rel),
-    }
+    let witnessed = if acqrel || (acq && rel) {
+        Some(MemOrder::AcqRel)
+    } else if acq {
+        Some(MemOrder::Acquire)
+    } else if rel {
+        Some(MemOrder::Release)
+    } else {
+        None
+    };
+    witnessed.is_some_and(|w| w.satisfies(need))
 }
 
 /// Line index (0-based) of the file's first `#[cfg(test)]` attribute,
@@ -558,6 +577,26 @@ pub fn run(root: &Path) -> io::Result<Report> {
                 }
             }
 
+            // Rule: relaxed-needs-justification (counted, ratcheted).
+            // Production-code `Ordering::Relaxed` must carry a nearby
+            // `// ordering:` / `// relaxed:` comment. Scanned on the
+            // stripped line (so string literals don't count) but the
+            // justification is searched in the raw lines (comments are
+            // exactly what was stripped).
+            if ln0 < cutoff && count_tokens(line, &["Ordering::Relaxed"]) > 0 {
+                let lo = ln0.saturating_sub(2);
+                let hi = (ln0 + 2).min(raw_lines.len() - 1);
+                let justified = raw_lines[lo..=hi]
+                    .iter()
+                    .any(|l| l.contains("// ordering:") || l.contains("// relaxed:"));
+                if !justified {
+                    let e = counts
+                        .entry(("relaxed-needs-justification", relp.clone()))
+                        .or_insert((0, ln0 + 1));
+                    e.0 += 1;
+                }
+            }
+
             // Rule: ordering-comment (per occurrence, no allowlist).
             if relp.starts_with("crates/core/src/queue/") && count_tokens(line, RMW_TOKENS) > 0 {
                 let lo = ln0.saturating_sub(3);
@@ -650,8 +689,9 @@ pub fn run(root: &Path) -> io::Result<Report> {
     }
     // Entirely stale allowlist entries (file clean or gone).
     for ((rule, path), allowed) in &allow {
-        let known_rule =
-            TOKEN_RULES.iter().any(|r| r.name == rule) || rule == "ordering-consistency";
+        let known_rule = TOKEN_RULES.iter().any(|r| r.name == rule)
+            || rule == "ordering-consistency"
+            || rule == "relaxed-needs-justification";
         let counted = counts
             .keys()
             .any(|(r, p)| *r == rule.as_str() && p == path);

@@ -47,10 +47,14 @@ use std::sync::Arc;
 
 use sws_core::steal_half::StealPolicy;
 use sws_core::stealval::Layout;
-use sws_core::{AtomicSite, Mutation, QueueConfig};
+use sws_core::{AtomicSite, MemOrder, Mutation, QueueConfig, Weakening};
 use sws_sched::{try_run_workload_mode, QueueKind, RunConfig, SchedConfig};
 use sws_shmem::explore::{ExploreConfig, ExploreGate, ExploreTrace, OpDesc, TRUNCATED_MSG};
-use sws_shmem::{ExecMode, FaultPlan, OpClass, ShmemError, TargetSel};
+use sws_shmem::overrides::{ORD_ACQREL, ORD_ACQUIRE, ORD_RELAXED, ORD_RELEASE};
+use sws_shmem::{
+    ExecMode, FaultPlan, OpClass, OrdTracker, OrderingCtl, OrderingOverrides, ShmemError,
+    TargetSel,
+};
 use sws_task::{PayloadReader, TaskDescriptor, TaskRegistry};
 use sws_workloads::synth::{sized_task, SYNTH_FN};
 
@@ -90,6 +94,10 @@ pub struct Scenario {
     pub capacity: usize,
     /// Scheduler RNG seed.
     pub seed: u64,
+    /// Necessity-prover mutation: weaken one catalog site's ordering and
+    /// attach the live happens-before tracker (see [`ordering_ctl`]).
+    /// `None` runs the production orderings untracked.
+    pub weaken: Option<(AtomicSite, Weakening)>,
 }
 
 /// The default exploration corpus: SWS and SDC crossed with layouts,
@@ -109,6 +117,7 @@ pub fn corpus() -> Vec<Scenario> {
         spawn_total: 0,
         capacity: 32,
         seed: 0xE8_70_01,
+        weaken: None,
     };
     vec![
         Scenario { name: "sws-epochs-half", ..base.clone() },
@@ -189,14 +198,87 @@ pub fn mutant_scenario() -> Scenario {
     }
 }
 
-/// Resolve a scenario by name (corpus plus the mutation self-test), for
-/// schedule replay.
+/// The ring-reuse scenario: the mutant shape *without* the planted bug.
+/// The necessity prover needs it because weakening the completion chain
+/// (`SwsThiefComplete` / `SwsOwnerReclaimRead`) is only observable when
+/// the owner reuses a reconciled slot while a thief copy could still be
+/// in flight — exactly the capacity-2 spawn-tree pressure the mutation
+/// self-test engineered, minus the mutation.
+pub fn ring_reuse_scenario() -> Scenario {
+    Scenario {
+        name: "sws-ring-reuse",
+        tasks: 1,
+        spawn_total: 15,
+        capacity: 2,
+        seed: 0xE8_70_41,
+        ..corpus().remove(0)
+    }
+}
+
+/// Resolve a scenario by name (corpus plus the mutation self-test and
+/// the ring-reuse scenario), for schedule replay.
 pub fn find_scenario(name: &str) -> Option<Scenario> {
-    let m = mutant_scenario();
-    if m.name == name {
-        return Some(m);
+    for extra in [mutant_scenario(), ring_reuse_scenario()] {
+        if extra.name == name {
+            return Some(extra);
+        }
     }
     corpus().into_iter().find(|s| s.name == name)
+}
+
+// ---------------------------------------------------------------------------
+// Ordering control (the necessity prover's mutant tables).
+// ---------------------------------------------------------------------------
+
+fn ord_code(o: MemOrder) -> u8 {
+    match o {
+        MemOrder::Relaxed => ORD_RELAXED,
+        MemOrder::Acquire => ORD_ACQUIRE,
+        MemOrder::Release => ORD_RELEASE,
+        MemOrder::AcqRel => ORD_ACQREL,
+    }
+}
+
+/// The catalog's production orderings as an explicit override table.
+/// Behaviorally identical to no table at all — the identity differential
+/// test pins this — but resolvable per site, so one entry can be
+/// weakened.
+pub fn production_overrides() -> OrderingOverrides {
+    let mut t = OrderingOverrides::identity();
+    for s in AtomicSite::ALL {
+        t = t.with(s.id(), ord_code(s.production()));
+    }
+    t
+}
+
+/// The live tracker's fresh-read obligations: only the payload block
+/// copies. Metadata reads (`SdcMetaRead` and friends) are deliberately
+/// excluded — the protocols read stale metadata legally (abort peeks,
+/// probes); it is the *payload* that must be fresh when it arrives.
+pub fn fresh_spec() -> Vec<(u16, u32)> {
+    vec![
+        (AtomicSite::SwsThiefPayloadRead.id(), u32::MAX),
+        (AtomicSite::SdcPayloadRead.id(), u32::MAX),
+    ]
+}
+
+/// Build the ordering control for a live run: the production table with
+/// `weaken` applied (if any) plus the happens-before tracker.
+pub fn ordering_ctl(
+    n_pes: usize,
+    weaken: Option<(AtomicSite, Weakening)>,
+) -> Arc<OrderingCtl> {
+    let mut ov = production_overrides();
+    if let Some((site, w)) = weaken {
+        ov = match w {
+            Weakening::Order(o) => ov.with(site.id(), ord_code(o)),
+            Weakening::CasFailure => ov.with_cas_fail_relaxed(site.id()),
+        };
+    }
+    Arc::new(OrderingCtl {
+        overrides: ov,
+        tracker: Some(OrdTracker::new(n_pes, fresh_spec())),
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -307,6 +389,9 @@ pub fn run_schedule(sc: &Scenario, prefix: &[u32], max_steps: u64) -> RunResult 
         .with_damping(sc.damping)
         .with_progress_interval(2);
     let mut run = RunConfig::new(sc.n_pes, sched).with_explore(Arc::clone(&gate));
+    if sc.weaken.is_some() {
+        run = run.with_ordering(ordering_ctl(sc.n_pes, sc.weaken));
+    }
     if sc.faults {
         run = run.with_faults(
             FaultPlan::seeded(sc.seed ^ 0xFA_017).with_drop(OpClass::All, TargetSel::Any, 0.05),
@@ -354,6 +439,16 @@ pub struct ExplorerConfig {
     pub max_schedules: u64,
     /// Per-schedule decision budget (spin-heavy schedules truncate).
     pub max_steps: u64,
+    /// Branch at *every* decision instead of only at dependent pairs.
+    /// Class-based independence is sound for the value/invariant oracles
+    /// (commuting ops reach the same state) but **not** for the ordering
+    /// tracker: whether a later write covers a read mark depends on the
+    /// global order of ops on *different* words (a thief's claim on the
+    /// stealval word republishes its clock, masking a race on a payload
+    /// word). Forced on automatically whenever a scenario carries a
+    /// weakening; costs more schedules per depth, which is why plain
+    /// exploration keeps the pruning.
+    pub branch_all: bool,
 }
 
 impl Default for ExplorerConfig {
@@ -362,6 +457,7 @@ impl Default for ExplorerConfig {
             preemptions: 2,
             max_schedules: 160,
             max_steps: 40_000,
+            branch_all: false,
         }
     }
 }
@@ -374,6 +470,7 @@ impl ExplorerConfig {
             preemptions: 3,
             max_schedules: 2_000,
             max_steps: 80_000,
+            branch_all: false,
         }
     }
 }
@@ -405,6 +502,9 @@ pub struct Counterexample {
     pub schedule: Vec<u32>,
     /// The violation the minimized schedule reproduces.
     pub failure: String,
+    /// The ordering weakening active when the failure was found (the
+    /// necessity prover's mutant); `None` for plain exploration.
+    pub weaken: Option<(AtomicSite, Weakening)>,
 }
 
 /// Are two pending ops *dependent* — can reordering them change the
@@ -431,6 +531,10 @@ pub fn explore_scenario(
     cfg: &ExplorerConfig,
 ) -> (ScenarioStats, Option<Counterexample>) {
     let mut stats = ScenarioStats::default();
+    // Independence pruning is unsound under the ordering tracker (see
+    // `ExplorerConfig::branch_all`): a weakened scenario always branches
+    // everywhere.
+    let branch_all = cfg.branch_all || sc.weaken.is_some();
     // Each entry: (forced-choice prefix, injected preemptions so far).
     // The bound counts only *injected* divergences from the default
     // policy that preempt a still-pending PE — the default policy's own
@@ -499,7 +603,7 @@ pub fn explore_scenario(
                 if j as u32 == d.chosen {
                     continue;
                 }
-                if !dependent(&alt_op, &chosen_op) {
+                if !branch_all && !dependent(&alt_op, &chosen_op) {
                     stats.pruned_independent += 1;
                     continue;
                 }
@@ -551,6 +655,7 @@ fn minimize(sc: &Scenario, failing: &RunResult, cfg: &ExplorerConfig) -> Counter
             .failure
             .or_else(|| failing.failure.clone())
             .unwrap_or_else(|| "unconfirmed".to_string()),
+        weaken: sc.weaken,
     }
 }
 
@@ -618,25 +723,51 @@ pub fn explore_all(cfg: &ExplorerConfig) -> ExploreReport {
 /// Magic first line of a schedule file.
 pub const SCHEDULE_MAGIC: &str = "sws-explore schedule v1";
 
+/// A parsed schedule file. The optional `weaken:` line (added for the
+/// necessity prover's counterexamples) names the catalog site and
+/// weakening that were active; files without it parse as plain
+/// exploration schedules, so the format stays backward compatible.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduleFile {
+    /// Scenario name (resolvable via [`find_scenario`]).
+    pub scenario: String,
+    /// Forced-choice prefix.
+    pub choices: Vec<u32>,
+    /// Active ordering weakening, if the file records one.
+    pub weaken: Option<(AtomicSite, Weakening)>,
+    /// The failure the schedule reproduces (informational).
+    pub failure: Option<String>,
+}
+
 /// Serialize a counterexample as a replayable schedule file.
 pub fn write_schedule(ce: &Counterexample) -> String {
     let choices: Vec<String> = ce.schedule.iter().map(|c| c.to_string()).collect();
+    let weaken = match ce.weaken {
+        Some((site, w)) => format!("weaken: {} {}\n", site.name(), w.label()),
+        None => String::new(),
+    };
     format!(
-        "{SCHEDULE_MAGIC}\nscenario: {}\nfailure: {}\nchoices: {}\n",
+        "{SCHEDULE_MAGIC}\nscenario: {}\n{weaken}failure: {}\nchoices: {}\n",
         ce.scenario,
         ce.failure,
         choices.join(" ")
     )
 }
 
-/// Parse a schedule file back into (scenario name, forced choices).
-pub fn parse_schedule(text: &str) -> Result<(String, Vec<u32>), String> {
+fn site_from_name(name: &str) -> Option<AtomicSite> {
+    AtomicSite::ALL.into_iter().find(|s| s.name() == name)
+}
+
+/// Parse a schedule file.
+pub fn parse_schedule(text: &str) -> Result<ScheduleFile, String> {
     let mut lines = text.lines();
     if lines.next().map(str::trim) != Some(SCHEDULE_MAGIC) {
         return Err(format!("not a schedule file (want `{SCHEDULE_MAGIC}`)"));
     }
     let mut scenario = None;
     let mut choices = None;
+    let mut weaken = None;
+    let mut failure = None;
     for line in lines {
         if let Some(rest) = line.strip_prefix("scenario: ") {
             scenario = Some(rest.trim().to_string());
@@ -644,20 +775,38 @@ pub fn parse_schedule(text: &str) -> Result<(String, Vec<u32>), String> {
             let parsed: Result<Vec<u32>, _> =
                 rest.split_whitespace().map(str::parse).collect();
             choices = Some(parsed.map_err(|e| format!("bad choice: {e}"))?);
+        } else if let Some(rest) = line.strip_prefix("weaken: ") {
+            let mut parts = rest.split_whitespace();
+            let (site, label) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+            let site =
+                site_from_name(site).ok_or_else(|| format!("unknown site `{site}`"))?;
+            let w = Weakening::from_label(label)
+                .ok_or_else(|| format!("unknown weakening `{label}`"))?;
+            weaken = Some((site, w));
+        } else if let Some(rest) = line.strip_prefix("failure: ") {
+            failure = Some(rest.trim().to_string());
         }
     }
     match (scenario, choices) {
-        (Some(s), Some(c)) => Ok((s, c)),
+        (Some(scenario), Some(choices)) => Ok(ScheduleFile {
+            scenario,
+            choices,
+            weaken,
+            failure,
+        }),
         _ => Err("missing `scenario:` or `choices:` line".to_string()),
     }
 }
 
 /// Replay a schedule file: re-execute the named scenario under the
-/// forced choices and report what happened.
+/// forced choices (and the recorded weakening, if any) and report what
+/// happened.
 pub fn replay_schedule(text: &str, max_steps: u64) -> Result<RunResult, String> {
-    let (name, choices) = parse_schedule(text)?;
-    let sc = find_scenario(&name).ok_or_else(|| format!("unknown scenario `{name}`"))?;
-    Ok(run_schedule(&sc, &choices, max_steps))
+    let file = parse_schedule(text)?;
+    let mut sc = find_scenario(&file.scenario)
+        .ok_or_else(|| format!("unknown scenario `{}`", file.scenario))?;
+    sc.weaken = file.weaken;
+    Ok(run_schedule(&sc, &file.choices, max_steps))
 }
 
 #[cfg(test)]
@@ -707,19 +856,48 @@ mod tests {
             scenario: "sws-epochs-half".to_string(),
             schedule: vec![0, 1, 0, 2],
             failure: "conservation: tag 3 executed 2 times (want 1)".to_string(),
+            weaken: None,
         };
         let text = write_schedule(&ce);
-        let (name, choices) = parse_schedule(&text).expect("round trip");
-        assert_eq!(name, ce.scenario);
-        assert_eq!(choices, ce.schedule);
+        let file = parse_schedule(&text).expect("round trip");
+        assert_eq!(file.scenario, ce.scenario);
+        assert_eq!(file.choices, ce.schedule);
+        assert_eq!(file.weaken, None);
+        assert_eq!(file.failure.as_deref(), Some(ce.failure.as_str()));
         assert!(parse_schedule("bogus\n").is_err());
         assert!(parse_schedule(SCHEDULE_MAGIC).is_err(), "headers missing");
+    }
+
+    #[test]
+    fn schedule_files_round_trip_a_weakening() {
+        let ce = Counterexample {
+            scenario: "sws-ring-reuse".to_string(),
+            schedule: vec![2, 0, 1],
+            failure: "pe0 panicked: ordering-track race".to_string(),
+            weaken: Some((
+                AtomicSite::SwsThiefComplete,
+                Weakening::Order(MemOrder::Relaxed),
+            )),
+        };
+        let text = write_schedule(&ce);
+        assert!(text.contains("weaken: SwsThiefComplete to-relaxed"), "{text}");
+        let file = parse_schedule(&text).expect("round trip");
+        assert_eq!(file.weaken, ce.weaken);
+        assert!(
+            parse_schedule(&text.replace("to-relaxed", "to-bogus")).is_err(),
+            "unknown weakening label must not parse"
+        );
+        assert!(
+            parse_schedule(&text.replace("SwsThiefComplete", "NoSuchSite")).is_err(),
+            "unknown site must not parse"
+        );
     }
 
     #[test]
     fn corpus_names_are_unique_and_resolvable() {
         let mut names: Vec<&str> = corpus().iter().map(|s| s.name).collect();
         names.push(mutant_scenario().name);
+        names.push(ring_reuse_scenario().name);
         let n = names.len();
         names.sort_unstable();
         names.dedup();

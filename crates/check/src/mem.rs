@@ -175,6 +175,10 @@ impl std::fmt::Display for Violation {
 #[derive(Clone)]
 pub struct OrdTable {
     ords: [MemOrder; AtomicSite::ALL.len()],
+    /// Per-site CAS failure-path ordering (production: `Acquire`). Only
+    /// consulted by [`Memory::cas`]; the necessity audit weakens it to
+    /// `Relaxed` one site at a time.
+    cas_fails: [MemOrder; AtomicSite::ALL.len()],
 }
 
 impl OrdTable {
@@ -184,7 +188,10 @@ impl OrdTable {
         for s in AtomicSite::ALL {
             ords[s as usize] = s.production();
         }
-        OrdTable { ords }
+        OrdTable {
+            ords,
+            cas_fails: [MemOrder::Acquire; AtomicSite::ALL.len()],
+        }
     }
 
     /// Ordering at `site`.
@@ -195,6 +202,16 @@ impl OrdTable {
     /// Override the ordering at `site`.
     pub fn set(&mut self, site: AtomicSite, ord: MemOrder) {
         self.ords[site as usize] = ord;
+    }
+
+    /// CAS failure-path ordering at `site`.
+    pub fn cas_fail(&self, site: AtomicSite) -> MemOrder {
+        self.cas_fails[site as usize]
+    }
+
+    /// Override the CAS failure-path ordering at `site`.
+    pub fn set_cas_fail(&mut self, site: AtomicSite, ord: MemOrder) {
+        self.cas_fails[site as usize] = ord;
     }
 }
 
@@ -422,9 +439,26 @@ impl Memory {
     }
 
     /// Atomic compare-and-swap; returns the previous value. A failed CAS
-    /// still performs the (possibly acquiring) read.
-    pub fn cas(&mut self, t: usize, w: usize, expected: u64, new: u64, ord: MemOrder) -> u64 {
-        let (idx, old) = self.rmw_read(t, w, ord);
+    /// still performs a read, but at `fail_ord` (C++: the failure
+    /// ordering is specified separately and may be weaker).
+    pub fn cas(
+        &mut self,
+        t: usize,
+        w: usize,
+        expected: u64,
+        new: u64,
+        ord: MemOrder,
+        fail_ord: MemOrder,
+    ) -> u64 {
+        let idx = self.words[w].stores.len() - 1;
+        let old = self.words[w].stores[idx].val;
+        let eff = if old == expected { ord } else { fail_ord };
+        self.floors[t][w] = idx as u32;
+        if eff.acquires() {
+            if let Some(m) = self.words[w].stores[idx].msg.clone() {
+                self.clocks[t].join(&m);
+            }
+        }
         if old == expected {
             self.rmw_store(t, w, new, ord, idx);
         }
@@ -549,9 +583,9 @@ mod tests {
     fn failed_cas_leaves_no_store() {
         let mut m = Memory::new(2, 1);
         m.store(0, 0, 1, MemOrder::Release);
-        assert_eq!(m.cas(1, 0, 0, 9, MemOrder::AcqRel), 1);
+        assert_eq!(m.cas(1, 0, 0, 9, MemOrder::AcqRel, MemOrder::Acquire), 1);
         assert_eq!(m.latest(0), 1);
-        assert_eq!(m.cas(1, 0, 1, 9, MemOrder::AcqRel), 1);
+        assert_eq!(m.cas(1, 0, 1, 9, MemOrder::AcqRel, MemOrder::Acquire), 1);
         assert_eq!(m.latest(0), 9);
     }
 }

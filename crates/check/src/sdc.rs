@@ -163,7 +163,8 @@ impl SdcWorld {
             OPc::Next => self.owner_dispatch(),
             OPc::AcqLock => {
                 let ord = self.ords.get(Site::SdcLockCas);
-                if self.mem.cas(0, LOCK, 0, 1, ord) == 0 {
+                let fail = self.ords.cas_fail(Site::SdcLockCas);
+                if self.mem.cas(0, LOCK, 0, 1, ord, fail) == 0 {
                     self.owner.pc = OPc::AcqRead;
                 }
                 Ok(())
@@ -247,7 +248,8 @@ impl SdcWorld {
             }
             OPc::RetLock => {
                 let ord = self.ords.get(Site::SdcLockCas);
-                if self.mem.cas(0, LOCK, 0, 1, ord) == 0 {
+                let fail = self.ords.cas_fail(Site::SdcLockCas);
+                if self.mem.cas(0, LOCK, 0, 1, ord, fail) == 0 {
                     self.owner.pc = OPc::RetRead;
                 }
                 Ok(())
@@ -367,7 +369,8 @@ impl SdcWorld {
             }
             TPc::Lock => {
                 let ord = self.ords.get(Site::SdcLockCas);
-                if self.mem.cas(t, LOCK, 0, 1, ord) == 0 {
+                let fail = self.ords.cas_fail(Site::SdcLockCas);
+                if self.mem.cas(t, LOCK, 0, 1, ord, fail) == 0 {
                     self.thieves[ti].pc = TPc::Meta;
                 }
                 // Contended: retry (the unchanged-state revisit prunes;

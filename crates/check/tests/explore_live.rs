@@ -14,6 +14,7 @@ fn test_cfg() -> ExplorerConfig {
         preemptions: 2,
         max_schedules: 24,
         max_steps: 40_000,
+        branch_all: false,
     }
 }
 
@@ -72,6 +73,7 @@ fn mutation_is_found_shrunk_and_replayable() {
         preemptions: 2,
         max_schedules: 400,
         max_steps: 40_000,
+        branch_all: false,
     };
     let (stats, ce) = explore_scenario(&sc, &cfg);
     let ce: Counterexample = ce.unwrap_or_else(|| {
@@ -86,9 +88,9 @@ fn mutation_is_found_shrunk_and_replayable() {
     // The shrunk schedule still fails, deterministically, via the
     // serialized replay path.
     let text = write_schedule(&ce);
-    let (name, choices) = parse_schedule(&text).expect("well-formed schedule file");
-    assert_eq!(name, sc.name);
-    assert_eq!(choices, ce.schedule);
+    let file = parse_schedule(&text).expect("well-formed schedule file");
+    assert_eq!(file.scenario, sc.name);
+    assert_eq!(file.choices, ce.schedule);
     let r1 = replay_schedule(&text, cfg.max_steps).expect("replay");
     let r2 = replay_schedule(&text, cfg.max_steps).expect("replay");
     assert_eq!(r1.failure, r2.failure, "replay nondeterministic");

@@ -1,0 +1,130 @@
+//! Seeded self-tests of the necessity prover's live oracle: the
+//! happens-before tracker stays silent under production orderings and
+//! catches known-load-bearing weakenings with a shrunk, replayable
+//! counterexample.
+
+use sws_check::live::{
+    explore_scenario, find_scenario, ordering_ctl, parse_schedule, replay_schedule,
+    ring_reuse_scenario, run_schedule, write_schedule, ExplorerConfig,
+};
+use sws_core::{AtomicSite, MemOrder, Weakening};
+
+fn test_cfg() -> ExplorerConfig {
+    ExplorerConfig {
+        preemptions: 2,
+        max_schedules: 120,
+        max_steps: 40_000,
+        branch_all: false,
+    }
+}
+
+/// Identity weakening: the production table plus the tracker, no actual
+/// mutation. The tracker must stay silent — this pins the oracle's
+/// false-positive rate at zero on the protocols' real edges.
+#[test]
+fn tracker_under_production_orderings_is_clean() {
+    for (name, site) in [
+        ("sws-epochs-half", AtomicSite::SwsOwnerAdvertise),
+        ("sdc-half", AtomicSite::SdcUnlock),
+    ] {
+        let mut sc = find_scenario(name).expect("corpus scenario");
+        // Weakening a site to its own production ordering attaches the
+        // table and tracker without changing any resolved ordering.
+        sc.weaken = Some((site, Weakening::Order(site.production())));
+        let res = run_schedule(&sc, &[], 40_000);
+        assert!(
+            res.failure.is_none(),
+            "{name}: tracker false positive under production orderings: {:?}",
+            res.failure
+        );
+    }
+    let mut sc = ring_reuse_scenario();
+    sc.weaken = Some((
+        AtomicSite::SwsThiefComplete,
+        Weakening::Order(AtomicSite::SwsThiefComplete.production()),
+    ));
+    let (_, ce) = explore_scenario(&sc, &test_cfg());
+    assert!(ce.is_none(), "ring-reuse tracker false positive: {ce:?}");
+}
+
+/// The publication chain: relaxing the owner's advertise store lets a
+/// thief's block copy legally read pre-publication ring words. The live
+/// oracle must catch it, shrink it, and the schedule file must replay.
+#[test]
+fn weakened_advertise_is_caught_shrunk_and_replayed() {
+    let mut sc = find_scenario("sws-epochs-half").expect("corpus scenario");
+    sc.weaken = Some((
+        AtomicSite::SwsOwnerAdvertise,
+        Weakening::Order(MemOrder::Relaxed),
+    ));
+    let (stats, ce) = explore_scenario(&sc, &test_cfg());
+    let ce = ce.unwrap_or_else(|| {
+        panic!(
+            "live oracle missed the relaxed-advertise mutant after {} schedules",
+            stats.schedules
+        )
+    });
+    assert!(
+        ce.failure.contains("ordering-track"),
+        "expected a tracker violation, got: {}",
+        ce.failure
+    );
+
+    let text = write_schedule(&ce);
+    let file = parse_schedule(&text).expect("well-formed schedule file");
+    assert_eq!(
+        file.weaken,
+        Some((
+            AtomicSite::SwsOwnerAdvertise,
+            Weakening::Order(MemOrder::Relaxed)
+        ))
+    );
+    let r = replay_schedule(&text, 40_000).expect("replay");
+    assert_eq!(r.failure.as_deref(), Some(ce.failure.as_str()));
+}
+
+/// The completion chain: relaxing the thief's completion publish lets
+/// the owner reuse a ring slot a thief may still be copying.
+#[test]
+fn weakened_completion_is_caught_live() {
+    let mut sc = ring_reuse_scenario();
+    sc.weaken = Some((
+        AtomicSite::SwsThiefComplete,
+        Weakening::Order(MemOrder::Relaxed),
+    ));
+    let (stats, ce) = explore_scenario(&sc, &test_cfg());
+    let ce = ce.unwrap_or_else(|| {
+        panic!(
+            "live oracle missed the relaxed-completion mutant after {} schedules",
+            stats.schedules
+        )
+    });
+    assert!(
+        ce.failure.contains("ordering-track"),
+        "expected a tracker violation, got: {}",
+        ce.failure
+    );
+}
+
+/// The identity override table is pure plumbing: attaching it (without a
+/// tracker) must leave a run's decision log and failure byte-identical
+/// to the bare run.
+#[test]
+fn identity_table_is_behaviorally_invisible() {
+    let _ = ordering_ctl(2, None); // constructor smoke: production table builds
+    for name in ["sws-epochs-half", "sdc-half"] {
+        let sc = find_scenario(name).expect("corpus scenario");
+        let bare = run_schedule(&sc, &[1, 0, 1], 40_000);
+        let mut tabled = sc.clone();
+        // Identity weakening on a site the scenario never arms would be
+        // enough, but use a real site at production strength: resolved
+        // orderings are identical, so the runs must be too.
+        tabled.weaken = Some((
+            AtomicSite::SwsOwnerAdvertise,
+            Weakening::Order(AtomicSite::SwsOwnerAdvertise.production()),
+        ));
+        let t = run_schedule(&tabled, &[1, 0, 1], 40_000);
+        assert_eq!(bare.trace.decisions, t.trace.decisions, "{name}");
+        assert_eq!(bare.failure, t.failure, "{name}");
+    }
+}

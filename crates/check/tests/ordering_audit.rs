@@ -1,12 +1,19 @@
 //! Golden test: the checked-in `ORDERINGS.md` matches what the audit
-//! computes. `SWS_CHECK_BLESS=1` regenerates the file.
+//! computes and the committed necessity evidence. `SWS_CHECK_BLESS=1`
+//! regenerates the file; a missing or stale evidence record under
+//! `crates/check/schedules/` fails here (regenerate those with
+//! `sws-check necessity --bless`).
 
 use sws_check::audit::{orderings_path, render, run_audit};
+use sws_check::necessity::{load_evidence, replay_witnesses, schedules_dir};
 use sws_check::Config;
 
 #[test]
 fn orderings_md_is_current() {
     let rows = run_audit(&Config::default()).unwrap_or_else(|f| panic!("audit failed:\n{f}"));
+    // Every (site, weakening) mutant must be covered by committed live
+    // evidence — a witness schedule or an exhausted-at-bound row.
+    let evidence = load_evidence(&schedules_dir()).unwrap_or_else(|e| panic!("{e}"));
 
     // Structural sanity before comparing bytes: the two synchronization
     // chains the protocols stand on must come out load-bearing, and the
@@ -35,7 +42,7 @@ fn orderings_md_is_current() {
          verdict means the model (or the protocol) regressed"
     );
 
-    let rendered = render(&rows);
+    let rendered = render(&rows, &evidence);
     let path = orderings_path();
     if std::env::var_os("SWS_CHECK_BLESS").is_some() {
         std::fs::write(&path, &rendered).expect("write ORDERINGS.md");
@@ -47,6 +54,21 @@ fn orderings_md_is_current() {
         on_disk == rendered,
         "ORDERINGS.md is stale; regenerate with \
          `SWS_CHECK_BLESS=1 cargo test -p sws-check --test ordering_audit`"
+    );
+}
+
+/// Every committed witness schedule must still reproduce its recorded
+/// violation kind when replayed against the current queues — tier-1
+/// insurance that a protocol change cannot silently invalidate the
+/// necessity evidence (the full re-exploration of exhausted mutants
+/// runs in CI via `sws-check necessity`).
+#[test]
+fn committed_witnesses_replay() {
+    let n = replay_witnesses(&schedules_dir()).unwrap_or_else(|e| panic!("{e}"));
+    assert!(
+        n > 0,
+        "no witness schedules committed — the campaign should have found \
+         the publication- and completion-chain mutants"
     );
 }
 

@@ -32,7 +32,7 @@ pub mod ring;
 pub mod steal_half;
 pub mod stealval;
 
-pub use ordering::{AtomicSite, DepClass, MemOrder};
+pub use ordering::{AtomicSite, DepClass, MemOrder, Necessity, Oracle, Weakening};
 pub use queue::sdc::SdcQueue;
 pub use queue::sws::SwsQueue;
 pub use queue::{Mutation, QueueConfig, QueueStats, StealOutcome, StealQueue};

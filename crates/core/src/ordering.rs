@@ -52,6 +52,120 @@ impl MemOrder {
             MemOrder::AcqRel => "AcqRel",
         }
     }
+
+    /// Is `self` at least as strong as `need` on the strength lattice
+    /// `Relaxed < {Acquire, Release} < AcqRel` (the two halves are
+    /// incomparable)? This is the one ordering-comparison in the
+    /// workspace: the lint's annotation-evidence check and the necessity
+    /// prover's mutant enumeration both consume it.
+    pub fn satisfies(self, need: MemOrder) -> bool {
+        match need {
+            MemOrder::Relaxed => true,
+            MemOrder::Acquire => self.acquires(),
+            MemOrder::Release => self.releases(),
+            MemOrder::AcqRel => self.acquires() && self.releases(),
+        }
+    }
+
+    /// The orderings exactly one step weaker than `self` on the lattice:
+    /// `AcqRel → {Acquire, Release}`, each half `→ Relaxed`, and
+    /// `Relaxed` has nowhere left to fall. The necessity campaign walks
+    /// these edges; anything a one-step weakening cannot break, a
+    /// multi-step weakening cannot break either only if every
+    /// intermediate also survives — which the campaign checks by
+    /// weakening every site's every edge.
+    pub fn weakenings(self) -> &'static [MemOrder] {
+        match self {
+            MemOrder::Relaxed => &[],
+            MemOrder::Acquire | MemOrder::Release => &[MemOrder::Relaxed],
+            MemOrder::AcqRel => &[MemOrder::Acquire, MemOrder::Release],
+        }
+    }
+}
+
+/// One mutation the necessity prover applies to a site.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Hash)]
+pub enum Weakening {
+    /// Replace the site's operative ordering with a one-step-weaker one.
+    Order(MemOrder),
+    /// Drop a compare-swap site's failure-path load ordering to
+    /// `Relaxed` (the success ordering stays at production strength).
+    CasFailure,
+}
+
+impl Weakening {
+    /// Stable label used in verdict tables and schedule files.
+    pub fn label(self) -> String {
+        match self {
+            Weakening::Order(o) => format!("to-{}", o.name().to_ascii_lowercase()),
+            Weakening::CasFailure => "cas-fail-relaxed".into(),
+        }
+    }
+
+    /// Inverse of [`Weakening::label`].
+    pub fn from_label(s: &str) -> Option<Weakening> {
+        match s {
+            "to-relaxed" => Some(Weakening::Order(MemOrder::Relaxed)),
+            "to-acquire" => Some(Weakening::Order(MemOrder::Acquire)),
+            "to-release" => Some(Weakening::Order(MemOrder::Release)),
+            "cas-fail-relaxed" => Some(Weakening::CasFailure),
+            _ => None,
+        }
+    }
+}
+
+/// Which oracle produced a piece of necessity evidence.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Hash)]
+pub enum Oracle {
+    /// The bounded model checker over the abstract protocol machines.
+    Model,
+    /// The live exploration scheduler driving the production queues.
+    Live,
+}
+
+impl Oracle {
+    /// Short name for verdict cells.
+    pub fn name(self) -> &'static str {
+        match self {
+            Oracle::Model => "model",
+            Oracle::Live => "live",
+        }
+    }
+}
+
+/// The machine-produced verdict for one (site, weakening) mutant.
+///
+/// `Broken` means an oracle exhibited a concrete failing execution —
+/// the production ordering is *necessary* (at least as strong as the
+/// weakening's target is insufficient). `ExhaustedAtBound` means every
+/// oracle ran its full bounded search without a counterexample — honest
+/// evidence of absence *within the bounds*, never a proof; the bounds
+/// are recorded so the claim is auditable.
+#[derive(Clone, PartialEq, Eq, Debug, Hash)]
+pub enum Necessity {
+    /// A counterexample exists: the weakening is observable.
+    Broken {
+        /// Which oracle found it.
+        oracle: Oracle,
+        /// Violation kind tag (e.g. `stale-read`, `race`, `conservation`).
+        kind: String,
+        /// Witness pointer: the scenario name for the model oracle, the
+        /// committed schedule-file name for the live oracle.
+        witness: String,
+    },
+    /// Both oracles exhausted their bounds cleanly: a relaxation
+    /// candidate, with the bounds that back the claim.
+    ExhaustedAtBound {
+        /// Human-readable bound summary (preemptions, schedules, steps).
+        bounds: String,
+    },
+}
+
+impl Necessity {
+    /// Did any oracle break the mutant?
+    pub fn is_broken(&self) -> bool {
+        matches!(self, Necessity::Broken { .. })
+    }
 }
 
 /// One atomic site in a steal protocol. Variant order is the order rows
@@ -138,11 +252,20 @@ impl AtomicSite {
         match self {
             // RMWs.
             SwsThiefClaim | SwsOwnerAcquireSwap | SdcLockCas => MemOrder::AcqRel,
+            // The owner's stealval read is staleness-tolerant by
+            // construction — the attempted-steals counter is monotonic
+            // per advertisement, so a stale read only under-reports and
+            // the release/reclaim logic retries. Both necessity oracles
+            // exhausted their bounds on the acquire→relaxed mutant
+            // (see ORDERINGS.md and crates/check/schedules/), so
+            // production runs it relaxed: on weakly-ordered hardware
+            // this drops a fence from every owner-side release/reclaim
+            // poll, the hot path the paper's single-word protocol is
+            // built around.
+            SwsOwnerSvRead => MemOrder::Relaxed,
             // Atomic / per-word loads.
-            SwsOwnerSvRead | SwsOwnerReclaimRead | SwsThiefProbe | SwsThiefPayloadRead
-            | SdcMetaRead | SdcOwnerTailRead | SdcReclaimRead | SdcPayloadRead => {
-                MemOrder::Acquire
-            }
+            SwsOwnerReclaimRead | SwsThiefProbe | SwsThiefPayloadRead | SdcMetaRead
+            | SdcOwnerTailRead | SdcReclaimRead | SdcPayloadRead => MemOrder::Acquire,
             // Atomic / per-word stores.
             SwsOwnerAdvertise | SwsOwnerSlotZero | SwsThiefComplete | SwsOwnerPayloadWrite
             | SdcUnlock | SdcTailPut | SdcSplitPublish | SdcComplete | SdcReclaimZero
@@ -157,7 +280,7 @@ impl AtomicSite {
             SwsThiefClaim => "queue/sws.rs: steal_from atomic_fetch_add(sv)",
             SwsOwnerAdvertise => "queue/sws.rs: advertise atomic_set(sv)",
             SwsOwnerAcquireSwap => "queue/sws.rs: acquire/retire atomic_swap(sv)",
-            SwsOwnerSvRead => "queue/sws.rs: read_sv atomic_fetch(sv)",
+            SwsOwnerSvRead => "queue/sws.rs: read_sv atomic_fetch_ordered(sv)",
             SwsOwnerSlotZero => "queue/sws.rs: advertise atomic_set(comp[s], 0)",
             SwsThiefComplete => "queue/sws.rs: steal_from atomic_set_nbi(comp, vol)",
             SwsOwnerReclaimRead => "queue/sws.rs: reclaim atomic_fetch(comp)",
@@ -239,6 +362,31 @@ impl AtomicSite {
             SdcComplete | SdcReclaimRead | SdcReclaimZero => DepClass::SdcCompletion,
             SdcPayloadWrite | SdcPayloadRead => DepClass::SdcPayload,
         }
+    }
+
+    /// Does this site issue a compare-swap, giving it a distinct
+    /// failure-path load ordering the necessity prover can weaken
+    /// separately? Only the SDC lock acquisition is a CAS on the
+    /// fault-free path; the fault-mode confirm/poison CASes reuse the
+    /// completion sites and keep their operative ordering.
+    pub fn has_cas_failure_ordering(self) -> bool {
+        matches!(self, AtomicSite::SdcLockCas)
+    }
+
+    /// Every mutation the necessity campaign applies to this site: one
+    /// per lattice edge below the production ordering, plus the CAS
+    /// failure-path weakening where the site has one.
+    pub fn weakenings(self) -> Vec<Weakening> {
+        let mut v: Vec<Weakening> = self
+            .production()
+            .weakenings()
+            .iter()
+            .map(|&o| Weakening::Order(o))
+            .collect();
+        if self.has_cas_failure_ordering() {
+            v.push(Weakening::CasFailure);
+        }
+        v
     }
 
     /// Stable identifier used in audit rows and `// ordering:` comments.
@@ -338,6 +486,66 @@ mod tests {
                 "{} is classed {class} but belongs to {}",
                 s.name(),
                 s.protocol()
+            );
+        }
+    }
+
+    #[test]
+    fn lattice_satisfies_matches_acquire_release_semantics() {
+        use MemOrder::*;
+        for &a in &[Relaxed, Acquire, Release, AcqRel] {
+            for &b in &[Relaxed, Acquire, Release, AcqRel] {
+                // a satisfies b iff a carries every half b carries.
+                let expect = (!b.acquires() || a.acquires()) && (!b.releases() || a.releases());
+                assert_eq!(a.satisfies(b), expect, "{a:?} satisfies {b:?}");
+            }
+        }
+        // The two halves are incomparable.
+        assert!(!Acquire.satisfies(Release) && !Release.satisfies(Acquire));
+    }
+
+    #[test]
+    fn weakening_edges_round_trip_strictly_down_the_lattice() {
+        use MemOrder::*;
+        for &m in &[Relaxed, Acquire, Release, AcqRel] {
+            for &w in m.weakenings() {
+                assert_ne!(m, w);
+                assert!(m.satisfies(w), "{m:?} must dominate its weakening {w:?}");
+                assert!(!w.satisfies(m), "{w:?} must be strictly weaker than {m:?}");
+            }
+        }
+        assert!(Relaxed.weakenings().is_empty());
+        assert_eq!(AcqRel.weakenings().len(), 2);
+    }
+
+    #[test]
+    fn weakening_labels_round_trip() {
+        use MemOrder::*;
+        for w in [
+            Weakening::Order(Relaxed),
+            Weakening::Order(Acquire),
+            Weakening::Order(Release),
+            Weakening::CasFailure,
+        ] {
+            assert_eq!(Weakening::from_label(&w.label()), Some(w));
+        }
+        assert_eq!(Weakening::from_label("to-seq"), None);
+    }
+
+    #[test]
+    fn site_weakenings_cover_every_lattice_edge_below_production() {
+        for &s in AtomicSite::ALL.iter() {
+            let ws = s.weakenings();
+            let orders = ws
+                .iter()
+                .filter(|w| matches!(w, Weakening::Order(_)))
+                .count();
+            assert_eq!(orders, s.production().weakenings().len(), "{}", s.name());
+            assert_eq!(
+                ws.contains(&Weakening::CasFailure),
+                s.has_cas_failure_ordering(),
+                "{}",
+                s.name()
             );
         }
     }

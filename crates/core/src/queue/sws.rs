@@ -224,9 +224,16 @@ impl<'a> SwsQueue<'a> {
     /// Read the live stealval — a charged local atomic; the owner pays the
     /// NIC-loopback access just as on real hardware.
     fn read_sv(&self) -> StealVal {
-        // ordering: SwsOwnerSvRead
+        // ordering: SwsOwnerSvRead — catalog says Relaxed: the asteals
+        // counter is monotonic per advertisement, so staleness only
+        // under-reports and the caller retries (necessity-proven, see
+        // ORDERINGS.md).
         self.ctx.proto_site(AtomicSite::SwsOwnerSvRead.id());
-        let raw = self.ctx.atomic_fetch(self.ctx.my_pe(), self.sv_addr);
+        let raw = self.ctx.atomic_fetch_ordered(
+            self.ctx.my_pe(),
+            self.sv_addr,
+            AtomicSite::SwsOwnerSvRead.production().acquires(),
+        );
         self.cfg.layout.decode(raw)
     }
 

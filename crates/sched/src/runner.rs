@@ -66,6 +66,11 @@ pub struct RunConfig {
     /// true; see [`WorldConfig::oversub_yield`]). The wall-clock bench
     /// turns this off to measure the pre-fix spin behavior.
     pub oversub_yield: bool,
+    /// Per-site memory-ordering control (override table + optional live
+    /// happens-before tracker) for the necessity prover. `None` for
+    /// ordinary runs; `sws-check necessity` attaches one to weaken a
+    /// single catalog site per run.
+    pub ordering: Option<std::sync::Arc<sws_shmem::OrderingCtl>>,
 }
 
 impl RunConfig {
@@ -83,6 +88,7 @@ impl RunConfig {
             explore: None,
             heap_layout: sws_shmem::HeapLayout::default(),
             oversub_yield: true,
+            ordering: None,
         }
     }
 
@@ -126,6 +132,14 @@ impl RunConfig {
     #[must_use]
     pub fn with_oversub_yield(mut self, on: bool) -> RunConfig {
         self.oversub_yield = on;
+        self
+    }
+
+    /// Attach per-site ordering control (the necessity prover's mutant
+    /// table and live tracker).
+    #[must_use]
+    pub fn with_ordering(mut self, ctl: std::sync::Arc<sws_shmem::OrderingCtl>) -> RunConfig {
+        self.ordering = Some(ctl);
         self
     }
 
@@ -191,6 +205,7 @@ pub fn try_run_workload_mode(
         explore: cfg.explore.clone(),
         heap_layout: cfg.heap_layout,
         oversub_yield: cfg.oversub_yield,
+        ordering: cfg.ordering.clone(),
     };
     let mut sched = cfg.sched;
     if let Some(plan) = &cfg.faults {

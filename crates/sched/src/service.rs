@@ -746,6 +746,7 @@ pub fn run_service<W: ServiceWorkload>(
         explore: None,
         heap_layout: cfg.heap_layout,
         oversub_yield: cfg.oversub_yield,
+        ordering: None,
     };
     let mut sched = cfg.sched;
     if let Some(plan) = &cfg.faults {

@@ -182,3 +182,46 @@ fn threaded_mode_ignores_gate_switch() {
         );
     }
 }
+
+/// The necessity prover's identity override table — every site resolved
+/// through the table at its own production ordering, no tracker — must
+/// be invisible in virtual time: attaching it to a run changes how each
+/// gated op *looks up* its ordering, never which ordering it gets. A
+/// byte-level divergence here would mean campaign worlds measure a
+/// different system than production, voiding every live verdict.
+#[test]
+fn identity_override_table_is_invisible() {
+    use std::sync::Arc;
+    use sws_core::{AtomicSite, MemOrder};
+    use sws_shmem::overrides::{ORD_ACQREL, ORD_ACQUIRE, ORD_RELAXED, ORD_RELEASE};
+    use sws_shmem::{OrderingCtl, OrderingOverrides};
+
+    let mut ov = OrderingOverrides::identity();
+    for s in AtomicSite::ALL {
+        let code = match s.production() {
+            MemOrder::Relaxed => ORD_RELAXED,
+            MemOrder::Acquire => ORD_ACQUIRE,
+            MemOrder::Release => ORD_RELEASE,
+            MemOrder::AcqRel => ORD_ACQREL,
+        };
+        ov = ov.with(s.id(), code);
+    }
+    let ctl = Arc::new(OrderingCtl {
+        overrides: ov,
+        tracker: None,
+    });
+    for kind in [QueueKind::Sws, QueueKind::Sdc] {
+        for gate in [GateMode::SafeWindow, GateMode::HandoffPerOp] {
+            let queue = QueueConfig::new(1024, 48);
+            let sched = SchedConfig::new(kind, queue).with_seed(0xBA5E);
+            let wl = UtsWorkload::new(UtsParams::geo_small(8));
+            let bare = run_workload(&RunConfig::new(8, sched).with_gate(gate), &wl);
+            let tabled = run_workload(
+                &RunConfig::new(8, sched).with_gate(gate).with_ordering(ctl.clone()),
+                &wl,
+            );
+            assert_reports_identical(&bare, &tabled);
+            assert!(bare.total_tasks() > 0, "workload must actually run");
+        }
+    }
+}

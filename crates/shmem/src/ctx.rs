@@ -29,6 +29,7 @@ use crate::error::{OpError, OpResult};
 use crate::explore::{kind_writes, OpDesc};
 use crate::fault::{FaultInjector, FaultPlan, PreDecision};
 use crate::net::OpKind;
+use crate::overrides::{ord_acquires, ord_releases, OrdTracker};
 use crate::proto::{ProtoEvent, ProtoOp, NO_SITE};
 use crate::runtime::WorldShared;
 use crate::stats::OpStats;
@@ -167,12 +168,14 @@ impl ShmemCtx {
 
     /// Arm the next one-sided op on this context with an `AtomicSite` id
     /// for trace capture (and for the exploration gate's op descriptors).
-    /// No-op unless the world was built with `WorldConfig::capture_proto`
-    /// or carries an exploration gate; the protocol code annotates its
-    /// ops unconditionally and pays one branch here when both are off.
+    /// No-op unless the world was built with `WorldConfig::capture_proto`,
+    /// carries an exploration gate, or carries per-site ordering control;
+    /// the protocol code annotates its ops unconditionally and pays one
+    /// branch here when all three are off.
     #[inline]
     pub fn proto_site(&self, site: u16) {
-        if self.capture.is_some() || self.world.explore.is_some() {
+        if self.capture.is_some() || self.world.explore.is_some() || self.world.ordering.is_some()
+        {
             self.armed_site.set(site);
         }
     }
@@ -197,7 +200,10 @@ impl ShmemCtx {
     /// unrelated later op.
     #[inline]
     fn armed(&self) -> u16 {
-        if self.capture.is_none() && self.world.explore.is_none() {
+        if self.capture.is_none()
+            && self.world.explore.is_none()
+            && self.world.ordering.is_none()
+        {
             return NO_SITE;
         }
         let site = self.armed_site.replace(NO_SITE);
@@ -260,6 +266,55 @@ impl ShmemCtx {
             offset: span.0,
             len: span.1,
             writes: kind_writes(kind),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Per-site ordering resolution (see `crate::overrides`)
+    // ------------------------------------------------------------------
+
+    /// The live ordering tracker, when the world carries one.
+    #[inline]
+    fn tracker(&self) -> Option<&OrdTracker> {
+        self.world
+            .ordering
+            .as_ref()
+            .and_then(|ctl| ctl.tracker.as_ref())
+    }
+
+    /// Effective ordering for an RMW annotated with `site`.
+    #[inline]
+    fn ord_rmw(&self, site: u16) -> Ordering {
+        match &self.world.ordering {
+            Some(ctl) => ctl.overrides.rmw(site),
+            None => Ordering::AcqRel,
+        }
+    }
+
+    /// Effective ordering for an atomic / per-word load at `site`.
+    #[inline]
+    fn ord_load(&self, site: u16) -> Ordering {
+        match &self.world.ordering {
+            Some(ctl) => ctl.overrides.load(site),
+            None => Ordering::Acquire,
+        }
+    }
+
+    /// Effective ordering for an atomic / per-word store at `site`.
+    #[inline]
+    fn ord_store(&self, site: u16) -> Ordering {
+        match &self.world.ordering {
+            Some(ctl) => ctl.overrides.store(site),
+            None => Ordering::Release,
+        }
+    }
+
+    /// Effective (success, failure) orderings for a compare-swap at `site`.
+    #[inline]
+    fn ord_cas(&self, site: u16) -> (Ordering, Ordering) {
+        match &self.world.ordering {
+            Some(ctl) => ctl.overrides.cas(site),
+            None => (Ordering::AcqRel, Ordering::Acquire),
         }
     }
 
@@ -472,9 +527,13 @@ impl ShmemCtx {
     pub fn try_get_words(&self, pe: usize, addr: SymAddr, dst: &mut [u64]) -> OpResult<()> {
         let heap = &self.world.heap;
         let site = self.armed();
+        let ord = self.ord_load(site);
         self.try_op(OpKind::Get, pe, dst.len() * 8, (addr.word() as u32, dst.len() as u32), || {
             for (i, d) in dst.iter_mut().enumerate() {
-                *d = heap.word(pe, addr.offset(i)).load(Ordering::Acquire);
+                if let Some(tr) = self.tracker() {
+                    tr.read(self.pe, pe, addr.offset(i).word(), i as u32, ord_acquires(ord), site);
+                }
+                *d = heap.word(pe, addr.offset(i)).load(ord);
             }
             if site != NO_SITE {
                 let w0 = dst.first().copied().unwrap_or(0);
@@ -510,6 +569,7 @@ impl ShmemCtx {
         assert_eq!(a.1 + b.1, dst.len(), "gather ranges must fill dst");
         let heap = &self.world.heap;
         let site = self.armed();
+        let ord = self.ord_load(site);
         // Exploration span: the contiguous cover of both ranges — an
         // over-approximation that can only add dependences.
         let lo = a.0.word().min(b.0.word());
@@ -517,10 +577,17 @@ impl ShmemCtx {
         self.try_op(OpKind::Get, pe, dst.len() * 8, (lo as u32, (hi - lo) as u32), || {
             let (first, second) = dst.split_at_mut(a.1);
             for (i, d) in first.iter_mut().enumerate() {
-                *d = heap.word(pe, a.0.offset(i)).load(Ordering::Acquire);
+                if let Some(tr) = self.tracker() {
+                    tr.read(self.pe, pe, a.0.offset(i).word(), i as u32, ord_acquires(ord), site);
+                }
+                *d = heap.word(pe, a.0.offset(i)).load(ord);
             }
             for (i, d) in second.iter_mut().enumerate() {
-                *d = heap.word(pe, b.0.offset(i)).load(Ordering::Acquire);
+                if let Some(tr) = self.tracker() {
+                    let in_op = (a.1 + i) as u32;
+                    tr.read(self.pe, pe, b.0.offset(i).word(), in_op, ord_acquires(ord), site);
+                }
+                *d = heap.word(pe, b.0.offset(i)).load(ord);
             }
             // One gather = one captured event; the first range's offset
             // and the total length identify the (wrapped) block.
@@ -537,6 +604,7 @@ impl ShmemCtx {
     pub fn try_put_words(&self, pe: usize, addr: SymAddr, src: &[u64]) -> OpResult<()> {
         let heap = &self.world.heap;
         let site = self.armed();
+        let ord = self.ord_store(site);
         self.try_op(OpKind::Put, pe, src.len() * 8, (addr.word() as u32, src.len() as u32), || {
             if site != NO_SITE {
                 let w0 = src.first().copied().unwrap_or(0);
@@ -544,7 +612,10 @@ impl ShmemCtx {
                 self.capture_event(site, ProtoOp::Put, pe, addr, src.len(), w0, w1, 0);
             }
             for (i, &s) in src.iter().enumerate() {
-                heap.word(pe, addr.offset(i)).store(s, Ordering::Release);
+                if let Some(tr) = self.tracker() {
+                    tr.write(self.pe, pe, addr.offset(i).word(), ord_releases(ord), site);
+                }
+                heap.word(pe, addr.offset(i)).store(s, ord);
             }
         })
     }
@@ -601,8 +672,12 @@ impl ShmemCtx {
     pub fn try_atomic_fetch_add(&self, pe: usize, addr: SymAddr, val: u64) -> OpResult<u64> {
         let heap = &self.world.heap;
         let site = self.armed();
+        let ord = self.ord_rmw(site);
         self.try_op(OpKind::AtomicFetchAdd, pe, 8, (addr.word() as u32, 1), || {
-            let prev = heap.word(pe, addr).fetch_add(val, Ordering::AcqRel);
+            if let Some(tr) = self.tracker() {
+                tr.rmw(self.pe, pe, addr.word(), ord_acquires(ord), ord_releases(ord), site);
+            }
+            let prev = heap.word(pe, addr).fetch_add(val, ord);
             self.capture_event(site, ProtoOp::FetchAdd, pe, addr, 1, val, 0, prev);
             prev
         })
@@ -617,8 +692,12 @@ impl ShmemCtx {
     pub fn try_atomic_swap(&self, pe: usize, addr: SymAddr, val: u64) -> OpResult<u64> {
         let heap = &self.world.heap;
         let site = self.armed();
+        let ord = self.ord_rmw(site);
         self.try_op(OpKind::AtomicSwap, pe, 8, (addr.word() as u32, 1), || {
-            let prev = heap.word(pe, addr).swap(val, Ordering::AcqRel);
+            if let Some(tr) = self.tracker() {
+                tr.rmw(self.pe, pe, addr.word(), ord_acquires(ord), ord_releases(ord), site);
+            }
+            let prev = heap.word(pe, addr).swap(val, ord);
             self.capture_event(site, ProtoOp::Swap, pe, addr, 1, val, 0, prev);
             prev
         })
@@ -641,16 +720,18 @@ impl ShmemCtx {
     ) -> OpResult<u64> {
         let heap = &self.world.heap;
         let site = self.armed();
+        let (succ, fail) = self.ord_cas(site);
         self.try_op(OpKind::AtomicCompareSwap, pe, 8, (addr.word() as u32, 1), || {
-            let prev = match heap.word(pe, addr).compare_exchange(
-                expected,
-                new,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
-                Ok(prev) => prev,
-                Err(prev) => prev,
+            let (prev, won) = match heap
+                .word(pe, addr)
+                .compare_exchange(expected, new, succ, fail)
+            {
+                Ok(prev) => (prev, true),
+                Err(prev) => (prev, false),
             };
+            if let Some(tr) = self.tracker() {
+                tr.cas(self.pe, pe, addr.word(), won, succ, fail, site);
+            }
             self.capture_event(site, ProtoOp::CompareSwap, pe, addr, 1, new, expected, prev);
             prev
         })
@@ -661,12 +742,44 @@ impl ShmemCtx {
         self.try_atomic_fetch(pe, addr).unwrap_or_else(op_panic)
     }
 
+    /// [`Self::atomic_fetch`] with a catalog-selected acquire half (see
+    /// [`Self::try_atomic_fetch_ordered`]).
+    pub fn atomic_fetch_ordered(&self, pe: usize, addr: SymAddr, acquire: bool) -> u64 {
+        self.try_atomic_fetch_ordered(pe, addr, acquire)
+            .unwrap_or_else(op_panic)
+    }
+
     /// Fallible [`Self::atomic_fetch`].
     pub fn try_atomic_fetch(&self, pe: usize, addr: SymAddr) -> OpResult<u64> {
+        self.try_atomic_fetch_ordered(pe, addr, true)
+    }
+
+    /// Fallible atomic read whose acquire half is selected by the caller
+    /// from the site catalog (`acquire = site.production().acquires()`).
+    /// The necessity prover demonstrated some annotated reads need no
+    /// synchronization; their protocol call sites pass `acquire = false`
+    /// and the load relaxes. An attached override table wins either way,
+    /// so campaign worlds still resolve the site through the catalog.
+    pub fn try_atomic_fetch_ordered(
+        &self,
+        pe: usize,
+        addr: SymAddr,
+        acquire: bool,
+    ) -> OpResult<u64> {
         let heap = &self.world.heap;
         let site = self.armed();
+        let ord = match &self.world.ordering {
+            Some(ctl) => ctl.overrides.load(site),
+            // ordering: catalog-driven — `Relaxed` only when the site's
+            // production entry is `Relaxed` (necessity-proven tolerant).
+            None if !acquire => Ordering::Relaxed,
+            None => Ordering::Acquire,
+        };
         self.try_op(OpKind::AtomicFetch, pe, 8, (addr.word() as u32, 1), || {
-            let v = heap.word(pe, addr).load(Ordering::Acquire);
+            if let Some(tr) = self.tracker() {
+                tr.read(self.pe, pe, addr.word(), 0, ord_acquires(ord), site);
+            }
+            let v = heap.word(pe, addr).load(ord);
             self.capture_event(site, ProtoOp::Fetch, pe, addr, 1, 0, 0, v);
             v
         })
@@ -681,6 +794,7 @@ impl ShmemCtx {
     pub fn try_atomic_set(&self, pe: usize, addr: SymAddr, val: u64) -> OpResult<()> {
         let heap = &self.world.heap;
         let site = self.armed();
+        let ord = self.ord_store(site);
         self.try_op(OpKind::AtomicSet, pe, 8, (addr.word() as u32, 1), || {
             if site != NO_SITE {
                 // The overwritten value is only observable while capturing;
@@ -688,7 +802,10 @@ impl ShmemCtx {
                 let prev = heap.word(pe, addr).load(Ordering::Acquire);
                 self.capture_event(site, ProtoOp::Set, pe, addr, 1, val, 0, prev);
             }
-            heap.word(pe, addr).store(val, Ordering::Release)
+            if let Some(tr) = self.tracker() {
+                tr.write(self.pe, pe, addr.word(), ord_releases(ord), site);
+            }
+            heap.word(pe, addr).store(val, ord)
         })
     }
 
@@ -697,8 +814,12 @@ impl ShmemCtx {
     pub fn atomic_add_nbi(&self, pe: usize, addr: SymAddr, val: u64) {
         let heap = &self.world.heap;
         let site = self.armed();
+        let ord = self.ord_rmw(site);
         self.op_nbi(OpKind::AtomicAddNbi, pe, 8, (addr.word() as u32, 1), || {
-            let prev = heap.word(pe, addr).fetch_add(val, Ordering::AcqRel);
+            if let Some(tr) = self.tracker() {
+                tr.rmw(self.pe, pe, addr.word(), ord_acquires(ord), ord_releases(ord), site);
+            }
+            let prev = heap.word(pe, addr).fetch_add(val, ord);
             self.capture_event(site, ProtoOp::AddNbi, pe, addr, 1, val, 0, prev);
         });
     }
@@ -708,12 +829,16 @@ impl ShmemCtx {
     pub fn atomic_set_nbi(&self, pe: usize, addr: SymAddr, val: u64) {
         let heap = &self.world.heap;
         let site = self.armed();
+        let ord = self.ord_store(site);
         self.op_nbi(OpKind::AtomicSetNbi, pe, 8, (addr.word() as u32, 1), || {
             if site != NO_SITE {
                 let prev = heap.word(pe, addr).load(Ordering::Acquire);
                 self.capture_event(site, ProtoOp::SetNbi, pe, addr, 1, val, 0, prev);
             }
-            heap.word(pe, addr).store(val, Ordering::Release)
+            if let Some(tr) = self.tracker() {
+                tr.write(self.pe, pe, addr.word(), ord_releases(ord), site);
+            }
+            heap.word(pe, addr).store(val, ord)
         });
     }
 
@@ -757,11 +882,15 @@ impl ShmemCtx {
                 eg.gate(self.pe, desc);
             }
         }
+        let ord = self.ord_store(site);
         for (i, &s) in src.iter().enumerate() {
+            if let Some(tr) = self.tracker() {
+                tr.write(self.pe, self.pe, addr.offset(i).word(), ord_releases(ord), site);
+            }
             self.world
                 .heap
                 .word(self.pe, addr.offset(i))
-                .store(s, Ordering::Release);
+                .store(s, ord);
         }
     }
 

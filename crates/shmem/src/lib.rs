@@ -55,6 +55,7 @@ mod heap;
 mod lock;
 mod net;
 mod onesided;
+pub mod overrides;
 pub mod proto;
 pub mod rng;
 mod runtime;
@@ -70,6 +71,7 @@ pub use fault::{FaultPlan, OpClass, RetryPolicy, TargetSel};
 pub use heap::{HeapLayout, SymmetricHeap, CACHE_LINE_BYTES, CACHE_LINE_WORDS};
 pub use net::{Locality, NetModel, OpKind, ALL_OP_KINDS, OP_KIND_COUNT};
 pub use onesided::OneSided;
+pub use overrides::{OrdTracker, OrderingCtl, OrderingOverrides};
 pub use proto::{ProtoEvent, ProtoOp, NO_SITE};
 pub use runtime::{run_world, ExecMode, WorldConfig, WorldOutput};
 pub use stats::{OpStats, StatsSummary};

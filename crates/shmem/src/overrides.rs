@@ -1,0 +1,556 @@
+//! Per-site memory-ordering overrides and the live ordering tracker —
+//! the substrate half of `sws-check necessity`.
+//!
+//! The one-sided op layer ([`crate::ctx`]) hardcodes one ordering per op
+//! *role* (RMWs `AcqRel`, atomic loads `Acquire`, atomic stores
+//! `Release`). The necessity prover needs to weaken a single protocol
+//! site at a time, so a world may carry an [`OrderingCtl`]: a per-site
+//! override table (keyed by raw `AtomicSite` ids — this crate sits below
+//! `sws-core` and cannot name the catalog) plus an optional
+//! [`OrdTracker`].
+//!
+//! Real x86 hardware cannot exhibit a weakened ordering under the
+//! serialized exploration gate — every load sees the latest store
+//! regardless. The tracker therefore re-derives the release/acquire
+//! *happens-before* consequences of the effective (override-resolved)
+//! orderings with vector clocks, mirroring the model checker's
+//! operational semantics (`sws-check::mem`) minus value branching:
+//!
+//! * an effectively-releasing store publishes the author's clock as the
+//!   word's message; a relaxed store ends the message (release sequence
+//!   terminated);
+//! * an effectively-acquiring load joins the word's message; RMWs
+//!   continue the release sequence of the store they read (C++20);
+//! * *fresh-obligated* reads (the payload block copies — supplied by the
+//!   caller as `(site, word-limit)` pairs, since the protocol knowledge
+//!   lives above this crate) must happen-after the word's latest
+//!   annotated write **before** their own join: anything else is a
+//!   stale-read violation. They also leave a read mark;
+//! * an annotated write over a mark its author cannot cover is a race
+//!   (slot reused while a thief may still be copying).
+//!
+//! Violations panic; under the exploration gate the panic surfaces as
+//! `ShmemError::PePanicked` and flows through the existing
+//! counterexample / ddmin / schedule-replay machinery unchanged. The
+//! tracker is deterministic per schedule because the gate serializes
+//! every tracked op.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+
+use crate::lock::Mutex;
+use crate::proto::NO_SITE;
+
+/// Ordering code for [`OrderingOverrides`] entries: no synchronization.
+pub const ORD_RELAXED: u8 = 0;
+/// Ordering code: load half of a synchronizes-with edge.
+pub const ORD_ACQUIRE: u8 = 1;
+/// Ordering code: store half of a synchronizes-with edge.
+pub const ORD_RELEASE: u8 = 2;
+/// Ordering code: both halves (RMW strength).
+pub const ORD_ACQREL: u8 = 3;
+
+const NO_OVERRIDE: u8 = u8::MAX;
+/// Table capacity; site ids are dense and small (21 today).
+const N_SITES: usize = 64;
+
+/// Does `ord` carry the acquire half?
+#[inline]
+pub fn ord_acquires(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel)
+}
+
+/// Does `ord` carry the release half?
+#[inline]
+pub fn ord_releases(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel)
+}
+
+/// A per-site ordering override table. Identity (no entries) resolves
+/// every site to the op layer's role default, byte-for-byte the
+/// behavior of a world without a table.
+#[derive(Clone, Debug)]
+pub struct OrderingOverrides {
+    ords: [u8; N_SITES],
+    /// Per-site flag: weaken the CAS failure-path load to relaxed.
+    cas_fail_relaxed: [bool; N_SITES],
+}
+
+impl Default for OrderingOverrides {
+    fn default() -> OrderingOverrides {
+        OrderingOverrides::identity()
+    }
+}
+
+impl OrderingOverrides {
+    /// The identity table: every site keeps its role default.
+    pub fn identity() -> OrderingOverrides {
+        OrderingOverrides {
+            ords: [NO_OVERRIDE; N_SITES],
+            cas_fail_relaxed: [false; N_SITES],
+        }
+    }
+
+    /// Override `site` to the ordering `code` (one of the `ORD_*`
+    /// constants). Builder-style; panics on a bad code or an
+    /// out-of-range site id.
+    #[must_use]
+    pub fn with(mut self, site: u16, code: u8) -> OrderingOverrides {
+        assert!(code <= ORD_ACQREL, "bad ordering code {code}");
+        assert!((site as usize) < N_SITES && site != NO_SITE, "bad site id {site}");
+        self.ords[site as usize] = code;
+        self
+    }
+
+    /// Weaken `site`'s CAS failure-path load to relaxed.
+    #[must_use]
+    pub fn with_cas_fail_relaxed(mut self, site: u16) -> OrderingOverrides {
+        assert!((site as usize) < N_SITES && site != NO_SITE, "bad site id {site}");
+        self.cas_fail_relaxed[site as usize] = true;
+        self
+    }
+
+    /// Is this the identity table?
+    pub fn is_identity(&self) -> bool {
+        self.ords.iter().all(|&o| o == NO_OVERRIDE) && !self.cas_fail_relaxed.iter().any(|&f| f)
+    }
+
+    #[inline]
+    fn code(&self, site: u16) -> u8 {
+        match self.ords.get(site as usize) {
+            Some(&c) => c,
+            None => NO_OVERRIDE,
+        }
+    }
+
+    /// Effective ordering for an RMW at `site` (role default `AcqRel`).
+    #[inline]
+    pub fn rmw(&self, site: u16) -> Ordering {
+        match self.code(site) {
+            // relaxed: atomicity only — exactly the weakening under test.
+            ORD_RELAXED => Ordering::Relaxed,
+            ORD_ACQUIRE => Ordering::Acquire,
+            ORD_RELEASE => Ordering::Release,
+            _ => Ordering::AcqRel,
+        }
+    }
+
+    /// Effective ordering for an atomic / per-word load at `site` (role
+    /// default `Acquire`). Store-only codes clamp to the load-legal
+    /// weakening: overriding a load site to `Release` means "drop the
+    /// acquire half", i.e. relaxed.
+    #[inline]
+    pub fn load(&self, site: u16) -> Ordering {
+        match self.code(site) {
+            // relaxed: a load may not carry a release half — dropping
+            // to Relaxed is the weakening a Release code asks for.
+            ORD_RELAXED | ORD_RELEASE => Ordering::Relaxed,
+            _ => Ordering::Acquire,
+        }
+    }
+
+    /// Effective ordering for an atomic / per-word store at `site` (role
+    /// default `Release`). Load-only codes clamp symmetrically.
+    #[inline]
+    pub fn store(&self, site: u16) -> Ordering {
+        match self.code(site) {
+            // relaxed: a store may not carry an acquire half — dropping
+            // to Relaxed is the weakening an Acquire code asks for.
+            ORD_RELAXED | ORD_ACQUIRE => Ordering::Relaxed,
+            _ => Ordering::Release,
+        }
+    }
+
+    /// Effective (success, failure) orderings for a compare-swap at
+    /// `site` (role default `(AcqRel, Acquire)`).
+    #[inline]
+    pub fn cas(&self, site: u16) -> (Ordering, Ordering) {
+        let fail = if self
+            .cas_fail_relaxed
+            .get(site as usize)
+            .copied()
+            .unwrap_or(false)
+        {
+            // relaxed: the CAS failure-path weakening under test.
+            Ordering::Relaxed
+        } else {
+            Ordering::Acquire
+        };
+        (self.rmw(site), fail)
+    }
+}
+
+/// The ordering control a world may carry: the override table plus an
+/// optional live happens-before tracker. See the module docs.
+#[derive(Debug, Default)]
+pub struct OrderingCtl {
+    /// Per-site override table (identity = production orderings).
+    pub overrides: OrderingOverrides,
+    /// Vector-clock tracker; `None` resolves orderings without checking
+    /// them (the differential suites run overrides-attached worlds in
+    /// virtual time, where there is nothing to track).
+    pub tracker: Option<OrdTracker>,
+}
+
+/// Violation kind tag for a fresh-obligated read that cannot prove it
+/// happens-after the word's latest write (mirrors the model checker's
+/// `stale-read`). Public so the check crate can classify failures.
+pub const TRACK_STALE: &str = "ordering-track stale-read";
+/// Violation kind tag for a write over an uncovered read mark (mirrors
+/// the model checker's `race`).
+pub const TRACK_RACE: &str = "ordering-track race";
+
+#[derive(Clone, Debug, Default)]
+struct TrackWord {
+    /// Latest annotated write: (author PE, author sequence number).
+    last_write: Option<(usize, u32)>,
+    /// Release-sequence message carried by the latest write chain.
+    msg: Option<Vec<u32>>,
+    /// Fresh-read marks: (reader PE, reader sequence number).
+    marks: Vec<(usize, u32)>,
+}
+
+struct Track {
+    clocks: Vec<Vec<u32>>,
+    seqs: Vec<u32>,
+    words: HashMap<u64, TrackWord>,
+}
+
+/// Deterministic vector-clock happens-before tracker over the gated
+/// live execution. See the module docs for the semantics.
+pub struct OrdTracker {
+    inner: Mutex<Track>,
+    /// Fresh-read obligations: `(site id, word limit)` — the first
+    /// `limit` words of an op at `site` must read fresh.
+    fresh: Vec<(u16, u32)>,
+}
+
+impl std::fmt::Debug for OrdTracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "OrdTracker({} fresh sites)", self.fresh.len())
+    }
+}
+
+fn covers(clock: &[u32], author: usize, seq: u32) -> bool {
+    clock.get(author).copied().unwrap_or(0) >= seq
+}
+
+fn join(clock: &mut [u32], other: &[u32]) {
+    for (a, &b) in clock.iter_mut().zip(other) {
+        *a = (*a).max(b);
+    }
+}
+
+impl OrdTracker {
+    /// A tracker for `n_pes` PEs with the given fresh-read obligations.
+    pub fn new(n_pes: usize, fresh: Vec<(u16, u32)>) -> OrdTracker {
+        OrdTracker {
+            inner: Mutex::new(Track {
+                clocks: vec![vec![0; n_pes]; n_pes],
+                seqs: vec![0; n_pes],
+                words: HashMap::new(),
+            }),
+            fresh,
+        }
+    }
+
+    fn fresh_limit(&self, site: u16) -> Option<u32> {
+        self.fresh.iter().find(|(s, _)| *s == site).map(|&(_, l)| l)
+    }
+
+    fn key(target: usize, word: usize) -> u64 {
+        ((target as u64) << 32) | word as u64
+    }
+
+    /// An annotated load of one word. `word_in_op` is the word's index
+    /// within the op's span (the fresh obligation may cover a prefix).
+    /// Panics on a stale-read violation.
+    pub fn read(
+        &self,
+        pe: usize,
+        target: usize,
+        word: usize,
+        word_in_op: u32,
+        acquires: bool,
+        site: u16,
+    ) {
+        if site == NO_SITE {
+            return;
+        }
+        let fresh = self.fresh_limit(site).is_some_and(|l| word_in_op < l);
+        let mut t = self.inner.lock();
+        let t = &mut *t;
+        let key = Self::key(target, word);
+        let (last_write, msg) = {
+            let w = t.words.entry(key).or_default();
+            (w.last_write, w.msg.clone())
+        };
+        if fresh {
+            // The staleness check runs *before* this read's own join: a
+            // fresh read must already happen-after the latest write via
+            // a prior synchronizing edge (the publication chain).
+            if let Some((author, seq)) = last_write {
+                if author != pe && !covers(&t.clocks[pe], author, seq) {
+                    panic!(
+                        "{TRACK_STALE}: site {site} pe {pe} reads word {word}@{target} \
+                         without covering the latest write by pe {author}"
+                    );
+                }
+            }
+        }
+        if acquires {
+            if let Some(msg) = msg {
+                join(&mut t.clocks[pe], &msg);
+            }
+        }
+        if fresh {
+            t.seqs[pe] += 1;
+            let seq = t.seqs[pe];
+            t.clocks[pe][pe] = t.clocks[pe][pe].max(seq);
+            t.seqs[pe] = t.clocks[pe][pe];
+            if let Some(w) = t.words.get_mut(&key) {
+                w.marks.push((pe, seq));
+            }
+        }
+    }
+
+    /// An annotated store of one word. Panics on a race with an
+    /// uncovered fresh-read mark.
+    pub fn write(&self, pe: usize, target: usize, word: usize, releases: bool, site: u16) {
+        if site == NO_SITE {
+            return;
+        }
+        let mut t = self.inner.lock();
+        let t = &mut *t;
+        let w = t.words.entry(Self::key(target, word)).or_default();
+        Self::check_marks(&t.clocks[pe], w, pe, target, word, site);
+        let seq = Self::tick(&mut t.clocks[pe], &mut t.seqs[pe], pe);
+        w.last_write = Some((pe, seq));
+        // A relaxed store ends the release sequence (no message).
+        w.msg = releases.then(|| t.clocks[pe].clone());
+    }
+
+    /// An annotated RMW (fetch-add / swap / successful CAS store half).
+    pub fn rmw(&self, pe: usize, target: usize, word: usize, acquires: bool, releases: bool, site: u16) {
+        if site == NO_SITE {
+            return;
+        }
+        let mut t = self.inner.lock();
+        let t = &mut *t;
+        let w = t.words.entry(Self::key(target, word)).or_default();
+        Self::check_marks(&t.clocks[pe], w, pe, target, word, site);
+        if acquires {
+            if let Some(msg) = w.msg.clone() {
+                join(&mut t.clocks[pe], &msg);
+            }
+        }
+        let seq = Self::tick(&mut t.clocks[pe], &mut t.seqs[pe], pe);
+        // C++20 release sequence: the RMW's store carries the message of
+        // the store it read, joined with its own clock if it releases.
+        if releases {
+            match &mut w.msg {
+                Some(m) => join(m, &t.clocks[pe]),
+                None => w.msg = Some(t.clocks[pe].clone()),
+            }
+        }
+        w.last_write = Some((pe, seq));
+    }
+
+    /// An annotated compare-swap. A failed CAS performs only the
+    /// (possibly acquiring) read at the failure ordering.
+    #[allow(clippy::too_many_arguments)] // mirrors the CAS's moving parts
+    pub fn cas(
+        &self,
+        pe: usize,
+        target: usize,
+        word: usize,
+        success: bool,
+        succ: Ordering,
+        fail: Ordering,
+        site: u16,
+    ) {
+        if success {
+            self.rmw(pe, target, word, ord_acquires(succ), ord_releases(succ), site);
+        } else {
+            if site == NO_SITE {
+                return;
+            }
+            let mut t = self.inner.lock();
+            let t = &mut *t;
+            if ord_acquires(fail) {
+                if let Some(w) = t.words.get(&Self::key(target, word)) {
+                    if let Some(msg) = w.msg.clone() {
+                        join(&mut t.clocks[pe], &msg);
+                    }
+                }
+            }
+        }
+    }
+
+    fn tick(clock: &mut [u32], seq: &mut u32, pe: usize) -> u32 {
+        *seq += 1;
+        clock[pe] = clock[pe].max(*seq);
+        *seq = clock[pe];
+        *seq
+    }
+
+    fn check_marks(
+        clock: &[u32],
+        w: &mut TrackWord,
+        pe: usize,
+        target: usize,
+        word: usize,
+        site: u16,
+    ) {
+        for &(reader, seq) in &w.marks {
+            if reader != pe && !covers(clock, reader, seq) {
+                panic!(
+                    "{TRACK_RACE}: site {site} pe {pe} overwrites word {word}@{target} \
+                     while pe {reader} may still be copying it"
+                );
+            }
+        }
+        // Every mark is covered (or our own): safe to prune — future
+        // readers re-mark.
+        w.marks.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAYLOAD: u16 = 9;
+    const FLAG: u16 = 1;
+    const COMP: u16 = 5;
+
+    fn tracker() -> OrdTracker {
+        OrdTracker::new(2, vec![(PAYLOAD, u32::MAX)])
+    }
+
+    #[test]
+    fn publication_chain_makes_fresh_read_clean() {
+        let t = tracker();
+        // Owner writes payload (release), publishes flag (release); the
+        // thief's RMW on the flag acquires, covering the payload write.
+        t.write(0, 0, 10, true, PAYLOAD);
+        t.rmw(0, 0, 0, true, true, FLAG);
+        t.rmw(1, 0, 0, true, true, FLAG);
+        t.read(1, 0, 10, 0, true, PAYLOAD);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordering-track stale-read")]
+    fn relaxed_publication_flags_stale_read() {
+        let t = tracker();
+        t.write(0, 0, 10, true, PAYLOAD);
+        // Relaxed publish: no message, the thief joins nothing.
+        t.rmw(0, 0, 0, false, false, FLAG);
+        t.rmw(1, 0, 0, true, true, FLAG);
+        t.read(1, 0, 10, 0, true, PAYLOAD);
+    }
+
+    #[test]
+    fn rmw_continues_the_release_sequence() {
+        let t = tracker();
+        t.write(0, 0, 10, true, PAYLOAD);
+        t.write(0, 0, 0, true, FLAG);
+        // A relaxed RMW in the middle must not end the sequence.
+        t.rmw(1, 0, 0, false, false, FLAG);
+        t.rmw(1, 0, 0, true, true, FLAG);
+        t.read(1, 0, 10, 0, true, PAYLOAD);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordering-track race")]
+    fn uncovered_overwrite_of_marked_word_is_a_race() {
+        let t = tracker();
+        t.write(0, 0, 10, true, PAYLOAD);
+        t.rmw(0, 0, 0, true, true, FLAG);
+        t.rmw(1, 0, 0, true, true, FLAG);
+        t.read(1, 0, 10, 0, true, PAYLOAD);
+        // The thief's completion is relaxed: the owner's reclaim read
+        // joins nothing, so the slot reuse races with the mark.
+        t.write(1, 0, 20, false, COMP);
+        t.read(0, 0, 20, 0, true, COMP);
+        t.write(0, 0, 10, true, PAYLOAD);
+    }
+
+    #[test]
+    fn covered_overwrite_after_completion_chain_is_clean() {
+        let t = tracker();
+        t.write(0, 0, 10, true, PAYLOAD);
+        t.rmw(0, 0, 0, true, true, FLAG);
+        t.rmw(1, 0, 0, true, true, FLAG);
+        t.read(1, 0, 10, 0, true, PAYLOAD);
+        t.write(1, 0, 20, true, COMP);
+        t.read(0, 0, 20, 0, true, COMP);
+        t.write(0, 0, 10, true, PAYLOAD);
+    }
+
+    #[test]
+    fn fresh_word_limit_applies_to_the_op_prefix_only() {
+        let t = OrdTracker::new(2, vec![(PAYLOAD, 1)]);
+        t.write(0, 0, 10, true, PAYLOAD);
+        t.write(0, 0, 11, true, PAYLOAD);
+        // Word 1 of the op is beyond the fresh limit: stale is legal.
+        t.read(1, 0, 11, 1, true, PAYLOAD);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordering-track stale-read")]
+    fn fresh_word_limit_still_checks_the_first_word() {
+        let t = OrdTracker::new(2, vec![(PAYLOAD, 1)]);
+        t.write(0, 0, 10, true, PAYLOAD);
+        t.read(1, 0, 10, 0, true, PAYLOAD);
+    }
+
+    #[test]
+    fn failed_cas_joins_only_at_an_acquiring_failure_ordering() {
+        let t = tracker();
+        t.write(0, 0, 10, true, PAYLOAD);
+        t.write(0, 0, 0, true, FLAG);
+        // Relaxed failure ordering: no join, the later fresh read is stale.
+        t.cas(1, 0, 0, false, Ordering::AcqRel, Ordering::Relaxed, FLAG);
+        let stale = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.read(1, 0, 10, 0, false, PAYLOAD)
+        }));
+        assert!(stale.is_err());
+        // Acquiring failure ordering synchronizes.
+        let t = tracker();
+        t.write(0, 0, 10, true, PAYLOAD);
+        t.write(0, 0, 0, true, FLAG);
+        t.cas(1, 0, 0, false, Ordering::AcqRel, Ordering::Acquire, FLAG);
+        t.read(1, 0, 10, 0, false, PAYLOAD);
+    }
+
+    #[test]
+    fn identity_table_resolves_role_defaults() {
+        let o = OrderingOverrides::identity();
+        assert!(o.is_identity());
+        assert_eq!(o.rmw(3), Ordering::AcqRel);
+        assert_eq!(o.load(3), Ordering::Acquire);
+        assert_eq!(o.store(3), Ordering::Release);
+        assert_eq!(o.cas(10), (Ordering::AcqRel, Ordering::Acquire));
+        // Out-of-catalog sentinel resolves to defaults too.
+        assert_eq!(o.load(NO_SITE), Ordering::Acquire);
+    }
+
+    #[test]
+    fn override_codes_clamp_to_role_legal_orderings() {
+        let o = OrderingOverrides::identity()
+            .with(0, ORD_RELEASE)
+            .with(1, ORD_ACQUIRE)
+            .with(2, ORD_RELAXED)
+            .with_cas_fail_relaxed(3);
+        assert!(!o.is_identity());
+        assert_eq!(o.rmw(0), Ordering::Release);
+        assert_eq!(o.load(0), Ordering::Relaxed, "release on a load drops the acquire");
+        assert_eq!(o.store(0), Ordering::Release);
+        assert_eq!(o.rmw(1), Ordering::Acquire);
+        assert_eq!(o.store(1), Ordering::Relaxed, "acquire on a store drops the release");
+        assert_eq!(o.load(1), Ordering::Acquire);
+        assert_eq!(o.rmw(2), Ordering::Relaxed);
+        assert_eq!(o.cas(3), (Ordering::AcqRel, Ordering::Relaxed));
+    }
+}

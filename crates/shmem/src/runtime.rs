@@ -18,6 +18,7 @@ use crate::fault::FaultPlan;
 use crate::heap::{HeapLayout, SymmetricHeap};
 use crate::lock::{Condvar, Mutex};
 use crate::net::NetModel;
+use crate::overrides::OrderingCtl;
 use crate::stats::{OpStats, StatsSummary};
 use crate::vclock::{GateMode, VClock};
 
@@ -75,6 +76,13 @@ pub struct WorldConfig {
     /// bench can measure the pre-fix spin behavior; virtual-time and
     /// exploration runs never yield regardless.
     pub oversub_yield: bool,
+    /// Per-site memory-ordering control for the necessity prover (see
+    /// [`crate::overrides`]): an override table resolving each annotated
+    /// atomic's ordering through the site catalog, plus an optional live
+    /// happens-before tracker. `None` (the default everywhere outside
+    /// `sws-check necessity`) keeps the op layer's hardcoded orderings
+    /// with zero dispatch cost.
+    pub ordering: Option<Arc<OrderingCtl>>,
 }
 
 impl WorldConfig {
@@ -91,6 +99,7 @@ impl WorldConfig {
             capture_proto: false,
             explore: None,
             oversub_yield: true,
+            ordering: None,
         }
     }
 
@@ -109,6 +118,7 @@ impl WorldConfig {
             capture_proto: false,
             explore: None,
             oversub_yield: true,
+            ordering: None,
         }
     }
 
@@ -168,6 +178,14 @@ impl WorldConfig {
         self.oversub_yield = on;
         self
     }
+
+    /// Attach per-site ordering control (override table + optional
+    /// tracker) for the necessity prover.
+    #[must_use]
+    pub fn with_ordering(mut self, ctl: Arc<OrderingCtl>) -> WorldConfig {
+        self.ordering = Some(ctl);
+        self
+    }
 }
 
 /// State shared by every PE of a world.
@@ -191,6 +209,8 @@ pub(crate) struct WorldShared {
     /// of burning a core another PE could use. Never set in virtual-time
     /// or exploration mode (their gates own all scheduling).
     pub(crate) oversubscribed: bool,
+    /// Per-site ordering control for the necessity prover, if attached.
+    pub(crate) ordering: Option<Arc<OrderingCtl>>,
 }
 
 /// Everything a finished world produced.
@@ -278,6 +298,7 @@ where
         capture_proto: cfg.capture_proto,
         explore: explore.clone(),
         oversubscribed,
+        ordering: cfg.ordering.clone(),
     });
 
     let start = Instant::now();
@@ -822,6 +843,7 @@ mod latency_injection_tests {
                 gate: GateMode::default(),
                 capture_proto: false,
                 explore: None,
+                ordering: None,
             };
             let t0 = Instant::now();
             run_world(cfg, |ctx| {

@@ -1,0 +1,84 @@
+//! `sws-top` — live text dashboard over an `sws-obs-snap/v1` stream.
+//!
+//! ```text
+//! sws-top out.jsonl            # render the latest frame once
+//! sws-top out.jsonl --follow   # poll the file and re-render (^C quits)
+//! ```
+//!
+//! Pair with a service run writing the stream:
+//! `sws-run --serve --snapshots out.jsonl …`. The renderer itself lives
+//! in `sws_obs::top` so it stays unit-testable.
+
+use std::io::Write as _;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sws-top FILE [--follow] [--interval-ms N]\n\
+         \n\
+         Renders the latest frame of an sws-obs-snap/v1 JSONL stream\n\
+         (written by `sws-run --serve --snapshots FILE`).\n\
+         \n\
+         --follow         poll the file and re-render until interrupted\n\
+         --interval-ms N  follow poll interval (default 500)"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file: Option<String> = None;
+    let mut follow = false;
+    let mut interval_ms: u64 = 500;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--follow" => follow = true,
+            "--interval-ms" => {
+                interval_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') && file.is_none() => {
+                file = Some(other.to_string());
+            }
+            _ => usage(),
+        }
+    }
+    let Some(file) = file else { usage() };
+
+    loop {
+        let text = match std::fs::read_to_string(&file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("sws-top: cannot read {file}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match sws_obs::top::render_dashboard(&text) {
+            Ok(dash) => {
+                let mut out = std::io::stdout().lock();
+                if follow {
+                    // ANSI clear + home, so the dashboard repaints in place.
+                    let _ = write!(out, "\x1b[2J\x1b[H");
+                }
+                let _ = out.write_all(dash.as_bytes());
+                let _ = out.flush();
+            }
+            Err(e) => {
+                if !follow {
+                    eprintln!("sws-top: {e}");
+                    std::process::exit(1);
+                }
+                // While following, an incomplete stream is normal
+                // (producer hasn't written its first frame yet).
+                println!("sws-top: waiting for frames ({e})");
+            }
+        }
+        if !follow {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}

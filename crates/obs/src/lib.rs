@@ -14,6 +14,14 @@
 //! * [`metrics`] — a per-PE sharded counter/gauge/histogram registry
 //!   with plain-store recording and report-time merging; text
 //!   exposition and JSON snapshot (`sws-run --metrics`).
+//! * [`contention`] — the per-site contention heat table recorded
+//!   under `RunConfig::profile_sites`, rendered in `AtomicSite` catalog
+//!   order (`sws-run --contention`).
+//! * [`snap`] — the `sws-obs-snap/v1` JSONL snapshot stream emitted by
+//!   service runs (`sws-run --serve --snapshots FILE`), with windowed
+//!   latency percentiles and hysteretic SLO burn-rate alerting
+//!   (`--slo-alerts warn|fatal`).
+//! * [`top`] — the `sws-top` dashboard renderer over that stream.
 //! * [`perfetto`] — Chrome-trace/Perfetto JSON export of spans,
 //!   scheduler instants, and an idle-PE counter track
 //!   (`sws-run --trace-out FILE`), plus the schema validator behind
@@ -30,16 +38,24 @@
 #![warn(missing_docs)]
 
 pub mod bound;
+pub mod contention;
 pub mod json;
 pub mod metrics;
 pub mod perfetto;
 pub mod report_json;
+pub mod snap;
 pub mod span;
+pub mod top;
 
 pub use bound::{check_steal_bound, steal_bound_to_json, StealBoundReport};
+pub use contention::{contention_rows, contention_table, contention_to_json, ContentionRow};
 pub use metrics::{HistId, MetricId, MetricKind, Registry, Shard};
 pub use perfetto::{chrome_trace, validate_chrome_trace, TraceRun, TraceStats};
 pub use report_json::{comm_report_to_json, report_to_json};
+pub use snap::{
+    build_stream, stream_to_jsonl, AlertEvent, AlertKind, SloPolicy, SnapFrame, SnapStream,
+    SNAP_SCHEMA,
+};
 pub use span::{
     check_comms, comm_budget, stitch_pe, stitch_report, CommBudget, CommReport, PhaseSlice,
     SpanOutcome, StealSpan, System,

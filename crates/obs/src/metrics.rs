@@ -235,6 +235,11 @@ impl Registry {
     }
 
     /// JSON snapshot: merged totals plus the per-PE breakdown.
+    ///
+    /// Metric and histogram objects emit in *name-sorted* order, not
+    /// declaration order, so the snapshot is deterministic regardless of
+    /// how callers happened to interleave their declarations (pinned by
+    /// a golden test).
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -244,8 +249,14 @@ impl Registry {
             self.armed,
             self.shards.len()
         );
-        for (i, d) in self.descs.iter().enumerate() {
-            if i > 0 {
+        let by_name = |descs: &[Desc]| -> Vec<usize> {
+            let mut order: Vec<usize> = (0..descs.len()).collect();
+            order.sort_by(|&a, &b| descs[a].name.cmp(&descs[b].name));
+            order
+        };
+        for (emitted, i) in by_name(&self.descs).into_iter().enumerate() {
+            let d = &self.descs[i];
+            if emitted > 0 {
                 out.push(',');
             }
             let per: Vec<String> = self.per_pe(MetricId(i)).iter().map(u64::to_string).collect();
@@ -259,8 +270,9 @@ impl Registry {
             );
         }
         out.push_str("},\"histograms\":{");
-        for (i, d) in self.hist_descs.iter().enumerate() {
-            if i > 0 {
+        for (emitted, i) in by_name(&self.hist_descs).into_iter().enumerate() {
+            let d = &self.hist_descs[i];
+            if emitted > 0 {
                 out.push(',');
             }
             let h = self.merged_hist(HistId(i));
@@ -472,6 +484,35 @@ mod tests {
         assert_eq!(reg.merged(c), 0);
         assert_eq!(reg.merged_hist(h).n, 0);
         assert!(!reg.armed());
+    }
+
+    #[test]
+    fn json_emits_name_sorted_regardless_of_declaration_order() {
+        // Two registries with the same metrics declared in opposite
+        // orders must serialize identically (golden determinism for the
+        // snapshot stream's consumers).
+        let mut a = Registry::new(1);
+        let ax = a.counter("sws_x", "x");
+        let aa = a.counter("sws_a", "a");
+        let _ah = a.histogram("sws_zh", "zh");
+        let _ag = a.histogram("sws_bh", "bh");
+        let mut b = Registry::new(1);
+        let ba = b.counter("sws_a", "a");
+        let bx = b.counter("sws_x", "x");
+        let _bg = b.histogram("sws_bh", "bh");
+        let _bh = b.histogram("sws_zh", "zh");
+        a.shard_mut(0).add(ax, 3);
+        a.shard_mut(0).add(aa, 9);
+        b.shard_mut(0).add(bx, 3);
+        b.shard_mut(0).add(ba, 9);
+        assert_eq!(a.to_json(), b.to_json());
+        let j = a.to_json();
+        let x_at = j.find("\"sws_x\"").unwrap();
+        let a_at = j.find("\"sws_a\"").unwrap();
+        assert!(a_at < x_at, "metrics must emit name-sorted: {j}");
+        let bh_at = j.find("\"sws_bh\"").unwrap();
+        let zh_at = j.find("\"sws_zh\"").unwrap();
+        assert!(bh_at < zh_at, "histograms must emit name-sorted: {j}");
     }
 
     #[test]

@@ -192,6 +192,49 @@ pub fn chrome_trace(runs: &[TraceRun]) -> String {
                 args: format!("\"idle\":{idle}"),
             });
         }
+
+        // Service telemetry counter tracks from the snapshot stream
+        // (present when the run set `ServiceConfig::snapshot_interval_ns`):
+        // pool-wide ring occupancy and in-flight admitted arrivals,
+        // sampled at the deterministic tick times. Each PE contributes
+        // its latest row at or before the tick, so PEs that stopped
+        // early (crash-stop) hold their last value instead of dropping
+        // out of the aggregate.
+        for &t in &run.report.snapshot_ticks() {
+            let mut occupancy = 0u64;
+            let mut admitted = 0u64;
+            let mut completed = 0u64;
+            for w in &run.report.workers {
+                let i = w.snapshots.partition_point(|r| r.t_ns <= t);
+                if i == 0 {
+                    continue;
+                }
+                let r = &w.snapshots[i - 1];
+                occupancy += r.occupancy + r.local;
+                admitted += r.admitted;
+                completed += r.completed;
+            }
+            events.push(Ev {
+                pid,
+                tid: 0,
+                ts_ns: t,
+                dur_ns: None,
+                ph: 'C',
+                name: "ring occupancy".to_string(),
+                cat: "",
+                args: format!("\"tasks\":{occupancy}"),
+            });
+            events.push(Ev {
+                pid,
+                tid: 0,
+                ts_ns: t,
+                dur_ns: None,
+                ph: 'C',
+                name: "in-flight arrivals".to_string(),
+                cat: "",
+                args: format!("\"tasks\":{}", admitted.saturating_sub(completed)),
+            });
+        }
     }
 
     // Stable track order: within a (pid, tid) track sort by timestamp,

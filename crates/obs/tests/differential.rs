@@ -11,14 +11,23 @@ use sws_obs::Registry;
 use sws_sched::{run_workload, QueueKind, RunConfig, RunReport, SchedConfig};
 use sws_workloads::uts::{UtsParams, UtsWorkload};
 
-fn report_for(kind: QueueKind, seed: u64, capture: bool) -> RunReport {
+fn report_armed(kind: QueueKind, seed: u64, capture: bool, sample: u32, profile: bool) -> RunReport {
     let queue = QueueConfig::new(1024, 48);
-    let sched = SchedConfig::new(kind, queue).with_seed(seed);
+    let sched = SchedConfig::new(kind, queue)
+        .with_seed(seed)
+        .with_sample_period(sample);
     let mut cfg = RunConfig::new(8, sched);
     if capture {
         cfg = cfg.with_capture_proto();
     }
+    if profile {
+        cfg = cfg.with_profile_sites();
+    }
     run_workload(&cfg, &UtsWorkload::new(UtsParams::geo_small(8)))
+}
+
+fn report_for(kind: QueueKind, seed: u64, capture: bool) -> RunReport {
+    report_armed(kind, seed, capture, 0, false)
 }
 
 fn assert_results_identical(a: &RunReport, b: &RunReport) {
@@ -52,6 +61,29 @@ fn capture_does_not_perturb_sdc_runs() {
         let off = report_for(QueueKind::Sdc, seed, false);
         let on = report_for(QueueKind::Sdc, seed, true);
         assert_results_identical(&off, &on);
+    }
+}
+
+/// Sampled capture and site profiling are the two new run-time hooks
+/// this layer adds (a countdown decrement per steal attempt; a plain
+/// counter store per shmem op). Neither may perturb results — pinned
+/// against the fully disarmed baseline, both systems.
+#[test]
+fn sampling_and_profiling_do_not_perturb_runs() {
+    for kind in [QueueKind::Sws, QueueKind::Sdc] {
+        let base = report_for(kind, 0xBA5E, false);
+        let sampled = report_armed(kind, 0xBA5E, true, 4, false);
+        assert!(sampled.total_sampled_attempts() > 0, "sampler armed but idle");
+        assert_results_identical(&base, &sampled);
+        let profiled = report_armed(kind, 0xBA5E, false, 0, true);
+        assert!(
+            profiled.site_profile().iter().any(|c| !c.is_empty()),
+            "profiler armed but recorded nothing"
+        );
+        assert_results_identical(&base, &profiled);
+        // Everything at once: capture + sampling + profiling.
+        let all = report_armed(kind, 0xBA5E, true, 4, true);
+        assert_results_identical(&base, &all);
     }
 }
 

@@ -88,6 +88,13 @@ pub struct SchedConfig {
     pub task_overhead_ns: u64,
     /// Fault-tolerance knobs (retry budget, reclaim grace, quarantine).
     pub ft: FaultToleranceConfig,
+    /// Steal-span sampling period: with proto capture armed and
+    /// `sample_period > 1`, only a seeded, deterministic 1-in-N subset
+    /// of steal *attempts* opens the capture window (see
+    /// `ShmemCtx::set_capture_window`), so span stitching sees a
+    /// statistically representative sample at 1/N of the capture cost.
+    /// `0` or `1` = capture everything (the pre-sampling behavior).
+    pub sample_period: u32,
 }
 
 impl SchedConfig {
@@ -109,7 +116,15 @@ impl SchedConfig {
             release_min_local: 2,
             task_overhead_ns: 120,
             ft: FaultToleranceConfig::default(),
+            sample_period: 0,
         }
+    }
+
+    /// Set the steal-span sampling period (capture 1-in-N attempts).
+    #[must_use]
+    pub fn with_sample_period(mut self, n: u32) -> SchedConfig {
+        self.sample_period = n;
+        self
     }
 
     /// Override the base seed (used for run-variation studies).

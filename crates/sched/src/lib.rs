@@ -27,6 +27,7 @@ pub mod pool;
 pub mod report;
 pub mod runner;
 pub mod service;
+pub mod snapshot;
 pub mod taskctx;
 pub mod termination;
 pub mod trace;
@@ -43,5 +44,6 @@ pub use service::{
     ServiceConfig, ServiceWorkload,
 };
 pub use pool::TaskPool;
+pub use snapshot::SnapRow;
 pub use taskctx::TaskCtx;
 pub use victim::VictimPolicy;

@@ -8,8 +8,9 @@
 //! runtime of any process" since all PEs run until global termination.
 
 use sws_core::QueueStats;
-use sws_shmem::{EngineStats, OpStats, ProtoEvent, StatsSummary};
+use sws_shmem::{EngineStats, OpStats, ProtoEvent, SiteCounters, StatsSummary};
 
+use crate::snapshot::SnapRow;
 use crate::trace::{Event, Pow2Histogram};
 
 /// Per-PE service-mode counters (all zero / empty for batch runs).
@@ -95,6 +96,19 @@ pub struct WorkerStats {
     pub proto: Vec<ProtoEvent>,
     /// Service-mode counters (all zero for batch runs).
     pub service: ServiceStats,
+    /// Steal attempts this PE made (probe-or-steal calls).
+    pub steal_attempts: u64,
+    /// Attempts the span sampler elected for capture (0 unless sampling).
+    pub steal_attempts_sampled: u64,
+    /// Effective sampling period: `N` when 1-in-N span sampling was
+    /// active on this PE, `0` for full capture / no capture.
+    pub sample_period: u32,
+    /// Per-site contention counters indexed by raw `AtomicSite` id
+    /// (empty unless `RunConfig::profile_sites` was set).
+    pub site_prof: Vec<SiteCounters>,
+    /// Service-mode telemetry snapshots, one row per tick (empty unless
+    /// `ServiceConfig::snapshot_interval_ns` was set).
+    pub snapshots: Vec<SnapRow>,
 }
 
 /// Everything one experiment run produced.
@@ -327,6 +341,45 @@ impl RunReport {
             lat.p99() as f64 / 1e3,
             parks,
         ))
+    }
+
+    /// Steal attempts across PEs (probe-or-steal calls).
+    pub fn total_steal_attempts(&self) -> u64 {
+        self.workers.iter().map(|w| w.steal_attempts).sum()
+    }
+
+    /// Attempts the span sampler elected for capture, across PEs.
+    pub fn total_sampled_attempts(&self) -> u64 {
+        self.workers.iter().map(|w| w.steal_attempts_sampled).sum()
+    }
+
+    /// The run's span-sampling period: `N` when 1-in-N sampling was
+    /// active, `0` when capture was full (or off). Scale sampled span
+    /// counts by `max(N, 1)` to estimate full-capture counts.
+    pub fn sample_period(&self) -> u32 {
+        self.workers.iter().map(|w| w.sample_period).max().unwrap_or(0)
+    }
+
+    /// Merged per-site contention profile across PEs (indexed by raw
+    /// `AtomicSite` id; empty unless the run profiled sites).
+    pub fn site_profile(&self) -> Vec<SiteCounters> {
+        let per_pe: Vec<Vec<SiteCounters>> =
+            self.workers.iter().map(|w| w.site_prof.clone()).collect();
+        sws_shmem::merge_site_profiles(&per_pe)
+    }
+
+    /// Sorted, deduplicated snapshot tick times across PEs. Every PE
+    /// records the same scheduled ticks it reached; the union is the
+    /// stream's time axis.
+    pub fn snapshot_ticks(&self) -> Vec<u64> {
+        let mut ticks: Vec<u64> = self
+            .workers
+            .iter()
+            .flat_map(|w| w.snapshots.iter().map(|s| s.t_ns))
+            .collect();
+        ticks.sort_unstable();
+        ticks.dedup();
+        ticks
     }
 
     /// The captured protocol trace merged across PEs into global

@@ -52,6 +52,11 @@ pub struct RunConfig {
     /// (the conformance checker's input). Off by default: hot paths see
     /// one extra predictable branch per op at most.
     pub capture_proto: bool,
+    /// Count per-site contention (CAS wins/losses, RMWs, loads, stores)
+    /// into `WorkerStats::site_prof`, keyed by raw `AtomicSite` id. Like
+    /// capture, the counters are plain per-PE stores that never touch
+    /// the virtual clock, so profiled runs stay byte-identical.
+    pub profile_sites: bool,
     /// Exploration gate: when set, the run is driven under the
     /// systematic interleaving scheduler (threaded mode, one PE at a
     /// time, a scheduling choice at every gated atomic site). Used by
@@ -85,6 +90,7 @@ impl RunConfig {
             faults: None,
             gate: GateMode::default(),
             capture_proto: false,
+            profile_sites: false,
             explore: None,
             heap_layout: sws_shmem::HeapLayout::default(),
             oversub_yield: true,
@@ -110,6 +116,13 @@ impl RunConfig {
     #[must_use]
     pub fn with_capture_proto(mut self) -> RunConfig {
         self.capture_proto = true;
+        self
+    }
+
+    /// Count per-site contention into `WorkerStats::site_prof`.
+    #[must_use]
+    pub fn with_profile_sites(mut self) -> RunConfig {
+        self.profile_sites = true;
         self
     }
 
@@ -202,6 +215,7 @@ pub fn try_run_workload_mode(
         faults: None,
         gate: cfg.gate,
         capture_proto: cfg.capture_proto,
+        profile_sites: cfg.profile_sites,
         explore: cfg.explore.clone(),
         heap_layout: cfg.heap_layout,
         oversub_yield: cfg.oversub_yield,
@@ -245,6 +259,7 @@ pub fn try_run_workload_mode(
                 let mut ws = w.run().0;
                 ws.engine = ctx.engine_stats();
                 ws.proto = ctx.take_proto_events();
+                ws.site_prof = ctx.take_site_profile();
                 ws
             }
             QueueKind::Sdc => {
@@ -254,6 +269,7 @@ pub fn try_run_workload_mode(
                 let mut ws = w.run().0;
                 ws.engine = ctx.engine_stats();
                 ws.proto = ctx.take_proto_events();
+                ws.site_prof = ctx.take_site_profile();
                 ws
             }
         }

@@ -48,6 +48,7 @@ use sws_task::{TaskDescriptor, TaskRegistry};
 use crate::config::{QueueKind, TdKind};
 use crate::report::{RunReport, WorkerStats};
 use crate::runner::{RunConfig, Workload};
+use crate::snapshot::SnapRow;
 use crate::termination::{insist, make_td};
 use crate::trace::EventKind;
 use crate::worker::Worker;
@@ -191,6 +192,11 @@ pub struct ServiceConfig {
     pub membership: MembershipPlan,
     /// Virtual ns charged per idle poll while quiescent or parked.
     pub idle_tick_ns: u64,
+    /// Telemetry snapshot interval, virtual ns (`0` = snapshots off).
+    /// Each PE records a [`crate::snapshot::SnapRow`] stamped with the
+    /// scheduled tick time `k * interval`, so the stream is byte-identical
+    /// per seed.
+    pub snapshot_interval_ns: u64,
 }
 
 impl Default for ServiceConfig {
@@ -200,6 +206,7 @@ impl Default for ServiceConfig {
             hwm_pct: 100,
             membership: MembershipPlan::fixed(),
             idle_tick_ns: 2_000,
+            snapshot_interval_ns: 0,
         }
     }
 }
@@ -223,6 +230,13 @@ impl ServiceConfig {
     #[must_use]
     pub fn with_membership(mut self, plan: MembershipPlan) -> ServiceConfig {
         self.membership = plan;
+        self
+    }
+
+    /// Set the telemetry snapshot interval (virtual ns; `0` = off).
+    #[must_use]
+    pub fn with_snapshot_interval(mut self, ns: u64) -> ServiceConfig {
+        self.snapshot_interval_ns = ns;
         self
     }
 }
@@ -265,6 +279,10 @@ struct ServiceLoop<'r, 'a, Q: StealQueue> {
     final_rearm_done: bool,
     /// Currently sitting in a quiescent window.
     quiesced: bool,
+    /// Telemetry snapshot interval, virtual ns (0 = off).
+    snap_interval: u64,
+    /// Next scheduled snapshot tick, virtual ns.
+    next_snap_at: u64,
 }
 
 impl<'r, 'a, Q: StealQueue> ServiceLoop<'r, 'a, Q> {
@@ -315,6 +333,39 @@ impl<'r, 'a, Q: StealQueue> ServiceLoop<'r, 'a, Q> {
             done_reported: false,
             final_rearm_done: false,
             quiesced: false,
+            snap_interval: svc.snapshot_interval_ns,
+            next_snap_at: svc.snapshot_interval_ns,
+        }
+    }
+
+    /// Record any snapshot ticks that have come due. Rows are stamped
+    /// with the *scheduled* tick time (`k * interval`) and carry purely
+    /// local, cumulative state — no communication, no clock advance — so
+    /// enabling snapshots cannot perturb the run and the stream is
+    /// byte-identical per seed.
+    fn pump_snapshots(&mut self) {
+        if self.snap_interval == 0 {
+            return;
+        }
+        let now = self.w.ctx.now_ns();
+        while now >= self.next_snap_at {
+            let svc = &self.w.stats.service;
+            let row = SnapRow {
+                t_ns: self.next_snap_at,
+                occupancy: self.w.queue.occupancy(),
+                local: self.w.queue.local_count(),
+                tasks_executed: self.w.stats.tasks_executed,
+                steals_won: self.w.queue.stats().steals_won,
+                offered: svc.offered,
+                admitted: svc.admitted,
+                shed: svc.shed,
+                deferred: svc.deferred,
+                blocked: svc.blocked,
+                completed: svc.latency.n,
+                latency: svc.latency.clone(),
+            };
+            self.w.stats.snapshots.push(row);
+            self.next_snap_at += self.snap_interval;
         }
     }
 
@@ -513,6 +564,7 @@ impl<'r, 'a, Q: StealQueue> ServiceLoop<'r, 'a, Q> {
                 self.w.crash_stop(true);
                 return AwayEnd::Crashed;
             }
+            self.pump_snapshots();
             // Keep the detector serviced (a token ring must keep moving
             // through parked PEs).
             let _ = self.w.td.poll_quiescent(ctx);
@@ -553,6 +605,7 @@ impl<'r, 'a, Q: StealQueue> ServiceLoop<'r, 'a, Q> {
                 self.w.crash_stop(false);
                 return self.w.stats;
             }
+            self.pump_snapshots();
             self.readmit_due_peers();
             match self.take_due_away_window(false) {
                 Some(AwayEnd::Rejoined) | None => {}
@@ -600,6 +653,7 @@ impl<'r, 'a, Q: StealQueue> ServiceLoop<'r, 'a, Q> {
                     Some(AwayEnd::Shutdown) => break 'outer,
                     Some(AwayEnd::Crashed) => return self.w.stats,
                 }
+                self.pump_snapshots();
                 self.readmit_due_peers();
                 if self.ingress_wake_due() {
                     if self.quiesced {
@@ -704,7 +758,9 @@ impl<'r, 'a, Q: StealQueue> ServiceLoop<'r, 'a, Q> {
                 }
             }
         }
-        // Global shutdown: mirror the batch epilogue.
+        // Global shutdown: mirror the batch epilogue. One last pump
+        // records any ticks that came due during the final search.
+        self.pump_snapshots();
         self.w.queue.flush_completions();
         self.w.td.flush(ctx);
         self.w.stats.runtime_ns = ctx.now_ns();
@@ -743,6 +799,7 @@ pub fn run_service<W: ServiceWorkload>(
         faults: None,
         gate: cfg.gate,
         capture_proto: cfg.capture_proto,
+        profile_sites: cfg.profile_sites,
         explore: None,
         heap_layout: cfg.heap_layout,
         oversub_yield: cfg.oversub_yield,
@@ -803,6 +860,7 @@ pub fn run_service<W: ServiceWorkload>(
         };
         ws.engine = ctx.engine_stats();
         ws.proto = ctx.take_proto_events();
+        ws.site_prof = ctx.take_site_profile();
         ws
     };
     let out = run_world(world_cfg, run_pe).expect("service run failed");

@@ -1,0 +1,60 @@
+//! Service-mode telemetry snapshots (the data half of `sws-obs-snap/v1`).
+//!
+//! The service loop records one [`SnapRow`] per PE at each deterministic
+//! virtual-time tick (`ServiceConfig::snapshot_interval_ns`). Rows carry
+//! *cumulative* counters — ring occupancy, admission verdicts, completed
+//! arrivals, and the full latency histogram — so consumers can compute
+//! windowed rates and percentiles by differencing consecutive ticks
+//! without the producer keeping any window state on the hot path.
+//!
+//! The rows live in `sws-sched` (the scheduler cannot depend on the obs
+//! crate); serialization to the JSONL stream, burn-rate alerting, and
+//! the `sws-top` dashboard live in `sws-obs`.
+
+use crate::trace::Pow2Histogram;
+
+/// One PE's telemetry state at one snapshot tick. All counters are
+/// cumulative since run start; `t_ns` is the *scheduled* tick time
+/// (`k * interval`), not the loop's current clock, so streams from the
+/// same seed are byte-identical regardless of where the loop happened
+/// to be when the tick came due.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SnapRow {
+    /// Scheduled tick time, virtual ns.
+    pub t_ns: u64,
+    /// Ring occupancy (tasks in the shared portion, owner's view).
+    pub occupancy: u64,
+    /// Tasks in the owner-local portion.
+    pub local: u64,
+    /// Tasks executed by this PE so far.
+    pub tasks_executed: u64,
+    /// Steals this PE has won so far.
+    pub steals_won: u64,
+    /// Arrivals this ingress PE has presented so far.
+    pub offered: u64,
+    /// Arrivals admitted into the pool so far.
+    pub admitted: u64,
+    /// Arrivals shed so far.
+    pub shed: u64,
+    /// Arrivals deferred at least once so far.
+    pub deferred: u64,
+    /// Arrivals blocked head-of-line so far.
+    pub blocked: u64,
+    /// Arrival tasks completed on this PE so far (latency samples).
+    pub completed: u64,
+    /// Cumulative enqueue→completion latency histogram.
+    pub latency: Pow2Histogram,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_row_is_zeroed() {
+        let r = SnapRow::default();
+        assert_eq!(r.t_ns, 0);
+        assert_eq!(r.latency.n, 0);
+        assert_eq!(r, r.clone());
+    }
+}

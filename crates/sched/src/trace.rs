@@ -324,7 +324,7 @@ pub fn steals_by_victim(events: &[Event]) -> std::collections::BTreeMap<u32, u64
 
 /// A fixed-bucket histogram over `u64` samples with power-of-two bucket
 /// edges — compact summaries of steal volumes or idle spans.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Pow2Histogram {
     /// `counts[i]` counts samples in `(2^(i-1), 2^i]` — matching the
     /// `≤ 2^i` upper-bound labels [`Pow2Histogram::render`] prints;
@@ -388,6 +388,15 @@ impl Pow2Histogram {
     /// bounds: the upper bound of the first bucket whose cumulative
     /// count reaches `⌈q·n⌉`. An over-estimate by at most the bucket
     /// width (2×); 0 for an empty histogram.
+    ///
+    /// Edge cases (pinned by tests):
+    /// * empty histogram → 0 for every `q`;
+    /// * `q = 0.0` → the rank clamps to 1, so the smallest non-empty
+    ///   bucket's upper bound (the minimum's bucket);
+    /// * `q = 1.0` → the largest non-empty bucket's upper bound (the
+    ///   maximum's bucket);
+    /// * samples ≥ 2⁶³ land in the saturated top bucket whose upper
+    ///   bound reports as `u64::MAX`.
     pub fn percentile(&self, q: f64) -> u64 {
         if self.n == 0 {
             return 0;
@@ -416,6 +425,32 @@ impl Pow2Histogram {
     /// 99th-percentile estimate.
     pub fn p99(&self) -> u64 {
         self.percentile(0.99)
+    }
+
+    /// 99.9th-percentile estimate — the burn-rate alerting tail
+    /// quantile (SLO breaches concentrate far past p99).
+    pub fn p999(&self) -> u64 {
+        self.percentile(0.999)
+    }
+
+    /// Bucket-wise difference `self − earlier`, for windowed percentiles
+    /// over cumulative histograms: given a snapshot stream where each
+    /// tick carries the cumulative histogram, `cur.diff(prev)` is the
+    /// histogram of exactly the samples recorded between the two ticks.
+    /// `earlier` must be a prefix of `self`'s history (every bucket
+    /// count ≤ `self`'s); counts saturate at zero otherwise.
+    pub fn diff(&self, earlier: &Pow2Histogram) -> Pow2Histogram {
+        let mut counts = self.counts.clone();
+        for (i, &c) in earlier.counts.iter().enumerate() {
+            if i < counts.len() {
+                counts[i] = counts[i].saturating_sub(c);
+            }
+        }
+        Pow2Histogram {
+            counts,
+            n: self.n.saturating_sub(earlier.n),
+            sum: self.sum.saturating_sub(earlier.sum),
+        }
     }
 
     /// Mean sample value.
@@ -504,6 +539,51 @@ mod histogram_tests {
         assert_eq!(h.p99(), u64::MAX);
         assert_eq!(h.p50(), u64::MAX);
         assert_eq!(h.percentile(0.3), 1);
+    }
+
+    #[test]
+    fn p999_resolves_the_far_tail() {
+        // 9989 small samples + 11 huge ones: p99 stays in the small
+        // bucket, p999 (nearest-rank 9990 of 10000) must reach the tail
+        // bucket.
+        let mut samples = vec![1u64; 9_989];
+        samples.extend(std::iter::repeat_n(1 << 20, 11));
+        let h = Pow2Histogram::from_samples(samples);
+        assert_eq!(h.p99(), 1);
+        assert_eq!(h.p999(), 1 << 20);
+        // Extremes of the documented percentile contract.
+        assert_eq!(h.percentile(0.0), 1, "q=0 reports the minimum's bucket");
+        assert_eq!(h.percentile(1.0), 1 << 20, "q=1 reports the maximum's bucket");
+        // Saturated top bucket: the p999 of an all-huge population.
+        let sat = Pow2Histogram::from_samples(vec![u64::MAX; 1000]);
+        assert_eq!(sat.p999(), u64::MAX);
+        assert_eq!(Pow2Histogram::default().p999(), 0, "empty histogram");
+    }
+
+    #[test]
+    fn diff_recovers_window_samples() {
+        let mut cum = Pow2Histogram::from_samples([1u64, 5, 900]);
+        let prev = cum.clone();
+        for s in [2u64, 7, 7, 4096] {
+            cum.record(s);
+        }
+        let window = cum.diff(&prev);
+        let expect = Pow2Histogram::from_samples([2u64, 7, 7, 4096]);
+        assert_eq!(window.n, expect.n);
+        assert_eq!(window.sum, expect.sum);
+        assert_eq!(window.p99(), expect.p99());
+        // counts may differ in trailing zeros only.
+        for i in 0..window.counts.len().max(expect.counts.len()) {
+            assert_eq!(
+                window.counts.get(i).copied().unwrap_or(0),
+                expect.counts.get(i).copied().unwrap_or(0),
+                "bucket {i}"
+            );
+        }
+        // Diffing against itself is empty; against a *later* histogram
+        // saturates to zero instead of wrapping.
+        assert_eq!(cum.diff(&cum).n, 0);
+        assert_eq!(prev.diff(&cum).n, 0);
     }
 
     #[test]

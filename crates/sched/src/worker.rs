@@ -34,6 +34,7 @@
 //!   and polls only the termination detector.
 
 use sws_core::{StealOutcome, StealQueue};
+use sws_shmem::rng::SplitMix64;
 use sws_shmem::ShmemCtx;
 use sws_task::{TaskDescriptor, TaskRegistry};
 
@@ -64,6 +65,9 @@ pub struct Worker<'r, 'a, Q: StealQueue> {
     spawn_buf: Vec<TaskDescriptor>,
     tasks_since_release_check: u64,
     tasks_since_progress: u64,
+    /// Steal attempts until the sampler next opens the capture window;
+    /// `None` when sampling is off (window stays open — full capture).
+    sample_countdown: Option<u32>,
     pub(crate) had_work: bool,
     pub(crate) log: EventLog,
 }
@@ -87,7 +91,18 @@ impl<'r, 'a, Q: StealQueue> Worker<'r, 'a, Q> {
         } else {
             None
         };
-        Worker {
+        // Span sampling (see `SchedConfig::sample_period`): with capture
+        // armed and N > 1, the window opens for a seeded 1-in-N subset
+        // of steal attempts. Systematic sampling with a per-PE random
+        // phase — the phase decorrelates PEs, the fixed period keeps
+        // estimator variance low — and the draw never touches the
+        // virtual clock, so sampling cannot perturb results.
+        let sample_countdown = (cfg.sample_period > 1 && ctx.proto_capture_active()).then(|| {
+            ctx.set_capture_window(false);
+            let mut rng = SplitMix64::stream(cfg.seed ^ 0x5A3B_1E5A_3B1E_5A3B, ctx.my_pe() as u64);
+            rng.below(cfg.sample_period as u64) as u32
+        });
+        let mut w = Worker {
             ctx,
             queue,
             registry,
@@ -102,9 +117,16 @@ impl<'r, 'a, Q: StealQueue> Worker<'r, 'a, Q> {
             spawn_buf: Vec::new(),
             tasks_since_release_check: 0,
             tasks_since_progress: 0,
+            sample_countdown,
             had_work: false,
             log: EventLog::new(cfg.trace),
-        }
+        };
+        w.stats.sample_period = if w.sample_countdown.is_some() {
+            cfg.sample_period
+        } else {
+            0
+        };
+        w
     }
 
     /// Seed the pool with initial tasks on this PE (call before `run`;
@@ -187,9 +209,41 @@ impl<'r, 'a, Q: StealQueue> Worker<'r, 'a, Q> {
         }
     }
 
+    /// Whether the sampler elects this steal attempt for capture.
+    /// Advances the countdown and the attempt counters; never touches
+    /// the virtual clock. Always `false` when sampling is off.
+    fn sample_this_attempt(&mut self) -> bool {
+        self.stats.steal_attempts += 1;
+        let Some(countdown) = self.sample_countdown.as_mut() else {
+            return false;
+        };
+        if *countdown == 0 {
+            *countdown = self.cfg.sample_period - 1;
+            self.stats.steal_attempts_sampled += 1;
+            true
+        } else {
+            *countdown -= 1;
+            false
+        }
+    }
+
     /// Attempt one steal against `target`, honouring damping. Returns the
-    /// outcome; timing is attributed by the caller.
+    /// outcome; timing is attributed by the caller. When span sampling is
+    /// active, the whole attempt (probe + steal + completion ops) runs
+    /// inside one capture window so sampled spans stitch complete.
     pub(crate) fn attempt_steal(&mut self, target: usize) -> StealOutcome {
+        let sampled = self.sample_this_attempt();
+        if sampled {
+            self.ctx.set_capture_window(true);
+        }
+        let out = self.attempt_steal_inner(target);
+        if sampled {
+            self.ctx.set_capture_window(false);
+        }
+        out
+    }
+
+    fn attempt_steal_inner(&mut self, target: usize) -> StealOutcome {
         if self.damping.should_probe(target) {
             if !self.queue.probe(target) {
                 return StealOutcome::Empty; // damped abort, one read-only op

@@ -30,6 +30,7 @@ use crate::explore::{kind_writes, OpDesc};
 use crate::fault::{FaultInjector, FaultPlan, PreDecision};
 use crate::net::OpKind;
 use crate::overrides::{ord_acquires, ord_releases, OrdTracker};
+use crate::prof::SiteCounters;
 use crate::proto::{ProtoEvent, ProtoOp, NO_SITE};
 use crate::runtime::WorldShared;
 use crate::stats::OpStats;
@@ -51,6 +52,16 @@ pub struct ShmemCtx {
     /// Protocol op-trace buffer (`WorldConfig::capture_proto`); `None`
     /// keeps the op surface capture-free.
     capture: Option<RefCell<Vec<ProtoEvent>>>,
+    /// Sampling window over proto capture: when closed, annotated ops
+    /// still arm/consume their site (so exploration and ordering
+    /// resolution are untouched) but record no event. The scheduler
+    /// opens it per sampled steal attempt (see `SchedConfig::
+    /// sample_period`); always open by default (full capture).
+    capture_window: Cell<bool>,
+    /// Per-site contention counters (`WorldConfig::profile_sites`);
+    /// indexed by raw site id, bumped with plain stores in the op
+    /// adapters. `None` keeps the op surface profile-free.
+    site_prof: Option<RefCell<Vec<SiteCounters>>>,
     /// `AtomicSite` id armed by [`ShmemCtx::proto_site`] for the next
     /// one-sided op; consumed (reset to `NO_SITE`) by that op.
     armed_site: Cell<u16>,
@@ -67,6 +78,7 @@ impl ShmemCtx {
             .as_ref()
             .map(|plan| FaultInjector::new(std::sync::Arc::clone(plan), pe));
         let capture = world.capture_proto.then(|| RefCell::new(Vec::new()));
+        let site_prof = world.profile_sites.then(|| RefCell::new(Vec::new()));
         ShmemCtx {
             pe,
             world,
@@ -76,6 +88,8 @@ impl ShmemCtx {
             injector,
             collective_depth: Cell::new(0),
             capture,
+            capture_window: Cell::new(true),
+            site_prof,
             armed_site: Cell::new(NO_SITE),
             explore_site: Cell::new(NO_SITE),
             wall_start: Instant::now(),
@@ -168,13 +182,16 @@ impl ShmemCtx {
 
     /// Arm the next one-sided op on this context with an `AtomicSite` id
     /// for trace capture (and for the exploration gate's op descriptors).
-    /// No-op unless the world was built with `WorldConfig::capture_proto`,
-    /// carries an exploration gate, or carries per-site ordering control;
-    /// the protocol code annotates its ops unconditionally and pays one
-    /// branch here when all three are off.
+    /// No-op unless the world was built with `WorldConfig::capture_proto`
+    /// or `WorldConfig::profile_sites`, carries an exploration gate, or
+    /// carries per-site ordering control; the protocol code annotates its
+    /// ops unconditionally and pays one branch here when all four are off.
     #[inline]
     pub fn proto_site(&self, site: u16) {
-        if self.capture.is_some() || self.world.explore.is_some() || self.world.ordering.is_some()
+        if self.capture.is_some()
+            || self.site_prof.is_some()
+            || self.world.explore.is_some()
+            || self.world.ordering.is_some()
         {
             self.armed_site.set(site);
         }
@@ -194,6 +211,57 @@ impl ShmemCtx {
         }
     }
 
+    /// Open or close the capture sampling window. While closed, armed
+    /// sites are still consumed (exploration gating and per-site
+    /// ordering resolution are unaffected) but no [`ProtoEvent`] is
+    /// recorded. The scheduler uses this to arm capture for a seeded
+    /// 1-in-N subset of steal attempts instead of every op. No-op (one
+    /// plain `Cell` store) when capture is off.
+    #[inline]
+    pub fn set_capture_window(&self, open: bool) {
+        self.capture_window.set(open);
+    }
+
+    /// Whether the sampling window currently admits events: capture is
+    /// armed *and* the window is open.
+    #[inline]
+    fn capturing(&self) -> bool {
+        self.capture.is_some() && self.capture_window.get()
+    }
+
+    /// Whether this world records per-site contention counters.
+    #[inline]
+    pub fn profile_sites_active(&self) -> bool {
+        self.site_prof.is_some()
+    }
+
+    /// Drain this PE's per-site contention counters (indexed by raw
+    /// site id; decode via `AtomicSite::from_id` in the obs layer).
+    pub fn take_site_profile(&self) -> Vec<SiteCounters> {
+        match &self.site_prof {
+            Some(p) => std::mem::take(&mut *p.borrow_mut()),
+            None => Vec::new(),
+        }
+    }
+
+    /// Bump a per-site contention counter with a plain store. Called
+    /// inside the op's effect closure, next to `capture_event`, so
+    /// injected-fault ops that never apply are not counted and the
+    /// counters are deterministic in virtual time.
+    #[inline]
+    fn prof_site(&self, site: u16, f: impl FnOnce(&mut SiteCounters)) {
+        let Some(p) = &self.site_prof else { return };
+        if site == NO_SITE {
+            return;
+        }
+        let mut v = p.borrow_mut();
+        let i = site as usize;
+        if v.len() <= i {
+            v.resize(i + 1, SiteCounters::default());
+        }
+        f(&mut v[i]);
+    }
+
     /// Consume the armed site id. Called at the *start* of every op that
     /// can capture, so an op whose effect never applies (injected fault)
     /// still uses up its annotation instead of leaking it to an
@@ -201,6 +269,7 @@ impl ShmemCtx {
     #[inline]
     fn armed(&self) -> u16 {
         if self.capture.is_none()
+            && self.site_prof.is_none()
             && self.world.explore.is_none()
             && self.world.ordering.is_none()
         {
@@ -231,7 +300,7 @@ impl ShmemCtx {
         prev: u64,
     ) {
         let Some(buf) = &self.capture else { return };
-        if site == NO_SITE {
+        if site == NO_SITE || !self.capture_window.get() {
             return;
         }
         let t_ns = match &self.world.vclock {
@@ -535,6 +604,7 @@ impl ShmemCtx {
                 }
                 *d = heap.word(pe, addr.offset(i)).load(ord);
             }
+            self.prof_site(site, |c| c.bulk += 1);
             if site != NO_SITE {
                 let w0 = dst.first().copied().unwrap_or(0);
                 let w1 = dst.get(1).copied().unwrap_or(0);
@@ -591,6 +661,7 @@ impl ShmemCtx {
             }
             // One gather = one captured event; the first range's offset
             // and the total length identify the (wrapped) block.
+            self.prof_site(site, |c| c.bulk += 1);
             self.capture_event(site, ProtoOp::Get, pe, a.0, a.1 + b.1, 0, 0, 0);
         })
     }
@@ -606,6 +677,7 @@ impl ShmemCtx {
         let site = self.armed();
         let ord = self.ord_store(site);
         self.try_op(OpKind::Put, pe, src.len() * 8, (addr.word() as u32, src.len() as u32), || {
+            self.prof_site(site, |c| c.bulk += 1);
             if site != NO_SITE {
                 let w0 = src.first().copied().unwrap_or(0);
                 let w1 = src.get(1).copied().unwrap_or(0);
@@ -678,6 +750,7 @@ impl ShmemCtx {
                 tr.rmw(self.pe, pe, addr.word(), ord_acquires(ord), ord_releases(ord), site);
             }
             let prev = heap.word(pe, addr).fetch_add(val, ord);
+            self.prof_site(site, |c| c.rmw += 1);
             self.capture_event(site, ProtoOp::FetchAdd, pe, addr, 1, val, 0, prev);
             prev
         })
@@ -698,6 +771,7 @@ impl ShmemCtx {
                 tr.rmw(self.pe, pe, addr.word(), ord_acquires(ord), ord_releases(ord), site);
             }
             let prev = heap.word(pe, addr).swap(val, ord);
+            self.prof_site(site, |c| c.rmw += 1);
             self.capture_event(site, ProtoOp::Swap, pe, addr, 1, val, 0, prev);
             prev
         })
@@ -732,6 +806,7 @@ impl ShmemCtx {
             if let Some(tr) = self.tracker() {
                 tr.cas(self.pe, pe, addr.word(), won, succ, fail, site);
             }
+            self.prof_site(site, |c| if won { c.cas_won += 1 } else { c.cas_lost += 1 });
             self.capture_event(site, ProtoOp::CompareSwap, pe, addr, 1, new, expected, prev);
             prev
         })
@@ -780,6 +855,7 @@ impl ShmemCtx {
                 tr.read(self.pe, pe, addr.word(), 0, ord_acquires(ord), site);
             }
             let v = heap.word(pe, addr).load(ord);
+            self.prof_site(site, |c| c.loads += 1);
             self.capture_event(site, ProtoOp::Fetch, pe, addr, 1, 0, 0, v);
             v
         })
@@ -796,12 +872,14 @@ impl ShmemCtx {
         let site = self.armed();
         let ord = self.ord_store(site);
         self.try_op(OpKind::AtomicSet, pe, 8, (addr.word() as u32, 1), || {
-            if site != NO_SITE {
-                // The overwritten value is only observable while capturing;
-                // the extra load happens solely on that path.
+            if site != NO_SITE && self.capturing() {
+                // The overwritten value is only observable while capturing
+                // (and inside the sampling window); the extra load happens
+                // solely on that path.
                 let prev = heap.word(pe, addr).load(Ordering::Acquire);
                 self.capture_event(site, ProtoOp::Set, pe, addr, 1, val, 0, prev);
             }
+            self.prof_site(site, |c| c.stores += 1);
             if let Some(tr) = self.tracker() {
                 tr.write(self.pe, pe, addr.word(), ord_releases(ord), site);
             }
@@ -820,6 +898,7 @@ impl ShmemCtx {
                 tr.rmw(self.pe, pe, addr.word(), ord_acquires(ord), ord_releases(ord), site);
             }
             let prev = heap.word(pe, addr).fetch_add(val, ord);
+            self.prof_site(site, |c| c.rmw += 1);
             self.capture_event(site, ProtoOp::AddNbi, pe, addr, 1, val, 0, prev);
         });
     }
@@ -831,10 +910,11 @@ impl ShmemCtx {
         let site = self.armed();
         let ord = self.ord_store(site);
         self.op_nbi(OpKind::AtomicSetNbi, pe, 8, (addr.word() as u32, 1), || {
-            if site != NO_SITE {
+            if site != NO_SITE && self.capturing() {
                 let prev = heap.word(pe, addr).load(Ordering::Acquire);
                 self.capture_event(site, ProtoOp::SetNbi, pe, addr, 1, val, 0, prev);
             }
+            self.prof_site(site, |c| c.stores += 1);
             if let Some(tr) = self.tracker() {
                 tr.write(self.pe, pe, addr.word(), ord_releases(ord), site);
             }
@@ -875,6 +955,7 @@ impl ShmemCtx {
     /// protects) stay gate-free.
     pub fn local_write_words(&self, addr: SymAddr, src: &[u64]) {
         let site = self.armed();
+        self.prof_site(site, |c| c.stores += 1);
         if site != NO_SITE {
             if let Some(eg) = &self.world.explore {
                 let desc =

@@ -56,6 +56,7 @@ mod lock;
 mod net;
 mod onesided;
 pub mod overrides;
+pub mod prof;
 pub mod proto;
 pub mod rng;
 mod runtime;
@@ -72,6 +73,7 @@ pub use heap::{HeapLayout, SymmetricHeap, CACHE_LINE_BYTES, CACHE_LINE_WORDS};
 pub use net::{Locality, NetModel, OpKind, ALL_OP_KINDS, OP_KIND_COUNT};
 pub use onesided::OneSided;
 pub use overrides::{OrdTracker, OrderingCtl, OrderingOverrides};
+pub use prof::{merge_site_profiles, SiteCounters};
 pub use proto::{ProtoEvent, ProtoOp, NO_SITE};
 pub use runtime::{run_world, ExecMode, WorldConfig, WorldOutput};
 pub use stats::{OpStats, StatsSummary};

@@ -66,6 +66,11 @@ pub struct WorldConfig {
     /// trace-conformance checking (see `crate::proto`). Off by default;
     /// when off, the op surface carries no capture state.
     pub capture_proto: bool,
+    /// Record per-site contention counters ([`crate::SiteCounters`])
+    /// with plain per-PE stores in the op adapters (`sws-run
+    /// --contention`). Off by default; when off, the op surface carries
+    /// no profiling state.
+    pub profile_sites: bool,
     /// Exploration gate (see [`crate::explore`]): serializes every gated
     /// effect behind an explicit schedule. Requires threaded mode (the
     /// gate replaces the virtual-time engine as the serialization point).
@@ -97,6 +102,7 @@ impl WorldConfig {
             faults: None,
             gate: GateMode::default(),
             capture_proto: false,
+            profile_sites: false,
             explore: None,
             oversub_yield: true,
             ordering: None,
@@ -116,6 +122,7 @@ impl WorldConfig {
             faults: None,
             gate: GateMode::default(),
             capture_proto: false,
+            profile_sites: false,
             explore: None,
             oversub_yield: true,
             ordering: None,
@@ -165,6 +172,13 @@ impl WorldConfig {
         self
     }
 
+    /// Enable per-site contention profiling.
+    #[must_use]
+    pub fn with_profile_sites(mut self) -> WorldConfig {
+        self.profile_sites = true;
+        self
+    }
+
     /// Attach an exploration gate (threaded mode only).
     #[must_use]
     pub fn with_explore(mut self, gate: Arc<ExploreGate>) -> WorldConfig {
@@ -202,6 +216,8 @@ pub(crate) struct WorldShared {
     pub(crate) down: Vec<AtomicBool>,
     /// Whether contexts record site-annotated ops as `ProtoEvent`s.
     pub(crate) capture_proto: bool,
+    /// Whether contexts record per-site contention counters.
+    pub(crate) profile_sites: bool,
     /// Exploration gate serializing every gated effect, if attached.
     pub(crate) explore: Option<Arc<ExploreGate>>,
     /// Plain threaded mode with more PEs than hardware threads: spin
@@ -296,6 +312,7 @@ where
         faults,
         down: (0..cfg.n_pes).map(|_| AtomicBool::new(false)).collect(),
         capture_proto: cfg.capture_proto,
+        profile_sites: cfg.profile_sites,
         explore: explore.clone(),
         oversubscribed,
         ordering: cfg.ordering.clone(),
@@ -842,6 +859,7 @@ mod latency_injection_tests {
                 faults: None,
                 gate: GateMode::default(),
                 capture_proto: false,
+                profile_sites: false,
                 explore: None,
                 ordering: None,
             };

@@ -34,9 +34,16 @@
 //!                    Needs no capture: it reads the queue counters
 //!   --metrics        print the merged metrics registry (text
 //!                    exposition, or a JSON snapshot with --json)
+//!   --sample N       capture only a seeded, deterministic 1-in-N
+//!                    sample of steal attempts (arms capture); span
+//!                    counts scale by N for full-capture estimates
+//!   --contention     count per-site CAS wins/losses, RMWs, loads and
+//!                    stores; print the site heat table aligned with
+//!                    the ORDERINGS.md catalog
 //!   --trace-out F    write a Chrome-trace / Perfetto JSON file with
 //!                    one process per system, one track per PE, steal
-//!                    spans as slices, and an idle-PE counter track
+//!                    spans as slices, and idle-PE / ring-occupancy /
+//!                    in-flight counter tracks
 //!
 //! standalone modes:
 //!   --conform        replay the deterministic conformance matrix
@@ -62,6 +69,15 @@
 //!                    FROM ns and rejoins after DUR ns (repeatable;
 //!                    ingress PEs and PE 0 must stay)
 //!
+//! live telemetry (service mode; deterministic per seed):
+//!   --snapshots F    write the sws-obs-snap/v1 JSONL snapshot stream
+//!                    to F (tail it with `sws-top F --follow`); with
+//!                    --system both, per-system files F.SDC / F.SWS
+//!   --snap-interval N   virtual ns between snapshots (default 50000)
+//!   --slo-alerts M   off | warn | fatal: rolling-window p99 burn-rate
+//!                    alerting against --slo-p99 with fire/clear
+//!                    hysteresis; fatal exits 1 if any alert fired
+//!
 //! fault injection (chaos runs; deterministic per seed):
 //!   --drop-prob P    drop each remote op with probability P (0.0–1.0)
 //!   --stall PE:FROM:DUR   stall PE for DUR ns starting at FROM ns
@@ -70,8 +86,9 @@
 //! ```
 
 use sws::obs::{
-    check_comms, check_steal_bound, chrome_trace, report_to_json, steal_bound_to_json,
-    stitch_report, Registry, StealSpan, TraceRun,
+    build_stream, check_comms, check_steal_bound, chrome_trace, contention_table,
+    contention_to_json, report_to_json, steal_bound_to_json, stitch_report, stream_to_jsonl,
+    AlertKind, Registry, SloPolicy, StealSpan, TraceRun,
 };
 use sws::prelude::*;
 use sws::sched::trace::{
@@ -102,6 +119,8 @@ struct Args {
     assert_comms: bool,
     assert_steal_bound: bool,
     metrics: bool,
+    sample: u32,
+    contention: bool,
     trace_out: Option<String>,
     drop_prob: f64,
     stall: Option<(usize, u64, u64)>,
@@ -118,12 +137,17 @@ struct Args {
     hwm: u32,
     slo_p99: Option<u64>,
     away: Vec<(usize, u64, u64)>,
+    snapshots: Option<String>,
+    snap_interval: u64,
+    slo_alerts: String,
 }
 
 impl Args {
-    /// Any telemetry consumer needs the per-op protocol capture armed.
+    /// Any telemetry consumer needs the per-op protocol capture armed
+    /// (`--sample` without another consumer still captures — the
+    /// sampled spans land in `--json`/`--metrics` surfaces).
     fn capture(&self) -> bool {
-        self.assert_comms || self.metrics || self.trace_out.is_some()
+        self.assert_comms || self.metrics || self.trace_out.is_some() || self.sample > 1
     }
 
     fn faults_active(&self) -> bool {
@@ -133,7 +157,16 @@ impl Args {
     /// Flags meaningless outside `--serve` (only the unambiguous ones:
     /// the numeric knobs share defaults with batch mode).
     fn serve_flags_used(&self) -> bool {
-        self.slo_p99.is_some() || !self.away.is_empty()
+        self.slo_p99.is_some()
+            || !self.away.is_empty()
+            || self.snapshots.is_some()
+            || self.slo_alerts != "off"
+    }
+
+    /// Does this run record service snapshots? (A stream file or the
+    /// alert engine both need the rows.)
+    fn snapshots_armed(&self) -> bool {
+        self.snapshots.is_some() || self.slo_alerts != "off"
     }
 }
 
@@ -143,11 +176,13 @@ fn usage() -> ! {
     eprintln!("               [--depth N] [--consumers N] [--tasks N] [--task-ns N]");
     eprintln!("               [--nodes N] [--gate safe|handoff] [--engine] [--timeline] [--json]");
     eprintln!("               [--assert-comms] [--assert-steal-bound] [--metrics] [--trace-out FILE]");
+    eprintln!("               [--sample N] [--contention]");
     eprintln!("               [--drop-prob P] [--stall PE:FROM:DUR] [--crash PE:AT]");
     eprintln!("               [--serve] [--arrivals poisson|bursty|diurnal] [--mean-gap N]");
     eprintln!("               [--burst N] [--period N] [--amplitude P] [--horizon N]");
     eprintln!("               [--ingress N] [--admission block|defer|shed] [--hwm P]");
     eprintln!("               [--slo-p99 NS] [--away PE:FROM:DUR]");
+    eprintln!("               [--snapshots FILE] [--snap-interval NS] [--slo-alerts off|warn|fatal]");
     std::process::exit(2);
 }
 
@@ -190,6 +225,8 @@ fn parse_args() -> Args {
         assert_comms: false,
         assert_steal_bound: false,
         metrics: false,
+        sample: 0,
+        contention: false,
         trace_out: None,
         drop_prob: 0.0,
         stall: None,
@@ -206,6 +243,9 @@ fn parse_args() -> Args {
         hwm: 100,
         slo_p99: None,
         away: Vec::new(),
+        snapshots: None,
+        snap_interval: 50_000,
+        slo_alerts: "off".into(),
     };
     let mut it = std::env::args().skip(1);
     let Some(w) = it.next() else { usage() };
@@ -254,6 +294,14 @@ fn parse_args() -> Args {
             "--assert-comms" => args.assert_comms = true,
             "--assert-steal-bound" => args.assert_steal_bound = true,
             "--metrics" => args.metrics = true,
+            "--sample" => {
+                args.sample = val("--sample").parse().unwrap_or_else(|_| usage());
+                if args.sample < 2 {
+                    eprintln!("--sample needs N >= 2 (1-in-N attempts captured)");
+                    usage()
+                }
+            }
+            "--contention" => args.contention = true,
             "--trace-out" => args.trace_out = Some(val("--trace-out")),
             "--drop-prob" => {
                 args.drop_prob = val("--drop-prob").parse().unwrap_or_else(|_| usage());
@@ -295,6 +343,25 @@ fn parse_args() -> Args {
             "--away" => {
                 let p = split_nums(&val("--away"), 3, "--away");
                 args.away.push((p[0] as usize, p[1], p[2]));
+            }
+            "--snapshots" => args.snapshots = Some(val("--snapshots")),
+            "--snap-interval" => {
+                args.snap_interval =
+                    val("--snap-interval").parse().unwrap_or_else(|_| usage());
+                if args.snap_interval == 0 {
+                    eprintln!("--snap-interval must be > 0 ns");
+                    usage()
+                }
+            }
+            "--slo-alerts" => {
+                args.slo_alerts = val("--slo-alerts");
+                if !matches!(args.slo_alerts.as_str(), "off" | "warn" | "fatal") {
+                    eprintln!(
+                        "unknown --slo-alerts mode {} (expected off|warn|fatal)",
+                        args.slo_alerts
+                    );
+                    usage()
+                }
             }
             other => {
                 eprintln!("unknown flag {other}");
@@ -342,6 +409,10 @@ fn parse_args() -> Args {
                 usage()
             }
         }
+        if args.slo_alerts != "off" && args.slo_p99.is_none() {
+            eprintln!("--slo-alerts needs --slo-p99 NS as the objective");
+            usage()
+        }
     } else if args.serve_flags_used() {
         eprintln!("service flags require --serve");
         usage()
@@ -370,13 +441,18 @@ fn queue_config(args: &Args) -> QueueConfig {
 }
 
 fn run_one(args: &Args, kind: QueueKind) -> RunReport {
-    let mut sched = SchedConfig::new(kind, queue_config(args)).with_seed(args.seed);
+    let mut sched = SchedConfig::new(kind, queue_config(args))
+        .with_seed(args.seed)
+        .with_sample_period(args.sample);
     // The trace exporter draws scheduler instants and the idle counter
     // from the event log, so --trace-out arms tracing too.
     sched.trace = args.timeline || args.histogram || args.trace_out.is_some();
     let mut cfg = RunConfig::new(args.pes, sched).with_gate(args.gate);
     if args.capture() {
         cfg = cfg.with_capture_proto();
+    }
+    if args.contention {
+        cfg = cfg.with_profile_sites();
     }
     if args.nodes > 1 {
         cfg.net = NetModel::edr_infiniband_nodes(args.nodes);
@@ -468,10 +544,36 @@ fn service_config(args: &Args) -> ServiceConfig {
             usage()
         }
     };
+    let snap_interval = if args.snapshots_armed() {
+        args.snap_interval
+    } else {
+        0
+    };
     ServiceConfig::default()
         .with_admission(admission)
         .with_hwm_pct(args.hwm)
         .with_membership(membership_plan(args))
+        .with_snapshot_interval(snap_interval)
+}
+
+/// The burn-rate alerting policy: `--slo-p99` is the objective; the
+/// window and hysteresis thresholds are the library defaults.
+fn slo_policy(args: &Args) -> SloPolicy {
+    SloPolicy::default().with_slo_p99_ns(if args.slo_alerts == "off" {
+        0
+    } else {
+        args.slo_p99.unwrap_or(0)
+    })
+}
+
+/// Per-system snapshot file path: `--system both` writes `F.SDC` and
+/// `F.SWS` so the streams (each with its own header) stay separate.
+fn snap_path(base: &str, system: &str, multi: bool) -> String {
+    if multi {
+        format!("{base}.{system}")
+    } else {
+        base.to_string()
+    }
 }
 
 fn main() {
@@ -495,6 +597,8 @@ fn main() {
     let mut comms_ok = true;
     let mut bound_ok = true;
     let mut slo_ok = true;
+    let mut alerts_ok = true;
+    let multi = kinds.len() > 1;
     for kind in kinds {
         let report = run_one(&args, kind);
         if args.serve {
@@ -522,6 +626,47 @@ fn main() {
                     slo_ok = false;
                 }
             }
+            if args.snapshots_armed() {
+                let policy = slo_policy(&args);
+                let stream = build_stream(&report, &policy);
+                if let Some(base) = &args.snapshots {
+                    let path = snap_path(base, &report.system, multi);
+                    let text = stream_to_jsonl(&report, &policy, &stream);
+                    if let Err(e) = std::fs::write(&path, &text) {
+                        eprintln!("--snapshots: cannot write {path}: {e}");
+                        std::process::exit(1);
+                    }
+                    if !args.json {
+                        println!(
+                            "   snapshots: wrote {path} ({} frames, {} alerts; \
+                             tail with `sws-top {path} --follow`)",
+                            stream.frames.len(),
+                            stream.alerts.len()
+                        );
+                    }
+                }
+                if args.slo_alerts != "off" {
+                    for a in &stream.alerts {
+                        eprintln!(
+                            "{}: slo-alert {} at t={} ns: windowed p99 {} ns = \
+                             {}% of SLO {} ns",
+                            report.system,
+                            a.kind.label(),
+                            a.t_ns,
+                            a.win_p99_ns,
+                            a.burn_pct,
+                            policy.slo_p99_ns
+                        );
+                    }
+                    let fired = stream
+                        .alerts
+                        .iter()
+                        .any(|a| a.kind == AlertKind::Fire);
+                    if fired && args.slo_alerts == "fatal" {
+                        alerts_ok = false;
+                    }
+                }
+            }
         }
         let report_spans = if args.capture() {
             stitch_report(&report, &queue_config(&args))
@@ -545,6 +690,9 @@ fn main() {
                     "{}",
                     Registry::from_report(&report, Some(&report_spans)).to_json()
                 );
+            }
+            if args.contention {
+                println!("{}", contention_to_json(&report));
             }
         } else {
             println!("{}", report.summary_line());
@@ -601,6 +749,18 @@ fn main() {
                     Registry::from_report(&report, Some(&report_spans)).render_text()
                 );
             }
+            if args.contention {
+                print!("{}", contention_table(&report));
+            }
+            if args.sample > 1 {
+                println!(
+                    "   sampling: 1-in-{} steal attempts captured ({} of {}; \
+                     scale span counts by the period)",
+                    report.sample_period().max(1),
+                    report.total_sampled_attempts(),
+                    report.total_steal_attempts()
+                );
+            }
         }
         reports.push(report);
         spans.push(report_spans);
@@ -632,16 +792,22 @@ fn main() {
             );
         }
     }
+    // Print every failed assertion before exiting, so a run that
+    // trips several (e.g. hard SLO check + burn-rate alerts) shows
+    // the full diagnosis in one pass.
     if !comms_ok {
         eprintln!("--assert-comms: per-steal budget violated (see report above)");
-        std::process::exit(1);
     }
     if !bound_ok {
         eprintln!("--assert-steal-bound: rooted-tree steal bound violated (see report above)");
-        std::process::exit(1);
     }
     if !slo_ok {
         eprintln!("--slo-p99: latency objective violated (see report above)");
+    }
+    if !alerts_ok {
+        eprintln!("--slo-alerts=fatal: burn-rate alerts fired (see above)");
+    }
+    if !(comms_ok && bound_ok && slo_ok && alerts_ok) {
         std::process::exit(1);
     }
 }
